@@ -1,0 +1,109 @@
+//===- BenchCommon.cpp - Shared harness for paper-figure benches ------------------===//
+
+#include "BenchCommon.h"
+
+#include "darm/core/DARMPass.h"
+#include "darm/core/TailMerge.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+#include "darm/support/ErrorHandling.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/SimplifyCFG.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+using namespace darm;
+using namespace darm::bench;
+
+const char *darm::bench::pipelineName(Pipeline P) {
+  switch (P) {
+  case Pipeline::Baseline:
+    return "O3";
+  case Pipeline::TailMerge:
+    return "TM";
+  case Pipeline::BranchFusion:
+    return "BF";
+  case Pipeline::DARM:
+    return "DARM";
+  }
+  return "?";
+}
+
+RunResult darm::bench::runCell(const std::string &Bench, unsigned BlockSize,
+                               Pipeline P, double Threshold) {
+  auto B = createBenchmark(Bench, BlockSize);
+  if (!B)
+    reportFatalError("unknown benchmark name");
+
+  Context Ctx;
+  Module M(Ctx, Bench);
+  Function *F = B->build(M);
+
+  RunResult R;
+  auto Start = std::chrono::steady_clock::now();
+  switch (P) {
+  case Pipeline::Baseline:
+    break;
+  case Pipeline::TailMerge:
+    R.Changed = runTailMerge(*F);
+    break;
+  case Pipeline::BranchFusion:
+    R.Changed = runBranchFusion(*F, &R.Melding);
+    break;
+  case Pipeline::DARM: {
+    DARMConfig Cfg;
+    Cfg.ProfitThreshold = Threshold;
+    R.Changed = runDARM(*F, Cfg, &R.Melding);
+    break;
+  }
+  }
+  // Every pipeline (including the baseline) gets the standard -O3-style
+  // cleanup, mirroring the paper's setup where DARM is inserted into the
+  // existing HIPCC -O3 pipeline (§V).
+  bool Cleaned = simplifyCFG(*F);
+  Cleaned |= eliminateDeadCode(*F);
+  R.Changed |= (P == Pipeline::Baseline ? false : Cleaned);
+  auto End = std::chrono::steady_clock::now();
+  R.CompileSeconds = std::chrono::duration<double>(End - Start).count();
+
+  std::string Why;
+  R.Valid = runAndValidate(*B, *F, R.Stats, &Why);
+  if (!R.Valid) {
+    std::fprintf(stderr, "VALIDATION FAILED: %s bs=%u pipeline=%s: %s\n",
+                 Bench.c_str(), BlockSize, pipelineName(P), Why.c_str());
+    reportFatalError("benchmark produced wrong results");
+  }
+  return R;
+}
+
+double darm::bench::geomean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double LogSum = 0;
+  for (double X : Xs)
+    LogSum += std::log(X);
+  return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+std::string darm::bench::sizeLabel(const std::string &Bench,
+                                   unsigned BlockSize) {
+  if (Bench == "SRAD")
+    return BlockSize == 256 ? "16x16" : "32x32";
+  if (Bench == "DCT") {
+    if (BlockSize == 16)
+      return "4x4";
+    if (BlockSize == 64)
+      return "8x8";
+    return "16x16";
+  }
+  return std::to_string(BlockSize);
+}
+
+void darm::bench::printRow(const std::vector<std::string> &Cells) {
+  for (size_t I = 0; I < Cells.size(); ++I)
+    std::printf(I == 0 ? "%-16s" : "%14s", Cells[I].c_str());
+  std::printf("\n");
+}

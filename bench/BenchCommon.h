@@ -1,0 +1,53 @@
+//===- BenchCommon.h - Shared harness for paper-figure benches ------*- C++ -*-===//
+///
+/// \file
+/// Builds a benchmark kernel, applies one of the compared pipelines
+/// (baseline -O3 / tail merging / branch fusion / DARM), simulates it and
+/// validates against the host reference. Every figure/table binary in
+/// bench/ goes through this harness so numbers are produced identically.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_BENCH_BENCHCOMMON_H
+#define DARM_BENCH_BENCHCOMMON_H
+
+#include "darm/core/DARMConfig.h"
+#include "darm/sim/GpuConfig.h"
+
+#include <string>
+#include <vector>
+
+namespace darm {
+namespace bench {
+
+enum class Pipeline { Baseline, TailMerge, BranchFusion, DARM };
+
+const char *pipelineName(Pipeline P);
+
+struct RunResult {
+  SimStats Stats;
+  DARMStats Melding;
+  bool Changed = false; ///< did the pipeline modify the kernel?
+  bool Valid = false;   ///< host-reference validation
+  double CompileSeconds = 0.0;
+};
+
+/// Runs one (benchmark, block size, pipeline) cell. Aborts the process on
+/// validation failure — a figure produced from wrong results is worse
+/// than no figure.
+RunResult runCell(const std::string &Bench, unsigned BlockSize, Pipeline P,
+                  double Threshold = 0.2);
+
+/// Geometric mean.
+double geomean(const std::vector<double> &Xs);
+
+/// Paper-style size label ("16x16" for SRAD 256, "4x4" for DCT 16, plain
+/// block size otherwise).
+std::string sizeLabel(const std::string &Bench, unsigned BlockSize);
+
+/// Prints an aligned row: first column width 14, others width 12.
+void printRow(const std::vector<std::string> &Cells);
+
+} // namespace bench
+} // namespace darm
+
+#endif // DARM_BENCH_BENCHCOMMON_H

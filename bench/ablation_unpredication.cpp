@@ -1,0 +1,88 @@
+//===- ablation_unpredication.cpp - §IV-E design-choice ablation -------------------===//
+//
+// Ablates DARM's unpredication step (§IV-E): "unpredication off" fully
+// predicates unaligned instructions (stores lowered to
+// load+select+store) instead of moving them into guarded blocks. The
+// paper argues unpredication avoids redundant execution when the branch
+// is biased and avoids the extra loads of predicated stores; this bench
+// quantifies that on every benchmark.
+//
+// A second column ablates region replication (§IV-C case 2) by
+// disabling block-region melds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "darm/core/DARMPass.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+#include "darm/support/ErrorHandling.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/SimplifyCFG.h"
+
+#include <cstdio>
+
+using namespace darm;
+using namespace darm::bench;
+
+namespace {
+
+uint64_t cyclesWith(const std::string &Name, unsigned BS,
+                    const DARMConfig &Cfg) {
+  auto B = createBenchmark(Name, BS);
+  Context Ctx;
+  Module M(Ctx, Name);
+  Function *F = B->build(M);
+  runDARM(*F, Cfg);
+  simplifyCFG(*F);
+  eliminateDeadCode(*F);
+  SimStats S;
+  std::string Why;
+  if (!runAndValidate(*B, *F, S, &Why)) {
+    std::fprintf(stderr, "ablation produced wrong results: %s\n",
+                 Why.c_str());
+    reportFatalError("ablation validation failure");
+  }
+  return S.Cycles;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: unpredication and region replication "
+              "(speedup over baseline) ===\n\n");
+  printRow({"benchmark", "block", "DARM", "no-unpred", "no-replic"});
+
+  std::vector<std::string> Names = realBenchmarkNames();
+  for (const std::string &S : syntheticBenchmarkNames())
+    Names.push_back(S);
+  for (const std::string &Name : Names) {
+    unsigned BS = paperBlockSizes(Name).front();
+    RunResult Base = runCell(Name, BS, Pipeline::Baseline);
+
+    DARMConfig Full;
+    DARMConfig NoUnpred;
+    NoUnpred.EnableUnpredication = false;
+    DARMConfig NoReplic;
+    NoReplic.EnableRegionReplication = false;
+
+    auto Speed = [&](const DARMConfig &Cfg) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.2fx",
+                    static_cast<double>(Base.Stats.Cycles) /
+                        static_cast<double>(cyclesWith(Name, BS, Cfg)));
+      return std::string(Buf);
+    };
+    printRow({Name, sizeLabel(Name, BS), Speed(Full), Speed(NoUnpred),
+              Speed(NoReplic)});
+  }
+  std::printf(
+      "\nMeasured shape (see EXPERIMENTS.md): at our simulator's scale "
+      "full predication\nis never worse than unpredication (biased-path "
+      "redundancy is cheap here),\nand on SB4 disabling replication makes "
+      "DARM fall back to iterative diamond\nmelding, which our cleanup "
+      "pipeline optimizes better than replicated regions.\n");
+  return 0;
+}

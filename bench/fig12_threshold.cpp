@@ -1,0 +1,53 @@
+//===- fig12_threshold.cpp - Figure 12: melding profitability threshold ------------===//
+//
+// Regenerates Fig. 12: DARM speedup on each real-world benchmark (at its
+// best block size) as the melding-profitability threshold sweeps
+// 0.1..0.5. Higher thresholds forgo profitable melds, so speedup decays;
+// below ~0.2 additional melds add little (§VI-E).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "darm/kernels/Benchmark.h"
+
+#include <cstdio>
+
+using namespace darm;
+using namespace darm::bench;
+
+int main() {
+  std::printf("=== Figure 12: speedup vs. melding profitability threshold "
+              "===\n\n");
+  const double Thresholds[] = {0.1, 0.2, 0.3, 0.4, 0.5};
+  printRow({"benchmark", "block", "0.1", "0.2", "0.3", "0.4", "0.5"});
+
+  for (const std::string &Name : realBenchmarkNames()) {
+    unsigned BestBS = 0;
+    double BestSpeed = 0;
+    for (unsigned BS : paperBlockSizes(Name)) {
+      RunResult Base = runCell(Name, BS, Pipeline::Baseline);
+      RunResult Darm = runCell(Name, BS, Pipeline::DARM);
+      double S = static_cast<double>(Base.Stats.Cycles) /
+                 static_cast<double>(Darm.Stats.Cycles);
+      if (S > BestSpeed) {
+        BestSpeed = S;
+        BestBS = BS;
+      }
+    }
+    RunResult Base = runCell(Name, BestBS, Pipeline::Baseline);
+    std::vector<std::string> Cells = {Name, sizeLabel(Name, BestBS)};
+    for (double T : Thresholds) {
+      RunResult R = runCell(Name, BestBS, Pipeline::DARM, T);
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.2fx",
+                    static_cast<double>(Base.Stats.Cycles) /
+                        static_cast<double>(R.Stats.Cycles));
+      Cells.push_back(Buf);
+    }
+    printRow(Cells);
+  }
+  std::printf("\nExpected shape: non-increasing in the threshold; little "
+              "gained below 0.2 (paper Fig. 12).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===- fig8_synthetic.cpp - Figure 8: synthetic benchmark speedups ----------------===//
+//
+// Regenerates Fig. 8: DARM and Branch Fusion speedups over the -O3
+// baseline for SB1-SB4 and their -R variants at block sizes 32..256,
+// plus the geometric means (paper: DARM 1.36x, BF 1.10x).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "darm/kernels/Benchmark.h"
+
+#include <cstdio>
+
+using namespace darm;
+using namespace darm::bench;
+
+int main() {
+  std::printf("=== Figure 8: synthetic benchmark performance "
+              "(speedup over baseline) ===\n\n");
+  printRow({"benchmark", "block", "base cyc", "DARM cyc", "DARM", "BF"});
+
+  std::vector<double> DarmSpeeds, BfSpeeds;
+  for (const std::string &Name : syntheticBenchmarkNames()) {
+    for (unsigned BS : paperBlockSizes(Name)) {
+      RunResult Base = runCell(Name, BS, Pipeline::Baseline);
+      RunResult Darm = runCell(Name, BS, Pipeline::DARM);
+      RunResult Bf = runCell(Name, BS, Pipeline::BranchFusion);
+      double SD = static_cast<double>(Base.Stats.Cycles) /
+                  static_cast<double>(Darm.Stats.Cycles);
+      double SB = static_cast<double>(Base.Stats.Cycles) /
+                  static_cast<double>(Bf.Stats.Cycles);
+      DarmSpeeds.push_back(SD);
+      BfSpeeds.push_back(SB);
+      char SDs[32], SBs[32];
+      std::snprintf(SDs, sizeof(SDs), "%.2fx", SD);
+      std::snprintf(SBs, sizeof(SBs), "%.2fx", SB);
+      printRow({Name, std::to_string(BS),
+                std::to_string(Base.Stats.Cycles),
+                std::to_string(Darm.Stats.Cycles), SDs, SBs});
+    }
+  }
+  std::printf("\n");
+  std::printf("GM (DARM): %.2fx   [paper: 1.36x]\n", geomean(DarmSpeeds));
+  std::printf("GM (BF)  : %.2fx   [paper: 1.10x]\n", geomean(BfSpeeds));
+  return 0;
+}

@@ -1,0 +1,74 @@
+//===- bitonic_sort.cpp - The paper's running example as an application ------------===//
+//
+// Sorts per-block buckets with the bitonic network of Fig. 1, comparing
+// the baseline kernel against its DARM-melded version: same sorted output,
+// fewer serialized divergent paths, fewer LDS instructions issued.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/core/DARMPass.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+
+#include <cstdio>
+
+using namespace darm;
+
+int main(int argc, char **argv) {
+  unsigned BlockSize = 128;
+  if (argc > 1)
+    BlockSize = static_cast<unsigned>(std::atoi(argv[1]));
+  if (BlockSize < 32 || BlockSize > 1024 ||
+      (BlockSize & (BlockSize - 1)) != 0) {
+    std::fprintf(stderr,
+                 "usage: %s [block-size]   (power of two, 32..1024)\n",
+                 argv[0]);
+    return 1;
+  }
+
+  auto Bench = createBenchmark("BIT", BlockSize);
+  std::printf("bitonic sort: %u buckets of %u elements\n",
+              Bench->launch().GridDimX, BlockSize);
+
+  Context Ctx;
+  Module M(Ctx, "bitonic");
+  Function *Base = Bench->build(M);
+  Function *Melded = Bench->build(M);
+  DARMStats DS;
+  runDARM(*Melded, DARMConfig(), &DS);
+  std::string Err;
+  if (!verifyFunction(*Melded, &Err)) {
+    std::fprintf(stderr, "verification failed: %s\n", Err.c_str());
+    return 1;
+  }
+
+  SimStats SBase, SMeld;
+  std::string Why;
+  if (!runAndValidate(*Bench, *Base, SBase, &Why) ||
+      !runAndValidate(*Bench, *Melded, SMeld, &Why)) {
+    std::fprintf(stderr, "wrong results: %s\n", Why.c_str());
+    return 1;
+  }
+
+  std::printf("\n                      %12s %12s\n", "baseline", "DARM");
+  std::printf("cycles                %12llu %12llu\n",
+              (unsigned long long)SBase.Cycles,
+              (unsigned long long)SMeld.Cycles);
+  std::printf("divergent branches    %12llu %12llu\n",
+              (unsigned long long)SBase.DivergentBranches,
+              (unsigned long long)SMeld.DivergentBranches);
+  std::printf("LDS instructions      %12llu %12llu\n",
+              (unsigned long long)SBase.SharedMemInsts,
+              (unsigned long long)SMeld.SharedMemInsts);
+  std::printf("ALU utilization       %11.1f%% %11.1f%%\n",
+              SBase.aluUtilization() * 100, SMeld.aluUtilization() * 100);
+  std::printf("\nall buckets sorted correctly; speedup %.2fx "
+              "(%u region(s) melded)\n",
+              static_cast<double>(SBase.Cycles) /
+                  static_cast<double>(SMeld.Cycles),
+              DS.RegionsMelded);
+  return 0;
+}

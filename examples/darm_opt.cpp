@@ -1,0 +1,134 @@
+//===- darm_opt.cpp - opt-style driver over textual IR -----------------------------===//
+//
+// Reads a kernel in the textual IR syntax, runs the requested pass
+// pipeline, and prints the result (IR or Graphviz DOT). The closest thing
+// to `opt -darm` the paper's artifact exposes.
+//
+//   darm_opt [passes...] [options] file.ir
+//     -darm            control-flow melding (the paper's pass)
+//     -branch-fusion   diamond-only melding baseline
+//     -tailmerge       tail merging baseline
+//     -simplifycfg     CFG cleanup
+//     -dce             dead code elimination
+//     -threshold=<f>   melding profitability threshold (default 0.2)
+//     -dot             print the CFG in DOT instead of IR
+//     -stats           print melding statistics to stderr
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/core/DARMPass.h"
+#include "darm/core/TailMerge.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/PassManager.h"
+#include "darm/transform/SimplifyCFG.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace darm;
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Passes;
+  std::string InputFile;
+  bool EmitDot = false, Stats = false;
+  double Threshold = 0.2;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-darm" || Arg == "-branch-fusion" || Arg == "-tailmerge" ||
+        Arg == "-simplifycfg" || Arg == "-dce") {
+      Passes.push_back(Arg.substr(1));
+    } else if (Arg.rfind("-threshold=", 0) == 0) {
+      Threshold = std::atof(Arg.c_str() + 11);
+    } else if (Arg == "-dot") {
+      EmitDot = true;
+    } else if (Arg == "-stats") {
+      Stats = true;
+    } else if (Arg == "-help" || Arg == "--help") {
+      std::printf("usage: %s [passes...] [options] file.ir\n", argv[0]);
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return 1;
+    } else {
+      InputFile = Arg;
+    }
+  }
+  if (InputFile.empty()) {
+    std::fprintf(stderr, "no input file; try -help\n");
+    return 1;
+  }
+
+  std::ifstream In(InputFile);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", InputFile.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  Context Ctx;
+  std::string Err;
+  auto M = parseModule(Ctx, Buf.str(), &Err);
+  if (!M) {
+    std::fprintf(stderr, "%s: parse error: %s\n", InputFile.c_str(),
+                 Err.c_str());
+    return 1;
+  }
+  if (!verifyModule(*M, &Err)) {
+    std::fprintf(stderr, "%s: invalid IR: %s\n", InputFile.c_str(),
+                 Err.c_str());
+    return 1;
+  }
+
+  DARMStats DS;
+  PassManager PM(/*VerifyEach=*/true);
+  for (const std::string &P : Passes) {
+    if (P == "darm") {
+      DARMConfig Cfg;
+      Cfg.ProfitThreshold = Threshold;
+      PM.addPass("darm",
+                 [Cfg, &DS](Function &F) { return runDARM(F, Cfg, &DS); });
+    } else if (P == "branch-fusion") {
+      PM.addPass("branch-fusion",
+                 [&DS](Function &F) { return runBranchFusion(F, &DS); });
+    } else if (P == "tailmerge") {
+      PM.addPass("tailmerge", [](Function &F) { return runTailMerge(F); });
+    } else if (P == "simplifycfg") {
+      PM.addPass("simplifycfg", [](Function &F) { return simplifyCFG(F); });
+    } else if (P == "dce") {
+      PM.addPass("dce", [](Function &F) { return eliminateDeadCode(F); });
+    }
+  }
+  for (const auto &F : M->functions())
+    PM.run(*F);
+
+  if (Stats) {
+    std::fprintf(stderr,
+                 "melding: %u region(s), %u subgraph pair(s), %u "
+                 "block-region meld(s), %u select(s), %u unpredication "
+                 "split(s)\n",
+                 DS.RegionsMelded, DS.SubgraphPairsMelded,
+                 DS.BlockRegionMelds, DS.SelectsInserted,
+                 DS.UnpredicationSplits);
+    for (const auto &[Name, Secs] : PM.timings())
+      std::fprintf(stderr, "  %-14s %8.3f ms\n", Name.c_str(), Secs * 1e3);
+  }
+
+  if (EmitDot) {
+    for (const auto &F : M->functions())
+      std::printf("%s", printDot(*F).c_str());
+  } else {
+    std::printf("%s", printModule(*M).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+//===- quickstart.cpp - Build, meld, and simulate a divergent kernel --------------===//
+//
+// The five-minute tour of the library:
+//   1. build a divergent GPU kernel with IRBuilder,
+//   2. inspect its CFG,
+//   3. run the DARM control-flow melding pass,
+//   4. execute both versions on the SIMT simulator,
+//   5. compare results and divergence counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/core/DARMPass.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/sim/Simulator.h"
+
+#include <cstdio>
+
+using namespace darm;
+
+/// out[i] = 3*|a[i] - b[i]| + 7, written with a data-dependent branch:
+/// the two arms run the same sub/mul/add chain on swapped operands, so
+/// DARM melds them into one chain fed by selects and the branch is gone.
+static Function *buildAbsDiff(Module &M) {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.getInt32Ty();
+  Type *Ptr = Ctx.getPointerTy(I32, AddressSpace::Global);
+  Function *F = M.createFunction(
+      "absdiff", Ctx.getVoidTy(), {{Ptr, "a"}, {Ptr, "b"}, {Ptr, "out"}});
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Ge = F->createBlock("ge");
+  BasicBlock *Lt = F->createBlock("lt");
+  BasicBlock *Join = F->createBlock("join");
+
+  IRBuilder B(Ctx, Entry);
+  Value *Tid = B.createThreadIdX();
+  Value *Gid = B.createAdd(
+      B.createMul(B.createBlockIdX(), B.createBlockDimX()), Tid, "gid");
+  Value *A = B.createLoadAt(F->getArg(0), Gid, "av");
+  Value *Bv = B.createLoadAt(F->getArg(1), Gid, "bv");
+  Value *C = B.createICmp(ICmpPred::SGE, A, Bv, "c");
+  B.createCondBr(C, Ge, Lt);
+
+  B.setInsertPoint(Ge);
+  Value *D1 = B.createAdd(B.createMul(B.createSub(A, Bv), B.getInt32(3)),
+                          B.getInt32(7), "d1");
+  B.createBr(Join);
+  B.setInsertPoint(Lt);
+  Value *D2 = B.createAdd(B.createMul(B.createSub(Bv, A), B.getInt32(3)),
+                          B.getInt32(7), "d2");
+  B.createBr(Join);
+
+  B.setInsertPoint(Join);
+  PhiInst *R = B.createPhi(I32, "r");
+  R->addIncoming(D1, Ge);
+  R->addIncoming(D2, Lt);
+  B.createStoreAt(R, F->getArg(2), Gid);
+  B.createRet();
+  return F;
+}
+
+static SimStats simulate(Function &F, const char *Tag) {
+  const unsigned N = 256;
+  GlobalMemory Mem;
+  uint64_t A = Mem.allocate(N * 4);
+  uint64_t Bb = Mem.allocate(N * 4);
+  uint64_t Out = Mem.allocate(N * 4);
+  for (unsigned I = 0; I < N; ++I) {
+    Mem.writeI32(A + I * 4, static_cast<int32_t>(I * 37 % 1000));
+    Mem.writeI32(Bb + I * 4, static_cast<int32_t>(I * 53 % 1000));
+  }
+  SimStats S = runKernel(F, {N / 64, 64}, {A, Bb, Out}, Mem);
+  // Spot-check results.
+  for (unsigned I = 0; I < N; ++I) {
+    int32_t X = static_cast<int32_t>(I * 37 % 1000);
+    int32_t Y = static_cast<int32_t>(I * 53 % 1000);
+    int32_t Want = 3 * (X >= Y ? X - Y : Y - X) + 7;
+    if (Mem.readI32(Out + I * 4) != Want) {
+      std::printf("!! %s produced a wrong value at %u\n", Tag, I);
+      return S;
+    }
+  }
+  std::printf("[%s] cycles=%llu  divergent-branches=%llu  "
+              "ALU-utilization=%.1f%%  (results correct)\n",
+              Tag, static_cast<unsigned long long>(S.Cycles),
+              static_cast<unsigned long long>(S.DivergentBranches),
+              S.aluUtilization() * 100);
+  return S;
+}
+
+int main() {
+  Context Ctx;
+  Module M(Ctx, "quickstart");
+  Function *F = buildAbsDiff(M);
+
+  std::printf("==== kernel before DARM ====\n%s\n",
+              printFunction(*F).c_str());
+  SimStats Before = simulate(*F, "baseline");
+
+  DARMStats DS;
+  runDARM(*F, DARMConfig(), &DS);
+  std::string Err;
+  if (!verifyFunction(*F, &Err)) {
+    std::printf("verification failed: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("\n==== kernel after DARM (%u subgraph pair(s) melded, "
+              "%u selects) ====\n%s\n",
+              DS.SubgraphPairsMelded, DS.SelectsInserted,
+              printFunction(*F).c_str());
+  SimStats After = simulate(*F, "DARM");
+
+  std::printf("\nspeedup: %.2fx\n",
+              static_cast<double>(Before.Cycles) /
+                  static_cast<double>(After.Cycles));
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- CostModel.h - Instruction latency model --------------------*- C++ -*-===//
+///
+/// \file
+/// Static per-instruction latencies, playing the role of LLVM's cost model
+/// in the paper (§V): they weight the melding-profitability metric (§IV-C)
+/// and drive the SIMT simulator's timing, so "profitable by the metric"
+/// and "faster in simulation" are consistent by construction, mirroring
+/// the paper's assumption that the metric approximates saved cycles.
+///
+/// The table is loosely calibrated to an AMD GCN/Vega-class device: cheap
+/// full-rate VALU ops, quarter-rate integer multiply, expensive integer
+/// divide, LDS an order of magnitude slower than VALU, global memory an
+/// order slower again.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_ANALYSIS_COSTMODEL_H
+#define DARM_ANALYSIS_COSTMODEL_H
+
+#include "darm/ir/Instruction.h"
+
+namespace darm {
+
+class BasicBlock;
+
+/// Latency table shared by the profitability metric and the simulator.
+class CostModel {
+public:
+  /// Latency of one dynamic instruction (memory latencies assume a
+  /// conflict-free / fully-coalesced access; the simulator adds penalties
+  /// for bank conflicts and uncoalesced segments on top).
+  static unsigned getLatency(const Instruction *I);
+
+  /// Latency keyed by opcode alone, using \p AS for memory operations.
+  static unsigned getLatency(Opcode Op,
+                             AddressSpace AS = AddressSpace::Global);
+
+  /// Sum of latencies of all instructions in \p BB — lat(b) in §IV-C.
+  static unsigned getBlockLatency(const BasicBlock &BB);
+
+  // Named constants used by the simulator's contention modeling.
+  static constexpr unsigned SharedMemLatency = 8;
+  static constexpr unsigned GlobalMemLatency = 40;
+  /// Extra cycles per additional 128-byte segment of an uncoalesced
+  /// global access.
+  static constexpr unsigned GlobalSegmentPenalty = 16;
+  /// Extra cycles per additional conflicting access to the same LDS bank.
+  static constexpr unsigned BankConflictPenalty = 4;
+};
+
+} // namespace darm
+
+#endif // DARM_ANALYSIS_COSTMODEL_H

@@ -1,0 +1,55 @@
+//===- DivergenceAnalysis.h - SIMT divergence analysis -------------*- C++ -*-===//
+///
+/// \file
+/// Divergence analysis in the style of Karrenberg & Hack (the analysis
+/// LLVM ships and the paper relies on, §II-B): a value is divergent if
+/// different lanes of a warp may hold different values. Seeds are the
+/// thread-index intrinsics; divergence propagates along data dependences,
+/// and along *sync dependences*: a divergent terminator taints the phi
+/// nodes of the join blocks where its disjoint paths merge (the iterated
+/// dominance frontier of its successors).
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_ANALYSIS_DIVERGENCEANALYSIS_H
+#define DARM_ANALYSIS_DIVERGENCEANALYSIS_H
+
+#include <set>
+
+namespace darm {
+
+class Function;
+class Value;
+class BasicBlock;
+class Instruction;
+class DominatorTree;
+class DominanceFrontier;
+
+/// Computes and caches per-value divergence for one function.
+class DivergenceAnalysis {
+public:
+  DivergenceAnalysis(Function &F, const DominatorTree &DT,
+                     const DominanceFrontier &DF);
+
+  /// True if lanes of a warp may disagree on \p V.
+  bool isDivergent(const Value *V) const {
+    return Divergent.count(const_cast<Value *>(V)) != 0;
+  }
+
+  /// True if \p BB ends in a conditional branch on a divergent condition.
+  bool hasDivergentBranch(const BasicBlock *BB) const;
+
+  /// Number of divergent conditional branches in the function.
+  unsigned countDivergentBranches() const;
+
+private:
+  void markDivergent(Value *V, std::set<Value *> &Worklist);
+
+  Function &F;
+  const DominatorTree &DT;
+  const DominanceFrontier &DF;
+  std::set<Value *> Divergent;
+};
+
+} // namespace darm
+
+#endif // DARM_ANALYSIS_DIVERGENCEANALYSIS_H

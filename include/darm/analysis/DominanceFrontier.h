@@ -1,0 +1,42 @@
+//===- DominanceFrontier.h - DF and iterated DF ------------------*- C++ -*-===//
+///
+/// \file
+/// Dominance frontiers (Cytron et al.) and iterated dominance frontiers,
+/// used for SSA repair (phi placement) and for sync-dependence in the
+/// divergence analysis.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_ANALYSIS_DOMINANCEFRONTIER_H
+#define DARM_ANALYSIS_DOMINANCEFRONTIER_H
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace darm {
+
+class BasicBlock;
+class Function;
+class DominatorTree;
+
+/// Dominance frontiers for every reachable block.
+class DominanceFrontier {
+public:
+  DominanceFrontier(Function &F, const DominatorTree &DT);
+
+  /// DF(BB): blocks where BB's dominance ends.
+  const std::set<BasicBlock *> &getFrontier(BasicBlock *BB) const;
+
+  /// Iterated dominance frontier of a set of definition blocks: the phi
+  /// placement set of classical SSA construction.
+  std::set<BasicBlock *>
+  computeIDF(const std::vector<BasicBlock *> &DefBlocks) const;
+
+private:
+  std::unordered_map<BasicBlock *, std::set<BasicBlock *>> Frontiers;
+  std::set<BasicBlock *> Empty;
+};
+
+} // namespace darm
+
+#endif // DARM_ANALYSIS_DOMINANCEFRONTIER_H

@@ -1,0 +1,91 @@
+//===- DominatorTree.h - (Post)dominator trees --------------------*- C++ -*-===//
+///
+/// \file
+/// Dominator and post-dominator trees computed with the iterative
+/// Cooper-Harvey-Kennedy algorithm ("A Simple, Fast Dominance Algorithm").
+/// One generic implementation serves both directions; the post-dominator
+/// tree uses a virtual root above all exit blocks, so functions with
+/// multiple returns are handled.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_ANALYSIS_DOMINATORTREE_H
+#define DARM_ANALYSIS_DOMINATORTREE_H
+
+#include <unordered_map>
+#include <vector>
+
+namespace darm {
+
+class BasicBlock;
+class Function;
+class Instruction;
+
+/// Base for both tree directions. Immutable snapshot: recompute after CFG
+/// mutation.
+class DominatorTreeBase {
+public:
+  DominatorTreeBase(Function &F, bool IsPostDom);
+
+  bool isPostDominator() const { return IsPostDom; }
+
+  /// True if \p BB participates in the CFG walked from the root(s).
+  /// (For post-dominance, blocks that cannot reach an exit are excluded.)
+  bool isReachable(const BasicBlock *BB) const {
+    return Index.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+
+  /// Immediate dominator, or null for the root (entry block, or an exit
+  /// block whose post-idom is the virtual root).
+  BasicBlock *getIDom(const BasicBlock *BB) const;
+
+  /// Reflexive dominance: A dom A.
+  bool dominates(const BasicBlock *A, const BasicBlock *B) const;
+  bool properlyDominates(const BasicBlock *A, const BasicBlock *B) const {
+    return A != B && dominates(A, B);
+  }
+
+  /// Instruction-level dominance (forward trees only): does the value
+  /// defined by \p Def dominate the program point of \p User?
+  bool dominates(const Instruction *Def, const Instruction *User) const;
+
+  /// Nearest common (post)dominator; null if it is the virtual root.
+  BasicBlock *findNearestCommonDominator(BasicBlock *A, BasicBlock *B) const;
+
+  /// Depth of \p BB below the (virtual) root; root children are level 1.
+  unsigned getLevel(const BasicBlock *BB) const;
+
+  /// Children of \p BB in the dominator tree.
+  std::vector<BasicBlock *> getChildren(const BasicBlock *BB) const;
+
+  /// All blocks in this tree, in the traversal's reverse post-order.
+  const std::vector<BasicBlock *> &getBlocksRPO() const { return RPO; }
+
+private:
+  unsigned indexOf(const BasicBlock *BB) const;
+  /// CHK intersect over RPO indices; kVirtualRoot flows up naturally.
+  unsigned intersect(unsigned A, unsigned B) const;
+
+  static constexpr unsigned kVirtualRoot = ~0u;
+
+  bool IsPostDom;
+  std::vector<BasicBlock *> RPO; // index -> block, in reverse post-order
+  std::unordered_map<BasicBlock *, unsigned> Index;
+  std::vector<unsigned> IDoms;  // index -> idom index (kVirtualRoot at top)
+  std::vector<unsigned> Levels; // index -> tree depth
+};
+
+/// Forward dominance rooted at the entry block.
+class DominatorTree : public DominatorTreeBase {
+public:
+  explicit DominatorTree(Function &F) : DominatorTreeBase(F, false) {}
+};
+
+/// Post-dominance rooted at a virtual exit above all return blocks.
+class PostDominatorTree : public DominatorTreeBase {
+public:
+  explicit PostDominatorTree(Function &F) : DominatorTreeBase(F, true) {}
+};
+
+} // namespace darm
+
+#endif // DARM_ANALYSIS_DOMINATORTREE_H

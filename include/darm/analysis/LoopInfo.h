@@ -1,0 +1,73 @@
+//===- LoopInfo.h - Natural loop detection ------------------------*- C++ -*-===//
+///
+/// \file
+/// Natural loops discovered from back edges (edges whose target dominates
+/// their source). Loops sharing a header are merged; nesting is derived
+/// from block containment.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_ANALYSIS_LOOPINFO_H
+#define DARM_ANALYSIS_LOOPINFO_H
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+namespace darm {
+
+class BasicBlock;
+class Function;
+class DominatorTree;
+
+/// One natural loop.
+class Loop {
+public:
+  BasicBlock *getHeader() const { return Header; }
+  Loop *getParent() const { return Parent; }
+  const std::set<BasicBlock *> &blocks() const { return Blocks; }
+  bool contains(const BasicBlock *BB) const {
+    return Blocks.count(const_cast<BasicBlock *>(BB)) != 0;
+  }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+  /// Loop nesting depth; outermost loops have depth 1.
+  unsigned getDepth() const {
+    unsigned D = 1;
+    for (Loop *P = Parent; P; P = P->Parent)
+      ++D;
+    return D;
+  }
+  /// Blocks inside the loop that branch back to the header.
+  std::vector<BasicBlock *> getLatches() const;
+
+private:
+  friend class LoopInfo;
+  BasicBlock *Header = nullptr;
+  Loop *Parent = nullptr;
+  std::set<BasicBlock *> Blocks;
+  std::vector<Loop *> SubLoops;
+};
+
+/// All natural loops of a function.
+class LoopInfo {
+public:
+  LoopInfo(Function &F, const DominatorTree &DT);
+
+  /// Innermost loop containing \p BB, or null.
+  Loop *getLoopFor(const BasicBlock *BB) const;
+  unsigned getLoopDepth(const BasicBlock *BB) const {
+    Loop *L = getLoopFor(BB);
+    return L ? L->getDepth() : 0;
+  }
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+  /// Outermost loops only.
+  std::vector<Loop *> topLevelLoops() const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::unordered_map<const BasicBlock *, Loop *> BlockMap;
+};
+
+} // namespace darm
+
+#endif // DARM_ANALYSIS_LOOPINFO_H

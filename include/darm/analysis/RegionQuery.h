@@ -1,0 +1,87 @@
+//===- RegionQuery.h - SESE region queries ------------------------*- C++ -*-===//
+///
+/// \file
+/// Region queries over a CFG snapshot, following the paper's Definitions
+/// 1-4 (§IV-A): a *region* (E, X) has all its blocks dominated by E and
+/// post-dominated by X, with control entering only at E and leaving only
+/// to X. A *simple* region additionally has exactly one entry edge and one
+/// exit edge. Unlike LLVM's RegionInfo we do not materialize a program
+/// structure tree; the melding pass only needs point queries, which we
+/// answer directly (and verifiably) from the CFG.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_ANALYSIS_REGIONQUERY_H
+#define DARM_ANALYSIS_REGIONQUERY_H
+
+#include <set>
+#include <vector>
+
+namespace darm {
+
+class BasicBlock;
+class Function;
+class DominatorTree;
+class PostDominatorTree;
+
+/// A region denoted (Entry, Exit); Exit is *outside* the region, as in
+/// LLVM. Invalid regions have null blocks.
+struct RegionDesc {
+  BasicBlock *Entry = nullptr;
+  BasicBlock *Exit = nullptr;
+
+  bool isValid() const { return Entry && Exit; }
+};
+
+/// Point queries about SESE regions. Holds references to dominator trees;
+/// recompute after any CFG mutation.
+class RegionQuery {
+public:
+  RegionQuery(Function &F, const DominatorTree &DT,
+              const PostDominatorTree &PDT)
+      : F(F), DT(DT), PDT(PDT) {}
+
+  /// Blocks reachable from \p Entry without passing through \p Exit
+  /// (excluding Exit). This is the region body when (Entry, Exit) is a
+  /// region.
+  std::set<BasicBlock *> collectBlocks(BasicBlock *Entry,
+                                       BasicBlock *Exit) const;
+
+  /// True if (Entry, Exit) satisfies the region conditions: the only edges
+  /// from outside the body target Entry, and the only edges leaving the
+  /// body target Exit.
+  bool isRegion(BasicBlock *Entry, BasicBlock *Exit) const;
+
+  /// True if (Entry, Exit) is a region with exactly one entry edge and one
+  /// exit edge (Definition 1, "simple region").
+  bool isSimpleRegion(BasicBlock *Entry, BasicBlock *Exit) const;
+
+  /// The smallest region with entry \p Entry: scans up Entry's
+  /// post-dominator chain for the nearest exit candidate that forms a
+  /// region. Returns an invalid descriptor if none exists.
+  RegionDesc getSmallestRegion(BasicBlock *Entry) const;
+
+  /// The largest region with entry \p Entry whose body stays inside
+  /// \p Within (a block set) and whose exit is not \p Barrier: used to
+  /// carve maximal SESE subgraphs out of a divergent region. Returns an
+  /// invalid descriptor if none exists.
+  RegionDesc getLargestRegionWithin(BasicBlock *Entry,
+                                    const std::set<BasicBlock *> &Within,
+                                    BasicBlock *Barrier) const;
+
+  /// Number of CFG edges from outside the body into \p Entry.
+  unsigned countEntryEdges(BasicBlock *Entry, BasicBlock *Exit) const;
+  /// Number of CFG edges from the body into \p Exit.
+  unsigned countExitEdges(BasicBlock *Entry, BasicBlock *Exit) const;
+
+  const DominatorTree &getDomTree() const { return DT; }
+  const PostDominatorTree &getPostDomTree() const { return PDT; }
+
+private:
+  Function &F;
+  const DominatorTree &DT;
+  const PostDominatorTree &PDT;
+};
+
+} // namespace darm
+
+#endif // DARM_ANALYSIS_REGIONQUERY_H

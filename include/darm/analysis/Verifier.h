@@ -1,0 +1,29 @@
+//===- Verifier.h - IR well-formedness checks ---------------------*- C++ -*-===//
+///
+/// \file
+/// Structural and SSA verification, run by tests and (in assert builds)
+/// after every transformation pass. A failure indicates a compiler bug.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_ANALYSIS_VERIFIER_H
+#define DARM_ANALYSIS_VERIFIER_H
+
+#include <string>
+
+namespace darm {
+
+class Function;
+class Module;
+
+/// Checks \p F: block/terminator structure, predecessor-successor list
+/// consistency, phi placement and pred coverage, operand type rules, and
+/// SSA dominance of every use. Returns true if well-formed; otherwise
+/// false with a diagnostic in \p Error (if given).
+bool verifyFunction(Function &F, std::string *Error = nullptr);
+
+/// Verifies every function in \p M.
+bool verifyModule(Module &M, std::string *Error = nullptr);
+
+} // namespace darm
+
+#endif // DARM_ANALYSIS_VERIFIER_H

@@ -1,0 +1,66 @@
+//===- DARMConfig.h - Pass configuration ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Tunables of the DARM pass. Defaults follow the paper (§V): melding
+/// profitability threshold 0.2, unpredication on.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CORE_DARMCONFIG_H
+#define DARM_CORE_DARMCONFIG_H
+
+namespace darm {
+
+/// Configuration for runDARM(). The Branch Fusion baseline of the paper's
+/// evaluation is DARM restricted to diamond-shaped regions
+/// (DiamondOnly = true, EnableRegionReplication = false), exactly how the
+/// paper itself implemented it (§VI-A).
+struct DARMConfig {
+  /// Minimum melding profitability (MP) for a subgraph pair to be melded
+  /// (Algorithm 1). Paper default 0.2; Fig. 12 sweeps 0.1-0.5.
+  double ProfitThreshold = 0.2;
+
+  /// Gap penalty for the instruction-level Smith-Waterman alignment:
+  /// unaligned instructions need guarding branches, so gaps carry cost.
+  double InstrGapPenalty = -0.5;
+
+  /// Gap penalty for the subgraph-level alignment.
+  double SubgraphGapPenalty = -0.1;
+
+  /// §IV-E unpredication: move unaligned instruction runs into
+  /// conditionally executed blocks. When false, unaligned instructions are
+  /// fully predicated (stores lowered to load+select+store).
+  bool EnableUnpredication = true;
+
+  /// Restrict melding to diamond-shaped if-then-else regions — the Branch
+  /// Fusion [5] baseline.
+  bool DiamondOnly = false;
+
+  /// §IV-C case 2: basic block vs. region melding via region replication.
+  bool EnableRegionReplication = true;
+
+  /// Minimum *absolute* latency saving for a candidate: restructuring a
+  /// region has fixed costs (exit-split branches, repair phis), so melds
+  /// that save less than this many cycles are skipped even when their
+  /// profitability ratio clears the threshold.
+  double MinAbsoluteSaving = 2.0;
+
+  /// Fix-point iteration bound for Algorithm 1.
+  unsigned MaxIterations = 32;
+
+  /// Verify the function after every melding iteration (debug aid).
+  bool VerifyEachStep = true;
+};
+
+/// Counters reported by runDARM().
+struct DARMStats {
+  unsigned Iterations = 0;
+  unsigned RegionsMelded = 0;
+  unsigned SubgraphPairsMelded = 0;
+  unsigned BlockRegionMelds = 0;
+  unsigned SelectsInserted = 0;
+  unsigned UnpredicationSplits = 0;
+};
+
+} // namespace darm
+
+#endif // DARM_CORE_DARMCONFIG_H

@@ -1,0 +1,32 @@
+//===- DARMPass.h - Control-flow melding driver --------------------*- C++ -*-===//
+///
+/// \file
+/// Algorithm 1 of the paper: scan for meldable divergent regions, simplify
+/// them, align their subgraph chains, meld every pair above the
+/// profitability threshold, clean up (simplifycfg + DCE + SSA repair),
+/// recompute analyses, and repeat to a fixed point.
+///
+/// The Branch Fusion baseline is runBranchFusion() — DARM restricted to
+/// diamond-shaped regions, exactly as the paper's own evaluation
+/// implemented it (§VI-A).
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CORE_DARMPASS_H
+#define DARM_CORE_DARMPASS_H
+
+#include "darm/core/DARMConfig.h"
+
+namespace darm {
+
+class Function;
+
+/// Runs DARM on \p F. Returns true if the function changed.
+bool runDARM(Function &F, const DARMConfig &Cfg = DARMConfig(),
+             DARMStats *Stats = nullptr);
+
+/// The Branch Fusion baseline [5]: melding limited to diamonds.
+bool runBranchFusion(Function &F, DARMStats *Stats = nullptr);
+
+} // namespace darm
+
+#endif // DARM_CORE_DARMPASS_H

@@ -1,0 +1,47 @@
+//===- InstructionAlign.h - Intra-block instruction alignment -------*- C++ -*-===//
+///
+/// \file
+/// Aligns the instruction sequences of two corresponding basic blocks
+/// (§IV-C "Instruction Alignment"). Compatible instructions — same opcode,
+/// same result type, matching payload (predicate / intrinsic / address
+/// space) — may meld into one instruction; higher-latency instructions are
+/// prioritized by latency-weighted scores, following Branch Fusion [5] and
+/// the compatibility criteria of Rocha et al. [21]. Phi nodes and
+/// terminators are excluded (handled structurally by the melder).
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CORE_INSTRUCTIONALIGN_H
+#define DARM_CORE_INSTRUCTIONALIGN_H
+
+#include "darm/core/SequenceAlign.h"
+
+#include <vector>
+
+namespace darm {
+
+class BasicBlock;
+class Instruction;
+
+/// One aligned position: an I-I match (both set) or an I-G gap.
+struct InstrAlignEntry {
+  Instruction *TrueInst = nullptr;  ///< from the true-path block
+  Instruction *FalseInst = nullptr; ///< from the false-path block
+
+  bool isMatch() const { return TrueInst && FalseInst; }
+};
+
+/// True if \p A and \p B may meld into a single instruction.
+bool areInstructionsCompatible(const Instruction *A, const Instruction *B);
+
+/// The alignable body of a block: everything except phis and the
+/// terminator.
+std::vector<Instruction *> alignableInstructions(BasicBlock *BB);
+
+/// Aligns the bodies of \p TrueBB and \p FalseBB. \p GapPenalty <= 0.
+std::vector<InstrAlignEntry> alignInstructions(BasicBlock *TrueBB,
+                                               BasicBlock *FalseBB,
+                                               double GapPenalty);
+
+} // namespace darm
+
+#endif // DARM_CORE_INSTRUCTIONALIGN_H

@@ -1,0 +1,115 @@
+//===- MeldRegionAnalysis.h - Meldable divergent regions -----------*- C++ -*-===//
+///
+/// \file
+/// The analysis half of DARM (§IV-B/C): detection of meldable divergent
+/// regions (Definition 5), decomposition of their true/false paths into
+/// ordered SESE subgraph chains (Definitions 3/7), structural isomorphism
+/// matching, and meld-candidate construction per Definition 6.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CORE_MELDREGIONANALYSIS_H
+#define DARM_CORE_MELDREGIONANALYSIS_H
+
+#include "darm/core/DARMConfig.h"
+
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace darm {
+
+class BasicBlock;
+class Value;
+class RegionQuery;
+class DivergenceAnalysis;
+class Function;
+
+/// One SESE subgraph of a divergent path (Definition 3): either a single
+/// basic block with one predecessor/successor, or a simple region's body.
+struct SESESubgraph {
+  BasicBlock *Entry = nullptr;      ///< first block
+  BasicBlock *LastBlock = nullptr;  ///< source of the unique exit edge
+  BasicBlock *ExitTarget = nullptr; ///< unique successor outside the body
+  std::vector<BasicBlock *> Blocks; ///< body in DFS pre-order
+
+  bool isSingleBlock() const { return Blocks.size() == 1; }
+  bool contains(const BasicBlock *BB) const;
+  /// True if any instruction is convergent (barrier/shfl): such subgraphs
+  /// must not be melded (§IV-C deadlock note).
+  bool hasConvergentOps() const;
+  /// True if the body has no internal back edges.
+  bool isAcyclic() const;
+  /// Sum of block latencies across the body.
+  unsigned totalLatency() const;
+};
+
+/// A meldable divergent region (Definition 5) with its two subgraph
+/// chains.
+struct MeldableRegion {
+  BasicBlock *Entry = nullptr; ///< block ending in the divergent branch
+  BasicBlock *Exit = nullptr;  ///< region exit X
+  Value *Cond = nullptr;       ///< divergent branch condition C
+  std::vector<SESESubgraph> TrueChain;
+  std::vector<SESESubgraph> FalseChain;
+};
+
+/// How a pair of subgraphs can meld (Definition 6).
+enum class MeldKind {
+  None,
+  BlockBlock,   ///< case 3: two single blocks
+  RegionRegion, ///< case 1: isomorphic multi-block subgraphs
+  BlockRegion   ///< case 2: single block into a region (replication)
+};
+
+/// A profitable-to-check pairing of one true-path and one false-path
+/// subgraph.
+struct MeldCandidate {
+  MeldKind Kind = MeldKind::None;
+  const SESESubgraph *TrueSG = nullptr;
+  const SESESubgraph *FalseSG = nullptr;
+  /// Corresponding blocks (true-side, false-side), DFS pre-order. For
+  /// BlockRegion the single block pairs with BestMatch and the list has
+  /// one entry.
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> Mapping;
+  /// BlockRegion only: the region-side block the single block melds into.
+  BasicBlock *BestMatch = nullptr;
+  /// BlockRegion only: true if the single block is on the true path.
+  bool SingleIsTrue = false;
+  double Profit = 0.0;
+};
+
+/// Detects the meldable divergent region whose entry is \p BB, or nullopt.
+/// Chains are left empty; call buildChains afterwards (possibly after
+/// simplifyRegion). Requires up-to-date analyses.
+std::optional<MeldableRegion> detectMeldableRegion(BasicBlock *BB,
+                                                   const RegionQuery &RQ,
+                                                   const DivergenceAnalysis &DA);
+
+/// Region simplification (Definition 3/4): inserts merge blocks so that
+/// every SESE subgraph on both paths has exactly one exit edge. Returns
+/// true if the CFG changed (analyses must then be recomputed).
+bool simplifyRegion(Function &F, MeldableRegion &MR, const RegionQuery &RQ);
+
+/// Decomposes both divergent paths into SESE subgraph chains. Returns
+/// false if a path is too unstructured to decompose (region skipped).
+bool buildChains(MeldableRegion &MR, const RegionQuery &RQ);
+
+/// Synchronized-DFS structural isomorphism (Definition 6 case 1); returns
+/// the block correspondence in pre-order, or nullopt.
+std::optional<std::vector<std::pair<BasicBlock *, BasicBlock *>>>
+matchSubgraphStructure(const SESESubgraph &T, const SESESubgraph &F);
+
+/// Classifies a subgraph pair per Definition 6 and computes its melding
+/// profitability.
+MeldCandidate analyzeMeldability(const SESESubgraph &T, const SESESubgraph &F,
+                                 const DARMConfig &Cfg);
+
+/// Aligns the two chains with Smith-Waterman scored by MP_S and returns
+/// the candidates whose profitability clears the threshold, in chain
+/// order (Definition 7).
+std::vector<MeldCandidate> alignChains(const MeldableRegion &MR,
+                                       const DARMConfig &Cfg);
+
+} // namespace darm
+
+#endif // DARM_CORE_MELDREGIONANALYSIS_H

@@ -1,0 +1,37 @@
+//===- Melder.h - Subgraph melding code generation ------------------*- C++ -*-===//
+///
+/// \file
+/// The code-generation half of DARM (§IV-D/E/F, Algorithm 2): given a
+/// meld candidate inside a divergent region with branch condition C, it
+/// clones aligned instructions once, wires operands via the operand map
+/// (inserting `select C, vT, vF` where the sides disagree), copies phi
+/// nodes, splits the exit branches into the B'T/B'F blocks so successor
+/// phis can distinguish the two paths, rewires the region, deletes the
+/// original subgraphs, and finally applies unpredication (or full
+/// predication with store lowering). Region replication (case 2) steers
+/// the single block's lanes through its host position by concretizing the
+/// replicated branch conditions.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CORE_MELDER_H
+#define DARM_CORE_MELDER_H
+
+#include "darm/core/DARMConfig.h"
+#include "darm/core/MeldRegionAnalysis.h"
+
+namespace darm {
+
+class Function;
+class Value;
+
+/// Melds one candidate pair. The CFG must be in the state the candidate
+/// was computed on. On return the original subgraph blocks are deleted and
+/// the function may violate SSA dominance (run repairFunctionSSA before
+/// verifying). Returns true on success (currently always succeeds for
+/// candidates produced by analyzeMeldability).
+bool meldCandidate(Function &F, Value *Cond, const MeldCandidate &Cand,
+                   const DARMConfig &Cfg, DARMStats *Stats = nullptr);
+
+} // namespace darm
+
+#endif // DARM_CORE_MELDER_H

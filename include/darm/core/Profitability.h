@@ -1,0 +1,56 @@
+//===- Profitability.h - Melding profitability (MP_B / MP_S) -------*- C++ -*-===//
+///
+/// \file
+/// The compile-time melding-profitability metric of §IV-C: the estimated
+/// fraction of thread cycles saved by melding two blocks or subgraphs,
+/// assuming best-case melding of all common instructions.
+///
+///   MP_B(b1,b2) = Σ_i min(freq(i,b1), freq(i,b2)) · w_i
+///                 ────────────────────────────────────
+///                        lat(b1) + lat(b2)
+///
+///   MP_S(S1,S2) = Σ_(b1,b2)∈O MP_B(b1,b2)·(lat(b1)+lat(b2))
+///                 ─────────────────────────────────────────
+///                        Σ_(b1,b2)∈O lat(b1)+lat(b2)
+///
+/// Two blocks with identical opcode-frequency profiles score 0.5.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CORE_PROFITABILITY_H
+#define DARM_CORE_PROFITABILITY_H
+
+#include <vector>
+
+namespace darm {
+
+class BasicBlock;
+
+/// MP_B of two basic blocks. Instruction "types" are keyed by opcode plus
+/// the payload that affects meldability (predicate, address space,
+/// intrinsic id), matching areInstructionsCompatible.
+double blockMeldProfit(const BasicBlock &B1, const BasicBlock &B2);
+
+/// MP_B refined with melding overhead: cycles saved by the *actual*
+/// instruction alignment, minus the select instructions needed where the
+/// two sides' operands differ (§IV-C notes the alignment "uses a gap
+/// penalty for unaligned instructions because extra branches need to be
+/// generated"; operand-mismatch selects are the same class of cost).
+/// Negative when melding would insert more code than it removes.
+/// \p AbsSaving (optional) receives the absolute saved latency.
+double blockMeldProfitWithOverhead(BasicBlock &B1, BasicBlock &B2,
+                                   double *AbsSaving = nullptr);
+
+/// MP_S over a block correspondence \p Mapping (pairs of corresponding
+/// blocks of two isomorphic subgraphs).
+double subgraphMeldProfit(
+    const std::vector<std::pair<BasicBlock *, BasicBlock *>> &Mapping);
+
+/// MP_S built from the overhead-aware per-block metric; this is what the
+/// pass uses to accept or reject candidates.
+double subgraphMeldProfitWithOverhead(
+    const std::vector<std::pair<BasicBlock *, BasicBlock *>> &Mapping,
+    double *AbsSaving = nullptr);
+
+} // namespace darm
+
+#endif // DARM_CORE_PROFITABILITY_H

@@ -1,0 +1,51 @@
+//===- SequenceAlign.h - Smith-Waterman sequence alignment ---------*- C++ -*-===//
+///
+/// \file
+/// The Smith-Waterman local alignment algorithm [19], used twice by DARM
+/// (§IV-C): once to align the SESE subgraph sequences of the two divergent
+/// paths (scored by melding profitability MP_S) and once to align the
+/// instruction sequences of corresponding basic blocks (scored by latency).
+/// Elements outside the optimal local alignment are reported as gaps, so
+/// the result always covers both input sequences completely.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CORE_SEQUENCEALIGN_H
+#define DARM_CORE_SEQUENCEALIGN_H
+
+#include <functional>
+#include <vector>
+
+namespace darm {
+
+/// One entry of an alignment: indices into the two sequences, or -1 on the
+/// side that takes a gap.
+struct AlignEntry {
+  int A; ///< index into sequence A, or -1 (gap)
+  int B; ///< index into sequence B, or -1 (gap)
+
+  bool isMatch() const { return A >= 0 && B >= 0; }
+  bool operator==(const AlignEntry &O) const { return A == O.A && B == O.B; }
+};
+
+/// Computes a Smith-Waterman local alignment of sequences of length
+/// \p LenA and \p LenB. \p Score(i, j) returns the (possibly negative)
+/// benefit of aligning A[i] with B[j]; incompatible pairs should return a
+/// large negative value. \p GapPenalty (<= 0) is charged per skipped
+/// element inside the aligned window.
+///
+/// The returned list covers every index of both sequences exactly once, in
+/// order: indices before/after the optimal local window appear as gaps.
+std::vector<AlignEntry>
+smithWaterman(unsigned LenA, unsigned LenB,
+              const std::function<double(unsigned, unsigned)> &Score,
+              double GapPenalty);
+
+/// Score of the best local alignment window (the maximum DP cell), without
+/// the traceback. Useful for profitability queries.
+double smithWatermanScore(unsigned LenA, unsigned LenB,
+                          const std::function<double(unsigned, unsigned)> &Score,
+                          double GapPenalty);
+
+} // namespace darm
+
+#endif // DARM_CORE_SEQUENCEALIGN_H

@@ -1,0 +1,24 @@
+//===- TailMerge.h - Tail merging baseline --------------------------*- C++ -*-===//
+///
+/// \file
+/// The classical tail-merging baseline of Table I [4]: when both arms of
+/// an if-then-else are single blocks with *identical* instruction
+/// sequences (same opcodes, payloads and operands, modulo the arms' own
+/// local definitions), the duplicate arm is deleted and both edges fall
+/// through one copy. Unlike DARM it cannot handle distinct instruction
+/// sequences (no selects) or multi-block control flow.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CORE_TAILMERGE_H
+#define DARM_CORE_TAILMERGE_H
+
+namespace darm {
+
+class Function;
+
+/// Runs tail merging to a fixed point. Returns true on change.
+bool runTailMerge(Function &F);
+
+} // namespace darm
+
+#endif // DARM_CORE_TAILMERGE_H

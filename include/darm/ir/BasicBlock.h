@@ -1,0 +1,119 @@
+//===- BasicBlock.h - CFG node ----------------------------------*- C++ -*-===//
+///
+/// \file
+/// A basic block: a straight-line instruction sequence terminated by a
+/// branch or return. Predecessor lists are maintained automatically when
+/// terminators are inserted, removed or retargeted.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_BASICBLOCK_H
+#define DARM_IR_BASICBLOCK_H
+
+#include "darm/ir/Instruction.h"
+
+#include <list>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class Function;
+
+/// A node of the control-flow graph.
+class BasicBlock {
+public:
+  using iterator = std::list<Instruction *>::iterator;
+  using const_iterator = std::list<Instruction *>::const_iterator;
+
+  BasicBlock(Function *Parent, const std::string &Name);
+  ~BasicBlock();
+
+  BasicBlock(const BasicBlock &) = delete;
+  BasicBlock &operator=(const BasicBlock &) = delete;
+
+  Function *getParent() const { return Parent; }
+  const std::string &getName() const { return Name; }
+  void setName(const std::string &N) { Name = N; }
+
+  iterator begin() { return Insts.begin(); }
+  iterator end() { return Insts.end(); }
+  const_iterator begin() const { return Insts.begin(); }
+  const_iterator end() const { return Insts.end(); }
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+
+  Instruction *front() const { return Insts.front(); }
+  Instruction *back() const { return Insts.back(); }
+
+  /// Returns the block terminator, or null if the block is not yet
+  /// terminated (legal only mid-construction).
+  Instruction *getTerminator() const {
+    if (Insts.empty() || !Insts.back()->isTerminator())
+      return nullptr;
+    return Insts.back();
+  }
+
+  /// Position of the first non-phi instruction.
+  iterator getFirstNonPhi();
+
+  /// The phi nodes leading the block.
+  std::vector<PhiInst *> phis() const;
+
+  /// Inserts \p I before \p Pos, taking ownership. If \p I is a terminator
+  /// it must be placed at the end, and its CFG edges are registered.
+  void insert(iterator Pos, Instruction *I);
+  /// Appends \p I at the end of the block.
+  void push_back(Instruction *I) { insert(end(), I); }
+  /// Inserts \p I before the terminator (or at the end if unterminated).
+  void insertBeforeTerminator(Instruction *I);
+
+  /// Unlinks \p I without deleting it (CFG edges of terminators are
+  /// unregistered).
+  void remove(Instruction *I);
+  /// Unlinks and deletes \p I.
+  void erase(Instruction *I);
+
+  /// Predecessor blocks. May contain duplicates when a conditional branch
+  /// targets the same block on both edges.
+  const std::vector<BasicBlock *> &predecessors() const { return Preds; }
+  unsigned getNumPredecessors() const {
+    return static_cast<unsigned>(Preds.size());
+  }
+  /// The unique predecessor, or null if there are zero or several distinct
+  /// predecessors.
+  BasicBlock *getSinglePredecessor() const;
+
+  /// Successor blocks read off the terminator (empty if unterminated).
+  std::vector<BasicBlock *> successors() const;
+  unsigned getNumSuccessors() const;
+  /// The unique successor, or null.
+  BasicBlock *getSingleSuccessor() const;
+  bool isSuccessor(const BasicBlock *BB) const;
+
+  /// Removes all phi entries coming from \p Pred (called when the edge
+  /// Pred->this is deleted).
+  void removePhiEntriesFor(BasicBlock *Pred);
+  /// Renames the incoming block \p Old to \p New in all phis.
+  void replacePhiIncomingBlock(BasicBlock *Old, BasicBlock *New);
+
+  /// Splits this block before \p Pos: instructions from \p Pos onward move
+  /// into a new block named \p NewName, this block gets an unconditional
+  /// branch to it, and phi/CFG bookkeeping is updated. Returns the new
+  /// block (inserted after this one in the function layout).
+  BasicBlock *splitBefore(iterator Pos, const std::string &NewName);
+
+private:
+  friend class Instruction;
+
+  void addPredecessor(BasicBlock *P) { Preds.push_back(P); }
+  void removePredecessor(BasicBlock *P);
+
+  Function *Parent;
+  std::string Name;
+  std::list<Instruction *> Insts;
+  std::vector<BasicBlock *> Preds;
+};
+
+} // namespace darm
+
+#endif // DARM_IR_BASICBLOCK_H

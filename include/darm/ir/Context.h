@@ -1,0 +1,68 @@
+//===- Context.h - Ownership of types and constants -------------*- C++ -*-===//
+///
+/// \file
+/// The Context owns and interns all Types and Constants, mirroring
+/// llvm::LLVMContext. Every Module is created against a Context, and values
+/// from different contexts must never mix.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_CONTEXT_H
+#define DARM_IR_CONTEXT_H
+
+#include "darm/ir/Type.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace darm {
+
+class ConstantInt;
+class ConstantFloat;
+class UndefValue;
+
+/// Owns types and uniqued constants.
+class Context {
+public:
+  Context();
+  ~Context();
+
+  Context(const Context &) = delete;
+  Context &operator=(const Context &) = delete;
+
+  /// Primitive type accessors. Each returns the unique instance.
+  Type *getVoidTy() { return VoidTy.get(); }
+  Type *getInt1Ty() { return Int1Ty.get(); }
+  Type *getInt32Ty() { return Int32Ty.get(); }
+  Type *getInt64Ty() { return Int64Ty.get(); }
+  Type *getFloatTy() { return FloatTy.get(); }
+
+  /// Returns the unique pointer type to \p Pointee in \p AS.
+  Type *getPointerTy(Type *Pointee, AddressSpace AS);
+
+  /// Returns the unique integer constant of \p Ty with value \p V
+  /// (sign-extended storage; i1 uses 0/1).
+  ConstantInt *getConstantInt(Type *Ty, int64_t V);
+  /// Shorthand for i32 constants, the common case in kernels.
+  ConstantInt *getInt32(int32_t V);
+  /// Shorthand for i1 constants.
+  ConstantInt *getBool(bool V);
+
+  /// Returns the unique f32 constant with value \p V.
+  ConstantFloat *getConstantFloat(float V);
+
+  /// Returns the unique undef value of type \p Ty.
+  UndefValue *getUndef(Type *Ty);
+
+private:
+  std::unique_ptr<Type> VoidTy, Int1Ty, Int32Ty, Int64Ty, FloatTy;
+  std::vector<std::unique_ptr<Type>> PointerTys;
+  std::map<std::pair<Type *, int64_t>, std::unique_ptr<ConstantInt>> IntConsts;
+  std::map<uint32_t, std::unique_ptr<ConstantFloat>> FloatConsts;
+  std::map<Type *, std::unique_ptr<UndefValue>> Undefs;
+};
+
+} // namespace darm
+
+#endif // DARM_IR_CONTEXT_H

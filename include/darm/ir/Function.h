@@ -1,0 +1,114 @@
+//===- Function.h - GPU kernel function --------------------------*- C++ -*-===//
+///
+/// \file
+/// A Function models one SPMD GPU kernel: an argument list, per-block
+/// shared-memory arrays, and a CFG of basic blocks whose first block is the
+/// entry. Functions own their blocks and uniquify value/block names so the
+/// textual form round-trips through the parser.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_FUNCTION_H
+#define DARM_IR_FUNCTION_H
+
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Value.h"
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace darm {
+
+class Context;
+class Module;
+
+/// One GPU kernel.
+class Function {
+public:
+  using ParamList = std::vector<std::pair<Type *, std::string>>;
+  using block_iterator = std::list<BasicBlock *>::iterator;
+  using const_block_iterator = std::list<BasicBlock *>::const_iterator;
+
+  Function(Module *Parent, const std::string &Name, Type *RetTy,
+           const ParamList &Params);
+  ~Function();
+
+  Function(const Function &) = delete;
+  Function &operator=(const Function &) = delete;
+
+  Module *getParent() const { return Parent; }
+  Context &getContext() const;
+  const std::string &getName() const { return Name; }
+  Type *getReturnType() const { return RetTy; }
+
+  unsigned getNumArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *getArg(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+  const std::vector<std::unique_ptr<Argument>> &args() const { return Args; }
+
+  /// Declares a shared-memory (LDS) array of \p NumElements elements of
+  /// \p ElemTy; returns its pointer value.
+  SharedArray *createSharedArray(Type *ElemTy, unsigned NumElements,
+                                 const std::string &Name);
+  const std::vector<std::unique_ptr<SharedArray>> &sharedArrays() const {
+    return Shareds;
+  }
+  /// Total LDS bytes this kernel statically allocates per block.
+  unsigned getSharedMemoryBytes() const;
+
+  /// Creates an (empty) block appended to the layout, or inserted before
+  /// \p InsertBefore when given.
+  BasicBlock *createBlock(const std::string &Name,
+                          BasicBlock *InsertBefore = nullptr);
+  /// Unlinks and deletes \p BB. The block must have no predecessors and
+  /// its values no remaining uses.
+  void eraseBlock(BasicBlock *BB);
+  /// Moves \p BB to just before \p Before in the layout (printing order
+  /// only; no semantic effect).
+  void moveBlockBefore(BasicBlock *BB, BasicBlock *Before);
+
+  BasicBlock &getEntryBlock() const {
+    assert(!Blocks.empty() && "function has no blocks");
+    return *Blocks.front();
+  }
+
+  block_iterator begin() { return Blocks.begin(); }
+  block_iterator end() { return Blocks.end(); }
+  const_block_iterator begin() const { return Blocks.begin(); }
+  const_block_iterator end() const { return Blocks.end(); }
+  size_t getNumBlocks() const { return Blocks.size(); }
+  bool empty() const { return Blocks.empty(); }
+
+  /// Blocks in layout order as a vector (convenient for analyses).
+  std::vector<BasicBlock *> getBlockVector() const {
+    return {Blocks.begin(), Blocks.end()};
+  }
+
+  /// Returns a function-unique name derived from \p Base ("x" -> "x.1" on
+  /// collision). Registers the result.
+  std::string uniqueName(const std::string &Base);
+
+  /// Finds a block by name (linear scan; for tests and the parser).
+  BasicBlock *getBlockByName(const std::string &N) const;
+
+  /// Counts all instructions across all blocks.
+  size_t getInstructionCount() const;
+
+private:
+  Module *Parent;
+  std::string Name;
+  Type *RetTy;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<SharedArray>> Shareds;
+  std::list<BasicBlock *> Blocks;
+  std::unordered_set<std::string> UsedNames;
+  unsigned NextId = 0;
+};
+
+} // namespace darm
+
+#endif // DARM_IR_FUNCTION_H

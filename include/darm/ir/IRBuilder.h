@@ -1,0 +1,177 @@
+//===- IRBuilder.h - Convenience IR construction -----------------*- C++ -*-===//
+///
+/// \file
+/// IRBuilder inserts instructions at a tracked insertion point and gives
+/// every value-producing instruction a function-unique name, so freshly
+/// built IR always round-trips through the printer/parser.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_IRBUILDER_H
+#define DARM_IR_IRBUILDER_H
+
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace darm {
+
+/// Builds instructions at an insertion point.
+class IRBuilder {
+public:
+  explicit IRBuilder(Context &Ctx) : Ctx(Ctx) {}
+  IRBuilder(Context &Ctx, BasicBlock *BB) : Ctx(Ctx) { setInsertPoint(BB); }
+
+  Context &getContext() const { return Ctx; }
+
+  /// Inserts at the end of \p BB.
+  void setInsertPoint(BasicBlock *BB) {
+    Block = BB;
+    Pos = BB->end();
+  }
+  /// Inserts immediately before \p I.
+  void setInsertPoint(Instruction *I) {
+    Block = I->getParent();
+    Pos = I->getIterator();
+  }
+  BasicBlock *getInsertBlock() const { return Block; }
+
+  // -- Constants ----------------------------------------------------------
+  ConstantInt *getInt32(int32_t V) { return Ctx.getInt32(V); }
+  ConstantInt *getInt64(int64_t V) {
+    return Ctx.getConstantInt(Ctx.getInt64Ty(), V);
+  }
+  ConstantInt *getBool(bool V) { return Ctx.getBool(V); }
+  ConstantFloat *getFloat(float V) { return Ctx.getConstantFloat(V); }
+
+  // -- Arithmetic ----------------------------------------------------------
+  Value *createBinary(Opcode Op, Value *L, Value *R,
+                      const std::string &Name = "");
+  Value *createAdd(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::Add, L, R, Name);
+  }
+  Value *createSub(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::Sub, L, R, Name);
+  }
+  Value *createMul(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::Mul, L, R, Name);
+  }
+  Value *createSDiv(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::SDiv, L, R, Name);
+  }
+  Value *createSRem(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::SRem, L, R, Name);
+  }
+  Value *createUDiv(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::UDiv, L, R, Name);
+  }
+  Value *createURem(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::URem, L, R, Name);
+  }
+  Value *createAnd(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::And, L, R, Name);
+  }
+  Value *createOr(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::Or, L, R, Name);
+  }
+  Value *createXor(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::Xor, L, R, Name);
+  }
+  Value *createShl(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::Shl, L, R, Name);
+  }
+  Value *createLShr(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::LShr, L, R, Name);
+  }
+  Value *createAShr(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::AShr, L, R, Name);
+  }
+  Value *createFAdd(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::FAdd, L, R, Name);
+  }
+  Value *createFSub(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::FSub, L, R, Name);
+  }
+  Value *createFMul(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::FMul, L, R, Name);
+  }
+  Value *createFDiv(Value *L, Value *R, const std::string &Name = "") {
+    return createBinary(Opcode::FDiv, L, R, Name);
+  }
+
+  // -- Comparisons ---------------------------------------------------------
+  Value *createICmp(ICmpPred Pred, Value *L, Value *R,
+                    const std::string &Name = "");
+  Value *createFCmp(FCmpPred Pred, Value *L, Value *R,
+                    const std::string &Name = "");
+
+  // -- Casts ----------------------------------------------------------------
+  Value *createCast(Opcode Op, Value *V, Type *DestTy,
+                    const std::string &Name = "");
+  Value *createZExt(Value *V, Type *DestTy, const std::string &Name = "") {
+    return createCast(Opcode::ZExt, V, DestTy, Name);
+  }
+  Value *createSExt(Value *V, Type *DestTy, const std::string &Name = "") {
+    return createCast(Opcode::SExt, V, DestTy, Name);
+  }
+  Value *createTrunc(Value *V, Type *DestTy, const std::string &Name = "") {
+    return createCast(Opcode::Trunc, V, DestTy, Name);
+  }
+
+  // -- Memory ----------------------------------------------------------------
+  Value *createLoad(Value *Ptr, const std::string &Name = "");
+  Instruction *createStore(Value *V, Value *Ptr);
+  Value *createGep(Value *Ptr, Value *Index, const std::string &Name = "");
+  /// load(gep(Ptr, Index)) in one call.
+  Value *createLoadAt(Value *Ptr, Value *Index, const std::string &Name = "");
+  /// store(V, gep(Ptr, Index)) in one call.
+  void createStoreAt(Value *V, Value *Ptr, Value *Index);
+
+  // -- Misc -------------------------------------------------------------------
+  Value *createSelect(Value *Cond, Value *TrueV, Value *FalseV,
+                      const std::string &Name = "");
+  PhiInst *createPhi(Type *Ty, const std::string &Name = "");
+  Value *createCall(Intrinsic IID, const std::vector<Value *> &Args = {},
+                    const std::string &Name = "");
+  Value *createThreadIdX(const std::string &Name = "tid") {
+    return createCall(Intrinsic::TidX, {}, Name);
+  }
+  Value *createBlockDimX(const std::string &Name = "ntid") {
+    return createCall(Intrinsic::NTidX, {}, Name);
+  }
+  Value *createBlockIdX(const std::string &Name = "ctaid") {
+    return createCall(Intrinsic::CTAidX, {}, Name);
+  }
+  Value *createGridDimX(const std::string &Name = "nctaid") {
+    return createCall(Intrinsic::NCTAidX, {}, Name);
+  }
+  void createBarrier() { createCall(Intrinsic::Barrier); }
+
+  // -- Terminators -------------------------------------------------------------
+  Instruction *createBr(BasicBlock *Target);
+  Instruction *createCondBr(Value *Cond, BasicBlock *TrueBB,
+                            BasicBlock *FalseBB);
+  Instruction *createRet(Value *V = nullptr);
+
+  /// Inserts an already-built instruction at the insertion point, naming it
+  /// if it produces a value.
+  Instruction *insert(Instruction *I, const std::string &Name = "");
+
+  /// Names the *next* value-producing instruction created through this
+  /// builder (used by the parser, which knows the name before it knows
+  /// the instruction). One-shot.
+  void setNextName(const std::string &Name) { NextName = Name; }
+
+private:
+  Context &Ctx;
+  BasicBlock *Block = nullptr;
+  BasicBlock::iterator Pos{};
+  std::string NextName;
+};
+
+} // namespace darm
+
+#endif // DARM_IR_IRBUILDER_H

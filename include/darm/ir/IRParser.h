@@ -1,0 +1,32 @@
+//===- IRParser.h - Textual IR parsing ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Parses the DARM textual IR syntax emitted by IRPrinter. Parsing is
+/// fallible (malformed input is an environment error, not a bug): failures
+/// return null and fill an error string with line information.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_IRPARSER_H
+#define DARM_IR_IRPARSER_H
+
+#include <memory>
+#include <string>
+
+namespace darm {
+
+class Context;
+class Module;
+class Function;
+
+/// Parses a module (a sequence of `func` definitions) from \p Text.
+/// Returns null and sets \p Error on failure.
+std::unique_ptr<Module> parseModule(Context &Ctx, const std::string &Text,
+                                    std::string *Error = nullptr);
+
+/// Parses a single function into \p M. Returns null on failure.
+Function *parseFunctionInto(Module &M, const std::string &Text,
+                            std::string *Error = nullptr);
+
+} // namespace darm
+
+#endif // DARM_IR_IRPARSER_H

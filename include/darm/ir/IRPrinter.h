@@ -1,0 +1,43 @@
+//===- IRPrinter.h - Textual IR emission -------------------------*- C++ -*-===//
+///
+/// \file
+/// Renders modules/functions/instructions in the DARM textual IR syntax.
+/// The output of printFunction parses back with IRParser to an isomorphic
+/// function (round-trip property covered by tests).
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_IRPRINTER_H
+#define DARM_IR_IRPRINTER_H
+
+#include <string>
+
+namespace darm {
+
+class Module;
+class Function;
+class BasicBlock;
+class Instruction;
+class Value;
+
+/// Renders an operand reference ("%x", "@buf", "42", "true", "undef").
+std::string printOperand(const Value *V);
+
+/// Renders one instruction (no trailing newline).
+std::string printInstruction(const Instruction &I);
+
+/// Renders one basic block including its label.
+std::string printBlock(const BasicBlock &BB);
+
+/// Renders a whole function.
+std::string printFunction(const Function &F);
+
+/// Renders every function in the module.
+std::string printModule(const Module &M);
+
+/// Renders the function's CFG in Graphviz DOT format, one node per block
+/// with its instructions; divergent-branch edges labeled T/F.
+std::string printDot(const Function &F);
+
+} // namespace darm
+
+#endif // DARM_IR_IRPRINTER_H

@@ -1,0 +1,567 @@
+//===- Instruction.h - IR instruction hierarchy ------------------*- C++ -*-===//
+///
+/// \file
+/// The instruction set of the DARM IR: the LLVM-IR subset that GPGPU
+/// kernels compiled by the paper's pipeline exercise. Notable semantic
+/// choice: `sdiv`/`srem`/`udiv`/`urem` by zero are *defined* to yield 0
+/// (instead of UB) so that full predication may hoist them across control
+/// flow without changing program behaviour; the simulator implements the
+/// same rule.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_INSTRUCTION_H
+#define DARM_IR_INSTRUCTION_H
+
+#include "darm/ir/Value.h"
+#include "darm/support/Casting.h"
+
+#include <list>
+
+namespace darm {
+
+class BasicBlock;
+class Function;
+
+/// Instruction opcodes. Kept in sync with Value::Kind's instruction range.
+enum class Opcode : uint8_t {
+  // Terminators.
+  Br,
+  CondBr,
+  Ret,
+  // Integer arithmetic and logic.
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SRem,
+  UDiv,
+  URem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  // Floating point arithmetic.
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  // Comparisons.
+  ICmp,
+  FCmp,
+  // Casts.
+  ZExt,
+  SExt,
+  Trunc,
+  SIToFP,
+  FPToSI,
+  // Memory.
+  Load,
+  Store,
+  Gep,
+  // Other.
+  Phi,
+  Select,
+  Call,
+  NumOpcodes
+};
+
+/// Returns the mnemonic for \p Op ("add", "condbr", ...).
+const char *getOpcodeName(Opcode Op);
+
+/// Integer comparison predicates.
+enum class ICmpPred : uint8_t { EQ, NE, SLT, SLE, SGT, SGE, ULT, ULE, UGT, UGE };
+/// Ordered float comparison predicates.
+enum class FCmpPred : uint8_t { OEQ, ONE, OLT, OLE, OGT, OGE };
+
+const char *getPredName(ICmpPred P);
+const char *getPredName(FCmpPred P);
+
+/// GPU intrinsics callable via the Call opcode.
+enum class Intrinsic : uint8_t {
+  TidX,    ///< thread index within the block (i32)
+  NTidX,   ///< block dimension (i32)
+  CTAidX,  ///< block index within the grid (i32)
+  NCTAidX, ///< grid dimension (i32)
+  LaneId,  ///< lane index within the warp (i32)
+  Barrier, ///< __syncthreads(): block-wide barrier (void)
+  ShflSync ///< warp shuffle (i32 value, i32 lane) -> i32; convergent
+};
+
+const char *getIntrinsicName(Intrinsic IID);
+
+/// Base class of all instructions.
+class Instruction : public User {
+public:
+  using BlockPos = std::list<Instruction *>::iterator;
+
+  Opcode getOpcode() const {
+    return static_cast<Opcode>(static_cast<uint8_t>(getValueKind()) -
+                               static_cast<uint8_t>(Kind::InstFirst));
+  }
+  const char *getOpcodeName() const { return darm::getOpcodeName(getOpcode()); }
+
+  BasicBlock *getParent() const { return Parent; }
+  Function *getFunction() const;
+
+  bool isTerminator() const {
+    Opcode Op = getOpcode();
+    return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret;
+  }
+  bool isBinaryOp() const {
+    Opcode Op = getOpcode();
+    return Op >= Opcode::Add && Op <= Opcode::FDiv;
+  }
+  bool isCast() const {
+    Opcode Op = getOpcode();
+    return Op >= Opcode::ZExt && Op <= Opcode::FPToSI;
+  }
+  bool isPhi() const { return getOpcode() == Opcode::Phi; }
+
+  bool mayReadMemory() const { return getOpcode() == Opcode::Load; }
+  bool mayWriteMemory() const { return getOpcode() == Opcode::Store; }
+  /// True if removing the instruction (when unused) changes behaviour.
+  bool hasSideEffects() const;
+  /// True for warp/block-synchronizing operations that must not be moved
+  /// into or out of divergent control flow (barrier, shfl).
+  bool isConvergent() const;
+  /// True if the instruction can be speculated (executed with its operands
+  /// under a wider mask than the original program). All pure ops qualify;
+  /// loads do not (out-of-bounds), nor do convergent or side-effecting ops.
+  bool isSafeToSpeculate() const;
+
+  /// Number of successor blocks (terminators only; 0 for Ret).
+  unsigned getNumSuccessors() const;
+  BasicBlock *getSuccessor(unsigned I) const;
+  /// Retargets successor \p I, maintaining predecessor lists if linked.
+  void setSuccessor(unsigned I, BasicBlock *BB);
+  /// Replaces every occurrence of \p Old in the successor list with \p New.
+  void replaceSuccessor(BasicBlock *Old, BasicBlock *New);
+
+  /// Unlinks from the parent block without deleting.
+  void removeFromParent();
+  /// Unlinks from the parent block and deletes this instruction.
+  void eraseFromParent();
+  /// Moves this instruction immediately before \p Before (possibly in a
+  /// different block).
+  void moveBefore(Instruction *Before);
+
+  /// Creates a copy of this instruction with identical operands and
+  /// payload. The clone is unnamed and not inserted anywhere.
+  Instruction *clone() const;
+
+  /// Drops every operand reference (LLVM's dropAllReferences); used when
+  /// deleting groups of mutually-referencing dead instructions.
+  void dropAllReferences() { dropAllOperands(); }
+
+  /// Returns this instruction's position within its parent block.
+  BlockPos getIterator() const {
+    assert(Parent && "instruction not in a block");
+    return Pos;
+  }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() >= Kind::InstFirst &&
+           V->getValueKind() <= Kind::InstLast;
+  }
+
+protected:
+  Instruction(Opcode Op, Type *Ty)
+      : User(static_cast<Kind>(static_cast<uint8_t>(Kind::InstFirst) +
+                               static_cast<uint8_t>(Op)),
+             Ty) {}
+
+  /// Hook for clone(); each subclass copies its payload.
+  virtual Instruction *cloneImpl() const = 0;
+
+private:
+  friend class BasicBlock;
+
+  /// Registers/unregisters CFG edges implied by a terminator. Called by
+  /// BasicBlock on insertion/removal.
+  void linkSuccessors();
+  void unlinkSuccessors();
+
+  BasicBlock *Parent = nullptr;
+  BlockPos Pos{};
+};
+
+/// Integer/float binary operation (Add .. FDiv).
+class BinaryInst : public Instruction {
+public:
+  BinaryInst(Opcode Op, Value *L, Value *R) : Instruction(Op, L->getType()) {
+    assert(L->getType() == R->getType() && "binary operand type mismatch");
+    appendOperand(L);
+    appendOperand(R);
+  }
+
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->isBinaryOp();
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new BinaryInst(getOpcode(), getOperand(0), getOperand(1));
+  }
+};
+
+/// Integer comparison producing i1.
+class ICmpInst : public Instruction {
+public:
+  ICmpInst(ICmpPred Pred, Value *L, Value *R, Type *I1Ty)
+      : Instruction(Opcode::ICmp, I1Ty), Pred(Pred) {
+    assert(L->getType() == R->getType() && "icmp operand type mismatch");
+    appendOperand(L);
+    appendOperand(R);
+  }
+
+  ICmpPred getPredicate() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::ICmp;
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new ICmpInst(Pred, getOperand(0), getOperand(1), getType());
+  }
+
+private:
+  ICmpPred Pred;
+};
+
+/// Ordered float comparison producing i1.
+class FCmpInst : public Instruction {
+public:
+  FCmpInst(FCmpPred Pred, Value *L, Value *R, Type *I1Ty)
+      : Instruction(Opcode::FCmp, I1Ty), Pred(Pred) {
+    assert(L->getType() == R->getType() && "fcmp operand type mismatch");
+    appendOperand(L);
+    appendOperand(R);
+  }
+
+  FCmpPred getPredicate() const { return Pred; }
+  Value *getLHS() const { return getOperand(0); }
+  Value *getRHS() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::FCmp;
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new FCmpInst(Pred, getOperand(0), getOperand(1), getType());
+  }
+
+private:
+  FCmpPred Pred;
+};
+
+/// Conversion between first-class types (ZExt/SExt/Trunc/SIToFP/FPToSI).
+class CastInst : public Instruction {
+public:
+  CastInst(Opcode Op, Value *V, Type *DestTy) : Instruction(Op, DestTy) {
+    appendOperand(V);
+  }
+
+  Value *getSource() const { return getOperand(0); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->isCast();
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new CastInst(getOpcode(), getOperand(0), getType());
+  }
+};
+
+/// Load from a typed pointer.
+class LoadInst : public Instruction {
+public:
+  explicit LoadInst(Value *Ptr)
+      : Instruction(Opcode::Load, Ptr->getType()->getPointee()) {
+    appendOperand(Ptr);
+  }
+
+  Value *getPointer() const { return getOperand(0); }
+  AddressSpace getAddressSpace() const {
+    return getPointer()->getType()->getAddressSpace();
+  }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Load;
+  }
+
+protected:
+  Instruction *cloneImpl() const override { return new LoadInst(getOperand(0)); }
+};
+
+/// Store to a typed pointer.
+class StoreInst : public Instruction {
+public:
+  StoreInst(Value *V, Value *Ptr, Type *VoidTy)
+      : Instruction(Opcode::Store, VoidTy) {
+    assert(Ptr->getType()->isPointer() &&
+           Ptr->getType()->getPointee() == V->getType() &&
+           "store value/pointer type mismatch");
+    appendOperand(V);
+    appendOperand(Ptr);
+  }
+
+  Value *getValueOperand() const { return getOperand(0); }
+  Value *getPointer() const { return getOperand(1); }
+  AddressSpace getAddressSpace() const {
+    return getPointer()->getType()->getAddressSpace();
+  }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Store;
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new StoreInst(getOperand(0), getOperand(1), getType());
+  }
+};
+
+/// Pointer arithmetic: result = base + index * sizeof(pointee). The result
+/// has the same pointer type as the base.
+class GepInst : public Instruction {
+public:
+  GepInst(Value *Ptr, Value *Index) : Instruction(Opcode::Gep, Ptr->getType()) {
+    assert(Ptr->getType()->isPointer() && "gep base must be a pointer");
+    assert(Index->getType()->isInteger() && "gep index must be an integer");
+    appendOperand(Ptr);
+    appendOperand(Index);
+  }
+
+  Value *getPointer() const { return getOperand(0); }
+  Value *getIndex() const { return getOperand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Gep;
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new GepInst(getOperand(0), getOperand(1));
+  }
+};
+
+/// Conditional move.
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueV, Value *FalseV)
+      : Instruction(Opcode::Select, TrueV->getType()) {
+    assert(Cond->getType()->isInt1() && "select condition must be i1");
+    assert(TrueV->getType() == FalseV->getType() &&
+           "select arm type mismatch");
+    appendOperand(Cond);
+    appendOperand(TrueV);
+    appendOperand(FalseV);
+  }
+
+  Value *getCondition() const { return getOperand(0); }
+  Value *getTrueValue() const { return getOperand(1); }
+  Value *getFalseValue() const { return getOperand(2); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Select;
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new SelectInst(getOperand(0), getOperand(1), getOperand(2));
+  }
+};
+
+/// SSA phi node. Operand i is the value flowing from incoming block i;
+/// the incoming block list is kept parallel to the operand list.
+class PhiInst : public Instruction {
+public:
+  explicit PhiInst(Type *Ty) : Instruction(Opcode::Phi, Ty) {}
+
+  unsigned getNumIncoming() const { return getNumOperands(); }
+  Value *getIncomingValue(unsigned I) const { return getOperand(I); }
+  void setIncomingValue(unsigned I, Value *V) { setOperand(I, V); }
+  BasicBlock *getIncomingBlock(unsigned I) const {
+    assert(I < Blocks.size() && "phi incoming index out of range");
+    return Blocks[I];
+  }
+  void setIncomingBlock(unsigned I, BasicBlock *BB) {
+    assert(I < Blocks.size() && "phi incoming index out of range");
+    Blocks[I] = BB;
+  }
+
+  void addIncoming(Value *V, BasicBlock *BB) {
+    assert(V->getType() == getType() && "phi incoming type mismatch");
+    appendOperand(V);
+    Blocks.push_back(BB);
+  }
+
+  /// Removes incoming entry \p I.
+  void removeIncoming(unsigned I) {
+    removeOperand(I);
+    Blocks.erase(Blocks.begin() + I);
+  }
+
+  /// Returns the index of the first entry for \p BB, or -1.
+  int getBlockIndex(const BasicBlock *BB) const {
+    for (unsigned I = 0, E = static_cast<unsigned>(Blocks.size()); I != E; ++I)
+      if (Blocks[I] == BB)
+        return static_cast<int>(I);
+    return -1;
+  }
+
+  /// Returns the value for predecessor \p BB; asserts it exists.
+  Value *getIncomingValueForBlock(const BasicBlock *BB) const {
+    int Idx = getBlockIndex(BB);
+    assert(Idx >= 0 && "phi has no entry for block");
+    return getIncomingValue(static_cast<unsigned>(Idx));
+  }
+
+  /// If every incoming value is the same (ignoring self-references),
+  /// returns it; otherwise null. With \p IgnoreUndef, undef entries also
+  /// act as wildcards — callers must then prove the returned value
+  /// dominates this phi before substituting it.
+  Value *getUniqueIncomingValue(bool IgnoreUndef = false) const;
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Phi;
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    auto *P = new PhiInst(getType());
+    for (unsigned I = 0, E = getNumIncoming(); I != E; ++I)
+      P->addIncoming(getIncomingValue(I), getIncomingBlock(I));
+    return P;
+  }
+
+private:
+  std::vector<BasicBlock *> Blocks;
+};
+
+/// Unconditional branch.
+class BrInst : public Instruction {
+public:
+  BrInst(BasicBlock *Target, Type *VoidTy)
+      : Instruction(Opcode::Br, VoidTy), Target(Target) {}
+
+  BasicBlock *getTarget() const { return Target; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Br;
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new BrInst(Target, getType());
+  }
+
+private:
+  friend class Instruction;
+  BasicBlock *Target;
+};
+
+/// Two-way conditional branch.
+class CondBrInst : public Instruction {
+public:
+  CondBrInst(Value *Cond, BasicBlock *TrueBB, BasicBlock *FalseBB, Type *VoidTy)
+      : Instruction(Opcode::CondBr, VoidTy), TrueBB(TrueBB), FalseBB(FalseBB) {
+    assert(Cond->getType()->isInt1() && "branch condition must be i1");
+    appendOperand(Cond);
+  }
+
+  Value *getCondition() const { return getOperand(0); }
+  void setCondition(Value *C) { setOperand(0, C); }
+  BasicBlock *getTrueSuccessor() const { return TrueBB; }
+  BasicBlock *getFalseSuccessor() const { return FalseBB; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::CondBr;
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new CondBrInst(getOperand(0), TrueBB, FalseBB, getType());
+  }
+
+private:
+  friend class Instruction;
+  BasicBlock *TrueBB;
+  BasicBlock *FalseBB;
+};
+
+/// Function return; kernels return void, so the value is optional.
+class RetInst : public Instruction {
+public:
+  explicit RetInst(Type *VoidTy, Value *V = nullptr)
+      : Instruction(Opcode::Ret, VoidTy) {
+    if (V)
+      appendOperand(V);
+  }
+
+  bool hasReturnValue() const { return getNumOperands() == 1; }
+  Value *getReturnValue() const {
+    assert(hasReturnValue() && "ret void has no value");
+    return getOperand(0);
+  }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Ret;
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new RetInst(getType(), hasReturnValue() ? getOperand(0) : nullptr);
+  }
+};
+
+/// Call to a GPU intrinsic.
+class CallInst : public Instruction {
+public:
+  CallInst(Intrinsic IID, Type *RetTy, const std::vector<Value *> &Args)
+      : Instruction(Opcode::Call, RetTy), IID(IID) {
+    for (Value *A : Args)
+      appendOperand(A);
+  }
+
+  Intrinsic getIntrinsic() const { return IID; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->getOpcode() == Opcode::Call;
+  }
+
+protected:
+  Instruction *cloneImpl() const override {
+    return new CallInst(IID, getType(), operands());
+  }
+
+private:
+  Intrinsic IID;
+};
+
+} // namespace darm
+
+#endif // DARM_IR_INSTRUCTION_H

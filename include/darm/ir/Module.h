@@ -1,0 +1,57 @@
+//===- Module.h - Top-level IR container -------------------------*- C++ -*-===//
+///
+/// \file
+/// A Module owns a set of kernel Functions, all created against one
+/// Context.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_MODULE_H
+#define DARM_IR_MODULE_H
+
+#include "darm/ir/Function.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class Context;
+
+/// Container of kernels.
+class Module {
+public:
+  Module(Context &Ctx, const std::string &Name) : Ctx(Ctx), Name(Name) {}
+
+  Context &getContext() const { return Ctx; }
+  const std::string &getName() const { return Name; }
+
+  /// Creates a kernel function owned by this module.
+  Function *createFunction(const std::string &FnName, Type *RetTy,
+                           const Function::ParamList &Params) {
+    Functions.push_back(
+        std::make_unique<Function>(this, FnName, RetTy, Params));
+    return Functions.back().get();
+  }
+
+  /// Finds a function by name, or null.
+  Function *getFunction(const std::string &FnName) const {
+    for (const auto &F : Functions)
+      if (F->getName() == FnName)
+        return F.get();
+    return nullptr;
+  }
+
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Functions;
+  }
+
+private:
+  Context &Ctx;
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+};
+
+} // namespace darm
+
+#endif // DARM_IR_MODULE_H

@@ -1,0 +1,89 @@
+//===- Type.h - IR type system ----------------------------------*- C++ -*-===//
+///
+/// \file
+/// The DARM IR type system: a small subset of LLVM's, sufficient for GPGPU
+/// kernels — void, i1, i32, i64, f32 and typed pointers qualified by an
+/// address space (global or shared/LDS). Types are interned by the Context
+/// and compared by pointer identity.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_TYPE_H
+#define DARM_IR_TYPE_H
+
+#include <cassert>
+#include <string>
+
+namespace darm {
+
+class Context;
+
+/// GPU memory address spaces, following the AMDGPU numbering the paper's
+/// HIPCC toolchain uses: 1 = device-global memory, 3 = LDS (shared memory).
+enum class AddressSpace : unsigned { Global = 1, Shared = 3 };
+
+/// An IR type. Interned: two structurally equal types are the same object.
+class Type {
+public:
+  enum class Kind { Void, Int1, Int32, Int64, Float, Pointer };
+
+  Kind getKind() const { return K; }
+
+  bool isVoid() const { return K == Kind::Void; }
+  bool isInt1() const { return K == Kind::Int1; }
+  bool isInt32() const { return K == Kind::Int32; }
+  bool isInt64() const { return K == Kind::Int64; }
+  bool isFloat() const { return K == Kind::Float; }
+  bool isPointer() const { return K == Kind::Pointer; }
+  bool isInteger() const {
+    return K == Kind::Int1 || K == Kind::Int32 || K == Kind::Int64;
+  }
+  /// True for types a register can hold (everything but void).
+  bool isFirstClass() const { return K != Kind::Void; }
+
+  /// Bit width of an integer type.
+  unsigned getIntegerBitWidth() const {
+    assert(isInteger() && "not an integer type");
+    switch (K) {
+    case Kind::Int1:
+      return 1;
+    case Kind::Int32:
+      return 32;
+    default:
+      return 64;
+    }
+  }
+
+  /// Pointee type of a pointer.
+  Type *getPointee() const {
+    assert(isPointer() && "not a pointer type");
+    return Pointee;
+  }
+
+  /// Address space of a pointer.
+  AddressSpace getAddressSpace() const {
+    assert(isPointer() && "not a pointer type");
+    return AS;
+  }
+
+  /// Size in bytes when stored in memory (used by gep scaling and the
+  /// simulator's memory model). i1 occupies one byte.
+  unsigned getStoreSizeInBytes() const;
+
+  /// Renders the type in the textual IR syntax, e.g. "i32 addrspace(3)*".
+  std::string getName() const;
+
+private:
+  friend class Context;
+
+  explicit Type(Kind K) : K(K) {}
+  Type(Type *Pointee, AddressSpace AS)
+      : K(Kind::Pointer), Pointee(Pointee), AS(AS) {}
+
+  Kind K;
+  Type *Pointee = nullptr;
+  AddressSpace AS = AddressSpace::Global;
+};
+
+} // namespace darm
+
+#endif // DARM_IR_TYPE_H

@@ -1,0 +1,238 @@
+//===- Value.h - Base of the IR value hierarchy ------------------*- C++ -*-===//
+///
+/// \file
+/// Value is the base of the SSA value hierarchy (arguments, constants,
+/// shared-memory arrays, instructions). User is a Value that references
+/// other Values through an operand list; the def-use graph is kept
+/// bidirectionally consistent by setOperand/replaceAllUsesWith.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_VALUE_H
+#define DARM_IR_VALUE_H
+
+#include "darm/ir/Type.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class User;
+class Function;
+
+/// A single use of a Value by a User at operand index \p OpIdx.
+struct Use {
+  User *TheUser;
+  unsigned OpIdx;
+
+  bool operator==(const Use &O) const {
+    return TheUser == O.TheUser && OpIdx == O.OpIdx;
+  }
+};
+
+/// Base class of all SSA values.
+class Value {
+public:
+  /// Discriminator for LLVM-style isa<>/cast<> RTTI. Instruction opcodes
+  /// occupy the range [InstFirst, InstLast].
+  enum class Kind : uint8_t {
+    Argument,
+    ConstantInt,
+    ConstantFloat,
+    Undef,
+    SharedArray,
+    // Instructions. Keep in sync with Opcode in Instruction.h.
+    InstFirst,
+    InstLast = InstFirst + 63,
+  };
+
+  virtual ~Value();
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+
+  Kind getValueKind() const { return VKind; }
+  Type *getType() const { return Ty; }
+
+  const std::string &getName() const { return Name; }
+  void setName(const std::string &N) { Name = N; }
+  bool hasName() const { return !Name.empty(); }
+
+  /// All (user, operand-index) pairs that reference this value.
+  const std::vector<Use> &uses() const { return Uses; }
+  bool hasUses() const { return !Uses.empty(); }
+  unsigned getNumUses() const { return static_cast<unsigned>(Uses.size()); }
+
+  /// Rewrites every use of this value to refer to \p New instead.
+  void replaceAllUsesWith(Value *New);
+
+protected:
+  Value(Kind K, Type *Ty) : VKind(K), Ty(Ty) {}
+
+private:
+  friend class User;
+
+  void addUse(User *U, unsigned OpIdx) { Uses.push_back({U, OpIdx}); }
+  void removeUse(User *U, unsigned OpIdx);
+
+  Kind VKind;
+  Type *Ty;
+  std::string Name;
+  std::vector<Use> Uses;
+};
+
+/// A Value that references other Values via an ordered operand list.
+class User : public Value {
+public:
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Ops.size());
+  }
+
+  Value *getOperand(unsigned I) const {
+    assert(I < Ops.size() && "operand index out of range");
+    return Ops[I];
+  }
+
+  /// Replaces operand \p I, updating both sides of the def-use graph.
+  void setOperand(unsigned I, Value *V);
+
+  const std::vector<Value *> &operands() const { return Ops; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() >= Kind::InstFirst &&
+           V->getValueKind() <= Kind::InstLast;
+  }
+
+protected:
+  friend class BasicBlock; // block/function teardown detaches operands
+  friend class Function;
+
+  User(Kind K, Type *Ty) : Value(K, Ty) {}
+  ~User() override { dropAllOperands(); }
+
+  /// Appends an operand (registering the use).
+  void appendOperand(Value *V);
+  /// Removes the operand at \p I, shifting later operands down and
+  /// re-registering their use indices.
+  void removeOperand(unsigned I);
+  /// Unregisters every operand use (called on destruction).
+  void dropAllOperands();
+
+private:
+  std::vector<Value *> Ops;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type *Ty, const std::string &Name, Function *Parent, unsigned Idx)
+      : Value(Kind::Argument, Ty), Parent(Parent), Idx(Idx) {
+    setName(Name);
+  }
+
+  Function *getParent() const { return Parent; }
+  unsigned getArgIndex() const { return Idx; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == Kind::Argument;
+  }
+
+private:
+  Function *Parent;
+  unsigned Idx;
+};
+
+/// Base for uniqued constants.
+class Constant : public Value {
+public:
+  static bool classof(const Value *V) {
+    Kind K = V->getValueKind();
+    return K == Kind::ConstantInt || K == Kind::ConstantFloat ||
+           K == Kind::Undef;
+  }
+
+protected:
+  Constant(Kind K, Type *Ty) : Value(K, Ty) {}
+};
+
+/// An integer constant (i1, i32 or i64).
+class ConstantInt : public Constant {
+public:
+  ConstantInt(Type *Ty, int64_t V) : Constant(Kind::ConstantInt, Ty), Val(V) {
+    assert(Ty->isInteger() && "ConstantInt requires integer type");
+  }
+
+  int64_t getValue() const { return Val; }
+  bool isZero() const { return Val == 0; }
+  bool isOne() const { return Val == 1; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == Kind::ConstantInt;
+  }
+
+private:
+  int64_t Val;
+};
+
+/// An f32 constant.
+class ConstantFloat : public Constant {
+public:
+  ConstantFloat(Type *Ty, float V) : Constant(Kind::ConstantFloat, Ty), Val(V) {
+    assert(Ty->isFloat() && "ConstantFloat requires f32");
+  }
+
+  float getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == Kind::ConstantFloat;
+  }
+
+private:
+  float Val;
+};
+
+/// The undefined value of a type. Reading it yields an arbitrary bit
+/// pattern; the simulator materializes it as zero for determinism.
+class UndefValue : public Constant {
+public:
+  explicit UndefValue(Type *Ty) : Constant(Kind::Undef, Ty) {}
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == Kind::Undef;
+  }
+};
+
+/// A statically sized per-block shared-memory (LDS) array owned by a
+/// Function. Its value is a pointer into address space Shared.
+class SharedArray : public Value {
+public:
+  SharedArray(Type *PtrTy, unsigned NumElements, const std::string &Name,
+              Function *Parent)
+      : Value(Kind::SharedArray, PtrTy), NumElements(NumElements),
+        Parent(Parent) {
+    assert(PtrTy->isPointer() &&
+           PtrTy->getAddressSpace() == AddressSpace::Shared &&
+           "shared array must have an LDS pointer type");
+    setName(Name);
+  }
+
+  Type *getElementType() const { return getType()->getPointee(); }
+  unsigned getNumElements() const { return NumElements; }
+  unsigned getSizeInBytes() const {
+    return NumElements * getElementType()->getStoreSizeInBytes();
+  }
+  Function *getParent() const { return Parent; }
+
+  static bool classof(const Value *V) {
+    return V->getValueKind() == Kind::SharedArray;
+  }
+
+private:
+  unsigned NumElements;
+  Function *Parent;
+};
+
+} // namespace darm
+
+#endif // DARM_IR_VALUE_H

@@ -1,0 +1,80 @@
+//===- Benchmark.h - Workload registry ------------------------------*- C++ -*-===//
+///
+/// \file
+/// The benchmark suite of the paper's evaluation (§VI-A): seven real-world
+/// kernels (BIT, PCM, MS, LUD, NQU, SRAD, DCT) and the synthetic patterns
+/// SB1-SB4 with their -R variants (Fig. 7). Each benchmark builds its
+/// kernel IR for a given block size, prepares inputs, declares the launch
+/// geometry, and validates the simulated results against an independent
+/// host (CPU) reference.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_KERNELS_BENCHMARK_H
+#define DARM_KERNELS_BENCHMARK_H
+
+#include "darm/sim/GpuConfig.h"
+#include "darm/sim/Memory.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class Function;
+class Module;
+
+/// One benchmark instance (kernel + workload) at a fixed block size.
+class Benchmark {
+public:
+  virtual ~Benchmark() = default;
+
+  /// Short name, e.g. "BIT" or "SB2R".
+  virtual std::string name() const = 0;
+
+  /// Builds the kernel IR into \p M.
+  virtual Function *build(Module &M) const = 0;
+
+  virtual LaunchParams launch() const = 0;
+
+  /// Allocates and fills input/output buffers; returns the argument list
+  /// for the first launch.
+  virtual std::vector<uint64_t> setup(GlobalMemory &Mem) const = 0;
+
+  /// Kernels that need several dependent launches (e.g. merge-sort
+  /// passes) override this; launch \p I uses argsForLaunch(I, base).
+  virtual unsigned numLaunches() const { return 1; }
+  virtual std::vector<uint64_t>
+  argsForLaunch(unsigned I, const std::vector<uint64_t> &Base) const {
+    (void)I;
+    return Base;
+  }
+
+  /// Checks the simulated output against the host reference.
+  virtual bool validate(const GlobalMemory &Mem,
+                        const std::vector<uint64_t> &BaseArgs,
+                        std::string *Why = nullptr) const = 0;
+};
+
+/// Real-world benchmark names in paper order.
+std::vector<std::string> realBenchmarkNames();
+/// Synthetic benchmark names (SB1..SB4, SB1R..SB4R).
+std::vector<std::string> syntheticBenchmarkNames();
+/// Paper block sizes for a benchmark (Fig. 8/9 x-axis).
+std::vector<unsigned> paperBlockSizes(const std::string &Name);
+
+/// Factory. Returns null for unknown names. \p BlockSize must be a
+/// multiple of the warp size for the real kernels (16 allowed for LUD and
+/// SRAD, matching the paper).
+std::unique_ptr<Benchmark> createBenchmark(const std::string &Name,
+                                           unsigned BlockSize);
+
+/// Runs every launch of \p B against \p Kern (which the caller may have
+/// transformed) and validates. Aggregated stats out; returns validation
+/// success.
+bool runAndValidate(const Benchmark &B, Function &Kern, SimStats &Stats,
+                    std::string *Why = nullptr);
+
+} // namespace darm
+
+#endif // DARM_KERNELS_BENCHMARK_H

@@ -1,0 +1,64 @@
+//===- LoopHelper.h - Structured loop construction ------------------*- C++ -*-===//
+///
+/// \file
+/// Helper for building SSA `for` loops with IRBuilder. Kernels use it to
+/// express the nested uniform loops that surround their divergent regions
+/// (e.g. the k/j loops of bitonic sort, Fig. 1).
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_KERNELS_LOOPHELPER_H
+#define DARM_KERNELS_LOOPHELPER_H
+
+#include "darm/ir/IRBuilder.h"
+
+#include <string>
+
+namespace darm {
+
+/// Builds `for (iv = Init; icmp(Pred, iv, Bound); iv = <Next>) body`.
+/// After construction the builder is positioned inside the body; call
+/// close(Next) when the body is done — the builder then continues in the
+/// loop exit block.
+class ForLoop {
+public:
+  ForLoop(IRBuilder &B, Value *Init, ICmpPred Pred, Value *Bound,
+          const std::string &Name)
+      : B(B) {
+    Function *F = B.getInsertBlock()->getParent();
+    Preheader = B.getInsertBlock();
+    Header = F->createBlock(Name + ".header");
+    Body = F->createBlock(Name + ".body");
+    Exit = F->createBlock(Name + ".exit");
+
+    B.createBr(Header);
+    B.setInsertPoint(Header);
+    IV = B.createPhi(B.getContext().getInt32Ty(), Name);
+    IV->addIncoming(Init, Preheader);
+    Value *Cond = B.createICmp(Pred, IV, Bound, Name + ".cond");
+    B.createCondBr(Cond, Body, Exit);
+    B.setInsertPoint(Body);
+  }
+
+  /// The induction variable, usable inside the body.
+  Value *iv() const { return IV; }
+
+  /// Terminates the body: branch back to the header with \p Next as the
+  /// next induction value. The builder continues in the exit block.
+  void close(Value *Next) {
+    BasicBlock *Latch = B.getInsertBlock();
+    B.createBr(Header);
+    IV->addIncoming(Next, Latch);
+    B.setInsertPoint(Exit);
+  }
+
+  BasicBlock *exitBlock() const { return Exit; }
+
+private:
+  IRBuilder &B;
+  BasicBlock *Preheader, *Header, *Body, *Exit;
+  PhiInst *IV;
+};
+
+} // namespace darm
+
+#endif // DARM_KERNELS_LOOPHELPER_H

@@ -1,0 +1,76 @@
+//===- GpuConfig.h - Simulated GPU parameters ----------------------*- C++ -*-===//
+///
+/// \file
+/// Architectural parameters of the simulated SIMT device, loosely modeled
+/// on the AMD Radeon Pro Vega 20 used in the paper's evaluation (§VI-A):
+/// 32-wide warps executing in lockstep with an IPDOM reconvergence stack,
+/// 32-bank LDS, and 128-byte global-memory coalescing segments.
+/// Instruction latencies come from CostModel so the melding-profitability
+/// metric and the simulator agree.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SIM_GPUCONFIG_H
+#define DARM_SIM_GPUCONFIG_H
+
+#include <cstdint>
+
+namespace darm {
+
+/// Device parameters.
+struct GpuConfig {
+  unsigned WarpSize = 32;
+  unsigned NumLdsBanks = 32;
+  unsigned LdsBankWidthBytes = 4;
+  unsigned CoalesceSegmentBytes = 128;
+  /// Abort threshold: a warp issuing more dynamic instructions than this
+  /// is assumed to be stuck in a miscompiled loop.
+  uint64_t MaxDynamicInstrPerWarp = 1ull << 28;
+};
+
+/// Kernel launch geometry (1-D, as all paper kernels; 2-D blocks are
+/// flattened by the kernels themselves).
+struct LaunchParams {
+  unsigned GridDimX = 1;
+  unsigned BlockDimX = 32;
+};
+
+/// Counters gathered during simulation, mirroring the rocprof counters
+/// the paper reports (§VI-B/C/D).
+struct SimStats {
+  uint64_t Cycles = 0;            ///< Σ over blocks of max-over-warp phase cycles
+  uint64_t TotalWarpCycles = 0;   ///< Σ over all warps of issue cycles
+  uint64_t InstructionsIssued = 0;
+  uint64_t AluInsts = 0;          ///< VALU instructions issued
+  uint64_t VectorMemInsts = 0;    ///< global loads+stores issued (Fig. 11)
+  uint64_t SharedMemInsts = 0;    ///< LDS instructions issued (Fig. 11)
+  uint64_t BranchesExecuted = 0;
+  uint64_t DivergentBranches = 0; ///< dynamic branches that split the mask
+  uint64_t AluLanesActive = 0;    ///< Σ active lanes over VALU issues
+  uint64_t AluLanesTotal = 0;     ///< warpSize per VALU issue
+
+  /// Fig. 10's metric: fraction of SIMD lanes doing useful VALU work.
+  double aluUtilization() const {
+    return AluLanesTotal == 0
+               ? 0.0
+               : static_cast<double>(AluLanesActive) /
+                     static_cast<double>(AluLanesTotal);
+  }
+
+  SimStats &operator+=(const SimStats &O) {
+    Cycles += O.Cycles;
+    TotalWarpCycles += O.TotalWarpCycles;
+    InstructionsIssued += O.InstructionsIssued;
+    AluInsts += O.AluInsts;
+    VectorMemInsts += O.VectorMemInsts;
+    SharedMemInsts += O.SharedMemInsts;
+    BranchesExecuted += O.BranchesExecuted;
+    DivergentBranches += O.DivergentBranches;
+    AluLanesActive += O.AluLanesActive;
+    AluLanesTotal += O.AluLanesTotal;
+    return *this;
+  }
+};
+
+} // namespace darm
+
+#endif // DARM_SIM_GPUCONFIG_H

@@ -1,0 +1,56 @@
+//===- Memory.h - Simulated device memory ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Flat byte-addressed global memory for the simulated device, with typed
+/// accessors for tests and workload setup. Out-of-bounds *loads* return 0
+/// (melding may speculate loads whose results are select'd away — real
+/// GPUs do not fault inside mapped heaps, see DESIGN.md); out-of-bounds
+/// stores abort, because no correct program or transformation produces
+/// them.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SIM_MEMORY_H
+#define DARM_SIM_MEMORY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+/// Device global memory.
+class GlobalMemory {
+public:
+  /// Reserves \p Bytes bytes zero-initialized; returns the base address.
+  /// Address 0 is never allocated (acts as a guard for null/undef).
+  uint64_t allocate(uint64_t Bytes, const std::string &Name = "");
+
+  uint64_t size() const { return Bytes.size(); }
+
+  /// Raw access with the OOB policy described above.
+  uint64_t load(uint64_t Addr, unsigned Size) const;
+  void store(uint64_t Addr, unsigned Size, uint64_t Value);
+
+  // Typed helpers for hosts/tests.
+  int32_t readI32(uint64_t Addr) const {
+    return static_cast<int32_t>(load(Addr, 4));
+  }
+  void writeI32(uint64_t Addr, int32_t V) {
+    store(Addr, 4, static_cast<uint32_t>(V));
+  }
+  float readF32(uint64_t Addr) const;
+  void writeF32(uint64_t Addr, float V);
+
+  /// Bulk helpers (element index based on i32/f32 arrays).
+  void fillI32(uint64_t Base, const std::vector<int32_t> &Data);
+  std::vector<int32_t> dumpI32(uint64_t Base, size_t Count) const;
+  void fillF32(uint64_t Base, const std::vector<float> &Data);
+  std::vector<float> dumpF32(uint64_t Base, size_t Count) const;
+
+private:
+  std::vector<uint8_t> Bytes = std::vector<uint8_t>(64, 0); // guard page
+};
+
+} // namespace darm
+
+#endif // DARM_SIM_MEMORY_H

@@ -1,0 +1,42 @@
+//===- Simulator.h - SIMT warp simulator ----------------------------*- C++ -*-===//
+///
+/// \file
+/// A functional + timing simulator of the SIMT execution model (§II-A):
+/// warps execute the IR in lockstep; divergent branches push entries onto
+/// a reconvergence stack keyed on the branch's immediate post-dominator
+/// (IPDOM), serializing the two paths exactly as commodity GPU hardware
+/// does. Within a thread block, warps advance barrier-phase by
+/// barrier-phase; a phase costs the maximum over its warps (parallel SIMD
+/// units). Timing: each issued instruction costs its CostModel latency,
+/// plus LDS bank-conflict and global-memory coalescing penalties.
+///
+/// This simulator is the stand-in for the paper's AMD Vega 20 (DESIGN.md,
+/// substitutions table): every metric the paper's figures report — cycle
+/// counts, VALU (ALU) utilization, vector/LDS memory instruction counts —
+/// is produced here from the same IR the melding pass transforms.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SIM_SIMULATOR_H
+#define DARM_SIM_SIMULATOR_H
+
+#include "darm/sim/GpuConfig.h"
+#include "darm/sim/Memory.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace darm {
+
+class Function;
+
+/// Executes \p Kernel over the launch geometry. \p Args are raw 64-bit
+/// argument values in declaration order (buffer pointers are GlobalMemory
+/// base addresses). Blocks run sequentially over the shared \p Mem;
+/// SimStats::Cycles accumulates each block's max-over-warps phase cycles.
+SimStats runKernel(Function &Kernel, const LaunchParams &LP,
+                   const std::vector<uint64_t> &Args, GlobalMemory &Mem,
+                   const GpuConfig &Cfg = GpuConfig());
+
+} // namespace darm
+
+#endif // DARM_SIM_SIMULATOR_H

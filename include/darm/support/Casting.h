@@ -1,0 +1,48 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast ----------------*- C++ -*-===//
+///
+/// \file
+/// Minimal reimplementation of LLVM's opt-in RTTI templates. A class opts in
+/// by providing `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SUPPORT_CASTING_H
+#define DARM_SUPPORT_CASTING_H
+
+#include <cassert>
+
+namespace darm {
+
+/// Returns true if \p V points to an instance of \p To.
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> used on a null pointer");
+  return To::classof(V);
+}
+
+/// Checked downcast; asserts that \p V really is a \p To.
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+/// Checking downcast; returns null if \p V is not a \p To.
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+/// Like dyn_cast, but tolerates a null argument.
+template <typename To, typename From> To *dyn_cast_or_null(From *V) {
+  return V ? dyn_cast<To>(V) : nullptr;
+}
+
+} // namespace darm
+
+#endif // DARM_SUPPORT_CASTING_H

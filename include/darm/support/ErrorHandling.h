@@ -1,0 +1,26 @@
+//===- ErrorHandling.h - Fatal error reporting ------------------*- C++ -*-===//
+///
+/// \file
+/// Fatal-error and unreachable-code helpers modeled on LLVM's
+/// ErrorHandling.h. Library code never throws; invariant violations abort
+/// with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SUPPORT_ERRORHANDLING_H
+#define DARM_SUPPORT_ERRORHANDLING_H
+
+namespace darm {
+
+/// Prints \p Msg with source location to stderr and aborts.
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    unsigned Line);
+
+/// Prints a fatal usage/environment error and exits. For tool code.
+[[noreturn]] void reportFatalError(const char *Msg);
+
+} // namespace darm
+
+/// Marks a point in code that must never execute if program invariants hold.
+#define darm_unreachable(MSG) ::darm::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // DARM_SUPPORT_ERRORHANDLING_H

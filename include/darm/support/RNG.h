@@ -1,0 +1,58 @@
+//===- RNG.h - Deterministic random number generation -----------*- C++ -*-===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (SplitMix64) used by workload
+/// generators and property-based tests. We avoid std::mt19937 so that
+/// streams are reproducible across standard library implementations.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SUPPORT_RNG_H
+#define DARM_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace darm {
+
+/// SplitMix64 generator. Deterministic for a given seed on every platform.
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow(0) is meaningless");
+    return next() % Bound;
+  }
+
+  /// Returns a uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + static_cast<int64_t>(nextBelow(
+                    static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+  /// Returns a float uniform in [0, 1).
+  float nextFloat() {
+    return static_cast<float>(next() >> 40) / static_cast<float>(1ULL << 24);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace darm
+
+#endif // DARM_SUPPORT_RNG_H

@@ -1,0 +1,43 @@
+//===- CFGUtils.h - CFG surgery helpers ---------------------------*- C++ -*-===//
+///
+/// \file
+/// Edge- and block-level CFG surgery used by SimplifyCFG, region
+/// simplification and the melder. All helpers keep predecessor lists and
+/// phi nodes consistent.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_CFGUTILS_H
+#define DARM_TRANSFORM_CFGUTILS_H
+
+#include <set>
+#include <vector>
+
+namespace darm {
+
+class BasicBlock;
+class Function;
+
+/// Splits the edge From->To by inserting a fresh block containing a single
+/// unconditional branch. Phi entries in \p To are retargeted to the new
+/// block. If the edge is duplicated (condbr with both arms equal), only
+/// the occurrence \p SuccIdx is split. Returns the new block.
+BasicBlock *splitEdge(BasicBlock *From, BasicBlock *To, unsigned SuccIdx);
+
+/// Splits every edge From->To (all successor slots that target \p To).
+/// Returns one new block per split edge.
+std::vector<BasicBlock *> splitAllEdges(BasicBlock *From, BasicBlock *To);
+
+/// Removes every edge From->To: phi entries in \p To for \p From are
+/// dropped. The caller must subsequently fix From's terminator.
+void removeEdgePhis(BasicBlock *From, BasicBlock *To);
+
+/// Blocks reachable from the entry block.
+std::set<BasicBlock *> computeReachable(Function &F);
+
+/// Deletes all blocks not reachable from the entry, fixing phis.
+/// Returns true if anything was deleted.
+bool removeUnreachableBlocks(Function &F);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_CFGUTILS_H

@@ -1,0 +1,20 @@
+//===- DCE.h - Dead code elimination -------------------------------*- C++ -*-===//
+///
+/// \file
+/// Trivial dead-code elimination: unused instructions without side effects
+/// are deleted, cascading through their operands.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_DCE_H
+#define DARM_TRANSFORM_DCE_H
+
+namespace darm {
+
+class Function;
+
+/// Deletes dead instructions; returns true on change.
+bool eliminateDeadCode(Function &F);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_DCE_H

@@ -1,0 +1,52 @@
+//===- PassManager.h - Function pass pipeline ---------------------*- C++ -*-===//
+///
+/// \file
+/// A minimal function-pass pipeline with per-pass timing and optional
+/// post-pass verification, used by the darm_opt tool and the compile-time
+/// benchmark (Table II).
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_PASSMANAGER_H
+#define DARM_TRANSFORM_PASSMANAGER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class Function;
+
+/// One named pass over a function; returns true if the IR changed.
+using FunctionPass = std::function<bool(Function &)>;
+
+/// Runs passes in order, recording wall-clock time per pass.
+class PassManager {
+public:
+  /// If \p VerifyEach, verifyFunction runs after every pass and a failure
+  /// aborts (compiler bug).
+  explicit PassManager(bool VerifyEach = true) : VerifyEach(VerifyEach) {}
+
+  void addPass(const std::string &Name, FunctionPass P) {
+    Passes.push_back({Name, std::move(P)});
+  }
+
+  /// Runs the pipeline; returns true if any pass changed the IR.
+  bool run(Function &F);
+
+  /// Seconds spent in each pass during the last run().
+  const std::vector<std::pair<std::string, double>> &timings() const {
+    return Timings;
+  }
+  /// Total seconds of the last run().
+  double totalSeconds() const;
+
+private:
+  bool VerifyEach;
+  std::vector<std::pair<std::string, FunctionPass>> Passes;
+  std::vector<std::pair<std::string, double>> Timings;
+};
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_PASSMANAGER_H

@@ -1,0 +1,35 @@
+//===- SSAUpdater.h - SSA repair after CFG restructuring -----------*- C++ -*-===//
+///
+/// \file
+/// Re-establishes the SSA dominance invariant for a definition whose uses
+/// were left un-dominated by a CFG transformation (melding, unpredication,
+/// region replication). This generalizes the paper's ad-hoc φ insertion at
+/// dominance frontiers (Fig. 5 and §IV-E): φ nodes are placed on the
+/// iterated dominance frontier of the defining block, with `undef` flowing
+/// in from paths that never execute the definition — exactly the
+/// "%m = phi [undef, %A], [%a, %B]" pattern of the paper.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_SSAUPDATER_H
+#define DARM_TRANSFORM_SSAUPDATER_H
+
+namespace darm {
+
+class Function;
+class Instruction;
+class DominatorTree;
+class DominanceFrontier;
+
+/// Rewrites every use of \p Def that \p Def no longer dominates, inserting
+/// φ nodes on the iterated dominance frontier of the defining block.
+/// Returns true if any rewriting happened. \p DT and \p DF must be current.
+bool repairSSA(Instruction *Def, const DominatorTree &DT,
+               const DominanceFrontier &DF);
+
+/// Repairs all dominance violations in \p F (recomputes analyses once,
+/// then fixes every offending definition). Returns true on change.
+bool repairFunctionSSA(Function &F);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_SSAUPDATER_H

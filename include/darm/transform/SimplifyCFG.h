@@ -1,0 +1,47 @@
+//===- SimplifyCFG.h - CFG cleanup pass ---------------------------*- C++ -*-===//
+///
+/// \file
+/// CFG canonicalization mirroring LLVM's -simplifycfg as used by the paper
+/// after each melding round (§IV, Algorithm 1): unreachable-block removal,
+/// constant/identical-successor branch folding, trivial-phi elimination,
+/// linear block merging, and empty-block forwarding.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_SIMPLIFYCFG_H
+#define DARM_TRANSFORM_SIMPLIFYCFG_H
+
+namespace darm {
+
+class Function;
+
+/// Runs all simplifications to a fixed point. Returns true on change.
+bool simplifyCFG(Function &F);
+
+/// Individual steps (exposed for unit testing). Each returns true on
+/// change.
+bool foldConstantBranches(Function &F);
+bool foldIdenticalSuccessorBranches(Function &F);
+bool removeTrivialPhis(Function &F);
+bool mergeLinearBlocks(Function &F);
+bool forwardEmptyBlocks(Function &F);
+
+/// If-conversion of triangles (LLVM's SpeculativelyExecuteBB): a side
+/// block containing only cheap, speculation-safe instructions is hoisted
+/// into its predecessor and the join phis become selects. This is the
+/// cleanup the paper's pipeline gets from -simplifycfg (§IV-G notes HIPCC
+/// "applied if-conversion aggressively").
+bool speculateTriangles(Function &F);
+
+/// Local instruction folds: select with identical/undef/constant-condition
+/// arms, boolean select lowering to logic, and i1 and/or/xor identities.
+bool simplifyInstructions(Function &F);
+
+/// Removes blocks containing only phis and an unconditional branch by
+/// pushing their phis into the successor's phis (LLVM's
+/// TryToSimplifyUncondBranchFromEmptyBlock). Cleans up merge blocks left
+/// behind by region simplification when no meld was committed.
+bool removePhiOnlyForwarders(Function &F);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_SIMPLIFYCFG_H

@@ -1,0 +1,85 @@
+//===- CostModel.cpp - Instruction latency model --------------------------------===//
+
+#include "darm/analysis/CostModel.h"
+
+#include "darm/ir/BasicBlock.h"
+#include "darm/support/ErrorHandling.h"
+
+using namespace darm;
+
+unsigned CostModel::getLatency(Opcode Op, AddressSpace AS) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+  case Opcode::ICmp:
+  case Opcode::Select:
+  case Opcode::Gep:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::Trunc:
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+    return 1;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FCmp:
+    return 2;
+  case Opcode::Mul:
+    return 4;
+  case Opcode::FDiv:
+    return 8;
+  case Opcode::SDiv:
+  case Opcode::SRem:
+  case Opcode::UDiv:
+  case Opcode::URem:
+    return 16;
+  case Opcode::Load:
+  case Opcode::Store:
+    return AS == AddressSpace::Shared ? SharedMemLatency : GlobalMemLatency;
+  case Opcode::Phi:
+    return 0; // resolved by register assignment, free at runtime
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return 1;
+  case Opcode::Call:
+    return 1; // thread-index queries; barrier cost handled below
+  case Opcode::NumOpcodes:
+    break;
+  }
+  darm_unreachable("unknown opcode");
+}
+
+unsigned CostModel::getLatency(const Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::Load:
+    return getLatency(Opcode::Load, cast<LoadInst>(I)->getAddressSpace());
+  case Opcode::Store:
+    return getLatency(Opcode::Store, cast<StoreInst>(I)->getAddressSpace());
+  case Opcode::Call:
+    switch (cast<CallInst>(I)->getIntrinsic()) {
+    case Intrinsic::Barrier:
+      return 4;
+    case Intrinsic::ShflSync:
+      return 2;
+    default:
+      return 1;
+    }
+  default:
+    return getLatency(I->getOpcode());
+  }
+}
+
+unsigned CostModel::getBlockLatency(const BasicBlock &BB) {
+  unsigned Total = 0;
+  for (const Instruction *I : BB)
+    Total += getLatency(I);
+  return Total;
+}

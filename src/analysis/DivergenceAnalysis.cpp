@@ -1,0 +1,79 @@
+//===- DivergenceAnalysis.cpp - SIMT divergence analysis -------------------------===//
+
+#include "darm/analysis/DivergenceAnalysis.h"
+
+#include "darm/analysis/DominanceFrontier.h"
+#include "darm/analysis/DominatorTree.h"
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Instruction.h"
+
+using namespace darm;
+
+DivergenceAnalysis::DivergenceAnalysis(Function &F, const DominatorTree &DT,
+                                       const DominanceFrontier &DF)
+    : F(F), DT(DT), DF(DF) {
+  std::set<Value *> Worklist;
+
+  // Seeds: per-lane identity queries.
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (auto *C = dyn_cast<CallInst>(I)) {
+        Intrinsic IID = C->getIntrinsic();
+        if (IID == Intrinsic::TidX || IID == Intrinsic::LaneId)
+          markDivergent(I, Worklist);
+      }
+
+  while (!Worklist.empty()) {
+    Value *V = *Worklist.begin();
+    Worklist.erase(Worklist.begin());
+
+    // Data dependence: users of a divergent value become divergent.
+    for (const Use &U : V->uses()) {
+      auto *I = dyn_cast<Instruction>(static_cast<Value *>(U.TheUser));
+      if (!I || !I->getParent())
+        continue;
+      if (I->getType()->isVoid()) {
+        // Branches are handled via sync dependence below; stores produce
+        // no value.
+        continue;
+      }
+      markDivergent(I, Worklist);
+    }
+
+    // Sync dependence: a branch on a divergent condition taints the phis
+    // at the join points of its disjoint paths — the iterated dominance
+    // frontier of its successor set.
+    for (const Use &U : V->uses()) {
+      auto *Br = dyn_cast<CondBrInst>(static_cast<Value *>(U.TheUser));
+      if (!Br || U.OpIdx != 0 || !Br->getParent())
+        continue;
+      std::vector<BasicBlock *> Succs = {Br->getTrueSuccessor(),
+                                         Br->getFalseSuccessor()};
+      for (BasicBlock *J : DF.computeIDF(Succs))
+        for (PhiInst *P : J->phis())
+          markDivergent(P, Worklist);
+    }
+  }
+}
+
+void DivergenceAnalysis::markDivergent(Value *V, std::set<Value *> &Worklist) {
+  if (Divergent.insert(V).second)
+    Worklist.insert(V);
+}
+
+bool DivergenceAnalysis::hasDivergentBranch(const BasicBlock *BB) const {
+  const Instruction *T = BB->getTerminator();
+  if (!T)
+    return false;
+  const auto *Br = dyn_cast<CondBrInst>(T);
+  return Br && isDivergent(Br->getCondition());
+}
+
+unsigned DivergenceAnalysis::countDivergentBranches() const {
+  unsigned Count = 0;
+  for (const BasicBlock *BB : F)
+    if (hasDivergentBranch(BB))
+      ++Count;
+  return Count;
+}

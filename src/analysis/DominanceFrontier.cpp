@@ -1,0 +1,48 @@
+//===- DominanceFrontier.cpp - DF and iterated DF ------------------------------===//
+
+#include "darm/analysis/DominanceFrontier.h"
+
+#include "darm/analysis/DominatorTree.h"
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Function.h"
+
+using namespace darm;
+
+DominanceFrontier::DominanceFrontier(Function &F, const DominatorTree &DT) {
+  // Cytron et al.: a join block J is in DF(R) for every R on the idom chain
+  // from each predecessor of J up to (but excluding) idom(J).
+  for (BasicBlock *BB : F) {
+    if (!DT.isReachable(BB) || BB->getNumPredecessors() < 2)
+      continue;
+    BasicBlock *IDom = DT.getIDom(BB);
+    for (BasicBlock *Pred : BB->predecessors()) {
+      if (!DT.isReachable(Pred))
+        continue;
+      BasicBlock *Runner = Pred;
+      while (Runner && Runner != IDom) {
+        Frontiers[Runner].insert(BB);
+        Runner = DT.getIDom(Runner);
+      }
+    }
+  }
+}
+
+const std::set<BasicBlock *> &
+DominanceFrontier::getFrontier(BasicBlock *BB) const {
+  auto It = Frontiers.find(BB);
+  return It == Frontiers.end() ? Empty : It->second;
+}
+
+std::set<BasicBlock *> DominanceFrontier::computeIDF(
+    const std::vector<BasicBlock *> &DefBlocks) const {
+  std::set<BasicBlock *> Result;
+  std::vector<BasicBlock *> Worklist(DefBlocks.begin(), DefBlocks.end());
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    for (BasicBlock *J : getFrontier(BB))
+      if (Result.insert(J).second)
+        Worklist.push_back(J);
+  }
+  return Result;
+}

@@ -1,0 +1,216 @@
+//===- DominatorTree.cpp - (Post)dominator trees -----------------------------===//
+
+#include "darm/analysis/DominatorTree.h"
+
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Function.h"
+#include "darm/support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace darm;
+
+namespace {
+
+/// Neighbors in the traversal direction: successors for forward dominance,
+/// predecessors for post-dominance.
+std::vector<BasicBlock *> outEdges(BasicBlock *BB, bool IsPostDom) {
+  if (!IsPostDom)
+    return BB->successors();
+  return BB->predecessors();
+}
+
+/// Neighbors in the reverse direction (used by the CHK update step).
+std::vector<BasicBlock *> inEdges(BasicBlock *BB, bool IsPostDom) {
+  if (!IsPostDom)
+    return BB->predecessors();
+  return BB->successors();
+}
+
+} // namespace
+
+DominatorTreeBase::DominatorTreeBase(Function &F, bool IsPostDom)
+    : IsPostDom(IsPostDom) {
+  // Roots: the entry block, or every exit (no-successor) block.
+  std::vector<BasicBlock *> Roots;
+  if (!IsPostDom) {
+    Roots.push_back(&F.getEntryBlock());
+  } else {
+    for (BasicBlock *BB : F)
+      if (BB->getNumSuccessors() == 0)
+        Roots.push_back(BB);
+  }
+
+  // Post-order DFS from the roots along the traversal direction.
+  std::vector<BasicBlock *> PostOrder;
+  std::unordered_map<BasicBlock *, bool> Visited;
+  for (BasicBlock *Root : Roots) {
+    if (Visited.count(Root))
+      continue;
+    // Iterative DFS with explicit stack of (block, next-child-index).
+    std::vector<std::pair<BasicBlock *, unsigned>> Stack;
+    Visited[Root] = true;
+    Stack.push_back({Root, 0});
+    while (!Stack.empty()) {
+      auto &[BB, ChildIdx] = Stack.back();
+      std::vector<BasicBlock *> Out = outEdges(BB, IsPostDom);
+      if (ChildIdx < Out.size()) {
+        BasicBlock *Next = Out[ChildIdx++];
+        if (!Visited.count(Next)) {
+          Visited[Next] = true;
+          Stack.push_back({Next, 0});
+        }
+      } else {
+        PostOrder.push_back(BB);
+        Stack.pop_back();
+      }
+    }
+  }
+
+  RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0, E = static_cast<unsigned>(RPO.size()); I != E; ++I)
+    Index[RPO[I]] = I;
+
+  // kUnset marks nodes whose idom has not been assigned yet; once assigned
+  // it is either a block index or kVirtualRoot.
+  constexpr unsigned kUnset = kVirtualRoot - 1;
+  IDoms.assign(RPO.size(), kUnset);
+  Levels.assign(RPO.size(), 0);
+
+  std::vector<bool> IsRoot(RPO.size(), false);
+  for (BasicBlock *Root : Roots) {
+    unsigned R = Index[Root];
+    IsRoot[R] = true;
+    IDoms[R] = kVirtualRoot;
+  }
+
+  // Iterate to a fixed point (CHK).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 0, E = static_cast<unsigned>(RPO.size()); I != E; ++I) {
+      if (IsRoot[I])
+        continue;
+      unsigned NewIDom = kUnset;
+      for (BasicBlock *Pred : inEdges(RPO[I], IsPostDom)) {
+        auto It = Index.find(Pred);
+        if (It == Index.end())
+          continue; // unreachable in this direction
+        unsigned P = It->second;
+        if (IDoms[P] == kUnset)
+          continue; // not yet processed
+        NewIDom = (NewIDom == kUnset) ? P : intersect(NewIDom, P);
+      }
+      if (NewIDom != kUnset && IDoms[I] != NewIDom) {
+        IDoms[I] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Compute levels (roots are level 1; the virtual root is level 0). RPO
+  // guarantees an idom's level is computed before its children's.
+  for (unsigned I = 0, E = static_cast<unsigned>(RPO.size()); I != E; ++I) {
+    assert(IDoms[I] != kUnset && "reachable block missing an idom");
+    if (IDoms[I] == kVirtualRoot)
+      Levels[I] = 1;
+    else
+      Levels[I] = Levels[IDoms[I]] + 1;
+  }
+}
+
+unsigned DominatorTreeBase::indexOf(const BasicBlock *BB) const {
+  auto It = Index.find(const_cast<BasicBlock *>(BB));
+  assert(It != Index.end() && "block not reachable in this tree");
+  return It->second;
+}
+
+unsigned DominatorTreeBase::intersect(unsigned A, unsigned B) const {
+  while (A != B) {
+    if (A == kVirtualRoot || B == kVirtualRoot)
+      return kVirtualRoot;
+    while (A > B) {
+      A = IDoms[A];
+      if (A == kVirtualRoot)
+        return kVirtualRoot;
+    }
+    while (B > A) {
+      B = IDoms[B];
+      if (B == kVirtualRoot)
+        return kVirtualRoot;
+    }
+  }
+  return A;
+}
+
+BasicBlock *DominatorTreeBase::getIDom(const BasicBlock *BB) const {
+  unsigned I = indexOf(BB);
+  unsigned D = IDoms[I];
+  return D == kVirtualRoot ? nullptr : RPO[D];
+}
+
+bool DominatorTreeBase::dominates(const BasicBlock *A,
+                                  const BasicBlock *B) const {
+  if (A == B)
+    return true;
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  unsigned IA = indexOf(A);
+  unsigned IB = indexOf(B);
+  // Walk B up the tree; dominators always have smaller RPO indices.
+  while (IB != kVirtualRoot && IB > IA)
+    IB = IDoms[IB];
+  return IB == IA;
+}
+
+bool DominatorTreeBase::dominates(const Instruction *Def,
+                                  const Instruction *User) const {
+  assert(!IsPostDom && "instruction dominance is a forward-tree query");
+  const BasicBlock *DefBB = Def->getParent();
+  const BasicBlock *UserBB = User->getParent();
+  assert(DefBB && UserBB && "instructions must be in blocks");
+  if (DefBB != UserBB)
+    return properlyDominates(DefBB, UserBB);
+  // Same block: Def must come first. Phis conceptually execute in parallel
+  // at the block head; a phi never dominates another phi in the same block
+  // (the verifier forbids such uses).
+  if (User->isPhi())
+    return false;
+  for (const Instruction *I : *DefBB) {
+    if (I == Def)
+      return true;
+    if (I == User)
+      return false;
+  }
+  darm_unreachable("instructions not found in their parent block");
+}
+
+BasicBlock *
+DominatorTreeBase::findNearestCommonDominator(BasicBlock *A,
+                                              BasicBlock *B) const {
+  unsigned IA = indexOf(A);
+  unsigned IB = indexOf(B);
+  while (IA != IB) {
+    if (IA == kVirtualRoot || IB == kVirtualRoot)
+      return nullptr;
+    if (IA > IB)
+      IA = IDoms[IA];
+    else
+      IB = IDoms[IB];
+  }
+  return RPO[IA];
+}
+
+unsigned DominatorTreeBase::getLevel(const BasicBlock *BB) const {
+  return Levels[indexOf(BB)];
+}
+
+std::vector<BasicBlock *>
+DominatorTreeBase::getChildren(const BasicBlock *BB) const {
+  std::vector<BasicBlock *> Result;
+  unsigned I = indexOf(BB);
+  for (unsigned J = 0, E = static_cast<unsigned>(RPO.size()); J != E; ++J)
+    if (IDoms[J] == I)
+      Result.push_back(RPO[J]);
+  return Result;
+}

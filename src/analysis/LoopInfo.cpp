@@ -1,0 +1,90 @@
+//===- LoopInfo.cpp - Natural loop detection ------------------------------------===//
+
+#include "darm/analysis/LoopInfo.h"
+
+#include "darm/analysis/DominatorTree.h"
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Function.h"
+
+#include <algorithm>
+
+using namespace darm;
+
+std::vector<BasicBlock *> Loop::getLatches() const {
+  std::vector<BasicBlock *> Latches;
+  for (BasicBlock *Pred : Header->predecessors())
+    if (contains(Pred))
+      Latches.push_back(Pred);
+  return Latches;
+}
+
+LoopInfo::LoopInfo(Function &F, const DominatorTree &DT) {
+  // Collect the body of each natural loop: for a back edge Latch->Header,
+  // the body is Header plus everything that reaches Latch without passing
+  // Header (walked on the reverse CFG).
+  std::unordered_map<BasicBlock *, Loop *> HeaderMap;
+  for (BasicBlock *BB : F) {
+    if (!DT.isReachable(BB))
+      continue;
+    for (BasicBlock *Succ : BB->successors()) {
+      if (!DT.dominates(Succ, BB))
+        continue; // not a back edge
+      Loop *&L = HeaderMap[Succ];
+      if (!L) {
+        Loops.push_back(std::make_unique<Loop>());
+        L = Loops.back().get();
+        L->Header = Succ;
+        L->Blocks.insert(Succ);
+      }
+      // Reverse flood fill from the latch.
+      std::vector<BasicBlock *> Worklist;
+      if (L->Blocks.insert(BB).second)
+        Worklist.push_back(BB);
+      while (!Worklist.empty()) {
+        BasicBlock *Cur = Worklist.back();
+        Worklist.pop_back();
+        for (BasicBlock *Pred : Cur->predecessors())
+          if (DT.isReachable(Pred) && L->Blocks.insert(Pred).second)
+            Worklist.push_back(Pred);
+      }
+    }
+  }
+
+  // Nesting: sort loops by size ascending; the innermost loop for a block
+  // is the smallest loop containing it. A loop's parent is the smallest
+  // strictly larger loop containing its header.
+  std::vector<Loop *> BySize;
+  for (const auto &L : Loops)
+    BySize.push_back(L.get());
+  std::sort(BySize.begin(), BySize.end(), [](Loop *A, Loop *B) {
+    return A->Blocks.size() < B->Blocks.size();
+  });
+  for (Loop *L : BySize)
+    for (BasicBlock *BB : L->Blocks)
+      if (!BlockMap.count(BB))
+        BlockMap[BB] = L;
+  for (Loop *L : BySize) {
+    for (Loop *Candidate : BySize) {
+      if (Candidate == L || Candidate->Blocks.size() <= L->Blocks.size())
+        continue;
+      if (Candidate->contains(L->Header)) {
+        L->Parent = Candidate;
+        Candidate->SubLoops.push_back(L);
+        break;
+      }
+    }
+  }
+}
+
+Loop *LoopInfo::getLoopFor(const BasicBlock *BB) const {
+  auto It = BlockMap.find(BB);
+  return It == BlockMap.end() ? nullptr : It->second;
+}
+
+std::vector<Loop *> LoopInfo::topLevelLoops() const {
+  std::vector<Loop *> Result;
+  for (const auto &L : Loops)
+    if (!L->getParent())
+      Result.push_back(L.get());
+  return Result;
+}

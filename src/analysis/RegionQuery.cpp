@@ -1,0 +1,106 @@
+//===- RegionQuery.cpp - SESE region queries -----------------------------------===//
+
+#include "darm/analysis/RegionQuery.h"
+
+#include "darm/analysis/DominatorTree.h"
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Function.h"
+
+using namespace darm;
+
+std::set<BasicBlock *> RegionQuery::collectBlocks(BasicBlock *Entry,
+                                                  BasicBlock *Exit) const {
+  std::set<BasicBlock *> Body;
+  std::vector<BasicBlock *> Worklist{Entry};
+  Body.insert(Entry);
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    for (BasicBlock *Succ : BB->successors())
+      if (Succ != Exit && Body.insert(Succ).second)
+        Worklist.push_back(Succ);
+  }
+  return Body;
+}
+
+bool RegionQuery::isRegion(BasicBlock *Entry, BasicBlock *Exit) const {
+  if (Entry == Exit)
+    return false;
+  if (!DT.isReachable(Entry) || !DT.isReachable(Exit))
+    return false;
+  std::set<BasicBlock *> Body = collectBlocks(Entry, Exit);
+  if (Body.count(Exit))
+    return false; // exit reachable only *around* itself: not a region
+  for (BasicBlock *BB : Body) {
+    // Only Entry may receive edges from outside the body.
+    if (BB != Entry) {
+      for (BasicBlock *Pred : BB->predecessors())
+        if (!Body.count(Pred))
+          return false;
+    }
+    // Edges leaving the body must target Exit (collectBlocks guarantees
+    // successors are in Body or equal to Exit, so nothing to re-check).
+  }
+  // Entry must not have body-internal back edges from outside... it may
+  // have them from inside (loops). Outside preds are the entry edges.
+  return true;
+}
+
+bool RegionQuery::isSimpleRegion(BasicBlock *Entry, BasicBlock *Exit) const {
+  if (!isRegion(Entry, Exit))
+    return false;
+  return countEntryEdges(Entry, Exit) == 1 && countExitEdges(Entry, Exit) == 1;
+}
+
+unsigned RegionQuery::countEntryEdges(BasicBlock *Entry,
+                                      BasicBlock *Exit) const {
+  std::set<BasicBlock *> Body = collectBlocks(Entry, Exit);
+  unsigned Count = 0;
+  for (BasicBlock *Pred : Entry->predecessors())
+    if (!Body.count(Pred))
+      ++Count;
+  return Count;
+}
+
+unsigned RegionQuery::countExitEdges(BasicBlock *Entry,
+                                     BasicBlock *Exit) const {
+  std::set<BasicBlock *> Body = collectBlocks(Entry, Exit);
+  unsigned Count = 0;
+  for (BasicBlock *Pred : Exit->predecessors())
+    if (Body.count(Pred))
+      ++Count;
+  return Count;
+}
+
+RegionDesc RegionQuery::getSmallestRegion(BasicBlock *Entry) const {
+  // Candidate exits are Entry's proper post-dominators, nearest first.
+  if (!PDT.isReachable(Entry))
+    return {};
+  for (BasicBlock *X = PDT.getIDom(Entry); X; X = PDT.getIDom(X))
+    if (isRegion(Entry, X))
+      return {Entry, X};
+  return {};
+}
+
+RegionDesc RegionQuery::getLargestRegionWithin(
+    BasicBlock *Entry, const std::set<BasicBlock *> &Within,
+    BasicBlock *Barrier) const {
+  if (!PDT.isReachable(Entry))
+    return {};
+  RegionDesc Best;
+  for (BasicBlock *X = PDT.getIDom(Entry); X && X != Barrier;
+       X = PDT.getIDom(X)) {
+    if (!isRegion(Entry, X))
+      continue;
+    // The body must stay inside the enclosing set.
+    bool Inside = true;
+    for (BasicBlock *BB : collectBlocks(Entry, X))
+      if (!Within.count(BB)) {
+        Inside = false;
+        break;
+      }
+    if (Inside)
+      Best = {Entry, X}; // keep scanning: farther exits are larger regions
+  }
+  return Best;
+}

@@ -1,0 +1,226 @@
+//===- Verifier.cpp - IR well-formedness checks ---------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+
+#include "darm/analysis/DominatorTree.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+using namespace darm;
+
+namespace {
+
+class VerifierImpl {
+public:
+  explicit VerifierImpl(Function &F) : F(F) {}
+
+  bool run(std::string *Error) {
+    checkStructure();
+    if (Failed)
+      return report(Error);
+    checkPredSuccConsistency();
+    checkPhis();
+    checkTypes();
+    if (Failed)
+      return report(Error);
+    checkSSADominance();
+    return report(Error);
+  }
+
+private:
+  bool report(std::string *Error) {
+    if (Failed && Error)
+      *Error = Message;
+    return !Failed;
+  }
+
+  void fail(const std::string &Msg) {
+    if (!Failed) {
+      Failed = true;
+      Message = "in function '" + F.getName() + "': " + Msg;
+    }
+  }
+
+  void failAt(const Instruction *I, const std::string &Msg) {
+    fail(Msg + " [" + printInstruction(*I) + "]");
+  }
+
+  void checkStructure() {
+    if (F.empty()) {
+      fail("function has no blocks");
+      return;
+    }
+    if (F.getEntryBlock().getNumPredecessors() != 0)
+      fail("entry block must not have predecessors");
+    for (BasicBlock *BB : F) {
+      if (BB->empty()) {
+        fail("block '" + BB->getName() + "' is empty");
+        continue;
+      }
+      if (!BB->getTerminator()) {
+        fail("block '" + BB->getName() + "' lacks a terminator");
+        continue;
+      }
+      bool SeenNonPhi = false;
+      for (Instruction *I : *BB) {
+        if (I->isTerminator() && I != BB->back()) {
+          failAt(I, "terminator in the middle of block '" + BB->getName() +
+                        "'");
+          return;
+        }
+        if (I->isPhi() && SeenNonPhi) {
+          failAt(I, "phi after non-phi in block '" + BB->getName() + "'");
+          return;
+        }
+        if (!I->isPhi())
+          SeenNonPhi = true;
+        if (I->getParent() != BB) {
+          failAt(I, "instruction parent pointer is wrong");
+          return;
+        }
+      }
+      for (BasicBlock *Succ : BB->successors())
+        if (Succ->getParent() != &F) {
+          fail("successor of '" + BB->getName() +
+               "' belongs to another function");
+          return;
+        }
+    }
+  }
+
+  void checkPredSuccConsistency() {
+    // Recompute predecessor multisets from terminators and compare.
+    std::map<BasicBlock *, std::multiset<BasicBlock *>> Expected;
+    for (BasicBlock *BB : F)
+      for (BasicBlock *Succ : BB->successors())
+        Expected[Succ].insert(BB);
+    for (BasicBlock *BB : F) {
+      std::multiset<BasicBlock *> Actual(BB->predecessors().begin(),
+                                         BB->predecessors().end());
+      if (Actual != Expected[BB]) {
+        fail("predecessor list of '" + BB->getName() +
+             "' is out of sync with terminators");
+        return;
+      }
+    }
+  }
+
+  void checkPhis() {
+    for (BasicBlock *BB : F) {
+      // Distinct predecessor blocks (duplicate edges collapse to one phi
+      // entry, as in LLVM).
+      std::set<BasicBlock *> PredSet(BB->predecessors().begin(),
+                                     BB->predecessors().end());
+      for (PhiInst *P : BB->phis()) {
+        std::set<BasicBlock *> Seen;
+        for (unsigned I = 0, E = P->getNumIncoming(); I != E; ++I) {
+          BasicBlock *In = P->getIncomingBlock(I);
+          if (!Seen.insert(In).second) {
+            failAt(P, "duplicate phi entry for block '" + In->getName() +
+                          "'");
+            return;
+          }
+          if (!PredSet.count(In)) {
+            failAt(P, "phi entry for non-predecessor '" + In->getName() +
+                          "'");
+            return;
+          }
+        }
+        if (Seen.size() != PredSet.size()) {
+          failAt(P, "phi does not cover all predecessors of '" +
+                        BB->getName() + "'");
+          return;
+        }
+      }
+    }
+  }
+
+  void checkTypes() {
+    for (BasicBlock *BB : F)
+      for (Instruction *I : *BB) {
+        if (I->isBinaryOp()) {
+          if (I->getOperand(0)->getType() != I->getOperand(1)->getType() ||
+              I->getOperand(0)->getType() != I->getType())
+            failAt(I, "binary operand/result type mismatch");
+        } else if (auto *S = dyn_cast<StoreInst>(I)) {
+          if (!S->getPointer()->getType()->isPointer() ||
+              S->getPointer()->getType()->getPointee() !=
+                  S->getValueOperand()->getType())
+            failAt(I, "store value/pointer type mismatch");
+        } else if (auto *B = dyn_cast<CondBrInst>(I)) {
+          if (!B->getCondition()->getType()->isInt1())
+            failAt(I, "branch condition must be i1");
+        } else if (auto *P = dyn_cast<PhiInst>(I)) {
+          for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K)
+            if (P->getIncomingValue(K)->getType() != P->getType())
+              failAt(I, "phi incoming type mismatch");
+        }
+        // Operand use-list back references.
+        for (unsigned K = 0, E = I->getNumOperands(); K != E; ++K) {
+          const auto &Uses = I->getOperand(K)->uses();
+          if (std::find(Uses.begin(), Uses.end(),
+                        Use{I, K}) == Uses.end()) {
+            failAt(I, "operand use-list missing back reference");
+            return;
+          }
+        }
+      }
+  }
+
+  void checkSSADominance() {
+    DominatorTree DT(F);
+    for (BasicBlock *BB : F) {
+      if (!DT.isReachable(BB))
+        continue; // values in unreachable code are unconstrained
+      for (Instruction *I : *BB) {
+        for (unsigned K = 0, E = I->getNumOperands(); K != E; ++K) {
+          auto *Def = dyn_cast<Instruction>(I->getOperand(K));
+          if (!Def)
+            continue;
+          if (!Def->getParent()) {
+            failAt(I, "operand instruction is not in any block");
+            return;
+          }
+          if (auto *P = dyn_cast<PhiInst>(I)) {
+            BasicBlock *In = P->getIncomingBlock(K);
+            if (!DT.isReachable(In))
+              continue;
+            // The def must dominate the end of the incoming block.
+            if (!DT.dominates(Def->getParent(), In)) {
+              failAt(I, "phi incoming value does not dominate its edge");
+              return;
+            }
+            continue;
+          }
+          if (!DT.dominates(Def, I)) {
+            failAt(I, "definition does not dominate use");
+            return;
+          }
+        }
+      }
+    }
+  }
+
+  Function &F;
+  bool Failed = false;
+  std::string Message;
+};
+
+} // namespace
+
+bool darm::verifyFunction(Function &F, std::string *Error) {
+  return VerifierImpl(F).run(Error);
+}
+
+bool darm::verifyModule(Module &M, std::string *Error) {
+  for (const auto &F : M.functions())
+    if (!verifyFunction(*F, Error))
+      return false;
+  return true;
+}

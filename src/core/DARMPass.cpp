@@ -1,0 +1,107 @@
+//===- DARMPass.cpp - Control-flow melding driver -----------------------------===//
+
+#include "darm/core/DARMPass.h"
+
+#include "darm/analysis/DivergenceAnalysis.h"
+#include "darm/analysis/DominanceFrontier.h"
+#include "darm/analysis/DominatorTree.h"
+#include "darm/analysis/RegionQuery.h"
+#include "darm/analysis/Verifier.h"
+#include "darm/core/Melder.h"
+#include "darm/core/MeldRegionAnalysis.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/support/ErrorHandling.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/SSAUpdater.h"
+#include "darm/transform/SimplifyCFG.h"
+
+#include <cstdio>
+#include <memory>
+
+using namespace darm;
+
+namespace {
+
+/// One analysis snapshot; rebuilt after every CFG mutation.
+struct Analyses {
+  explicit Analyses(Function &F)
+      : DT(F), PDT(F), DF(F, DT), DA(F, DT, DF), RQ(F, DT, PDT) {}
+  DominatorTree DT;
+  PostDominatorTree PDT;
+  DominanceFrontier DF;
+  DivergenceAnalysis DA;
+  RegionQuery RQ;
+};
+
+/// Finds, simplifies and melds one region. Returns true if the CFG
+/// changed (melds done or simplification applied).
+bool meldOneRegion(Function &F, const DARMConfig &Cfg, DARMStats *Stats) {
+  auto A = std::make_unique<Analyses>(F);
+  for (BasicBlock *BB : F) {
+    auto MR = detectMeldableRegion(BB, A->RQ, A->DA);
+    if (!MR)
+      continue;
+
+    // Region simplification may insert merge blocks; recompute analyses
+    // and re-detect (entry/exit are stable across simplification).
+    if (simplifyRegion(F, *MR, A->RQ)) {
+      A = std::make_unique<Analyses>(F);
+      MR = detectMeldableRegion(BB, A->RQ, A->DA);
+      if (!MR)
+        return true; // CFG changed; caller re-runs
+    }
+
+    if (!buildChains(*MR, A->RQ))
+      continue; // unstructured path: skip this region
+
+    std::vector<MeldCandidate> Melds = alignChains(*MR, Cfg);
+    if (Melds.empty())
+      continue;
+
+    for (const MeldCandidate &C : Melds)
+      meldCandidate(F, MR->Cond, C, Cfg, Stats);
+    if (Stats)
+      ++Stats->RegionsMelded;
+    return true;
+  }
+  return false;
+}
+
+bool runMelding(Function &F, const DARMConfig &Cfg, DARMStats *Stats) {
+  bool Changed = false;
+  for (unsigned Iter = 0; Iter < Cfg.MaxIterations; ++Iter) {
+    if (Stats)
+      Stats->Iterations = Iter + 1;
+    if (!meldOneRegion(F, Cfg, Stats))
+      break;
+    Changed = true;
+    // Paper: simplify the control flow and recompute the control-flow
+    // analyses, then scan again (Algorithm 1's do-while).
+    repairFunctionSSA(F);
+    simplifyCFG(F);
+    eliminateDeadCode(F);
+    if (Cfg.VerifyEachStep) {
+      std::string Err;
+      if (!verifyFunction(F, &Err)) {
+        std::fprintf(stderr, "DARM produced invalid IR: %s\n%s\n",
+                     Err.c_str(), printFunction(F).c_str());
+        reportFatalError("melding broke the IR invariants");
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool darm::runDARM(Function &F, const DARMConfig &Cfg, DARMStats *Stats) {
+  return runMelding(F, Cfg, Stats);
+}
+
+bool darm::runBranchFusion(Function &F, DARMStats *Stats) {
+  DARMConfig Cfg;
+  Cfg.DiamondOnly = true;
+  Cfg.EnableRegionReplication = false;
+  return runMelding(F, Cfg, Stats);
+}

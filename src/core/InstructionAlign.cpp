@@ -1,0 +1,83 @@
+//===- InstructionAlign.cpp - Intra-block instruction alignment ----------------===//
+
+#include "darm/core/InstructionAlign.h"
+
+#include "darm/analysis/CostModel.h"
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Instruction.h"
+
+using namespace darm;
+
+bool darm::areInstructionsCompatible(const Instruction *A,
+                                     const Instruction *B) {
+  if (A->getOpcode() != B->getOpcode())
+    return false;
+  if (A->getType() != B->getType())
+    return false;
+  if (A->getNumOperands() != B->getNumOperands())
+    return false;
+  // Operand types must match pairwise so selects between the two sides'
+  // operands are well-typed.
+  for (unsigned I = 0, E = A->getNumOperands(); I != E; ++I)
+    if (A->getOperand(I)->getType() != B->getOperand(I)->getType())
+      return false;
+
+  switch (A->getOpcode()) {
+  case Opcode::ICmp:
+    return cast<ICmpInst>(A)->getPredicate() ==
+           cast<ICmpInst>(B)->getPredicate();
+  case Opcode::FCmp:
+    return cast<FCmpInst>(A)->getPredicate() ==
+           cast<FCmpInst>(B)->getPredicate();
+  case Opcode::Call: {
+    // Convergent intrinsics must never be melded into divergent control
+    // flow (deadlock risk, §IV-C); subgraphs containing them are already
+    // rejected, but be defensive here too.
+    Intrinsic IA = cast<CallInst>(A)->getIntrinsic();
+    return IA == cast<CallInst>(B)->getIntrinsic() && !A->isConvergent();
+  }
+  case Opcode::Phi:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    return false; // handled structurally, never via the aligner
+  default:
+    return true;
+  }
+}
+
+std::vector<Instruction *> darm::alignableInstructions(BasicBlock *BB) {
+  std::vector<Instruction *> Result;
+  for (Instruction *I : *BB)
+    if (!I->isPhi() && !I->isTerminator())
+      Result.push_back(I);
+  return Result;
+}
+
+std::vector<InstrAlignEntry> darm::alignInstructions(BasicBlock *TrueBB,
+                                                     BasicBlock *FalseBB,
+                                                     double GapPenalty) {
+  std::vector<Instruction *> T = alignableInstructions(TrueBB);
+  std::vector<Instruction *> F = alignableInstructions(FalseBB);
+
+  auto Score = [&](unsigned I, unsigned J) -> double {
+    if (!areInstructionsCompatible(T[I], F[J]))
+      return -1e9;
+    // Melding saves one of the two (equal) latencies; weighting by latency
+    // prioritizes aligning expensive instructions (loads, divides).
+    return static_cast<double>(CostModel::getLatency(T[I]));
+  };
+
+  std::vector<InstrAlignEntry> Result;
+  for (const AlignEntry &E : smithWaterman(
+           static_cast<unsigned>(T.size()), static_cast<unsigned>(F.size()),
+           Score, GapPenalty)) {
+    InstrAlignEntry IE;
+    if (E.A >= 0)
+      IE.TrueInst = T[static_cast<unsigned>(E.A)];
+    if (E.B >= 0)
+      IE.FalseInst = F[static_cast<unsigned>(E.B)];
+    Result.push_back(IE);
+  }
+  return Result;
+}

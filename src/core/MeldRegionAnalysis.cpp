@@ -1,0 +1,467 @@
+//===- MeldRegionAnalysis.cpp - Meldable divergent regions ---------------------===//
+
+#include "darm/core/MeldRegionAnalysis.h"
+
+#include "darm/analysis/CostModel.h"
+#include "darm/analysis/DivergenceAnalysis.h"
+#include "darm/analysis/DominatorTree.h"
+#include "darm/analysis/RegionQuery.h"
+#include "darm/core/Profitability.h"
+#include "darm/core/SequenceAlign.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace darm;
+
+bool SESESubgraph::contains(const BasicBlock *BB) const {
+  return std::find(Blocks.begin(), Blocks.end(), BB) != Blocks.end();
+}
+
+bool SESESubgraph::hasConvergentOps() const {
+  for (BasicBlock *BB : Blocks)
+    for (Instruction *I : *BB)
+      if (I->isConvergent())
+        return true;
+  return false;
+}
+
+bool SESESubgraph::isAcyclic() const {
+  // Three-color DFS within the body.
+  std::map<BasicBlock *, int> Color;
+  std::vector<std::pair<BasicBlock *, unsigned>> Stack{{Entry, 0}};
+  Color[Entry] = 1;
+  while (!Stack.empty()) {
+    auto &[BB, Idx] = Stack.back();
+    std::vector<BasicBlock *> Succs = BB->successors();
+    if (Idx < Succs.size()) {
+      BasicBlock *S = Succs[Idx++];
+      if (!contains(S))
+        continue;
+      int C = Color[S];
+      if (C == 1)
+        return false; // back edge
+      if (C == 0) {
+        Color[S] = 1;
+        Stack.push_back({S, 0});
+      }
+    } else {
+      Color[BB] = 2;
+      Stack.pop_back();
+    }
+  }
+  return true;
+}
+
+unsigned SESESubgraph::totalLatency() const {
+  unsigned Total = 0;
+  for (BasicBlock *BB : Blocks)
+    Total += CostModel::getBlockLatency(*BB);
+  return Total;
+}
+
+std::optional<MeldableRegion>
+darm::detectMeldableRegion(BasicBlock *BB, const RegionQuery &RQ,
+                           const DivergenceAnalysis &DA) {
+  auto *Br = dyn_cast_or_null<CondBrInst>(BB->getTerminator());
+  if (!Br)
+    return std::nullopt;
+  // Condition 1 of Definition 5: the entry branch is divergent.
+  if (!DA.isDivergent(Br->getCondition()))
+    return std::nullopt;
+
+  BasicBlock *BT = Br->getTrueSuccessor();
+  BasicBlock *BF = Br->getFalseSuccessor();
+  if (BT == BF)
+    return std::nullopt;
+
+  RegionDesc R = RQ.getSmallestRegion(BB);
+  if (!R.isValid())
+    return std::nullopt;
+
+  // Condition 2: neither successor post-dominates the other, so both paths
+  // contain at least one SESE subgraph.
+  const PostDominatorTree &PDT = RQ.getPostDomTree();
+  if (!PDT.isReachable(BT) || !PDT.isReachable(BF))
+    return std::nullopt;
+  if (PDT.dominates(BT, BF) || PDT.dominates(BF, BT))
+    return std::nullopt;
+  if (BT == R.Exit || BF == R.Exit)
+    return std::nullopt;
+
+  MeldableRegion MR;
+  MR.Entry = BB;
+  MR.Exit = R.Exit;
+  MR.Cond = Br->getCondition();
+  return MR;
+}
+
+namespace {
+
+/// Finds the next SESE subgraph starting at \p Cur inside the region, or
+/// nullopt if the path is unstructured at this point.
+std::optional<SESESubgraph>
+carveSubgraph(BasicBlock *Cur, BasicBlock *RegionExit,
+              const std::set<BasicBlock *> &RegionBlocks,
+              const RegionQuery &RQ) {
+  const PostDominatorTree &PDT = RQ.getPostDomTree();
+  if (!PDT.isReachable(Cur))
+    return std::nullopt;
+
+  // The nearest post-dominator that closes a region gives the *finest*
+  // decomposition (single blocks stay single; an if-then becomes one
+  // multi-block subgraph).
+  for (BasicBlock *X = PDT.getIDom(Cur); X; X = PDT.getIDom(X)) {
+    bool XInside = RegionBlocks.count(X) || X == RegionExit;
+    if (!XInside)
+      break;
+    if (!RQ.isRegion(Cur, X))
+      continue;
+    std::set<BasicBlock *> Body = RQ.collectBlocks(Cur, X);
+    bool Inside = true;
+    for (BasicBlock *B : Body)
+      if (!RegionBlocks.count(B)) {
+        Inside = false;
+        break;
+      }
+    if (!Inside)
+      break;
+
+    // A SESE subgraph needs exactly one exit edge; a diamond whose arms
+    // both edge into the candidate exit is not SESE at this level, so keep
+    // walking up the post-dominator chain (the subgraph then extends
+    // *through* the join block, like (C, X1) in the paper's Fig. 4).
+    BasicBlock *Last = nullptr;
+    unsigned ExitEdges = 0;
+    for (BasicBlock *P : X->predecessors())
+      if (Body.count(P)) {
+        ++ExitEdges;
+        Last = P;
+      }
+    if (ExitEdges != 1)
+      continue;
+
+    SESESubgraph SG;
+    SG.Entry = Cur;
+    SG.ExitTarget = X;
+    SG.LastBlock = Last;
+    // Pre-order DFS for deterministic block order.
+    std::set<BasicBlock *> Visited{Cur};
+    std::vector<BasicBlock *> Stack{Cur};
+    while (!Stack.empty()) {
+      BasicBlock *B = Stack.back();
+      Stack.pop_back();
+      SG.Blocks.push_back(B);
+      std::vector<BasicBlock *> Succs = B->successors();
+      // Push in reverse so the true arm is visited first.
+      for (auto It = Succs.rbegin(); It != Succs.rend(); ++It)
+        if (*It != X && Body.count(*It) && Visited.insert(*It).second)
+          Stack.push_back(*It);
+    }
+    return SG;
+  }
+  return std::nullopt;
+}
+
+/// Inserts \p Xnew-style merge blocks so that the subgraph ending before
+/// \p Target has exactly one exit edge. \p BodyPreds are the body blocks
+/// with edges into Target. Returns the new merge block.
+BasicBlock *mergeExitEdges(Function &F, BasicBlock *Target,
+                           const std::vector<BasicBlock *> &BodyPreds) {
+  Context &Ctx = F.getContext();
+  BasicBlock *Xnew = F.createBlock(Target->getName() + ".merge", Target);
+
+  // Migrate phi entries: values arriving from BodyPreds now merge in Xnew.
+  for (PhiInst *P : Target->phis()) {
+    std::vector<std::pair<Value *, BasicBlock *>> Moved;
+    for (BasicBlock *Pred : BodyPreds) {
+      int Idx = P->getBlockIndex(Pred);
+      if (Idx < 0)
+        continue;
+      Moved.push_back({P->getIncomingValue(static_cast<unsigned>(Idx)), Pred});
+      P->removeIncoming(static_cast<unsigned>(Idx));
+    }
+    if (Moved.empty())
+      continue;
+    if (Moved.size() == 1) {
+      P->addIncoming(Moved.front().first, Xnew);
+    } else {
+      auto *NewPhi = new PhiInst(P->getType());
+      Xnew->insert(Xnew->begin(), NewPhi);
+      for (const auto &[V, Pred] : Moved)
+        NewPhi->addIncoming(V, Pred);
+      P->addIncoming(NewPhi, Xnew);
+    }
+  }
+  for (BasicBlock *Pred : BodyPreds)
+    Pred->getTerminator()->replaceSuccessor(Target, Xnew);
+  Xnew->push_back(new BrInst(Target, Ctx.getVoidTy()));
+  return Xnew;
+}
+
+/// Walks one divergent path, inserting merge blocks wherever a candidate
+/// subgraph has several exit edges. Returns true on CFG change.
+bool simplifyPath(Function &F, BasicBlock *PathStart, BasicBlock *RegionExit,
+                  const RegionQuery &RQ,
+                  const std::set<BasicBlock *> &RegionBlocks) {
+  bool Changed = false;
+  const PostDominatorTree &PDT = RQ.getPostDomTree();
+  BasicBlock *Cur = PathStart;
+  unsigned Guard = 0;
+  while (Cur != RegionExit && ++Guard < 1024) {
+    if (!PDT.isReachable(Cur))
+      break;
+    // Find this element's exit the same way carveSubgraph does.
+    BasicBlock *Exit = nullptr;
+    std::set<BasicBlock *> Body;
+    for (BasicBlock *X = PDT.getIDom(Cur); X; X = PDT.getIDom(X)) {
+      bool XInside = RegionBlocks.count(X) || X == RegionExit;
+      if (!XInside)
+        break;
+      if (!RQ.isRegion(Cur, X))
+        continue;
+      std::set<BasicBlock *> B = RQ.collectBlocks(Cur, X);
+      bool Inside = true;
+      for (BasicBlock *BB : B)
+        if (!RegionBlocks.count(BB)) {
+          Inside = false;
+          break;
+        }
+      if (!Inside)
+        break;
+      Exit = X;
+      Body = std::move(B);
+      break;
+    }
+    if (!Exit)
+      break; // unstructured; buildChains will reject it
+
+    std::vector<BasicBlock *> BodyPreds;
+    for (BasicBlock *P : Exit->predecessors())
+      if (Body.count(P))
+        BodyPreds.push_back(P);
+    if (BodyPreds.size() > 1) {
+      mergeExitEdges(F, Exit, BodyPreds);
+      Changed = true;
+      // The merge block joins the body; chain continues at Exit either
+      // way. (Analyses are stale now; the caller recomputes them.)
+    }
+    Cur = Exit;
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool darm::simplifyRegion(Function &F, MeldableRegion &MR,
+                          const RegionQuery &RQ) {
+  std::set<BasicBlock *> Blocks = RQ.collectBlocks(MR.Entry, MR.Exit);
+  auto *Br = cast<CondBrInst>(MR.Entry->getTerminator());
+  bool Changed = false;
+  Changed |=
+      simplifyPath(F, Br->getTrueSuccessor(), MR.Exit, RQ, Blocks);
+  Changed |=
+      simplifyPath(F, Br->getFalseSuccessor(), MR.Exit, RQ, Blocks);
+  return Changed;
+}
+
+bool darm::buildChains(MeldableRegion &MR, const RegionQuery &RQ) {
+  std::set<BasicBlock *> Blocks = RQ.collectBlocks(MR.Entry, MR.Exit);
+  auto *Br = cast<CondBrInst>(MR.Entry->getTerminator());
+
+  auto BuildPath = [&](BasicBlock *Start,
+                       std::vector<SESESubgraph> &Chain) -> bool {
+    BasicBlock *Cur = Start;
+    unsigned Guard = 0;
+    while (Cur != MR.Exit && ++Guard < 1024) {
+      std::optional<SESESubgraph> SG =
+          carveSubgraph(Cur, MR.Exit, Blocks, RQ);
+      if (!SG)
+        return false;
+      BasicBlock *Next = SG->ExitTarget;
+      Chain.push_back(std::move(*SG));
+      Cur = Next;
+    }
+    return Cur == MR.Exit && !Chain.empty();
+  };
+
+  MR.TrueChain.clear();
+  MR.FalseChain.clear();
+  return BuildPath(Br->getTrueSuccessor(), MR.TrueChain) &&
+         BuildPath(Br->getFalseSuccessor(), MR.FalseChain);
+}
+
+std::optional<std::vector<std::pair<BasicBlock *, BasicBlock *>>>
+darm::matchSubgraphStructure(const SESESubgraph &T, const SESESubgraph &F) {
+  if (T.Blocks.size() != F.Blocks.size())
+    return std::nullopt;
+
+  std::map<BasicBlock *, BasicBlock *> Map; // T-side -> F-side
+  std::set<BasicBlock *> MappedF;
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> Order;
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> Stack;
+
+  auto AddPair = [&](BasicBlock *A, BasicBlock *B) {
+    Map[A] = B;
+    MappedF.insert(B);
+    Order.push_back({A, B});
+    Stack.push_back({A, B});
+  };
+  AddPair(T.Entry, F.Entry);
+
+  while (!Stack.empty()) {
+    auto [A, B] = Stack.back();
+    Stack.pop_back();
+    Instruction *TA = A->getTerminator();
+    Instruction *TB = B->getTerminator();
+    if (!TA || !TB || TA->getOpcode() != TB->getOpcode())
+      return std::nullopt;
+    unsigned N = TA->getNumSuccessors();
+    if (N != TB->getNumSuccessors())
+      return std::nullopt;
+    for (unsigned I = 0; I != N; ++I) {
+      BasicBlock *SA = TA->getSuccessor(I);
+      BasicBlock *SB = TB->getSuccessor(I);
+      bool ExitA = (SA == T.ExitTarget);
+      bool ExitB = (SB == F.ExitTarget);
+      if (ExitA != ExitB)
+        return std::nullopt;
+      if (ExitA)
+        continue;
+      if (!T.contains(SA) || !F.contains(SB))
+        return std::nullopt; // edge escaping the body: not simple
+      auto It = Map.find(SA);
+      if (It != Map.end()) {
+        if (It->second != SB)
+          return std::nullopt;
+        continue;
+      }
+      if (MappedF.count(SB))
+        return std::nullopt;
+      AddPair(SA, SB);
+    }
+  }
+  if (Order.size() != T.Blocks.size())
+    return std::nullopt; // some body block unreachable in lockstep walk
+  return Order;
+}
+
+MeldCandidate darm::analyzeMeldability(const SESESubgraph &T,
+                                       const SESESubgraph &F,
+                                       const DARMConfig &Cfg) {
+  MeldCandidate C;
+  C.TrueSG = &T;
+  C.FalseSG = &F;
+
+  // Convergent operations must stay out of melded control flow.
+  if (T.hasConvergentOps() || F.hasConvergentOps())
+    return C;
+
+  double AbsSaving = 0;
+  if (T.isSingleBlock() && F.isSingleBlock()) {
+    C.Kind = MeldKind::BlockBlock;
+    C.Mapping = {{T.Entry, F.Entry}};
+    C.Profit = blockMeldProfitWithOverhead(*T.Entry, *F.Entry, &AbsSaving);
+    if (AbsSaving < Cfg.MinAbsoluteSaving)
+      C.Kind = MeldKind::None;
+    return C;
+  }
+
+  if (!T.isSingleBlock() && !F.isSingleBlock()) {
+    auto Mapping = matchSubgraphStructure(T, F);
+    if (!Mapping)
+      return C;
+    C.Kind = MeldKind::RegionRegion;
+    C.Mapping = std::move(*Mapping);
+    C.Profit = subgraphMeldProfitWithOverhead(C.Mapping, &AbsSaving);
+    if (AbsSaving < Cfg.MinAbsoluteSaving)
+      C.Kind = MeldKind::None;
+    return C;
+  }
+
+  // Single block vs. region: region replication (case 2). Restricted to
+  // acyclic region bodies (steering through a replicated loop is not
+  // meaningful).
+  if (!Cfg.EnableRegionReplication)
+    return C;
+  const SESESubgraph &Single = T.isSingleBlock() ? T : F;
+  const SESESubgraph &Region = T.isSingleBlock() ? F : T;
+  if (!Region.isAcyclic())
+    return C;
+
+  BasicBlock *Best = nullptr;
+  double BestProfit = -1.0;
+  double BestAbs = 0;
+  for (BasicBlock *BB : Region.Blocks) {
+    double Abs = 0;
+    double P = blockMeldProfitWithOverhead(*Single.Entry, *BB, &Abs);
+    if (P > BestProfit) {
+      BestProfit = P;
+      Best = BB;
+      BestAbs = Abs;
+    }
+  }
+  if (!Best || BestAbs < Cfg.MinAbsoluteSaving)
+    return C;
+  C.Kind = MeldKind::BlockRegion;
+  C.BestMatch = Best;
+  C.SingleIsTrue = T.isSingleBlock();
+  C.Mapping = {T.isSingleBlock()
+                   ? std::make_pair(Single.Entry, Best)
+                   : std::make_pair(Best, Single.Entry)};
+  // MP_S over the correspondence O = {(A, BestMatch)} collapses to MP_B of
+  // the matched pair (§IV-C: the alignment scores the pair by its melding
+  // profitability; unmatched region blocks are not in O).
+  C.Profit = BestProfit;
+  return C;
+}
+
+std::vector<MeldCandidate> darm::alignChains(const MeldableRegion &MR,
+                                             const DARMConfig &Cfg) {
+  const auto &TC = MR.TrueChain;
+  const auto &FC = MR.FalseChain;
+
+  // In DiamondOnly (branch fusion) mode only pure diamonds are melded:
+  // one single-block subgraph on each path.
+  if (Cfg.DiamondOnly) {
+    if (TC.size() != 1 || FC.size() != 1 || !TC[0].isSingleBlock() ||
+        !FC[0].isSingleBlock())
+      return {};
+    MeldCandidate C = analyzeMeldability(TC[0], FC[0], Cfg);
+    if (C.Kind == MeldKind::BlockBlock && C.Profit >= Cfg.ProfitThreshold)
+      return {C};
+    return {};
+  }
+
+  // Memoize candidate analysis for the SW scoring function.
+  std::map<std::pair<unsigned, unsigned>, MeldCandidate> Memo;
+  auto GetCand = [&](unsigned I, unsigned J) -> const MeldCandidate & {
+    auto Key = std::make_pair(I, J);
+    auto It = Memo.find(Key);
+    if (It == Memo.end())
+      It = Memo.emplace(Key, analyzeMeldability(TC[I], FC[J], Cfg)).first;
+    return It->second;
+  };
+
+  auto Score = [&](unsigned I, unsigned J) -> double {
+    const MeldCandidate &C = GetCand(I, J);
+    return C.Kind == MeldKind::None ? -1e9 : C.Profit;
+  };
+
+  std::vector<MeldCandidate> Result;
+  for (const AlignEntry &E :
+       smithWaterman(static_cast<unsigned>(TC.size()),
+                     static_cast<unsigned>(FC.size()), Score,
+                     Cfg.SubgraphGapPenalty)) {
+    if (!E.isMatch())
+      continue;
+    const MeldCandidate &C = GetCand(static_cast<unsigned>(E.A),
+                                     static_cast<unsigned>(E.B));
+    if (C.Kind != MeldKind::None && C.Profit >= Cfg.ProfitThreshold)
+      Result.push_back(C);
+  }
+  return Result;
+}

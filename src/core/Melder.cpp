@@ -1,0 +1,632 @@
+//===- Melder.cpp - Subgraph melding code generation ----------------------------===//
+
+#include "darm/core/Melder.h"
+
+#include "darm/core/InstructionAlign.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+
+#include <map>
+#include <set>
+
+using namespace darm;
+
+namespace {
+
+/// Which divergent path an instruction came from.
+enum class Side : uint8_t { True, False };
+
+/// All bookkeeping for melding one candidate.
+class MeldingSession {
+public:
+  MeldingSession(Function &F, Value *Cond, const MeldCandidate &Cand,
+                 const DARMConfig &Cfg, DARMStats *Stats)
+      : F(F), Ctx(F.getContext()), Cond(Cond), Cand(Cand), Cfg(Cfg),
+        Stats(Stats) {}
+
+  bool run();
+
+private:
+  struct PairInfo {
+    BasicBlock *TrueBB = nullptr;  // may be null (gap block in replication)
+    BasicBlock *FalseBB = nullptr; // may be null
+    BasicBlock *Melded = nullptr;
+  };
+
+  // -- helpers -------------------------------------------------------------
+  Value *lookup(Value *V) const {
+    auto It = OperandMap.find(V);
+    return It == OperandMap.end() ? V : It->second;
+  }
+
+  BasicBlock *mapBlock(Side S, BasicBlock *BB) const {
+    const auto &M = (S == Side::True) ? BlockMapT : BlockMapF;
+    auto It = M.find(BB);
+    return It == M.end() ? nullptr : It->second;
+  }
+
+  const SESESubgraph &sideSG(Side S) const {
+    return (S == Side::True) ? *Cand.TrueSG : *Cand.FalseSG;
+  }
+  BasicBlock *sideLast(Side S) const {
+    return (S == Side::True) ? LastT : LastF;
+  }
+  BasicBlock *sideExitBlock(Side S) const {
+    return (S == Side::True) ? ExitT : ExitF;
+  }
+
+  void buildPairList();
+  void createMeldedBlocks();
+  void clonePhis(const PairInfo &P);
+  void cloneBody(const PairInfo &P);
+  void cloneTerminator(const PairInfo &P);
+  void buildExitBlocks();
+  void rewireEntries();
+  void redirectExitPhis();
+  void wireOperands();
+  void coverPhis();
+  void replaceExternalUses();
+  void deleteOriginalBlocks();
+  void applyUnpredication(const std::vector<BasicBlock *> &Targets);
+  void applyFullPredication();
+
+  Value *selectBetween(Value *VT, Value *VF, Instruction *Before);
+  /// Steering constant for a replicated branch: the successor arm that
+  /// keeps the single block's lanes on a path through BestMatch (or any
+  /// path to the exit once BestMatch is behind them).
+  bool steerToward(BasicBlock *BranchBB) const;
+  bool reaches(BasicBlock *From, BasicBlock *To) const;
+
+  Function &F;
+  Context &Ctx;
+  Value *Cond;
+  const MeldCandidate &Cand;
+  const DARMConfig &Cfg;
+  DARMStats *Stats;
+
+  std::vector<PairInfo> Pairs;
+  std::map<Value *, Value *> OperandMap;
+  std::map<BasicBlock *, BasicBlock *> BlockMapT, BlockMapF;
+  // Melded instruction -> its two sources (match) or one source (gap).
+  std::map<Instruction *, std::pair<Instruction *, Instruction *>> MatchSrc;
+  std::map<Instruction *, std::pair<Instruction *, Side>> GapSrc;
+  std::map<Instruction *, std::pair<PhiInst *, Side>> PhiSrc;
+  // Internal melded terminators -> source terminators (one per side; null
+  // for the missing side in replication mode).
+  std::map<Instruction *, std::pair<Instruction *, Instruction *>> TermSrc;
+  // Exit machinery.
+  BasicBlock *LastT = nullptr, *LastF = nullptr; // per-side last blocks
+  BasicBlock *ExitT = nullptr, *ExitF = nullptr; // B'T and B'F
+  Instruction *ExitCloneT = nullptr, *ExitCloneF = nullptr;
+  BasicBlock *MeldedLast = nullptr;
+  /// True when the two exit branches melded into one conditional branch on
+  /// a select'ed condition (Fig. 6c): lanes looping back stay converged
+  /// and only exiting lanes split by C (via ExitSplit -> B'T/B'F).
+  bool UnifiedExit = false;
+  BasicBlock *ExitSplit = nullptr;
+};
+
+Value *MeldingSession::selectBetween(Value *VT, Value *VF,
+                                     Instruction *Before) {
+  if (VT == VF)
+    return VT;
+  // Undef on either side folds to the other: the lanes for which the
+  // value is undef never consume it.
+  if (isa<UndefValue>(VT))
+    return VF;
+  if (isa<UndefValue>(VF))
+    return VT;
+  auto *Sel = new SelectInst(Cond, VT, VF);
+  Before->getParent()->insert(Before->getIterator(), Sel);
+  if (Stats)
+    ++Stats->SelectsInserted;
+  return Sel;
+}
+
+bool MeldingSession::reaches(BasicBlock *From, BasicBlock *To) const {
+  const SESESubgraph &Region =
+      Cand.SingleIsTrue ? *Cand.FalseSG : *Cand.TrueSG;
+  std::set<BasicBlock *> Seen{From};
+  std::vector<BasicBlock *> Worklist{From};
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    if (BB == To)
+      return true;
+    for (BasicBlock *S : BB->successors())
+      if (Region.contains(S) && Seen.insert(S).second)
+        Worklist.push_back(S);
+  }
+  return false;
+}
+
+bool MeldingSession::steerToward(BasicBlock *BranchBB) const {
+  Instruction *T = BranchBB->getTerminator();
+  assert(T->getNumSuccessors() == 2 && "steering a non-conditional branch");
+  const SESESubgraph &Region =
+      Cand.SingleIsTrue ? *Cand.FalseSG : *Cand.TrueSG;
+  BasicBlock *S0 = T->getSuccessor(0);
+  // Prefer the arm that still reaches the host block; once past it (or if
+  // unreachable either way), any arm leads to the subgraph exit because
+  // the body is acyclic.
+  if (Region.contains(S0) && reaches(S0, Cand.BestMatch))
+    return true;
+  BasicBlock *S1 = T->getSuccessor(1);
+  if (Region.contains(S1) && reaches(S1, Cand.BestMatch))
+    return false;
+  return true;
+}
+
+void MeldingSession::buildPairList() {
+  switch (Cand.Kind) {
+  case MeldKind::BlockBlock:
+  case MeldKind::RegionRegion:
+    for (const auto &[BT, BF] : Cand.Mapping)
+      Pairs.push_back({BT, BF, nullptr});
+    LastT = Cand.TrueSG->LastBlock;
+    LastF = Cand.FalseSG->LastBlock;
+    break;
+  case MeldKind::BlockRegion: {
+    const SESESubgraph &Single =
+        Cand.SingleIsTrue ? *Cand.TrueSG : *Cand.FalseSG;
+    const SESESubgraph &Region =
+        Cand.SingleIsTrue ? *Cand.FalseSG : *Cand.TrueSG;
+    for (BasicBlock *R : Region.Blocks) {
+      BasicBlock *S = (R == Cand.BestMatch) ? Single.Entry : nullptr;
+      if (Cand.SingleIsTrue)
+        Pairs.push_back({S, R, nullptr});
+      else
+        Pairs.push_back({R, S, nullptr});
+    }
+    // The single block *is* its side's last block; the region side exits
+    // from its own last block.
+    LastT = Cand.SingleIsTrue ? Single.Entry : Region.LastBlock;
+    LastF = Cand.SingleIsTrue ? Region.LastBlock : Single.Entry;
+    break;
+  }
+  case MeldKind::None:
+    break;
+  }
+}
+
+void MeldingSession::createMeldedBlocks() {
+  for (PairInfo &P : Pairs) {
+    std::string Name;
+    if (P.TrueBB && P.FalseBB)
+      Name = P.TrueBB->getName() + "_" + P.FalseBB->getName();
+    else
+      Name = (P.TrueBB ? P.TrueBB : P.FalseBB)->getName() + ".meld";
+    P.Melded = F.createBlock(Name);
+    if (P.TrueBB)
+      BlockMapT[P.TrueBB] = P.Melded;
+    if (P.FalseBB)
+      BlockMapF[P.FalseBB] = P.Melded;
+  }
+}
+
+void MeldingSession::clonePhis(const PairInfo &P) {
+  for (Side S : {Side::True, Side::False}) {
+    BasicBlock *Src = (S == Side::True) ? P.TrueBB : P.FalseBB;
+    if (!Src)
+      continue;
+    const SESESubgraph &SG = sideSG(S);
+    for (PhiInst *Phi : Src->phis()) {
+      // A phi whose only entry comes through the subgraph's entry edge is
+      // a plain inflow; forward the value instead of copying the phi.
+      if (Phi->getNumIncoming() == 1 &&
+          !SG.contains(Phi->getIncomingBlock(0))) {
+        OperandMap[Phi] = Phi->getIncomingValue(0);
+        continue;
+      }
+      auto *Copy = cast<PhiInst>(Phi->clone());
+      P.Melded->insert(P.Melded->begin(), Copy);
+      OperandMap[Phi] = Copy;
+      PhiSrc[Copy] = {Phi, S};
+    }
+  }
+}
+
+void MeldingSession::cloneBody(const PairInfo &P) {
+  if (P.TrueBB && P.FalseBB) {
+    for (const InstrAlignEntry &E :
+         alignInstructions(P.TrueBB, P.FalseBB, Cfg.InstrGapPenalty)) {
+      if (E.isMatch()) {
+        Instruction *Clone = E.TrueInst->clone();
+        P.Melded->push_back(Clone);
+        OperandMap[E.TrueInst] = Clone;
+        OperandMap[E.FalseInst] = Clone;
+        MatchSrc[Clone] = {E.TrueInst, E.FalseInst};
+        continue;
+      }
+      Instruction *Src = E.TrueInst ? E.TrueInst : E.FalseInst;
+      Instruction *Clone = Src->clone();
+      P.Melded->push_back(Clone);
+      OperandMap[Src] = Clone;
+      GapSrc[Clone] = {Src, E.TrueInst ? Side::True : Side::False};
+    }
+    return;
+  }
+  // Gap-only block (region replication): every instruction keeps its side.
+  Side S = P.TrueBB ? Side::True : Side::False;
+  BasicBlock *Src = P.TrueBB ? P.TrueBB : P.FalseBB;
+  for (Instruction *I : alignableInstructions(Src)) {
+    Instruction *Clone = I->clone();
+    P.Melded->push_back(Clone);
+    OperandMap[I] = Clone;
+    GapSrc[Clone] = {I, S};
+  }
+}
+
+void MeldingSession::cloneTerminator(const PairInfo &P) {
+  // The structural side drives control flow: the true side for two-sided
+  // melds, the region side for replication.
+  Side Structural =
+      (Cand.Kind == MeldKind::BlockRegion && Cand.SingleIsTrue) ? Side::False
+                                                                : Side::True;
+  BasicBlock *Src = (Structural == Side::True) ? P.TrueBB : P.FalseBB;
+  assert(Src && "structural side must exist");
+  if (Src == sideLast(Structural)) {
+    MeldedLast = P.Melded;
+    return; // terminator handled by buildExitBlocks
+  }
+  Instruction *T = Src->getTerminator();
+  Instruction *Clone = T->clone();
+  // Remap successors through the structural block map (internal targets
+  // only: non-last blocks never edge to the exit in a simple region).
+  for (unsigned I = 0, E = Clone->getNumSuccessors(); I != E; ++I) {
+    BasicBlock *M = mapBlock(Structural, Clone->getSuccessor(I));
+    assert(M && "internal successor not in the meld");
+    Clone->setSuccessor(I, M);
+  }
+  P.Melded->push_back(Clone);
+  Instruction *OtherT = nullptr;
+  if (P.TrueBB && P.FalseBB)
+    OtherT = ((Structural == Side::True) ? P.FalseBB : P.TrueBB)
+                 ->getTerminator();
+  TermSrc[Clone] = (Structural == Side::True)
+                       ? std::make_pair(T, OtherT)
+                       : std::make_pair(OtherT, T);
+}
+
+void MeldingSession::buildExitBlocks() {
+  assert(MeldedLast && "no melded last block identified");
+  ExitT = F.createBlock(MeldedLast->getName() + ".exit.t");
+  ExitF = F.createBlock(MeldedLast->getName() + ".exit.f");
+
+  // Try to meld the two exit branches into a single conditional branch
+  // (§IV-D / Fig. 6c): possible when both are condbr and their successor
+  // slots correspond (same exit slot; internal slots map to the same
+  // melded block). Crucial for melded loops: the back edge then keeps the
+  // warp converged instead of re-diverging every iteration.
+  auto *CBT = dyn_cast_or_null<CondBrInst>(LastT->getTerminator());
+  auto *CBF = dyn_cast_or_null<CondBrInst>(LastF->getTerminator());
+  bool CanUnify = CBT && CBF;
+  int ExitSlot = -1;
+  if (CanUnify) {
+    for (unsigned I = 0; I < 2 && CanUnify; ++I) {
+      bool ExitA = CBT->getSuccessor(I) == Cand.TrueSG->ExitTarget;
+      bool ExitB = CBF->getSuccessor(I) == Cand.FalseSG->ExitTarget;
+      if (ExitA != ExitB) {
+        CanUnify = false;
+      } else if (ExitA) {
+        ExitSlot = static_cast<int>(I);
+      } else if (mapBlock(Side::True, CBT->getSuccessor(I)) !=
+                     mapBlock(Side::False, CBF->getSuccessor(I)) ||
+                 !mapBlock(Side::True, CBT->getSuccessor(I))) {
+        CanUnify = false;
+      }
+    }
+    if (ExitSlot < 0)
+      CanUnify = false; // last block must own the exit edge
+  }
+
+  if (CanUnify) {
+    UnifiedExit = true;
+    ExitT->push_back(
+        new BrInst(Cand.TrueSG->ExitTarget, Ctx.getVoidTy()));
+    ExitF->push_back(
+        new BrInst(Cand.FalseSG->ExitTarget, Ctx.getVoidTy()));
+    ExitSplit = F.createBlock(MeldedLast->getName() + ".exit");
+    ExitSplit->push_back(new CondBrInst(Cond, ExitT, ExitF, Ctx.getVoidTy()));
+    auto *Melded = cast<CondBrInst>(CBT->clone());
+    for (unsigned I = 0; I < 2; ++I) {
+      if (static_cast<int>(I) == ExitSlot)
+        Melded->setSuccessor(I, ExitSplit);
+      else
+        Melded->setSuccessor(I, mapBlock(Side::True, CBT->getSuccessor(I)));
+    }
+    MeldedLast->push_back(Melded);
+    // Pass 2 rewires the condition to select(C, condT', condF').
+    TermSrc[Melded] = {CBT, CBF};
+    return;
+  }
+
+  auto CloneExit = [&](Side S, BasicBlock *Host) -> Instruction * {
+    BasicBlock *Last = sideLast(S);
+    Instruction *T = Last->getTerminator();
+    Instruction *Clone = T->clone();
+    for (unsigned I = 0, E = Clone->getNumSuccessors(); I != E; ++I) {
+      BasicBlock *Succ = Clone->getSuccessor(I);
+      if (Succ == sideSG(S).ExitTarget)
+        continue; // leave the region exit edge as-is
+      BasicBlock *M = mapBlock(S, Succ);
+      assert(M && "internal successor of last block not melded");
+      Clone->setSuccessor(I, M);
+    }
+    Host->push_back(Clone);
+    return Clone;
+  };
+  ExitCloneT = CloneExit(Side::True, ExitT);
+  ExitCloneF = CloneExit(Side::False, ExitF);
+  MeldedLast->push_back(new CondBrInst(Cond, ExitT, ExitF, Ctx.getVoidTy()));
+}
+
+void MeldingSession::rewireEntries() {
+  for (Side S : {Side::True, Side::False}) {
+    const SESESubgraph &SG = sideSG(S);
+    BasicBlock *MeldedEntry = Pairs.front().Melded;
+    // Snapshot the outside predecessors (the unique entry edge source; a
+    // loop-header entry also has internal preds, which die with the
+    // subgraph).
+    std::vector<BasicBlock *> Outside;
+    for (BasicBlock *Pred : SG.Entry->predecessors())
+      if (!SG.contains(Pred) &&
+          std::find(Outside.begin(), Outside.end(), Pred) == Outside.end())
+        Outside.push_back(Pred);
+    for (BasicBlock *Pred : Outside)
+      Pred->getTerminator()->replaceSuccessor(SG.Entry, MeldedEntry);
+  }
+}
+
+void MeldingSession::redirectExitPhis() {
+  Cand.TrueSG->ExitTarget->replacePhiIncomingBlock(LastT, ExitT);
+  Cand.FalseSG->ExitTarget->replacePhiIncomingBlock(LastF, ExitF);
+}
+
+void MeldingSession::wireOperands() {
+  for (const PairInfo &P : Pairs) {
+    for (Instruction *I : *P.Melded) {
+      if (auto MS = MatchSrc.find(I); MS != MatchSrc.end()) {
+        auto [IT, IF] = MS->second;
+        for (unsigned K = 0, E = I->getNumOperands(); K != E; ++K) {
+          Value *VT = lookup(IT->getOperand(K));
+          Value *VF = lookup(IF->getOperand(K));
+          I->setOperand(K, selectBetween(VT, VF, I));
+        }
+        continue;
+      }
+      if (auto GS = GapSrc.find(I); GS != GapSrc.end()) {
+        Instruction *Src = GS->second.first;
+        for (unsigned K = 0, E = I->getNumOperands(); K != E; ++K)
+          I->setOperand(K, lookup(Src->getOperand(K)));
+        continue;
+      }
+      if (auto PS = PhiSrc.find(I); PS != PhiSrc.end()) {
+        auto *Phi = cast<PhiInst>(I);
+        auto [SrcPhi, S] = PS->second;
+        const SESESubgraph &SG = sideSG(S);
+        for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K) {
+          Phi->setIncomingValue(K, lookup(SrcPhi->getIncomingValue(K)));
+          BasicBlock *In = SrcPhi->getIncomingBlock(K);
+          if (!UnifiedExit && In == sideLast(S)) {
+            // The last block's branch now lives in B'side. (With a
+            // unified exit the back edge stays in MeldedLast, which the
+            // block map already yields.)
+            Phi->setIncomingBlock(K, sideExitBlock(S));
+          } else if (BasicBlock *M = mapBlock(S, In)) {
+            Phi->setIncomingBlock(K, M);
+          } else {
+            assert(!SG.contains(In) && "unmapped internal predecessor");
+            // Outside pred: stays (entry edge).
+          }
+        }
+        continue;
+      }
+      if (auto TS = TermSrc.find(I); TS != TermSrc.end()) {
+        auto [TT, TF] = TS->second;
+        if (auto *CB = dyn_cast<CondBrInst>(I)) {
+          Value *CT, *CF;
+          if (Cand.Kind == MeldKind::BlockRegion) {
+            // Concretize the replicated branch so the single block's lanes
+            // always pass through the host block (§IV-C case 2).
+            Instruction *RT = Cand.SingleIsTrue ? TF : TT;
+            Value *RegionCond =
+                lookup(cast<CondBrInst>(RT)->getCondition());
+            Value *Steer = Ctx.getBool(steerToward(RT->getParent()));
+            CT = Cand.SingleIsTrue ? Steer : RegionCond;
+            CF = Cand.SingleIsTrue ? RegionCond : Steer;
+          } else {
+            CT = lookup(cast<CondBrInst>(TT)->getCondition());
+            CF = lookup(cast<CondBrInst>(TF)->getCondition());
+          }
+          CB->setCondition(selectBetween(CT, CF, CB));
+        }
+        continue;
+      }
+    }
+  }
+  // Exit clones (non-unified mode) use only their own side's values; no
+  // selects needed.
+  if (!UnifiedExit) {
+    for (Side S : {Side::True, Side::False}) {
+      Instruction *Clone = (S == Side::True) ? ExitCloneT : ExitCloneF;
+      Instruction *Src = sideLast(S)->getTerminator();
+      for (unsigned K = 0, E = Clone->getNumOperands(); K != E; ++K)
+        Clone->setOperand(K, lookup(Src->getOperand(K)));
+    }
+  }
+}
+
+void MeldingSession::coverPhis() {
+  // Melded blocks now have their final predecessors; phi entries must
+  // cover exactly the distinct preds. Missing entries feed undef (their
+  // lanes never consume the value); stale entries are dropped.
+  for (const PairInfo &P : Pairs) {
+    std::set<BasicBlock *> PredSet(P.Melded->predecessors().begin(),
+                                   P.Melded->predecessors().end());
+    for (PhiInst *Phi : P.Melded->phis()) {
+      for (int K = static_cast<int>(Phi->getNumIncoming()) - 1; K >= 0; --K)
+        if (!PredSet.count(Phi->getIncomingBlock(static_cast<unsigned>(K))))
+          Phi->removeIncoming(static_cast<unsigned>(K));
+      std::set<BasicBlock *> Covered;
+      for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K)
+        Covered.insert(Phi->getIncomingBlock(K));
+      for (BasicBlock *Pred : PredSet)
+        if (!Covered.count(Pred))
+          Phi->addIncoming(Ctx.getUndef(Phi->getType()), Pred);
+    }
+  }
+}
+
+void MeldingSession::replaceExternalUses() {
+  for (const auto &[Orig, Melded] : OperandMap)
+    if (Orig != Melded)
+      Orig->replaceAllUsesWith(Melded);
+}
+
+void MeldingSession::deleteOriginalBlocks() {
+  std::vector<BasicBlock *> Doomed;
+  for (const PairInfo &P : Pairs) {
+    if (P.TrueBB)
+      Doomed.push_back(P.TrueBB);
+    if (P.FalseBB)
+      Doomed.push_back(P.FalseBB);
+  }
+  // Disconnect first so cyclic bodies become erasable.
+  for (BasicBlock *BB : Doomed) {
+    if (Instruction *T = BB->getTerminator()) {
+      for (BasicBlock *Succ : BB->successors())
+        Succ->removePhiEntriesFor(BB);
+      BB->erase(T);
+    }
+  }
+  for (BasicBlock *BB : Doomed)
+    F.eraseBlock(BB);
+}
+
+void MeldingSession::applyUnpredication(
+    const std::vector<BasicBlock *> &Targets) {
+  // Split each targeted block at gap-run boundaries and guard the runs by
+  // the divergent condition (§IV-E, Fig. 3c).
+  std::vector<BasicBlock *> Work = Targets;
+
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+
+    // Find the first gap run.
+    BasicBlock::iterator RunBegin = BB->end();
+    Side RunSide = Side::True;
+    for (auto It = BB->begin(); It != BB->end(); ++It) {
+      auto GS = GapSrc.find(*It);
+      if (GS == GapSrc.end())
+        continue;
+      RunBegin = It;
+      RunSide = GS->second.second;
+      break;
+    }
+    if (RunBegin == BB->end())
+      continue;
+    auto RunEnd = RunBegin;
+    while (RunEnd != BB->end()) {
+      auto GS = GapSrc.find(*RunEnd);
+      if (GS == GapSrc.end() || GS->second.second != RunSide)
+        break;
+      ++RunEnd;
+    }
+    // Split [RunBegin, RunEnd) into its own conditionally executed block.
+    Instruction *RunEndInst = (RunEnd == BB->end()) ? nullptr : *RunEnd;
+    BasicBlock *RunBB = BB->splitBefore(RunBegin, BB->getName() + ".split");
+    BasicBlock *TailBB = RunBB->splitBefore(
+        RunEndInst ? RunEndInst->getIterator() : RunBB->end(),
+        BB->getName() + ".tail");
+    // BB currently ends with `br RunBB`; make the run conditional.
+    Instruction *Br = BB->getTerminator();
+    BB->erase(Br);
+    if (RunSide == Side::True)
+      BB->push_back(new CondBrInst(Cond, RunBB, TailBB, Ctx.getVoidTy()));
+    else
+      BB->push_back(new CondBrInst(Cond, TailBB, RunBB, Ctx.getVoidTy()));
+    if (Stats)
+      ++Stats->UnpredicationSplits;
+    // Gap instructions in the run are now guarded; strip them from the
+    // map so nested re-scans terminate, then continue with the tail.
+    for (Instruction *I : *RunBB)
+      GapSrc.erase(I);
+    Work.push_back(TailBB);
+  }
+}
+
+void MeldingSession::applyFullPredication() {
+  // Full predication of the gap instructions not covered by
+  // unpredication: they execute under the full mask; stores must preserve
+  // the other side's memory, so they become load + select + store (§IV-E:
+  // "store instructions outside the melded blocks are fully predicated by
+  // inserting extra loads").
+  for (const auto &[Melded, SrcSide] : GapSrc) {
+    auto *St = dyn_cast<StoreInst>(Melded);
+    if (!St)
+      continue;
+    Value *Ptr = St->getPointer();
+    auto *Old = new LoadInst(Ptr);
+    St->getParent()->insert(St->getIterator(), Old);
+    Value *NewVal = St->getValueOperand();
+    Value *Guarded = (SrcSide.second == Side::True)
+                         ? selectBetween(NewVal, Old, St)
+                         : selectBetween(static_cast<Value *>(Old), NewVal, St);
+    St->setOperand(0, Guarded);
+  }
+}
+
+bool MeldingSession::run() {
+  buildPairList();
+  if (Pairs.empty())
+    return false;
+  createMeldedBlocks();
+  for (const PairInfo &P : Pairs) {
+    clonePhis(P);
+    cloneBody(P);
+  }
+  for (const PairInfo &P : Pairs)
+    cloneTerminator(P);
+  buildExitBlocks();
+  rewireEntries();
+  redirectExitPhis();
+  wireOperands();
+  coverPhis();
+  replaceExternalUses();
+  deleteOriginalBlocks();
+  // §IV-E: unpredication splits gap runs into guarded blocks. For region
+  // replication it applies only to the melded (host) block; replicated
+  // gap blocks are fully predicated instead — splitting them would bloat
+  // the replicated structure with branches. Gap stores not covered by
+  // unpredication get the load+select+store lowering.
+  std::vector<BasicBlock *> UnpredTargets;
+  if (Cfg.EnableUnpredication) {
+    if (Cand.Kind == MeldKind::BlockRegion) {
+      for (const PairInfo &P : Pairs)
+        if (P.TrueBB && P.FalseBB)
+          UnpredTargets.push_back(P.Melded);
+    } else {
+      for (const PairInfo &P : Pairs)
+        UnpredTargets.push_back(P.Melded);
+    }
+  }
+  applyUnpredication(UnpredTargets);
+  applyFullPredication();
+  if (Stats) {
+    ++Stats->SubgraphPairsMelded;
+    if (Cand.Kind == MeldKind::BlockRegion)
+      ++Stats->BlockRegionMelds;
+  }
+  return true;
+}
+
+} // namespace
+
+bool darm::meldCandidate(Function &F, Value *Cond, const MeldCandidate &Cand,
+                         const DARMConfig &Cfg, DARMStats *Stats) {
+  assert(Cand.Kind != MeldKind::None && "cannot meld a non-candidate");
+  return MeldingSession(F, Cond, Cand, Cfg, Stats).run();
+}

@@ -1,0 +1,118 @@
+//===- TailMerge.cpp - Tail merging baseline ------------------------------------===//
+
+#include "darm/core/TailMerge.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+
+#include <map>
+
+using namespace darm;
+
+namespace {
+
+/// Payload equality beyond opcode/type (predicate, intrinsic id).
+bool samePayload(const Instruction *A, const Instruction *B) {
+  switch (A->getOpcode()) {
+  case Opcode::ICmp:
+    return cast<ICmpInst>(A)->getPredicate() ==
+           cast<ICmpInst>(B)->getPredicate();
+  case Opcode::FCmp:
+    return cast<FCmpInst>(A)->getPredicate() ==
+           cast<FCmpInst>(B)->getPredicate();
+  case Opcode::Call:
+    return cast<CallInst>(A)->getIntrinsic() ==
+           cast<CallInst>(B)->getIntrinsic();
+  default:
+    return true;
+  }
+}
+
+/// True if the two arm blocks compute identical sequences: instruction I of
+/// \p T2 must equal instruction I of \p T1 with operands matching either
+/// directly or through the arms' positional correspondence \p Map.
+bool armsIdentical(BasicBlock *T1, BasicBlock *T2,
+                   std::map<Value *, Value *> &Map) {
+  if (T1->size() != T2->size())
+    return false;
+  auto It1 = T1->begin(), It2 = T2->begin();
+  for (; It1 != T1->end(); ++It1, ++It2) {
+    Instruction *A = *It1, *B = *It2;
+    if (A->getOpcode() != B->getOpcode() || A->getType() != B->getType() ||
+        A->getNumOperands() != B->getNumOperands() || !samePayload(A, B))
+      return false;
+    if (A->isPhi())
+      return false; // single-pred arms have no meaningful phis
+    for (unsigned K = 0, E = A->getNumOperands(); K != E; ++K) {
+      Value *OA = A->getOperand(K);
+      Value *OB = B->getOperand(K);
+      auto M = Map.find(OA);
+      if (M != Map.end() ? (M->second != OB) : (OA != OB))
+        return false;
+    }
+    Map[A] = B;
+  }
+  return true;
+}
+
+bool tryMergeAt(Function &F, BasicBlock *BB) {
+  auto *Br = dyn_cast_or_null<CondBrInst>(BB->getTerminator());
+  if (!Br)
+    return false;
+  BasicBlock *T1 = Br->getTrueSuccessor();
+  BasicBlock *T2 = Br->getFalseSuccessor();
+  if (T1 == T2 || T1 == BB || T2 == BB)
+    return false;
+  if (T1->getSinglePredecessor() != BB || T2->getSinglePredecessor() != BB)
+    return false;
+  BasicBlock *J1 = T1->getSingleSuccessor();
+  BasicBlock *J2 = T2->getSingleSuccessor();
+  if (!J1 || J1 != J2 || J1 == T1 || J1 == T2)
+    return false;
+
+  std::map<Value *, Value *> Map;
+  if (!armsIdentical(T1, T2, Map))
+    return false;
+
+  // Join phis must agree on the two arms (directly or positionally).
+  for (PhiInst *P : J1->phis()) {
+    Value *V1 = P->getIncomingValueForBlock(T1);
+    Value *V2 = P->getIncomingValueForBlock(T2);
+    auto M = Map.find(V1);
+    if (M != Map.end() ? (M->second != V2) : (V1 != V2))
+      return false;
+  }
+
+  // Fold: both edges fall through T1; T2 dies.
+  Context &Ctx = F.getContext();
+  J1->removePhiEntriesFor(T2);
+  BB->erase(Br);
+  BB->push_back(new BrInst(T1, Ctx.getVoidTy()));
+  // T2 still points at J1; disconnect and delete. Its values' uses, if
+  // any, must be redirected to T1's (they are identical computations).
+  for (auto It1 = T1->begin(), It2 = T2->begin(); It2 != T2->end();
+       ++It1, ++It2)
+    if (!(*It2)->getType()->isVoid() && (*It2)->hasUses())
+      (*It2)->replaceAllUsesWith(*It1);
+  T2->erase(T2->getTerminator());
+  F.eraseBlock(T2);
+  return true;
+}
+
+} // namespace
+
+bool darm::runTailMerge(Function &F) {
+  bool Any = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F)
+      if (tryMergeAt(F, BB)) {
+        Changed = true;
+        Any = true;
+        break; // block list mutated; restart scan
+      }
+  }
+  return Any;
+}

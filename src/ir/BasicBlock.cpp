@@ -1,0 +1,166 @@
+//===- BasicBlock.cpp - CFG node ---------------------------------------------===//
+
+#include "darm/ir/BasicBlock.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+
+#include <algorithm>
+
+using namespace darm;
+
+BasicBlock::BasicBlock(Function *Parent, const std::string &Name)
+    : Parent(Parent), Name(Name) {}
+
+BasicBlock::~BasicBlock() {
+  // Detach all operand uses first so intra-block references (in any
+  // direction) cannot dangle during deletion. Cross-block references must
+  // have been cleaned up by the caller (Function teardown or eraseBlock).
+  for (Instruction *I : Insts)
+    I->dropAllOperands();
+  for (Instruction *I : Insts)
+    delete I;
+}
+
+BasicBlock::iterator BasicBlock::getFirstNonPhi() {
+  iterator It = Insts.begin();
+  while (It != Insts.end() && (*It)->isPhi())
+    ++It;
+  return It;
+}
+
+std::vector<PhiInst *> BasicBlock::phis() const {
+  std::vector<PhiInst *> Result;
+  for (Instruction *I : Insts) {
+    auto *P = dyn_cast<PhiInst>(I);
+    if (!P)
+      break;
+    Result.push_back(P);
+  }
+  return Result;
+}
+
+void BasicBlock::insert(iterator Pos, Instruction *I) {
+  assert(!I->getParent() && "instruction already in a block");
+  assert((!I->isTerminator() || (Pos == Insts.end() && !getTerminator())) &&
+         "terminator must be unique and at the end of the block");
+  I->Parent = this;
+  I->Pos = Insts.insert(Pos, I);
+  if (I->isTerminator())
+    I->linkSuccessors();
+  // Give value-producing instructions a function-unique name so textual IR
+  // round-trips.
+  if (!I->getType()->isVoid() && !I->hasName() && Parent)
+    I->setName(Parent->uniqueName("v"));
+}
+
+void BasicBlock::insertBeforeTerminator(Instruction *I) {
+  Instruction *T = getTerminator();
+  insert(T ? T->getIterator() : end(), I);
+}
+
+void BasicBlock::remove(Instruction *I) {
+  assert(I->getParent() == this && "instruction not in this block");
+  if (I->isTerminator())
+    I->unlinkSuccessors();
+  Insts.erase(I->Pos);
+  I->Parent = nullptr;
+}
+
+void BasicBlock::erase(Instruction *I) {
+  remove(I);
+  assert(!I->hasUses() && "erasing an instruction that is still used");
+  delete I;
+}
+
+BasicBlock *BasicBlock::getSinglePredecessor() const {
+  if (Preds.empty())
+    return nullptr;
+  BasicBlock *First = Preds.front();
+  for (BasicBlock *P : Preds)
+    if (P != First)
+      return nullptr;
+  return First;
+}
+
+std::vector<BasicBlock *> BasicBlock::successors() const {
+  Instruction *T = getTerminator();
+  if (!T)
+    return {};
+  std::vector<BasicBlock *> Result;
+  for (unsigned I = 0, E = T->getNumSuccessors(); I != E; ++I)
+    Result.push_back(T->getSuccessor(I));
+  return Result;
+}
+
+unsigned BasicBlock::getNumSuccessors() const {
+  Instruction *T = getTerminator();
+  return T ? T->getNumSuccessors() : 0;
+}
+
+BasicBlock *BasicBlock::getSingleSuccessor() const {
+  std::vector<BasicBlock *> Succs = successors();
+  if (Succs.empty())
+    return nullptr;
+  BasicBlock *First = Succs.front();
+  for (BasicBlock *S : Succs)
+    if (S != First)
+      return nullptr;
+  return First;
+}
+
+bool BasicBlock::isSuccessor(const BasicBlock *BB) const {
+  Instruction *T = getTerminator();
+  if (!T)
+    return false;
+  for (unsigned I = 0, E = T->getNumSuccessors(); I != E; ++I)
+    if (T->getSuccessor(I) == BB)
+      return true;
+  return false;
+}
+
+void BasicBlock::removePredecessor(BasicBlock *P) {
+  auto It = std::find(Preds.begin(), Preds.end(), P);
+  assert(It != Preds.end() && "predecessor not registered");
+  Preds.erase(It);
+}
+
+void BasicBlock::removePhiEntriesFor(BasicBlock *Pred) {
+  for (PhiInst *P : phis()) {
+    int Idx;
+    while ((Idx = P->getBlockIndex(Pred)) >= 0)
+      P->removeIncoming(static_cast<unsigned>(Idx));
+  }
+}
+
+void BasicBlock::replacePhiIncomingBlock(BasicBlock *Old, BasicBlock *New) {
+  for (PhiInst *P : phis())
+    for (unsigned I = 0, E = P->getNumIncoming(); I != E; ++I)
+      if (P->getIncomingBlock(I) == Old)
+        P->setIncomingBlock(I, New);
+}
+
+BasicBlock *BasicBlock::splitBefore(iterator Pos, const std::string &NewName) {
+  assert(Parent && "block must be in a function");
+  assert((Pos == Insts.end() || !(*Pos)->isPhi()) &&
+         "cannot split in the middle of the phi prefix");
+  BasicBlock *NewBB = Parent->createBlock(NewName, /*InsertBefore=*/nullptr);
+
+  // Move [Pos, end) into the new block. Moving the terminator via
+  // remove/insert transfers its CFG edges to NewBB automatically.
+  while (Pos != Insts.end()) {
+    Instruction *I = *Pos;
+    ++Pos;
+    remove(I);
+    NewBB->push_back(I);
+  }
+  // Successor phis still name this block; they now receive from NewBB.
+  for (BasicBlock *Succ : NewBB->successors())
+    Succ->replacePhiIncomingBlock(this, NewBB);
+
+  // Fall through to the new block.
+  Context &Ctx = Parent->getContext();
+  push_back(new BrInst(NewBB, Ctx.getVoidTy()));
+  return NewBB;
+}

@@ -1,0 +1,60 @@
+//===- Context.cpp - Ownership of types and constants ----------------------===//
+
+#include "darm/ir/Context.h"
+
+#include "darm/ir/Value.h"
+
+#include <bit>
+
+using namespace darm;
+
+Context::Context()
+    : VoidTy(new Type(Type::Kind::Void)), Int1Ty(new Type(Type::Kind::Int1)),
+      Int32Ty(new Type(Type::Kind::Int32)),
+      Int64Ty(new Type(Type::Kind::Int64)),
+      FloatTy(new Type(Type::Kind::Float)) {}
+
+Context::~Context() = default;
+
+Type *Context::getPointerTy(Type *Pointee, AddressSpace AS) {
+  for (const auto &T : PointerTys)
+    if (T->getPointee() == Pointee && T->getAddressSpace() == AS)
+      return T.get();
+  PointerTys.emplace_back(new Type(Pointee, AS));
+  return PointerTys.back().get();
+}
+
+ConstantInt *Context::getConstantInt(Type *Ty, int64_t V) {
+  assert(Ty->isInteger() && "integer constant requires integer type");
+  if (Ty->isInt1())
+    V &= 1;
+  else if (Ty->isInt32())
+    V = static_cast<int32_t>(V);
+  auto &Slot = IntConsts[{Ty, V}];
+  if (!Slot)
+    Slot = std::make_unique<ConstantInt>(Ty, V);
+  return Slot.get();
+}
+
+ConstantInt *Context::getInt32(int32_t V) {
+  return getConstantInt(getInt32Ty(), V);
+}
+
+ConstantInt *Context::getBool(bool V) {
+  return getConstantInt(getInt1Ty(), V ? 1 : 0);
+}
+
+ConstantFloat *Context::getConstantFloat(float V) {
+  uint32_t Bits = std::bit_cast<uint32_t>(V);
+  auto &Slot = FloatConsts[Bits];
+  if (!Slot)
+    Slot = std::make_unique<ConstantFloat>(getFloatTy(), V);
+  return Slot.get();
+}
+
+UndefValue *Context::getUndef(Type *Ty) {
+  auto &Slot = Undefs[Ty];
+  if (!Slot)
+    Slot = std::make_unique<UndefValue>(Ty);
+  return Slot.get();
+}

@@ -1,0 +1,115 @@
+//===- Function.cpp - GPU kernel function -------------------------------------===//
+
+#include "darm/ir/Function.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/Module.h"
+
+#include <algorithm>
+
+using namespace darm;
+
+Function::Function(Module *Parent, const std::string &Name, Type *RetTy,
+                   const ParamList &Params)
+    : Parent(Parent), Name(Name), RetTy(RetTy) {
+  for (unsigned I = 0, E = static_cast<unsigned>(Params.size()); I != E; ++I) {
+    Args.push_back(std::make_unique<Argument>(
+        Params[I].first, uniqueName(Params[I].second), this, I));
+  }
+}
+
+Function::~Function() {
+  // Detach every operand reference first so deletion order cannot matter.
+  for (BasicBlock *BB : Blocks)
+    for (Instruction *I : *BB)
+      I->dropAllOperands();
+  for (BasicBlock *BB : Blocks)
+    delete BB;
+}
+
+Context &Function::getContext() const { return Parent->getContext(); }
+
+SharedArray *Function::createSharedArray(Type *ElemTy, unsigned NumElements,
+                                         const std::string &ArrName) {
+  Type *PtrTy = getContext().getPointerTy(ElemTy, AddressSpace::Shared);
+  Shareds.push_back(std::make_unique<SharedArray>(
+      PtrTy, NumElements, uniqueName(ArrName), this));
+  return Shareds.back().get();
+}
+
+unsigned Function::getSharedMemoryBytes() const {
+  unsigned Total = 0;
+  for (const auto &S : Shareds)
+    Total += S->getSizeInBytes();
+  return Total;
+}
+
+BasicBlock *Function::createBlock(const std::string &BBName,
+                                  BasicBlock *InsertBefore) {
+  auto *BB = new BasicBlock(this, uniqueName(BBName));
+  if (!InsertBefore) {
+    Blocks.push_back(BB);
+    return BB;
+  }
+  auto It = std::find(Blocks.begin(), Blocks.end(), InsertBefore);
+  assert(It != Blocks.end() && "insertion point not in this function");
+  Blocks.insert(It, BB);
+  return BB;
+}
+
+void Function::eraseBlock(BasicBlock *BB) {
+  assert(BB->getParent() == this && "block not in this function");
+  assert(BB->getNumPredecessors() == 0 &&
+         "erasing a block that still has predecessors");
+  // Drop the terminator's CFG edges and phi entries in successors.
+  if (Instruction *T = BB->getTerminator()) {
+    for (BasicBlock *Succ : BB->successors())
+      Succ->removePhiEntriesFor(BB);
+    BB->remove(T);
+    delete T;
+  }
+  // Values defined here may still be referenced (by now-unreachable code or
+  // by phis); forward them to undef before deletion.
+  Context &Ctx = getContext();
+  for (Instruction *I : *BB)
+    if (I->hasUses())
+      I->replaceAllUsesWith(Ctx.getUndef(I->getType()));
+  auto It = std::find(Blocks.begin(), Blocks.end(), BB);
+  assert(It != Blocks.end() && "block missing from layout");
+  Blocks.erase(It);
+  delete BB;
+}
+
+void Function::moveBlockBefore(BasicBlock *BB, BasicBlock *Before) {
+  auto It = std::find(Blocks.begin(), Blocks.end(), BB);
+  assert(It != Blocks.end() && "block not in this function");
+  Blocks.erase(It);
+  auto Dest = Before ? std::find(Blocks.begin(), Blocks.end(), Before)
+                     : Blocks.end();
+  Blocks.insert(Dest, BB);
+}
+
+std::string Function::uniqueName(const std::string &Base) {
+  std::string Candidate = Base.empty() ? "v" : Base;
+  if (UsedNames.insert(Candidate).second)
+    return Candidate;
+  while (true) {
+    std::string Next = Candidate + "." + std::to_string(++NextId);
+    if (UsedNames.insert(Next).second)
+      return Next;
+  }
+}
+
+BasicBlock *Function::getBlockByName(const std::string &N) const {
+  for (BasicBlock *BB : Blocks)
+    if (BB->getName() == N)
+      return BB;
+  return nullptr;
+}
+
+size_t Function::getInstructionCount() const {
+  size_t Count = 0;
+  for (const BasicBlock *BB : Blocks)
+    Count += BB->size();
+  return Count;
+}

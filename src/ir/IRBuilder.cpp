@@ -1,0 +1,103 @@
+//===- IRBuilder.cpp - Convenience IR construction -----------------------------===//
+
+#include "darm/ir/IRBuilder.h"
+
+#include "darm/support/ErrorHandling.h"
+
+using namespace darm;
+
+Instruction *IRBuilder::insert(Instruction *I, const std::string &Name) {
+  assert(Block && "no insertion point set");
+  std::string Effective = Name.empty() ? NextName : Name;
+  NextName.clear();
+  if (!Effective.empty() && !I->getType()->isVoid())
+    I->setName(Block->getParent()->uniqueName(Effective));
+  Block->insert(Pos, I);
+  return I;
+}
+
+Value *IRBuilder::createBinary(Opcode Op, Value *L, Value *R,
+                               const std::string &Name) {
+  return insert(new BinaryInst(Op, L, R), Name);
+}
+
+Value *IRBuilder::createICmp(ICmpPred Pred, Value *L, Value *R,
+                             const std::string &Name) {
+  return insert(new ICmpInst(Pred, L, R, Ctx.getInt1Ty()), Name);
+}
+
+Value *IRBuilder::createFCmp(FCmpPred Pred, Value *L, Value *R,
+                             const std::string &Name) {
+  return insert(new FCmpInst(Pred, L, R, Ctx.getInt1Ty()), Name);
+}
+
+Value *IRBuilder::createCast(Opcode Op, Value *V, Type *DestTy,
+                             const std::string &Name) {
+  return insert(new CastInst(Op, V, DestTy), Name);
+}
+
+Value *IRBuilder::createLoad(Value *Ptr, const std::string &Name) {
+  return insert(new LoadInst(Ptr), Name);
+}
+
+Instruction *IRBuilder::createStore(Value *V, Value *Ptr) {
+  return insert(new StoreInst(V, Ptr, Ctx.getVoidTy()));
+}
+
+Value *IRBuilder::createGep(Value *Ptr, Value *Index,
+                            const std::string &Name) {
+  return insert(new GepInst(Ptr, Index), Name);
+}
+
+Value *IRBuilder::createLoadAt(Value *Ptr, Value *Index,
+                               const std::string &Name) {
+  return createLoad(createGep(Ptr, Index), Name);
+}
+
+void IRBuilder::createStoreAt(Value *V, Value *Ptr, Value *Index) {
+  createStore(V, createGep(Ptr, Index));
+}
+
+Value *IRBuilder::createSelect(Value *Cond, Value *TrueV, Value *FalseV,
+                               const std::string &Name) {
+  return insert(new SelectInst(Cond, TrueV, FalseV), Name);
+}
+
+PhiInst *IRBuilder::createPhi(Type *Ty, const std::string &Name) {
+  auto *P = new PhiInst(Ty);
+  // Phis must lead the block regardless of the current insertion point.
+  assert(Block && "no insertion point set");
+  std::string Effective = Name.empty() ? NextName : Name;
+  NextName.clear();
+  if (!Effective.empty())
+    P->setName(Block->getParent()->uniqueName(Effective));
+  Block->insert(Block->getFirstNonPhi(), P);
+  return P;
+}
+
+Value *IRBuilder::createCall(Intrinsic IID, const std::vector<Value *> &Args,
+                             const std::string &Name) {
+  Type *RetTy;
+  switch (IID) {
+  case Intrinsic::Barrier:
+    RetTy = Ctx.getVoidTy();
+    break;
+  default:
+    RetTy = Ctx.getInt32Ty();
+    break;
+  }
+  return insert(new CallInst(IID, RetTy, Args), Name);
+}
+
+Instruction *IRBuilder::createBr(BasicBlock *Target) {
+  return insert(new BrInst(Target, Ctx.getVoidTy()));
+}
+
+Instruction *IRBuilder::createCondBr(Value *Cond, BasicBlock *TrueBB,
+                                     BasicBlock *FalseBB) {
+  return insert(new CondBrInst(Cond, TrueBB, FalseBB, Ctx.getVoidTy()));
+}
+
+Instruction *IRBuilder::createRet(Value *V) {
+  return insert(new RetInst(Ctx.getVoidTy(), V));
+}

@@ -1,0 +1,857 @@
+//===- IRParser.cpp - Textual IR parsing ------------------------------------===//
+//
+// Recursive-descent parser over a hand-rolled lexer. Forward references to
+// values (possible through phis and loop back-edges) are resolved with
+// placeholder values that are RAUW'd once the definition is seen; forward
+// block references are created on demand.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/ir/IRParser.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+
+using namespace darm;
+
+namespace {
+
+enum class Tok {
+  Eof,
+  Ident,      // bare identifier / keyword
+  LocalName,  // %name
+  GlobalName, // @name
+  IntLit,
+  FloatLit,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  LBrace,
+  RBrace,
+  Comma,
+  Equal,
+  Star,
+  Colon,
+  Arrow,
+};
+
+struct Token {
+  Tok K;
+  std::string Text;
+  int64_t IntVal = 0;
+  float FloatVal = 0;
+  unsigned Line = 0;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) {}
+
+  Token next() {
+    skipWhitespaceAndComments();
+    Token T;
+    T.Line = Line;
+    if (Pos >= Text.size()) {
+      T.K = Tok::Eof;
+      return T;
+    }
+    char C = Text[Pos];
+    switch (C) {
+    case '(':
+      ++Pos;
+      T.K = Tok::LParen;
+      return T;
+    case ')':
+      ++Pos;
+      T.K = Tok::RParen;
+      return T;
+    case '[':
+      ++Pos;
+      T.K = Tok::LBracket;
+      return T;
+    case ']':
+      ++Pos;
+      T.K = Tok::RBracket;
+      return T;
+    case '{':
+      ++Pos;
+      T.K = Tok::LBrace;
+      return T;
+    case '}':
+      ++Pos;
+      T.K = Tok::RBrace;
+      return T;
+    case ',':
+      ++Pos;
+      T.K = Tok::Comma;
+      return T;
+    case '=':
+      ++Pos;
+      T.K = Tok::Equal;
+      return T;
+    case '*':
+      ++Pos;
+      T.K = Tok::Star;
+      return T;
+    case ':':
+      ++Pos;
+      T.K = Tok::Colon;
+      return T;
+    case '-':
+      if (Pos + 1 < Text.size() && Text[Pos + 1] == '>') {
+        Pos += 2;
+        T.K = Tok::Arrow;
+        return T;
+      }
+      return lexNumber();
+    case '%':
+    case '@': {
+      ++Pos;
+      T.K = (C == '%') ? Tok::LocalName : Tok::GlobalName;
+      T.Text = lexIdentText();
+      return T;
+    }
+    default:
+      break;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C)))
+      return lexNumber();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '.') {
+      T.K = Tok::Ident;
+      T.Text = lexIdentText();
+      return T;
+    }
+    T.K = Tok::Eof;
+    T.Text = std::string(1, C);
+    return T;
+  }
+
+  unsigned getLine() const { return Line; }
+
+private:
+  void skipWhitespaceAndComments() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == ';' || (C == '/' && Pos + 1 < Text.size() &&
+                              Text[Pos + 1] == '/')) {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string lexIdentText() {
+    size_t Start = Pos;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+          C == '.' || C == '-')
+        ++Pos;
+      else
+        break;
+    }
+    return Text.substr(Start, Pos - Start);
+  }
+
+  Token lexNumber() {
+    Token T;
+    T.Line = Line;
+    size_t Start = Pos;
+    if (Text[Pos] == '-')
+      ++Pos;
+    bool IsFloat = false;
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '.' || C == 'e' || C == 'E' ||
+                 ((C == '+' || C == '-') && Pos > Start &&
+                  (Text[Pos - 1] == 'e' || Text[Pos - 1] == 'E'))) {
+        IsFloat = true;
+        ++Pos;
+      } else {
+        break;
+      }
+    }
+    std::string S = Text.substr(Start, Pos - Start);
+    if (IsFloat) {
+      T.K = Tok::FloatLit;
+      T.FloatVal = std::strtof(S.c_str(), nullptr);
+    } else {
+      T.K = Tok::IntLit;
+      T.IntVal = std::strtoll(S.c_str(), nullptr, 10);
+    }
+    return T;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+/// Placeholder for a not-yet-defined local value; resolved by RAUW when the
+/// defining instruction is parsed. Implemented as a detached Argument.
+using FwdRef = Argument;
+
+class Parser {
+public:
+  Parser(Module &M, Lexer &Lex) : M(M), Ctx(M.getContext()), Lex(Lex) {
+    advance();
+  }
+
+  bool atEof() const { return Cur.K == Tok::Eof; }
+
+  Function *parseFunction();
+
+  std::string takeError() { return ErrorMsg; }
+  bool hadError() const { return !ErrorMsg.empty(); }
+
+private:
+  void advance() {
+    if (HasPeek) {
+      Cur = Peeked;
+      HasPeek = false;
+      return;
+    }
+    Cur = Lex.next();
+  }
+
+  /// One-token lookahead (used to distinguish "label:" from an opcode).
+  const Token &peekNext() {
+    if (!HasPeek) {
+      Peeked = Lex.next();
+      HasPeek = true;
+    }
+    return Peeked;
+  }
+
+  bool expect(Tok K, const char *What) {
+    if (Cur.K != K)
+      return error(std::string("expected ") + What);
+    advance();
+    return true;
+  }
+
+  bool expectIdent(const std::string &S) {
+    if (Cur.K != Tok::Ident || Cur.Text != S)
+      return error("expected '" + S + "'");
+    advance();
+    return true;
+  }
+
+  bool error(const std::string &Msg) {
+    if (ErrorMsg.empty()) {
+      std::ostringstream OS;
+      OS << "line " << Cur.Line << ": " << Msg;
+      if (Cur.K == Tok::Ident || Cur.K == Tok::LocalName ||
+          Cur.K == Tok::GlobalName)
+        OS << " (got '" << Cur.Text << "')";
+      ErrorMsg = OS.str();
+    }
+    return false;
+  }
+
+  Type *parseType();
+  Value *parseOperand(Type *Ty);
+  BasicBlock *getOrCreateBlock(const std::string &Name);
+  Value *lookupValue(const std::string &Name, Type *Ty);
+  bool defineValue(const std::string &Name, Value *V);
+  bool parseInstruction(IRBuilder &B);
+
+  Module &M;
+  Context &Ctx;
+  Lexer &Lex;
+  Token Cur;
+  Token Peeked;
+  bool HasPeek = false;
+  std::string ErrorMsg;
+
+  Function *F = nullptr;
+  std::map<std::string, Value *> Values;
+  std::map<std::string, std::unique_ptr<FwdRef>> Pending;
+  std::map<std::string, BasicBlock *> BlockMap;
+  std::map<std::string, bool> BlockDefined;
+};
+
+Type *Parser::parseType() {
+  if (Cur.K != Tok::Ident) {
+    error("expected type");
+    return nullptr;
+  }
+  Type *Base = nullptr;
+  if (Cur.Text == "void")
+    Base = Ctx.getVoidTy();
+  else if (Cur.Text == "i1")
+    Base = Ctx.getInt1Ty();
+  else if (Cur.Text == "i32")
+    Base = Ctx.getInt32Ty();
+  else if (Cur.Text == "i64")
+    Base = Ctx.getInt64Ty();
+  else if (Cur.Text == "f32")
+    Base = Ctx.getFloatTy();
+  if (!Base) {
+    error("unknown type '" + Cur.Text + "'");
+    return nullptr;
+  }
+  advance();
+  if (Cur.K == Tok::Ident && Cur.Text == "addrspace") {
+    advance();
+    if (!expect(Tok::LParen, "'('"))
+      return nullptr;
+    if (Cur.K != Tok::IntLit) {
+      error("expected address space number");
+      return nullptr;
+    }
+    unsigned AS = static_cast<unsigned>(Cur.IntVal);
+    if (AS != 1 && AS != 3) {
+      error("address space must be 1 (global) or 3 (shared)");
+      return nullptr;
+    }
+    advance();
+    if (!expect(Tok::RParen, "')'") || !expect(Tok::Star, "'*'"))
+      return nullptr;
+    return Ctx.getPointerTy(Base, static_cast<AddressSpace>(AS));
+  }
+  return Base;
+}
+
+BasicBlock *Parser::getOrCreateBlock(const std::string &Name) {
+  auto It = BlockMap.find(Name);
+  if (It != BlockMap.end())
+    return It->second;
+  BasicBlock *BB = F->createBlock(Name);
+  assert(BB->getName() == Name && "parser block names must be unique");
+  BlockMap[Name] = BB;
+  BlockDefined[Name] = false;
+  return BB;
+}
+
+Value *Parser::lookupValue(const std::string &Name, Type *Ty) {
+  auto It = Values.find(Name);
+  if (It != Values.end()) {
+    if (It->second->getType() != Ty) {
+      error("type mismatch for '%" + Name + "'");
+      return nullptr;
+    }
+    return It->second;
+  }
+  auto P = Pending.find(Name);
+  if (P != Pending.end()) {
+    if (P->second->getType() != Ty) {
+      error("type mismatch for forward-referenced '%" + Name + "'");
+      return nullptr;
+    }
+    return P->second.get();
+  }
+  auto Ref = std::make_unique<FwdRef>(Ty, Name, nullptr, ~0u);
+  Value *Raw = Ref.get();
+  Pending.emplace(Name, std::move(Ref));
+  return Raw;
+}
+
+bool Parser::defineValue(const std::string &Name, Value *V) {
+  if (Values.count(Name))
+    return error("redefinition of '%" + Name + "'");
+  Values[Name] = V;
+  auto P = Pending.find(Name);
+  if (P != Pending.end()) {
+    if (P->second->getType() != V->getType())
+      return error("type mismatch resolving '%" + Name + "'");
+    P->second->replaceAllUsesWith(V);
+    Pending.erase(P);
+  }
+  return true;
+}
+
+Value *Parser::parseOperand(Type *Ty) {
+  switch (Cur.K) {
+  case Tok::LocalName: {
+    std::string Name = Cur.Text;
+    advance();
+    return lookupValue(Name, Ty);
+  }
+  case Tok::GlobalName: {
+    std::string Name = Cur.Text;
+    advance();
+    for (const auto &S : F->sharedArrays())
+      if (S->getName() == Name) {
+        if (S->getType() != Ty) {
+          error("type mismatch for '@" + Name + "'");
+          return nullptr;
+        }
+        return S.get();
+      }
+    error("unknown shared array '@" + Name + "'");
+    return nullptr;
+  }
+  case Tok::IntLit: {
+    if (!Ty->isInteger()) {
+      error("integer literal for non-integer type");
+      return nullptr;
+    }
+    Value *V = Ctx.getConstantInt(Ty, Cur.IntVal);
+    advance();
+    return V;
+  }
+  case Tok::FloatLit: {
+    if (!Ty->isFloat()) {
+      error("float literal for non-float type");
+      return nullptr;
+    }
+    Value *V = Ctx.getConstantFloat(Cur.FloatVal);
+    advance();
+    return V;
+  }
+  case Tok::Ident:
+    if (Cur.Text == "true" || Cur.Text == "false") {
+      if (!Ty->isInt1()) {
+        error("boolean literal for non-i1 type");
+        return nullptr;
+      }
+      Value *V = Ctx.getBool(Cur.Text == "true");
+      advance();
+      return V;
+    }
+    if (Cur.Text == "undef") {
+      advance();
+      return Ctx.getUndef(Ty);
+    }
+    [[fallthrough]];
+  default:
+    error("expected operand");
+    return nullptr;
+  }
+}
+
+bool Parser::parseInstruction(IRBuilder &B) {
+  std::string ResultName;
+  if (Cur.K == Tok::LocalName) {
+    ResultName = Cur.Text;
+    advance();
+    if (!expect(Tok::Equal, "'='"))
+      return false;
+    // Name the instruction at creation so auto-naming cannot claim names
+    // the file uses later.
+    B.setNextName(ResultName);
+  }
+  if (Cur.K != Tok::Ident)
+    return error("expected opcode");
+  std::string Op = Cur.Text;
+  advance();
+
+  Value *Result = nullptr;
+
+  auto ParseBinary = [&](Opcode OC) -> bool {
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    Value *L = parseOperand(Ty);
+    if (!L || !expect(Tok::Comma, "','"))
+      return false;
+    Value *R = parseOperand(Ty);
+    if (!R)
+      return false;
+    Result = B.createBinary(OC, L, R);
+    return true;
+  };
+
+  static const std::map<std::string, Opcode> BinOps = {
+      {"add", Opcode::Add},   {"sub", Opcode::Sub},   {"mul", Opcode::Mul},
+      {"sdiv", Opcode::SDiv}, {"srem", Opcode::SRem}, {"udiv", Opcode::UDiv},
+      {"urem", Opcode::URem}, {"and", Opcode::And},   {"or", Opcode::Or},
+      {"xor", Opcode::Xor},   {"shl", Opcode::Shl},   {"lshr", Opcode::LShr},
+      {"ashr", Opcode::AShr}, {"fadd", Opcode::FAdd}, {"fsub", Opcode::FSub},
+      {"fmul", Opcode::FMul}, {"fdiv", Opcode::FDiv}};
+  static const std::map<std::string, Opcode> CastOps = {
+      {"zext", Opcode::ZExt},
+      {"sext", Opcode::SExt},
+      {"trunc", Opcode::Trunc},
+      {"sitofp", Opcode::SIToFP},
+      {"fptosi", Opcode::FPToSI}};
+  static const std::map<std::string, ICmpPred> IPreds = {
+      {"eq", ICmpPred::EQ},   {"ne", ICmpPred::NE},   {"slt", ICmpPred::SLT},
+      {"sle", ICmpPred::SLE}, {"sgt", ICmpPred::SGT}, {"sge", ICmpPred::SGE},
+      {"ult", ICmpPred::ULT}, {"ule", ICmpPred::ULE}, {"ugt", ICmpPred::UGT},
+      {"uge", ICmpPred::UGE}};
+  static const std::map<std::string, FCmpPred> FPreds = {
+      {"oeq", FCmpPred::OEQ}, {"one", FCmpPred::ONE}, {"olt", FCmpPred::OLT},
+      {"ole", FCmpPred::OLE}, {"ogt", FCmpPred::OGT}, {"oge", FCmpPred::OGE}};
+
+  if (auto It = BinOps.find(Op); It != BinOps.end()) {
+    if (!ParseBinary(It->second))
+      return false;
+  } else if (auto CIt = CastOps.find(Op); CIt != CastOps.end()) {
+    Type *SrcTy = parseType();
+    if (!SrcTy)
+      return false;
+    Value *V = parseOperand(SrcTy);
+    if (!V || !expectIdent("to"))
+      return false;
+    Type *DstTy = parseType();
+    if (!DstTy)
+      return false;
+    Result = B.createCast(CIt->second, V, DstTy);
+  } else if (Op == "icmp" || Op == "fcmp") {
+    if (Cur.K != Tok::Ident)
+      return error("expected comparison predicate");
+    std::string PredName = Cur.Text;
+    advance();
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    Value *L = parseOperand(Ty);
+    if (!L || !expect(Tok::Comma, "','"))
+      return false;
+    Value *R = parseOperand(Ty);
+    if (!R)
+      return false;
+    if (Op == "icmp") {
+      auto P = IPreds.find(PredName);
+      if (P == IPreds.end())
+        return error("unknown icmp predicate '" + PredName + "'");
+      Result = B.createICmp(P->second, L, R);
+    } else {
+      auto P = FPreds.find(PredName);
+      if (P == FPreds.end())
+        return error("unknown fcmp predicate '" + PredName + "'");
+      Result = B.createFCmp(P->second, L, R);
+    }
+  } else if (Op == "load") {
+    Type *PtrTy = parseType();
+    if (!PtrTy)
+      return false;
+    if (!PtrTy->isPointer())
+      return error("load expects a pointer type");
+    Value *Ptr = parseOperand(PtrTy);
+    if (!Ptr)
+      return false;
+    Result = B.createLoad(Ptr);
+  } else if (Op == "store") {
+    Type *ValTy = parseType();
+    if (!ValTy)
+      return false;
+    Value *V = parseOperand(ValTy);
+    if (!V || !expect(Tok::Comma, "','"))
+      return false;
+    Type *PtrTy = parseType();
+    if (!PtrTy)
+      return false;
+    if (!PtrTy->isPointer() || PtrTy->getPointee() != ValTy)
+      return error("store value/pointer type mismatch");
+    Value *Ptr = parseOperand(PtrTy);
+    if (!Ptr)
+      return false;
+    B.createStore(V, Ptr);
+  } else if (Op == "gep") {
+    Type *PtrTy = parseType();
+    if (!PtrTy)
+      return false;
+    if (!PtrTy->isPointer())
+      return error("gep expects a pointer type");
+    Value *Ptr = parseOperand(PtrTy);
+    if (!Ptr || !expect(Tok::Comma, "','"))
+      return false;
+    Type *IdxTy = parseType();
+    if (!IdxTy)
+      return false;
+    Value *Idx = parseOperand(IdxTy);
+    if (!Idx)
+      return false;
+    Result = B.createGep(Ptr, Idx);
+  } else if (Op == "select") {
+    if (!expectIdent("i1"))
+      return false;
+    Value *C = parseOperand(Ctx.getInt1Ty());
+    if (!C || !expect(Tok::Comma, "','"))
+      return false;
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    Value *T = parseOperand(Ty);
+    if (!T || !expect(Tok::Comma, "','"))
+      return false;
+    Value *FV = parseOperand(Ty);
+    if (!FV)
+      return false;
+    Result = B.createSelect(C, T, FV);
+  } else if (Op == "phi") {
+    Type *Ty = parseType();
+    if (!Ty)
+      return false;
+    PhiInst *P = B.createPhi(Ty);
+    Result = P;
+    do {
+      if (!expect(Tok::LBracket, "'['"))
+        return false;
+      Value *V = parseOperand(Ty);
+      if (!V || !expect(Tok::Comma, "','"))
+        return false;
+      if (Cur.K != Tok::LocalName)
+        return error("expected block name in phi");
+      BasicBlock *BB = getOrCreateBlock(Cur.Text);
+      advance();
+      if (!expect(Tok::RBracket, "']'"))
+        return false;
+      P->addIncoming(V, BB);
+      if (Cur.K != Tok::Comma)
+        break;
+      advance();
+    } while (true);
+  } else if (Op == "call") {
+    Type *RetTy = parseType();
+    if (!RetTy)
+      return false;
+    if (Cur.K != Tok::GlobalName)
+      return error("expected intrinsic name");
+    std::string IName = Cur.Text;
+    advance();
+    Intrinsic IID;
+    if (IName == "darm.tid.x")
+      IID = Intrinsic::TidX;
+    else if (IName == "darm.ntid.x")
+      IID = Intrinsic::NTidX;
+    else if (IName == "darm.ctaid.x")
+      IID = Intrinsic::CTAidX;
+    else if (IName == "darm.nctaid.x")
+      IID = Intrinsic::NCTAidX;
+    else if (IName == "darm.laneid")
+      IID = Intrinsic::LaneId;
+    else if (IName == "darm.barrier")
+      IID = Intrinsic::Barrier;
+    else if (IName == "darm.shfl.sync")
+      IID = Intrinsic::ShflSync;
+    else
+      return error("unknown intrinsic '@" + IName + "'");
+    if (!expect(Tok::LParen, "'('"))
+      return false;
+    std::vector<Value *> Args;
+    if (Cur.K != Tok::RParen) {
+      do {
+        Type *ATy = parseType();
+        if (!ATy)
+          return false;
+        Value *A = parseOperand(ATy);
+        if (!A)
+          return false;
+        Args.push_back(A);
+        if (Cur.K != Tok::Comma)
+          break;
+        advance();
+      } while (true);
+    }
+    if (!expect(Tok::RParen, "')'"))
+      return false;
+    Result = B.createCall(IID, Args);
+  } else if (Op == "br") {
+    if (!expectIdent("label"))
+      return false;
+    if (Cur.K != Tok::LocalName)
+      return error("expected target block");
+    BasicBlock *T = getOrCreateBlock(Cur.Text);
+    advance();
+    B.createBr(T);
+  } else if (Op == "condbr") {
+    if (!expectIdent("i1"))
+      return false;
+    Value *C = parseOperand(Ctx.getInt1Ty());
+    if (!C || !expect(Tok::Comma, "','") || !expectIdent("label"))
+      return false;
+    if (Cur.K != Tok::LocalName)
+      return error("expected true target");
+    BasicBlock *T = getOrCreateBlock(Cur.Text);
+    advance();
+    if (!expect(Tok::Comma, "','") || !expectIdent("label"))
+      return false;
+    if (Cur.K != Tok::LocalName)
+      return error("expected false target");
+    BasicBlock *FB = getOrCreateBlock(Cur.Text);
+    advance();
+    B.createCondBr(C, T, FB);
+  } else if (Op == "ret") {
+    // Optional typed return value.
+    if (Cur.K == Tok::Ident && Cur.Text != "ret" &&
+        (Cur.Text == "i1" || Cur.Text == "i32" || Cur.Text == "i64" ||
+         Cur.Text == "f32")) {
+      Type *Ty = parseType();
+      if (!Ty)
+        return false;
+      Value *V = parseOperand(Ty);
+      if (!V)
+        return false;
+      B.createRet(V);
+    } else {
+      B.createRet();
+    }
+  } else {
+    return error("unknown opcode '" + Op + "'");
+  }
+
+  if (!ResultName.empty()) {
+    if (!Result)
+      return error("instruction does not produce a value");
+    if (Result->getName() != ResultName)
+      return error("duplicate value name '%" + ResultName + "'");
+    return defineValue(ResultName, Result);
+  }
+  if (Result && !Result->getType()->isVoid()) {
+    // Unnamed result: keep the auto-assigned name visible for lookups.
+    return defineValue(Result->getName(), Result);
+  }
+  return true;
+}
+
+Function *Parser::parseFunction() {
+  if (!expectIdent("func"))
+    return nullptr;
+  if (Cur.K != Tok::GlobalName) {
+    error("expected function name");
+    return nullptr;
+  }
+  std::string FnName = Cur.Text;
+  advance();
+  if (!expect(Tok::LParen, "'('"))
+    return nullptr;
+
+  Function::ParamList Params;
+  if (Cur.K != Tok::RParen) {
+    do {
+      Type *Ty = parseType();
+      if (!Ty)
+        return nullptr;
+      if (Cur.K != Tok::LocalName) {
+        error("expected parameter name");
+        return nullptr;
+      }
+      Params.push_back({Ty, Cur.Text});
+      advance();
+      if (Cur.K != Tok::Comma)
+        break;
+      advance();
+    } while (true);
+  }
+  if (!expect(Tok::RParen, "')'") || !expect(Tok::Arrow, "'->'"))
+    return nullptr;
+  Type *RetTy = parseType();
+  if (!RetTy)
+    return nullptr;
+  if (!expect(Tok::LBrace, "'{'"))
+    return nullptr;
+
+  F = M.createFunction(FnName, RetTy, Params);
+  Values.clear();
+  Pending.clear();
+  BlockMap.clear();
+  BlockDefined.clear();
+  for (const auto &A : F->args())
+    Values[A->getName()] = A.get();
+
+  // Shared array declarations precede the first block label.
+  while (Cur.K == Tok::Ident && Cur.Text == "shared") {
+    advance();
+    if (Cur.K != Tok::GlobalName) {
+      error("expected shared array name");
+      return nullptr;
+    }
+    std::string SName = Cur.Text;
+    advance();
+    if (!expect(Tok::Equal, "'='"))
+      return nullptr;
+    Type *ElemTy = parseType();
+    if (!ElemTy)
+      return nullptr;
+    if (!expect(Tok::LBracket, "'['"))
+      return nullptr;
+    if (Cur.K != Tok::IntLit) {
+      error("expected element count");
+      return nullptr;
+    }
+    unsigned N = static_cast<unsigned>(Cur.IntVal);
+    advance();
+    if (!expect(Tok::RBracket, "']'"))
+      return nullptr;
+    F->createSharedArray(ElemTy, N, SName);
+  }
+
+  IRBuilder B(Ctx);
+  BasicBlock *CurBB = nullptr;
+  while (Cur.K != Tok::RBrace && Cur.K != Tok::Eof) {
+    // A block label is "ident ':'"; no instruction contains a colon, so one
+    // token of lookahead disambiguates.
+    if (Cur.K == Tok::Ident && peekNext().K == Tok::Colon) {
+      std::string Name = Cur.Text;
+      advance(); // ident
+      advance(); // ':'
+      CurBB = getOrCreateBlock(Name);
+      if (BlockDefined[Name]) {
+        error("redefinition of block '" + Name + "'");
+        return nullptr;
+      }
+      BlockDefined[Name] = true;
+      // Forward references create blocks early; layout follows label
+      // definition order so printing round-trips exactly.
+      F->moveBlockBefore(CurBB, nullptr);
+      B.setInsertPoint(CurBB);
+      continue;
+    }
+    if (!CurBB) {
+      error("instruction before first block label");
+      return nullptr;
+    }
+    if (!parseInstruction(B))
+      return nullptr;
+  }
+  if (!expect(Tok::RBrace, "'}'"))
+    return nullptr;
+
+  if (!Pending.empty()) {
+    error("use of undefined value '%" + Pending.begin()->first + "'");
+    return nullptr;
+  }
+  for (const auto &KV : BlockDefined)
+    if (!KV.second) {
+      error("branch to undefined block '" + KV.first + "'");
+      return nullptr;
+    }
+  return F;
+}
+
+} // namespace
+
+std::unique_ptr<Module> darm::parseModule(Context &Ctx,
+                                          const std::string &Text,
+                                          std::string *Error) {
+  auto M = std::make_unique<Module>(Ctx, "parsed");
+  Lexer Lex(Text);
+  Parser P(*M, Lex);
+  while (!P.atEof()) {
+    if (!P.parseFunction()) {
+      if (Error)
+        *Error = P.takeError();
+      return nullptr;
+    }
+  }
+  return M;
+}
+
+Function *darm::parseFunctionInto(Module &M, const std::string &Text,
+                                  std::string *Error) {
+  Lexer Lex(Text);
+  Parser P(M, Lex);
+  Function *F = P.parseFunction();
+  if (!F && Error)
+    *Error = P.takeError();
+  return F;
+}

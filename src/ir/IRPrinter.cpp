@@ -1,0 +1,203 @@
+//===- IRPrinter.cpp - Textual IR emission --------------------------------===//
+
+#include "darm/ir/IRPrinter.h"
+
+#include "darm/ir/Function.h"
+#include "darm/ir/Instruction.h"
+#include "darm/ir/Module.h"
+#include "darm/support/ErrorHandling.h"
+
+#include <sstream>
+
+using namespace darm;
+
+std::string darm::printOperand(const Value *V) {
+  if (const auto *CI = dyn_cast<ConstantInt>(V)) {
+    if (CI->getType()->isInt1())
+      return CI->isZero() ? "false" : "true";
+    return std::to_string(CI->getValue());
+  }
+  if (const auto *CF = dyn_cast<ConstantFloat>(V)) {
+    std::ostringstream OS2;
+    OS2.precision(9); // 9 significant digits round-trip any float exactly
+    OS2 << CF->getValue();
+    std::string S = OS2.str();
+    // Ensure the token contains '.' or 'e' so the lexer sees a float.
+    if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
+        S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+      S += ".0";
+    return S;
+  }
+  if (isa<UndefValue>(V))
+    return "undef";
+  if (isa<SharedArray>(V))
+    return "@" + V->getName();
+  return "%" + V->getName();
+}
+
+/// Renders "type operand".
+static std::string typedOperand(const Value *V) {
+  return V->getType()->getName() + " " + printOperand(V);
+}
+
+std::string darm::printInstruction(const Instruction &I) {
+  std::ostringstream OS;
+  if (!I.getType()->isVoid())
+    OS << "%" << I.getName() << " = ";
+
+  switch (I.getOpcode()) {
+  case Opcode::Br:
+    OS << "br label %" << cast<BrInst>(&I)->getTarget()->getName();
+    break;
+  case Opcode::CondBr: {
+    const auto *B = cast<CondBrInst>(&I);
+    OS << "condbr i1 " << printOperand(B->getCondition()) << ", label %"
+       << B->getTrueSuccessor()->getName() << ", label %"
+       << B->getFalseSuccessor()->getName();
+    break;
+  }
+  case Opcode::Ret: {
+    const auto *R = cast<RetInst>(&I);
+    OS << "ret";
+    if (R->hasReturnValue())
+      OS << " " << typedOperand(R->getReturnValue());
+    break;
+  }
+  case Opcode::ICmp: {
+    const auto *C = cast<ICmpInst>(&I);
+    OS << "icmp " << getPredName(C->getPredicate()) << " "
+       << C->getLHS()->getType()->getName() << " " << printOperand(C->getLHS())
+       << ", " << printOperand(C->getRHS());
+    break;
+  }
+  case Opcode::FCmp: {
+    const auto *C = cast<FCmpInst>(&I);
+    OS << "fcmp " << getPredName(C->getPredicate()) << " "
+       << C->getLHS()->getType()->getName() << " " << printOperand(C->getLHS())
+       << ", " << printOperand(C->getRHS());
+    break;
+  }
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::Trunc:
+  case Opcode::SIToFP:
+  case Opcode::FPToSI: {
+    const auto *C = cast<CastInst>(&I);
+    OS << I.getOpcodeName() << " " << typedOperand(C->getSource()) << " to "
+       << I.getType()->getName();
+    break;
+  }
+  case Opcode::Load:
+    OS << "load " << typedOperand(cast<LoadInst>(&I)->getPointer());
+    break;
+  case Opcode::Store: {
+    const auto *S = cast<StoreInst>(&I);
+    OS << "store " << typedOperand(S->getValueOperand()) << ", "
+       << typedOperand(S->getPointer());
+    break;
+  }
+  case Opcode::Gep: {
+    const auto *G = cast<GepInst>(&I);
+    OS << "gep " << typedOperand(G->getPointer()) << ", "
+       << typedOperand(G->getIndex());
+    break;
+  }
+  case Opcode::Phi: {
+    const auto *P = cast<PhiInst>(&I);
+    OS << "phi " << I.getType()->getName();
+    for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K) {
+      OS << (K ? ", " : " ") << "[ " << printOperand(P->getIncomingValue(K))
+         << ", %" << P->getIncomingBlock(K)->getName() << " ]";
+    }
+    break;
+  }
+  case Opcode::Select: {
+    const auto *S = cast<SelectInst>(&I);
+    OS << "select i1 " << printOperand(S->getCondition()) << ", "
+       << typedOperand(S->getTrueValue()) << ", "
+       << printOperand(S->getFalseValue());
+    break;
+  }
+  case Opcode::Call: {
+    const auto *C = cast<CallInst>(&I);
+    OS << "call " << I.getType()->getName() << " @"
+       << getIntrinsicName(C->getIntrinsic()) << "(";
+    for (unsigned K = 0, E = C->getNumOperands(); K != E; ++K)
+      OS << (K ? ", " : "") << typedOperand(C->getOperand(K));
+    OS << ")";
+    break;
+  }
+  default: // binary operations
+    OS << I.getOpcodeName() << " " << I.getType()->getName() << " "
+       << printOperand(I.getOperand(0)) << ", " << printOperand(I.getOperand(1));
+    break;
+  }
+  return OS.str();
+}
+
+std::string darm::printBlock(const BasicBlock &BB) {
+  std::ostringstream OS;
+  OS << BB.getName() << ":\n";
+  for (const Instruction *I : BB)
+    OS << "  " << printInstruction(*I) << "\n";
+  return OS.str();
+}
+
+std::string darm::printFunction(const Function &F) {
+  std::ostringstream OS;
+  OS << "func @" << F.getName() << "(";
+  for (unsigned I = 0, E = F.getNumArgs(); I != E; ++I) {
+    const Argument *A = F.getArg(I);
+    OS << (I ? ", " : "") << A->getType()->getName() << " %" << A->getName();
+  }
+  OS << ") -> " << F.getReturnType()->getName() << " {\n";
+  for (const auto &S : F.sharedArrays())
+    OS << "  shared @" << S->getName() << " = "
+       << S->getElementType()->getName() << "[" << S->getNumElements()
+       << "]\n";
+  for (const BasicBlock *BB : F)
+    OS << printBlock(*BB);
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string darm::printModule(const Module &M) {
+  std::ostringstream OS;
+  for (const auto &F : M.functions())
+    OS << printFunction(*F) << "\n";
+  return OS.str();
+}
+
+std::string darm::printDot(const Function &F) {
+  std::ostringstream OS;
+  OS << "digraph \"" << F.getName() << "\" {\n";
+  OS << "  node [shape=record, fontname=monospace];\n";
+  for (const BasicBlock *BB : F) {
+    OS << "  \"" << BB->getName() << "\" [label=\"{" << BB->getName() << ":";
+    for (const Instruction *I : *BB) {
+      std::string Line = printInstruction(*I);
+      // Escape characters meaningful to the record syntax.
+      std::string Escaped;
+      for (char C : Line) {
+        if (C == '<' || C == '>' || C == '{' || C == '}' || C == '|' ||
+            C == '"')
+          Escaped += '\\';
+        Escaped += C;
+      }
+      OS << "\\l  " << Escaped;
+    }
+    OS << "\\l}\"];\n";
+    const Instruction *T = BB->getTerminator();
+    if (!T)
+      continue;
+    for (unsigned I = 0, E = T->getNumSuccessors(); I != E; ++I) {
+      OS << "  \"" << BB->getName() << "\" -> \""
+         << T->getSuccessor(I)->getName() << "\"";
+      if (T->getNumSuccessors() == 2)
+        OS << " [label=\"" << (I == 0 ? "T" : "F") << "\"]";
+      OS << ";\n";
+    }
+  }
+  OS << "}\n";
+  return OS.str();
+}

@@ -1,0 +1,283 @@
+//===- Instruction.cpp - IR instruction hierarchy ---------------------------===//
+
+#include "darm/ir/Instruction.h"
+
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Function.h"
+#include "darm/support/ErrorHandling.h"
+
+using namespace darm;
+
+const char *darm::getOpcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::SDiv:
+    return "sdiv";
+  case Opcode::SRem:
+    return "srem";
+  case Opcode::UDiv:
+    return "udiv";
+  case Opcode::URem:
+    return "urem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::LShr:
+    return "lshr";
+  case Opcode::AShr:
+    return "ashr";
+  case Opcode::FAdd:
+    return "fadd";
+  case Opcode::FSub:
+    return "fsub";
+  case Opcode::FMul:
+    return "fmul";
+  case Opcode::FDiv:
+    return "fdiv";
+  case Opcode::ICmp:
+    return "icmp";
+  case Opcode::FCmp:
+    return "fcmp";
+  case Opcode::ZExt:
+    return "zext";
+  case Opcode::SExt:
+    return "sext";
+  case Opcode::Trunc:
+    return "trunc";
+  case Opcode::SIToFP:
+    return "sitofp";
+  case Opcode::FPToSI:
+    return "fptosi";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Gep:
+    return "gep";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Call:
+    return "call";
+  case Opcode::NumOpcodes:
+    break;
+  }
+  darm_unreachable("unknown opcode");
+}
+
+const char *darm::getPredName(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::EQ:
+    return "eq";
+  case ICmpPred::NE:
+    return "ne";
+  case ICmpPred::SLT:
+    return "slt";
+  case ICmpPred::SLE:
+    return "sle";
+  case ICmpPred::SGT:
+    return "sgt";
+  case ICmpPred::SGE:
+    return "sge";
+  case ICmpPred::ULT:
+    return "ult";
+  case ICmpPred::ULE:
+    return "ule";
+  case ICmpPred::UGT:
+    return "ugt";
+  case ICmpPred::UGE:
+    return "uge";
+  }
+  darm_unreachable("unknown icmp predicate");
+}
+
+const char *darm::getPredName(FCmpPred P) {
+  switch (P) {
+  case FCmpPred::OEQ:
+    return "oeq";
+  case FCmpPred::ONE:
+    return "one";
+  case FCmpPred::OLT:
+    return "olt";
+  case FCmpPred::OLE:
+    return "ole";
+  case FCmpPred::OGT:
+    return "ogt";
+  case FCmpPred::OGE:
+    return "oge";
+  }
+  darm_unreachable("unknown fcmp predicate");
+}
+
+const char *darm::getIntrinsicName(Intrinsic IID) {
+  switch (IID) {
+  case Intrinsic::TidX:
+    return "darm.tid.x";
+  case Intrinsic::NTidX:
+    return "darm.ntid.x";
+  case Intrinsic::CTAidX:
+    return "darm.ctaid.x";
+  case Intrinsic::NCTAidX:
+    return "darm.nctaid.x";
+  case Intrinsic::LaneId:
+    return "darm.laneid";
+  case Intrinsic::Barrier:
+    return "darm.barrier";
+  case Intrinsic::ShflSync:
+    return "darm.shfl.sync";
+  }
+  darm_unreachable("unknown intrinsic");
+}
+
+Function *Instruction::getFunction() const {
+  return Parent ? Parent->getParent() : nullptr;
+}
+
+bool Instruction::hasSideEffects() const {
+  switch (getOpcode()) {
+  case Opcode::Store:
+  case Opcode::Ret:
+  case Opcode::Br:
+  case Opcode::CondBr:
+    return true;
+  case Opcode::Call: {
+    Intrinsic IID = cast<CallInst>(this)->getIntrinsic();
+    return IID == Intrinsic::Barrier || IID == Intrinsic::ShflSync;
+  }
+  default:
+    return false;
+  }
+}
+
+bool Instruction::isConvergent() const {
+  const auto *C = dyn_cast<CallInst>(this);
+  if (!C)
+    return false;
+  Intrinsic IID = C->getIntrinsic();
+  return IID == Intrinsic::Barrier || IID == Intrinsic::ShflSync;
+}
+
+bool Instruction::isSafeToSpeculate() const {
+  if (isBinaryOp() || isCast())
+    return true;
+  switch (getOpcode()) {
+  case Opcode::ICmp:
+  case Opcode::FCmp:
+  case Opcode::Select:
+  case Opcode::Gep:
+    return true;
+  case Opcode::Call:
+    return !isConvergent(); // thread-index queries are pure
+  default:
+    return false;
+  }
+}
+
+unsigned Instruction::getNumSuccessors() const {
+  switch (getOpcode()) {
+  case Opcode::Br:
+    return 1;
+  case Opcode::CondBr:
+    return 2;
+  default:
+    return 0;
+  }
+}
+
+BasicBlock *Instruction::getSuccessor(unsigned I) const {
+  if (const auto *B = dyn_cast<BrInst>(this)) {
+    assert(I == 0 && "br has one successor");
+    return B->getTarget();
+  }
+  const auto *CB = cast<CondBrInst>(this);
+  assert(I < 2 && "condbr has two successors");
+  return I == 0 ? CB->getTrueSuccessor() : CB->getFalseSuccessor();
+}
+
+void Instruction::setSuccessor(unsigned I, BasicBlock *BB) {
+  assert(BB && "successor must not be null");
+  BasicBlock *Old = getSuccessor(I);
+  if (Old == BB)
+    return;
+  if (auto *B = dyn_cast<BrInst>(this)) {
+    B->Target = BB;
+  } else {
+    auto *CB = cast<CondBrInst>(this);
+    if (I == 0)
+      CB->TrueBB = BB;
+    else
+      CB->FalseBB = BB;
+  }
+  if (Parent) {
+    Old->removePredecessor(Parent);
+    BB->addPredecessor(Parent);
+  }
+}
+
+void Instruction::replaceSuccessor(BasicBlock *Old, BasicBlock *New) {
+  for (unsigned I = 0, E = getNumSuccessors(); I != E; ++I)
+    if (getSuccessor(I) == Old)
+      setSuccessor(I, New);
+}
+
+void Instruction::linkSuccessors() {
+  assert(Parent && "linking successors of a detached instruction");
+  for (unsigned I = 0, E = getNumSuccessors(); I != E; ++I)
+    getSuccessor(I)->addPredecessor(Parent);
+}
+
+void Instruction::unlinkSuccessors() {
+  assert(Parent && "unlinking successors of a detached instruction");
+  for (unsigned I = 0, E = getNumSuccessors(); I != E; ++I)
+    getSuccessor(I)->removePredecessor(Parent);
+}
+
+void Instruction::removeFromParent() {
+  assert(Parent && "instruction not in a block");
+  Parent->remove(this);
+}
+
+void Instruction::eraseFromParent() {
+  assert(Parent && "instruction not in a block");
+  Parent->erase(this);
+}
+
+void Instruction::moveBefore(Instruction *Before) {
+  assert(Before->getParent() && "destination not in a block");
+  removeFromParent();
+  Before->getParent()->insert(Before->getIterator(), this);
+}
+
+Instruction *Instruction::clone() const { return cloneImpl(); }
+
+Value *PhiInst::getUniqueIncomingValue(bool IgnoreUndef) const {
+  Value *Unique = nullptr;
+  for (unsigned I = 0, E = getNumIncoming(); I != E; ++I) {
+    Value *V = getIncomingValue(I);
+    if (V == this)
+      continue; // self-loop entries are wildcards
+    if (IgnoreUndef && isa<UndefValue>(V))
+      continue;
+    if (Unique && Unique != V)
+      return nullptr;
+    Unique = V;
+  }
+  return Unique;
+}

@@ -1,0 +1,44 @@
+//===- Type.cpp - IR type system -------------------------------------------===//
+
+#include "darm/ir/Type.h"
+
+#include "darm/support/ErrorHandling.h"
+
+using namespace darm;
+
+unsigned Type::getStoreSizeInBytes() const {
+  switch (K) {
+  case Kind::Void:
+    darm_unreachable("void has no store size");
+  case Kind::Int1:
+    return 1;
+  case Kind::Int32:
+    return 4;
+  case Kind::Int64:
+    return 8;
+  case Kind::Float:
+    return 4;
+  case Kind::Pointer:
+    return 8;
+  }
+  darm_unreachable("unknown type kind");
+}
+
+std::string Type::getName() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Int1:
+    return "i1";
+  case Kind::Int32:
+    return "i32";
+  case Kind::Int64:
+    return "i64";
+  case Kind::Float:
+    return "f32";
+  case Kind::Pointer:
+    return Pointee->getName() + " addrspace(" +
+           std::to_string(static_cast<unsigned>(AS)) + ")*";
+  }
+  darm_unreachable("unknown type kind");
+}

@@ -1,0 +1,64 @@
+//===- Value.cpp - def-use graph maintenance --------------------------------===//
+
+#include "darm/ir/Value.h"
+
+#include "darm/support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace darm;
+
+Value::~Value() {
+  assert(Uses.empty() && "value destroyed while still in use");
+}
+
+void Value::removeUse(User *U, unsigned OpIdx) {
+  auto It = std::find(Uses.begin(), Uses.end(), Use{U, OpIdx});
+  assert(It != Uses.end() && "use not registered");
+  Uses.erase(It);
+}
+
+void Value::replaceAllUsesWith(Value *New) {
+  assert(New && "replacement must not be null");
+  if (New == this)
+    return;
+  assert(New->getType() == getType() && "RAUW type mismatch");
+  // Snapshot: setOperand mutates the use list.
+  std::vector<Use> Snapshot = Uses;
+  for (const Use &U : Snapshot)
+    U.TheUser->setOperand(U.OpIdx, New);
+  assert(Uses.empty() && "RAUW left stale uses");
+}
+
+void User::setOperand(unsigned I, Value *V) {
+  assert(I < Ops.size() && "operand index out of range");
+  assert(V && "operand must not be null");
+  if (Ops[I] == V)
+    return;
+  Ops[I]->removeUse(this, I);
+  Ops[I] = V;
+  V->addUse(this, I);
+}
+
+void User::appendOperand(Value *V) {
+  assert(V && "operand must not be null");
+  Ops.push_back(V);
+  V->addUse(this, static_cast<unsigned>(Ops.size()) - 1);
+}
+
+void User::removeOperand(unsigned I) {
+  assert(I < Ops.size() && "operand index out of range");
+  Ops[I]->removeUse(this, I);
+  // Later operands shift down; re-register their uses under new indices.
+  for (unsigned J = I + 1, E = static_cast<unsigned>(Ops.size()); J != E; ++J) {
+    Ops[J]->removeUse(this, J);
+    Ops[J]->addUse(this, J - 1);
+  }
+  Ops.erase(Ops.begin() + I);
+}
+
+void User::dropAllOperands() {
+  for (unsigned I = 0, E = static_cast<unsigned>(Ops.size()); I != E; ++I)
+    Ops[I]->removeUse(this, I);
+  Ops.clear();
+}

@@ -1,0 +1,73 @@
+//===- Benchmark.cpp - Workload registry ------------------------------------------===//
+
+#include "darm/kernels/Benchmark.h"
+
+#include "darm/ir/Function.h"
+#include "darm/sim/Simulator.h"
+
+using namespace darm;
+
+namespace darm {
+namespace kernels_detail {
+// Per-file factories.
+std::unique_ptr<Benchmark> createSynthetic(const std::string &, unsigned);
+std::unique_ptr<Benchmark> createBitonic(unsigned BlockSize);
+std::unique_ptr<Benchmark> createPCM(unsigned BlockSize);
+std::unique_ptr<Benchmark> createMergeSort(unsigned BlockSize);
+std::unique_ptr<Benchmark> createLUD(unsigned BlockSize);
+std::unique_ptr<Benchmark> createNQueens(unsigned BlockSize);
+std::unique_ptr<Benchmark> createSRAD(unsigned BlockSize);
+std::unique_ptr<Benchmark> createDCT(unsigned BlockSize);
+} // namespace kernels_detail
+} // namespace darm
+
+std::vector<std::string> darm::realBenchmarkNames() {
+  return {"BIT", "PCM", "MS", "LUD", "NQU", "SRAD", "DCT"};
+}
+
+std::vector<std::string> darm::syntheticBenchmarkNames() {
+  return {"SB1", "SB1R", "SB2", "SB2R", "SB3", "SB3R", "SB4", "SB4R"};
+}
+
+std::vector<unsigned> darm::paperBlockSizes(const std::string &Name) {
+  if (Name == "LUD")
+    return {16, 32, 64, 128};
+  if (Name == "NQU")
+    return {64, 96, 128, 256};
+  if (Name == "SRAD")
+    return {256, 1024}; // 16x16 and 32x32 thread blocks
+  if (Name == "DCT")
+    return {16, 64, 256}; // 4x4, 8x8, 16x16
+  return {32, 64, 128, 256}; // BIT, PCM, MS and all synthetics
+}
+
+std::unique_ptr<Benchmark> darm::createBenchmark(const std::string &Name,
+                                                 unsigned BlockSize) {
+  using namespace kernels_detail;
+  if (Name == "BIT")
+    return createBitonic(BlockSize);
+  if (Name == "PCM")
+    return createPCM(BlockSize);
+  if (Name == "MS")
+    return createMergeSort(BlockSize);
+  if (Name == "LUD")
+    return createLUD(BlockSize);
+  if (Name == "NQU")
+    return createNQueens(BlockSize);
+  if (Name == "SRAD")
+    return createSRAD(BlockSize);
+  if (Name == "DCT")
+    return createDCT(BlockSize);
+  return createSynthetic(Name, BlockSize);
+}
+
+bool darm::runAndValidate(const Benchmark &B, Function &Kern, SimStats &Stats,
+                          std::string *Why) {
+  GlobalMemory Mem;
+  std::vector<uint64_t> Base = B.setup(Mem);
+  for (unsigned L = 0, E = B.numLaunches(); L != E; ++L) {
+    std::vector<uint64_t> Args = B.argsForLaunch(L, Base);
+    Stats += runKernel(Kern, B.launch(), Args, Mem);
+  }
+  return B.validate(Mem, Base, Why);
+}

@@ -1,0 +1,153 @@
+//===- Bitonic.cpp - BIT: bitonic sort (the paper's running example) -------------===//
+//
+// Fig. 1 of the paper: each thread block sorts one bucket in shared
+// memory with a bitonic network. The (tid & k) == 0 branch is divergent at
+// every block size, and its two arms are isomorphic if-then regions doing
+// compare-and-swap on LDS — the flagship region-region meld.
+//
+// Paper input: 2^26 elements; here buckets are blockDim-sized and the
+// bucket count is fixed, which preserves the divergence behaviour per
+// block while keeping simulation time sane (see DESIGN.md).
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/kernels/Benchmark.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/LoopHelper.h"
+#include "darm/support/RNG.h"
+
+#include <algorithm>
+
+using namespace darm;
+
+namespace {
+
+constexpr unsigned kGridDim = 4;
+
+class BitonicBenchmark : public Benchmark {
+public:
+  explicit BitonicBenchmark(unsigned BlockSize) : BlockSize(BlockSize) {}
+
+  std::string name() const override { return "BIT"; }
+  LaunchParams launch() const override { return {kGridDim, BlockSize}; }
+
+  Function *build(Module &M) const override {
+    Context &Ctx = M.getContext();
+    Type *I32 = Ctx.getInt32Ty();
+    Type *GPtr = Ctx.getPointerTy(I32, AddressSpace::Global);
+    Function *F =
+        M.createFunction("bitonic_sort", Ctx.getVoidTy(), {{GPtr, "values"}});
+    SharedArray *Sh = F->createSharedArray(I32, BlockSize, "shared");
+
+    BasicBlock *Entry = F->createBlock("entry");
+    IRBuilder B(Ctx, Entry);
+    Value *Tid = B.createThreadIdX();
+    Value *Ntid = B.createBlockDimX();
+    Value *Gid = B.createAdd(B.createMul(B.createBlockIdX(), Ntid), Tid,
+                             "gid");
+    B.createStoreAt(B.createLoadAt(F->getArg(0), Gid, "in"), Sh, Tid);
+    B.createBarrier();
+
+    // for (k = 2; k <= blockDim; k *= 2)
+    ForLoop KLoop(B, B.getInt32(2), ICmpPred::SLE, Ntid, "k");
+    Value *K = KLoop.iv();
+    // for (j = k / 2; j > 0; j /= 2)
+    ForLoop JLoop(B, B.createAShr(K, B.getInt32(1)), ICmpPred::SGT,
+                  B.getInt32(0), "j");
+    Value *J = JLoop.iv();
+
+    Value *Ixj = B.createXor(Tid, J, "ixj");
+    Value *Outer = B.createICmp(ICmpPred::SGT, Ixj, Tid, "outer");
+    BasicBlock *Work = F->createBlock("work");
+    BasicBlock *Sync = F->createBlock("sync");
+    B.createCondBr(Outer, Work, Sync);
+
+    B.setInsertPoint(Work);
+    Value *Dir = B.createAnd(Tid, K, "dir");
+    Value *Asc = B.createICmp(ICmpPred::EQ, Dir, B.getInt32(0), "asc");
+    BasicBlock *AscBB = F->createBlock("asc.cmp");
+    BasicBlock *DescBB = F->createBlock("desc.cmp");
+    B.createCondBr(Asc, AscBB, DescBB);
+
+    auto EmitCompareSwap = [&](BasicBlock *Head, ICmpPred Pred,
+                               const std::string &Tag) {
+      B.setInsertPoint(Head);
+      Value *PIxj = B.createGep(Sh, Ixj);
+      Value *PTid = B.createGep(Sh, Tid);
+      Value *A = B.createLoad(PIxj, Tag + ".a");
+      Value *C = B.createLoad(PTid, Tag + ".b");
+      Value *Cmp = B.createICmp(Pred, A, C, Tag + ".cmp");
+      BasicBlock *Swap = F->createBlock(Tag + ".swap");
+      BasicBlock *End = F->createBlock(Tag + ".end");
+      B.createCondBr(Cmp, Swap, End);
+      B.setInsertPoint(Swap);
+      B.createStore(A, PTid);
+      B.createStore(C, PIxj);
+      B.createBr(End);
+      B.setInsertPoint(End);
+      B.createBr(Sync);
+    };
+    // if (shared[ixj] < shared[tid]) swap  — ascending half
+    EmitCompareSwap(AscBB, ICmpPred::SLT, "asc");
+    // if (shared[ixj] > shared[tid]) swap  — descending half
+    EmitCompareSwap(DescBB, ICmpPred::SGT, "desc");
+
+    B.setInsertPoint(Sync);
+    B.createBarrier();
+    JLoop.close(B.createAShr(J, B.getInt32(1)));
+    KLoop.close(B.createShl(K, B.getInt32(1)));
+
+    B.createStoreAt(B.createLoadAt(Sh, Tid, "sorted"), F->getArg(0), Gid);
+    B.createRet();
+    return F;
+  }
+
+  std::vector<uint64_t> setup(GlobalMemory &Mem) const override {
+    unsigned N = kGridDim * BlockSize;
+    uint64_t Data = Mem.allocate(N * 4, "values");
+    Mem.fillI32(Data, makeInput());
+    return {Data};
+  }
+
+  bool validate(const GlobalMemory &Mem, const std::vector<uint64_t> &Args,
+                std::string *Why) const override {
+    unsigned N = kGridDim * BlockSize;
+    std::vector<int32_t> Got = Mem.dumpI32(Args[0], N);
+    std::vector<int32_t> Want = makeInput();
+    // Each block sorts its bucket ascending.
+    for (unsigned Blk = 0; Blk < kGridDim; ++Blk)
+      std::sort(Want.begin() + Blk * BlockSize,
+                Want.begin() + (Blk + 1) * BlockSize);
+    if (Got != Want) {
+      if (Why)
+        *Why = "BIT: buckets are not sorted correctly";
+      return false;
+    }
+    return true;
+  }
+
+private:
+  std::vector<int32_t> makeInput() const {
+    unsigned N = kGridDim * BlockSize;
+    std::vector<int32_t> In(N);
+    RNG Rng(0xb170 + BlockSize);
+    for (unsigned I = 0; I < N; ++I)
+      In[I] = static_cast<int32_t>(Rng.nextInRange(-10000, 10000));
+    return In;
+  }
+
+  unsigned BlockSize;
+};
+
+} // namespace
+
+namespace darm {
+namespace kernels_detail {
+std::unique_ptr<Benchmark> createBitonic(unsigned BlockSize) {
+  return std::make_unique<BitonicBenchmark>(BlockSize);
+}
+} // namespace kernels_detail
+} // namespace darm

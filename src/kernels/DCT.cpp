@@ -1,0 +1,113 @@
+//===- DCT.cpp - DCT: in-place quantization of a DCT plane ------------------------===//
+//
+// From the CUDA samples [27] (§VI-A): quantization rounds positive and
+// negative coefficients differently, giving a data-dependent diamond whose
+// arms both contain an expensive integer division — ideal for melding, and
+// notable for having *no* memory instructions inside the divergent region
+// (Fig. 11 discussion).
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/kernels/Benchmark.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+#include "darm/support/RNG.h"
+
+using namespace darm;
+
+namespace {
+
+constexpr unsigned kGridDim = 8;
+constexpr int32_t kQuant = 13;
+
+class DCTBenchmark : public Benchmark {
+public:
+  explicit DCTBenchmark(unsigned BlockSize) : BlockSize(BlockSize) {}
+
+  std::string name() const override { return "DCT"; }
+  LaunchParams launch() const override { return {kGridDim, BlockSize}; }
+
+  Function *build(Module &M) const override {
+    Context &Ctx = M.getContext();
+    Type *I32 = Ctx.getInt32Ty();
+    Type *GPtr = Ctx.getPointerTy(I32, AddressSpace::Global);
+    Function *F = M.createFunction("dct_quantize", Ctx.getVoidTy(),
+                                   {{GPtr, "plane"}, {I32, "q"}});
+
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Pos = F->createBlock("pos");
+    BasicBlock *Neg = F->createBlock("neg");
+    BasicBlock *Join = F->createBlock("join");
+    IRBuilder B(Ctx, Entry);
+    Value *Tid = B.createThreadIdX();
+    Value *Gid = B.createAdd(B.createMul(B.createBlockIdX(),
+                                         B.createBlockDimX()),
+                             Tid, "gid");
+    Value *Q = F->getArg(1);
+    Value *Half = B.createAShr(Q, B.getInt32(1), "half");
+    Value *V = B.createLoadAt(F->getArg(0), Gid, "v");
+    Value *IsPos = B.createICmp(ICmpPred::SGT, V, B.getInt32(0), "ispos");
+    B.createCondBr(IsPos, Pos, Neg);
+
+    B.setInsertPoint(Pos);
+    Value *RP = B.createSDiv(B.createAdd(V, Half), Q, "rp");
+    B.createBr(Join);
+    B.setInsertPoint(Neg);
+    Value *RN = B.createSDiv(B.createSub(V, Half), Q, "rn");
+    B.createBr(Join);
+
+    B.setInsertPoint(Join);
+    PhiInst *R = B.createPhi(I32, "r");
+    R->addIncoming(RP, Pos);
+    R->addIncoming(RN, Neg);
+    B.createStoreAt(R, F->getArg(0), Gid);
+    B.createRet();
+    return F;
+  }
+
+  std::vector<uint64_t> setup(GlobalMemory &Mem) const override {
+    unsigned N = kGridDim * BlockSize;
+    uint64_t Plane = Mem.allocate(N * 4, "plane");
+    Mem.fillI32(Plane, makeInput());
+    return {Plane, static_cast<uint64_t>(kQuant)};
+  }
+
+  bool validate(const GlobalMemory &Mem, const std::vector<uint64_t> &Args,
+                std::string *Why) const override {
+    unsigned N = kGridDim * BlockSize;
+    std::vector<int32_t> Got = Mem.dumpI32(Args[0], N);
+    std::vector<int32_t> Want = makeInput();
+    for (int32_t &V : Want)
+      V = V > 0 ? (V + kQuant / 2) / kQuant : (V - kQuant / 2) / kQuant;
+    if (Got != Want) {
+      if (Why)
+        *Why = "DCT: quantized plane differs from host reference";
+      return false;
+    }
+    return true;
+  }
+
+private:
+  std::vector<int32_t> makeInput() const {
+    unsigned N = kGridDim * BlockSize;
+    std::vector<int32_t> In(N);
+    RNG Rng(0xdc7 + BlockSize);
+    for (unsigned I = 0; I < N; ++I)
+      In[I] = static_cast<int32_t>(Rng.nextInRange(-2000, 2000));
+    return In;
+  }
+
+  unsigned BlockSize;
+};
+
+} // namespace
+
+namespace darm {
+namespace kernels_detail {
+std::unique_ptr<Benchmark> createDCT(unsigned BlockSize) {
+  return std::make_unique<DCTBenchmark>(BlockSize);
+}
+} // namespace kernels_detail
+} // namespace darm

@@ -1,0 +1,182 @@
+//===- LUD.cpp - LUD: lud_perimeter-style row/column processing --------------------===//
+//
+// Rodinia's lud_perimeter (§VI-A): the first half of the block processes a
+// row chunk of the perimeter, the second half a column chunk — similar
+// multiply-accumulate loops over shared memory on both sides. The branch
+// condition depends on thread ID *and block size*: with blockDim 16 or 32
+// the two roles split inside one warp (runtime divergence), while at 64+
+// the halves are warp-aligned and the branch is dynamically uniform — so
+// melding only pays off at the divergent block sizes, reproducing the
+// paper's block-size-dependent behaviour.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/kernels/Benchmark.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/LoopHelper.h"
+#include "darm/support/RNG.h"
+
+using namespace darm;
+
+namespace {
+
+constexpr unsigned kGridDim = 4;
+constexpr unsigned kChunk = 8; // per-thread MAC length
+
+class LUDBenchmark : public Benchmark {
+public:
+  explicit LUDBenchmark(unsigned BlockSize) : BlockSize(BlockSize) {}
+
+  std::string name() const override { return "LUD"; }
+  LaunchParams launch() const override { return {kGridDim, BlockSize}; }
+
+  Function *build(Module &M) const override {
+    Context &Ctx = M.getContext();
+    Type *I32 = Ctx.getInt32Ty();
+    Type *GPtr = Ctx.getPointerTy(I32, AddressSpace::Global);
+    Function *F = M.createFunction("lud_perimeter", Ctx.getVoidTy(),
+                                   {{GPtr, "mat"}, {GPtr, "out"}});
+    unsigned Half = BlockSize / 2;
+    SharedArray *ShM = F->createSharedArray(I32, BlockSize * kChunk, "tile");
+    SharedArray *ShRow = F->createSharedArray(I32, kChunk, "diagrow");
+    SharedArray *ShCol = F->createSharedArray(I32, kChunk, "diagcol");
+
+    BasicBlock *Entry = F->createBlock("entry");
+    IRBuilder B(Ctx, Entry);
+    Value *Tid = B.createThreadIdX();
+    Value *Ntid = B.createBlockDimX();
+    Value *Gid = B.createAdd(B.createMul(B.createBlockIdX(), Ntid), Tid,
+                             "gid");
+
+    // Stage the per-thread tile slice into LDS.
+    ForLoop Stage(B, B.getInt32(0), ICmpPred::SLT,
+                  B.getInt32(static_cast<int32_t>(kChunk)), "stage");
+    {
+      Value *I = Stage.iv();
+      Value *Src = B.createAdd(B.createMul(Gid, B.getInt32(kChunk)), I);
+      Value *Dst = B.createAdd(B.createMul(Tid, B.getInt32(kChunk)), I);
+      B.createStoreAt(B.createLoadAt(F->getArg(0), Src, "stg"), ShM, Dst);
+      Stage.close(B.createAdd(I, B.getInt32(1)));
+    }
+    // The first kChunk threads fill the two diagonal vectors.
+    BasicBlock *FillBB = F->createBlock("fill");
+    BasicBlock *Staged = F->createBlock("staged");
+    Value *IsFiller =
+        B.createICmp(ICmpPred::SLT, Tid, B.getInt32(kChunk), "isfiller");
+    B.createCondBr(IsFiller, FillBB, Staged);
+    B.setInsertPoint(FillBB);
+    Value *DiagV = B.createAdd(Tid, B.getInt32(3), "diagv");
+    B.createStoreAt(DiagV, ShRow, Tid);
+    B.createStoreAt(B.createMul(DiagV, B.getInt32(2)), ShCol, Tid);
+    B.createBr(Staged);
+    B.setInsertPoint(Staged);
+    B.createBarrier();
+
+    // Divergent role split: rows vs. columns.
+    Value *IsRow = B.createICmp(ICmpPred::SLT, Tid,
+                                B.getInt32(static_cast<int32_t>(Half)),
+                                "isrow");
+    BasicBlock *RowBB = F->createBlock("row");
+    BasicBlock *ColBB = F->createBlock("col");
+    BasicBlock *Join = F->createBlock("join");
+    B.createCondBr(IsRow, RowBB, ColBB);
+
+    struct Side {
+      Value *Acc;
+      BasicBlock *End;
+    };
+    auto EmitMac = [&](BasicBlock *Head, SharedArray *Diag,
+                       const std::string &Tag) -> Side {
+      B.setInsertPoint(Head);
+      ForLoop L(B, B.getInt32(0), ICmpPred::SLT,
+                B.getInt32(static_cast<int32_t>(kChunk)), Tag + ".i");
+      Value *I = L.iv();
+      PhiInst *Acc;
+      {
+        IRBuilder HB(Ctx);
+        HB.setInsertPoint(cast<Instruction>(I));
+        Acc = HB.createPhi(I32, Tag + ".acc");
+        Acc->addIncoming(B.getInt32(0),
+                         cast<PhiInst>(I)->getIncomingBlock(0));
+      }
+      Value *TileIdx = B.createAdd(B.createMul(Tid, B.getInt32(kChunk)), I,
+                                   Tag + ".idx");
+      Value *Elem = B.createLoadAt(ShM, TileIdx, Tag + ".elem");
+      Value *D = B.createLoadAt(Diag, I, Tag + ".diag");
+      Value *NewAcc = B.createAdd(Acc, B.createMul(Elem, D, Tag + ".prod"),
+                                  Tag + ".newacc");
+      BasicBlock *Latch = B.getInsertBlock();
+      L.close(B.createAdd(I, B.getInt32(1)));
+      Acc->addIncoming(NewAcc, Latch);
+      BasicBlock *End = B.getInsertBlock();
+      B.createBr(Join);
+      return {Acc, End};
+    };
+    Side RowSide = EmitMac(RowBB, ShRow, "row");
+    Side ColSide = EmitMac(ColBB, ShCol, "col");
+
+    B.setInsertPoint(Join);
+    PhiInst *Acc = B.createPhi(I32, "acc");
+    Acc->addIncoming(RowSide.Acc, RowSide.End);
+    Acc->addIncoming(ColSide.Acc, ColSide.End);
+    B.createStoreAt(Acc, F->getArg(1), Gid);
+    B.createRet();
+    return F;
+  }
+
+  std::vector<uint64_t> setup(GlobalMemory &Mem) const override {
+    unsigned N = kGridDim * BlockSize * kChunk;
+    uint64_t Mat = Mem.allocate(N * 4, "mat");
+    uint64_t Out = Mem.allocate(kGridDim * BlockSize * 4, "out");
+    Mem.fillI32(Mat, makeInput());
+    return {Mat, Out};
+  }
+
+  bool validate(const GlobalMemory &Mem, const std::vector<uint64_t> &Args,
+                std::string *Why) const override {
+    unsigned Half = BlockSize / 2;
+    std::vector<int32_t> In = makeInput();
+    std::vector<int32_t> Got = Mem.dumpI32(Args[1], kGridDim * BlockSize);
+    for (unsigned Blk = 0; Blk < kGridDim; ++Blk)
+      for (unsigned T = 0; T < BlockSize; ++T) {
+        int32_t Acc = 0;
+        for (unsigned I = 0; I < kChunk; ++I) {
+          int32_t Elem = In[(Blk * BlockSize + T) * kChunk + I];
+          int32_t Diag = (T < Half) ? static_cast<int32_t>(I + 3)
+                                    : static_cast<int32_t>((I + 3) * 2);
+          Acc += Elem * Diag;
+        }
+        if (Got[Blk * BlockSize + T] != Acc) {
+          if (Why)
+            *Why = "LUD: accumulated perimeter values differ";
+          return false;
+        }
+      }
+    return true;
+  }
+
+private:
+  std::vector<int32_t> makeInput() const {
+    unsigned N = kGridDim * BlockSize * kChunk;
+    std::vector<int32_t> In(N);
+    RNG Rng(0x10d + BlockSize);
+    for (unsigned I = 0; I < N; ++I)
+      In[I] = static_cast<int32_t>(Rng.nextInRange(-100, 100));
+    return In;
+  }
+
+  unsigned BlockSize;
+};
+
+} // namespace
+
+namespace darm {
+namespace kernels_detail {
+std::unique_ptr<Benchmark> createLUD(unsigned BlockSize) {
+  return std::make_unique<LUDBenchmark>(BlockSize);
+}
+} // namespace kernels_detail
+} // namespace darm

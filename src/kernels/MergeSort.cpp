@@ -1,0 +1,188 @@
+//===- MergeSort.cpp - MS: bottom-up parallel merge sort ---------------------------===//
+//
+// §VI-A: a bottom-up merge sort whose merge step has data-dependent
+// control-flow divergence — each thread sequentially merges two adjacent
+// sorted runs from `in` to `out`, and the take-left/take-right decision
+// diverges per lane every iteration. The two arms are similar
+// (load/store/increment), a classic branch-fusion diamond that DARM also
+// handles. log2(N) ping-pong launches sort the whole array.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/kernels/Benchmark.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/LoopHelper.h"
+#include "darm/support/RNG.h"
+
+#include <algorithm>
+
+using namespace darm;
+
+namespace {
+
+constexpr unsigned kTotalElems = 2048;
+
+class MergeSortBenchmark : public Benchmark {
+public:
+  explicit MergeSortBenchmark(unsigned BlockSize) : BlockSize(BlockSize) {}
+
+  std::string name() const override { return "MS"; }
+
+  LaunchParams launch() const override {
+    // One thread per run pair at the finest width; surplus threads are
+    // masked out inside the kernel at coarser widths.
+    unsigned Threads = kTotalElems / 2;
+    return {(Threads + BlockSize - 1) / BlockSize, BlockSize};
+  }
+
+  unsigned numLaunches() const override {
+    unsigned Passes = 0;
+    for (unsigned W = 1; W < kTotalElems; W *= 2)
+      ++Passes;
+    return Passes;
+  }
+
+  std::vector<uint64_t>
+  argsForLaunch(unsigned I, const std::vector<uint64_t> &Base) const override {
+    // Ping-pong buffers; width doubles per pass.
+    uint64_t Src = (I % 2 == 0) ? Base[0] : Base[1];
+    uint64_t Dst = (I % 2 == 0) ? Base[1] : Base[0];
+    return {Src, Dst, 1u << I, kTotalElems};
+  }
+
+  Function *build(Module &M) const override {
+    Context &Ctx = M.getContext();
+    Type *I32 = Ctx.getInt32Ty();
+    Type *GPtr = Ctx.getPointerTy(I32, AddressSpace::Global);
+    Function *F = M.createFunction(
+        "ms_merge_pass", Ctx.getVoidTy(),
+        {{GPtr, "in"}, {GPtr, "out"}, {I32, "width"}, {I32, "n"}});
+
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Active = F->createBlock("active");
+    BasicBlock *Done = F->createBlock("done");
+    IRBuilder B(Ctx, Entry);
+    Value *Tid = B.createThreadIdX();
+    Value *Gid = B.createAdd(B.createMul(B.createBlockIdX(),
+                                         B.createBlockDimX()),
+                             Tid, "gid");
+    Value *Width = F->getArg(2);
+    Value *N = F->getArg(3);
+    Value *Base = B.createMul(Gid, B.createShl(Width, B.getInt32(1)), "base");
+    Value *InRange = B.createICmp(ICmpPred::SLT, Base, N, "inrange");
+    B.createCondBr(InRange, Active, Done);
+
+    B.setInsertPoint(Active);
+    // [base, iend) and [iend, jend) are the two runs.
+    Value *IEnd0 = B.createAdd(Base, Width);
+    Value *IEnd = B.createSelect(B.createICmp(ICmpPred::SLT, IEnd0, N), IEnd0,
+                                 N, "iend");
+    Value *JEnd0 = B.createAdd(Base, B.createShl(Width, B.getInt32(1)));
+    Value *JEnd = B.createSelect(B.createICmp(ICmpPred::SLT, JEnd0, N), JEnd0,
+                                 N, "jend");
+
+    ForLoop KLoop(B, Base, ICmpPred::SLT, JEnd, "k");
+    Value *K = KLoop.iv();
+    PhiInst *IPhi = nullptr, *JPhi = nullptr;
+    {
+      // i / j merge cursors carried around the loop: create them in the
+      // header block (where K's phi lives).
+      IRBuilder HB(Ctx);
+      HB.setInsertPoint(cast<Instruction>(K));
+      IPhi = HB.createPhi(I32, "i");
+      JPhi = HB.createPhi(I32, "j");
+      // Incoming from the preheader mirrors K's first entry.
+      IPhi->addIncoming(Base, cast<PhiInst>(K)->getIncomingBlock(0));
+      JPhi->addIncoming(IEnd, cast<PhiInst>(K)->getIncomingBlock(0));
+    }
+
+    // Clamped speculative loads keep both candidates available.
+    Value *ISafe = B.createSelect(
+        B.createICmp(ICmpPred::SLT, IPhi, IEnd), IPhi, Base, "isafe");
+    Value *JSafe = B.createSelect(
+        B.createICmp(ICmpPred::SLT, JPhi, JEnd), JPhi, Base, "jsafe");
+    Value *LI = B.createLoadAt(F->getArg(0), ISafe, "li");
+    Value *LJ = B.createLoadAt(F->getArg(0), JSafe, "lj");
+    Value *IValid = B.createICmp(ICmpPred::SLT, IPhi, IEnd, "ivalid");
+    Value *JDone = B.createICmp(ICmpPred::SGE, JPhi, JEnd, "jdone");
+    Value *LE = B.createICmp(ICmpPred::SLE, LI, LJ, "le");
+    Value *Take = B.createAnd(IValid, B.createOr(JDone, LE), "take");
+
+    BasicBlock *TakeI = F->createBlock("take.i");
+    BasicBlock *TakeJ = F->createBlock("take.j");
+    BasicBlock *Merge = F->createBlock("merge");
+    B.createCondBr(Take, TakeI, TakeJ);
+
+    B.setInsertPoint(TakeI);
+    B.createStoreAt(LI, F->getArg(1), K);
+    Value *INext = B.createAdd(IPhi, B.getInt32(1), "inext");
+    B.createBr(Merge);
+    B.setInsertPoint(TakeJ);
+    B.createStoreAt(LJ, F->getArg(1), K);
+    Value *JNext = B.createAdd(JPhi, B.getInt32(1), "jnext");
+    B.createBr(Merge);
+
+    B.setInsertPoint(Merge);
+    PhiInst *INew = B.createPhi(I32, "i.new");
+    INew->addIncoming(INext, TakeI);
+    INew->addIncoming(IPhi, TakeJ);
+    PhiInst *JNew = B.createPhi(I32, "j.new");
+    JNew->addIncoming(JPhi, TakeI);
+    JNew->addIncoming(JNext, TakeJ);
+
+    BasicBlock *Latch = B.getInsertBlock();
+    KLoop.close(B.createAdd(K, B.getInt32(1)));
+    IPhi->addIncoming(INew, Latch);
+    JPhi->addIncoming(JNew, Latch);
+
+    B.createBr(Done);
+    B.setInsertPoint(Done);
+    B.createRet();
+    return F;
+  }
+
+  std::vector<uint64_t> setup(GlobalMemory &Mem) const override {
+    uint64_t A = Mem.allocate(kTotalElems * 4, "bufA");
+    uint64_t Bb = Mem.allocate(kTotalElems * 4, "bufB");
+    Mem.fillI32(A, makeInput());
+    return {A, Bb};
+  }
+
+  bool validate(const GlobalMemory &Mem, const std::vector<uint64_t> &Args,
+                std::string *Why) const override {
+    uint64_t Final = (numLaunches() % 2 == 0) ? Args[0] : Args[1];
+    std::vector<int32_t> Got = Mem.dumpI32(Final, kTotalElems);
+    std::vector<int32_t> Want = makeInput();
+    std::sort(Want.begin(), Want.end());
+    if (Got != Want) {
+      if (Why)
+        *Why = "MS: array is not sorted correctly";
+      return false;
+    }
+    return true;
+  }
+
+private:
+  std::vector<int32_t> makeInput() const {
+    std::vector<int32_t> In(kTotalElems);
+    RNG Rng(0x350 + BlockSize);
+    for (unsigned I = 0; I < kTotalElems; ++I)
+      In[I] = static_cast<int32_t>(Rng.nextInRange(-100000, 100000));
+    return In;
+  }
+
+  unsigned BlockSize;
+};
+
+} // namespace
+
+namespace darm {
+namespace kernels_detail {
+std::unique_ptr<Benchmark> createMergeSort(unsigned BlockSize) {
+  return std::make_unique<MergeSortBenchmark>(BlockSize);
+}
+} // namespace kernels_detail
+} // namespace darm

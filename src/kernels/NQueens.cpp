@@ -1,0 +1,285 @@
+//===- NQueens.cpp - NQU: n-queens backtracking solver -----------------------------===//
+//
+// The GPGPU-sim suite's n-queens kernel (§VI-A): each thread owns a
+// two-row board prefix and counts completions with an iterative
+// backtracking loop over a shared-memory stack. The loop body is a
+// divergent if-then-elseif-then chain (backtrack / advance / place) —
+// the paper's showcase for *region replication*, since the "advance" block
+// can meld into the place/backtrack region.
+//
+// We use N = 8 (92 solutions) so every run cross-checks a well-known
+// constant in addition to the per-thread host reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/kernels/Benchmark.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/LoopHelper.h"
+
+using namespace darm;
+
+namespace {
+
+constexpr unsigned kGridDim = 2;
+constexpr int kN = 8; // board size; 8x8 has 92 solutions
+
+/// Host reference: count completions of the prefix (row0=C0, row1=C1)
+/// with the same iterative algorithm the kernel runs.
+int32_t hostSolve(int C0, int C1) {
+  if (C0 == C1 || C0 == C1 + 1 || C0 == C1 - 1)
+    return 0;
+  int32_t Count = 0;
+  int Stack[kN];
+  uint32_t MC = (1u << C0) | (1u << C1);
+  uint32_t MD1 = (1u << (0 + C0)) | (1u << (1 + C1));
+  uint32_t MD2 = (1u << (0 - C0 + kN)) | (1u << (1 - C1 + kN));
+  int Sp = 2, Col = 0;
+  while (Sp >= 2) {
+    if (Col >= kN) {
+      --Sp;
+      if (Sp < 2)
+        break;
+      int PC = Stack[Sp];
+      MC ^= 1u << PC;
+      MD1 ^= 1u << (Sp + PC);
+      MD2 ^= 1u << (Sp - PC + kN);
+      Col = PC + 1;
+      continue;
+    }
+    bool Conflict = ((MC >> Col) & 1) || ((MD1 >> (Sp + Col)) & 1) ||
+                    ((MD2 >> (Sp - Col + kN)) & 1);
+    if (Conflict) {
+      ++Col;
+      continue;
+    }
+    if (Sp == kN - 1) {
+      ++Count;
+      ++Col;
+      continue;
+    }
+    Stack[Sp] = Col;
+    MC |= 1u << Col;
+    MD1 |= 1u << (Sp + Col);
+    MD2 |= 1u << (Sp - Col + kN);
+    ++Sp;
+    Col = 0;
+  }
+  return Count;
+}
+
+class NQueensBenchmark : public Benchmark {
+public:
+  explicit NQueensBenchmark(unsigned BlockSize) : BlockSize(BlockSize) {}
+
+  std::string name() const override { return "NQU"; }
+  LaunchParams launch() const override { return {kGridDim, BlockSize}; }
+
+  Function *build(Module &M) const override {
+    Context &Ctx = M.getContext();
+    Type *I32 = Ctx.getInt32Ty();
+    Type *GPtr = Ctx.getPointerTy(I32, AddressSpace::Global);
+    Function *F =
+        M.createFunction("nqueens", Ctx.getVoidTy(), {{GPtr, "counts"}});
+    SharedArray *Stack = F->createSharedArray(I32, BlockSize * kN, "stack");
+
+    BasicBlock *Entry = F->createBlock("entry");
+    BasicBlock *Solve = F->createBlock("solve");
+    BasicBlock *Out = F->createBlock("out");
+    IRBuilder B(Ctx, Entry);
+    Value *Tid = B.createThreadIdX();
+    Value *Gid = B.createAdd(
+        B.createMul(B.createBlockIdX(), B.createBlockDimX()), Tid, "gid");
+    Value *NV = B.getInt32(kN);
+    Value *One = B.getInt32(1);
+
+    // Prefix from the thread id; threads >= N*N (and invalid prefixes)
+    // contribute zero.
+    Value *C0 = B.createSDiv(Tid, NV, "c0");
+    Value *C1 = B.createSRem(Tid, NV, "c1");
+    Value *InRange =
+        B.createICmp(ICmpPred::SLT, Tid, B.getInt32(kN * kN), "inrange");
+    Value *D = B.createSub(C0, C1, "d");
+    Value *D2 = B.createMul(D, D, "d2");
+    Value *NoClash = B.createAnd(
+        B.createICmp(ICmpPred::NE, D2, B.getInt32(0)),
+        B.createICmp(ICmpPred::NE, D2, B.getInt32(1)), "noclash");
+    Value *Valid = B.createAnd(InRange, NoClash, "valid");
+    B.createCondBr(Valid, Solve, Out);
+
+    B.setInsertPoint(Solve);
+    // Initial masks from the two prefix rows.
+    Value *MC0 = B.createOr(B.createShl(One, C0), B.createShl(One, C1));
+    Value *MD10 = B.createOr(B.createShl(One, C0),
+                             B.createShl(One, B.createAdd(One, C1)));
+    Value *MD20 = B.createOr(
+        B.createShl(One, B.createAdd(B.createSub(B.getInt32(0), C0), NV)),
+        B.createShl(One, B.createAdd(B.createSub(One, C1), NV)));
+    Value *StackBase = B.createMul(Tid, NV, "stackbase");
+
+    // while (sp >= 2) { backtrack | advance | place }
+    BasicBlock *Hdr = F->createBlock("loop.hdr");
+    BasicBlock *Body = F->createBlock("loop.body");
+    BasicBlock *Done = F->createBlock("loop.done");
+    B.createBr(Hdr);
+    B.setInsertPoint(Hdr);
+    PhiInst *Sp = B.createPhi(I32, "sp");
+    PhiInst *Col = B.createPhi(I32, "col");
+    PhiInst *Cnt = B.createPhi(I32, "cnt");
+    PhiInst *MC = B.createPhi(I32, "mc");
+    PhiInst *MD1 = B.createPhi(I32, "md1");
+    PhiInst *MD2 = B.createPhi(I32, "md2");
+    Sp->addIncoming(B.getInt32(2), Solve);
+    Col->addIncoming(B.getInt32(0), Solve);
+    Cnt->addIncoming(B.getInt32(0), Solve);
+    MC->addIncoming(MC0, Solve);
+    MD1->addIncoming(MD10, Solve);
+    MD2->addIncoming(MD20, Solve);
+    Value *Live = B.createICmp(ICmpPred::SGE, Sp, B.getInt32(2), "live");
+    B.createCondBr(Live, Body, Done);
+
+    B.setInsertPoint(Body);
+    Value *RowFull = B.createICmp(ICmpPred::SGE, Col, NV, "rowfull");
+    BasicBlock *Backtrack = F->createBlock("backtrack");
+    BasicBlock *TryCol = F->createBlock("trycol");
+    BasicBlock *Next = F->createBlock("next");
+    B.createCondBr(RowFull, Backtrack, TryCol);
+
+    // Backtrack: pop the stack and resume scanning after the popped col.
+    B.setInsertPoint(Backtrack);
+    Value *SpM1 = B.createSub(Sp, One, "spm1");
+    Value *PC = B.createLoadAt(Stack, B.createAdd(StackBase, SpM1), "pc");
+    Value *BMC = B.createXor(MC, B.createShl(One, PC));
+    Value *BMD1 = B.createXor(MD1, B.createShl(One, B.createAdd(SpM1, PC)));
+    Value *BMD2 = B.createXor(
+        MD1 == nullptr ? MD2 : MD2,
+        B.createShl(One, B.createAdd(B.createSub(SpM1, PC), NV)));
+    Value *BCol = B.createAdd(PC, One, "bcol");
+    B.createBr(Next);
+
+    // Try the current column: advance on conflict, else place or count.
+    B.setInsertPoint(TryCol);
+    Value *Bit = B.createShl(One, Col, "bit");
+    Value *H1 = B.createAnd(MC, Bit);
+    Value *H2 = B.createAnd(MD1, B.createShl(One, B.createAdd(Sp, Col)));
+    Value *H3 = B.createAnd(
+        MD2, B.createShl(One, B.createAdd(B.createSub(Sp, Col), NV)));
+    Value *Conflict = B.createICmp(
+        ICmpPred::NE, B.createOr(B.createOr(H1, H2), H3), B.getInt32(0),
+        "conflict");
+    BasicBlock *Advance = F->createBlock("advance");
+    BasicBlock *Place = F->createBlock("place");
+    B.createCondBr(Conflict, Advance, Place);
+
+    B.setInsertPoint(Advance);
+    Value *ACol = B.createAdd(Col, One, "acol");
+    B.createBr(Next);
+
+    B.setInsertPoint(Place);
+    Value *LastRow =
+        B.createICmp(ICmpPred::EQ, Sp, B.getInt32(kN - 1), "lastrow");
+    BasicBlock *Found = F->createBlock("found");
+    BasicBlock *Push = F->createBlock("push");
+    B.createCondBr(LastRow, Found, Push);
+
+    B.setInsertPoint(Found);
+    Value *FCnt = B.createAdd(Cnt, One, "fcnt");
+    Value *FCol = B.createAdd(Col, One, "fcol");
+    B.createBr(Next);
+
+    B.setInsertPoint(Push);
+    B.createStoreAt(Col, Stack, B.createAdd(StackBase, Sp));
+    // Setting a known-clear bit with xor keeps push and backtrack
+    // instruction-compatible (both toggle), as hand-written kernels do.
+    Value *PMC = B.createXor(MC, Bit);
+    Value *PMD1 = B.createXor(MD1, B.createShl(One, B.createAdd(Sp, Col)));
+    Value *PMD2 = B.createXor(
+        MD2, B.createShl(One, B.createAdd(B.createSub(Sp, Col), NV)));
+    Value *PSp = B.createAdd(Sp, One, "psp");
+    B.createBr(Next);
+
+    // Merge the four paths and loop.
+    B.setInsertPoint(Next);
+    auto MakeMerge = [&](const std::string &Nm, Value *VB, Value *VA,
+                         Value *VF, Value *VP, Value *Base) {
+      PhiInst *P = B.createPhi(I32, Nm);
+      P->addIncoming(VB ? VB : Base, Backtrack);
+      P->addIncoming(VA ? VA : Base, Advance);
+      P->addIncoming(VF ? VF : Base, Found);
+      P->addIncoming(VP ? VP : Base, Push);
+      return P;
+    };
+    Value *NSp = MakeMerge("nsp", SpM1, nullptr, nullptr, PSp, Sp);
+    Value *NCol =
+        MakeMerge("ncol", BCol, ACol, FCol, B.getInt32(0), Col);
+    Value *NCnt = MakeMerge("ncnt", nullptr, nullptr, FCnt, nullptr, Cnt);
+    Value *NMC = MakeMerge("nmc", BMC, nullptr, nullptr, PMC, MC);
+    Value *NMD1 = MakeMerge("nmd1", BMD1, nullptr, nullptr, PMD1, MD1);
+    Value *NMD2 = MakeMerge("nmd2", BMD2, nullptr, nullptr, PMD2, MD2);
+    B.createBr(Hdr);
+    Sp->addIncoming(NSp, Next);
+    Col->addIncoming(NCol, Next);
+    Cnt->addIncoming(NCnt, Next);
+    MC->addIncoming(NMC, Next);
+    MD1->addIncoming(NMD1, Next);
+    MD2->addIncoming(NMD2, Next);
+
+    B.setInsertPoint(Done);
+    B.createBr(Out);
+    B.setInsertPoint(Out);
+    PhiInst *Result = B.createPhi(I32, "result");
+    Result->addIncoming(Cnt, Done);
+    Result->addIncoming(B.getInt32(0), Entry);
+    B.createStoreAt(Result, F->getArg(0), Gid);
+    B.createRet();
+    return F;
+  }
+
+  std::vector<uint64_t> setup(GlobalMemory &Mem) const override {
+    uint64_t Counts = Mem.allocate(kGridDim * BlockSize * 4, "counts");
+    return {Counts};
+  }
+
+  bool validate(const GlobalMemory &Mem, const std::vector<uint64_t> &Args,
+                std::string *Why) const override {
+    std::vector<int32_t> Got =
+        Mem.dumpI32(Args[0], kGridDim * BlockSize);
+    int64_t Total = 0;
+    for (unsigned Blk = 0; Blk < kGridDim; ++Blk)
+      for (unsigned T = 0; T < BlockSize; ++T) {
+        int32_t Want = (T < kN * kN)
+                           ? hostSolve(static_cast<int>(T) / kN,
+                                       static_cast<int>(T) % kN)
+                           : 0;
+        int32_t Have = Got[Blk * BlockSize + T];
+        if (Have != Want) {
+          if (Why)
+            *Why = "NQU: per-prefix solution count differs";
+          return false;
+        }
+        if (Blk == 0)
+          Total += Have;
+      }
+    if (Total != 92) {
+      if (Why)
+        *Why = "NQU: total 8-queens solutions != 92";
+      return false;
+    }
+    return true;
+  }
+
+private:
+  unsigned BlockSize;
+};
+
+} // namespace
+
+namespace darm {
+namespace kernels_detail {
+std::unique_ptr<Benchmark> createNQueens(unsigned BlockSize) {
+  return std::make_unique<NQueensBenchmark>(BlockSize);
+}
+} // namespace kernels_detail
+} // namespace darm

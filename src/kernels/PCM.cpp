@@ -1,0 +1,190 @@
+//===- PCM.cpp - PCM: partition and concurrent merge -------------------------------===//
+//
+// Batcher-style odd-even bucket merging (§VI-A) realized as a rank-based
+// concurrent merge: every thread *partitions* by binary-searching its
+// element's rank in the opposite bucket, then writes it directly to its
+// merged position. Even lanes carry elements of bucket A (rank via
+// lower-bound), odd lanes of bucket B (rank via upper-bound), so the
+// role branch diverges inside every warp at every block size, and the two
+// paths contain isomorphic *loops* with shared-memory loads — exactly the
+// "complex control-flow" melding case (Table I) that neither tail merging
+// nor branch fusion handles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/kernels/Benchmark.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+#include "darm/support/RNG.h"
+
+#include <algorithm>
+
+using namespace darm;
+
+namespace {
+
+constexpr unsigned kGridDim = 4;
+
+class PCMBenchmark : public Benchmark {
+public:
+  explicit PCMBenchmark(unsigned BlockSize) : BlockSize(BlockSize) {}
+
+  std::string name() const override { return "PCM"; }
+  LaunchParams launch() const override { return {kGridDim, BlockSize}; }
+
+  Function *build(Module &M) const override {
+    Context &Ctx = M.getContext();
+    Type *I32 = Ctx.getInt32Ty();
+    Type *GPtr = Ctx.getPointerTy(I32, AddressSpace::Global);
+    Function *F = M.createFunction("pcm_merge", Ctx.getVoidTy(),
+                                   {{GPtr, "in"}, {GPtr, "out"}});
+    SharedArray *Sh = F->createSharedArray(I32, BlockSize, "sh");
+    unsigned Half = BlockSize / 2;
+
+    BasicBlock *Entry = F->createBlock("entry");
+    IRBuilder B(Ctx, Entry);
+    Value *Tid = B.createThreadIdX();
+    Value *Ntid = B.createBlockDimX();
+    Value *Gid = B.createAdd(B.createMul(B.createBlockIdX(), Ntid), Tid,
+                             "gid");
+    B.createStoreAt(B.createLoadAt(F->getArg(0), Gid, "staged"), Sh, Tid);
+    B.createBarrier();
+
+    Value *HalfV = B.getInt32(static_cast<int32_t>(Half));
+    Value *Pos = B.createAShr(Tid, B.getInt32(1), "pos"); // index in bucket
+    Value *Parity = B.createAnd(Tid, B.getInt32(1), "parity");
+    Value *IsA = B.createICmp(ICmpPred::EQ, Parity, B.getInt32(0), "isA");
+
+    BasicBlock *ASide = F->createBlock("aside");
+    BasicBlock *BSide = F->createBlock("bside");
+    BasicBlock *Join = F->createBlock("join");
+    B.createCondBr(IsA, ASide, BSide);
+
+    // Each side: element = bucket[pos]; rank = binary search in the other
+    // bucket; out[pos + rank] = element. Lower-bound on the A side,
+    // upper-bound on the B side (ties: A precedes B, like std::merge).
+    struct SideResult {
+      Value *OutIdx;
+      Value *Elem;
+      BasicBlock *EndBB;
+    };
+    auto EmitSide = [&](BasicBlock *Head, bool AIsSelf,
+                        const std::string &Tag) -> SideResult {
+      B.setInsertPoint(Head);
+      Value *SelfBase = AIsSelf ? B.getInt32(0) : HalfV;
+      Value *OtherBase = AIsSelf ? HalfV : B.getInt32(0);
+      Value *Elem = B.createLoadAt(
+          Sh, B.createAdd(SelfBase, Pos, Tag + ".selfidx"), Tag + ".elem");
+
+      Function *Fn = Head->getParent();
+      BasicBlock *Hdr = Fn->createBlock(Tag + ".bs.hdr");
+      BasicBlock *Body = Fn->createBlock(Tag + ".bs.body");
+      BasicBlock *End = Fn->createBlock(Tag + ".bs.end");
+      B.createBr(Hdr);
+
+      B.setInsertPoint(Hdr);
+      PhiInst *Lo = B.createPhi(I32, Tag + ".lo");
+      PhiInst *Hi = B.createPhi(I32, Tag + ".hi");
+      Lo->addIncoming(B.getInt32(0), Head);
+      Hi->addIncoming(HalfV, Head);
+      Value *Cont = B.createICmp(ICmpPred::SLT, Lo, Hi, Tag + ".cont");
+      B.createCondBr(Cont, Body, End);
+
+      B.setInsertPoint(Body);
+      Value *Mid = B.createAShr(B.createAdd(Lo, Hi), B.getInt32(1),
+                                Tag + ".mid");
+      Value *Probe = B.createLoadAt(
+          Sh, B.createAdd(OtherBase, Mid, Tag + ".probeidx"), Tag + ".probe");
+      // lower_bound: probe < elem; upper_bound: probe <= elem.
+      Value *Goes = B.createICmp(AIsSelf ? ICmpPred::SLT : ICmpPred::SLE,
+                                 Probe, Elem, Tag + ".goes");
+      Value *MidP1 = B.createAdd(Mid, B.getInt32(1));
+      Value *NewLo = B.createSelect(Goes, MidP1, Lo, Tag + ".newlo");
+      Value *NewHi = B.createSelect(Goes, Hi, Mid, Tag + ".newhi");
+      BasicBlock *BodyEnd = B.getInsertBlock();
+      B.createBr(Hdr);
+      Lo->addIncoming(NewLo, BodyEnd);
+      Hi->addIncoming(NewHi, BodyEnd);
+
+      B.setInsertPoint(End);
+      Value *OutIdx = B.createAdd(Pos, Lo, Tag + ".outidx");
+      B.createBr(Join);
+      return {OutIdx, Elem, End};
+    };
+    SideResult RA = EmitSide(ASide, /*AIsSelf=*/true, "a");
+    SideResult RB = EmitSide(BSide, /*AIsSelf=*/false, "b");
+
+    B.setInsertPoint(Join);
+    PhiInst *OutIdx = B.createPhi(I32, "outidx");
+    OutIdx->addIncoming(RA.OutIdx, RA.EndBB);
+    OutIdx->addIncoming(RB.OutIdx, RB.EndBB);
+    PhiInst *Elem = B.createPhi(I32, "elem");
+    Elem->addIncoming(RA.Elem, RA.EndBB);
+    Elem->addIncoming(RB.Elem, RB.EndBB);
+    Value *OutGid = B.createAdd(B.createMul(B.createBlockIdX(), Ntid), OutIdx,
+                                "outgid");
+    B.createStoreAt(Elem, F->getArg(1), OutGid);
+    B.createRet();
+    return F;
+  }
+
+  std::vector<uint64_t> setup(GlobalMemory &Mem) const override {
+    unsigned N = kGridDim * BlockSize;
+    uint64_t In = Mem.allocate(N * 4, "in");
+    uint64_t Out = Mem.allocate(N * 4, "out");
+    Mem.fillI32(In, makeInput());
+    return {In, Out};
+  }
+
+  bool validate(const GlobalMemory &Mem, const std::vector<uint64_t> &Args,
+                std::string *Why) const override {
+    unsigned N = kGridDim * BlockSize;
+    unsigned Half = BlockSize / 2;
+    std::vector<int32_t> In = makeInput();
+    std::vector<int32_t> Got = Mem.dumpI32(Args[1], N);
+    for (unsigned Blk = 0; Blk < kGridDim; ++Blk) {
+      std::vector<int32_t> Want(BlockSize);
+      auto First = In.begin() + Blk * BlockSize;
+      std::merge(First, First + Half, First + Half, First + BlockSize,
+                 Want.begin());
+      for (unsigned I = 0; I < BlockSize; ++I)
+        if (Got[Blk * BlockSize + I] != Want[I]) {
+          if (Why)
+            *Why = "PCM: merged bucket differs from std::merge";
+          return false;
+        }
+    }
+    return true;
+  }
+
+private:
+  std::vector<int32_t> makeInput() const {
+    // Each bucket half is pre-sorted (PCM merges sorted buckets).
+    unsigned N = kGridDim * BlockSize;
+    unsigned Half = BlockSize / 2;
+    std::vector<int32_t> In(N);
+    RNG Rng(0x9c4 + BlockSize);
+    for (unsigned I = 0; I < N; ++I)
+      In[I] = static_cast<int32_t>(Rng.nextInRange(-5000, 5000));
+    for (unsigned Blk = 0; Blk < kGridDim; ++Blk) {
+      auto First = In.begin() + Blk * BlockSize;
+      std::sort(First, First + Half);
+      std::sort(First + Half, First + BlockSize);
+    }
+    return In;
+  }
+
+  unsigned BlockSize;
+};
+
+} // namespace
+
+namespace darm {
+namespace kernels_detail {
+std::unique_ptr<Benchmark> createPCM(unsigned BlockSize) {
+  return std::make_unique<PCMBenchmark>(BlockSize);
+}
+} // namespace kernels_detail
+} // namespace darm

@@ -1,0 +1,200 @@
+//===- SRAD.cpp - SRAD: speckle reducing anisotropic diffusion ---------------------===//
+//
+// Rodinia's SRAD (§VI-A/VI-B): the kernel contains two
+// if-then-else-if-then-else chains. RB branches on thread position and
+// block size and touches no memory inside its arms (melding it only adds
+// select overhead); RD is a data-dependent 3-way branch over shared-memory
+// operations whose outcome is *biased* — the input is constructed so the
+// third way is never taken, mirroring the paper's explanation of why DARM
+// can lose to branch fusion here (it melds all three paths, paying for one
+// that never executes).
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/kernels/Benchmark.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+#include "darm/support/RNG.h"
+
+#include <bit>
+
+using namespace darm;
+
+namespace {
+
+constexpr unsigned kGridDim = 2;
+constexpr float kL1 = 0.25f; // d < L1  -> way A (taken)
+constexpr float kL2 = 4.0f;  // d < L2  -> way B (taken); else way C (never)
+
+class SRADBenchmark : public Benchmark {
+public:
+  explicit SRADBenchmark(unsigned BlockSize) : BlockSize(BlockSize) {}
+
+  std::string name() const override { return "SRAD"; }
+  LaunchParams launch() const override { return {kGridDim, BlockSize}; }
+
+  Function *build(Module &M) const override {
+    Context &Ctx = M.getContext();
+    Type *F32 = Ctx.getFloatTy();
+    Type *I32 = Ctx.getInt32Ty();
+    Type *GPtr = Ctx.getPointerTy(F32, AddressSpace::Global);
+    Function *F = M.createFunction("srad", Ctx.getVoidTy(),
+                                   {{GPtr, "img"}, {GPtr, "coef"}});
+    SharedArray *Sh = F->createSharedArray(F32, BlockSize, "sh");
+    SharedArray *ShOut = F->createSharedArray(F32, BlockSize, "shout");
+
+    BasicBlock *Entry = F->createBlock("entry");
+    IRBuilder B(Ctx, Entry);
+    Value *Tid = B.createThreadIdX();
+    Value *Ntid = B.createBlockDimX();
+    Value *Gid = B.createAdd(B.createMul(B.createBlockIdX(), Ntid), Tid,
+                             "gid");
+    B.createStoreAt(B.createLoadAt(F->getArg(0), Gid, "pix"), Sh, Tid);
+    B.createBarrier();
+
+    // ---- RB: block-size-dependent 3-way chain, pure ALU ----------------
+    unsigned Q = BlockSize / 4;
+    Value *Pix = B.createLoadAt(Sh, Tid, "p0");
+    Value *InQ1 = B.createICmp(ICmpPred::SLT, Tid,
+                               B.getInt32(static_cast<int32_t>(Q)), "inq1");
+    BasicBlock *RB1 = F->createBlock("rb1");
+    BasicBlock *RBElse = F->createBlock("rb.else");
+    BasicBlock *RB2 = F->createBlock("rb2");
+    BasicBlock *RB3 = F->createBlock("rb3");
+    BasicBlock *RBJoin = F->createBlock("rb.join");
+    B.createCondBr(InQ1, RB1, RBElse);
+    B.setInsertPoint(RB1);
+    Value *W1 = B.createFAdd(B.createFMul(Pix, B.getFloat(0.5f)),
+                             B.getFloat(1.0f), "w1");
+    B.createBr(RBJoin);
+    B.setInsertPoint(RBElse);
+    Value *InQ2 = B.createICmp(ICmpPred::SLT, Tid,
+                               B.getInt32(static_cast<int32_t>(2 * Q)),
+                               "inq2");
+    B.createCondBr(InQ2, RB2, RB3);
+    B.setInsertPoint(RB2);
+    Value *W2 = B.createFAdd(B.createFMul(Pix, B.getFloat(0.25f)),
+                             B.getFloat(2.0f), "w2");
+    B.createBr(RBJoin);
+    B.setInsertPoint(RB3);
+    Value *W3 = B.createFAdd(B.createFMul(Pix, B.getFloat(0.125f)),
+                             B.getFloat(3.0f), "w3");
+    B.createBr(RBJoin);
+    B.setInsertPoint(RBJoin);
+    PhiInst *W = B.createPhi(F32, "w");
+    W->addIncoming(W1, RB1);
+    W->addIncoming(W2, RB2);
+    W->addIncoming(W3, RB3);
+
+    // ---- RD: data-dependent, biased 3-way chain over LDS ----------------
+    // d = |sh[t+1] - sh[t]| (wrapping neighbor), biased < L2 by input.
+    Value *NIdx = B.createSRem(B.createAdd(Tid, B.getInt32(1)), Ntid,
+                               "nidx");
+    Value *Nb = B.createLoadAt(Sh, NIdx, "nb");
+    Value *Diff = B.createFSub(Nb, Pix, "diff");
+    Value *D2 = B.createFMul(Diff, Diff, "d2");
+    Value *IsA = B.createFCmp(FCmpPred::OLT, D2, B.getFloat(kL1), "isa");
+    BasicBlock *RDA = F->createBlock("rd.a");
+    BasicBlock *RDElse = F->createBlock("rd.else");
+    BasicBlock *RDB = F->createBlock("rd.b");
+    BasicBlock *RDC = F->createBlock("rd.c");
+    BasicBlock *RDJoin = F->createBlock("rd.join");
+    B.createCondBr(IsA, RDA, RDElse);
+
+    auto EmitWay = [&](BasicBlock *BB, float Scale, float Bias,
+                       const std::string &Tag) -> Value * {
+      B.setInsertPoint(BB);
+      Value *S = B.createLoadAt(Sh, Tid, Tag + ".s");
+      Value *R = B.createFAdd(B.createFMul(S, B.getFloat(Scale)),
+                              B.createFMul(W, B.getFloat(Bias)), Tag + ".r");
+      // Write to a private LDS staging array: keeps an LDS store in the
+      // melded region without racing the neighbor reads of other warps.
+      B.createStoreAt(R, ShOut, Tid);
+      B.createBr(RDJoin);
+      return R;
+    };
+    Value *RA = EmitWay(RDA, 0.9f, 0.1f, "a");
+    B.setInsertPoint(RDElse);
+    Value *IsB = B.createFCmp(FCmpPred::OLT, D2, B.getFloat(kL2), "isb");
+    B.createCondBr(IsB, RDB, RDC);
+    Value *RBv = EmitWay(RDB, 0.7f, 0.3f, "b");
+    Value *RC = EmitWay(RDC, 0.5f, 0.5f, "c");
+
+    B.setInsertPoint(RDJoin);
+    PhiInst *R = B.createPhi(F32, "r");
+    R->addIncoming(RA, RDA);
+    R->addIncoming(RBv, RDB);
+    R->addIncoming(RC, RDC);
+    B.createStoreAt(R, F->getArg(1), Gid);
+    B.createRet();
+    return F;
+  }
+
+  std::vector<uint64_t> setup(GlobalMemory &Mem) const override {
+    unsigned N = kGridDim * BlockSize;
+    uint64_t Img = Mem.allocate(N * 4, "img");
+    uint64_t Coef = Mem.allocate(N * 4, "coef");
+    Mem.fillF32(Img, makeInput());
+    return {Img, Coef};
+  }
+
+  bool validate(const GlobalMemory &Mem, const std::vector<uint64_t> &Args,
+                std::string *Why) const override {
+    unsigned N = kGridDim * BlockSize;
+    unsigned Q = BlockSize / 4;
+    std::vector<float> In = makeInput();
+    std::vector<float> Got = Mem.dumpF32(Args[1], N);
+    for (unsigned Blk = 0; Blk < kGridDim; ++Blk)
+      for (unsigned T = 0; T < BlockSize; ++T) {
+        float Pix = In[Blk * BlockSize + T];
+        float W = (T < Q)       ? Pix * 0.5f + 1.0f
+                  : (T < 2 * Q) ? Pix * 0.25f + 2.0f
+                                : Pix * 0.125f + 3.0f;
+        float Nb = In[Blk * BlockSize + (T + 1) % BlockSize];
+        float D2 = (Nb - Pix) * (Nb - Pix);
+        float R;
+        if (D2 < kL1)
+          R = Pix * 0.9f + W * 0.1f;
+        else if (D2 < kL2)
+          R = Pix * 0.7f + W * 0.3f;
+        else
+          R = Pix * 0.5f + W * 0.5f;
+        float Have = Got[Blk * BlockSize + T];
+        if (std::bit_cast<uint32_t>(Have) != std::bit_cast<uint32_t>(R)) {
+          if (Why)
+            *Why = "SRAD: coefficient differs from host reference";
+          return false;
+        }
+      }
+    return true;
+  }
+
+private:
+  std::vector<float> makeInput() const {
+    // Neighbor differences stay below sqrt(L2): ways A and B are taken,
+    // way C never is (the paper's "divergence is biased" observation).
+    unsigned N = kGridDim * BlockSize;
+    std::vector<float> In(N);
+    RNG Rng(0x52ad + BlockSize);
+    float Cur = 10.0f;
+    for (unsigned I = 0; I < N; ++I) {
+      Cur += (Rng.nextFloat() - 0.5f) * 1.5f;
+      In[I] = Cur;
+    }
+    return In;
+  }
+
+  unsigned BlockSize;
+};
+
+} // namespace
+
+namespace darm {
+namespace kernels_detail {
+std::unique_ptr<Benchmark> createSRAD(unsigned BlockSize) {
+  return std::make_unique<SRADBenchmark>(BlockSize);
+}
+} // namespace kernels_detail
+} // namespace darm

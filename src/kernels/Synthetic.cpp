@@ -1,0 +1,328 @@
+//===- Synthetic.cpp - SB1..SB4 (+-R) synthetic benchmarks ----------------------===//
+//
+// The synthetic control-flow patterns of Fig. 7 (§VI-A): every kernel is
+// two nested loops whose inner body contains a divergent region of the
+// given shape, computing on shared memory. The plain variants use
+// identical computations in the corresponding arms; the -R variants use
+// distinct instruction sequences, which defeats tail merging and partially
+// defeats alignment.
+//
+//   SB1  diamond              if c { W } else { W }
+//   SB2  if-then per arm      if c { if p { W } } else { if q { W } }
+//   SB3  two regions per arm  ... followed by a second if-then pair
+//   SB4  3-way divergence     if c { W } else if d { W } else { W }
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/kernels/Benchmark.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/LoopHelper.h"
+#include "darm/support/RNG.h"
+
+#include <functional>
+
+using namespace darm;
+
+namespace {
+
+constexpr unsigned kOuterIters = 4;
+constexpr unsigned kInnerIters = 2;
+constexpr unsigned kGridDim = 2;
+
+enum class Pattern { SB1, SB2, SB3, SB4 };
+
+/// Whether thread \p T takes the true path at (it, j).
+bool hostCond1(int T, int It, int J) { return (((T ^ (It + J)) & 1) == 0); }
+
+/// One inner-iteration step of the host reference for each pattern.
+/// \p X is s[t] on entry; returns the new s[t].
+int32_t hostStep(Pattern P, bool Random, int T, int It, int J, int32_t X) {
+  bool C1 = hostCond1(T, It, J);
+  switch (P) {
+  case Pattern::SB1:
+    if (C1)
+      return X * 3 + It;
+    return Random ? (X * 5 - It) : (X * 3 + It);
+  case Pattern::SB2:
+    if (C1)
+      return X > 0 ? X * 2 + 3 : X;
+    if (X < 0)
+      return Random ? ((X ^ 5) - 3) : (X * 2 + 3);
+    return X;
+  case Pattern::SB3: {
+    int32_t S = X;
+    if (C1) {
+      if (S > 0)
+        S = S * 2 + 1;
+      if (S > 8)
+        S = S * 3 + It;
+    } else {
+      if (S < 0)
+        S = Random ? ((S ^ 9) + 2) : (S * 2 + 1);
+      if (S < 8)
+        S = Random ? ((S | 3) - It) : (S * 3 + It);
+    }
+    return S;
+  }
+  case Pattern::SB4: {
+    int M = ((T + It + J) % 3 + 3) % 3;
+    if (M == 0)
+      return X * 4 + It;
+    if (M == 1)
+      return Random ? (X * 6 - It) : (X * 4 + It);
+    return Random ? ((X ^ It) + 9) : (X * 4 + It);
+  }
+  }
+  return X;
+}
+
+class SyntheticBenchmark : public Benchmark {
+public:
+  SyntheticBenchmark(Pattern P, bool Random, unsigned BlockSize)
+      : P(P), Random(Random), BlockSize(BlockSize) {}
+
+  std::string name() const override {
+    static const char *Names[] = {"SB1", "SB2", "SB3", "SB4"};
+    return std::string(Names[static_cast<int>(P)]) + (Random ? "R" : "");
+  }
+
+  LaunchParams launch() const override { return {kGridDim, BlockSize}; }
+
+  Function *build(Module &M) const override;
+
+  std::vector<uint64_t> setup(GlobalMemory &Mem) const override {
+    unsigned N = kGridDim * BlockSize;
+    uint64_t Data = Mem.allocate(N * 4, "data");
+    Mem.fillI32(Data, makeInput());
+    return {Data};
+  }
+
+  bool validate(const GlobalMemory &Mem, const std::vector<uint64_t> &Args,
+                std::string *Why) const override {
+    unsigned N = kGridDim * BlockSize;
+    std::vector<int32_t> Got = Mem.dumpI32(Args[0], N);
+    std::vector<int32_t> Want = makeInput();
+    for (unsigned B = 0; B < kGridDim; ++B)
+      for (unsigned T = 0; T < BlockSize; ++T) {
+        int32_t &S = Want[B * BlockSize + T];
+        for (unsigned It = 0; It < kOuterIters; ++It)
+          for (unsigned J = 0; J < kInnerIters; ++J)
+            S = hostStep(P, Random, static_cast<int>(T),
+                         static_cast<int>(It), static_cast<int>(J), S);
+      }
+    if (Got != Want) {
+      if (Why)
+        *Why = name() + ": simulated output differs from host reference";
+      return false;
+    }
+    return true;
+  }
+
+private:
+  std::vector<int32_t> makeInput() const {
+    unsigned N = kGridDim * BlockSize;
+    std::vector<int32_t> In(N);
+    RNG Rng(0x5b1d + static_cast<int>(P) * 31 + Random);
+    for (unsigned I = 0; I < N; ++I)
+      In[I] = static_cast<int32_t>(Rng.nextInRange(-50, 50));
+    return In;
+  }
+
+  Pattern P;
+  bool Random;
+  unsigned BlockSize;
+};
+
+/// Emits `s[tid] = <expr>(x, it)` straight-line arm bodies. Which
+/// computation depends on the pattern/arm/variant, mirroring hostStep.
+struct ArmEmitter {
+  IRBuilder &B;
+  Value *ShPtrTid; // &sh[tid]
+  Value *It;
+
+  void store(Value *V) { B.createStore(V, ShPtrTid); }
+
+  Value *mulAdd(Value *X, int32_t K, Value *Add) {
+    return B.createAdd(B.createMul(X, B.getInt32(K)), Add);
+  }
+  Value *mulSub(Value *X, int32_t K, Value *Sub) {
+    return B.createSub(B.createMul(X, B.getInt32(K)), Sub);
+  }
+};
+
+Function *SyntheticBenchmark::build(Module &M) const {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.getInt32Ty();
+  Type *GPtr = Ctx.getPointerTy(I32, AddressSpace::Global);
+  Function *F =
+      M.createFunction(name() + "_kernel", Ctx.getVoidTy(), {{GPtr, "data"}});
+  SharedArray *Sh = F->createSharedArray(I32, BlockSize, "sh");
+
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(Ctx, Entry);
+  Value *Tid = B.createThreadIdX();
+  Value *Ntid = B.createBlockDimX();
+  Value *Cta = B.createBlockIdX();
+  Value *Gid = B.createAdd(B.createMul(Cta, Ntid), Tid, "gid");
+
+  // Stage into shared memory.
+  Value *Init = B.createLoadAt(F->getArg(0), Gid, "init");
+  Value *ShTid = B.createGep(Sh, Tid, "shtid");
+  B.createStore(Init, ShTid);
+  B.createBarrier();
+
+  ForLoop Outer(B, B.getInt32(0), ICmpPred::SLT,
+                B.getInt32(static_cast<int32_t>(kOuterIters)), "it");
+  ForLoop Inner(B, B.getInt32(0), ICmpPred::SLT,
+                B.getInt32(static_cast<int32_t>(kInnerIters)), "j");
+  Value *It = Outer.iv();
+  Value *J = Inner.iv();
+
+  // c1 = ((tid ^ (it + j)) & 1) == 0  — divergent, alternating per lane.
+  Value *Mix = B.createXor(Tid, B.createAdd(It, J), "mix");
+  Value *C1 = B.createICmp(ICmpPred::EQ, B.createAnd(Mix, B.getInt32(1)),
+                           B.getInt32(0), "c1");
+  Value *X = B.createLoad(ShTid, "x");
+
+  BasicBlock *Join = F->createBlock("join");
+  ArmEmitter AE{B, ShTid, It};
+
+  auto EmitSB12Arm = [&](bool TruePath) {
+    // SB1: plain store arm. SB2: nested if-then around the store.
+    if (P == Pattern::SB1) {
+      if (TruePath || !Random)
+        AE.store(AE.mulAdd(X, 3, It));
+      else
+        AE.store(AE.mulSub(X, 5, It));
+      B.createBr(Join);
+      return;
+    }
+    // SB2.
+    BasicBlock *ThenBB = F->createBlock(TruePath ? "t.then" : "f.then");
+    BasicBlock *ArmJoin = F->createBlock(TruePath ? "t.join" : "f.join");
+    Value *P2 = B.createICmp(TruePath ? ICmpPred::SGT : ICmpPred::SLT, X,
+                             B.getInt32(0));
+    B.createCondBr(P2, ThenBB, ArmJoin);
+    B.setInsertPoint(ThenBB);
+    if (TruePath || !Random)
+      AE.store(B.createAdd(B.createMul(X, B.getInt32(2)), B.getInt32(3)));
+    else
+      AE.store(B.createSub(B.createXor(X, B.getInt32(5)), B.getInt32(3)));
+    B.createBr(ArmJoin);
+    B.setInsertPoint(ArmJoin);
+    B.createBr(Join);
+  };
+
+  auto EmitSB3Arm = [&](bool TruePath) {
+    // First if-then region.
+    BasicBlock *Then1 = F->createBlock(TruePath ? "t.then1" : "f.then1");
+    BasicBlock *Mid = F->createBlock(TruePath ? "t.mid" : "f.mid");
+    Value *P1 = B.createICmp(TruePath ? ICmpPred::SGT : ICmpPred::SLT, X,
+                             B.getInt32(0));
+    B.createCondBr(P1, Then1, Mid);
+    B.setInsertPoint(Then1);
+    if (TruePath || !Random)
+      AE.store(B.createAdd(B.createMul(X, B.getInt32(2)), B.getInt32(1)));
+    else
+      AE.store(B.createAdd(B.createXor(X, B.getInt32(9)), B.getInt32(2)));
+    B.createBr(Mid);
+
+    // Single-block subgraph between the two regions: reload.
+    B.setInsertPoint(Mid);
+    Value *Y = B.createLoad(ShTid, TruePath ? "ty" : "fy");
+
+    // Second if-then region.
+    BasicBlock *Then2 = F->createBlock(TruePath ? "t.then2" : "f.then2");
+    BasicBlock *ArmJoin = F->createBlock(TruePath ? "t.join" : "f.join");
+    Value *P2 = B.createICmp(TruePath ? ICmpPred::SGT : ICmpPred::SLT, Y,
+                             B.getInt32(8));
+    B.createCondBr(P2, Then2, ArmJoin);
+    B.setInsertPoint(Then2);
+    if (TruePath || !Random)
+      AE.store(B.createAdd(B.createMul(Y, B.getInt32(3)), It));
+    else
+      AE.store(B.createSub(B.createOr(Y, B.getInt32(3)), It));
+    B.createBr(ArmJoin);
+    B.setInsertPoint(ArmJoin);
+    B.createBr(Join);
+  };
+
+  if (P == Pattern::SB4) {
+    // m = (tid + it + j) % 3; 3-way: m==0 | m==1 | else.
+    Value *Sum = B.createAdd(B.createAdd(Tid, It), J);
+    Value *Mod = B.createSRem(Sum, B.getInt32(3), "m");
+    Value *IsW1 = B.createICmp(ICmpPred::EQ, Mod, B.getInt32(0));
+    BasicBlock *W1 = F->createBlock("w1");
+    BasicBlock *ElseHead = F->createBlock("elsehead");
+    B.createCondBr(IsW1, W1, ElseHead);
+
+    B.setInsertPoint(W1);
+    AE.store(AE.mulAdd(X, 4, It));
+    B.createBr(Join);
+
+    B.setInsertPoint(ElseHead);
+    Value *IsW2 = B.createICmp(ICmpPred::EQ, Mod, B.getInt32(1));
+    BasicBlock *W2 = F->createBlock("w2");
+    BasicBlock *W3 = F->createBlock("w3");
+    B.createCondBr(IsW2, W2, W3);
+    B.setInsertPoint(W2);
+    if (!Random)
+      AE.store(AE.mulAdd(X, 4, It));
+    else
+      AE.store(AE.mulSub(X, 6, It));
+    B.createBr(Join);
+    B.setInsertPoint(W3);
+    if (!Random)
+      AE.store(AE.mulAdd(X, 4, It));
+    else
+      AE.store(B.createAdd(B.createXor(X, It), B.getInt32(9)));
+    B.createBr(Join);
+  } else {
+    BasicBlock *TrueArm = F->createBlock("truearm");
+    BasicBlock *FalseArm = F->createBlock("falsearm");
+    B.createCondBr(C1, TrueArm, FalseArm);
+    B.setInsertPoint(TrueArm);
+    if (P == Pattern::SB3)
+      EmitSB3Arm(true);
+    else
+      EmitSB12Arm(true);
+    B.setInsertPoint(FalseArm);
+    if (P == Pattern::SB3)
+      EmitSB3Arm(false);
+    else
+      EmitSB12Arm(false);
+  }
+
+  B.setInsertPoint(Join);
+  B.createBarrier();
+  Inner.close(B.createAdd(J, B.getInt32(1)));
+  Outer.close(B.createAdd(It, B.getInt32(1)));
+
+  // Write back.
+  Value *Fin = B.createLoad(ShTid, "fin");
+  B.createStoreAt(Fin, F->getArg(0), Gid);
+  B.createRet();
+  return F;
+}
+
+} // namespace
+
+// Registry glue lives in Benchmark.cpp; expose a factory hook.
+namespace darm {
+namespace kernels_detail {
+std::unique_ptr<Benchmark> createSynthetic(const std::string &Name,
+                                           unsigned BlockSize) {
+  for (int PI = 0; PI < 4; ++PI)
+    for (int R = 0; R < 2; ++R) {
+      SyntheticBenchmark Probe(static_cast<Pattern>(PI), R != 0, BlockSize);
+      if (Probe.name() == Name)
+        return std::make_unique<SyntheticBenchmark>(static_cast<Pattern>(PI),
+                                                    R != 0, BlockSize);
+    }
+  return nullptr;
+}
+} // namespace kernels_detail
+} // namespace darm

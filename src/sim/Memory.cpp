@@ -1,0 +1,65 @@
+//===- Memory.cpp - Simulated device memory -------------------------------------===//
+
+#include "darm/sim/Memory.h"
+
+#include "darm/support/ErrorHandling.h"
+
+#include <bit>
+#include <cstring>
+
+using namespace darm;
+
+uint64_t GlobalMemory::allocate(uint64_t Size, const std::string &Name) {
+  (void)Name;
+  // 256-byte alignment so buffers start segment-aligned.
+  uint64_t Base = (Bytes.size() + 255) & ~255ull;
+  Bytes.resize(Base + Size, 0);
+  return Base;
+}
+
+uint64_t GlobalMemory::load(uint64_t Addr, unsigned Size) const {
+  if (Addr + Size > Bytes.size())
+    return 0; // speculated OOB load; see file header
+  uint64_t V = 0;
+  std::memcpy(&V, Bytes.data() + Addr, Size);
+  return V;
+}
+
+void GlobalMemory::store(uint64_t Addr, unsigned Size, uint64_t Value) {
+  if (Addr + Size > Bytes.size())
+    reportFatalError("simulated kernel stored out of bounds");
+  std::memcpy(Bytes.data() + Addr, &Value, Size);
+}
+
+float GlobalMemory::readF32(uint64_t Addr) const {
+  return std::bit_cast<float>(static_cast<uint32_t>(load(Addr, 4)));
+}
+
+void GlobalMemory::writeF32(uint64_t Addr, float V) {
+  store(Addr, 4, std::bit_cast<uint32_t>(V));
+}
+
+void GlobalMemory::fillI32(uint64_t Base, const std::vector<int32_t> &Data) {
+  for (size_t I = 0; I < Data.size(); ++I)
+    writeI32(Base + I * 4, Data[I]);
+}
+
+std::vector<int32_t> GlobalMemory::dumpI32(uint64_t Base,
+                                           size_t Count) const {
+  std::vector<int32_t> Result(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Result[I] = readI32(Base + I * 4);
+  return Result;
+}
+
+void GlobalMemory::fillF32(uint64_t Base, const std::vector<float> &Data) {
+  for (size_t I = 0; I < Data.size(); ++I)
+    writeF32(Base + I * 4, Data[I]);
+}
+
+std::vector<float> GlobalMemory::dumpF32(uint64_t Base, size_t Count) const {
+  std::vector<float> Result(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Result[I] = readF32(Base + I * 4);
+  return Result;
+}

@@ -1,0 +1,613 @@
+//===- Simulator.cpp - SIMT warp simulator --------------------------------------===//
+
+#include "darm/sim/Simulator.h"
+
+#include "darm/analysis/CostModel.h"
+#include "darm/analysis/DominatorTree.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+#include "darm/support/ErrorHandling.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <unordered_map>
+
+using namespace darm;
+
+namespace {
+
+/// Canonical register form: i1 as 0/1, i32 sign-extended to 64 bits, f32
+/// as its bit pattern in the low 32 bits, pointers as byte addresses.
+uint64_t normalize(const Type *Ty, uint64_t Raw) {
+  switch (Ty->getKind()) {
+  case Type::Kind::Int1:
+    return Raw & 1;
+  case Type::Kind::Int32:
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(Raw)));
+  case Type::Kind::Float:
+    return Raw & 0xffffffffull;
+  default:
+    return Raw;
+  }
+}
+
+float asFloat(uint64_t Bits) {
+  return std::bit_cast<float>(static_cast<uint32_t>(Bits));
+}
+uint64_t fromFloat(float F) {
+  return static_cast<uint64_t>(std::bit_cast<uint32_t>(F));
+}
+
+/// One reconvergence-stack entry.
+struct StackEntry {
+  BasicBlock *PC;
+  uint64_t Mask;
+  BasicBlock *RPC; // reconvergence block; null = function exit
+};
+
+enum class WarpStatus { Finished, AtBarrier };
+
+class BlockExecutor {
+public:
+  BlockExecutor(Function &F, const LaunchParams &LP,
+                const std::vector<uint64_t> &Args, GlobalMemory &Mem,
+                const GpuConfig &Cfg, unsigned BlockIdx, SimStats &Stats)
+      : F(F), LP(LP), Mem(Mem), Cfg(Cfg), BlockIdx(BlockIdx), Stats(Stats),
+        PDT(F), Lds(F.getSharedMemoryBytes(), 0) {
+    numberValues(Args);
+  }
+
+  /// Runs all warps of the block phase-by-phase; returns the block's
+  /// cycle count (max over warps within each barrier phase, summed).
+  uint64_t run();
+
+private:
+  struct Warp {
+    unsigned Index = 0;
+    std::vector<StackEntry> Stack;
+    unsigned ResumeIdx = 0; // instruction index into the top entry's block
+    uint64_t Cycles = 0;
+    uint64_t DynInstrs = 0;
+    bool Done = false;
+    std::vector<std::vector<uint64_t>> Regs; // [valueId][lane]
+  };
+
+  void numberValues(const std::vector<uint64_t> &Args);
+  unsigned idOf(const Value *V) const {
+    auto It = ValueIds.find(V);
+    assert(It != ValueIds.end() && "value not numbered");
+    return It->second;
+  }
+
+  uint64_t eval(Warp &W, const Value *V, unsigned Lane) const {
+    if (const auto *CI = dyn_cast<ConstantInt>(V))
+      return normalize(CI->getType(), static_cast<uint64_t>(CI->getValue()));
+    if (const auto *CF = dyn_cast<ConstantFloat>(V))
+      return fromFloat(CF->getValue());
+    if (isa<UndefValue>(V))
+      return 0;
+    return W.Regs[idOf(V)][Lane];
+  }
+
+  void write(Warp &W, const Value *V, unsigned Lane, uint64_t Bits) {
+    W.Regs[idOf(V)][Lane] = normalize(V->getType(), Bits);
+  }
+
+  void evalEdgePhis(Warp &W, BasicBlock *From, BasicBlock *To,
+                    uint64_t Mask);
+  WarpStatus runWarp(Warp &W);
+  void execute(Warp &W, const Instruction *I, uint64_t Mask);
+  uint64_t evalScalarOp(const Instruction *I, uint64_t A, uint64_t B) const;
+  void executeMemory(Warp &W, const Instruction *I, uint64_t Mask);
+  uint64_t memLoad(AddressSpace AS, uint64_t Addr, unsigned Size) const;
+  void memStore(Warp &W, AddressSpace AS, uint64_t Addr, unsigned Size,
+                uint64_t V);
+
+  Function &F;
+  const LaunchParams &LP;
+  GlobalMemory &Mem;
+  const GpuConfig &Cfg;
+  unsigned BlockIdx;
+  SimStats &Stats;
+  PostDominatorTree PDT;
+  std::vector<uint8_t> Lds;
+  std::unordered_map<const Value *, unsigned> ValueIds;
+  unsigned NumValues = 0;
+  std::vector<std::pair<const Value *, uint64_t>> BroadcastInit;
+  Warp *Cur = nullptr; // for intrinsics needing lane identity
+};
+
+void BlockExecutor::numberValues(const std::vector<uint64_t> &Args) {
+  auto Number = [&](const Value *V) { ValueIds[V] = NumValues++; };
+  for (unsigned I = 0; I < F.getNumArgs(); ++I) {
+    Number(F.getArg(I));
+    BroadcastInit.push_back({F.getArg(I), Args.at(I)});
+  }
+  uint64_t LdsOffset = 0;
+  for (const auto &S : F.sharedArrays()) {
+    Number(S.get());
+    LdsOffset = (LdsOffset + 15) & ~15ull;
+    BroadcastInit.push_back({S.get(), LdsOffset});
+    LdsOffset += S->getSizeInBytes();
+  }
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (!I->getType()->isVoid())
+        Number(I);
+}
+
+uint64_t BlockExecutor::run() {
+  unsigned NumThreads = LP.BlockDimX;
+  unsigned NumWarps = (NumThreads + Cfg.WarpSize - 1) / Cfg.WarpSize;
+  std::vector<Warp> Warps(NumWarps);
+  for (unsigned W = 0; W < NumWarps; ++W) {
+    Warps[W].Index = W;
+    unsigned Lanes = std::min(Cfg.WarpSize, NumThreads - W * Cfg.WarpSize);
+    uint64_t Mask = (Lanes == 64) ? ~0ull : ((1ull << Lanes) - 1);
+    Warps[W].Stack.push_back({&F.getEntryBlock(), Mask, nullptr});
+    Warps[W].Regs.assign(NumValues,
+                         std::vector<uint64_t>(Cfg.WarpSize, 0));
+    for (const auto &[V, Bits] : BroadcastInit)
+      for (unsigned L = 0; L < Cfg.WarpSize; ++L)
+        Warps[W].Regs[idOf(V)][L] = Bits;
+  }
+
+  uint64_t BlockCycles = 0;
+  while (true) {
+    uint64_t PhaseMax = 0;
+    bool AllDone = true;
+    for (Warp &W : Warps) {
+      if (W.Done)
+        continue;
+      uint64_t Before = W.Cycles;
+      Cur = &W;
+      WarpStatus S = runWarp(W);
+      Cur = nullptr;
+      PhaseMax = std::max(PhaseMax, W.Cycles - Before);
+      if (S == WarpStatus::Finished) {
+        W.Done = true;
+        Stats.TotalWarpCycles += W.Cycles;
+      } else {
+        AllDone = false;
+      }
+    }
+    BlockCycles += PhaseMax;
+    if (AllDone)
+      break;
+  }
+  return BlockCycles;
+}
+
+void BlockExecutor::evalEdgePhis(Warp &W, BasicBlock *From, BasicBlock *To,
+                                 uint64_t Mask) {
+  std::vector<PhiInst *> Phis = To->phis();
+  if (Phis.empty())
+    return;
+  // Parallel-copy semantics: read all sources before any write.
+  std::vector<std::vector<uint64_t>> Staged(Phis.size());
+  for (size_t P = 0; P < Phis.size(); ++P) {
+    Value *In = Phis[P]->getIncomingValueForBlock(From);
+    Staged[P].resize(Cfg.WarpSize, 0);
+    for (unsigned L = 0; L < Cfg.WarpSize; ++L)
+      if (Mask & (1ull << L))
+        Staged[P][L] = eval(W, In, L);
+  }
+  for (size_t P = 0; P < Phis.size(); ++P)
+    for (unsigned L = 0; L < Cfg.WarpSize; ++L)
+      if (Mask & (1ull << L))
+        write(W, Phis[P], L, Staged[P][L]);
+}
+
+WarpStatus BlockExecutor::runWarp(Warp &W) {
+  while (true) {
+    if (W.Stack.empty())
+      return WarpStatus::Finished;
+    StackEntry &Top = W.Stack.back();
+    if (!Top.PC || Top.PC == Top.RPC) {
+      // Lanes reached the reconvergence point (or exited): merge back.
+      W.Stack.pop_back();
+      W.ResumeIdx = 0;
+      continue;
+    }
+
+    BasicBlock *BB = Top.PC;
+    uint64_t Mask = Top.Mask;
+    unsigned Idx = 0;
+    bool Transferred = false;
+    for (Instruction *I : *BB) {
+      if (Idx++ < W.ResumeIdx)
+        continue;
+      if (I->isPhi())
+        continue; // evaluated at edge time
+      if (++W.DynInstrs > Cfg.MaxDynamicInstrPerWarp)
+        reportFatalError("simulated warp exceeded the dynamic "
+                         "instruction budget (runaway loop?)");
+
+      if (const auto *C = dyn_cast<CallInst>(I);
+          C && C->getIntrinsic() == Intrinsic::Barrier) {
+        W.Cycles += CostModel::getLatency(I);
+        ++Stats.InstructionsIssued;
+        W.ResumeIdx = Idx;
+        return WarpStatus::AtBarrier;
+      }
+
+      if (I->isTerminator()) {
+        ++Stats.InstructionsIssued;
+        ++Stats.BranchesExecuted;
+        W.Cycles += CostModel::getLatency(I);
+        W.ResumeIdx = 0;
+        if (isa<RetInst>(I)) {
+          W.Stack.pop_back();
+          Transferred = true;
+          break;
+        }
+        if (const auto *Br = dyn_cast<BrInst>(I)) {
+          evalEdgePhis(W, BB, Br->getTarget(), Mask);
+          Top.PC = Br->getTarget();
+          Transferred = true;
+          break;
+        }
+        const auto *CB = cast<CondBrInst>(I);
+        uint64_t MT = 0, MF = 0;
+        for (unsigned L = 0; L < Cfg.WarpSize; ++L) {
+          if (!(Mask & (1ull << L)))
+            continue;
+          if (eval(W, CB->getCondition(), L) & 1)
+            MT |= 1ull << L;
+          else
+            MF |= 1ull << L;
+        }
+        BasicBlock *TBB = CB->getTrueSuccessor();
+        BasicBlock *FBB = CB->getFalseSuccessor();
+        if (MF == 0) {
+          evalEdgePhis(W, BB, TBB, Mask);
+          Top.PC = TBB;
+        } else if (MT == 0) {
+          evalEdgePhis(W, BB, FBB, Mask);
+          Top.PC = FBB;
+        } else {
+          // Divergence: reconverge at the IPDOM, serialize both paths.
+          ++Stats.DivergentBranches;
+          BasicBlock *R = PDT.isReachable(BB) ? PDT.getIDom(BB) : nullptr;
+          Top.PC = R; // this entry becomes the reconvergence entry
+          evalEdgePhis(W, BB, FBB, MF);
+          W.Stack.push_back({FBB, MF, R});
+          evalEdgePhis(W, BB, TBB, MT);
+          W.Stack.push_back({TBB, MT, R});
+        }
+        Transferred = true;
+        break;
+      }
+
+      execute(W, I, Mask);
+    }
+    if (!Transferred) {
+      // Block without terminator cannot occur in verified IR.
+      darm_unreachable("block fell through without a terminator");
+    }
+  }
+}
+
+uint64_t BlockExecutor::evalScalarOp(const Instruction *I, uint64_t A,
+                                     uint64_t B) const {
+  const Type *Ty = I->getType();
+  bool Is32 = I->getOpcode() >= Opcode::Add &&
+              I->getOpcode() <= Opcode::AShr &&
+              Ty->getKind() == Type::Kind::Int32;
+  int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+  uint64_t UA = Is32 ? static_cast<uint32_t>(A) : A;
+  uint64_t UB = Is32 ? static_cast<uint32_t>(B) : B;
+  unsigned ShiftMask = Is32 ? 31 : 63;
+
+  switch (I->getOpcode()) {
+  case Opcode::Add:
+    return static_cast<uint64_t>(SA + SB);
+  case Opcode::Sub:
+    return static_cast<uint64_t>(SA - SB);
+  case Opcode::Mul:
+    return static_cast<uint64_t>(SA * SB);
+  case Opcode::SDiv:
+    // Division by zero is defined to yield 0 in this IR (Instruction.h).
+    if (SB == 0)
+      return 0;
+    if (SB == -1)
+      return static_cast<uint64_t>(-SA); // avoid INT_MIN/-1 UB
+    return static_cast<uint64_t>(SA / SB);
+  case Opcode::SRem:
+    if (SB == 0 || SB == -1)
+      return 0;
+    return static_cast<uint64_t>(SA % SB);
+  case Opcode::UDiv:
+    return UB == 0 ? 0 : UA / UB;
+  case Opcode::URem:
+    return UB == 0 ? 0 : UA % UB;
+  case Opcode::And:
+    return A & B;
+  case Opcode::Or:
+    return A | B;
+  case Opcode::Xor:
+    return A ^ B;
+  case Opcode::Shl:
+    return A << (B & ShiftMask);
+  case Opcode::LShr:
+    return UA >> (B & ShiftMask);
+  case Opcode::AShr:
+    return static_cast<uint64_t>(
+        (Is32 ? static_cast<int64_t>(static_cast<int32_t>(A)) : SA) >>
+        (B & ShiftMask));
+  case Opcode::FAdd:
+    return fromFloat(asFloat(A) + asFloat(B));
+  case Opcode::FSub:
+    return fromFloat(asFloat(A) - asFloat(B));
+  case Opcode::FMul:
+    return fromFloat(asFloat(A) * asFloat(B));
+  case Opcode::FDiv:
+    return fromFloat(asFloat(A) / asFloat(B));
+  default:
+    darm_unreachable("not a scalar binary op");
+  }
+}
+
+void BlockExecutor::execute(Warp &W, const Instruction *I, uint64_t Mask) {
+  unsigned Active = std::popcount(Mask);
+  ++Stats.InstructionsIssued;
+
+  if (I->getOpcode() == Opcode::Load || I->getOpcode() == Opcode::Store) {
+    executeMemory(W, I, Mask);
+    return;
+  }
+
+  // Everything else is a VALU-class instruction.
+  ++Stats.AluInsts;
+  Stats.AluLanesActive += Active;
+  Stats.AluLanesTotal += Cfg.WarpSize;
+  W.Cycles += CostModel::getLatency(I);
+
+  for (unsigned L = 0; L < Cfg.WarpSize; ++L) {
+    if (!(Mask & (1ull << L)))
+      continue;
+    uint64_t R = 0;
+    switch (I->getOpcode()) {
+    case Opcode::ICmp: {
+      const auto *C = cast<ICmpInst>(I);
+      uint64_t A = eval(W, C->getLHS(), L), B = eval(W, C->getRHS(), L);
+      int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
+      bool Is32 = C->getLHS()->getType()->isInt32();
+      uint64_t UA = Is32 ? static_cast<uint32_t>(A) : A;
+      uint64_t UB = Is32 ? static_cast<uint32_t>(B) : B;
+      switch (C->getPredicate()) {
+      case ICmpPred::EQ:
+        R = A == B;
+        break;
+      case ICmpPred::NE:
+        R = A != B;
+        break;
+      case ICmpPred::SLT:
+        R = SA < SB;
+        break;
+      case ICmpPred::SLE:
+        R = SA <= SB;
+        break;
+      case ICmpPred::SGT:
+        R = SA > SB;
+        break;
+      case ICmpPred::SGE:
+        R = SA >= SB;
+        break;
+      case ICmpPred::ULT:
+        R = UA < UB;
+        break;
+      case ICmpPred::ULE:
+        R = UA <= UB;
+        break;
+      case ICmpPred::UGT:
+        R = UA > UB;
+        break;
+      case ICmpPred::UGE:
+        R = UA >= UB;
+        break;
+      }
+      break;
+    }
+    case Opcode::FCmp: {
+      const auto *C = cast<FCmpInst>(I);
+      float A = asFloat(eval(W, C->getLHS(), L));
+      float B = asFloat(eval(W, C->getRHS(), L));
+      switch (C->getPredicate()) {
+      case FCmpPred::OEQ:
+        R = A == B;
+        break;
+      case FCmpPred::ONE:
+        R = A != B;
+        break;
+      case FCmpPred::OLT:
+        R = A < B;
+        break;
+      case FCmpPred::OLE:
+        R = A <= B;
+        break;
+      case FCmpPred::OGT:
+        R = A > B;
+        break;
+      case FCmpPred::OGE:
+        R = A >= B;
+        break;
+      }
+      break;
+    }
+    case Opcode::Select: {
+      const auto *S = cast<SelectInst>(I);
+      R = (eval(W, S->getCondition(), L) & 1)
+              ? eval(W, S->getTrueValue(), L)
+              : eval(W, S->getFalseValue(), L);
+      break;
+    }
+    case Opcode::Gep: {
+      const auto *G = cast<GepInst>(I);
+      uint64_t Base = eval(W, G->getPointer(), L);
+      int64_t Index = static_cast<int64_t>(eval(W, G->getIndex(), L));
+      unsigned Elem =
+          G->getType()->getPointee()->getStoreSizeInBytes();
+      R = Base + static_cast<uint64_t>(Index * static_cast<int64_t>(Elem));
+      break;
+    }
+    case Opcode::ZExt: {
+      const auto *C = cast<CastInst>(I);
+      uint64_t V = eval(W, C->getSource(), L);
+      Type *Src = C->getSource()->getType();
+      R = Src->isInt1() ? (V & 1)
+                        : (Src->isInt32() ? static_cast<uint32_t>(V) : V);
+      break;
+    }
+    case Opcode::SExt: {
+      const auto *C = cast<CastInst>(I);
+      uint64_t V = eval(W, C->getSource(), L);
+      Type *Src = C->getSource()->getType();
+      if (Src->isInt1())
+        R = (V & 1) ? ~0ull : 0;
+      else
+        R = V; // i32 is stored sign-extended already
+      break;
+    }
+    case Opcode::Trunc:
+      R = eval(W, cast<CastInst>(I)->getSource(), L);
+      break; // normalize() truncates on write
+    case Opcode::SIToFP:
+      R = fromFloat(static_cast<float>(static_cast<int64_t>(
+          eval(W, cast<CastInst>(I)->getSource(), L))));
+      break;
+    case Opcode::FPToSI:
+      R = static_cast<uint64_t>(static_cast<int64_t>(
+          asFloat(eval(W, cast<CastInst>(I)->getSource(), L))));
+      break;
+    case Opcode::Call: {
+      const auto *C = cast<CallInst>(I);
+      switch (C->getIntrinsic()) {
+      case Intrinsic::TidX:
+        R = W.Index * Cfg.WarpSize + L;
+        break;
+      case Intrinsic::NTidX:
+        R = LP.BlockDimX;
+        break;
+      case Intrinsic::CTAidX:
+        R = BlockIdx;
+        break;
+      case Intrinsic::NCTAidX:
+        R = LP.GridDimX;
+        break;
+      case Intrinsic::LaneId:
+        R = L;
+        break;
+      case Intrinsic::ShflSync: {
+        unsigned Src = static_cast<unsigned>(eval(W, C->getOperand(1), L)) %
+                       Cfg.WarpSize;
+        R = eval(W, C->getOperand(0), Src);
+        break;
+      }
+      case Intrinsic::Barrier:
+        darm_unreachable("barrier handled in runWarp");
+      }
+      break;
+    }
+    default:
+      R = evalScalarOp(I, eval(W, I->getOperand(0), L),
+                       eval(W, I->getOperand(1), L));
+      break;
+    }
+    write(W, I, L, R);
+  }
+}
+
+uint64_t BlockExecutor::memLoad(AddressSpace AS, uint64_t Addr,
+                                unsigned Size) const {
+  if (AS == AddressSpace::Global)
+    return Mem.load(Addr, Size);
+  if (Addr + Size > Lds.size())
+    return 0; // speculated OOB load (see Memory.h)
+  uint64_t V = 0;
+  std::memcpy(&V, Lds.data() + Addr, Size);
+  return V;
+}
+
+void BlockExecutor::memStore(Warp &W, AddressSpace AS, uint64_t Addr,
+                             unsigned Size, uint64_t V) {
+  (void)W;
+  if (AS == AddressSpace::Global) {
+    Mem.store(Addr, Size, V);
+    return;
+  }
+  if (Addr + Size > Lds.size())
+    reportFatalError("simulated kernel stored out of LDS bounds");
+  std::memcpy(Lds.data() + Addr, &V, Size);
+}
+
+void BlockExecutor::executeMemory(Warp &W, const Instruction *I,
+                                  uint64_t Mask) {
+  bool IsLoad = I->getOpcode() == Opcode::Load;
+  Value *PtrOp = IsLoad ? cast<LoadInst>(I)->getPointer()
+                        : cast<StoreInst>(I)->getPointer();
+  AddressSpace AS = PtrOp->getType()->getAddressSpace();
+  unsigned Size = PtrOp->getType()->getPointee()->getStoreSizeInBytes();
+
+  // Gather active addresses for the contention model.
+  std::vector<uint64_t> Addrs;
+  for (unsigned L = 0; L < Cfg.WarpSize; ++L)
+    if (Mask & (1ull << L))
+      Addrs.push_back(eval(W, PtrOp, L));
+
+  uint64_t Penalty = 0;
+  if (AS == AddressSpace::Shared) {
+    ++Stats.SharedMemInsts;
+    // Bank conflicts: lanes hitting distinct addresses in one bank
+    // serialize; same-address lanes broadcast.
+    std::unordered_map<unsigned, std::set<uint64_t>> Banks;
+    for (uint64_t A : Addrs)
+      Banks[(A / Cfg.LdsBankWidthBytes) % Cfg.NumLdsBanks].insert(A);
+    unsigned Degree = 1;
+    for (const auto &[Bank, AddrSet] : Banks)
+      Degree = std::max(Degree, static_cast<unsigned>(AddrSet.size()));
+    Penalty = static_cast<uint64_t>(Degree - 1) *
+              CostModel::BankConflictPenalty;
+    W.Cycles += CostModel::SharedMemLatency + Penalty;
+  } else {
+    ++Stats.VectorMemInsts;
+    // Coalescing: each additional 128-byte segment costs a transaction.
+    std::set<uint64_t> Segments;
+    for (uint64_t A : Addrs)
+      Segments.insert(A / Cfg.CoalesceSegmentBytes);
+    unsigned NumSeg = std::max<size_t>(1, Segments.size());
+    Penalty = static_cast<uint64_t>(NumSeg - 1) *
+              CostModel::GlobalSegmentPenalty;
+    W.Cycles += CostModel::GlobalMemLatency + Penalty;
+  }
+
+  for (unsigned L = 0; L < Cfg.WarpSize; ++L) {
+    if (!(Mask & (1ull << L)))
+      continue;
+    uint64_t Addr = eval(W, PtrOp, L);
+    if (IsLoad) {
+      write(W, I, L, memLoad(AS, Addr, Size));
+    } else {
+      uint64_t V = eval(W, cast<StoreInst>(I)->getValueOperand(), L);
+      memStore(W, AS, Addr, Size, V);
+    }
+  }
+}
+
+} // namespace
+
+SimStats darm::runKernel(Function &Kernel, const LaunchParams &LP,
+                         const std::vector<uint64_t> &Args, GlobalMemory &Mem,
+                         const GpuConfig &Cfg) {
+  assert(Cfg.WarpSize <= 64 && "mask is 64 bits wide");
+  SimStats Stats;
+  for (unsigned B = 0; B < LP.GridDimX; ++B) {
+    BlockExecutor Exec(Kernel, LP, Args, Mem, Cfg, B, Stats);
+    Stats.Cycles += Exec.run();
+  }
+  return Stats;
+}

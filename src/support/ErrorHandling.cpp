@@ -1,0 +1,19 @@
+//===- ErrorHandling.cpp - Fatal error reporting --------------------------===//
+
+#include "darm/support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace darm;
+
+void darm::reportUnreachable(const char *Msg, const char *File,
+                             unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+void darm::reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg);
+  std::exit(1);
+}

@@ -1,0 +1,86 @@
+//===- CFGUtils.cpp - CFG surgery helpers -----------------------------------===//
+
+#include "darm/transform/CFGUtils.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+
+using namespace darm;
+
+BasicBlock *darm::splitEdge(BasicBlock *From, BasicBlock *To,
+                            unsigned SuccIdx) {
+  Function *F = From->getParent();
+  Context &Ctx = F->getContext();
+  Instruction *T = From->getTerminator();
+  assert(T && T->getSuccessor(SuccIdx) == To && "not an edge");
+
+  BasicBlock *Mid = F->createBlock(From->getName() + ".split", To);
+  T->setSuccessor(SuccIdx, Mid);
+  Mid->push_back(new BrInst(To, Ctx.getVoidTy()));
+  // If From still reaches To through another slot, the phi entries for
+  // From must stay; otherwise they transfer to Mid.
+  if (From->isSuccessor(To)) {
+    // Duplicate edge remains: add fresh entries for Mid mirroring From's.
+    for (PhiInst *P : To->phis()) {
+      int Idx = P->getBlockIndex(From);
+      assert(Idx >= 0 && "phi missing entry for predecessor");
+      P->addIncoming(P->getIncomingValue(static_cast<unsigned>(Idx)), Mid);
+    }
+  } else {
+    To->replacePhiIncomingBlock(From, Mid);
+  }
+  return Mid;
+}
+
+std::vector<BasicBlock *> darm::splitAllEdges(BasicBlock *From,
+                                              BasicBlock *To) {
+  std::vector<BasicBlock *> NewBlocks;
+  Instruction *T = From->getTerminator();
+  assert(T && "block is unterminated");
+  for (unsigned I = 0, E = T->getNumSuccessors(); I != E; ++I)
+    if (T->getSuccessor(I) == To)
+      NewBlocks.push_back(splitEdge(From, To, I));
+  return NewBlocks;
+}
+
+void darm::removeEdgePhis(BasicBlock *From, BasicBlock *To) {
+  To->removePhiEntriesFor(From);
+}
+
+std::set<BasicBlock *> darm::computeReachable(Function &F) {
+  std::set<BasicBlock *> Reachable;
+  std::vector<BasicBlock *> Worklist{&F.getEntryBlock()};
+  Reachable.insert(&F.getEntryBlock());
+  while (!Worklist.empty()) {
+    BasicBlock *BB = Worklist.back();
+    Worklist.pop_back();
+    for (BasicBlock *Succ : BB->successors())
+      if (Reachable.insert(Succ).second)
+        Worklist.push_back(Succ);
+  }
+  return Reachable;
+}
+
+bool darm::removeUnreachableBlocks(Function &F) {
+  std::set<BasicBlock *> Reachable = computeReachable(F);
+  std::vector<BasicBlock *> Dead;
+  for (BasicBlock *BB : F)
+    if (!Reachable.count(BB))
+      Dead.push_back(BB);
+  if (Dead.empty())
+    return false;
+
+  // First disconnect: drop terminators (removes pred entries and phi
+  // entries in successors), so dead cycles become erasable.
+  for (BasicBlock *BB : Dead) {
+    if (Instruction *T = BB->getTerminator()) {
+      for (BasicBlock *Succ : BB->successors())
+        Succ->removePhiEntriesFor(BB);
+      BB->erase(T);
+    }
+  }
+  for (BasicBlock *BB : Dead)
+    F.eraseBlock(BB);
+  return true;
+}

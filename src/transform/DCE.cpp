@@ -1,0 +1,76 @@
+//===- DCE.cpp - Dead code elimination ------------------------------------------===//
+
+#include "darm/transform/DCE.h"
+
+#include "darm/ir/Function.h"
+
+#include <set>
+#include <vector>
+
+using namespace darm;
+
+namespace {
+
+/// Phis (and pure instructions) that only feed each other — dead cycles
+/// threaded around loops — are invisible to use-count DCE. Seed liveness
+/// from side-effecting/terminator instructions and sweep the rest.
+bool removeDeadCycles(darm::Function &F) {
+  using namespace darm;
+  std::set<Instruction *> Live;
+  std::vector<Instruction *> Worklist;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (I->hasSideEffects() || I->isTerminator()) {
+        Live.insert(I);
+        Worklist.push_back(I);
+      }
+  while (!Worklist.empty()) {
+    Instruction *I = Worklist.back();
+    Worklist.pop_back();
+    for (Value *Op : I->operands())
+      if (auto *D = dyn_cast<Instruction>(Op))
+        if (Live.insert(D).second)
+          Worklist.push_back(D);
+  }
+  std::vector<Instruction *> Dead;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (!Live.count(I))
+        Dead.push_back(I);
+  if (Dead.empty())
+    return false;
+  for (Instruction *I : Dead)
+    I->dropAllReferences();
+  for (Instruction *I : Dead) {
+    // Remaining uses can only come from other dead instructions, whose
+    // operands were just dropped.
+    assert(!I->hasUses() && "dead instruction used by live code");
+    I->eraseFromParent();
+  }
+  return true;
+}
+
+} // namespace
+
+bool darm::eliminateDeadCode(Function &F) {
+  bool Any = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      // Reverse order so chains die in one sweep.
+      std::vector<Instruction *> Insts(BB->begin(), BB->end());
+      for (auto It = Insts.rbegin(); It != Insts.rend(); ++It) {
+        Instruction *I = *It;
+        if (I->hasUses() || I->hasSideEffects() || I->isTerminator())
+          continue;
+        I->eraseFromParent();
+        Changed = true;
+        Any = true;
+      }
+    }
+    Changed |= removeDeadCycles(F);
+    Any |= Changed;
+  }
+  return Any;
+}

@@ -1,0 +1,40 @@
+//===- PassManager.cpp - Function pass pipeline --------------------------------===//
+
+#include "darm/transform/PassManager.h"
+
+#include "darm/analysis/Verifier.h"
+#include "darm/ir/Function.h"
+#include "darm/support/ErrorHandling.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace darm;
+
+bool PassManager::run(Function &F) {
+  Timings.clear();
+  bool Changed = false;
+  for (const auto &[Name, Pass] : Passes) {
+    auto Start = std::chrono::steady_clock::now();
+    Changed |= Pass(F);
+    auto End = std::chrono::steady_clock::now();
+    Timings.push_back(
+        {Name, std::chrono::duration<double>(End - Start).count()});
+    if (VerifyEach) {
+      std::string Err;
+      if (!verifyFunction(F, &Err)) {
+        std::fprintf(stderr, "verification failed after pass '%s': %s\n",
+                     Name.c_str(), Err.c_str());
+        reportFatalError("broken IR produced by a pass");
+      }
+    }
+  }
+  return Changed;
+}
+
+double PassManager::totalSeconds() const {
+  double Total = 0;
+  for (const auto &[Name, Secs] : Timings)
+    Total += Secs;
+  return Total;
+}

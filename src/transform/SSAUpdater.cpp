@@ -1,0 +1,176 @@
+//===- SSAUpdater.cpp - SSA repair after CFG restructuring --------------------===//
+
+#include "darm/transform/SSAUpdater.h"
+
+#include "darm/analysis/DominanceFrontier.h"
+#include "darm/analysis/DominatorTree.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace darm;
+
+namespace {
+
+/// Single-variable SSA reconstruction: the variable has one real
+/// definition (Def) and an implicit `undef` definition at function entry.
+class SingleDefRepair {
+public:
+  SingleDefRepair(Instruction *Def, const DominatorTree &DT,
+                  const DominanceFrontier &DF)
+      : Def(Def), DT(DT), DefBB(Def->getParent()),
+        Ctx(DefBB->getParent()->getContext()) {
+    for (BasicBlock *J : DF.computeIDF({DefBB})) {
+      if (!DT.isReachable(J))
+        continue;
+      auto *P = new PhiInst(Def->getType());
+      J->insert(J->begin(), P);
+      PhiAt[J] = P;
+    }
+  }
+
+  bool run() {
+    // Collect un-dominated uses first; phi operand wiring creates new uses
+    // of Def that are valid by construction.
+    struct Fix {
+      User *U;
+      unsigned OpIdx;
+      Value *Repl;
+    };
+    std::vector<Fix> Fixes;
+    for (const Use &U : Def->uses()) {
+      auto *UserInst = dyn_cast<Instruction>(static_cast<Value *>(U.TheUser));
+      if (!UserInst || !UserInst->getParent())
+        continue;
+      if (auto *P = dyn_cast<PhiInst>(UserInst)) {
+        if (PhiAt.count(P->getParent()) &&
+            PhiAt[P->getParent()] == P)
+          continue; // our own repair phi
+        BasicBlock *In = P->getIncomingBlock(U.OpIdx);
+        if (!DT.isReachable(In) || DT.dominates(DefBB, In))
+          continue;
+        Fixes.push_back({P, U.OpIdx, valueAtEndOf(In)});
+        continue;
+      }
+      if (!DT.isReachable(UserInst->getParent()))
+        continue;
+      if (DT.dominates(Def, UserInst))
+        continue;
+      Fixes.push_back({UserInst, U.OpIdx, valueAtEntryOf(UserInst->getParent())});
+    }
+
+    // Wire the repair phis' operands.
+    for (auto &[BB, P] : PhiAt) {
+      for (BasicBlock *Pred : distinctPreds(BB))
+        P->addIncoming(valueAtEndOf(Pred), Pred);
+    }
+
+    for (const Fix &Fx : Fixes)
+      Fx.U->setOperand(Fx.OpIdx, Fx.Repl);
+
+    // Drop repair phis that ended up unused (possible when all uses were
+    // actually dominated).
+    bool Changed = !Fixes.empty();
+    for (auto &[BB, P] : PhiAt)
+      if (!P->hasUses()) {
+        P->eraseFromParent();
+      } else {
+        Changed = true;
+      }
+    return Changed;
+  }
+
+private:
+  static std::vector<BasicBlock *> distinctPreds(BasicBlock *BB) {
+    std::vector<BasicBlock *> Result;
+    for (BasicBlock *P : BB->predecessors())
+      if (std::find(Result.begin(), Result.end(), P) == Result.end())
+        Result.push_back(P);
+    return Result;
+  }
+
+  /// Value of the variable live out of \p BB.
+  Value *valueAtEndOf(BasicBlock *BB) {
+    if (BB == DefBB)
+      return Def;
+    return valueAtEntryOf(BB) /* no redefinition inside BB */;
+  }
+
+  /// Value of the variable live into \p BB.
+  Value *valueAtEntryOf(BasicBlock *BB) {
+    auto Memo = EntryVal.find(BB);
+    if (Memo != EntryVal.end())
+      return Memo->second;
+    Value *V;
+    auto It = PhiAt.find(BB);
+    if (It != PhiAt.end()) {
+      V = It->second;
+    } else if (BasicBlock *IDom = DT.getIDom(BB)) {
+      V = valueAtEndOf(IDom);
+    } else {
+      V = Ctx.getUndef(Def->getType()); // path never sees the definition
+    }
+    EntryVal[BB] = V;
+    return V;
+  }
+
+  Instruction *Def;
+  const DominatorTree &DT;
+  BasicBlock *DefBB;
+  Context &Ctx;
+  std::map<BasicBlock *, PhiInst *> PhiAt;
+  std::map<BasicBlock *, Value *> EntryVal;
+};
+
+} // namespace
+
+bool darm::repairSSA(Instruction *Def, const DominatorTree &DT,
+                     const DominanceFrontier &DF) {
+  assert(Def->getParent() && "definition must be in a block");
+  return SingleDefRepair(Def, DT, DF).run();
+}
+
+bool darm::repairFunctionSSA(Function &F) {
+  DominatorTree DT(F);
+  DominanceFrontier DF(F, DT);
+
+  // Find offending defs under the *current* analyses; repair them all
+  // (repairs only add phis at IDF(defblock), which cannot invalidate the
+  // dominator tree or create new violations for other defs).
+  std::vector<Instruction *> Broken;
+  for (BasicBlock *BB : F) {
+    if (!DT.isReachable(BB))
+      continue;
+    for (Instruction *I : *BB) {
+      if (I->getType()->isVoid())
+        continue;
+      bool Violated = false;
+      for (const Use &U : I->uses()) {
+        auto *UserInst =
+            dyn_cast<Instruction>(static_cast<Value *>(U.TheUser));
+        if (!UserInst || !UserInst->getParent() ||
+            !DT.isReachable(UserInst->getParent()))
+          continue;
+        if (auto *P = dyn_cast<PhiInst>(UserInst)) {
+          BasicBlock *In = P->getIncomingBlock(U.OpIdx);
+          if (DT.isReachable(In) && !DT.dominates(BB, In))
+            Violated = true;
+        } else if (!DT.dominates(I, UserInst)) {
+          Violated = true;
+        }
+        if (Violated)
+          break;
+      }
+      if (Violated)
+        Broken.push_back(I);
+    }
+  }
+
+  bool Changed = false;
+  for (Instruction *Def : Broken)
+    Changed |= repairSSA(Def, DT, DF);
+  return Changed;
+}

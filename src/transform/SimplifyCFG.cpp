@@ -1,0 +1,502 @@
+//===- SimplifyCFG.cpp - CFG cleanup pass ------------------------------------===//
+
+#include "darm/transform/SimplifyCFG.h"
+
+#include "darm/analysis/CostModel.h"
+#include "darm/analysis/DominatorTree.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+#include "darm/transform/CFGUtils.h"
+
+#include <algorithm>
+
+using namespace darm;
+
+bool darm::foldConstantBranches(Function &F) {
+  bool Changed = false;
+  Context &Ctx = F.getContext();
+  for (BasicBlock *BB : F) {
+    auto *Br = dyn_cast_or_null<CondBrInst>(BB->getTerminator());
+    if (!Br)
+      continue;
+    auto *C = dyn_cast<ConstantInt>(Br->getCondition());
+    if (!C)
+      continue;
+    BasicBlock *Live = C->isZero() ? Br->getFalseSuccessor()
+                                   : Br->getTrueSuccessor();
+    BasicBlock *Dead = C->isZero() ? Br->getTrueSuccessor()
+                                   : Br->getFalseSuccessor();
+    if (Dead != Live)
+      Dead->removePhiEntriesFor(BB);
+    BB->erase(Br);
+    BB->push_back(new BrInst(Live, Ctx.getVoidTy()));
+    Changed = true;
+  }
+  return Changed;
+}
+
+bool darm::foldIdenticalSuccessorBranches(Function &F) {
+  bool Changed = false;
+  Context &Ctx = F.getContext();
+  for (BasicBlock *BB : F) {
+    auto *Br = dyn_cast_or_null<CondBrInst>(BB->getTerminator());
+    if (!Br || Br->getTrueSuccessor() != Br->getFalseSuccessor())
+      continue;
+    BasicBlock *Succ = Br->getTrueSuccessor();
+    BB->erase(Br);
+    BB->push_back(new BrInst(Succ, Ctx.getVoidTy()));
+    Changed = true;
+  }
+  return Changed;
+}
+
+bool darm::removeTrivialPhis(Function &F) {
+  // Folding a phi never mutates the CFG, so one dominator tree serves the
+  // whole fixed-point loop. It is needed to guard the undef-wildcard fold:
+  // phi [undef, A], [V, B] may only fold to V when V dominates the phi
+  // (same restriction as LLVM's InstSimplify).
+  DominatorTree DT(F);
+  bool Changed = true;
+  bool Any = false;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      for (PhiInst *P : BB->phis()) {
+        Value *V = P->getUniqueIncomingValue(/*IgnoreUndef=*/false);
+        if (!V) {
+          Value *W = P->getUniqueIncomingValue(/*IgnoreUndef=*/true);
+          if (!W && P->getNumIncoming() != 0) {
+            // All entries undef (or self): fold to undef.
+            bool AllUndef = true;
+            for (unsigned I = 0, E = P->getNumIncoming(); I != E; ++I)
+              if (!isa<UndefValue>(P->getIncomingValue(I)) &&
+                  P->getIncomingValue(I) != P)
+                AllUndef = false;
+            if (AllUndef)
+              V = F.getContext().getUndef(P->getType());
+          } else if (W) {
+            const auto *WI = dyn_cast<Instruction>(W);
+            bool Dominates =
+                !WI || (WI->getParent() && DT.isReachable(WI->getParent()) &&
+                        DT.isReachable(BB) &&
+                        DT.properlyDominates(WI->getParent(), BB));
+            if (Dominates)
+              V = W;
+          }
+        }
+        if (!V || V == P)
+          continue;
+        P->replaceAllUsesWith(V);
+        P->eraseFromParent();
+        Changed = true;
+        Any = true;
+        break; // phi list invalidated; rescan the block
+      }
+    }
+  }
+  return Any;
+}
+
+bool darm::mergeLinearBlocks(Function &F) {
+  bool Changed = true;
+  bool Any = false;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      BasicBlock *Succ = BB->getSingleSuccessor();
+      if (!Succ || Succ == BB || Succ == &F.getEntryBlock())
+        continue;
+      if (Succ->getSinglePredecessor() != BB ||
+          Succ->getNumPredecessors() != 1)
+        continue;
+      if (!isa<BrInst>(BB->getTerminator()))
+        continue;
+      // Resolve Succ's phis (single predecessor: each is trivial).
+      for (PhiInst *P : Succ->phis()) {
+        P->replaceAllUsesWith(P->getIncomingValue(0));
+        P->eraseFromParent();
+      }
+      // Move all of Succ's instructions into BB, dropping BB's branch.
+      BB->erase(BB->getTerminator());
+      while (!Succ->empty()) {
+        Instruction *I = Succ->front();
+        Succ->remove(I);
+        BB->push_back(I);
+      }
+      // Successor phis now receive from BB.
+      for (BasicBlock *S : BB->successors())
+        S->replacePhiIncomingBlock(Succ, BB);
+      F.eraseBlock(Succ);
+      Changed = true;
+      Any = true;
+      break; // block list invalidated; restart scan
+    }
+  }
+  return Any;
+}
+
+bool darm::forwardEmptyBlocks(Function &F) {
+  bool Changed = true;
+  bool Any = false;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      if (BB == &F.getEntryBlock() || BB->size() != 1)
+        continue;
+      auto *Br = dyn_cast<BrInst>(BB->getTerminator());
+      if (!Br)
+        continue;
+      BasicBlock *Succ = Br->getTarget();
+      if (Succ == BB)
+        continue;
+      // Retargeting a pred P is unsafe if P already branches to Succ and
+      // Succ has phis (two entries for one pred would be ambiguous).
+      bool Safe = true;
+      std::vector<PhiInst *> SuccPhis = Succ->phis();
+      for (BasicBlock *P : BB->predecessors())
+        if (!SuccPhis.empty() && P->isSuccessor(Succ)) {
+          Safe = false;
+          break;
+        }
+      if (!Safe || BB->getNumPredecessors() == 0)
+        continue;
+
+      // Snapshot preds: retargeting mutates the list.
+      std::vector<BasicBlock *> Preds(BB->predecessors().begin(),
+                                      BB->predecessors().end());
+      for (PhiInst *P : SuccPhis) {
+        Value *V = P->getIncomingValueForBlock(BB);
+        for (BasicBlock *Pred : Preds) {
+          if (P->getBlockIndex(Pred) < 0)
+            P->addIncoming(V, Pred);
+        }
+      }
+      for (BasicBlock *Pred : Preds)
+        Pred->getTerminator()->replaceSuccessor(BB, Succ);
+      Succ->removePhiEntriesFor(BB);
+      BB->erase(Br);
+      F.eraseBlock(BB);
+      Changed = true;
+      Any = true;
+      break; // restart scan
+    }
+  }
+  return Any;
+}
+
+bool darm::speculateTriangles(Function &F) {
+  bool Any = false;
+  bool Changed = true;
+  // Hoisting more than this many latency units is not worth removing one
+  // branch (mirrors LLVM's speculation cost threshold, scaled to our
+  // latency table).
+  constexpr unsigned CostLimit = 24;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      auto *Br = dyn_cast_or_null<CondBrInst>(BB->getTerminator());
+      if (!Br)
+        continue;
+      bool Done = false;
+      for (unsigned Arm = 0; Arm < 2 && !Done; ++Arm) {
+        BasicBlock *S = Br->getSuccessor(Arm);
+        BasicBlock *T = Br->getSuccessor(1 - Arm);
+        if (S == T || S == BB || T == S)
+          continue;
+        if (S->getSinglePredecessor() != BB ||
+            S->getNumPredecessors() != 1 || S->getSingleSuccessor() != T)
+          continue;
+        unsigned Cost = 0;
+        bool Safe = true;
+        for (Instruction *I : *S) {
+          if (I->isTerminator())
+            continue;
+          if (I->isPhi() || !I->isSafeToSpeculate()) {
+            Safe = false;
+            break;
+          }
+          Cost += CostModel::getLatency(I);
+        }
+        if (!Safe || Cost > CostLimit)
+          continue;
+
+        // Hoist the side block's body into BB.
+        Value *C = Br->getCondition();
+        while (S->size() > 1) {
+          Instruction *I = S->front();
+          S->remove(I);
+          BB->insert(Br->getIterator(), I);
+        }
+        // Join phis: the S and BB entries merge into one select.
+        for (PhiInst *P : T->phis()) {
+          int IS = P->getBlockIndex(S);
+          int IB = P->getBlockIndex(BB);
+          assert(IS >= 0 && IB >= 0 && "triangle phi missing an entry");
+          Value *VS = P->getIncomingValue(static_cast<unsigned>(IS));
+          Value *VB = P->getIncomingValue(static_cast<unsigned>(IB));
+          Value *Merged;
+          if (isa<UndefValue>(VB) || VS == VB) {
+            Merged = VS;
+          } else if (isa<UndefValue>(VS)) {
+            Merged = VB;
+          } else {
+            auto *Sel = new SelectInst(C, Arm == 0 ? VS : VB,
+                                       Arm == 0 ? VB : VS);
+            BB->insert(Br->getIterator(), Sel);
+            Merged = Sel;
+          }
+          P->removeIncoming(static_cast<unsigned>(IS));
+          P->setIncomingValue(
+              static_cast<unsigned>(P->getBlockIndex(BB)), Merged);
+        }
+        // Fold the branch and delete the (now empty) side block.
+        BB->erase(Br);
+        BB->push_back(new BrInst(T, F.getContext().getVoidTy()));
+        S->erase(S->getTerminator());
+        F.eraseBlock(S);
+        Changed = true;
+        Any = true;
+        Done = true;
+      }
+      if (Done)
+        break; // block list mutated; restart scan
+    }
+  }
+  return Any;
+}
+
+namespace {
+
+/// If \p V is xor(X, true), returns X ("not X"); otherwise null.
+Value *matchNot(Value *V) {
+  auto *X = dyn_cast<BinaryInst>(V);
+  if (!X || X->getOpcode() != Opcode::Xor || !X->getType()->isInt1())
+    return nullptr;
+  if (auto *C = dyn_cast<ConstantInt>(X->getRHS()); C && C->isOne())
+    return X->getLHS();
+  if (auto *C = dyn_cast<ConstantInt>(X->getLHS()); C && C->isOne())
+    return X->getRHS();
+  return nullptr;
+}
+
+/// True if \p V is (or appears inside) an or-tree containing \p Target.
+bool orTreeContains(Value *V, Value *Target, unsigned Depth = 0) {
+  if (V == Target)
+    return true;
+  if (Depth > 8)
+    return false;
+  auto *O = dyn_cast<BinaryInst>(V);
+  if (!O || O->getOpcode() != Opcode::Or)
+    return false;
+  return orTreeContains(O->getLHS(), Target, Depth + 1) ||
+         orTreeContains(O->getRHS(), Target, Depth + 1);
+}
+
+/// Local folds for one instruction; returns the replacement or null.
+/// Boolean selects are rewritten into and/or/xor so melding's
+/// select-chains become foldable logic (LLVM's InstCombine equivalent).
+Value *simplifyOne(Function &F, Instruction *I, bool &NeedNewInsts) {
+  Context &Ctx = F.getContext();
+  if (auto *Sel = dyn_cast<SelectInst>(I)) {
+    Value *C = Sel->getCondition(), *T = Sel->getTrueValue(),
+          *Fv = Sel->getFalseValue();
+    if (T == Fv)
+      return T;
+    if (isa<UndefValue>(T))
+      return Fv;
+    if (isa<UndefValue>(Fv))
+      return T;
+    if (auto *CC = dyn_cast<ConstantInt>(C))
+      return CC->isZero() ? Fv : T;
+    if (Sel->getType()->isInt1()) {
+      // Lower boolean selects to logic so the folds below can see through
+      // melding's condition chains.
+      IRBuilder B(Ctx);
+      B.setInsertPoint(I);
+      NeedNewInsts = true;
+      auto *TC = dyn_cast<ConstantInt>(T);
+      auto *FC = dyn_cast<ConstantInt>(Fv);
+      if (TC && TC->isOne())
+        return B.createOr(C, Fv);
+      if (TC && TC->isZero())
+        return B.createAnd(B.createXor(C, Ctx.getBool(true)), Fv);
+      if (FC && FC->isZero())
+        return B.createAnd(C, T);
+      if (FC && FC->isOne())
+        return B.createOr(B.createXor(C, Ctx.getBool(true)), T);
+      NeedNewInsts = false;
+    }
+    return nullptr;
+  }
+
+  auto *Bin = dyn_cast<BinaryInst>(I);
+  if (!Bin || !Bin->getType()->isInt1())
+    return nullptr;
+  Value *L = Bin->getLHS(), *R = Bin->getRHS();
+  auto *LC = dyn_cast<ConstantInt>(L);
+  auto *RC = dyn_cast<ConstantInt>(R);
+  switch (Bin->getOpcode()) {
+  case Opcode::And:
+    if (L == R)
+      return L;
+    if ((LC && LC->isZero()) || (RC && RC->isZero()))
+      return Ctx.getBool(false);
+    if (LC && LC->isOne())
+      return R;
+    if (RC && RC->isOne())
+      return L;
+    // and(not(or-tree containing X), X) == false (De Morgan).
+    if (Value *N = matchNot(L); N && orTreeContains(N, R))
+      return Ctx.getBool(false);
+    if (Value *N = matchNot(R); N && orTreeContains(N, L))
+      return Ctx.getBool(false);
+    break;
+  case Opcode::Or:
+    if (L == R)
+      return L;
+    if ((LC && LC->isOne()) || (RC && RC->isOne()))
+      return Ctx.getBool(true);
+    if (LC && LC->isZero())
+      return R;
+    if (RC && RC->isZero())
+      return L;
+    break;
+  case Opcode::Xor:
+    if (L == R)
+      return Ctx.getBool(false);
+    if (LC && LC->isZero())
+      return R;
+    if (RC && RC->isZero())
+      return L;
+    break;
+  default:
+    break;
+  }
+  // Double negation: not(not(x)) == x.
+  if (Value *N = matchNot(I))
+    if (Value *NN = matchNot(N))
+      return NN;
+  return nullptr;
+}
+
+} // namespace
+
+bool darm::simplifyInstructions(Function &F) {
+  bool Any = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      std::vector<Instruction *> Insts(BB->begin(), BB->end());
+      for (Instruction *I : Insts) {
+        if (I->isPhi() || I->isTerminator())
+          continue;
+        bool NeedNewInsts = false;
+        Value *Folded = simplifyOne(F, I, NeedNewInsts);
+        if (!Folded)
+          continue;
+        I->replaceAllUsesWith(Folded);
+        I->eraseFromParent();
+        Changed = true;
+        Any = true;
+      }
+    }
+  }
+  return Any;
+}
+
+bool darm::removePhiOnlyForwarders(Function &F) {
+  bool Any = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BasicBlock *BB : F) {
+      if (BB == &F.getEntryBlock() || BB->getNumPredecessors() == 0)
+        continue;
+      auto *Br = dyn_cast_or_null<BrInst>(BB->getTerminator());
+      if (!Br)
+        continue;
+      BasicBlock *Succ = Br->getTarget();
+      if (Succ == BB)
+        continue;
+      // Body must be phis only.
+      bool PhisOnly = true;
+      for (Instruction *I : *BB)
+        if (!I->isPhi() && !I->isTerminator())
+          PhisOnly = false;
+      if (!PhisOnly || BB->phis().empty())
+        continue;
+      // Predecessor sets must not overlap (phi entries would collide).
+      bool Overlap = false;
+      for (BasicBlock *P : BB->predecessors())
+        if (P->isSuccessor(Succ))
+          Overlap = true;
+      if (Overlap)
+        continue;
+      // Each phi may only be consumed as Succ's incoming-from-BB values.
+      bool UsesOk = true;
+      for (PhiInst *P : BB->phis())
+        for (const Use &U : P->uses()) {
+          auto *Q = dyn_cast<PhiInst>(static_cast<Value *>(U.TheUser));
+          if (!Q || Q->getParent() != Succ ||
+              Q->getIncomingBlock(U.OpIdx) != BB) {
+            UsesOk = false;
+            break;
+          }
+        }
+      if (!UsesOk)
+        continue;
+
+      // Snapshot distinct preds before retargeting.
+      std::vector<BasicBlock *> Preds;
+      for (BasicBlock *P : BB->predecessors())
+        if (std::find(Preds.begin(), Preds.end(), P) == Preds.end())
+          Preds.push_back(P);
+
+      for (PhiInst *Q : Succ->phis()) {
+        int Idx = Q->getBlockIndex(BB);
+        if (Idx < 0)
+          continue;
+        Value *V = Q->getIncomingValue(static_cast<unsigned>(Idx));
+        Q->removeIncoming(static_cast<unsigned>(Idx));
+        auto *BP = dyn_cast<PhiInst>(V);
+        bool Routed = BP && BP->getParent() == BB;
+        for (BasicBlock *P : Preds)
+          Q->addIncoming(Routed ? BP->getIncomingValueForBlock(P) : V, P);
+      }
+      for (BasicBlock *P : Preds)
+        P->getTerminator()->replaceSuccessor(BB, Succ);
+      for (PhiInst *P : BB->phis()) {
+        assert(!P->hasUses() && "phi-only forwarder still used");
+        P->eraseFromParent();
+      }
+      BB->erase(BB->getTerminator());
+      F.eraseBlock(BB);
+      Changed = true;
+      Any = true;
+      break; // block list mutated; restart scan
+    }
+  }
+  return Any;
+}
+
+bool darm::simplifyCFG(Function &F) {
+  bool Any = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Changed |= removeUnreachableBlocks(F);
+    Changed |= foldConstantBranches(F);
+    Changed |= foldIdenticalSuccessorBranches(F);
+    Changed |= removeTrivialPhis(F);
+    Changed |= simplifyInstructions(F);
+    Changed |= speculateTriangles(F);
+    Changed |= forwardEmptyBlocks(F);
+    Changed |= removePhiOnlyForwarders(F);
+    Changed |= mergeLinearBlocks(F);
+    Any |= Changed;
+  }
+  return Any;
+}

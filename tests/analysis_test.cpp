@@ -1,0 +1,319 @@
+//===- analysis_test.cpp - Analysis substrate unit + property tests ----------------===//
+
+#include "darm/analysis/CostModel.h"
+#include "darm/analysis/DivergenceAnalysis.h"
+#include "darm/analysis/DominanceFrontier.h"
+#include "darm/analysis/DominatorTree.h"
+#include "darm/analysis/LoopInfo.h"
+#include "darm/analysis/RegionQuery.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/Module.h"
+#include "darm/support/RNG.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace darm;
+
+namespace {
+
+/// Parses a function and fails the test on error.
+Function *parse(Context &Ctx, std::unique_ptr<Module> &Keep,
+                const std::string &Text) {
+  std::string Err;
+  Keep = parseModule(Ctx, Text, &Err);
+  EXPECT_NE(Keep, nullptr) << Err;
+  return Keep ? Keep->functions().front().get() : nullptr;
+}
+
+const char *kDiamond = R"(
+func @diamond(i32 %a) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %t, label %e
+t:
+  br label %j
+e:
+  br label %j
+j:
+  ret
+}
+)";
+
+TEST(DomTree, Diamond) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, kDiamond);
+  DominatorTree DT(*F);
+  BasicBlock *E = F->getBlockByName("entry");
+  BasicBlock *T = F->getBlockByName("t");
+  BasicBlock *Eb = F->getBlockByName("e");
+  BasicBlock *J = F->getBlockByName("j");
+  EXPECT_TRUE(DT.dominates(E, J));
+  EXPECT_TRUE(DT.dominates(E, T));
+  EXPECT_FALSE(DT.dominates(T, J));
+  EXPECT_EQ(DT.getIDom(J), E);
+  EXPECT_EQ(DT.getIDom(T), E);
+  EXPECT_EQ(DT.getIDom(E), nullptr);
+  EXPECT_EQ(DT.findNearestCommonDominator(T, Eb), E);
+  EXPECT_EQ(DT.getLevel(E), 1u);
+  EXPECT_EQ(DT.getLevel(J), 2u);
+}
+
+TEST(PostDomTree, Diamond) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, kDiamond);
+  PostDominatorTree PDT(*F);
+  BasicBlock *E = F->getBlockByName("entry");
+  BasicBlock *T = F->getBlockByName("t");
+  BasicBlock *J = F->getBlockByName("j");
+  EXPECT_TRUE(PDT.dominates(J, E));
+  EXPECT_TRUE(PDT.dominates(J, T));
+  EXPECT_FALSE(PDT.dominates(T, E));
+  EXPECT_EQ(PDT.getIDom(E), J);
+  EXPECT_EQ(PDT.getIDom(J), nullptr);
+}
+
+TEST(DomFrontier, DiamondJoin) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, kDiamond);
+  DominatorTree DT(*F);
+  DominanceFrontier DF(*F, DT);
+  BasicBlock *T = F->getBlockByName("t");
+  BasicBlock *J = F->getBlockByName("j");
+  EXPECT_EQ(DF.getFrontier(T), std::set<BasicBlock *>{J});
+  EXPECT_TRUE(DF.getFrontier(F->getBlockByName("entry")).empty());
+  auto IDF = DF.computeIDF({T});
+  EXPECT_EQ(IDF, std::set<BasicBlock *>{J});
+}
+
+/// Random CFG generator for oracle-based dominance testing.
+Function *randomCFG(Module &M, RNG &Rng, unsigned NumBlocks) {
+  Context &Ctx = M.getContext();
+  Function *F = M.createFunction("rand", Ctx.getVoidTy(),
+                                 {{Ctx.getInt32Ty(), "a"}});
+  std::vector<BasicBlock *> Blocks;
+  for (unsigned I = 0; I < NumBlocks; ++I)
+    Blocks.push_back(F->createBlock("b" + std::to_string(I)));
+  IRBuilder B(Ctx);
+  Value *A = F->getArg(0);
+  for (unsigned I = 0; I < NumBlocks; ++I) {
+    B.setInsertPoint(Blocks[I]);
+    unsigned Kind = static_cast<unsigned>(Rng.nextBelow(10));
+    if (I + 1 == NumBlocks || Kind == 0) {
+      B.createRet();
+    } else if (Kind < 5) {
+      B.createBr(Blocks[Rng.nextBelow(NumBlocks)]);
+    } else {
+      Value *C = B.createICmp(ICmpPred::SLT, A,
+                              B.getInt32(static_cast<int32_t>(I)));
+      B.createCondBr(C, Blocks[Rng.nextBelow(NumBlocks)],
+                     Blocks[Rng.nextBelow(NumBlocks)]);
+    }
+  }
+  return F;
+}
+
+/// Oracle: A dominates B iff B is unreachable from entry when A is removed.
+bool dominatesOracle(Function &F, BasicBlock *A, BasicBlock *B) {
+  if (A == B)
+    return true;
+  std::set<BasicBlock *> Seen{A}; // never walk through A
+  std::vector<BasicBlock *> Work{&F.getEntryBlock()};
+  if (&F.getEntryBlock() == A)
+    return true;
+  Seen.insert(&F.getEntryBlock());
+  while (!Work.empty()) {
+    BasicBlock *BB = Work.back();
+    Work.pop_back();
+    if (BB == B)
+      return false;
+    for (BasicBlock *S : BB->successors())
+      if (Seen.insert(S).second)
+        Work.push_back(S);
+  }
+  return true; // B unreachable without A
+}
+
+class DomTreeProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DomTreeProperty, MatchesReachabilityOracle) {
+  RNG Rng(GetParam());
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = randomCFG(M, Rng, 4 + Rng.nextBelow(10));
+  DominatorTree DT(*F);
+  std::set<BasicBlock *> Reachable;
+  {
+    std::vector<BasicBlock *> Work{&F->getEntryBlock()};
+    Reachable.insert(&F->getEntryBlock());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      for (BasicBlock *S : BB->successors())
+        if (Reachable.insert(S).second)
+          Work.push_back(S);
+    }
+  }
+  for (BasicBlock *A : *F) {
+    EXPECT_EQ(DT.isReachable(A), Reachable.count(A) != 0);
+    if (!Reachable.count(A))
+      continue;
+    for (BasicBlock *B : *F) {
+      if (!Reachable.count(B))
+        continue;
+      EXPECT_EQ(DT.dominates(A, B), dominatesOracle(*F, A, B))
+          << A->getName() << " vs " << B->getName() << " seed "
+          << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DomTreeProperty,
+                         ::testing::Range<uint64_t>(0, 25));
+
+TEST(LoopInfoTest, NestedLoops) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @loops(i32 %n) -> void {
+entry:
+  br label %outer
+outer:
+  %i = phi i32 [ 0, %entry ], [ %inext, %outer.latch ]
+  br label %inner
+inner:
+  %j = phi i32 [ 0, %outer ], [ %jnext, %inner ]
+  %jnext = add i32 %j, 1
+  %jc = icmp slt i32 %jnext, %n
+  condbr i1 %jc, label %inner, label %outer.latch
+outer.latch:
+  %inext = add i32 %i, 1
+  %ic = icmp slt i32 %inext, %n
+  condbr i1 %ic, label %outer, label %exit
+exit:
+  ret
+}
+)");
+  DominatorTree DT(*F);
+  LoopInfo LI(*F, DT);
+  BasicBlock *Outer = F->getBlockByName("outer");
+  BasicBlock *Inner = F->getBlockByName("inner");
+  Loop *LInner = LI.getLoopFor(Inner);
+  Loop *LOuter = LI.getLoopFor(Outer);
+  ASSERT_NE(LInner, nullptr);
+  ASSERT_NE(LOuter, nullptr);
+  EXPECT_NE(LInner, LOuter);
+  EXPECT_EQ(LInner->getParent(), LOuter);
+  EXPECT_EQ(LI.getLoopDepth(Inner), 2u);
+  EXPECT_EQ(LI.getLoopDepth(Outer), 1u);
+  EXPECT_EQ(LI.getLoopDepth(F->getBlockByName("exit")), 0u);
+  EXPECT_EQ(LOuter->getLatches().size(), 1u);
+  EXPECT_EQ(LI.topLevelLoops().size(), 1u);
+}
+
+TEST(RegionQueryTest, DiamondRegions) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, kDiamond);
+  DominatorTree DT(*F);
+  PostDominatorTree PDT(*F);
+  RegionQuery RQ(*F, DT, PDT);
+  BasicBlock *E = F->getBlockByName("entry");
+  BasicBlock *T = F->getBlockByName("t");
+  BasicBlock *J = F->getBlockByName("j");
+  EXPECT_TRUE(RQ.isRegion(E, J));
+  EXPECT_TRUE(RQ.isRegion(T, J));
+  EXPECT_FALSE(RQ.isRegion(T, E));
+  auto Body = RQ.collectBlocks(E, J);
+  EXPECT_EQ(Body.size(), 3u);
+  RegionDesc R = RQ.getSmallestRegion(E);
+  EXPECT_EQ(R.Exit, J);
+  EXPECT_EQ(RQ.countExitEdges(E, J), 2u);
+  EXPECT_TRUE(RQ.isSimpleRegion(T, J));
+  EXPECT_FALSE(RQ.isSimpleRegion(E, J)); // two exit edges
+}
+
+TEST(Divergence, SeedsAndPropagation) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @div(i32 addrspace(1)* %p, i32 %uniform) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %ntid = call i32 @darm.ntid.x()
+  %d1 = add i32 %tid, %uniform
+  %u1 = mul i32 %uniform, %ntid
+  %g = gep i32 addrspace(1)* %p, i32 %d1
+  %ld = load i32 addrspace(1)* %g
+  %gu = gep i32 addrspace(1)* %p, i32 %u1
+  %lu = load i32 addrspace(1)* %gu
+  ret
+}
+)");
+  DominatorTree DT(*F);
+  DominanceFrontier DF(*F, DT);
+  DivergenceAnalysis DA(*F, DT, DF);
+  auto ValueByName = [&](const std::string &N) -> Value * {
+    for (BasicBlock *BB : *F)
+      for (Instruction *I : *BB)
+        if (I->getName() == N)
+          return I;
+    return nullptr;
+  };
+  EXPECT_TRUE(DA.isDivergent(ValueByName("tid")));
+  EXPECT_FALSE(DA.isDivergent(ValueByName("ntid")));
+  EXPECT_TRUE(DA.isDivergent(ValueByName("d1")));
+  EXPECT_FALSE(DA.isDivergent(ValueByName("u1")));
+  EXPECT_TRUE(DA.isDivergent(ValueByName("ld"))); // divergent address
+  EXPECT_FALSE(DA.isDivergent(ValueByName("lu"))); // uniform address
+}
+
+TEST(Divergence, SyncDependenceTaintsJoinPhis) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @sync(i32 %u) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %c = icmp slt i32 %tid, 16
+  condbr i1 %c, label %t, label %e
+t:
+  %a = add i32 %u, 1
+  br label %j
+e:
+  %b = add i32 %u, 2
+  br label %j
+j:
+  %m = phi i32 [ %a, %t ], [ %b, %e ]
+  ret
+}
+)");
+  DominatorTree DT(*F);
+  DominanceFrontier DF(*F, DT);
+  DivergenceAnalysis DA(*F, DT, DF);
+  // %a and %b are uniform computations, but the merged phi depends on
+  // which path each lane took: sync-divergent.
+  PhiInst *Phi = F->getBlockByName("j")->phis().front();
+  EXPECT_TRUE(DA.isDivergent(Phi));
+  EXPECT_TRUE(DA.hasDivergentBranch(F->getBlockByName("entry")));
+  EXPECT_EQ(DA.countDivergentBranches(), 1u);
+}
+
+TEST(CostModelTest, LatencyOrdering) {
+  // Relative latencies that the melding profitability relies on.
+  EXPECT_LT(CostModel::getLatency(Opcode::Add),
+            CostModel::getLatency(Opcode::Mul));
+  EXPECT_LT(CostModel::getLatency(Opcode::Mul),
+            CostModel::getLatency(Opcode::SDiv));
+  EXPECT_LT(CostModel::getLatency(Opcode::Load, AddressSpace::Shared),
+            CostModel::getLatency(Opcode::Load, AddressSpace::Global));
+  EXPECT_EQ(CostModel::getLatency(Opcode::Phi), 0u);
+}
+
+} // namespace

@@ -1,0 +1,93 @@
+//===- config_sweep_test.cpp - DARM configuration-space property sweep -------------===//
+//
+// Every point of the DARM configuration space (threshold × unpredication
+// × replication × diamond-only) must preserve semantics on the full
+// benchmark suite's trickiest kernels. This is the ablation-safety net:
+// benches may compare configurations freely because each one is
+// validated here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/core/DARMPass.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+struct ConfigPoint {
+  std::string Bench;
+  double Threshold;
+  bool Unpred;
+  bool Replic;
+  bool DiamondOnly;
+};
+
+std::string pointName(const ::testing::TestParamInfo<ConfigPoint> &Info) {
+  const ConfigPoint &P = Info.param;
+  std::string N = P.Bench + "_t";
+  N += std::to_string(static_cast<int>(P.Threshold * 100));
+  N += P.Unpred ? "_unpred" : "_fullpred";
+  N += P.Replic ? "_repl" : "_norepl";
+  if (P.DiamondOnly)
+    N += "_diamond";
+  return N;
+}
+
+std::vector<ConfigPoint> allPoints() {
+  std::vector<ConfigPoint> Points;
+  // The kernels that exercise every melding path: region-region with
+  // loops (PCM), region-region straight (BIT), replication (SB4/SB4R,
+  // NQU), biased 3-way (SRAD), plus a plain diamond (DCT).
+  for (const char *Bench :
+       {"BIT", "PCM", "NQU", "SRAD", "DCT", "SB3R", "SB4", "SB4R"})
+    for (double T : {0.05, 0.2, 0.35})
+      for (bool Unpred : {true, false})
+        for (bool Replic : {true, false})
+          Points.push_back({Bench, T, Unpred, Replic, false});
+  // Diamond-only (branch fusion shape) across the same kernels.
+  for (const char *Bench : {"BIT", "SB4R", "DCT"})
+    Points.push_back({Bench, 0.2, true, false, true});
+  return Points;
+}
+
+class ConfigSweep : public ::testing::TestWithParam<ConfigPoint> {};
+
+TEST_P(ConfigSweep, SemanticsPreserved) {
+  const ConfigPoint &P = GetParam();
+  unsigned BS = paperBlockSizes(P.Bench).front();
+  auto Bench = createBenchmark(P.Bench, BS);
+  ASSERT_NE(Bench, nullptr);
+
+  Context Ctx;
+  Module M(Ctx, P.Bench);
+  Function *F = Bench->build(M);
+
+  DARMConfig Cfg;
+  Cfg.ProfitThreshold = P.Threshold;
+  Cfg.EnableUnpredication = P.Unpred;
+  Cfg.EnableRegionReplication = P.Replic;
+  Cfg.DiamondOnly = P.DiamondOnly;
+  // Stress the metric floor too: at the lowest threshold also drop the
+  // absolute-savings floor so maximal melding is exercised.
+  if (P.Threshold < 0.1)
+    Cfg.MinAbsoluteSaving = 0.0;
+  runDARM(*F, Cfg);
+
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(*F, &Err)) << Err << "\n" << printFunction(*F);
+  SimStats Stats;
+  std::string Why;
+  EXPECT_TRUE(runAndValidate(*Bench, *F, Stats, &Why)) << Why;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ConfigSweep,
+                         ::testing::ValuesIn(allPoints()), pointName);
+
+} // namespace

@@ -1,0 +1,474 @@
+//===- core_unit_test.cpp - DARM core algorithm unit tests -------------------------===//
+
+#include "darm/analysis/DivergenceAnalysis.h"
+#include "darm/analysis/DominanceFrontier.h"
+#include "darm/analysis/DominatorTree.h"
+#include "darm/analysis/RegionQuery.h"
+#include "darm/analysis/Verifier.h"
+#include "darm/core/DARMPass.h"
+#include "darm/core/InstructionAlign.h"
+#include "darm/core/MeldRegionAnalysis.h"
+#include "darm/core/Profitability.h"
+#include "darm/core/SequenceAlign.h"
+#include "darm/core/TailMerge.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+Function *parse(Context &Ctx, std::unique_ptr<Module> &Keep,
+                const std::string &Text) {
+  std::string Err;
+  Keep = parseModule(Ctx, Text, &Err);
+  EXPECT_NE(Keep, nullptr) << Err;
+  return Keep ? Keep->functions().front().get() : nullptr;
+}
+
+// -- Smith-Waterman ---------------------------------------------------------
+
+std::vector<AlignEntry> alignStrings(const std::string &A,
+                                     const std::string &B, double Match = 2,
+                                     double Mismatch = -1,
+                                     double Gap = -0.5) {
+  return smithWaterman(
+      static_cast<unsigned>(A.size()), static_cast<unsigned>(B.size()),
+      [&](unsigned I, unsigned J) { return A[I] == B[J] ? Match : Mismatch; },
+      Gap);
+}
+
+TEST(SmithWaterman, IdenticalSequencesFullyMatch) {
+  auto R = alignStrings("abcde", "abcde");
+  ASSERT_EQ(R.size(), 5u);
+  for (unsigned I = 0; I < 5; ++I) {
+    EXPECT_EQ(R[I].A, static_cast<int>(I));
+    EXPECT_EQ(R[I].B, static_cast<int>(I));
+  }
+}
+
+TEST(SmithWaterman, GapInTheMiddle) {
+  auto R = alignStrings("abXcd", "abcd");
+  unsigned Matches = 0, Gaps = 0;
+  for (const AlignEntry &E : R)
+    E.isMatch() ? ++Matches : ++Gaps;
+  EXPECT_EQ(Matches, 4u);
+  EXPECT_EQ(Gaps, 1u);
+}
+
+TEST(SmithWaterman, CoversBothSequencesExactlyOnce) {
+  auto R = alignStrings("xxabc", "abcyy");
+  std::vector<bool> SeenA(5, false), SeenB(5, false);
+  for (const AlignEntry &E : R) {
+    if (E.A >= 0) {
+      EXPECT_FALSE(SeenA[static_cast<unsigned>(E.A)]);
+      SeenA[static_cast<unsigned>(E.A)] = true;
+    }
+    if (E.B >= 0) {
+      EXPECT_FALSE(SeenB[static_cast<unsigned>(E.B)]);
+      SeenB[static_cast<unsigned>(E.B)] = true;
+    }
+  }
+  for (bool S : SeenA)
+    EXPECT_TRUE(S);
+  for (bool S : SeenB)
+    EXPECT_TRUE(S);
+  // Alignment indices must be strictly increasing (order preserving).
+  int LastA = -1, LastB = -1;
+  for (const AlignEntry &E : R) {
+    if (E.A >= 0) {
+      EXPECT_GT(E.A, LastA);
+      LastA = E.A;
+    }
+    if (E.B >= 0) {
+      EXPECT_GT(E.B, LastB);
+      LastB = E.B;
+    }
+  }
+}
+
+TEST(SmithWaterman, EmptySequences) {
+  EXPECT_TRUE(alignStrings("", "").empty());
+  auto R = alignStrings("ab", "");
+  EXPECT_EQ(R.size(), 2u);
+  EXPECT_FALSE(R[0].isMatch());
+  EXPECT_GT(smithWatermanScore(3, 3, [](unsigned, unsigned) { return 1.0; },
+                               -0.5),
+            0.0);
+}
+
+// -- Instruction compatibility & alignment ---------------------------------
+
+TEST(InstructionAlignTest, CompatibilityRules) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a, i32 addrspace(1)* %g, i32 addrspace(3)* %s) -> void {
+entry:
+  %add1 = add i32 %a, 1
+  %add2 = add i32 %a, 2
+  %sub = sub i32 %a, 1
+  %c1 = icmp slt i32 %a, 0
+  %c2 = icmp sgt i32 %a, 0
+  %c3 = icmp slt i32 %a, 5
+  %lg = load i32 addrspace(1)* %g
+  %ls = load i32 addrspace(3)* %s
+  %lg2 = load i32 addrspace(1)* %g
+  ret
+}
+)");
+  std::vector<Instruction *> I(F->getEntryBlock().begin(),
+                               F->getEntryBlock().end());
+  auto Named = [&](const std::string &N) -> Instruction * {
+    for (Instruction *X : I)
+      if (X->getName() == N)
+        return X;
+    return nullptr;
+  };
+  EXPECT_TRUE(areInstructionsCompatible(Named("add1"), Named("add2")));
+  EXPECT_FALSE(areInstructionsCompatible(Named("add1"), Named("sub")));
+  EXPECT_FALSE(areInstructionsCompatible(Named("c1"), Named("c2")));
+  EXPECT_TRUE(areInstructionsCompatible(Named("c1"), Named("c3")));
+  // Loads from different address spaces cannot meld (pointer types differ).
+  EXPECT_FALSE(areInstructionsCompatible(Named("lg"), Named("ls")));
+  EXPECT_TRUE(areInstructionsCompatible(Named("lg"), Named("lg2")));
+}
+
+TEST(InstructionAlignTest, PrioritizesExpensiveInstructions) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a, i32 addrspace(3)* %s) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %t, label %e
+t:
+  %x1 = add i32 %a, 1
+  %l1 = load i32 addrspace(3)* %s
+  br label %j
+e:
+  %l2 = load i32 addrspace(3)* %s
+  %x2 = add i32 %a, 2
+  br label %j
+j:
+  ret
+}
+)");
+  auto R = alignInstructions(F->getBlockByName("t"), F->getBlockByName("e"),
+                             -0.5);
+  // The loads (latency 8) must align even though that forces the adds
+  // (latency 1) into gaps, since order flips between the blocks.
+  bool LoadsAligned = false;
+  for (const InstrAlignEntry &E : R)
+    if (E.isMatch() && E.TrueInst->getOpcode() == Opcode::Load)
+      LoadsAligned = true;
+  EXPECT_TRUE(LoadsAligned);
+}
+
+// -- Profitability ----------------------------------------------------------
+
+TEST(ProfitabilityTest, IdenticalProfileIsHalf) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %t, label %e
+t:
+  %x1 = add i32 %a, 1
+  %y1 = mul i32 %x1, 3
+  br label %j
+e:
+  %x2 = add i32 %a, 2
+  %y2 = mul i32 %x2, 5
+  br label %j
+j:
+  ret
+}
+)");
+  // Identical opcode frequency profiles score exactly 0.5 (§IV-C).
+  double MP = blockMeldProfit(*F->getBlockByName("t"),
+                              *F->getBlockByName("e"));
+  // Terminators carry latency in lat(b) but are not meldable content, so
+  // the paper's "identical profile = 0.5" holds for the meldable part;
+  // with the br latency included the value is slightly below 0.5.
+  EXPECT_GT(MP, 0.35);
+  EXPECT_LE(MP, 0.5);
+  // Disjoint profiles score 0.
+  EXPECT_EQ(blockMeldProfit(*F->getBlockByName("t"),
+                            *F->getBlockByName("j")),
+            0.0);
+}
+
+TEST(ProfitabilityTest, OverheadPenalizesOperandMismatch) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a, i32 %b) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %t, label %e
+t:
+  %x1 = add i32 %a, 1
+  br label %j
+e:
+  %x2 = add i32 %b, 2
+  br label %j
+j:
+  ret
+}
+)");
+  BasicBlock *T = F->getBlockByName("t");
+  BasicBlock *E = F->getBlockByName("e");
+  EXPECT_LT(blockMeldProfitWithOverhead(*T, *E), blockMeldProfit(*T, *E));
+}
+
+// -- Region detection & chains ----------------------------------------------
+
+const char *kComplexRegion = R"(
+func @cr(i32 addrspace(3)* %s) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %c = icmp slt i32 %tid, 16
+  condbr i1 %c, label %t1, label %f1
+t1:
+  %a = load i32 addrspace(3)* %s
+  %ca = icmp sgt i32 %a, 0
+  condbr i1 %ca, label %t2, label %t3
+t2:
+  store i32 %tid, i32 addrspace(3)* %s
+  br label %t3
+t3:
+  br label %j
+f1:
+  %b = load i32 addrspace(3)* %s
+  %cb = icmp slt i32 %b, 0
+  condbr i1 %cb, label %f2, label %f3
+f2:
+  store i32 %tid, i32 addrspace(3)* %s
+  br label %f3
+f3:
+  br label %j
+j:
+  ret
+}
+)";
+
+TEST(MeldRegion, DetectsAndChains) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, kComplexRegion);
+  {
+    // Without region simplification, the if-then arm (two exit edges into
+    // its join) is carved as one coarse subgraph per path.
+    DominatorTree DT(*F);
+    PostDominatorTree PDT(*F);
+    DominanceFrontier DF(*F, DT);
+    DivergenceAnalysis DA(*F, DT, DF);
+    RegionQuery RQ(*F, DT, PDT);
+    auto MR = detectMeldableRegion(F->getBlockByName("entry"), RQ, DA);
+    ASSERT_TRUE(MR.has_value());
+    EXPECT_EQ(MR->Exit, F->getBlockByName("j"));
+    ASSERT_TRUE(buildChains(*MR, RQ));
+    ASSERT_EQ(MR->TrueChain.size(), 1u);
+    // Region simplification (Definition 3/4) inserts the merge block.
+    EXPECT_TRUE(simplifyRegion(*F, *MR, RQ));
+  }
+  // After simplification each path decomposes finer.
+  DominatorTree DT(*F);
+  PostDominatorTree PDT(*F);
+  DominanceFrontier DF(*F, DT);
+  DivergenceAnalysis DA(*F, DT, DF);
+  RegionQuery RQ(*F, DT, PDT);
+  auto MR = detectMeldableRegion(F->getBlockByName("entry"), RQ, DA);
+  ASSERT_TRUE(MR.has_value());
+  ASSERT_TRUE(buildChains(*MR, RQ));
+  ASSERT_EQ(MR->TrueChain.size(), 2u);
+  ASSERT_EQ(MR->FalseChain.size(), 2u);
+  EXPECT_EQ(MR->TrueChain[0].Blocks.size(), 3u); // t1, t2, merge
+  EXPECT_TRUE(MR->TrueChain[1].isSingleBlock());
+
+  // The two if-then regions are structurally isomorphic.
+  auto Mapping =
+      matchSubgraphStructure(MR->TrueChain[0], MR->FalseChain[0]);
+  ASSERT_TRUE(Mapping.has_value());
+  EXPECT_EQ(Mapping->size(), 3u);
+  EXPECT_EQ((*Mapping)[0].first, F->getBlockByName("t1"));
+  EXPECT_EQ((*Mapping)[0].second, F->getBlockByName("f1"));
+
+  auto Cand = analyzeMeldability(MR->TrueChain[0], MR->FalseChain[0],
+                                 DARMConfig());
+  EXPECT_EQ(Cand.Kind, MeldKind::RegionRegion);
+  EXPECT_GT(Cand.Profit, 0.2);
+
+  auto Melds = alignChains(*MR, DARMConfig());
+  ASSERT_FALSE(Melds.empty());
+  EXPECT_EQ(Melds.front().Kind, MeldKind::RegionRegion);
+}
+
+TEST(MeldRegion, RejectsUniformBranch) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @u(i32 %uniform) -> void {
+entry:
+  %c = icmp sgt i32 %uniform, 0
+  condbr i1 %c, label %t, label %e
+t:
+  br label %j
+e:
+  br label %j
+j:
+  ret
+}
+)");
+  DominatorTree DT(*F);
+  PostDominatorTree PDT(*F);
+  DominanceFrontier DF(*F, DT);
+  DivergenceAnalysis DA(*F, DT, DF);
+  RegionQuery RQ(*F, DT, PDT);
+  EXPECT_FALSE(
+      detectMeldableRegion(F->getBlockByName("entry"), RQ, DA).has_value());
+}
+
+TEST(MeldRegion, RejectsConvergentSubgraphs) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @conv(i32 addrspace(3)* %s) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %c = icmp slt i32 %tid, 16
+  condbr i1 %c, label %t, label %e
+t:
+  call void @darm.barrier()
+  br label %j
+e:
+  call void @darm.barrier()
+  br label %j
+j:
+  ret
+}
+)");
+  // Melding would be structurally possible but the arms contain barriers:
+  // the candidate must be rejected (deadlock avoidance, §IV-C).
+  DARMStats DS;
+  runDARM(*F, DARMConfig(), &DS);
+  EXPECT_EQ(DS.SubgraphPairsMelded, 0u);
+}
+
+TEST(MeldRegion, OneSidedIfIsNotMeldable) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @oneside(i32 addrspace(3)* %s) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %c = icmp slt i32 %tid, 16
+  condbr i1 %c, label %t, label %j
+t:
+  store i32 %tid, i32 addrspace(3)* %s
+  br label %j
+j:
+  ret
+}
+)");
+  DominatorTree DT(*F);
+  PostDominatorTree PDT(*F);
+  DominanceFrontier DF(*F, DT);
+  DivergenceAnalysis DA(*F, DT, DF);
+  RegionQuery RQ(*F, DT, PDT);
+  // Condition 2 of Definition 5 fails: the false successor is the exit.
+  EXPECT_FALSE(
+      detectMeldableRegion(F->getBlockByName("entry"), RQ, DA).has_value());
+}
+
+// -- Tail merging baseline ---------------------------------------------------
+
+TEST(TailMergeTest, MergesIdenticalArms) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @tm(i32 %a, i32 addrspace(1)* %p) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %c = icmp slt i32 %tid, 16
+  condbr i1 %c, label %t, label %e
+t:
+  %x1 = add i32 %a, 5
+  store i32 %x1, i32 addrspace(1)* %p
+  br label %j
+e:
+  %x2 = add i32 %a, 5
+  store i32 %x2, i32 addrspace(1)* %p
+  br label %j
+j:
+  ret
+}
+)");
+  EXPECT_TRUE(runTailMerge(*F));
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err;
+  EXPECT_EQ(F->getNumBlocks(), 3u); // one arm deleted
+}
+
+TEST(TailMergeTest, RejectsDistinctArms) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @tm2(i32 %a, i32 addrspace(1)* %p) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %c = icmp slt i32 %tid, 16
+  condbr i1 %c, label %t, label %e
+t:
+  %x1 = add i32 %a, 5
+  store i32 %x1, i32 addrspace(1)* %p
+  br label %j
+e:
+  %x2 = add i32 %a, 6
+  store i32 %x2, i32 addrspace(1)* %p
+  br label %j
+j:
+  ret
+}
+)");
+  EXPECT_FALSE(runTailMerge(*F)); // constants differ
+}
+
+// -- End-to-end on the complex region ---------------------------------------
+
+TEST(DARMPassTest, MeldsComplexRegionBranchFusionCannot) {
+  Context Ctx;
+  std::unique_ptr<Module> MD, MB;
+  Function *FD = parse(Ctx, MD, kComplexRegion);
+  Function *FB = parse(Ctx, MB, kComplexRegion);
+
+  DARMStats SD, SB;
+  EXPECT_TRUE(runDARM(*FD, DARMConfig(), &SD));
+  EXPECT_GT(SD.SubgraphPairsMelded, 0u);
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*FD, &Err)) << Err;
+
+  // Branch fusion is diamond-only: nothing to do here (Table I).
+  runBranchFusion(*FB, &SB);
+  EXPECT_EQ(SB.SubgraphPairsMelded, 0u);
+}
+
+TEST(DARMPassTest, ThresholdGatesMelding) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, kComplexRegion);
+  DARMConfig Cfg;
+  Cfg.ProfitThreshold = 0.99; // nothing is that profitable
+  DARMStats DS;
+  runDARM(*F, Cfg, &DS);
+  EXPECT_EQ(DS.SubgraphPairsMelded, 0u);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- TestKernels.h - Shared IR-building helpers for tests ---------*- C++ -*-===//
+///
+/// \file
+/// Small divergent kernels built directly with IRBuilder, shared by the
+/// core/sim/integration test suites.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TESTS_TESTKERNELS_H
+#define DARM_TESTS_TESTKERNELS_H
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+
+namespace darm {
+namespace testkernels {
+
+/// if (tid % 2 == 0) out[tid] = in[tid] * 3 + 1; else out[tid] = in[tid] * 5 + 2;
+/// A diamond with *similar* (not identical) arms: meldable by DARM and
+/// branch fusion, not by tail merging.
+inline Function *buildDiamondKernel(Module &M, const std::string &Name) {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.getInt32Ty();
+  Type *GlobalPtr = Ctx.getPointerTy(I32, AddressSpace::Global);
+  Function *F = M.createFunction(
+      Name, Ctx.getVoidTy(), {{GlobalPtr, "in"}, {GlobalPtr, "out"}});
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Then = F->createBlock("then");
+  BasicBlock *Else = F->createBlock("else");
+  BasicBlock *Join = F->createBlock("join");
+
+  IRBuilder B(Ctx, Entry);
+  Value *Tid = B.createThreadIdX();
+  Value *Par = B.createAnd(Tid, B.getInt32(1), "par");
+  Value *IsEven = B.createICmp(ICmpPred::EQ, Par, B.getInt32(0), "iseven");
+  Value *X = B.createLoadAt(F->getArg(0), Tid, "x");
+  B.createCondBr(IsEven, Then, Else);
+
+  B.setInsertPoint(Then);
+  Value *T1 = B.createMul(X, B.getInt32(3), "t1");
+  Value *T2 = B.createAdd(T1, B.getInt32(1), "t2");
+  B.createBr(Join);
+
+  B.setInsertPoint(Else);
+  Value *E1 = B.createMul(X, B.getInt32(5), "e1");
+  Value *E2 = B.createAdd(E1, B.getInt32(2), "e2");
+  B.createBr(Join);
+
+  B.setInsertPoint(Join);
+  PhiInst *P = B.createPhi(I32, "res");
+  P->addIncoming(T2, Then);
+  P->addIncoming(E2, Else);
+  B.createStoreAt(P, F->getArg(1), Tid);
+  B.createRet();
+  return F;
+}
+
+/// The paper's running example shape (Fig. 1 inner body, one k/j step):
+/// divergent if-then-else whose arms are themselves if-then regions doing
+/// a compare-and-swap on shared memory — region-region melding territory.
+inline Function *buildBitonicStepKernel(Module &M, const std::string &Name,
+                                        unsigned SharedElems) {
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.getInt32Ty();
+  Type *GlobalPtr = Ctx.getPointerTy(I32, AddressSpace::Global);
+  Function *F = M.createFunction(
+      Name, Ctx.getVoidTy(),
+      {{GlobalPtr, "data"}, {I32, "k"}, {I32, "j"}});
+  SharedArray *Shared = F->createSharedArray(I32, SharedElems, "sh");
+
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Outer = F->createBlock("outer"); // ixj > tid
+  BasicBlock *C = F->createBlock("asc");       // (tid & k) == 0
+  BasicBlock *D = F->createBlock("desc");
+  BasicBlock *E = F->createBlock("asc.swap");
+  BasicBlock *Fb = F->createBlock("desc.swap");
+  BasicBlock *X1 = F->createBlock("asc.end");
+  BasicBlock *X2 = F->createBlock("desc.end");
+  BasicBlock *G = F->createBlock("g");
+  BasicBlock *Exit = F->createBlock("exit");
+
+  IRBuilder B(Ctx, Entry);
+  Value *Tid = B.createThreadIdX();
+  // Stage data into shared memory, then barrier.
+  Value *V0 = B.createLoadAt(F->getArg(0), Tid, "v0");
+  B.createStoreAt(V0, Shared, Tid);
+  B.createBarrier();
+  Value *Ixj = B.createXor(Tid, F->getArg(2), "ixj");
+  Value *Outer0 = B.createICmp(ICmpPred::SGT, Ixj, Tid, "outercmp");
+  B.createCondBr(Outer0, Outer, Exit);
+
+  B.setInsertPoint(Outer);
+  Value *Dir = B.createAnd(Tid, F->getArg(1), "dir");
+  Value *Asc = B.createICmp(ICmpPred::EQ, Dir, B.getInt32(0), "asc.c");
+  B.createCondBr(Asc, C, D);
+
+  // asc: if (sh[ixj] < sh[tid]) swap
+  B.setInsertPoint(C);
+  Value *A1 = B.createLoadAt(Shared, Ixj, "a1");
+  Value *A2 = B.createLoadAt(Shared, Tid, "a2");
+  Value *CmpA = B.createICmp(ICmpPred::SLT, A1, A2, "cmpa");
+  B.createCondBr(CmpA, E, X1);
+
+  B.setInsertPoint(E);
+  B.createStoreAt(A1, Shared, Tid);
+  B.createStoreAt(A2, Shared, Ixj);
+  B.createBr(X1);
+
+  B.setInsertPoint(X1);
+  B.createBr(G);
+
+  // desc: if (sh[ixj] > sh[tid]) swap
+  B.setInsertPoint(D);
+  Value *B1 = B.createLoadAt(Shared, Ixj, "b1");
+  Value *B2 = B.createLoadAt(Shared, Tid, "b2");
+  Value *CmpB = B.createICmp(ICmpPred::SGT, B1, B2, "cmpb");
+  B.createCondBr(CmpB, Fb, X2);
+
+  B.setInsertPoint(Fb);
+  B.createStoreAt(B1, Shared, Tid);
+  B.createStoreAt(B2, Shared, Ixj);
+  B.createBr(X2);
+
+  B.setInsertPoint(X2);
+  B.createBr(G);
+
+  B.setInsertPoint(G);
+  B.createBr(Exit);
+
+  B.setInsertPoint(Exit);
+  B.createBarrier();
+  Value *V1 = B.createLoadAt(Shared, Tid, "v1");
+  B.createStoreAt(V1, F->getArg(0), Tid);
+  B.createRet();
+  return F;
+}
+
+} // namespace testkernels
+} // namespace darm
+
+#endif // DARM_TESTS_TESTKERNELS_H

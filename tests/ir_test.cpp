@@ -1,0 +1,298 @@
+//===- ir_test.cpp - IR substrate unit tests -------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+TEST(Types, InterningAndProperties) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getInt32Ty(), Ctx.getInt32Ty());
+  Type *P1 = Ctx.getPointerTy(Ctx.getInt32Ty(), AddressSpace::Global);
+  Type *P2 = Ctx.getPointerTy(Ctx.getInt32Ty(), AddressSpace::Global);
+  Type *P3 = Ctx.getPointerTy(Ctx.getInt32Ty(), AddressSpace::Shared);
+  EXPECT_EQ(P1, P2);
+  EXPECT_NE(P1, P3);
+  EXPECT_EQ(P1->getPointee(), Ctx.getInt32Ty());
+  EXPECT_EQ(P3->getAddressSpace(), AddressSpace::Shared);
+  EXPECT_EQ(Ctx.getInt32Ty()->getStoreSizeInBytes(), 4u);
+  EXPECT_EQ(Ctx.getInt64Ty()->getIntegerBitWidth(), 64u);
+  EXPECT_EQ(P1->getName(), "i32 addrspace(1)*");
+  EXPECT_TRUE(Ctx.getInt1Ty()->isInteger());
+  EXPECT_FALSE(Ctx.getFloatTy()->isInteger());
+}
+
+TEST(Constants, InterningAndNormalization) {
+  Context Ctx;
+  EXPECT_EQ(Ctx.getInt32(42), Ctx.getInt32(42));
+  EXPECT_NE(Ctx.getInt32(42), Ctx.getInt32(43));
+  EXPECT_EQ(Ctx.getBool(true)->getValue(), 1);
+  // i32 constants normalize through 32-bit truncation.
+  EXPECT_EQ(Ctx.getConstantInt(Ctx.getInt32Ty(), 1ll << 40)->getValue(), 0);
+  EXPECT_EQ(Ctx.getConstantFloat(1.5f), Ctx.getConstantFloat(1.5f));
+  EXPECT_EQ(Ctx.getUndef(Ctx.getInt32Ty()), Ctx.getUndef(Ctx.getInt32Ty()));
+  EXPECT_NE(Ctx.getUndef(Ctx.getInt32Ty()), Ctx.getUndef(Ctx.getInt64Ty()));
+}
+
+TEST(DefUse, SetOperandMaintainsBothSides) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction(
+      "f", Ctx.getVoidTy(),
+      {{Ctx.getInt32Ty(), "a"}, {Ctx.getInt32Ty(), "b"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx, BB);
+  Value *A = F->getArg(0), *Bv = F->getArg(1);
+  Value *Add = B.createAdd(A, A, "s");
+  EXPECT_EQ(A->getNumUses(), 2u);
+  cast<Instruction>(Add)->setOperand(1, Bv);
+  EXPECT_EQ(A->getNumUses(), 1u);
+  EXPECT_EQ(Bv->getNumUses(), 1u);
+  B.createRet();
+}
+
+TEST(DefUse, ReplaceAllUsesWith) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F =
+      M.createFunction("f", Ctx.getVoidTy(), {{Ctx.getInt32Ty(), "a"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx, BB);
+  Value *A = F->getArg(0);
+  Value *X = B.createAdd(A, B.getInt32(1), "x");
+  Value *U1 = B.createMul(X, X, "u1");
+  Value *U2 = B.createSub(X, A, "u2");
+  Value *Y = B.createAdd(A, B.getInt32(2), "y");
+  X->replaceAllUsesWith(Y);
+  EXPECT_EQ(X->getNumUses(), 0u);
+  EXPECT_EQ(Y->getNumUses(), 3u);
+  EXPECT_EQ(cast<Instruction>(U1)->getOperand(0), Y);
+  EXPECT_EQ(cast<Instruction>(U2)->getOperand(0), Y);
+  B.createRet();
+}
+
+TEST(Instructions, CloneCopiesPayload) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F =
+      M.createFunction("f", Ctx.getVoidTy(), {{Ctx.getInt32Ty(), "a"}});
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(Ctx, BB);
+  Value *A = F->getArg(0);
+  auto *Cmp =
+      cast<ICmpInst>(B.createICmp(ICmpPred::SLT, A, B.getInt32(7), "c"));
+  auto *Clone = cast<ICmpInst>(Cmp->clone());
+  EXPECT_EQ(Clone->getPredicate(), ICmpPred::SLT);
+  EXPECT_EQ(Clone->getOperand(0), A);
+  EXPECT_EQ(Clone->getParent(), nullptr);
+  EXPECT_FALSE(Clone->hasName());
+  Clone->dropAllReferences();
+  delete Clone;
+  B.createRet();
+}
+
+TEST(Instructions, Properties) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F =
+      M.createFunction("f", Ctx.getVoidTy(), {{Ctx.getInt32Ty(), "a"}});
+  BasicBlock *BB = F->createBlock("entry");
+  BasicBlock *BB2 = F->createBlock("next");
+  IRBuilder B(Ctx, BB);
+  Value *A = F->getArg(0);
+  auto *Div = cast<Instruction>(B.createSDiv(A, A));
+  EXPECT_TRUE(Div->isSafeToSpeculate()); // division by zero is defined
+  auto *Tid = cast<Instruction>(B.createThreadIdX());
+  EXPECT_TRUE(Tid->isSafeToSpeculate());
+  EXPECT_FALSE(Tid->isConvergent());
+  auto *Bar = cast<Instruction>(
+      B.insert(new CallInst(Intrinsic::Barrier, Ctx.getVoidTy(), {})));
+  EXPECT_TRUE(Bar->isConvergent());
+  EXPECT_TRUE(Bar->hasSideEffects());
+  Instruction *Br = B.createBr(BB2);
+  EXPECT_TRUE(Br->isTerminator());
+  EXPECT_EQ(Br->getNumSuccessors(), 1u);
+  B.setInsertPoint(BB2);
+  B.createRet();
+  EXPECT_EQ(BB->getSingleSuccessor(), BB2);
+  EXPECT_EQ(BB2->getSinglePredecessor(), BB);
+}
+
+TEST(CFG, SuccessorRetargetingUpdatesPreds) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("f", Ctx.getVoidTy(), {});
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *X = F->createBlock("x");
+  BasicBlock *Y = F->createBlock("y");
+  IRBuilder B(Ctx, E);
+  Instruction *Br = B.createCondBr(Ctx.getBool(true), X, Y);
+  EXPECT_EQ(X->getNumPredecessors(), 1u);
+  Br->setSuccessor(0, Y);
+  EXPECT_EQ(X->getNumPredecessors(), 0u);
+  EXPECT_EQ(Y->getNumPredecessors(), 2u); // duplicate edges allowed
+  B.setInsertPoint(X);
+  B.createRet();
+  B.setInsertPoint(Y);
+  B.createRet();
+}
+
+TEST(CFG, SplitBeforeMovesInstructionsAndEdges) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F =
+      M.createFunction("f", Ctx.getVoidTy(), {{Ctx.getInt32Ty(), "a"}});
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *T = F->createBlock("tail");
+  IRBuilder B(Ctx, E);
+  Value *A = F->getArg(0);
+  B.createAdd(A, A, "x");
+  Value *Y = B.createMul(A, A, "y");
+  B.createBr(T);
+  B.setInsertPoint(T);
+  PhiInst *P = B.createPhi(Ctx.getInt32Ty(), "p");
+  P->addIncoming(Y, E);
+  B.createRet();
+
+  BasicBlock *New = E->splitBefore(cast<Instruction>(Y)->getIterator(),
+                                   "split");
+  EXPECT_EQ(E->getSingleSuccessor(), New);
+  EXPECT_EQ(New->getSingleSuccessor(), T);
+  EXPECT_EQ(P->getIncomingBlock(0), New); // phi retargeted
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err;
+}
+
+TEST(Function, NameUniquing) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("f", Ctx.getVoidTy(), {});
+  EXPECT_EQ(F->uniqueName("x"), "x");
+  EXPECT_NE(F->uniqueName("x"), "x");
+  EXPECT_EQ(F->uniqueName("y"), "y");
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("f", Ctx.getVoidTy(), {});
+  BasicBlock *E = F->createBlock("entry");
+  IRBuilder B(Ctx, E);
+  B.createAdd(B.getInt32(1), B.getInt32(2));
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*F, &Err));
+  EXPECT_NE(Err.find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesPhiPredMismatch) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("f", Ctx.getVoidTy(), {});
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *J = F->createBlock("join");
+  IRBuilder B(Ctx, E);
+  B.createBr(J);
+  B.setInsertPoint(J);
+  PhiInst *P = B.createPhi(Ctx.getInt32Ty(), "p");
+  P->addIncoming(Ctx.getInt32(1), E);
+  P->addIncoming(Ctx.getInt32(2), J); // J is not a predecessor
+  B.createRet();
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(*F, &Err));
+}
+
+TEST(Verifier, CatchesDominanceViolation) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  std::string Err;
+  // %y uses %x, which is defined only on one path.
+  const char *Text = R"(
+func @f(i32 %a) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %t, label %j
+t:
+  %x = add i32 %a, 1
+  br label %j
+j:
+  %y = mul i32 %x, 2
+  ret
+}
+)";
+  auto Mod = parseModule(Ctx, Text, &Err);
+  ASSERT_NE(Mod, nullptr) << Err;
+  EXPECT_FALSE(verifyFunction(*Mod->functions().front(), &Err));
+  EXPECT_NE(Err.find("dominate"), std::string::npos);
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  Context Ctx;
+  std::string Err;
+  EXPECT_EQ(parseModule(Ctx, "func @f( -> void {}", &Err), nullptr);
+  EXPECT_EQ(parseModule(Ctx, "func @f() -> void { entry: %x = bogus }",
+                        &Err),
+            nullptr);
+  EXPECT_EQ(
+      parseModule(Ctx, "func @f() -> void {\nentry:\n  br label %nowhere\n}",
+                  &Err),
+      nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(Parser, ForwardReferencesThroughPhis) {
+  Context Ctx;
+  std::string Err;
+  const char *Text = R"(
+func @loop(i32 %n) -> void {
+entry:
+  br label %hdr
+hdr:
+  %i = phi i32 [ 0, %entry ], [ %inext, %hdr ]
+  %inext = add i32 %i, 1
+  %c = icmp slt i32 %inext, %n
+  condbr i1 %c, label %hdr, label %done
+done:
+  ret
+}
+)";
+  auto Mod = parseModule(Ctx, Text, &Err);
+  ASSERT_NE(Mod, nullptr) << Err;
+  EXPECT_TRUE(verifyFunction(*Mod->functions().front(), &Err)) << Err;
+}
+
+TEST(Printer, DotOutputContainsAllBlocks) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = M.createFunction("f", Ctx.getVoidTy(), {});
+  BasicBlock *E = F->createBlock("entry");
+  BasicBlock *A = F->createBlock("a");
+  IRBuilder B(Ctx, E);
+  B.createCondBr(Ctx.getBool(true), A, A);
+  B.setInsertPoint(A);
+  B.createRet();
+  std::string Dot = printDot(*F);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("\"entry\""), std::string::npos);
+  EXPECT_NE(Dot.find("\"a\""), std::string::npos);
+  EXPECT_NE(Dot.find("label=\"T\""), std::string::npos);
+}
+
+TEST(Module, FunctionLookup) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  M.createFunction("one", Ctx.getVoidTy(), {});
+  M.createFunction("two", Ctx.getVoidTy(), {});
+  EXPECT_NE(M.getFunction("one"), nullptr);
+  EXPECT_EQ(M.getFunction("three"), nullptr);
+  EXPECT_EQ(M.functions().size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+//===- kernels_test.cpp - Benchmark kernels under every transform ---------------===//
+//
+// Parameterized sweep (the repo's most important integration property):
+// every benchmark kernel, at every paper block size, transformed by every
+// pipeline (none / tail merge / branch fusion / DARM), must still verify
+// and produce results identical to the independent host reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/core/DARMPass.h"
+#include "darm/core/TailMerge.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+struct SweepParam {
+  std::string Bench;
+  unsigned BlockSize;
+  std::string Transform; // "none", "tailmerge", "bf", "darm"
+};
+
+std::string paramName(const ::testing::TestParamInfo<SweepParam> &Info) {
+  return Info.param.Bench + "_bs" + std::to_string(Info.param.BlockSize) +
+         "_" + Info.param.Transform;
+}
+
+std::vector<SweepParam> allParams() {
+  std::vector<SweepParam> Params;
+  std::vector<std::string> Names = realBenchmarkNames();
+  for (const std::string &S : syntheticBenchmarkNames())
+    Names.push_back(S);
+  for (const std::string &N : Names)
+    for (unsigned BS : paperBlockSizes(N))
+      for (const char *T : {"none", "tailmerge", "bf", "darm"})
+        Params.push_back({N, BS, T});
+  return Params;
+}
+
+class KernelSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(KernelSweep, ValidatesAgainstHostReference) {
+  const SweepParam &P = GetParam();
+  auto Bench = createBenchmark(P.Bench, P.BlockSize);
+  ASSERT_NE(Bench, nullptr);
+
+  Context Ctx;
+  Module M(Ctx, P.Bench);
+  Function *F = Bench->build(M);
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(*F, &Err)) << Err << "\n" << printFunction(*F);
+
+  if (P.Transform == "tailmerge")
+    runTailMerge(*F);
+  else if (P.Transform == "bf")
+    runBranchFusion(*F);
+  else if (P.Transform == "darm")
+    runDARM(*F);
+  ASSERT_TRUE(verifyFunction(*F, &Err)) << Err << "\n" << printFunction(*F);
+
+  SimStats Stats;
+  std::string Why;
+  EXPECT_TRUE(runAndValidate(*Bench, *F, Stats, &Why))
+      << Why << "\n"
+      << printFunction(*F);
+  EXPECT_GT(Stats.InstructionsIssued, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, KernelSweep,
+                         ::testing::ValuesIn(allParams()), paramName);
+
+// DARM must strictly reduce cycles on the benchmarks the paper highlights
+// as its biggest wins (BIT and PCM are divergent at every block size).
+class MeldingWins : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MeldingWins, DarmReducesCycles) {
+  const std::string BenchName = GetParam();
+  for (unsigned BS : paperBlockSizes(BenchName)) {
+    auto Bench = createBenchmark(BenchName, BS);
+    Context Ctx;
+    Module M(Ctx, BenchName);
+    Function *Base = Bench->build(M);
+    Function *Melded = Bench->build(M);
+    DARMStats DS;
+    ASSERT_TRUE(runDARM(*Melded, DARMConfig(), &DS))
+        << BenchName << " bs" << BS << ": DARM found nothing to meld";
+
+    SimStats SBase, SMeld;
+    std::string Why;
+    ASSERT_TRUE(runAndValidate(*Bench, *Base, SBase, &Why)) << Why;
+    ASSERT_TRUE(runAndValidate(*Bench, *Melded, SMeld, &Why)) << Why;
+    EXPECT_LT(SMeld.Cycles, SBase.Cycles) << BenchName << " bs" << BS;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperWins, MeldingWins,
+                         ::testing::Values("BIT", "PCM", "DCT"));
+
+} // namespace

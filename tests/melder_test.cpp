@@ -1,0 +1,363 @@
+//===- melder_test.cpp - Directed tests of melding code generation ------------------===//
+//
+// Structural checks on the melder's output (Algorithm 2): select
+// insertion for mismatched operands, φ copying, exit-branch handling
+// (unified vs. B'T/B'F split), loop melding convergence, region
+// replication steering, and the pre-processing φ of Fig. 5.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/core/DARMPass.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+Function *parse(Context &Ctx, std::unique_ptr<Module> &Keep,
+                const std::string &Text) {
+  std::string Err;
+  Keep = parseModule(Ctx, Text, &Err);
+  EXPECT_NE(Keep, nullptr) << Err;
+  return Keep ? Keep->functions().front().get() : nullptr;
+}
+
+unsigned countOpcode(Function &F, Opcode Op) {
+  unsigned N = 0;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (I->getOpcode() == Op)
+        ++N;
+  return N;
+}
+
+unsigned countDynamicDivergence(Function &F, unsigned Lanes = 32) {
+  GlobalMemory Mem;
+  uint64_t Buf = Mem.allocate(Lanes * 8 * 4);
+  std::vector<uint64_t> Args;
+  // Bind every pointer arg to the buffer, every int arg to a constant.
+  for (unsigned I = 0; I < F.getNumArgs(); ++I)
+    Args.push_back(F.getArg(I)->getType()->isPointer() ? Buf : 5);
+  SimStats S = runKernel(F, {1, Lanes}, Args, Mem);
+  return static_cast<unsigned>(S.DivergentBranches);
+}
+
+TEST(Melder, SelectsOnlyForMismatchedOperands) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  // First operands match (%a), second differ (3 vs 5): exactly one
+  // select expected for the mul; the store pointer also matches.
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a, i32 addrspace(1)* %p) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %c = icmp slt i32 %tid, 7
+  condbr i1 %c, label %x, label %y
+x:
+  %v1 = mul i32 %a, 3
+  store i32 %v1, i32 addrspace(1)* %p
+  br label %j
+y:
+  %v2 = mul i32 %a, 5
+  store i32 %v2, i32 addrspace(1)* %p
+  br label %j
+j:
+  ret
+}
+)");
+  DARMStats DS;
+  ASSERT_TRUE(runDARM(*F, DARMConfig(), &DS));
+  EXPECT_EQ(DS.SelectsInserted, 1u);
+  EXPECT_EQ(countOpcode(*F, Opcode::Mul), 1u);   // melded into one
+  EXPECT_EQ(countOpcode(*F, Opcode::Store), 1u); // melded into one
+  EXPECT_EQ(countDynamicDivergence(*F), 0u);
+}
+
+TEST(Melder, UnifiedExitKeepsMeldedLoopConverged) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  // Two isomorphic loops with data-dependent trip counts. After melding,
+  // a warp executing mixed-parity lanes must run ONE loop body — the
+  // loop back edge must not re-diverge every iteration.
+  Function *F = parse(Ctx, M, R"(
+func @loops(i32 addrspace(1)* %out) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %par = and i32 %tid, 1
+  %c = icmp eq i32 %par, 0
+  condbr i1 %c, label %l1, label %l2
+l1:
+  %i1 = phi i32 [ 0, %entry ], [ %i1n, %l1 ]
+  %a1 = phi i32 [ 1, %entry ], [ %a1n, %l1 ]
+  %t1 = mul i32 %a1, 2
+  %a1n = add i32 %t1, 0
+  %i1n = add i32 %i1, 1
+  %c1 = icmp slt i32 %i1n, 6
+  condbr i1 %c1, label %l1, label %j
+l2:
+  %i2 = phi i32 [ 0, %entry ], [ %i2n, %l2 ]
+  %a2 = phi i32 [ 1, %entry ], [ %a2n, %l2 ]
+  %t2 = mul i32 %a2, 1
+  %a2n = add i32 %t2, 3
+  %i2n = add i32 %i2, 1
+  %c2 = icmp slt i32 %i2n, 9
+  condbr i1 %c2, label %l2, label %j
+j:
+  %r = phi i32 [ %a1n, %l1 ], [ %a2n, %l2 ]
+  %p = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %r, i32 addrspace(1)* %p
+  ret
+}
+)");
+  GlobalMemory MemBase;
+  uint64_t B1 = MemBase.allocate(32 * 4);
+  SimStats SBase = runKernel(*F, {1, 32}, {B1}, MemBase);
+
+  DARMStats DS;
+  ASSERT_TRUE(runDARM(*F, DARMConfig(), &DS));
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(*F, &Err)) << Err << printFunction(*F);
+
+  GlobalMemory MemMeld;
+  uint64_t B2 = MemMeld.allocate(32 * 4);
+  SimStats SMeld = runKernel(*F, {1, 32}, {B2}, MemMeld);
+  EXPECT_EQ(MemBase.dumpI32(B1, 32), MemMeld.dumpI32(B2, 32));
+  // Baseline: the entry branch diverges and the two loops serialize
+  // (15 body executions per warp). Melded: one loop of 9 iterations with
+  // a single mask-splitting exit — far fewer cycles, and no *additional*
+  // dynamic divergence despite the shared back edge.
+  EXPECT_LE(SMeld.DivergentBranches, SBase.DivergentBranches);
+  EXPECT_LT(SMeld.Cycles, SBase.Cycles);
+  // 2^6 for even lanes, 1+3*9 for odd lanes.
+  EXPECT_EQ(MemMeld.readI32(B2 + 0), 64);
+  EXPECT_EQ(MemMeld.readI32(B2 + 4), 28);
+}
+
+TEST(Melder, SplitExitWhenShapesDiffer) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  // True side: plain block. False side: self-loop block. The exit
+  // branches cannot unify (br vs condbr), forcing the B'T/B'F path.
+  Function *F = parse(Ctx, M, R"(
+func @mixed(i32 addrspace(1)* %out) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %par = and i32 %tid, 1
+  %c = icmp eq i32 %par, 0
+  condbr i1 %c, label %simple, label %loop
+simple:
+  %v1 = add i32 %tid, 100
+  br label %j
+loop:
+  %i = phi i32 [ 0, %entry ], [ %in, %loop ]
+  %v2 = phi i32 [ 0, %entry ], [ %v2n, %loop ]
+  %v2n = add i32 %v2, %tid
+  %in = add i32 %i, 1
+  %lc = icmp slt i32 %in, 4
+  condbr i1 %lc, label %loop, label %j
+j:
+  %r = phi i32 [ %v1, %simple ], [ %v2n, %loop ]
+  %p = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %r, i32 addrspace(1)* %p
+  ret
+}
+)");
+  GlobalMemory MemBase;
+  uint64_t B1 = MemBase.allocate(32 * 4);
+  runKernel(*F, {1, 32}, {B1}, MemBase);
+
+  runDARM(*F); // may or may not meld depending on profitability
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(*F, &Err)) << Err << printFunction(*F);
+
+  GlobalMemory MemMeld;
+  uint64_t B2 = MemMeld.allocate(32 * 4);
+  runKernel(*F, {1, 32}, {B2}, MemMeld);
+  EXPECT_EQ(MemBase.dumpI32(B1, 32), MemMeld.dumpI32(B2, 32));
+}
+
+TEST(Melder, RegionReplicationSteersThroughHost) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  // True path: single block A. False path: if-then-else region whose
+  // arms both resemble A. Region replication must host A so true lanes
+  // execute it exactly once, and false lanes keep their own routing.
+  Function *F = parse(Ctx, M, R"(
+func @repl(i32 addrspace(1)* %out) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %m = srem i32 %tid, 3
+  %c1 = icmp eq i32 %m, 0
+  condbr i1 %c1, label %a, label %head
+a:
+  %va = mul i32 %tid, 10
+  %pa = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %va, i32 addrspace(1)* %pa
+  br label %j
+head:
+  %c2 = icmp eq i32 %m, 1
+  condbr i1 %c2, label %b, label %d
+b:
+  %vb = mul i32 %tid, 20
+  %pb = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %vb, i32 addrspace(1)* %pb
+  br label %j
+d:
+  %vd = mul i32 %tid, 30
+  %pd = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %vd, i32 addrspace(1)* %pd
+  br label %j
+j:
+  ret
+}
+)");
+  GlobalMemory MemBase;
+  uint64_t B1 = MemBase.allocate(32 * 4);
+  SimStats SBase = runKernel(*F, {1, 32}, {B1}, MemBase);
+
+  DARMStats DS;
+  ASSERT_TRUE(runDARM(*F, DARMConfig(), &DS));
+  EXPECT_GE(DS.BlockRegionMelds, 1u);
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(*F, &Err)) << Err << printFunction(*F);
+
+  GlobalMemory MemMeld;
+  uint64_t B2 = MemMeld.allocate(32 * 4);
+  SimStats SMeld = runKernel(*F, {1, 32}, {B2}, MemMeld);
+  EXPECT_EQ(MemBase.dumpI32(B1, 32), MemMeld.dumpI32(B2, 32));
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(MemMeld.readI32(B2 + I * 4), I * (10 + (I % 3) * 10));
+  EXPECT_LT(SMeld.DivergentBranches, SBase.DivergentBranches);
+}
+
+TEST(Melder, ValuesLiveAcrossChainElements) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  // A value defined in the first chain element of the true path is used
+  // in the second; melding the first pair must keep the def-use chain
+  // intact (the Fig. 5 pre-processing / SSA-repair territory).
+  Function *F = parse(Ctx, M, R"(
+func @live(i32 addrspace(1)* %out) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %par = and i32 %tid, 1
+  %c = icmp eq i32 %par, 0
+  condbr i1 %c, label %t1, label %f1
+t1:
+  %x = mul i32 %tid, 3
+  br label %t2
+t2:
+  %y = add i32 %x, 7
+  %pt = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %y, i32 addrspace(1)* %pt
+  br label %j
+f1:
+  %u = mul i32 %tid, 5
+  br label %f2
+f2:
+  %v = add i32 %u, 9
+  %pf = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %v, i32 addrspace(1)* %pf
+  br label %j
+j:
+  ret
+}
+)");
+  ASSERT_TRUE(runDARM(*F));
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(*F, &Err)) << Err << printFunction(*F);
+  GlobalMemory Mem;
+  uint64_t Out = Mem.allocate(32 * 4);
+  SimStats S = runKernel(*F, {1, 32}, {Out}, Mem);
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(Mem.readI32(Out + I * 4),
+              (I % 2 == 0) ? I * 3 + 7 : I * 5 + 9);
+  EXPECT_EQ(S.DivergentBranches, 0u); // fully melded chain
+}
+
+TEST(Melder, GapStoresAreGuarded) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  // The true arm stores twice, the false arm once: the unaligned store
+  // must execute only for true lanes (guarded or predicated), never
+  // clobbering false lanes' slots.
+  Function *F = parse(Ctx, M, R"(
+func @gaps(i32 addrspace(1)* %a, i32 addrspace(1)* %b) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %par = and i32 %tid, 1
+  %c = icmp eq i32 %par, 0
+  condbr i1 %c, label %t, label %e
+t:
+  %v1 = mul i32 %tid, 3
+  %p1 = gep i32 addrspace(1)* %a, i32 %tid
+  store i32 %v1, i32 addrspace(1)* %p1
+  %p2 = gep i32 addrspace(1)* %b, i32 %tid
+  store i32 777, i32 addrspace(1)* %p2
+  br label %j
+e:
+  %v2 = mul i32 %tid, 4
+  %p3 = gep i32 addrspace(1)* %a, i32 %tid
+  store i32 %v2, i32 addrspace(1)* %p3
+  br label %j
+j:
+  ret
+}
+)");
+  const std::string Snapshot = printFunction(*F);
+  for (bool Unpred : {true, false}) {
+    std::unique_ptr<Module> MCopy;
+    Function *Copy = parse(Ctx, MCopy, Snapshot);
+    DARMConfig Cfg;
+    Cfg.EnableUnpredication = Unpred;
+    runDARM(*Copy, Cfg);
+    std::string Err;
+    ASSERT_TRUE(verifyFunction(*Copy, &Err)) << Err;
+    GlobalMemory Mem;
+    uint64_t A = Mem.allocate(32 * 4);
+    uint64_t Bb = Mem.allocate(32 * 4);
+    runKernel(*Copy, {1, 32}, {A, Bb}, Mem);
+    for (int I = 0; I < 32; ++I) {
+      EXPECT_EQ(Mem.readI32(A + I * 4), (I % 2 == 0) ? I * 3 : I * 4);
+      EXPECT_EQ(Mem.readI32(Bb + I * 4), (I % 2 == 0) ? 777 : 0)
+          << "unaligned store leaked to false lanes (unpred=" << Unpred
+          << ")";
+    }
+  }
+}
+
+TEST(Melder, IdempotentOnMeldedCode) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a, i32 addrspace(1)* %p) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %c = icmp slt i32 %tid, 7
+  condbr i1 %c, label %x, label %y
+x:
+  %v1 = mul i32 %a, 3
+  store i32 %v1, i32 addrspace(1)* %p
+  br label %j
+y:
+  %v2 = mul i32 %a, 5
+  store i32 %v2, i32 addrspace(1)* %p
+  br label %j
+j:
+  ret
+}
+)");
+  ASSERT_TRUE(runDARM(*F));
+  std::string Once = printFunction(*F);
+  EXPECT_FALSE(runDARM(*F)); // nothing left to meld
+  EXPECT_EQ(printFunction(*F), Once);
+}
+
+} // namespace

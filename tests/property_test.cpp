@@ -1,0 +1,244 @@
+//===- property_test.cpp - Randomized end-to-end properties ----------------------===//
+//
+// Property-based testing of the whole pipeline: a generator produces
+// random SPMD kernels full of divergent control flow (diamonds, one-sided
+// ifs, 3-way chains, nested regions) over shared memory; for every seed,
+// every transformation must (a) keep the verifier green and (b) leave the
+// simulated memory image bit-identical to the untransformed kernel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/core/DARMPass.h"
+#include "darm/core/TailMerge.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/sim/Simulator.h"
+#include "darm/support/RNG.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/SimplifyCFG.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+/// Builds a random straight-line arithmetic expression over \p Pool.
+Value *randomExpr(IRBuilder &B, RNG &Rng, std::vector<Value *> &Pool) {
+  Value *A = Pool[Rng.nextBelow(Pool.size())];
+  Value *C = Pool[Rng.nextBelow(Pool.size())];
+  static const Opcode Ops[] = {Opcode::Add, Opcode::Sub,  Opcode::Mul,
+                               Opcode::And, Opcode::Or,   Opcode::Xor,
+                               Opcode::Shl, Opcode::AShr, Opcode::SDiv};
+  Opcode Op = Ops[Rng.nextBelow(std::size(Ops))];
+  if (Op == Opcode::Shl || Op == Opcode::AShr)
+    C = B.getInt32(static_cast<int32_t>(Rng.nextBelow(5)));
+  Value *R = B.createBinary(Op, A, C);
+  Pool.push_back(R);
+  return R;
+}
+
+/// Emits a random arm body: some arithmetic and a store to sh[tid].
+void randomArm(IRBuilder &B, RNG &Rng, std::vector<Value *> Pool,
+               Value *ShTid) {
+  unsigned N = 1 + static_cast<unsigned>(Rng.nextBelow(4));
+  Value *Last = Pool.back();
+  for (unsigned I = 0; I < N; ++I)
+    Last = randomExpr(B, Rng, Pool);
+  B.createStore(Last, ShTid);
+}
+
+/// One random divergent region appended at the builder's position.
+/// Shapes: 0 diamond, 1 if-then/if-then, 2 three-way chain, 3 nested.
+void randomRegion(Function *F, IRBuilder &B, RNG &Rng,
+                  std::vector<Value *> Pool, Value *Tid, Value *ShTid,
+                  unsigned Depth) {
+  Context &Ctx = B.getContext();
+  Value *X = B.createLoad(ShTid, "x");
+  Pool.push_back(X);
+  Value *CondSrc = B.createXor(Tid, B.getInt32(static_cast<int32_t>(
+                                        Rng.nextBelow(64))));
+  Value *Cond = B.createICmp(
+      static_cast<ICmpPred>(Rng.nextBelow(6)), // EQ..SGE
+      B.createAnd(CondSrc, B.getInt32(3)),
+      B.getInt32(static_cast<int32_t>(Rng.nextBelow(4))), "divcond");
+
+  BasicBlock *T = F->createBlock("rt");
+  BasicBlock *E = F->createBlock("re");
+  BasicBlock *J = F->createBlock("rj");
+  B.createCondBr(Cond, T, E);
+
+  unsigned Shape = static_cast<unsigned>(Rng.nextBelow(Depth > 0 ? 4 : 3));
+  auto EmitSide = [&](BasicBlock *BB) {
+    B.setInsertPoint(BB);
+    switch (Shape) {
+    case 1: { // if-then inside the arm
+      Value *P = B.createICmp(ICmpPred::SGT, X,
+                              B.getInt32(static_cast<int32_t>(
+                                  Rng.nextInRange(-20, 20))));
+      BasicBlock *Then = F->createBlock("st");
+      BasicBlock *Join = F->createBlock("sj");
+      B.createCondBr(P, Then, Join);
+      B.setInsertPoint(Then);
+      randomArm(B, Rng, Pool, ShTid);
+      B.createBr(Join);
+      B.setInsertPoint(Join);
+      randomArm(B, Rng, Pool, ShTid);
+      break;
+    }
+    case 3: // nested divergent region
+      randomRegion(F, B, Rng, Pool, Tid, ShTid, Depth - 1);
+      randomArm(B, Rng, Pool, ShTid);
+      break;
+    default:
+      randomArm(B, Rng, Pool, ShTid);
+      break;
+    }
+    B.createBr(J);
+  };
+  EmitSide(T);
+  // Three-way: the else side opens another branch.
+  if (Shape == 2) {
+    B.setInsertPoint(E);
+    Value *C2 = B.createICmp(ICmpPred::EQ, B.createAnd(Tid, B.getInt32(1)),
+                             B.getInt32(0));
+    BasicBlock *E1 = F->createBlock("re1");
+    BasicBlock *E2 = F->createBlock("re2");
+    B.createCondBr(C2, E1, E2);
+    B.setInsertPoint(E1);
+    randomArm(B, Rng, Pool, ShTid);
+    B.createBr(J);
+    B.setInsertPoint(E2);
+    randomArm(B, Rng, Pool, ShTid);
+    B.createBr(J);
+  } else {
+    EmitSide(E);
+  }
+  B.setInsertPoint(J);
+  // The join occasionally merges a value via phi as well.
+  (void)Ctx;
+}
+
+Function *buildRandomKernel(Module &M, uint64_t Seed, unsigned BlockSize) {
+  RNG Rng(Seed);
+  Context &Ctx = M.getContext();
+  Type *I32 = Ctx.getInt32Ty();
+  Type *GPtr = Ctx.getPointerTy(I32, AddressSpace::Global);
+  Function *F = M.createFunction("rand" + std::to_string(Seed),
+                                 Ctx.getVoidTy(), {{GPtr, "data"}});
+  SharedArray *Sh = F->createSharedArray(I32, BlockSize, "sh");
+
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(Ctx, Entry);
+  Value *Tid = B.createThreadIdX();
+  Value *Gid = B.createAdd(
+      B.createMul(B.createBlockIdX(), B.createBlockDimX()), Tid, "gid");
+  Value *ShTid = B.createGep(Sh, Tid, "shtid");
+  B.createStore(B.createLoadAt(F->getArg(0), Gid, "in"), ShTid);
+  B.createBarrier();
+
+  std::vector<Value *> Pool = {Tid, B.getInt32(3), B.getInt32(-7),
+                               B.getInt32(11)};
+  unsigned Regions = 1 + static_cast<unsigned>(Rng.nextBelow(3));
+  for (unsigned R = 0; R < Regions; ++R) {
+    randomRegion(F, B, Rng, Pool, Tid, ShTid, /*Depth=*/1);
+    B.createBarrier();
+  }
+  B.createStoreAt(B.createLoad(ShTid, "out"), F->getArg(0), Gid);
+  B.createRet();
+  return F;
+}
+
+std::vector<int32_t> runOnce(Function &F, unsigned BlockSize,
+                             uint64_t Seed) {
+  const unsigned Grid = 2;
+  unsigned N = Grid * BlockSize;
+  GlobalMemory Mem;
+  uint64_t Data = Mem.allocate(N * 4);
+  RNG Rng(Seed * 77 + 5);
+  std::vector<int32_t> In(N);
+  for (unsigned I = 0; I < N; ++I)
+    In[I] = static_cast<int32_t>(Rng.nextInRange(-1000, 1000));
+  Mem.fillI32(Data, In);
+  runKernel(F, {Grid, BlockSize}, {Data}, Mem);
+  return Mem.dumpI32(Data, N);
+}
+
+class RandomPrograms : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomPrograms, TransformsPreserveSemantics) {
+  uint64_t Seed = GetParam();
+  const unsigned BlockSize = 64;
+
+  Context Ctx;
+  Module M(Ctx, "prop");
+  Function *Base = buildRandomKernel(M, Seed, BlockSize);
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(*Base, &Err)) << Err;
+  std::vector<int32_t> Expected = runOnce(*Base, BlockSize, Seed);
+
+  struct Pipe {
+    const char *Name;
+    std::function<void(Function &)> Run;
+  };
+  const Pipe Pipes[] = {
+      {"darm", [](Function &F) { runDARM(F); }},
+      {"bf", [](Function &F) { runBranchFusion(F); }},
+      {"tailmerge", [](Function &F) { runTailMerge(F); }},
+      {"simplify",
+       [](Function &F) {
+         simplifyCFG(F);
+         eliminateDeadCode(F);
+       }},
+      {"darm+simplify",
+       [](Function &F) {
+         runDARM(F);
+         simplifyCFG(F);
+         eliminateDeadCode(F);
+       }},
+  };
+  for (const Pipe &P : Pipes) {
+    Function *F = buildRandomKernel(M, Seed, BlockSize);
+    P.Run(*F);
+    ASSERT_TRUE(verifyFunction(*F, &Err))
+        << P.Name << " seed " << Seed << ": " << Err << "\n"
+        << printFunction(*F);
+    EXPECT_EQ(runOnce(*F, BlockSize, Seed), Expected)
+        << P.Name << " changed semantics for seed " << Seed << "\n"
+        << printFunction(*F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range<uint64_t>(0, 48));
+
+// The printer/parser must round-trip random programs exactly.
+class RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsStable) {
+  uint64_t Seed = GetParam();
+  Context Ctx;
+  Module M(Ctx, "rt");
+  Function *F = buildRandomKernel(M, Seed, 64);
+  std::string Once = printFunction(*F);
+
+  Context Ctx2;
+  std::string Err;
+  auto M2 = parseModule(Ctx2, Once, &Err);
+  ASSERT_NE(M2, nullptr) << Err << "\n" << Once;
+  Function *F2 = M2->functions().front().get();
+  ASSERT_TRUE(verifyFunction(*F2, &Err)) << Err;
+  EXPECT_EQ(printFunction(*F2), Once);
+
+  // Parsed kernels must also behave identically.
+  EXPECT_EQ(runOnce(*F, 64, Seed), runOnce(*F2, 64, Seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
+                         ::testing::Range<uint64_t>(0, 16));
+
+} // namespace

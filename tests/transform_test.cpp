@@ -1,0 +1,351 @@
+//===- transform_test.cpp - Transform utility unit tests ---------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/transform/CFGUtils.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/SSAUpdater.h"
+#include "darm/transform/SimplifyCFG.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+Function *parse(Context &Ctx, std::unique_ptr<Module> &Keep,
+                const std::string &Text) {
+  std::string Err;
+  Keep = parseModule(Ctx, Text, &Err);
+  EXPECT_NE(Keep, nullptr) << Err;
+  return Keep ? Keep->functions().front().get() : nullptr;
+}
+
+TEST(SimplifyCFGTest, FoldsConstantBranch) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f() -> void {
+entry:
+  condbr i1 true, label %live, label %dead
+live:
+  ret
+dead:
+  ret
+}
+)");
+  EXPECT_TRUE(simplifyCFG(*F));
+  EXPECT_EQ(F->getNumBlocks(), 1u); // folded + merged + unreachable removed
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err;
+}
+
+TEST(SimplifyCFGTest, RemovesUnreachableCycle) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f() -> void {
+entry:
+  ret
+deadA:
+  br label %deadB
+deadB:
+  br label %deadA
+}
+)");
+  EXPECT_TRUE(removeUnreachableBlocks(*F));
+  EXPECT_EQ(F->getNumBlocks(), 1u);
+}
+
+TEST(SimplifyCFGTest, TrivialPhiWithUndefNeedsDominance) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  // The non-undef value %x does NOT dominate the phi: must not fold.
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %t, label %j
+t:
+  %x = add i32 %a, 1
+  br label %j
+j:
+  %p = phi i32 [ %x, %t ], [ undef, %entry ]
+  %u = mul i32 %p, 2
+  ret
+}
+)");
+  removeTrivialPhis(*F);
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err << printFunction(*F);
+}
+
+TEST(SimplifyCFGTest, SpeculateTriangleMakesSelect) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %side, label %join
+side:
+  %x = add i32 %a, 5
+  br label %join
+join:
+  %p = phi i32 [ %x, %side ], [ %a, %entry ]
+  ret
+}
+)");
+  EXPECT_TRUE(speculateTriangles(*F));
+  EXPECT_EQ(F->getNumBlocks(), 2u);
+  bool HasSelect = false;
+  for (Instruction *I : F->getEntryBlock())
+    if (isa<SelectInst>(I))
+      HasSelect = true;
+  EXPECT_TRUE(HasSelect);
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err;
+}
+
+TEST(SimplifyCFGTest, DoesNotSpeculateStores) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a, i32 addrspace(1)* %p) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %side, label %join
+side:
+  store i32 %a, i32 addrspace(1)* %p
+  br label %join
+join:
+  ret
+}
+)");
+  EXPECT_FALSE(speculateTriangles(*F));
+  EXPECT_EQ(F->getNumBlocks(), 3u);
+}
+
+TEST(SimplifyCFGTest, BooleanSelectLogicFolds) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  // select(c, true, x) with a later and(not(or(c, x)), c) must collapse
+  // to a constant-false branch condition.
+  Function *F = parse(Ctx, M, R"(
+func @f(i1 %c, i1 %x) -> void {
+entry:
+  %o = select i1 %c, i1 true, %x
+  %n = xor i1 %o, true
+  %dead = and i1 %n, %c
+  condbr i1 %dead, label %a, label %b
+a:
+  ret
+b:
+  ret
+}
+)");
+  EXPECT_TRUE(simplifyCFG(*F));
+  // The whole thing folds to a single ret block.
+  EXPECT_EQ(F->getNumBlocks(), 1u);
+}
+
+TEST(SimplifyCFGTest, PhiOnlyForwarderRemoved) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %l, label %r
+l:
+  %x = add i32 %a, 1
+  br label %fwd
+r:
+  %y = add i32 %a, 2
+  br label %fwd
+fwd:
+  %m = phi i32 [ %x, %l ], [ %y, %r ]
+  br label %join
+join:
+  %p = phi i32 [ %m, %fwd ]
+  ret
+}
+)");
+  EXPECT_TRUE(removePhiOnlyForwarders(*F));
+  EXPECT_EQ(F->getBlockByName("fwd"), nullptr);
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err << printFunction(*F);
+  // The join phi now merges x and y directly.
+  PhiInst *P = F->getBlockByName("join")->phis().front();
+  EXPECT_EQ(P->getNumIncoming(), 2u);
+}
+
+TEST(DCETest, RemovesDeadChains) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a) -> void {
+entry:
+  %d1 = add i32 %a, 1
+  %d2 = mul i32 %d1, %d1
+  %live = add i32 %a, 2
+  %g = call i32 @darm.tid.x()
+  ret
+}
+)");
+  EXPECT_TRUE(eliminateDeadCode(*F));
+  EXPECT_EQ(F->getEntryBlock().size(), 1u); // only ret remains
+}
+
+TEST(DCETest, RemovesDeadPhiCycle) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %n) -> void {
+entry:
+  br label %hdr
+hdr:
+  %deadphi = phi i32 [ 0, %entry ], [ %deadnext, %hdr ]
+  %i = phi i32 [ 0, %entry ], [ %inext, %hdr ]
+  %deadnext = add i32 %deadphi, 1
+  %inext = add i32 %i, 1
+  %c = icmp slt i32 %inext, %n
+  condbr i1 %c, label %hdr, label %exit
+exit:
+  ret
+}
+)");
+  EXPECT_TRUE(eliminateDeadCode(*F));
+  // The dead phi cycle is gone; the live induction survives.
+  EXPECT_EQ(F->getBlockByName("hdr")->phis().size(), 1u);
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err;
+}
+
+TEST(SSAUpdaterTest, InsertsUndefPhi) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  // Build broken-SSA on purpose: move a def into one branch arm.
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %t, label %j
+t:
+  %x = add i32 %a, 1
+  br label %j
+j:
+  ret
+}
+)");
+  // Fabricate a use of %x in %j (dominance violation), then repair.
+  BasicBlock *J = F->getBlockByName("j");
+  Instruction *X = nullptr;
+  for (Instruction *I : *F->getBlockByName("t"))
+    if (I->getName() == "x")
+      X = I;
+  ASSERT_NE(X, nullptr);
+  IRBuilder B(Ctx);
+  B.setInsertPoint(J->getTerminator());
+  B.createMul(X, X, "use");
+  std::string Err;
+  ASSERT_FALSE(verifyFunction(*F, &Err));
+
+  EXPECT_TRUE(repairFunctionSSA(*F));
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err << printFunction(*F);
+  // A phi with an undef arm was placed at the join.
+  ASSERT_FALSE(J->phis().empty());
+  PhiInst *P = J->phis().front();
+  bool HasUndef = false;
+  for (unsigned I = 0; I < P->getNumIncoming(); ++I)
+    HasUndef |= isa<UndefValue>(P->getIncomingValue(I));
+  EXPECT_TRUE(HasUndef);
+}
+
+TEST(SSAUpdaterTest, LoopCarriedRepair) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %n) -> void {
+entry:
+  br label %hdr
+hdr:
+  %i = phi i32 [ 0, %entry ], [ %inext, %latch ]
+  %c = icmp slt i32 %i, %n
+  condbr i1 %c, label %body, label %exit
+body:
+  %v = mul i32 %i, 3
+  br label %latch
+latch:
+  %inext = add i32 %i, 1
+  br label %hdr
+exit:
+  ret
+}
+)");
+  // Use %v (defined in body) after the loop: not dominated.
+  IRBuilder B(Ctx);
+  Instruction *V = nullptr;
+  for (Instruction *I : *F->getBlockByName("body"))
+    if (I->getName() == "v")
+      V = I;
+  B.setInsertPoint(F->getBlockByName("exit")->getTerminator());
+  B.createAdd(V, V, "after");
+  std::string Err;
+  ASSERT_FALSE(verifyFunction(*F, &Err));
+  EXPECT_TRUE(repairFunctionSSA(*F));
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err << printFunction(*F);
+}
+
+TEST(CFGUtilsTest, SplitEdgeFixesPhis) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 %a) -> void {
+entry:
+  %c = icmp sgt i32 %a, 0
+  condbr i1 %c, label %j, label %o
+o:
+  br label %j
+j:
+  %p = phi i32 [ 1, %entry ], [ 2, %o ]
+  ret
+}
+)");
+  BasicBlock *E = F->getBlockByName("entry");
+  BasicBlock *J = F->getBlockByName("j");
+  BasicBlock *Mid = splitEdge(E, J, 0);
+  ASSERT_NE(Mid, nullptr);
+  EXPECT_EQ(Mid->getSingleSuccessor(), J);
+  PhiInst *P = J->phis().front();
+  EXPECT_EQ(P->getIncomingValueForBlock(Mid),
+            Ctx.getConstantInt(Ctx.getInt32Ty(), 1));
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err;
+}
+
+TEST(CFGUtilsTest, SplitDuplicateEdge) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i1 %c) -> void {
+entry:
+  condbr i1 %c, label %j, label %j
+j:
+  %p = phi i32 [ 7, %entry ]
+  ret
+}
+)");
+  BasicBlock *E = F->getBlockByName("entry");
+  BasicBlock *J = F->getBlockByName("j");
+  splitEdge(E, J, 0);
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err << printFunction(*F);
+  EXPECT_EQ(J->phis().front()->getNumIncoming(), 2u);
+}
+
+} // namespace

@@ -8,6 +8,10 @@
 #ifndef DARM_CORE_DARMCONFIG_H
 #define DARM_CORE_DARMCONFIG_H
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace darm {
 
 /// Configuration for runDARM(). The Branch Fusion baseline of the paper's
@@ -59,6 +63,13 @@ struct DARMStats {
   unsigned BlockRegionMelds = 0;
   unsigned SelectsInserted = 0;
   unsigned UnpredicationSplits = 0;
+
+  /// Wall-clock seconds per pipeline stage (simplifycfg, darm-meld,
+  /// ssa-repair, dce, verify), summed over all fixed-point iterations and
+  /// accumulated (by stage name) across every runDARM()/runBranchFusion()
+  /// call that shares this stats object — like the counters above. Empty
+  /// if neither driver was used.
+  std::vector<std::pair<std::string, double>> StageSeconds;
 };
 
 } // namespace darm

@@ -1,10 +1,13 @@
 //===- DARMPass.h - Control-flow melding driver --------------------*- C++ -*-===//
 ///
 /// \file
-/// Algorithm 1 of the paper: scan for meldable divergent regions, simplify
+/// Algorithm 1 of the paper (§IV-A), as a transform/PassManager pipeline of
+/// five named stages — simplifycfg → darm-meld → ssa-repair → dce → verify —
+/// run to a fixed point: scan for meldable divergent regions, simplify
 /// them, align their subgraph chains, meld every pair above the
-/// profitability threshold, clean up (simplifycfg + DCE + SSA repair),
-/// recompute analyses, and repeat to a fixed point.
+/// profitability threshold, clean up, recompute analyses, and repeat while
+/// the darm-meld stage keeps finding regions. Stages are registered
+/// individually so they can be timed, inserted around, and reordered.
 ///
 /// The Branch Fusion baseline is runBranchFusion() — DARM restricted to
 /// diamond-shaped regions, exactly as the paper's own evaluation
@@ -19,8 +22,34 @@
 namespace darm {
 
 class Function;
+class PassManager;
 
-/// Runs DARM on \p F. Returns true if the function changed.
+/// Registers the DARM pipeline on \p PM as five named stages, in order:
+///
+///   simplifycfg → darm-meld → ssa-repair → dce → verify
+///
+/// Each stage is a separate PassManager pass, so callers can time stages
+/// individually (PassManager::timings / cumulativeTimings) and later PRs
+/// can insert or reorder stages. The verify stage is only registered when
+/// \p Cfg.VerifyEachStep is set; it aborts on invalid IR and otherwise
+/// reports "no change".
+///
+/// \p MeldedLastRun, when non-null, is written by the darm-meld stage on
+/// every PM.run(): true iff that traversal melded or restructured a region.
+/// This is Algorithm 1's do-while condition — drivers loop while it holds.
+/// The pointer is captured by the registered passes and must outlive \p PM.
+void buildDARMPipeline(PassManager &PM, const DARMConfig &Cfg = DARMConfig(),
+                       DARMStats *Stats = nullptr,
+                       bool *MeldedLastRun = nullptr);
+
+/// Runs DARM on \p F: builds the buildDARMPipeline() pipeline and runs it
+/// to a fixed point (bounded by Cfg.MaxIterations; only the darm-meld
+/// stage extends the loop). Returns true if any stage changed the
+/// function — melds, but also pipeline cleanup such as simplifycfg on an
+/// unmeldable kernel. Check Stats->RegionsMelded to distinguish. When
+/// \p Stats is given, Stats->StageSeconds accumulates the per-stage
+/// wall-clock totals across all iterations (and across calls sharing the
+/// same stats object).
 bool runDARM(Function &F, const DARMConfig &Cfg = DARMConfig(),
              DARMStats *Stats = nullptr);
 

@@ -41,10 +41,22 @@ public:
   /// Total seconds of the last run().
   double totalSeconds() const;
 
+  /// Seconds per pass summed over every run() since construction (or the
+  /// last resetTimings()). Fixed-point drivers call run() repeatedly; this
+  /// is the per-stage cost of the whole fixed-point, in pipeline order.
+  const std::vector<std::pair<std::string, double>> &cumulativeTimings() const {
+    return Cumulative;
+  }
+  void resetTimings() {
+    Timings.clear();
+    Cumulative.clear();
+  }
+
 private:
   bool VerifyEach;
   std::vector<std::pair<std::string, FunctionPass>> Passes;
   std::vector<std::pair<std::string, double>> Timings;
+  std::vector<std::pair<std::string, double>> Cumulative;
 };
 
 } // namespace darm

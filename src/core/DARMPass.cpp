@@ -13,9 +13,11 @@
 #include "darm/ir/IRPrinter.h"
 #include "darm/support/ErrorHandling.h"
 #include "darm/transform/DCE.h"
+#include "darm/transform/PassManager.h"
 #include "darm/transform/SSAUpdater.h"
 #include "darm/transform/SimplifyCFG.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 
@@ -68,40 +70,87 @@ bool meldOneRegion(Function &F, const DARMConfig &Cfg, DARMStats *Stats) {
   return false;
 }
 
-bool runMelding(Function &F, const DARMConfig &Cfg, DARMStats *Stats) {
+/// The verify stage / post-cleanup check: aborts the process on invalid IR.
+void verifyOrAbort(Function &F) {
+  std::string Err;
+  if (!verifyFunction(F, &Err)) {
+    std::fprintf(stderr, "DARM produced invalid IR: %s\n%s\n", Err.c_str(),
+                 printFunction(F).c_str());
+    reportFatalError("melding broke the IR invariants");
+  }
+}
+
+} // namespace
+
+void darm::buildDARMPipeline(PassManager &PM, const DARMConfig &Cfg,
+                             DARMStats *Stats, bool *MeldedLastRun) {
+  // The pipeline verifies through its own named stage below; a PassManager
+  // constructed with VerifyEach=true would just verify twice per stage.
+  PM.addPass("simplifycfg", [](Function &F) { return simplifyCFG(F); });
+  PM.addPass("darm-meld", [Cfg, Stats, MeldedLastRun](Function &F) {
+    bool Melded = meldOneRegion(F, Cfg, Stats);
+    if (MeldedLastRun)
+      *MeldedLastRun = Melded;
+    return Melded;
+  });
+  PM.addPass("ssa-repair", [](Function &F) { return repairFunctionSSA(F); });
+  PM.addPass("dce", [](Function &F) { return eliminateDeadCode(F); });
+  if (Cfg.VerifyEachStep)
+    PM.addPass("verify", [](Function &F) {
+      verifyOrAbort(F);
+      return false;
+    });
+}
+
+bool darm::runDARM(Function &F, const DARMConfig &Cfg, DARMStats *Stats) {
+  PassManager PM(/*VerifyEach=*/false);
+  bool MeldedThisIter = false;
+  buildDARMPipeline(PM, Cfg, Stats, &MeldedThisIter);
+
+  // Algorithm 1's do-while: rerun the whole pipeline while the meld stage
+  // keeps finding regions. Only melds drive the fixed point; the return
+  // value reports whether *any* stage changed the IR, so callers can trust
+  // "false" to mean the function is untouched.
   bool Changed = false;
   for (unsigned Iter = 0; Iter < Cfg.MaxIterations; ++Iter) {
     if (Stats)
       Stats->Iterations = Iter + 1;
-    if (!meldOneRegion(F, Cfg, Stats))
+    Changed |= PM.run(F);
+    if (!MeldedThisIter)
       break;
-    Changed = true;
-    // Paper: simplify the control flow and recompute the control-flow
-    // analyses, then scan again (Algorithm 1's do-while).
-    repairFunctionSSA(F);
-    simplifyCFG(F);
-    eliminateDeadCode(F);
-    if (Cfg.VerifyEachStep) {
-      std::string Err;
-      if (!verifyFunction(F, &Err)) {
-        std::fprintf(stderr, "DARM produced invalid IR: %s\n%s\n",
-                     Err.c_str(), printFunction(F).c_str());
-        reportFatalError("melding broke the IR invariants");
+  }
+  // The loop normally exits via a traversal whose meld found nothing, which
+  // already cleaned up after the last successful meld. Hitting the
+  // iteration bound mid-meld skips that; canonicalize before returning.
+  if (MeldedThisIter) {
+    Changed |= simplifyCFG(F);
+    Changed |= eliminateDeadCode(F);
+    if (Cfg.VerifyEachStep)
+      verifyOrAbort(F);
+  }
+  if (Stats) {
+    // Accumulate (by stage name) rather than overwrite, so stats objects
+    // reused across functions report whole-run totals.
+    if (Stats->StageSeconds.empty()) {
+      Stats->StageSeconds = PM.cumulativeTimings();
+    } else {
+      for (const auto &[Name, Secs] : PM.cumulativeTimings()) {
+        auto It = std::find_if(Stats->StageSeconds.begin(),
+                               Stats->StageSeconds.end(),
+                               [&](const auto &E) { return E.first == Name; });
+        if (It != Stats->StageSeconds.end())
+          It->second += Secs;
+        else
+          Stats->StageSeconds.push_back({Name, Secs});
       }
     }
   }
   return Changed;
 }
 
-} // namespace
-
-bool darm::runDARM(Function &F, const DARMConfig &Cfg, DARMStats *Stats) {
-  return runMelding(F, Cfg, Stats);
-}
-
 bool darm::runBranchFusion(Function &F, DARMStats *Stats) {
   DARMConfig Cfg;
   Cfg.DiamondOnly = true;
   Cfg.EnableRegionReplication = false;
-  return runMelding(F, Cfg, Stats);
+  return runDARM(F, Cfg, Stats);
 }

@@ -405,7 +405,6 @@ void MeldingSession::wireOperands() {
       if (auto PS = PhiSrc.find(I); PS != PhiSrc.end()) {
         auto *Phi = cast<PhiInst>(I);
         auto [SrcPhi, S] = PS->second;
-        const SESESubgraph &SG = sideSG(S);
         for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K) {
           Phi->setIncomingValue(K, lookup(SrcPhi->getIncomingValue(K)));
           BasicBlock *In = SrcPhi->getIncomingBlock(K);
@@ -417,7 +416,7 @@ void MeldingSession::wireOperands() {
           } else if (BasicBlock *M = mapBlock(S, In)) {
             Phi->setIncomingBlock(K, M);
           } else {
-            assert(!SG.contains(In) && "unmapped internal predecessor");
+            assert(!sideSG(S).contains(In) && "unmapped internal predecessor");
             // Outside pred: stays (entry edge).
           }
         }

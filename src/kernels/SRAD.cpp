@@ -38,7 +38,6 @@ public:
   Function *build(Module &M) const override {
     Context &Ctx = M.getContext();
     Type *F32 = Ctx.getFloatTy();
-    Type *I32 = Ctx.getInt32Ty();
     Type *GPtr = Ctx.getPointerTy(F32, AddressSpace::Global);
     Function *F = M.createFunction("srad", Ctx.getVoidTy(),
                                    {{GPtr, "img"}, {GPtr, "coef"}});

@@ -13,13 +13,20 @@ using namespace darm;
 
 bool PassManager::run(Function &F) {
   Timings.clear();
+  // Passes are append-only, so entries missing from Cumulative (added
+  // since the last run) are exactly the tail; extend with zeros to keep
+  // earlier runs' totals.
+  for (size_t I = Cumulative.size(); I < Passes.size(); ++I)
+    Cumulative.push_back({Passes[I].first, 0.0});
   bool Changed = false;
-  for (const auto &[Name, Pass] : Passes) {
+  for (size_t I = 0; I < Passes.size(); ++I) {
+    const auto &[Name, Pass] = Passes[I];
     auto Start = std::chrono::steady_clock::now();
     Changed |= Pass(F);
     auto End = std::chrono::steady_clock::now();
-    Timings.push_back(
-        {Name, std::chrono::duration<double>(End - Start).count()});
+    double Secs = std::chrono::duration<double>(End - Start).count();
+    Timings.push_back({Name, Secs});
+    Cumulative[I].second += Secs;
     if (VerifyEach) {
       std::string Err;
       if (!verifyFunction(F, &Err)) {

@@ -90,6 +90,8 @@ TEST_P(MeldingWins, DarmReducesCycles) {
     Function *Melded = Bench->build(M);
     DARMStats DS;
     ASSERT_TRUE(runDARM(*Melded, DARMConfig(), &DS))
+        << BenchName << " bs" << BS << ": DARM changed nothing";
+    ASSERT_GT(DS.RegionsMelded, 0u)
         << BenchName << " bs" << BS << ": DARM found nothing to meld";
 
     SimStats SBase, SMeld;

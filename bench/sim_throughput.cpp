@@ -1,0 +1,191 @@
+//===- sim_throughput.cpp - Simulator throughput harness --------------------------===//
+//
+// Measures the simulator's own speed — simulated instructions per wall
+// second — over the fig8 synthetic suite (SB1-SB4 and -R variants at the
+// paper block sizes, baseline and DARM pipelines). Unlike the figure
+// harnesses, the metric here is host throughput, not simulated cycles: it
+// bounds how many kernels, configs, and grid sizes every other harness
+// can sweep.
+//
+// Emits machine-readable JSON (stdout or --out FILE) so CI can track the
+// number per commit:
+//
+//   sim_throughput [--repeat N] [--pipeline baseline|darm|both] [--out FILE]
+//
+// Each cell decodes its kernel once (SimEngine) and replays it N times;
+// results are host-validated on the first repeat so a fast-but-wrong
+// simulator can never report a score.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "darm/core/DARMPass.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+#include "darm/sim/Simulator.h"
+#include "darm/support/ErrorHandling.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/SimplifyCFG.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace darm;
+using namespace darm::bench;
+
+namespace {
+
+struct Cell {
+  std::string Benchmark;
+  unsigned BlockSize = 0;
+  const char *Pipeline = "";
+  uint64_t Instructions = 0;
+  uint64_t SimCycles = 0;
+  double Seconds = 0;
+};
+
+Cell runThroughputCell(const std::string &Name, unsigned BS, bool Meld,
+                       unsigned Repeat) {
+  auto B = createBenchmark(Name, BS);
+  if (!B)
+    reportFatalError("unknown benchmark name");
+
+  Context Ctx;
+  Module M(Ctx, Name);
+  Function *F = B->build(M);
+  if (Meld) {
+    DARMConfig Cfg;
+    runDARM(*F, Cfg, nullptr);
+  }
+  simplifyCFG(*F);
+  eliminateDeadCode(*F);
+
+  Cell C;
+  C.Benchmark = Name;
+  C.BlockSize = BS;
+  C.Pipeline = Meld ? "darm" : "baseline";
+
+  SimEngine Engine(*F); // decode once, replay Repeat times
+  for (unsigned R = 0; R < Repeat; ++R) {
+    GlobalMemory Mem;
+    std::vector<uint64_t> Base = B->setup(Mem);
+    SimStats S;
+    auto T0 = std::chrono::steady_clock::now();
+    for (unsigned L = 0, E = B->numLaunches(); L != E; ++L)
+      S += Engine.run(B->launch(), B->argsForLaunch(L, Base), Mem);
+    auto T1 = std::chrono::steady_clock::now();
+    C.Seconds += std::chrono::duration<double>(T1 - T0).count();
+    C.Instructions += S.InstructionsIssued;
+    C.SimCycles += S.Cycles;
+    if (R == 0) {
+      std::string Why;
+      if (!B->validate(Mem, Base, &Why)) {
+        std::fprintf(stderr, "VALIDATION FAILED: %s bs=%u pipeline=%s: %s\n",
+                     Name.c_str(), BS, C.Pipeline, Why.c_str());
+        reportFatalError("throughput cell produced wrong results");
+      }
+    }
+  }
+  return C;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Repeat = 3;
+  bool RunBaseline = true, RunDarm = true;
+  const char *OutPath = nullptr;
+  bool Usage = false;
+  for (int I = 1; I < argc && !Usage; ++I) {
+    if (!std::strcmp(argv[I], "--repeat") && I + 1 < argc) {
+      const int N = std::atoi(argv[++I]);
+      if (N <= 0)
+        Usage = true;
+      else
+        Repeat = static_cast<unsigned>(N);
+    } else if (!std::strcmp(argv[I], "--pipeline") && I + 1 < argc) {
+      ++I;
+      if (!std::strcmp(argv[I], "baseline")) {
+        RunDarm = false;
+      } else if (!std::strcmp(argv[I], "darm")) {
+        RunBaseline = false;
+      } else if (std::strcmp(argv[I], "both") != 0) {
+        Usage = true;
+      }
+    } else if (!std::strcmp(argv[I], "--out") && I + 1 < argc) {
+      OutPath = argv[++I];
+    } else {
+      Usage = true;
+    }
+  }
+  if (Usage) {
+    std::fprintf(stderr,
+                 "usage: %s [--repeat N>=1] [--pipeline baseline|darm|both] "
+                 "[--out FILE]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<Cell> Cells;
+  for (const std::string &Name : syntheticBenchmarkNames())
+    for (unsigned BS : paperBlockSizes(Name)) {
+      if (RunBaseline)
+        Cells.push_back(runThroughputCell(Name, BS, /*Meld=*/false, Repeat));
+      if (RunDarm)
+        Cells.push_back(runThroughputCell(Name, BS, /*Meld=*/true, Repeat));
+    }
+
+  uint64_t TotalInstrs = 0;
+  double TotalSec = 0;
+  for (const Cell &C : Cells) {
+    TotalInstrs += C.Instructions;
+    TotalSec += C.Seconds;
+  }
+  const double Throughput = TotalSec > 0 ? TotalInstrs / TotalSec : 0;
+
+  FILE *Out = stdout;
+  if (OutPath) {
+    Out = std::fopen(OutPath, "w");
+    if (!Out)
+      reportFatalError("cannot open --out file for writing");
+  }
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"schema\": \"darm-sim-throughput-v1\",\n");
+  std::fprintf(Out, "  \"suite\": \"fig8_synthetic\",\n");
+  std::fprintf(Out, "  \"repeat\": %u,\n", Repeat);
+  std::fprintf(Out, "  \"cells\": [\n");
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    const Cell &C = Cells[I];
+    std::fprintf(Out,
+                 "    {\"benchmark\": \"%s\", \"block_size\": %u, "
+                 "\"pipeline\": \"%s\", \"instructions\": %llu, "
+                 "\"sim_cycles\": %llu, \"seconds\": %.6f, "
+                 "\"instrs_per_sec\": %.1f}%s\n",
+                 C.Benchmark.c_str(), C.BlockSize, C.Pipeline,
+                 static_cast<unsigned long long>(C.Instructions),
+                 static_cast<unsigned long long>(C.SimCycles), C.Seconds,
+                 C.Seconds > 0 ? C.Instructions / C.Seconds : 0,
+                 I + 1 < Cells.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"total_instructions\": %llu,\n",
+               static_cast<unsigned long long>(TotalInstrs));
+  std::fprintf(Out, "  \"total_seconds\": %.6f,\n", TotalSec);
+  std::fprintf(Out, "  \"simulated_instructions_per_sec\": %.1f\n",
+               Throughput);
+  std::fprintf(Out, "}\n");
+  if (OutPath)
+    std::fclose(Out);
+
+  std::fprintf(stderr, "sim_throughput: %.4g simulated instrs/sec "
+                       "(%llu instrs in %.3fs, repeat=%u)\n",
+               Throughput, static_cast<unsigned long long>(TotalInstrs),
+               TotalSec, Repeat);
+  return 0;
+}

@@ -8,10 +8,16 @@
 /// Elements outside the optimal local alignment are reported as gaps, so
 /// the result always covers both input sequences completely.
 ///
+/// The entry points are templates over the score callable so a lambda is
+/// invoked directly in the O(|A|·|B|) DP inner loop — no std::function
+/// type erasure per cell. `std::function` overloads remain as thin
+/// wrappers for callers that store the scorer.
+///
 //===----------------------------------------------------------------------===//
 #ifndef DARM_CORE_SEQUENCEALIGN_H
 #define DARM_CORE_SEQUENCEALIGN_H
 
+#include <algorithm>
 #include <functional>
 #include <vector>
 
@@ -27,6 +33,42 @@ struct AlignEntry {
   bool operator==(const AlignEntry &O) const { return A == O.A && B == O.B; }
 };
 
+namespace detail {
+
+/// The Smith-Waterman DP matrix plus the location/value of its maximum.
+struct SWDPResult {
+  std::vector<double> H; ///< (LenA+1) x (LenB+1), row-major
+  unsigned BestI = 0, BestJ = 0;
+  double BestScore = 0;
+};
+
+/// Fills the DP matrix. \p Score is invoked directly (statically bound
+/// when the caller passes a lambda or function object).
+template <typename ScoreFn>
+SWDPResult runSmithWatermanDP(unsigned LenA, unsigned LenB, ScoreFn &&Score,
+                              double GapPenalty) {
+  SWDPResult R;
+  unsigned W = LenB + 1;
+  R.H.assign((LenA + 1) * W, 0.0);
+  for (unsigned I = 1; I <= LenA; ++I) {
+    for (unsigned J = 1; J <= LenB; ++J) {
+      double Diag = R.H[(I - 1) * W + (J - 1)] + Score(I - 1, J - 1);
+      double Up = R.H[(I - 1) * W + J] + GapPenalty;
+      double Left = R.H[I * W + (J - 1)] + GapPenalty;
+      double Best = std::max({0.0, Diag, Up, Left});
+      R.H[I * W + J] = Best;
+      if (Best > R.BestScore) {
+        R.BestScore = Best;
+        R.BestI = I;
+        R.BestJ = J;
+      }
+    }
+  }
+  return R;
+}
+
+} // namespace detail
+
 /// Computes a Smith-Waterman local alignment of sequences of length
 /// \p LenA and \p LenB. \p Score(i, j) returns the (possibly negative)
 /// benefit of aligning A[i] with B[j]; incompatible pairs should return a
@@ -35,13 +77,63 @@ struct AlignEntry {
 ///
 /// The returned list covers every index of both sequences exactly once, in
 /// order: indices before/after the optimal local window appear as gaps.
+template <typename ScoreFn>
+std::vector<AlignEntry> smithWaterman(unsigned LenA, unsigned LenB,
+                                      ScoreFn &&Score, double GapPenalty) {
+  detail::SWDPResult R =
+      detail::runSmithWatermanDP(LenA, LenB, Score, GapPenalty);
+  unsigned W = LenB + 1;
+
+  // Traceback from the best cell down to a zero cell.
+  std::vector<AlignEntry> Window;
+  unsigned I = R.BestI, J = R.BestJ;
+  while (I > 0 && J > 0 && R.H[I * W + J] > 0.0) {
+    double Cur = R.H[I * W + J];
+    double Diag = R.H[(I - 1) * W + (J - 1)] + Score(I - 1, J - 1);
+    if (Cur == Diag) {
+      Window.push_back({static_cast<int>(I - 1), static_cast<int>(J - 1)});
+      --I;
+      --J;
+    } else if (Cur == R.H[(I - 1) * W + J] + GapPenalty) {
+      Window.push_back({static_cast<int>(I - 1), -1});
+      --I;
+    } else {
+      Window.push_back({-1, static_cast<int>(J - 1)});
+      --J;
+    }
+  }
+  std::reverse(Window.begin(), Window.end());
+
+  // Compose the full-coverage alignment: leading gaps, the window, and
+  // trailing gaps.
+  std::vector<AlignEntry> Full;
+  for (unsigned K = 0; K < I; ++K)
+    Full.push_back({static_cast<int>(K), -1});
+  for (unsigned K = 0; K < J; ++K)
+    Full.push_back({-1, static_cast<int>(K)});
+  Full.insert(Full.end(), Window.begin(), Window.end());
+  for (unsigned K = R.BestI; K < LenA; ++K)
+    Full.push_back({static_cast<int>(K), -1});
+  for (unsigned K = R.BestJ; K < LenB; ++K)
+    Full.push_back({-1, static_cast<int>(K)});
+  return Full;
+}
+
+/// Score of the best local alignment window (the maximum DP cell), without
+/// the traceback. Useful for profitability queries.
+template <typename ScoreFn>
+double smithWatermanScore(unsigned LenA, unsigned LenB, ScoreFn &&Score,
+                          double GapPenalty) {
+  return detail::runSmithWatermanDP(LenA, LenB, Score, GapPenalty).BestScore;
+}
+
+// Thin type-erased wrappers (defined in SequenceAlign.cpp) for callers
+// that already hold a std::function; lambdas bind to the templates above.
 std::vector<AlignEntry>
 smithWaterman(unsigned LenA, unsigned LenB,
               const std::function<double(unsigned, unsigned)> &Score,
               double GapPenalty);
 
-/// Score of the best local alignment window (the maximum DP cell), without
-/// the traceback. Useful for profitability queries.
 double smithWatermanScore(unsigned LenA, unsigned LenB,
                           const std::function<double(unsigned, unsigned)> &Score,
                           double GapPenalty);

@@ -1,0 +1,138 @@
+//===- DecodedProgram.h - Pre-decoded kernel representation --------*- C++ -*-===//
+///
+/// \file
+/// The simulator's execution format: the IR object graph flattened, once
+/// per kernel, into dense POD arrays the execute phase can stream through
+/// without touching `Value *` pointers, `dyn_cast` chains, or hash-map
+/// lookups. The layout mirrors what cycle-level SIMT simulators keep per
+/// warp-instruction:
+///
+///   - every SSA value (argument, shared array, non-void instruction) gets
+///     a dense *register id*; constants and undef are normalized at decode
+///     time into a shared immediate table, so an operand is a single
+///     tagged 32-bit slot (high bit selects the immediate table),
+///   - every instruction becomes one fixed-size DecodedInst with its
+///     CostModel latency, sub-opcode (predicate / intrinsic), operand
+///     slots, and destination-write normalization baked in,
+///   - every basic block becomes a [first, first+count) range over the
+///     instruction array, its successors and IPDOM reconvergence target
+///     resolved to block indices, and the phi parallel-copies of each
+///     outgoing CFG edge precomputed as a contiguous PhiCopy range.
+///
+/// A DecodedProgram depends only on the Function (not on the launch
+/// geometry or GpuConfig), so one decode serves every launch of a kernel.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SIM_DECODEDPROGRAM_H
+#define DARM_SIM_DECODEDPROGRAM_H
+
+#include "darm/ir/Instruction.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace darm {
+
+class Function;
+
+/// Tagged operand: a register id, or an index into the immediate table
+/// when kImmediateBit is set.
+using OperandSlot = uint32_t;
+inline constexpr OperandSlot kImmediateBit = 1u << 31;
+/// Sentinel destination for value-less instructions.
+inline constexpr uint32_t kNoRegister = ~0u;
+/// Sentinel block index ("function exit" for reconvergence targets).
+inline constexpr uint32_t kNoBlock = ~0u;
+
+/// How a destination write canonicalizes its 64-bit payload (the register
+/// image of normalize() in the executor, resolved from the result type at
+/// decode time).
+enum class NormKind : uint8_t {
+  None, ///< i64 / pointer: stored as-is
+  I1,   ///< low bit
+  I32,  ///< sign-extended low 32 bits
+  F32   ///< f32 bit pattern in the low 32 bits
+};
+
+/// One pre-decoded instruction. Terminators carry their latency here; the
+/// control-flow payload (successors, reconvergence, phi copies) lives in
+/// the owning DecodedBlock.
+struct DecodedInst {
+  Opcode Op;
+  /// ICmpPred / FCmpPred / Intrinsic, as applicable; otherwise 0.
+  uint8_t SubOp = 0;
+  NormKind Norm = NormKind::None;
+  uint8_t Flags = 0;
+  uint16_t Latency = 0;
+  /// Element store size for gep / load / store.
+  uint16_t ElemSize = 0;
+  uint32_t Dest = kNoRegister;
+  OperandSlot A = 0, B = 0, C = 0;
+
+  // Flags bits.
+  static constexpr uint8_t kIs32 = 1 << 0;      ///< i32 binary op / icmp
+  static constexpr uint8_t kShared = 1 << 1;    ///< memory op targets LDS
+  static constexpr uint8_t kSrcIsI1 = 1 << 2;   ///< cast source is i1
+  static constexpr uint8_t kSrcIsI32 = 1 << 3;  ///< cast source is i32
+};
+
+/// One phi-node assignment on a CFG edge. All copies of an edge execute
+/// with parallel-copy semantics (reads staged before any write).
+struct PhiCopy {
+  uint32_t Dest;
+  OperandSlot Src;
+  NormKind Norm;
+};
+
+/// Half-open range into DecodedProgram::PhiCopies.
+struct PhiCopyRange {
+  uint32_t Begin = 0;
+  uint32_t End = 0;
+  bool empty() const { return Begin == End; }
+};
+
+/// One pre-decoded basic block.
+struct DecodedBlock {
+  /// Non-phi instructions, terminator last: Insts[First .. First+Count).
+  uint32_t FirstInst = 0;
+  uint32_t NumInsts = 0;
+  /// Successor block indices: [0] = unconditional / true target,
+  /// [1] = false target; kNoBlock when absent (Ret).
+  uint32_t Succ[2] = {kNoBlock, kNoBlock};
+  /// Phi parallel-copies of the corresponding successor edge.
+  PhiCopyRange Edge[2];
+  /// Immediate post-dominator (IPDOM) as a block index: where a divergent
+  /// branch out of this block reconverges. kNoBlock = function exit.
+  uint32_t Reconverge = kNoBlock;
+};
+
+/// A kernel flattened for execution. Produced by decodeProgram().
+struct DecodedProgram {
+  uint32_t NumRegisters = 0;
+  uint32_t EntryBlock = 0;
+  /// Max phi copies on any single edge: sizes the executor's staging
+  /// buffer (MaxEdgePhis x WarpSize).
+  uint32_t MaxEdgePhis = 0;
+  /// Static LDS bytes the kernel allocates per block.
+  uint32_t SharedMemoryBytes = 0;
+
+  std::vector<DecodedInst> Insts;
+  std::vector<DecodedBlock> Blocks;
+  std::vector<PhiCopy> PhiCopies;
+  /// Normalized constant / undef payloads, indexed by slot & ~kImmediateBit.
+  std::vector<uint64_t> Immediates;
+  /// Register id of function argument i; its (launch-supplied) value is
+  /// broadcast raw to every lane at warp initialization.
+  std::vector<uint32_t> ArgRegisters;
+  /// (register id, LDS byte offset) per shared array, broadcast likewise.
+  std::vector<std::pair<uint32_t, uint64_t>> SharedArrayInit;
+};
+
+/// Flattens \p F into execution form. Runs the post-dominator analysis and
+/// the whole-function value numbering exactly once; the result is
+/// read-only at execute time and shared by all launches of the kernel.
+DecodedProgram decodeProgram(Function &F);
+
+} // namespace darm
+
+#endif // DARM_SIM_DECODEDPROGRAM_H

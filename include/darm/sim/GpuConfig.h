@@ -18,6 +18,8 @@ namespace darm {
 
 /// Device parameters.
 struct GpuConfig {
+  /// Lanes per warp. Execution masks are 64 bits wide, so the simulator
+  /// supports 1..64; validate() rejects anything else.
   unsigned WarpSize = 32;
   unsigned NumLdsBanks = 32;
   unsigned LdsBankWidthBytes = 4;
@@ -25,6 +27,13 @@ struct GpuConfig {
   /// Abort threshold: a warp issuing more dynamic instructions than this
   /// is assumed to be stuck in a miscompiled loop.
   uint64_t MaxDynamicInstrPerWarp = 1ull << 28;
+
+  /// Aborts with a clear diagnostic when the parameters cannot be
+  /// simulated (WarpSize outside (0, 64], or a zero-sized bank/segment
+  /// geometry that would divide by zero in the contention model). Called
+  /// by SimEngine before any lane mask is built, so an oversized warp
+  /// fails loudly instead of silently shifting out of the 64-bit mask.
+  void validate() const;
 };
 
 /// Kernel launch geometry (1-D, as all paper kernels; 2-D blocks are

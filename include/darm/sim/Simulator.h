@@ -2,13 +2,23 @@
 ///
 /// \file
 /// A functional + timing simulator of the SIMT execution model (§II-A):
-/// warps execute the IR in lockstep; divergent branches push entries onto
-/// a reconvergence stack keyed on the branch's immediate post-dominator
-/// (IPDOM), serializing the two paths exactly as commodity GPU hardware
-/// does. Within a thread block, warps advance barrier-phase by
-/// barrier-phase; a phase costs the maximum over its warps (parallel SIMD
-/// units). Timing: each issued instruction costs its CostModel latency,
-/// plus LDS bank-conflict and global-memory coalescing penalties.
+/// warps execute the kernel in lockstep; divergent branches push entries
+/// onto a reconvergence stack keyed on the branch's immediate
+/// post-dominator (IPDOM), serializing the two paths exactly as commodity
+/// GPU hardware does. Within a thread block, warps advance barrier-phase
+/// by barrier-phase; a phase costs the maximum over its warps (parallel
+/// SIMD units). Timing: each issued instruction costs its CostModel
+/// latency, plus LDS bank-conflict and global-memory coalescing penalties.
+///
+/// The simulator is split into two layers (docs/simulator.md):
+///
+///   decode  — decodeProgram() flattens the IR into a DecodedProgram once
+///             per kernel (dense register ids, immediate table, per-edge
+///             phi copies, pre-resolved reconvergence targets, baked
+///             latencies);
+///   execute — SimEngine streams warps through the decoded arrays with one
+///             contiguous structure-of-arrays register file per warp,
+///             recycled across blocks and launches through a free pool.
 ///
 /// This simulator is the stand-in for the paper's AMD Vega 20 (DESIGN.md,
 /// substitutions table): every metric the paper's figures report — cycle
@@ -19,20 +29,57 @@
 #ifndef DARM_SIM_SIMULATOR_H
 #define DARM_SIM_SIMULATOR_H
 
+#include "darm/sim/DecodedProgram.h"
 #include "darm/sim/GpuConfig.h"
 #include "darm/sim/Memory.h"
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace darm {
 
 class Function;
 
-/// Executes \p Kernel over the launch geometry. \p Args are raw 64-bit
-/// argument values in declaration order (buffer pointers are GlobalMemory
-/// base addresses). Blocks run sequentially over the shared \p Mem;
-/// SimStats::Cycles accumulates each block's max-over-warps phase cycles.
+/// The execute phase: owns one DecodedProgram plus the reusable execution
+/// scratch (warp register files, LDS image, phi staging buffer). Decode
+/// happens once in the constructor; run() may be called any number of
+/// times — multi-launch benchmarks and throughput sweeps replay the same
+/// decoded kernel without re-decoding or reallocating.
+///
+/// Not thread-safe: one SimEngine simulates one kernel at a time.
+class SimEngine {
+public:
+  /// Decodes \p Kernel. \p Cfg is validated (GpuConfig::validate) so a
+  /// bad warp size fails loudly here instead of corrupting lane masks.
+  explicit SimEngine(Function &Kernel, const GpuConfig &Cfg = GpuConfig());
+  ~SimEngine();
+
+  SimEngine(const SimEngine &) = delete;
+  SimEngine &operator=(const SimEngine &) = delete;
+
+  /// Executes one launch over the geometry. \p Args are raw 64-bit
+  /// argument values in declaration order (buffer pointers are
+  /// GlobalMemory base addresses). Blocks run sequentially over the
+  /// shared \p Mem; SimStats::Cycles accumulates each block's
+  /// max-over-warps phase cycles.
+  SimStats run(const LaunchParams &LP, const std::vector<uint64_t> &Args,
+               GlobalMemory &Mem);
+
+  const DecodedProgram &program() const { return Prog; }
+  const GpuConfig &config() const { return Cfg; }
+
+private:
+  struct Scratch; // execution state pools, defined in Simulator.cpp
+
+  DecodedProgram Prog;
+  GpuConfig Cfg;
+  std::unique_ptr<Scratch> S;
+};
+
+/// One-shot convenience wrapper: decodes \p Kernel and runs a single
+/// launch. Callers that launch the same kernel repeatedly should hold a
+/// SimEngine instead to pay the decode once.
 SimStats runKernel(Function &Kernel, const LaunchParams &LP,
                    const std::vector<uint64_t> &Args, GlobalMemory &Mem,
                    const GpuConfig &Cfg = GpuConfig());

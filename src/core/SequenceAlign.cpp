@@ -1,89 +1,25 @@
 //===- SequenceAlign.cpp - Smith-Waterman sequence alignment ------------------===//
+//
+// Type-erased wrappers over the header templates, for callers that store
+// the scorer in a std::function. The explicit template-argument calls
+// force the template overload (a plain call would select these wrappers
+// again and recurse).
+//
+//===----------------------------------------------------------------------===//
 
 #include "darm/core/SequenceAlign.h"
 
-#include <algorithm>
-
 using namespace darm;
 
-namespace {
+using ScoreFunction = const std::function<double(unsigned, unsigned)> &;
 
-struct DPResult {
-  std::vector<double> H; // (LenA+1) x (LenB+1), row-major
-  unsigned BestI = 0, BestJ = 0;
-  double BestScore = 0;
-};
-
-DPResult runDP(unsigned LenA, unsigned LenB,
-               const std::function<double(unsigned, unsigned)> &Score,
-               double GapPenalty) {
-  DPResult R;
-  unsigned W = LenB + 1;
-  R.H.assign((LenA + 1) * W, 0.0);
-  for (unsigned I = 1; I <= LenA; ++I) {
-    for (unsigned J = 1; J <= LenB; ++J) {
-      double Diag = R.H[(I - 1) * W + (J - 1)] + Score(I - 1, J - 1);
-      double Up = R.H[(I - 1) * W + J] + GapPenalty;
-      double Left = R.H[I * W + (J - 1)] + GapPenalty;
-      double Best = std::max({0.0, Diag, Up, Left});
-      R.H[I * W + J] = Best;
-      if (Best > R.BestScore) {
-        R.BestScore = Best;
-        R.BestI = I;
-        R.BestJ = J;
-      }
-    }
-  }
-  return R;
+double darm::smithWatermanScore(unsigned LenA, unsigned LenB,
+                                ScoreFunction Score, double GapPenalty) {
+  return smithWatermanScore<ScoreFunction>(LenA, LenB, Score, GapPenalty);
 }
 
-} // namespace
-
-double darm::smithWatermanScore(
-    unsigned LenA, unsigned LenB,
-    const std::function<double(unsigned, unsigned)> &Score,
-    double GapPenalty) {
-  return runDP(LenA, LenB, Score, GapPenalty).BestScore;
-}
-
-std::vector<AlignEntry>
-darm::smithWaterman(unsigned LenA, unsigned LenB,
-                    const std::function<double(unsigned, unsigned)> &Score,
-                    double GapPenalty) {
-  DPResult R = runDP(LenA, LenB, Score, GapPenalty);
-  unsigned W = LenB + 1;
-
-  // Traceback from the best cell down to a zero cell.
-  std::vector<AlignEntry> Window;
-  unsigned I = R.BestI, J = R.BestJ;
-  while (I > 0 && J > 0 && R.H[I * W + J] > 0.0) {
-    double Cur = R.H[I * W + J];
-    double Diag = R.H[(I - 1) * W + (J - 1)] + Score(I - 1, J - 1);
-    if (Cur == Diag) {
-      Window.push_back({static_cast<int>(I - 1), static_cast<int>(J - 1)});
-      --I;
-      --J;
-    } else if (Cur == R.H[(I - 1) * W + J] + GapPenalty) {
-      Window.push_back({static_cast<int>(I - 1), -1});
-      --I;
-    } else {
-      Window.push_back({-1, static_cast<int>(J - 1)});
-      --J;
-    }
-  }
-  std::reverse(Window.begin(), Window.end());
-
-  // Compose the full-coverage alignment: leading gaps, the window, and
-  // trailing gaps.
-  std::vector<AlignEntry> Full;
-  for (unsigned K = 0; K < I; ++K)
-    Full.push_back({static_cast<int>(K), -1});
-  for (unsigned K = 0; K < J; ++K)
-    Full.push_back({-1, static_cast<int>(K)});
-  Full.insert(Full.end(), Window.begin(), Window.end());
-  for (unsigned K = R.BestI; K < LenA; ++K)
-    Full.push_back({static_cast<int>(K), -1});
-  for (unsigned K = R.BestJ; K < LenB; ++K)
-    Full.push_back({-1, static_cast<int>(K)});
-  return Full;
+std::vector<AlignEntry> darm::smithWaterman(unsigned LenA, unsigned LenB,
+                                            ScoreFunction Score,
+                                            double GapPenalty) {
+  return smithWaterman<ScoreFunction>(LenA, LenB, Score, GapPenalty);
 }

@@ -65,9 +65,11 @@ bool darm::runAndValidate(const Benchmark &B, Function &Kern, SimStats &Stats,
                           std::string *Why) {
   GlobalMemory Mem;
   std::vector<uint64_t> Base = B.setup(Mem);
+  // One decode serves every launch of a multi-launch benchmark.
+  SimEngine Engine(Kern);
   for (unsigned L = 0, E = B.numLaunches(); L != E; ++L) {
     std::vector<uint64_t> Args = B.argsForLaunch(L, Base);
-    Stats += runKernel(Kern, B.launch(), Args, Mem);
+    Stats += Engine.run(B.launch(), Args, Mem);
   }
   return B.validate(Mem, Base, Why);
 }

@@ -1,0 +1,286 @@
+//===- Decode.cpp - IR -> DecodedProgram flattening -------------------------------===//
+//
+// The decode phase of the simulator: runs once per kernel, never in the
+// execute loop. Everything the old tree-walking interpreter recomputed per
+// dynamic instruction — operand dispatch over the Value hierarchy, value-id
+// hash lookups, CostModel latencies, phi incoming-value searches, and the
+// post-dominator queries for reconvergence — is resolved here into the
+// dense arrays of DecodedProgram.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/CostModel.h"
+#include "darm/analysis/DominatorTree.h"
+#include "darm/ir/Function.h"
+#include "darm/sim/DecodedProgram.h"
+#include "darm/support/ErrorHandling.h"
+
+#include <bit>
+#include <unordered_map>
+
+using namespace darm;
+
+namespace {
+
+/// Canonical register form (see NormKind): i1 as 0/1, i32 sign-extended,
+/// f32 as its bit pattern in the low 32 bits.
+uint64_t normalizeImm(const Type *Ty, uint64_t Raw) {
+  switch (Ty->getKind()) {
+  case Type::Kind::Int1:
+    return Raw & 1;
+  case Type::Kind::Int32:
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(Raw)));
+  case Type::Kind::Float:
+    return Raw & 0xffffffffull;
+  default:
+    return Raw;
+  }
+}
+
+NormKind normKindOf(const Type *Ty) {
+  switch (Ty->getKind()) {
+  case Type::Kind::Int1:
+    return NormKind::I1;
+  case Type::Kind::Int32:
+    return NormKind::I32;
+  case Type::Kind::Float:
+    return NormKind::F32;
+  default:
+    return NormKind::None;
+  }
+}
+
+class Decoder {
+public:
+  explicit Decoder(Function &F) : F(F) {}
+
+  DecodedProgram decode();
+
+private:
+  uint32_t registerOf(const Value *V) const {
+    auto It = RegisterIds.find(V);
+    assert(It != RegisterIds.end() && "value not numbered");
+    return It->second;
+  }
+
+  OperandSlot slotOf(const Value *V);
+  uint32_t immediateSlot(uint64_t Bits);
+  void numberValues();
+  DecodedInst decodeInst(const Instruction *I);
+  PhiCopyRange decodeEdgePhis(BasicBlock *From, BasicBlock *To);
+
+  Function &F;
+  DecodedProgram P;
+  std::unordered_map<const Value *, uint32_t> RegisterIds;
+  std::unordered_map<uint64_t, uint32_t> ImmediateIds;
+  std::unordered_map<const BasicBlock *, uint32_t> BlockIds;
+};
+
+void Decoder::numberValues() {
+  auto Number = [&](const Value *V) { RegisterIds[V] = P.NumRegisters++; };
+  for (unsigned I = 0; I < F.getNumArgs(); ++I) {
+    Number(F.getArg(I));
+    P.ArgRegisters.push_back(registerOf(F.getArg(I)));
+  }
+  uint64_t LdsOffset = 0;
+  for (const auto &S : F.sharedArrays()) {
+    Number(S.get());
+    LdsOffset = (LdsOffset + 15) & ~15ull;
+    P.SharedArrayInit.push_back({registerOf(S.get()), LdsOffset});
+    LdsOffset += S->getSizeInBytes();
+  }
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (!I->getType()->isVoid())
+        Number(I);
+}
+
+uint32_t Decoder::immediateSlot(uint64_t Bits) {
+  auto [It, Inserted] =
+      ImmediateIds.try_emplace(Bits, static_cast<uint32_t>(P.Immediates.size()));
+  if (Inserted)
+    P.Immediates.push_back(Bits);
+  return It->second | kImmediateBit;
+}
+
+OperandSlot Decoder::slotOf(const Value *V) {
+  if (const auto *CI = dyn_cast<ConstantInt>(V))
+    return immediateSlot(
+        normalizeImm(CI->getType(), static_cast<uint64_t>(CI->getValue())));
+  if (const auto *CF = dyn_cast<ConstantFloat>(V))
+    return immediateSlot(
+        static_cast<uint64_t>(std::bit_cast<uint32_t>(CF->getValue())));
+  if (isa<UndefValue>(V))
+    return immediateSlot(0);
+  return registerOf(V);
+}
+
+DecodedInst Decoder::decodeInst(const Instruction *I) {
+  DecodedInst D;
+  D.Op = I->getOpcode();
+  D.Latency = static_cast<uint16_t>(CostModel::getLatency(I));
+  if (!I->getType()->isVoid()) {
+    D.Dest = registerOf(I);
+    D.Norm = normKindOf(I->getType());
+  }
+
+  switch (D.Op) {
+  case Opcode::Br:
+  case Opcode::Ret:
+    break;
+  case Opcode::CondBr:
+    D.A = slotOf(cast<CondBrInst>(I)->getCondition());
+    break;
+  case Opcode::ICmp: {
+    const auto *C = cast<ICmpInst>(I);
+    D.SubOp = static_cast<uint8_t>(C->getPredicate());
+    if (C->getLHS()->getType()->isInt32())
+      D.Flags |= DecodedInst::kIs32;
+    D.A = slotOf(C->getLHS());
+    D.B = slotOf(C->getRHS());
+    break;
+  }
+  case Opcode::FCmp: {
+    const auto *C = cast<FCmpInst>(I);
+    D.SubOp = static_cast<uint8_t>(C->getPredicate());
+    D.A = slotOf(C->getLHS());
+    D.B = slotOf(C->getRHS());
+    break;
+  }
+  case Opcode::Select: {
+    const auto *S = cast<SelectInst>(I);
+    D.A = slotOf(S->getCondition());
+    D.B = slotOf(S->getTrueValue());
+    D.C = slotOf(S->getFalseValue());
+    break;
+  }
+  case Opcode::Gep: {
+    const auto *G = cast<GepInst>(I);
+    D.A = slotOf(G->getPointer());
+    D.B = slotOf(G->getIndex());
+    D.ElemSize = static_cast<uint16_t>(
+        G->getType()->getPointee()->getStoreSizeInBytes());
+    break;
+  }
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::Trunc:
+  case Opcode::SIToFP:
+  case Opcode::FPToSI: {
+    const auto *C = cast<CastInst>(I);
+    Type *Src = C->getSource()->getType();
+    if (Src->isInt1())
+      D.Flags |= DecodedInst::kSrcIsI1;
+    else if (Src->isInt32())
+      D.Flags |= DecodedInst::kSrcIsI32;
+    D.A = slotOf(C->getSource());
+    break;
+  }
+  case Opcode::Load: {
+    const auto *L = cast<LoadInst>(I);
+    if (L->getAddressSpace() == AddressSpace::Shared)
+      D.Flags |= DecodedInst::kShared;
+    D.ElemSize = static_cast<uint16_t>(
+        L->getPointer()->getType()->getPointee()->getStoreSizeInBytes());
+    D.A = slotOf(L->getPointer());
+    break;
+  }
+  case Opcode::Store: {
+    const auto *S = cast<StoreInst>(I);
+    if (S->getAddressSpace() == AddressSpace::Shared)
+      D.Flags |= DecodedInst::kShared;
+    D.ElemSize = static_cast<uint16_t>(
+        S->getPointer()->getType()->getPointee()->getStoreSizeInBytes());
+    D.A = slotOf(S->getValueOperand());
+    D.B = slotOf(S->getPointer());
+    break;
+  }
+  case Opcode::Call: {
+    const auto *C = cast<CallInst>(I);
+    D.SubOp = static_cast<uint8_t>(C->getIntrinsic());
+    if (C->getIntrinsic() == Intrinsic::ShflSync) {
+      D.A = slotOf(C->getOperand(0));
+      D.B = slotOf(C->getOperand(1));
+    }
+    break;
+  }
+  case Opcode::Phi:
+    darm_unreachable("phis are decoded as edge copies");
+  default:
+    // Binary arithmetic / logic (Add .. FDiv).
+    assert(I->isBinaryOp() && "unhandled opcode in decode");
+    if (D.Op >= Opcode::Add && D.Op <= Opcode::AShr &&
+        I->getType()->getKind() == Type::Kind::Int32)
+      D.Flags |= DecodedInst::kIs32;
+    D.A = slotOf(I->getOperand(0));
+    D.B = slotOf(I->getOperand(1));
+    break;
+  }
+  return D;
+}
+
+PhiCopyRange Decoder::decodeEdgePhis(BasicBlock *From, BasicBlock *To) {
+  PhiCopyRange R;
+  R.Begin = static_cast<uint32_t>(P.PhiCopies.size());
+  for (Instruction *I : *To) {
+    if (!I->isPhi())
+      break;
+    auto *Phi = cast<PhiInst>(I);
+    P.PhiCopies.push_back({registerOf(Phi),
+                           slotOf(Phi->getIncomingValueForBlock(From)),
+                           normKindOf(Phi->getType())});
+  }
+  R.End = static_cast<uint32_t>(P.PhiCopies.size());
+  P.MaxEdgePhis = std::max(P.MaxEdgePhis, R.End - R.Begin);
+  return R;
+}
+
+DecodedProgram Decoder::decode() {
+  numberValues();
+  P.SharedMemoryBytes = F.getSharedMemoryBytes();
+
+  std::vector<BasicBlock *> Blocks = F.getBlockVector();
+  for (uint32_t I = 0; I < Blocks.size(); ++I)
+    BlockIds[Blocks[I]] = I;
+  P.EntryBlock = BlockIds.at(&F.getEntryBlock());
+
+  // Reconvergence targets come from one post-dominator tree per kernel
+  // (the old interpreter rebuilt it for every grid block).
+  PostDominatorTree PDT(F);
+
+  P.Blocks.resize(Blocks.size());
+  for (uint32_t BI = 0; BI < Blocks.size(); ++BI) {
+    BasicBlock *BB = Blocks[BI];
+    DecodedBlock &DB = P.Blocks[BI];
+    DB.FirstInst = static_cast<uint32_t>(P.Insts.size());
+    for (Instruction *I : *BB) {
+      if (I->isPhi())
+        continue;
+      P.Insts.push_back(decodeInst(I));
+    }
+    DB.NumInsts = static_cast<uint32_t>(P.Insts.size()) - DB.FirstInst;
+    assert(DB.NumInsts > 0 && "block without a terminator");
+
+    if (PDT.isReachable(BB))
+      if (BasicBlock *R = PDT.getIDom(BB))
+        DB.Reconverge = BlockIds.at(R);
+
+    const Instruction *Term = BB->getTerminator();
+    assert(Term && "unterminated block reached the simulator");
+    if (const auto *Br = dyn_cast<BrInst>(Term)) {
+      DB.Succ[0] = BlockIds.at(Br->getTarget());
+      DB.Edge[0] = decodeEdgePhis(BB, Br->getTarget());
+    } else if (const auto *CB = dyn_cast<CondBrInst>(Term)) {
+      DB.Succ[0] = BlockIds.at(CB->getTrueSuccessor());
+      DB.Succ[1] = BlockIds.at(CB->getFalseSuccessor());
+      DB.Edge[0] = decodeEdgePhis(BB, CB->getTrueSuccessor());
+      DB.Edge[1] = decodeEdgePhis(BB, CB->getFalseSuccessor());
+    }
+  }
+  return P;
+}
+
+} // namespace
+
+DecodedProgram darm::decodeProgram(Function &F) { return Decoder(F).decode(); }

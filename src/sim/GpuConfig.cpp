@@ -1,0 +1,25 @@
+//===- GpuConfig.cpp - Simulated GPU parameter validation -------------------------===//
+
+#include "darm/sim/GpuConfig.h"
+
+#include "darm/support/ErrorHandling.h"
+
+#include <cstdio>
+
+using namespace darm;
+
+void GpuConfig::validate() const {
+  if (WarpSize == 0 || WarpSize > 64) {
+    std::fprintf(stderr,
+                 "GpuConfig: WarpSize=%u is outside the supported range "
+                 "(0, 64] — execution masks are 64 bits wide\n",
+                 WarpSize);
+    reportFatalError("invalid GpuConfig::WarpSize");
+  }
+  if (NumLdsBanks == 0 || LdsBankWidthBytes == 0)
+    reportFatalError("GpuConfig: LDS bank geometry must be nonzero");
+  if (CoalesceSegmentBytes == 0)
+    reportFatalError("GpuConfig: CoalesceSegmentBytes must be nonzero");
+  if (MaxDynamicInstrPerWarp == 0)
+    reportFatalError("GpuConfig: MaxDynamicInstrPerWarp must be nonzero");
+}

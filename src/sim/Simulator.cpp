@@ -1,39 +1,33 @@
-//===- Simulator.cpp - SIMT warp simulator --------------------------------------===//
+//===- Simulator.cpp - SIMT warp simulator (execute phase) ------------------------===//
+//
+// The execute phase over DecodedProgram (see Decode.cpp for the decode
+// phase). Per-warp state is flat: one contiguous structure-of-arrays
+// register file of NumRegisters x WarpSize uint64s (row r, lane l at
+// Regs[r * WarpSize + l]), recycled across blocks and launches through a
+// free pool. Lane loops iterate only the set bits of the active mask
+// (std::countr_zero), and phi parallel-copies stage through one
+// preallocated buffer instead of per-edge vector<vector> allocations.
+//
+// The observable behaviour — SimStats counters, cycle accounting, and all
+// memory effects — is bit-identical to the original tree-walking
+// interpreter; tests/sim_golden_test.cpp pins that equivalence against
+// recorded goldens for every kernel in src/kernels/.
+//
+//===----------------------------------------------------------------------===//
 
 #include "darm/sim/Simulator.h"
 
 #include "darm/analysis/CostModel.h"
-#include "darm/analysis/DominatorTree.h"
-#include "darm/ir/Context.h"
 #include "darm/ir/Function.h"
-#include "darm/ir/Module.h"
 #include "darm/support/ErrorHandling.h"
 
+#include <algorithm>
 #include <bit>
-#include <cmath>
 #include <cstring>
-#include <set>
-#include <unordered_map>
 
 using namespace darm;
 
 namespace {
-
-/// Canonical register form: i1 as 0/1, i32 sign-extended to 64 bits, f32
-/// as its bit pattern in the low 32 bits, pointers as byte addresses.
-uint64_t normalize(const Type *Ty, uint64_t Raw) {
-  switch (Ty->getKind()) {
-  case Type::Kind::Int1:
-    return Raw & 1;
-  case Type::Kind::Int32:
-    return static_cast<uint64_t>(
-        static_cast<int64_t>(static_cast<int32_t>(Raw)));
-  case Type::Kind::Float:
-    return Raw & 0xffffffffull;
-  default:
-    return Raw;
-  }
-}
 
 float asFloat(uint64_t Bits) {
   return std::bit_cast<float>(static_cast<uint32_t>(Bits));
@@ -42,118 +36,141 @@ uint64_t fromFloat(float F) {
   return static_cast<uint64_t>(std::bit_cast<uint32_t>(F));
 }
 
-/// One reconvergence-stack entry.
-struct StackEntry {
-  BasicBlock *PC;
-  uint64_t Mask;
-  BasicBlock *RPC; // reconvergence block; null = function exit
-};
+/// Canonical register form on write (decode resolved the kind from the
+/// destination type).
+uint64_t applyNorm(NormKind K, uint64_t Raw) {
+  switch (K) {
+  case NormKind::I1:
+    return Raw & 1;
+  case NormKind::I32:
+    return static_cast<uint64_t>(
+        static_cast<int64_t>(static_cast<int32_t>(Raw)));
+  case NormKind::F32:
+    return Raw & 0xffffffffull;
+  case NormKind::None:
+    break;
+  }
+  return Raw;
+}
+
+/// Calls \p Fn(lane) for every set bit of \p Mask, low to high.
+template <typename Fn> void forLanes(uint64_t Mask, Fn &&F) {
+  while (Mask) {
+    F(static_cast<unsigned>(std::countr_zero(Mask)));
+    Mask &= Mask - 1;
+  }
+}
+
+uint64_t fullMask(unsigned Lanes) {
+  return Lanes >= 64 ? ~0ull : ((1ull << Lanes) - 1);
+}
 
 enum class WarpStatus { Finished, AtBarrier };
 
-class BlockExecutor {
-public:
-  BlockExecutor(Function &F, const LaunchParams &LP,
-                const std::vector<uint64_t> &Args, GlobalMemory &Mem,
-                const GpuConfig &Cfg, unsigned BlockIdx, SimStats &Stats)
-      : F(F), LP(LP), Mem(Mem), Cfg(Cfg), BlockIdx(BlockIdx), Stats(Stats),
-        PDT(F), Lds(F.getSharedMemoryBytes(), 0) {
-    numberValues(Args);
-  }
+} // namespace
 
-  /// Runs all warps of the block phase-by-phase; returns the block's
-  /// cycle count (max over warps within each barrier phase, summed).
-  uint64_t run();
+/// All mutable execution state, pooled so repeated run() calls allocate
+/// nothing in steady state.
+struct SimEngine::Scratch {
+  struct StackEntry {
+    uint32_t PC;   ///< current block, kNoBlock once lanes exited
+    uint32_t RPC;  ///< reconvergence block; kNoBlock = function exit
+    uint64_t Mask; ///< lanes executing this entry
+  };
 
-private:
   struct Warp {
     unsigned Index = 0;
     std::vector<StackEntry> Stack;
-    unsigned ResumeIdx = 0; // instruction index into the top entry's block
+    uint32_t ResumeIdx = 0; ///< instruction index into the top entry's block
     uint64_t Cycles = 0;
     uint64_t DynInstrs = 0;
     bool Done = false;
-    std::vector<std::vector<uint64_t>> Regs; // [valueId][lane]
+    std::vector<uint64_t> Regs; ///< SoA register file, NumRegisters x WarpSize
   };
 
-  void numberValues(const std::vector<uint64_t> &Args);
-  unsigned idOf(const Value *V) const {
-    auto It = ValueIds.find(V);
-    assert(It != ValueIds.end() && "value not numbered");
-    return It->second;
-  }
+  /// One operand resolved to either a register row or a broadcast
+  /// immediate; get(lane) is the per-lane read.
+  struct OpRow {
+    const uint64_t *Row;
+    uint64_t Imm;
+    uint64_t get(unsigned L) const { return Row ? Row[L] : Imm; }
+  };
 
-  uint64_t eval(Warp &W, const Value *V, unsigned Lane) const {
-    if (const auto *CI = dyn_cast<ConstantInt>(V))
-      return normalize(CI->getType(), static_cast<uint64_t>(CI->getValue()));
-    if (const auto *CF = dyn_cast<ConstantFloat>(V))
-      return fromFloat(CF->getValue());
-    if (isa<UndefValue>(V))
-      return 0;
-    return W.Regs[idOf(V)][Lane];
-  }
+  // Launch context (set by SimEngine::run).
+  const DecodedProgram *Prog = nullptr;
+  const GpuConfig *Cfg = nullptr;
+  const LaunchParams *LP = nullptr;
+  const std::vector<uint64_t> *Args = nullptr;
+  GlobalMemory *Mem = nullptr;
+  SimStats LaunchStats;
+  unsigned BlockIdx = 0;
 
-  void write(Warp &W, const Value *V, unsigned Lane, uint64_t Bits) {
-    W.Regs[idOf(V)][Lane] = normalize(V->getType(), Bits);
-  }
-
-  void evalEdgePhis(Warp &W, BasicBlock *From, BasicBlock *To,
-                    uint64_t Mask);
-  WarpStatus runWarp(Warp &W);
-  void execute(Warp &W, const Instruction *I, uint64_t Mask);
-  uint64_t evalScalarOp(const Instruction *I, uint64_t A, uint64_t B) const;
-  void executeMemory(Warp &W, const Instruction *I, uint64_t Mask);
-  uint64_t memLoad(AddressSpace AS, uint64_t Addr, unsigned Size) const;
-  void memStore(Warp &W, AddressSpace AS, uint64_t Addr, unsigned Size,
-                uint64_t V);
-
-  Function &F;
-  const LaunchParams &LP;
-  GlobalMemory &Mem;
-  const GpuConfig &Cfg;
-  unsigned BlockIdx;
-  SimStats &Stats;
-  PostDominatorTree PDT;
+  // Pooled state.
+  std::vector<Warp> Warps;
+  std::vector<std::vector<uint64_t>> RegisterPool;
   std::vector<uint8_t> Lds;
-  std::unordered_map<const Value *, unsigned> ValueIds;
-  unsigned NumValues = 0;
-  std::vector<std::pair<const Value *, uint64_t>> BroadcastInit;
-  Warp *Cur = nullptr; // for intrinsics needing lane identity
+  std::vector<uint64_t> Staging; ///< MaxEdgePhis x WarpSize phi staging
+  std::vector<uint64_t> Addrs;   ///< active-lane addresses (contention model)
+  std::vector<std::pair<uint64_t, uint64_t>> BankPairs; ///< (bank, addr)
+  std::vector<uint64_t> Segments;
+
+  OpRow row(const Warp &W, OperandSlot Slot) const {
+    if (Slot & kImmediateBit)
+      return {nullptr, Prog->Immediates[Slot & ~kImmediateBit]};
+    return {W.Regs.data() + static_cast<size_t>(Slot) * Cfg->WarpSize, 0};
+  }
+
+  uint64_t *destRow(Warp &W, const DecodedInst &DI) {
+    assert(DI.Dest != kNoRegister && "instruction has no destination");
+    return W.Regs.data() + static_cast<size_t>(DI.Dest) * Cfg->WarpSize;
+  }
+
+  void acquireRegisters(Warp &W) {
+    if (!RegisterPool.empty()) {
+      W.Regs = std::move(RegisterPool.back());
+      RegisterPool.pop_back();
+    }
+    // assign() zero-fills while reusing the pooled allocation.
+    W.Regs.assign(static_cast<size_t>(Prog->NumRegisters) * Cfg->WarpSize, 0);
+  }
+  void releaseRegisters(Warp &W) { RegisterPool.push_back(std::move(W.Regs)); }
+
+  uint64_t runBlock(unsigned Block);
+  WarpStatus runWarp(Warp &W);
+  void runEdgeCopies(Warp &W, PhiCopyRange R, uint64_t Mask);
+  void execute(Warp &W, const DecodedInst &DI, uint64_t Mask);
+  void executeMemory(Warp &W, const DecodedInst &DI, uint64_t Mask);
+  uint64_t memLoad(bool Shared, uint64_t Addr, unsigned Size) const;
+  void memStore(bool Shared, uint64_t Addr, unsigned Size, uint64_t V);
 };
 
-void BlockExecutor::numberValues(const std::vector<uint64_t> &Args) {
-  auto Number = [&](const Value *V) { ValueIds[V] = NumValues++; };
-  for (unsigned I = 0; I < F.getNumArgs(); ++I) {
-    Number(F.getArg(I));
-    BroadcastInit.push_back({F.getArg(I), Args.at(I)});
-  }
-  uint64_t LdsOffset = 0;
-  for (const auto &S : F.sharedArrays()) {
-    Number(S.get());
-    LdsOffset = (LdsOffset + 15) & ~15ull;
-    BroadcastInit.push_back({S.get(), LdsOffset});
-    LdsOffset += S->getSizeInBytes();
-  }
-  for (BasicBlock *BB : F)
-    for (Instruction *I : *BB)
-      if (!I->getType()->isVoid())
-        Number(I);
-}
+uint64_t SimEngine::Scratch::runBlock(unsigned Block) {
+  BlockIdx = Block;
+  const unsigned WS = Cfg->WarpSize;
+  const unsigned NumThreads = LP->BlockDimX;
+  const unsigned NumWarps = (NumThreads + WS - 1) / WS;
 
-uint64_t BlockExecutor::run() {
-  unsigned NumThreads = LP.BlockDimX;
-  unsigned NumWarps = (NumThreads + Cfg.WarpSize - 1) / Cfg.WarpSize;
-  std::vector<Warp> Warps(NumWarps);
-  for (unsigned W = 0; W < NumWarps; ++W) {
-    Warps[W].Index = W;
-    unsigned Lanes = std::min(Cfg.WarpSize, NumThreads - W * Cfg.WarpSize);
-    uint64_t Mask = (Lanes == 64) ? ~0ull : ((1ull << Lanes) - 1);
-    Warps[W].Stack.push_back({&F.getEntryBlock(), Mask, nullptr});
-    Warps[W].Regs.assign(NumValues,
-                         std::vector<uint64_t>(Cfg.WarpSize, 0));
-    for (const auto &[V, Bits] : BroadcastInit)
-      for (unsigned L = 0; L < Cfg.WarpSize; ++L)
-        Warps[W].Regs[idOf(V)][L] = Bits;
+  Lds.assign(Prog->SharedMemoryBytes, 0);
+  Warps.resize(NumWarps);
+  for (unsigned WI = 0; WI < NumWarps; ++WI) {
+    Warp &W = Warps[WI];
+    W.Index = WI;
+    W.Stack.clear();
+    const unsigned Lanes = std::min(WS, NumThreads - WI * WS);
+    W.Stack.push_back({Prog->EntryBlock, kNoBlock, fullMask(Lanes)});
+    W.ResumeIdx = 0;
+    W.Cycles = 0;
+    W.DynInstrs = 0;
+    W.Done = false;
+    acquireRegisters(W);
+    // Broadcast launch arguments and LDS base offsets to every lane (raw
+    // 64-bit payloads, exactly as the host supplied them).
+    for (size_t A = 0; A < Prog->ArgRegisters.size(); ++A)
+      std::fill_n(W.Regs.data() +
+                      static_cast<size_t>(Prog->ArgRegisters[A]) * WS,
+                  WS, Args->at(A));
+    for (const auto &[Reg, Offset] : Prog->SharedArrayInit)
+      std::fill_n(W.Regs.data() + static_cast<size_t>(Reg) * WS, WS, Offset);
   }
 
   uint64_t BlockCycles = 0;
@@ -163,14 +180,12 @@ uint64_t BlockExecutor::run() {
     for (Warp &W : Warps) {
       if (W.Done)
         continue;
-      uint64_t Before = W.Cycles;
-      Cur = &W;
-      WarpStatus S = runWarp(W);
-      Cur = nullptr;
+      const uint64_t Before = W.Cycles;
+      WarpStatus St = runWarp(W);
       PhaseMax = std::max(PhaseMax, W.Cycles - Before);
-      if (S == WarpStatus::Finished) {
+      if (St == WarpStatus::Finished) {
         W.Done = true;
-        Stats.TotalWarpCycles += W.Cycles;
+        LaunchStats.TotalWarpCycles += W.Cycles;
       } else {
         AllDone = false;
       }
@@ -179,212 +194,202 @@ uint64_t BlockExecutor::run() {
     if (AllDone)
       break;
   }
+  for (Warp &W : Warps)
+    releaseRegisters(W);
   return BlockCycles;
 }
 
-void BlockExecutor::evalEdgePhis(Warp &W, BasicBlock *From, BasicBlock *To,
-                                 uint64_t Mask) {
-  std::vector<PhiInst *> Phis = To->phis();
-  if (Phis.empty())
+void SimEngine::Scratch::runEdgeCopies(Warp &W, PhiCopyRange R,
+                                       uint64_t Mask) {
+  if (R.empty())
     return;
   // Parallel-copy semantics: read all sources before any write.
-  std::vector<std::vector<uint64_t>> Staged(Phis.size());
-  for (size_t P = 0; P < Phis.size(); ++P) {
-    Value *In = Phis[P]->getIncomingValueForBlock(From);
-    Staged[P].resize(Cfg.WarpSize, 0);
-    for (unsigned L = 0; L < Cfg.WarpSize; ++L)
-      if (Mask & (1ull << L))
-        Staged[P][L] = eval(W, In, L);
+  const PhiCopy *Copies = Prog->PhiCopies.data();
+  const unsigned WS = Cfg->WarpSize;
+  uint64_t *Stage = Staging.data();
+  for (uint32_t C = R.Begin; C != R.End; ++C, Stage += WS) {
+    const OpRow Src = row(W, Copies[C].Src);
+    forLanes(Mask, [&](unsigned L) { Stage[L] = Src.get(L); });
   }
-  for (size_t P = 0; P < Phis.size(); ++P)
-    for (unsigned L = 0; L < Cfg.WarpSize; ++L)
-      if (Mask & (1ull << L))
-        write(W, Phis[P], L, Staged[P][L]);
+  Stage = Staging.data();
+  for (uint32_t C = R.Begin; C != R.End; ++C, Stage += WS) {
+    uint64_t *Dest =
+        W.Regs.data() + static_cast<size_t>(Copies[C].Dest) * WS;
+    const NormKind Norm = Copies[C].Norm;
+    forLanes(Mask, [&](unsigned L) { Dest[L] = applyNorm(Norm, Stage[L]); });
+  }
 }
 
-WarpStatus BlockExecutor::runWarp(Warp &W) {
+WarpStatus SimEngine::Scratch::runWarp(Warp &W) {
+  const DecodedInst *Insts = Prog->Insts.data();
   while (true) {
     if (W.Stack.empty())
       return WarpStatus::Finished;
     StackEntry &Top = W.Stack.back();
-    if (!Top.PC || Top.PC == Top.RPC) {
+    if (Top.PC == kNoBlock || Top.PC == Top.RPC) {
       // Lanes reached the reconvergence point (or exited): merge back.
       W.Stack.pop_back();
       W.ResumeIdx = 0;
       continue;
     }
 
-    BasicBlock *BB = Top.PC;
-    uint64_t Mask = Top.Mask;
-    unsigned Idx = 0;
-    bool Transferred = false;
-    for (Instruction *I : *BB) {
-      if (Idx++ < W.ResumeIdx)
-        continue;
-      if (I->isPhi())
-        continue; // evaluated at edge time
-      if (++W.DynInstrs > Cfg.MaxDynamicInstrPerWarp)
+    const DecodedBlock &DB = Prog->Blocks[Top.PC];
+    const uint64_t Mask = Top.Mask;
+    const uint32_t Last = DB.NumInsts - 1; // terminator
+    for (uint32_t Idx = W.ResumeIdx; Idx < DB.NumInsts; ++Idx) {
+      const DecodedInst &DI = Insts[DB.FirstInst + Idx];
+      if (++W.DynInstrs > Cfg->MaxDynamicInstrPerWarp)
         reportFatalError("simulated warp exceeded the dynamic "
                          "instruction budget (runaway loop?)");
 
-      if (const auto *C = dyn_cast<CallInst>(I);
-          C && C->getIntrinsic() == Intrinsic::Barrier) {
-        W.Cycles += CostModel::getLatency(I);
-        ++Stats.InstructionsIssued;
-        W.ResumeIdx = Idx;
+      if (DI.Op == Opcode::Call &&
+          DI.SubOp == static_cast<uint8_t>(Intrinsic::Barrier)) {
+        W.Cycles += DI.Latency;
+        ++LaunchStats.InstructionsIssued;
+        W.ResumeIdx = Idx + 1;
         return WarpStatus::AtBarrier;
       }
 
-      if (I->isTerminator()) {
-        ++Stats.InstructionsIssued;
-        ++Stats.BranchesExecuted;
-        W.Cycles += CostModel::getLatency(I);
+      if (Idx == Last) {
+        ++LaunchStats.InstructionsIssued;
+        ++LaunchStats.BranchesExecuted;
+        W.Cycles += DI.Latency;
         W.ResumeIdx = 0;
-        if (isa<RetInst>(I)) {
+        if (DI.Op == Opcode::Ret) {
           W.Stack.pop_back();
-          Transferred = true;
-          break;
-        }
-        if (const auto *Br = dyn_cast<BrInst>(I)) {
-          evalEdgePhis(W, BB, Br->getTarget(), Mask);
-          Top.PC = Br->getTarget();
-          Transferred = true;
-          break;
-        }
-        const auto *CB = cast<CondBrInst>(I);
-        uint64_t MT = 0, MF = 0;
-        for (unsigned L = 0; L < Cfg.WarpSize; ++L) {
-          if (!(Mask & (1ull << L)))
-            continue;
-          if (eval(W, CB->getCondition(), L) & 1)
-            MT |= 1ull << L;
-          else
-            MF |= 1ull << L;
-        }
-        BasicBlock *TBB = CB->getTrueSuccessor();
-        BasicBlock *FBB = CB->getFalseSuccessor();
-        if (MF == 0) {
-          evalEdgePhis(W, BB, TBB, Mask);
-          Top.PC = TBB;
-        } else if (MT == 0) {
-          evalEdgePhis(W, BB, FBB, Mask);
-          Top.PC = FBB;
+        } else if (DI.Op == Opcode::Br) {
+          runEdgeCopies(W, DB.Edge[0], Mask);
+          Top.PC = DB.Succ[0];
         } else {
-          // Divergence: reconverge at the IPDOM, serialize both paths.
-          ++Stats.DivergentBranches;
-          BasicBlock *R = PDT.isReachable(BB) ? PDT.getIDom(BB) : nullptr;
-          Top.PC = R; // this entry becomes the reconvergence entry
-          evalEdgePhis(W, BB, FBB, MF);
-          W.Stack.push_back({FBB, MF, R});
-          evalEdgePhis(W, BB, TBB, MT);
-          W.Stack.push_back({TBB, MT, R});
+          const OpRow Cond = row(W, DI.A);
+          uint64_t MT = 0;
+          forLanes(Mask, [&](unsigned L) {
+            if (Cond.get(L) & 1)
+              MT |= 1ull << L;
+          });
+          const uint64_t MF = Mask & ~MT;
+          if (MF == 0) {
+            runEdgeCopies(W, DB.Edge[0], Mask);
+            Top.PC = DB.Succ[0];
+          } else if (MT == 0) {
+            runEdgeCopies(W, DB.Edge[1], Mask);
+            Top.PC = DB.Succ[1];
+          } else {
+            // Divergence: reconverge at the IPDOM, serialize both paths.
+            ++LaunchStats.DivergentBranches;
+            const uint32_t SuccT = DB.Succ[0], SuccF = DB.Succ[1];
+            const uint32_t R = DB.Reconverge;
+            Top.PC = R; // this entry becomes the reconvergence entry
+            runEdgeCopies(W, DB.Edge[1], MF);
+            W.Stack.push_back({SuccF, R, MF}); // invalidates Top
+            runEdgeCopies(W, DB.Edge[0], MT);
+            W.Stack.push_back({SuccT, R, MT});
+          }
         }
-        Transferred = true;
         break;
       }
 
-      execute(W, I, Mask);
-    }
-    if (!Transferred) {
-      // Block without terminator cannot occur in verified IR.
-      darm_unreachable("block fell through without a terminator");
+      execute(W, DI, Mask);
     }
   }
 }
 
-uint64_t BlockExecutor::evalScalarOp(const Instruction *I, uint64_t A,
-                                     uint64_t B) const {
-  const Type *Ty = I->getType();
-  bool Is32 = I->getOpcode() >= Opcode::Add &&
-              I->getOpcode() <= Opcode::AShr &&
-              Ty->getKind() == Type::Kind::Int32;
-  int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
-  uint64_t UA = Is32 ? static_cast<uint32_t>(A) : A;
-  uint64_t UB = Is32 ? static_cast<uint32_t>(B) : B;
-  unsigned ShiftMask = Is32 ? 31 : 63;
+void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
+                                 uint64_t Mask) {
+  ++LaunchStats.InstructionsIssued;
 
-  switch (I->getOpcode()) {
-  case Opcode::Add:
-    return static_cast<uint64_t>(SA + SB);
-  case Opcode::Sub:
-    return static_cast<uint64_t>(SA - SB);
-  case Opcode::Mul:
-    return static_cast<uint64_t>(SA * SB);
-  case Opcode::SDiv:
-    // Division by zero is defined to yield 0 in this IR (Instruction.h).
-    if (SB == 0)
-      return 0;
-    if (SB == -1)
-      return static_cast<uint64_t>(-SA); // avoid INT_MIN/-1 UB
-    return static_cast<uint64_t>(SA / SB);
-  case Opcode::SRem:
-    if (SB == 0 || SB == -1)
-      return 0;
-    return static_cast<uint64_t>(SA % SB);
-  case Opcode::UDiv:
-    return UB == 0 ? 0 : UA / UB;
-  case Opcode::URem:
-    return UB == 0 ? 0 : UA % UB;
-  case Opcode::And:
-    return A & B;
-  case Opcode::Or:
-    return A | B;
-  case Opcode::Xor:
-    return A ^ B;
-  case Opcode::Shl:
-    return A << (B & ShiftMask);
-  case Opcode::LShr:
-    return UA >> (B & ShiftMask);
-  case Opcode::AShr:
-    return static_cast<uint64_t>(
-        (Is32 ? static_cast<int64_t>(static_cast<int32_t>(A)) : SA) >>
-        (B & ShiftMask));
-  case Opcode::FAdd:
-    return fromFloat(asFloat(A) + asFloat(B));
-  case Opcode::FSub:
-    return fromFloat(asFloat(A) - asFloat(B));
-  case Opcode::FMul:
-    return fromFloat(asFloat(A) * asFloat(B));
-  case Opcode::FDiv:
-    return fromFloat(asFloat(A) / asFloat(B));
-  default:
-    darm_unreachable("not a scalar binary op");
-  }
-}
-
-void BlockExecutor::execute(Warp &W, const Instruction *I, uint64_t Mask) {
-  unsigned Active = std::popcount(Mask);
-  ++Stats.InstructionsIssued;
-
-  if (I->getOpcode() == Opcode::Load || I->getOpcode() == Opcode::Store) {
-    executeMemory(W, I, Mask);
+  if (DI.Op == Opcode::Load || DI.Op == Opcode::Store) {
+    executeMemory(W, DI, Mask);
     return;
   }
 
   // Everything else is a VALU-class instruction.
-  ++Stats.AluInsts;
-  Stats.AluLanesActive += Active;
-  Stats.AluLanesTotal += Cfg.WarpSize;
-  W.Cycles += CostModel::getLatency(I);
+  ++LaunchStats.AluInsts;
+  LaunchStats.AluLanesActive += std::popcount(Mask);
+  LaunchStats.AluLanesTotal += Cfg->WarpSize;
+  W.Cycles += DI.Latency;
 
-  for (unsigned L = 0; L < Cfg.WarpSize; ++L) {
-    if (!(Mask & (1ull << L)))
-      continue;
-    uint64_t R = 0;
-    switch (I->getOpcode()) {
-    case Opcode::ICmp: {
-      const auto *C = cast<ICmpInst>(I);
-      uint64_t A = eval(W, C->getLHS(), L), B = eval(W, C->getRHS(), L);
-      int64_t SA = static_cast<int64_t>(A), SB = static_cast<int64_t>(B);
-      bool Is32 = C->getLHS()->getType()->isInt32();
-      uint64_t UA = Is32 ? static_cast<uint32_t>(A) : A;
-      uint64_t UB = Is32 ? static_cast<uint32_t>(B) : B;
-      switch (C->getPredicate()) {
+  uint64_t *Dest = destRow(W, DI);
+  const bool Is32 = DI.Flags & DecodedInst::kIs32;
+  const unsigned ShiftMask = Is32 ? 31 : 63;
+
+// Binary scalar op: evaluates EXPR with RA/RB bound per active lane.
+#define DARM_BINOP(OPC, EXPR)                                                  \
+  case Opcode::OPC: {                                                          \
+    const OpRow A = row(W, DI.A), B = row(W, DI.B);                            \
+    forLanes(Mask, [&](unsigned L) {                                           \
+      const uint64_t RA = A.get(L), RB = B.get(L);                             \
+      (void)RA;                                                                \
+      (void)RB;                                                                \
+      Dest[L] = applyNorm(DI.Norm, static_cast<uint64_t>(EXPR));               \
+    });                                                                        \
+    break;                                                                     \
+  }
+
+  switch (DI.Op) {
+    // Two's-complement add/sub/mul are bitwise identical for signed and
+    // unsigned; unsigned avoids signed-overflow UB.
+    DARM_BINOP(Add, RA + RB)
+    DARM_BINOP(Sub, RA - RB)
+    DARM_BINOP(Mul, RA *RB)
+    // Division by zero is defined to yield 0 in this IR (Instruction.h);
+    // INT_MIN / -1 is defined as negation to avoid hardware UB.
+    DARM_BINOP(SDiv, [&] {
+      const int64_t SA = static_cast<int64_t>(RA);
+      const int64_t SB = static_cast<int64_t>(RB);
+      if (SB == 0)
+        return uint64_t{0};
+      if (SB == -1)
+        return uint64_t{0} - RA;
+      return static_cast<uint64_t>(SA / SB);
+    }())
+    DARM_BINOP(SRem, [&] {
+      const int64_t SA = static_cast<int64_t>(RA);
+      const int64_t SB = static_cast<int64_t>(RB);
+      if (SB == 0 || SB == -1)
+        return uint64_t{0};
+      return static_cast<uint64_t>(SA % SB);
+    }())
+    DARM_BINOP(UDiv, [&] {
+      const uint64_t UA = Is32 ? static_cast<uint32_t>(RA) : RA;
+      const uint64_t UB = Is32 ? static_cast<uint32_t>(RB) : RB;
+      return UB == 0 ? 0 : UA / UB;
+    }())
+    DARM_BINOP(URem, [&] {
+      const uint64_t UA = Is32 ? static_cast<uint32_t>(RA) : RA;
+      const uint64_t UB = Is32 ? static_cast<uint32_t>(RB) : RB;
+      return UB == 0 ? 0 : UA % UB;
+    }())
+    DARM_BINOP(And, RA &RB)
+    DARM_BINOP(Or, RA | RB)
+    DARM_BINOP(Xor, RA ^ RB)
+    DARM_BINOP(Shl, RA << (RB & ShiftMask))
+    DARM_BINOP(LShr, (Is32 ? static_cast<uint32_t>(RA) : RA)
+                         >> (RB & ShiftMask))
+    DARM_BINOP(AShr, (Is32 ? static_cast<int64_t>(static_cast<int32_t>(RA))
+                           : static_cast<int64_t>(RA))
+                         >> (RB & ShiftMask))
+    DARM_BINOP(FAdd, fromFloat(asFloat(RA) + asFloat(RB)))
+    DARM_BINOP(FSub, fromFloat(asFloat(RA) - asFloat(RB)))
+    DARM_BINOP(FMul, fromFloat(asFloat(RA) * asFloat(RB)))
+    DARM_BINOP(FDiv, fromFloat(asFloat(RA) / asFloat(RB)))
+
+  case Opcode::ICmp: {
+    const OpRow A = row(W, DI.A), B = row(W, DI.B);
+    const auto Pred = static_cast<ICmpPred>(DI.SubOp);
+    forLanes(Mask, [&](unsigned L) {
+      const uint64_t RA = A.get(L), RB = B.get(L);
+      const int64_t SA = static_cast<int64_t>(RA);
+      const int64_t SB = static_cast<int64_t>(RB);
+      const uint64_t UA = Is32 ? static_cast<uint32_t>(RA) : RA;
+      const uint64_t UB = Is32 ? static_cast<uint32_t>(RB) : RB;
+      uint64_t R = 0;
+      switch (Pred) {
       case ICmpPred::EQ:
-        R = A == B;
+        R = RA == RB;
         break;
       case ICmpPred::NE:
-        R = A != B;
+        R = RA != RB;
         break;
       case ICmpPred::SLT:
         R = SA < SB;
@@ -411,121 +416,152 @@ void BlockExecutor::execute(Warp &W, const Instruction *I, uint64_t Mask) {
         R = UA >= UB;
         break;
       }
-      break;
-    }
-    case Opcode::FCmp: {
-      const auto *C = cast<FCmpInst>(I);
-      float A = asFloat(eval(W, C->getLHS(), L));
-      float B = asFloat(eval(W, C->getRHS(), L));
-      switch (C->getPredicate()) {
+      Dest[L] = R; // i1 result, already canonical
+    });
+    break;
+  }
+  case Opcode::FCmp: {
+    const OpRow A = row(W, DI.A), B = row(W, DI.B);
+    const auto Pred = static_cast<FCmpPred>(DI.SubOp);
+    forLanes(Mask, [&](unsigned L) {
+      const float FA = asFloat(A.get(L)), FB = asFloat(B.get(L));
+      uint64_t R = 0;
+      switch (Pred) {
       case FCmpPred::OEQ:
-        R = A == B;
+        R = FA == FB;
         break;
       case FCmpPred::ONE:
-        R = A != B;
+        R = FA != FB;
         break;
       case FCmpPred::OLT:
-        R = A < B;
+        R = FA < FB;
         break;
       case FCmpPred::OLE:
-        R = A <= B;
+        R = FA <= FB;
         break;
       case FCmpPred::OGT:
-        R = A > B;
+        R = FA > FB;
         break;
       case FCmpPred::OGE:
-        R = A >= B;
+        R = FA >= FB;
         break;
       }
-      break;
-    }
-    case Opcode::Select: {
-      const auto *S = cast<SelectInst>(I);
-      R = (eval(W, S->getCondition(), L) & 1)
-              ? eval(W, S->getTrueValue(), L)
-              : eval(W, S->getFalseValue(), L);
-      break;
-    }
-    case Opcode::Gep: {
-      const auto *G = cast<GepInst>(I);
-      uint64_t Base = eval(W, G->getPointer(), L);
-      int64_t Index = static_cast<int64_t>(eval(W, G->getIndex(), L));
-      unsigned Elem =
-          G->getType()->getPointee()->getStoreSizeInBytes();
-      R = Base + static_cast<uint64_t>(Index * static_cast<int64_t>(Elem));
-      break;
-    }
-    case Opcode::ZExt: {
-      const auto *C = cast<CastInst>(I);
-      uint64_t V = eval(W, C->getSource(), L);
-      Type *Src = C->getSource()->getType();
-      R = Src->isInt1() ? (V & 1)
-                        : (Src->isInt32() ? static_cast<uint32_t>(V) : V);
-      break;
-    }
-    case Opcode::SExt: {
-      const auto *C = cast<CastInst>(I);
-      uint64_t V = eval(W, C->getSource(), L);
-      Type *Src = C->getSource()->getType();
-      if (Src->isInt1())
-        R = (V & 1) ? ~0ull : 0;
-      else
-        R = V; // i32 is stored sign-extended already
-      break;
-    }
-    case Opcode::Trunc:
-      R = eval(W, cast<CastInst>(I)->getSource(), L);
-      break; // normalize() truncates on write
-    case Opcode::SIToFP:
-      R = fromFloat(static_cast<float>(static_cast<int64_t>(
-          eval(W, cast<CastInst>(I)->getSource(), L))));
-      break;
-    case Opcode::FPToSI:
-      R = static_cast<uint64_t>(static_cast<int64_t>(
-          asFloat(eval(W, cast<CastInst>(I)->getSource(), L))));
-      break;
-    case Opcode::Call: {
-      const auto *C = cast<CallInst>(I);
-      switch (C->getIntrinsic()) {
-      case Intrinsic::TidX:
-        R = W.Index * Cfg.WarpSize + L;
-        break;
-      case Intrinsic::NTidX:
-        R = LP.BlockDimX;
-        break;
-      case Intrinsic::CTAidX:
-        R = BlockIdx;
-        break;
-      case Intrinsic::NCTAidX:
-        R = LP.GridDimX;
-        break;
-      case Intrinsic::LaneId:
-        R = L;
-        break;
-      case Intrinsic::ShflSync: {
-        unsigned Src = static_cast<unsigned>(eval(W, C->getOperand(1), L)) %
-                       Cfg.WarpSize;
-        R = eval(W, C->getOperand(0), Src);
-        break;
-      }
-      case Intrinsic::Barrier:
-        darm_unreachable("barrier handled in runWarp");
-      }
-      break;
-    }
-    default:
-      R = evalScalarOp(I, eval(W, I->getOperand(0), L),
-                       eval(W, I->getOperand(1), L));
-      break;
-    }
-    write(W, I, L, R);
+      Dest[L] = R;
+    });
+    break;
   }
+  case Opcode::Select: {
+    const OpRow C = row(W, DI.A), T = row(W, DI.B), F = row(W, DI.C);
+    forLanes(Mask, [&](unsigned L) {
+      Dest[L] = applyNorm(DI.Norm, (C.get(L) & 1) ? T.get(L) : F.get(L));
+    });
+    break;
+  }
+  case Opcode::Gep: {
+    const OpRow Base = row(W, DI.A), Index = row(W, DI.B);
+    const int64_t Elem = DI.ElemSize;
+    forLanes(Mask, [&](unsigned L) {
+      const int64_t Idx = static_cast<int64_t>(Index.get(L));
+      Dest[L] = Base.get(L) + static_cast<uint64_t>(Idx * Elem);
+    });
+    break;
+  }
+  case Opcode::ZExt: {
+    const OpRow Src = row(W, DI.A);
+    const uint8_t F = DI.Flags;
+    forLanes(Mask, [&](unsigned L) {
+      const uint64_t V = Src.get(L);
+      const uint64_t R = (F & DecodedInst::kSrcIsI1)    ? (V & 1)
+                         : (F & DecodedInst::kSrcIsI32) ? static_cast<uint32_t>(V)
+                                                        : V;
+      Dest[L] = applyNorm(DI.Norm, R);
+    });
+    break;
+  }
+  case Opcode::SExt: {
+    const OpRow Src = row(W, DI.A);
+    const bool FromI1 = DI.Flags & DecodedInst::kSrcIsI1;
+    forLanes(Mask, [&](unsigned L) {
+      const uint64_t V = Src.get(L);
+      // i32 registers are stored sign-extended already.
+      const uint64_t R = FromI1 ? ((V & 1) ? ~0ull : 0) : V;
+      Dest[L] = applyNorm(DI.Norm, R);
+    });
+    break;
+  }
+  case Opcode::Trunc: {
+    const OpRow Src = row(W, DI.A);
+    forLanes(Mask, [&](unsigned L) {
+      Dest[L] = applyNorm(DI.Norm, Src.get(L)); // norm truncates on write
+    });
+    break;
+  }
+  case Opcode::SIToFP: {
+    const OpRow Src = row(W, DI.A);
+    forLanes(Mask, [&](unsigned L) {
+      Dest[L] = applyNorm(DI.Norm, fromFloat(static_cast<float>(
+                                       static_cast<int64_t>(Src.get(L)))));
+    });
+    break;
+  }
+  case Opcode::FPToSI: {
+    const OpRow Src = row(W, DI.A);
+    forLanes(Mask, [&](unsigned L) {
+      Dest[L] = applyNorm(DI.Norm,
+                          static_cast<uint64_t>(static_cast<int64_t>(
+                              asFloat(Src.get(L)))));
+    });
+    break;
+  }
+  case Opcode::Call: {
+    const unsigned WS = Cfg->WarpSize;
+    switch (static_cast<Intrinsic>(DI.SubOp)) {
+    case Intrinsic::TidX:
+      forLanes(Mask, [&](unsigned L) {
+        Dest[L] = applyNorm(DI.Norm, W.Index * WS + L);
+      });
+      break;
+    case Intrinsic::NTidX:
+      forLanes(Mask, [&](unsigned L) {
+        Dest[L] = applyNorm(DI.Norm, LP->BlockDimX);
+      });
+      break;
+    case Intrinsic::CTAidX:
+      forLanes(Mask, [&](unsigned L) {
+        Dest[L] = applyNorm(DI.Norm, BlockIdx);
+      });
+      break;
+    case Intrinsic::NCTAidX:
+      forLanes(Mask, [&](unsigned L) {
+        Dest[L] = applyNorm(DI.Norm, LP->GridDimX);
+      });
+      break;
+    case Intrinsic::LaneId:
+      forLanes(Mask, [&](unsigned L) { Dest[L] = applyNorm(DI.Norm, L); });
+      break;
+    case Intrinsic::ShflSync: {
+      const OpRow Val = row(W, DI.A), Lane = row(W, DI.B);
+      forLanes(Mask, [&](unsigned L) {
+        const unsigned Src = static_cast<unsigned>(Lane.get(L)) % WS;
+        Dest[L] = applyNorm(DI.Norm, Val.get(Src));
+      });
+      break;
+    }
+    case Intrinsic::Barrier:
+      darm_unreachable("barrier handled in runWarp");
+    }
+    break;
+  }
+  default:
+    darm_unreachable("unhandled opcode in execute");
+  }
+#undef DARM_BINOP
 }
 
-uint64_t BlockExecutor::memLoad(AddressSpace AS, uint64_t Addr,
-                                unsigned Size) const {
-  if (AS == AddressSpace::Global)
-    return Mem.load(Addr, Size);
+uint64_t SimEngine::Scratch::memLoad(bool Shared, uint64_t Addr,
+                                     unsigned Size) const {
+  if (!Shared)
+    return Mem->load(Addr, Size);
   if (Addr + Size > Lds.size())
     return 0; // speculated OOB load (see Memory.h)
   uint64_t V = 0;
@@ -533,11 +569,10 @@ uint64_t BlockExecutor::memLoad(AddressSpace AS, uint64_t Addr,
   return V;
 }
 
-void BlockExecutor::memStore(Warp &W, AddressSpace AS, uint64_t Addr,
-                             unsigned Size, uint64_t V) {
-  (void)W;
-  if (AS == AddressSpace::Global) {
-    Mem.store(Addr, Size, V);
+void SimEngine::Scratch::memStore(bool Shared, uint64_t Addr, unsigned Size,
+                                  uint64_t V) {
+  if (!Shared) {
+    Mem->store(Addr, Size, V);
     return;
   }
   if (Addr + Size > Lds.size())
@@ -545,69 +580,98 @@ void BlockExecutor::memStore(Warp &W, AddressSpace AS, uint64_t Addr,
   std::memcpy(Lds.data() + Addr, &V, Size);
 }
 
-void BlockExecutor::executeMemory(Warp &W, const Instruction *I,
-                                  uint64_t Mask) {
-  bool IsLoad = I->getOpcode() == Opcode::Load;
-  Value *PtrOp = IsLoad ? cast<LoadInst>(I)->getPointer()
-                        : cast<StoreInst>(I)->getPointer();
-  AddressSpace AS = PtrOp->getType()->getAddressSpace();
-  unsigned Size = PtrOp->getType()->getPointee()->getStoreSizeInBytes();
+void SimEngine::Scratch::executeMemory(Warp &W, const DecodedInst &DI,
+                                       uint64_t Mask) {
+  const bool IsLoad = DI.Op == Opcode::Load;
+  const bool Shared = DI.Flags & DecodedInst::kShared;
+  const unsigned Size = DI.ElemSize;
+  const OpRow Ptr = row(W, IsLoad ? DI.A : DI.B);
 
   // Gather active addresses for the contention model.
-  std::vector<uint64_t> Addrs;
-  for (unsigned L = 0; L < Cfg.WarpSize; ++L)
-    if (Mask & (1ull << L))
-      Addrs.push_back(eval(W, PtrOp, L));
+  Addrs.clear();
+  forLanes(Mask, [&](unsigned L) { Addrs.push_back(Ptr.get(L)); });
 
-  uint64_t Penalty = 0;
-  if (AS == AddressSpace::Shared) {
-    ++Stats.SharedMemInsts;
+  if (Shared) {
+    ++LaunchStats.SharedMemInsts;
     // Bank conflicts: lanes hitting distinct addresses in one bank
-    // serialize; same-address lanes broadcast.
-    std::unordered_map<unsigned, std::set<uint64_t>> Banks;
+    // serialize; same-address lanes broadcast. Degree = max distinct
+    // addresses within a bank, via one sort of (bank, addr) pairs.
+    BankPairs.clear();
     for (uint64_t A : Addrs)
-      Banks[(A / Cfg.LdsBankWidthBytes) % Cfg.NumLdsBanks].insert(A);
+      BankPairs.push_back(
+          {(A / Cfg->LdsBankWidthBytes) % Cfg->NumLdsBanks, A});
+    std::sort(BankPairs.begin(), BankPairs.end());
     unsigned Degree = 1;
-    for (const auto &[Bank, AddrSet] : Banks)
-      Degree = std::max(Degree, static_cast<unsigned>(AddrSet.size()));
-    Penalty = static_cast<uint64_t>(Degree - 1) *
-              CostModel::BankConflictPenalty;
+    unsigned Run = 0;
+    for (size_t I = 0; I < BankPairs.size(); ++I) {
+      if (I > 0 && BankPairs[I].first != BankPairs[I - 1].first)
+        Run = 0;
+      if (I == 0 || BankPairs[I] != BankPairs[I - 1])
+        ++Run;
+      Degree = std::max(Degree, Run);
+    }
+    const uint64_t Penalty =
+        static_cast<uint64_t>(Degree - 1) * CostModel::BankConflictPenalty;
     W.Cycles += CostModel::SharedMemLatency + Penalty;
   } else {
-    ++Stats.VectorMemInsts;
+    ++LaunchStats.VectorMemInsts;
     // Coalescing: each additional 128-byte segment costs a transaction.
-    std::set<uint64_t> Segments;
+    Segments.clear();
     for (uint64_t A : Addrs)
-      Segments.insert(A / Cfg.CoalesceSegmentBytes);
-    unsigned NumSeg = std::max<size_t>(1, Segments.size());
-    Penalty = static_cast<uint64_t>(NumSeg - 1) *
-              CostModel::GlobalSegmentPenalty;
+      Segments.push_back(A / Cfg->CoalesceSegmentBytes);
+    std::sort(Segments.begin(), Segments.end());
+    const unsigned NumSeg = std::max<size_t>(
+        1, std::unique(Segments.begin(), Segments.end()) - Segments.begin());
+    const uint64_t Penalty =
+        static_cast<uint64_t>(NumSeg - 1) * CostModel::GlobalSegmentPenalty;
     W.Cycles += CostModel::GlobalMemLatency + Penalty;
   }
 
-  for (unsigned L = 0; L < Cfg.WarpSize; ++L) {
-    if (!(Mask & (1ull << L)))
-      continue;
-    uint64_t Addr = eval(W, PtrOp, L);
-    if (IsLoad) {
-      write(W, I, L, memLoad(AS, Addr, Size));
-    } else {
-      uint64_t V = eval(W, cast<StoreInst>(I)->getValueOperand(), L);
-      memStore(W, AS, Addr, Size, V);
-    }
+  if (IsLoad) {
+    uint64_t *Dest = destRow(W, DI);
+    forLanes(Mask, [&](unsigned L) {
+      Dest[L] = applyNorm(DI.Norm, memLoad(Shared, Ptr.get(L), Size));
+    });
+  } else {
+    const OpRow Val = row(W, DI.A);
+    forLanes(Mask, [&](unsigned L) {
+      memStore(Shared, Ptr.get(L), Size, Val.get(L));
+    });
   }
 }
 
-} // namespace
+//===----------------------------------------------------------------------===//
+// SimEngine
+//===----------------------------------------------------------------------===//
+
+SimEngine::SimEngine(Function &Kernel, const GpuConfig &Config)
+    : Cfg(Config), S(std::make_unique<Scratch>()) {
+  Cfg.validate();
+  Prog = decodeProgram(Kernel);
+  S->Staging.resize(static_cast<size_t>(Prog.MaxEdgePhis) * Cfg.WarpSize);
+  S->Addrs.reserve(Cfg.WarpSize);
+  S->BankPairs.reserve(Cfg.WarpSize);
+  S->Segments.reserve(Cfg.WarpSize);
+}
+
+SimEngine::~SimEngine() = default;
+
+SimStats SimEngine::run(const LaunchParams &LP,
+                        const std::vector<uint64_t> &Args, GlobalMemory &Mem) {
+  S->Prog = &Prog;
+  S->Cfg = &Cfg;
+  S->LP = &LP;
+  S->Args = &Args;
+  S->Mem = &Mem;
+  S->LaunchStats = SimStats();
+  for (unsigned B = 0; B < LP.GridDimX; ++B)
+    S->LaunchStats.Cycles += S->runBlock(B);
+  return S->LaunchStats;
+}
 
 SimStats darm::runKernel(Function &Kernel, const LaunchParams &LP,
                          const std::vector<uint64_t> &Args, GlobalMemory &Mem,
                          const GpuConfig &Cfg) {
-  assert(Cfg.WarpSize <= 64 && "mask is 64 bits wide");
-  SimStats Stats;
-  for (unsigned B = 0; B < LP.GridDimX; ++B) {
-    BlockExecutor Exec(Kernel, LP, Args, Mem, Cfg, B, Stats);
-    Stats.Cycles += Exec.run();
-  }
-  return Stats;
+  SimEngine Engine(Kernel, Cfg);
+  return Engine.run(LP, Args, Mem);
 }

@@ -1,0 +1,341 @@
+//===- sim_golden_test.cpp - Stats/memory invariance vs recorded goldens ----------===//
+//
+// Pins the simulator's observable behaviour to goldens recorded from the
+// original tree-walking interpreter (pre decode/execute split, PR 2, seed
+// commit a6a7a82): for every kernel in src/kernels/ — melded and unmelded,
+// at the smallest and largest paper block size — every SimStats counter
+// and an FNV-1a hash of the final global-memory image must be bit-
+// identical. Any engine change that alters timing, issue accounting, or
+// memory effects trips this suite.
+//
+// Regenerating (only when an *intentional* semantic change is made):
+// build, then run this binary with DARM_REGEN_GOLDENS=1 — it prints a
+// fresh table to stdout in the exact source format below.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/core/DARMPass.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+#include "darm/sim/Simulator.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/SimplifyCFG.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace darm;
+
+namespace {
+
+struct GoldenRow {
+  const char *Name;
+  unsigned BlockSize;
+  bool Melded;
+  /// Cycles, TotalWarpCycles, InstructionsIssued, AluInsts,
+  /// VectorMemInsts, SharedMemInsts, BranchesExecuted, DivergentBranches,
+  /// AluLanesActive, AluLanesTotal.
+  uint64_t Stats[10];
+  uint64_t MemHash;
+};
+
+// Recorded from the seed interpreter; see file header.
+const GoldenRow kGoldens[] = {
+    {"BIT", 32, false,
+     {5164ull, 5164ull, 1792ull, 780ull, 8ull, 408ull, 532ull, 200ull, 16320ull, 24960ull},
+     0x5db3f8e6fb2bd8adull},
+    {"BIT", 32, true,
+     {3864ull, 3864ull, 1612ull, 900ull, 8ull, 248ull, 392ull, 120ull, 20160ull, 28800ull},
+     0x5db3f8e6fb2bd8adull},
+    {"BIT", 256, false,
+     {9544ull, 72172ull, 27332ull, 12192ull, 64ull, 5528ull, 8364ull, 2625ull, 282624ull, 390144ull},
+     0x5300b9556feea469ull},
+    {"BIT", 256, true,
+     {8496ull, 63500ull, 27620ull, 15456ull, 64ull, 4248ull, 6668ull, 1985ull, 356352ull, 494592ull},
+     0x5300b9556feea469ull},
+    {"PCM", 32, false,
+     {1298ull, 1298ull, 600ull, 430ull, 8ull, 50ull, 108ull, 10ull, 7020ull, 13760ull},
+     0xc1d29f9b29dfbfcfull},
+    {"PCM", 32, true,
+     {1156ull, 1156ull, 612ull, 508ull, 8ull, 28ull, 64ull, 8ull, 13692ull, 16256ull},
+     0xc1d29f9b29dfbfcfull},
+    {"PCM", 256, false,
+     {1826ull, 14203ull, 6588ull, 4781ull, 64ull, 549ull, 1162ull, 37ull, 83061ull, 152992ull},
+     0x8ce6d4dff21fb707ull},
+    {"PCM", 256, true,
+     {1718ull, 13332ull, 6528ull, 5492ull, 64ull, 292ull, 648ull, 36ull, 172305ull, 175744ull},
+     0x8ce6d4dff21fb707ull},
+    {"MS", 32, false,
+     {1251228ull, 1251228ull, 106968ull, 72152ull, 14812ull, 0ull, 20004ull, 1761ull, 444408ull, 2308864ull},
+     0x2be774861d4a0f03ull},
+    {"MS", 32, true,
+     {1191336ull, 1191336ull, 108648ull, 86048ull, 13056ull, 0ull, 9544ull, 5ull, 534520ull, 2753536ull},
+     0x2be774861d4a0f03ull},
+    {"MS", 256, false,
+     {1074939ull, 1251245ull, 106852ull, 72094ull, 14783ull, 0ull, 19975ull, 1732ull, 444408ull, 2307008ull},
+     0x7f533e1bec6ad63full},
+    {"MS", 256, true,
+     {1039166ull, 1191336ull, 108648ull, 86048ull, 13056ull, 0ull, 9544ull, 5ull, 534520ull, 2753536ull},
+     0x7f533e1bec6ad63full},
+    {"LUD", 16, false,
+     {6628ull, 6628ull, 1260ull, 828ull, 36ull, 168ull, 224ull, 8ull, 8960ull, 26496ull},
+     0x2c1ffef7b622dc86ull},
+    {"LUD", 16, true,
+     {5924ull, 5924ull, 1068ull, 768ull, 36ull, 104ull, 156ull, 4ull, 12160ull, 24576ull},
+     0x2c1ffef7b622dc86ull},
+    {"LUD", 128, false,
+     {8796ull, 34896ull, 3388ull, 2224ull, 144ull, 392ull, 612ull, 4ull, 70784ull, 71168ull},
+     0x266585a08119def6ull},
+    {"LUD", 128, true,
+     {8996ull, 35696ull, 4188ull, 3024ull, 144ull, 392ull, 612ull, 4ull, 96384ull, 96768ull},
+     0x266585a08119def6ull},
+    {"NQU", 64, false,
+     {60242ull, 120014ull, 94090ull, 76490ull, 4ull, 3404ull, 14192ull, 3640ull, 573860ull, 2447680ull},
+     0xf01dee91bf41f2c3ull},
+    {"NQU", 64, true,
+     {60242ull, 120014ull, 94090ull, 76490ull, 4ull, 3404ull, 14192ull, 3640ull, 573860ull, 2447680ull},
+     0xf01dee91bf41f2c3ull},
+    {"NQU", 256, false,
+     {60242ull, 121130ull, 94306ull, 76670ull, 16ull, 3404ull, 14216ull, 3640ull, 579620ull, 2453440ull},
+     0x2bab442712b2bac3ull},
+    {"NQU", 256, true,
+     {60242ull, 121130ull, 94306ull, 76670ull, 16ull, 3404ull, 14216ull, 3640ull, 579620ull, 2453440ull},
+     0x2bab442712b2bac3ull},
+    {"SRAD", 256, false,
+     {466ull, 3370ull, 776ull, 486ull, 32ull, 116ull, 126ull, 18ull, 12338ull, 15552ull},
+     0x15cd45c45981bf7eull},
+    {"SRAD", 256, true,
+     {398ull, 3044ull, 742ull, 578ull, 32ull, 82ull, 34ull, 2ull, 18434ull, 18496ull},
+     0x15cd45c45981bf7eull},
+    {"SRAD", 1024, false,
+     {466ull, 13330ull, 3056ull, 1914ull, 128ull, 452ull, 498ull, 66ull, 49372ull, 61248ull},
+     0x417db01af18245a0ull},
+    {"SRAD", 1024, true,
+     {398ull, 12116ull, 2950ull, 2306ull, 128ull, 322ull, 130ull, 2ull, 73730ull, 73792ull},
+     0x417db01af18245a0ull},
+    {"DCT", 16, false,
+     {1040ull, 1040ull, 152ull, 104ull, 16ull, 0ull, 32ull, 8ull, 1408ull, 3328ull},
+     0xc4161e81905d92feull},
+    {"DCT", 16, true,
+     {896ull, 896ull, 128ull, 104ull, 16ull, 0ull, 8ull, 0ull, 1664ull, 3328ull},
+     0xc4161e81905d92feull},
+    {"DCT", 256, false,
+     {1040ull, 8320ull, 1216ull, 832ull, 128ull, 0ull, 256ull, 64ull, 22528ull, 26624ull},
+     0x2256b89f2e81877aull},
+    {"DCT", 256, true,
+     {896ull, 7168ull, 1024ull, 832ull, 128ull, 0ull, 64ull, 0ull, 26624ull, 26624ull},
+     0x2256b89f2e81877aull},
+    {"SB1", 32, false,
+     {1062ull, 1062ull, 386ull, 202ull, 4ull, 52ull, 110ull, 16ull, 5440ull, 6464ull},
+     0x95c403eff205ce5bull},
+    {"SB1", 32, true,
+     {742ull, 742ull, 226ull, 106ull, 4ull, 36ull, 62ull, 0ull, 3392ull, 3392ull},
+     0x95c403eff205ce5bull},
+    {"SB1", 256, false,
+     {1062ull, 8496ull, 3088ull, 1616ull, 32ull, 416ull, 880ull, 128ull, 43520ull, 51712ull},
+     0x61095c5f9737dc10ull},
+    {"SB1", 256, true,
+     {742ull, 5936ull, 1808ull, 848ull, 32ull, 288ull, 496ull, 0ull, 27136ull, 27136ull},
+     0x61095c5f9737dc10ull},
+    {"SB1R", 32, false,
+     {1062ull, 1062ull, 386ull, 202ull, 4ull, 52ull, 110ull, 16ull, 5440ull, 6464ull},
+     0xdecf764905d21330ull},
+    {"SB1R", 32, true,
+     {886ull, 886ull, 370ull, 250ull, 4ull, 36ull, 62ull, 0ull, 8000ull, 8000ull},
+     0xdecf764905d21330ull},
+    {"SB1R", 256, false,
+     {1062ull, 8496ull, 3088ull, 1616ull, 32ull, 416ull, 880ull, 128ull, 43520ull, 51712ull},
+     0xe52ca7760c5665b8ull},
+    {"SB1R", 256, true,
+     {886ull, 7088ull, 2960ull, 2000ull, 32ull, 288ull, 496ull, 0ull, 64000ull, 64000ull},
+     0xe52ca7760c5665b8ull},
+    {"SB2", 32, false,
+     {1126ull, 1126ull, 450ull, 234ull, 4ull, 52ull, 142ull, 48ull, 5436ull, 7488ull},
+     0xa979248419290d61ull},
+    {"SB2", 32, true,
+     {918ull, 918ull, 402ull, 250ull, 4ull, 36ull, 94ull, 16ull, 7484ull, 8000ull},
+     0xa979248419290d61ull},
+    {"SB2", 256, false,
+     {1126ull, 9008ull, 3600ull, 1872ull, 32ull, 416ull, 1136ull, 384ull, 43496ull, 59904ull},
+     0xa6db8ce9ce15e73cull},
+    {"SB2", 256, true,
+     {918ull, 7344ull, 3216ull, 2000ull, 32ull, 288ull, 752ull, 128ull, 59880ull, 64000ull},
+     0xa6db8ce9ce15e73cull},
+    {"SB2R", 32, false,
+     {1078ull, 1078ull, 450ull, 234ull, 4ull, 52ull, 142ull, 48ull, 5440ull, 7488ull},
+     0x39efd4adc1df71baull},
+    {"SB2R", 32, true,
+     {998ull, 998ull, 482ull, 330ull, 4ull, 36ull, 94ull, 16ull, 8768ull, 10560ull},
+     0x39efd4adc1df71baull},
+    {"SB2R", 256, false,
+     {1078ull, 8624ull, 3600ull, 1872ull, 32ull, 416ull, 1136ull, 384ull, 43496ull, 59904ull},
+     0x8330d826e427c87full},
+    {"SB2R", 256, true,
+     {998ull, 7984ull, 3856ull, 2640ull, 32ull, 288ull, 752ull, 128ull, 70060ull, 84480ull},
+     0x8330d826e427c87full},
+    {"SB3", 32, false,
+     {1894ull, 1894ull, 674ull, 330ull, 4ull, 116ull, 206ull, 80ull, 6468ull, 10560ull},
+     0x3dc2e2611f5cb524ull},
+    {"SB3", 32, true,
+     {1366ull, 1366ull, 578ull, 362ull, 4ull, 68ull, 126ull, 32ull, 10564ull, 11584ull},
+     0x3dc2e2611f5cb524ull},
+    {"SB3", 256, false,
+     {1894ull, 15152ull, 5392ull, 2640ull, 32ull, 928ull, 1648ull, 640ull, 51732ull, 84480ull},
+     0x2bff2985fc9ec8d0ull},
+    {"SB3", 256, true,
+     {1366ull, 10928ull, 4624ull, 2896ull, 32ull, 544ull, 1008ull, 256ull, 84500ull, 92672ull},
+     0x2bff2985fc9ec8d0ull},
+    {"SB3R", 32, false,
+     {1798ull, 1798ull, 674ull, 330ull, 4ull, 116ull, 206ull, 80ull, 6470ull, 10560ull},
+     0xc93122142b67a7aeull},
+    {"SB3R", 32, true,
+     {1526ull, 1526ull, 738ull, 522ull, 4ull, 68ull, 126ull, 32ull, 13141ull, 16704ull},
+     0xc93122142b67a7aeull},
+    {"SB3R", 256, false,
+     {1798ull, 14384ull, 5392ull, 2640ull, 32ull, 928ull, 1648ull, 640ull, 51746ull, 84480ull},
+     0x02009d05ed92af94ull},
+    {"SB3R", 256, true,
+     {1526ull, 12208ull, 5904ull, 4176ull, 32ull, 544ull, 1008ull, 256ull, 105079ull, 133632ull},
+     0x02009d05ed92af94ull},
+    {"SB4", 32, false,
+     {1558ull, 1558ull, 482ull, 250ull, 4ull, 68ull, 142ull, 32ull, 5782ull, 8000ull},
+     0x5bd87f4a29d68a26ull},
+    {"SB4", 32, true,
+     {1270ull, 1270ull, 402ull, 234ull, 4ull, 52ull, 94ull, 16ull, 7146ull, 7488ull},
+     0x5bd87f4a29d68a26ull},
+    {"SB4", 256, false,
+     {1558ull, 12464ull, 3856ull, 2000ull, 32ull, 544ull, 1136ull, 256ull, 46250ull, 64000ull},
+     0x609f9f47cb93f146ull},
+    {"SB4", 256, true,
+     {1270ull, 10160ull, 3216ull, 1872ull, 32ull, 416ull, 752ull, 128ull, 57172ull, 59904ull},
+     0x609f9f47cb93f146ull},
+    {"SB4R", 32, false,
+     {1510ull, 1510ull, 482ull, 250ull, 4ull, 68ull, 142ull, 32ull, 5782ull, 8000ull},
+     0x455fbf5a00f76152ull},
+    {"SB4R", 32, true,
+     {1446ull, 1446ull, 578ull, 410ull, 4ull, 52ull, 94ull, 16ull, 12436ull, 13120ull},
+     0x455fbf5a00f76152ull},
+    {"SB4R", 256, false,
+     {1510ull, 12080ull, 3856ull, 2000ull, 32ull, 544ull, 1136ull, 256ull, 46250ull, 64000ull},
+     0x17698a958c768b15ull},
+    {"SB4R", 256, true,
+     {1446ull, 11568ull, 4624ull, 3280ull, 32ull, 416ull, 752ull, 128ull, 99496ull, 104960ull},
+     0x17698a958c768b15ull},
+};
+
+uint64_t hashMemory(const GlobalMemory &Mem) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a 64
+  for (uint64_t A = 0; A < Mem.size(); ++A) {
+    H ^= Mem.load(A, 1);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+struct RunOutcome {
+  SimStats Stats;
+  uint64_t MemHash = 0;
+  bool Valid = false;
+};
+
+RunOutcome simulate(const std::string &Name, unsigned BlockSize, bool Meld) {
+  auto B = createBenchmark(Name, BlockSize);
+  EXPECT_NE(B, nullptr) << "unknown benchmark " << Name;
+  Context Ctx;
+  Module M(Ctx, Name);
+  Function *F = B->build(M);
+  if (Meld) {
+    DARMConfig Cfg;
+    runDARM(*F, Cfg, nullptr);
+  }
+  simplifyCFG(*F);
+  eliminateDeadCode(*F);
+
+  GlobalMemory Mem;
+  std::vector<uint64_t> Base = B->setup(Mem);
+  RunOutcome O;
+  SimEngine Engine(*F);
+  for (unsigned L = 0, E = B->numLaunches(); L != E; ++L)
+    O.Stats += Engine.run(B->launch(), B->argsForLaunch(L, Base), Mem);
+  std::string Why;
+  O.Valid = B->validate(Mem, Base, &Why);
+  EXPECT_TRUE(O.Valid) << Name << " bs=" << BlockSize << " meld=" << Meld
+                       << ": " << Why;
+  O.MemHash = hashMemory(Mem);
+  return O;
+}
+
+TEST(SimGolden, StatsAndMemoryBitIdentical) {
+  const bool Regen = std::getenv("DARM_REGEN_GOLDENS") != nullptr;
+  for (const GoldenRow &G : kGoldens) {
+    SCOPED_TRACE(std::string(G.Name) + " bs=" + std::to_string(G.BlockSize) +
+                 (G.Melded ? " melded" : " baseline"));
+    RunOutcome O = simulate(G.Name, G.BlockSize, G.Melded);
+    if (Regen) {
+      std::printf("    {\"%s\", %u, %s,\n"
+                  "     {%lluull, %lluull, %lluull, %lluull, %lluull, "
+                  "%lluull, %lluull, %lluull, %lluull, %lluull},\n"
+                  "     0x%016llxull},\n",
+                  G.Name, G.BlockSize, G.Melded ? "true" : "false",
+                  (unsigned long long)O.Stats.Cycles,
+                  (unsigned long long)O.Stats.TotalWarpCycles,
+                  (unsigned long long)O.Stats.InstructionsIssued,
+                  (unsigned long long)O.Stats.AluInsts,
+                  (unsigned long long)O.Stats.VectorMemInsts,
+                  (unsigned long long)O.Stats.SharedMemInsts,
+                  (unsigned long long)O.Stats.BranchesExecuted,
+                  (unsigned long long)O.Stats.DivergentBranches,
+                  (unsigned long long)O.Stats.AluLanesActive,
+                  (unsigned long long)O.Stats.AluLanesTotal,
+                  (unsigned long long)O.MemHash);
+      continue;
+    }
+    EXPECT_EQ(O.Stats.Cycles, G.Stats[0]);
+    EXPECT_EQ(O.Stats.TotalWarpCycles, G.Stats[1]);
+    EXPECT_EQ(O.Stats.InstructionsIssued, G.Stats[2]);
+    EXPECT_EQ(O.Stats.AluInsts, G.Stats[3]);
+    EXPECT_EQ(O.Stats.VectorMemInsts, G.Stats[4]);
+    EXPECT_EQ(O.Stats.SharedMemInsts, G.Stats[5]);
+    EXPECT_EQ(O.Stats.BranchesExecuted, G.Stats[6]);
+    EXPECT_EQ(O.Stats.DivergentBranches, G.Stats[7]);
+    EXPECT_EQ(O.Stats.AluLanesActive, G.Stats[8]);
+    EXPECT_EQ(O.Stats.AluLanesTotal, G.Stats[9]);
+    EXPECT_EQ(O.MemHash, G.MemHash);
+  }
+}
+
+// Decode-once/run-many must behave exactly like one-shot runs: replaying
+// a launch on a fresh memory image yields the same stats and results.
+TEST(SimGolden, EngineReplayIsDeterministic) {
+  auto B = createBenchmark("SB2", 64);
+  ASSERT_NE(B, nullptr);
+  Context Ctx;
+  Module M(Ctx, "SB2");
+  Function *F = B->build(M);
+
+  SimEngine Engine(*F);
+  uint64_t FirstHash = 0;
+  SimStats First;
+  for (int Round = 0; Round < 3; ++Round) {
+    GlobalMemory Mem;
+    std::vector<uint64_t> Base = B->setup(Mem);
+    SimStats S;
+    for (unsigned L = 0, E = B->numLaunches(); L != E; ++L)
+      S += Engine.run(B->launch(), B->argsForLaunch(L, Base), Mem);
+    std::string Why;
+    EXPECT_TRUE(B->validate(Mem, Base, &Why)) << Why;
+    if (Round == 0) {
+      First = S;
+      FirstHash = hashMemory(Mem);
+    } else {
+      EXPECT_EQ(S.Cycles, First.Cycles);
+      EXPECT_EQ(S.InstructionsIssued, First.InstructionsIssued);
+      EXPECT_EQ(hashMemory(Mem), FirstHash);
+    }
+  }
+}
+
+} // namespace

@@ -341,6 +341,117 @@ entry:
     EXPECT_EQ(Mem.readI32(Out + I * 4), 0); // untouched
 }
 
+TEST(Sim, EngineDecodeOnceRunMany) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @scale(i32 addrspace(1)* %out, i32 %k) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %v = mul i32 %tid, %k
+  %p = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %v, i32 addrspace(1)* %p
+  ret
+}
+)");
+  // One decode, several launches with different arguments.
+  SimEngine Engine(*F);
+  GlobalMemory Mem;
+  uint64_t Out = Mem.allocate(32 * 4);
+  SimStats S1 = Engine.run({1, 32}, {Out, 3}, Mem);
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(Mem.readI32(Out + I * 4), I * 3);
+  SimStats S2 = Engine.run({1, 32}, {Out, 7}, Mem);
+  for (int I = 0; I < 32; ++I)
+    EXPECT_EQ(Mem.readI32(Out + I * 4), I * 7);
+  // Identical launches cost identical cycles.
+  EXPECT_EQ(S1.Cycles, S2.Cycles);
+  EXPECT_EQ(S1.InstructionsIssued, S2.InstructionsIssued);
+}
+
+TEST(Sim, DecodedProgramShape) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @shape(i32 addrspace(1)* %out) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %c = icmp slt i32 %tid, 4
+  condbr i1 %c, label %t, label %j
+t:
+  br label %j
+j:
+  %v = phi i32 [ 1, %t ], [ 2, %entry ]
+  %p = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %v, i32 addrspace(1)* %p
+  ret
+}
+)");
+  SimEngine Engine(*F);
+  const DecodedProgram &P = Engine.program();
+  EXPECT_EQ(P.Blocks.size(), 3u);
+  EXPECT_EQ(P.ArgRegisters.size(), 1u);
+  // Both edges into %j carry exactly one phi copy; constants 1 and 2 are
+  // materialized as immediates, not registers.
+  EXPECT_EQ(P.MaxEdgePhis, 1u);
+  EXPECT_GE(P.Immediates.size(), 2u);
+  // Entry's divergent branch reconverges at %j (decoded IPDOM).
+  EXPECT_EQ(P.Blocks[P.EntryBlock].Reconverge, 2u);
+}
+
+TEST(Sim, NonDefaultWarpSizes) {
+  const char *Src = R"(
+func @wsz(i32 addrspace(1)* %out) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %par = and i32 %tid, 1
+  %c = icmp eq i32 %par, 0
+  condbr i1 %c, label %t, label %e
+t:
+  br label %j
+e:
+  br label %j
+j:
+  %v = phi i32 [ 100, %t ], [ 200, %e ]
+  %p = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %v, i32 addrspace(1)* %p
+  ret
+}
+)";
+  for (unsigned WS : {1u, 8u, 33u, 64u}) {
+    Context Ctx;
+    std::unique_ptr<Module> M;
+    Function *F = parse(Ctx, M, Src);
+    GpuConfig Cfg;
+    Cfg.WarpSize = WS;
+    GlobalMemory Mem;
+    uint64_t Out = Mem.allocate(64 * 4);
+    runKernel(*F, {1, 64}, {Out}, Mem, Cfg);
+    for (int I = 0; I < 64; ++I)
+      EXPECT_EQ(Mem.readI32(Out + I * 4), (I % 2 == 0) ? 100 : 200)
+          << "warp size " << WS << " lane " << I;
+  }
+}
+
+TEST(SimDeathTest, RejectsOutOfRangeWarpSize) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @noop() -> void {
+entry:
+  ret
+}
+)");
+  for (unsigned Bad : {0u, 65u, 128u}) {
+    GpuConfig Cfg;
+    Cfg.WarpSize = Bad;
+    GlobalMemory Mem;
+    EXPECT_EXIT(runKernel(*F, {1, 32}, {}, Mem, Cfg),
+                ::testing::ExitedWithCode(1), "WarpSize");
+  }
+}
+
 TEST(Sim, AluUtilizationReflectsMasking) {
   Context Ctx;
   std::unique_ptr<Module> M;

@@ -116,10 +116,10 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "melding: %u region(s), %u subgraph pair(s), %u "
                  "block-region meld(s), %u select(s), %u unpredication "
-                 "split(s)\n",
+                 "split(s), %u guarded store(s)\n",
                  DS.RegionsMelded, DS.SubgraphPairsMelded,
                  DS.BlockRegionMelds, DS.SelectsInserted,
-                 DS.UnpredicationSplits);
+                 DS.UnpredicationSplits, DS.GuardedStores);
     for (const auto &[Name, Secs] : PM.cumulativeTimings())
       std::fprintf(stderr, "  %-14s %8.3f ms\n", Name.c_str(), Secs * 1e3);
     // The darm/branch-fusion passes run a nested fixed-point pipeline;

@@ -63,6 +63,10 @@ struct DARMStats {
   unsigned BlockRegionMelds = 0;
   unsigned SelectsInserted = 0;
   unsigned UnpredicationSplits = 0;
+  /// Gap stores whose address is side-dependent (depends on
+  /// melding-inserted selects or melded phis): these get a real guard
+  /// branch instead of the load+select+store predication, in every mode.
+  unsigned GuardedStores = 0;
 
   /// Wall-clock seconds per pipeline stage (simplifycfg, darm-meld,
   /// ssa-repair, dce, verify), summed over all fixed-point iterations and

@@ -1,0 +1,84 @@
+//===- DiffOracle.h - Multi-config differential oracle -------------*- C++ -*-===//
+///
+/// \file
+/// The differential oracle behind tools/darm_fuzz (docs/fuzzing.md): one
+/// generated kernel is run unmelded (the reference) and through several
+/// transform configurations; every configuration must leave the final
+/// memory image bit-identical and the verifier clean. A further axis
+/// round-trips the kernel through IRPrinter -> IRParser and re-diffs, so
+/// printer/parser defects surface as oracle failures too. On mismatch the
+/// failing case is greedily minimized (Minimizer.h) and packaged as a
+/// standalone repro.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_FUZZ_DIFFORACLE_H
+#define DARM_FUZZ_DIFFORACLE_H
+
+#include "darm/fuzz/KernelGenerator.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class Function;
+
+namespace fuzz {
+
+/// One transform axis of the oracle. The callback receives a freshly
+/// built kernel and mutates it; the oracle then re-simulates and diffs.
+struct OracleConfig {
+  std::string Name;
+  std::function<void(Function &)> Transform;
+};
+
+/// The built-in transform axes: full DARM at the paper's threshold, DARM
+/// at an aggressive threshold (more melds, more surface), DARM without
+/// unpredication (full predication paths), and the DiamondOnly Branch
+/// Fusion baseline. The print->parse round-trip axis is separate
+/// (OracleOptions::RoundTrip) because it needs no transform.
+std::vector<OracleConfig> defaultConfigs();
+
+struct OracleOptions {
+  bool RoundTrip = true; ///< include the IRPrinter -> IRParser axis
+  bool Minimize = true;  ///< shrink failing cases before reporting
+  /// Axes to run; empty means defaultConfigs(). Tests inject a broken
+  /// transform here to exercise the mismatch path end-to-end.
+  std::vector<OracleConfig> Configs;
+};
+
+struct OracleResult {
+  bool Mismatch = false;
+  std::string Config; ///< failing axis name ("roundtrip" for that mode)
+  std::string Detail; ///< first divergence, human-readable
+  std::string ReproIR; ///< (minimized) kernel text; empty when clean
+
+  explicit operator bool() const { return Mismatch; }
+};
+
+/// Runs every axis for \p C. Stops at the first mismatching axis.
+OracleResult runOracle(const FuzzCase &C,
+                       const OracleOptions &O = OracleOptions());
+
+/// Serializes \p R as a standalone .darm repro: commented header
+/// (seed, failing config, geometry, repro command) + kernel text. The
+/// whole file is directly parseable by parseModule (headers are IR
+/// comments).
+std::string formatRepro(const FuzzCase &C, const OracleResult &R);
+
+/// Reconstructs the FuzzCase + failing config name from a repro file
+/// previously written by formatRepro. Returns false on a malformed
+/// header.
+bool parseReproHeader(const std::string &Text, FuzzCase &C,
+                      std::string &Config);
+
+/// Re-checks a parsed repro kernel: runs \p Kernel unmelded as reference,
+/// then the named axis (or round-trip), and returns the mismatch result.
+OracleResult checkRepro(Function &Kernel, const FuzzCase &C,
+                        const std::string &Config);
+
+} // namespace fuzz
+} // namespace darm
+
+#endif // DARM_FUZZ_DIFFORACLE_H

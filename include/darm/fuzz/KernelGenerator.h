@@ -1,0 +1,86 @@
+//===- KernelGenerator.h - Random divergent-kernel generator -------*- C++ -*-===//
+///
+/// \file
+/// Seeded generator of structured divergent SPMD kernels for differential
+/// fuzzing of the melding pipeline (docs/fuzzing.md). Each FuzzCase is a
+/// pure function of its seed: the kernel IR, the launch geometry and the
+/// initial memory image are all derived deterministically, so a failing
+/// seed is a complete reproducer on its own.
+///
+/// Shape grammar (top level is uniform control flow, so barriers are
+/// legal there):
+///
+///   kernel   := prologue construct* epilogue
+///   construct:= stmts | diamond | triangle | loop | barrier
+///   diamond  := 'if (divergent cond)' body 'else' body [join phis]
+///   triangle := 'if (divergent cond)' body [join phis]
+///   body     := stmts [construct]            (depth-bounded nesting)
+///   loop     := 'for (i = 0; i < trip; ++i)' body   (trip const or lane-derived)
+///   stmts    := arithmetic, comparisons, selects, casts, and
+///               bounds-clamped loads/stores of global + shared buffers
+///
+/// Divergent conditions derive from tid / laneid; stores are always
+/// index-clamped (urem by the buffer size) because out-of-bounds stores
+/// abort the simulator by design.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_FUZZ_KERNELGENERATOR_H
+#define DARM_FUZZ_KERNELGENERATOR_H
+
+#include "darm/sim/GpuConfig.h"
+#include "darm/sim/Memory.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class Function;
+class Module;
+
+namespace fuzz {
+
+/// Size/shape knobs. The defaults keep a single case cheap enough that a
+/// thousand-seed sweep finishes in seconds; FuzzCase then perturbs the
+/// geometry per seed.
+struct GenOptions {
+  unsigned MaxTopConstructs = 4; ///< top-level constructs per kernel
+  unsigned MaxDepth = 2;         ///< divergent-region nesting bound
+  unsigned MaxLoopTrip = 4;      ///< constant loop trip bound
+  bool AllowNonFinite = true;    ///< seed inf/nan constants and inputs
+};
+
+/// One self-describing fuzz case. Everything — kernel, geometry, buffer
+/// sizes, memory image — is a deterministic function of Seed (plus the
+/// options), so the pair (Seed, Opts) reproduces the whole experiment.
+struct FuzzCase {
+  uint64_t Seed = 0;
+  GenOptions Opts;
+  LaunchParams Launch{2, 32};
+  unsigned IntElems = 64;        ///< i32 global buffer, elements
+  unsigned FloatElems = 64;      ///< f32 global buffer, elements
+  unsigned SharedElems = 32;     ///< i32 LDS scratch, elements
+  unsigned IntInputElems = 32;   ///< read-only prefix of the i32 buffer
+  unsigned FloatInputElems = 32; ///< read-only prefix of the f32 buffer
+
+  FuzzCase() = default;
+  /// Derives the per-case geometry (launch dims, buffer sizes) from the
+  /// seed.
+  explicit FuzzCase(uint64_t Seed, const GenOptions &Opts = GenOptions());
+
+  std::string name() const { return "fuzz" + std::to_string(Seed); }
+};
+
+/// Builds the kernel of \p C into \p M. The result is verifier-clean.
+/// Signature: func @fuzz<seed>(i32 g* %ibuf, f32 g* %fbuf, i32 %n) -> void.
+Function *buildFuzzKernel(Module &M, const FuzzCase &C);
+
+/// Allocates and deterministically fills the two global buffers of \p C;
+/// returns the launch argument list (ibuf, fbuf, n).
+std::vector<uint64_t> setupFuzzMemory(const FuzzCase &C, GlobalMemory &Mem);
+
+} // namespace fuzz
+} // namespace darm
+
+#endif // DARM_FUZZ_KERNELGENERATOR_H

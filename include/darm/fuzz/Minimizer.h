@@ -1,0 +1,60 @@
+//===- Minimizer.h - Greedy repro minimization ---------------------*- C++ -*-===//
+///
+/// \file
+/// Greedy delta-debugging of a failing fuzz case. Because every FuzzCase
+/// rebuilds deterministically from its seed, a candidate reduction is
+/// represented as an *edit script* replayed on a fresh build — there is no
+/// need to clone IR (which would itself go through the printer/parser
+/// under test). Each edit names its target by block name + ordinal, both
+/// stable across deterministic rebuilds.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_FUZZ_MINIMIZER_H
+#define DARM_FUZZ_MINIMIZER_H
+
+#include "darm/fuzz/KernelGenerator.h"
+
+#include <functional>
+#include <vector>
+
+namespace darm {
+
+class Function;
+class Module;
+
+namespace fuzz {
+
+/// One reduction step, addressed positionally in the edited kernel.
+struct Edit {
+  enum Kind : uint8_t {
+    DeleteInst,    ///< drop instruction #Ordinal of Block, uses -> undef
+    CollapseBranch ///< turn Block's condbr into br to successor #Arm
+  };
+  Kind K = DeleteInst;
+  std::string Block;
+  unsigned Ordinal = 0; ///< non-terminator index within Block (DeleteInst)
+  unsigned Arm = 0;     ///< kept successor (CollapseBranch)
+};
+
+/// Applies \p E to \p F. Returns false when the edit no longer matches the
+/// function's shape (wrong block name / ordinal / terminator kind).
+bool applyEdit(Function &F, const Edit &E);
+
+/// Rebuilds \p C's kernel into \p M and replays \p Edits in order.
+/// Returns null if any edit fails to apply.
+Function *buildEdited(Module &M, const FuzzCase &C,
+                      const std::vector<Edit> &Edits);
+
+/// Greedily grows an edit script that keeps \p StillFails true. \p
+/// StillFails receives a candidate script and must rebuild + test it (it
+/// is called O(instructions^2) times, bounded by \p MaxProbes). The
+/// caller guarantees StillFails({}) is true on entry.
+std::vector<Edit>
+minimizeCase(const FuzzCase &C,
+             const std::function<bool(const std::vector<Edit> &)> &StillFails,
+             unsigned MaxProbes = 4000);
+
+} // namespace fuzz
+} // namespace darm
+
+#endif // DARM_FUZZ_MINIMIZER_H

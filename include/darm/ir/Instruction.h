@@ -3,10 +3,12 @@
 /// \file
 /// The instruction set of the DARM IR: the LLVM-IR subset that GPGPU
 /// kernels compiled by the paper's pipeline exercise. Notable semantic
-/// choice: `sdiv`/`srem`/`udiv`/`urem` by zero are *defined* to yield 0
-/// (instead of UB) so that full predication may hoist them across control
-/// flow without changing program behaviour; the simulator implements the
-/// same rule.
+/// choice: every instruction is total — `sdiv`/`srem`/`udiv`/`urem` by
+/// zero are *defined* to yield 0, and `fptosi` of NaN yields 0 while
+/// out-of-range values saturate to the destination's limits (instead of
+/// UB) — so that full predication may hoist them across control flow
+/// without changing program behaviour; the simulator implements the same
+/// rules.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef DARM_IR_INSTRUCTION_H

@@ -18,6 +18,15 @@ namespace darm {
 /// Prints a fatal usage/environment error and exits. For tool code.
 [[noreturn]] void reportFatalError(const char *Msg);
 
+/// A hook invoked by reportFatalError instead of printing + exiting. The
+/// handler must not return normally — it may throw (reportFatalError is
+/// [[noreturn]]). Returns the previously installed handler (null for the
+/// default exit behaviour). The differential fuzzing harness uses this to
+/// turn simulator aborts (out-of-bounds store, runaway loop) into oracle
+/// findings instead of process death.
+using FatalErrorHandler = void (*)(const char *Msg);
+FatalErrorHandler setFatalErrorHandler(FatalErrorHandler H);
+
 } // namespace darm
 
 /// Marks a point in code that must never execute if program invariants hold.

@@ -70,6 +70,15 @@ private:
   void deleteOriginalBlocks();
   void applyUnpredication(const std::vector<BasicBlock *> &Targets);
   void applyFullPredication();
+  /// Values that can evaluate differently for the lanes of the other
+  /// side: melding-inserted selects, phis of melded blocks, and
+  /// everything data-dependent on them (forward closure over uses). A
+  /// predicated store whose address is in this set would write
+  /// wrong-side addresses for disabled lanes.
+  std::set<Value *> computeSideDependentValues() const;
+  /// Wraps \p St in its own conditionally executed block so only \p S
+  /// lanes reach it (the sound fallback for side-dependent addresses).
+  void guardStore(StoreInst *St, Side S);
 
   Value *selectBetween(Value *VT, Value *VF, Instruction *Before);
   /// Steering constant for a replicated branch: the successor arm that
@@ -92,6 +101,10 @@ private:
   std::map<Instruction *, std::pair<Instruction *, Instruction *>> MatchSrc;
   std::map<Instruction *, std::pair<Instruction *, Side>> GapSrc;
   std::map<Instruction *, std::pair<PhiInst *, Side>> PhiSrc;
+  // Selects inserted by this meld (side-dependent by construction) and
+  // the melded blocks themselves (whose phis are side-dependent).
+  std::set<Instruction *> MeldSelects;
+  std::set<BasicBlock *> MeldedBlockSet;
   // Internal melded terminators -> source terminators (one per side; null
   // for the missing side in replication mode).
   std::map<Instruction *, std::pair<Instruction *, Instruction *>> TermSrc;
@@ -119,6 +132,7 @@ Value *MeldingSession::selectBetween(Value *VT, Value *VF,
     return VT;
   auto *Sel = new SelectInst(Cond, VT, VF);
   Before->getParent()->insert(Before->getIterator(), Sel);
+  MeldSelects.insert(Sel);
   if (Stats)
     ++Stats->SelectsInserted;
   return Sel;
@@ -557,25 +571,87 @@ void MeldingSession::applyUnpredication(
   }
 }
 
+std::set<Value *> MeldingSession::computeSideDependentValues() const {
+  std::set<Value *> Dep;
+  std::vector<Value *> Work;
+  auto Add = [&](Value *V) {
+    if (Dep.insert(V).second)
+      Work.push_back(V);
+  };
+  for (Instruction *Sel : MeldSelects)
+    Add(Sel);
+  // Melded phis carry undef (or the other side's value) for wrong-side
+  // lanes (coverPhis).
+  for (BasicBlock *BB : MeldedBlockSet)
+    for (PhiInst *Phi : BB->phis())
+      Add(Phi);
+  while (!Work.empty()) {
+    Value *V = Work.back();
+    Work.pop_back();
+    for (const Use &U : V->uses())
+      Add(U.TheUser);
+  }
+  return Dep;
+}
+
+void MeldingSession::guardStore(StoreInst *St, Side S) {
+  BasicBlock *BB = St->getParent();
+  BasicBlock *RunBB = BB->splitBefore(St->getIterator(),
+                                      BB->getName() + ".stguard");
+  auto TailPos = std::next(RunBB->begin());
+  BasicBlock *TailBB =
+      RunBB->splitBefore(TailPos, BB->getName() + ".sttail");
+  Instruction *Br = BB->getTerminator();
+  BB->erase(Br);
+  if (S == Side::True)
+    BB->push_back(new CondBrInst(Cond, RunBB, TailBB, Ctx.getVoidTy()));
+  else
+    BB->push_back(new CondBrInst(Cond, TailBB, RunBB, Ctx.getVoidTy()));
+  if (Stats)
+    ++Stats->GuardedStores;
+}
+
 void MeldingSession::applyFullPredication() {
   // Full predication of the gap instructions not covered by
   // unpredication: they execute under the full mask; stores must preserve
   // the other side's memory, so they become load + select + store (§IV-E:
   // "store instructions outside the melded blocks are fully predicated by
   // inserting extra loads").
+  //
+  // That lowering is only sound when disabled lanes evaluate the *same*
+  // address the store's own side would: the inserted load/store pair is a
+  // per-lane no-op only at a well-defined, in-bounds address. When the
+  // address chain passes through melding-inserted selects or melded phis,
+  // disabled lanes compute the other side's address — possibly out of
+  // bounds, possibly aliasing an active lane's target (a stale write that
+  // clobbers it). Such stores keep a real guard branch instead
+  // (differential fuzzing flushed this out: seed 20's else-arm LDS store
+  // melded its index computation with the then-arm's global index, and
+  // then-lanes stored 96 elements past a 64-element LDS array).
+  for (const PairInfo &P : Pairs)
+    MeldedBlockSet.insert(P.Melded);
+  const std::set<Value *> SideDep = computeSideDependentValues();
+  std::vector<std::pair<StoreInst *, Side>> Guarded;
   for (const auto &[Melded, SrcSide] : GapSrc) {
     auto *St = dyn_cast<StoreInst>(Melded);
     if (!St)
       continue;
     Value *Ptr = St->getPointer();
+    if (SideDep.count(Ptr)) {
+      Guarded.push_back({St, SrcSide.second});
+      continue;
+    }
     auto *Old = new LoadInst(Ptr);
     St->getParent()->insert(St->getIterator(), Old);
     Value *NewVal = St->getValueOperand();
-    Value *Guarded = (SrcSide.second == Side::True)
-                         ? selectBetween(NewVal, Old, St)
-                         : selectBetween(static_cast<Value *>(Old), NewVal, St);
-    St->setOperand(0, Guarded);
+    Value *Guard = (SrcSide.second == Side::True)
+                       ? selectBetween(NewVal, Old, St)
+                       : selectBetween(static_cast<Value *>(Old), NewVal, St);
+    St->setOperand(0, Guard);
   }
+  // Split after the scan: block surgery invalidates GapSrc iteration.
+  for (auto &[St, S] : Guarded)
+    guardStore(St, S);
 }
 
 bool MeldingSession::run() {

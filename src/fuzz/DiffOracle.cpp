@@ -1,0 +1,391 @@
+//===- DiffOracle.cpp - Multi-config differential oracle ----------------------===//
+
+#include "darm/fuzz/DiffOracle.h"
+
+#include "darm/analysis/Verifier.h"
+#include "darm/core/DARMPass.h"
+#include "darm/fuzz/Minimizer.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/sim/Simulator.h"
+#include "darm/support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+using namespace darm;
+using namespace darm::fuzz;
+
+namespace {
+
+/// Final device-memory image of one simulated launch, captured bitwise
+/// (floats as their 32-bit patterns, so NaN compares like any value).
+struct MemImage {
+  std::vector<uint32_t> IntBits, FloatBits;
+  /// Set when the simulator aborted (OOB store, runaway loop) — a
+  /// first-class finding: the reference never aborts, so a transformed
+  /// kernel that does was miscompiled.
+  std::string Fatal;
+
+  bool operator==(const MemImage &O) const {
+    return Fatal == O.Fatal && IntBits == O.IntBits &&
+           FloatBits == O.FloatBits;
+  }
+};
+
+struct SimFatal {
+  std::string Msg;
+};
+
+[[noreturn]] void throwFatal(const char *Msg) { throw SimFatal{Msg}; }
+
+/// Installs throwFatal for the duration of one simulation so simulator
+/// aborts unwind back to the oracle.
+class ScopedFatalCatcher {
+public:
+  ScopedFatalCatcher() : Prev(setFatalErrorHandler(throwFatal)) {}
+  ~ScopedFatalCatcher() { setFatalErrorHandler(Prev); }
+
+private:
+  FatalErrorHandler Prev;
+};
+
+MemImage runCase(Function &F, const FuzzCase &C) {
+  GlobalMemory Mem;
+  std::vector<uint64_t> Args = setupFuzzMemory(C, Mem);
+  MemImage Img;
+  {
+    ScopedFatalCatcher Catcher;
+    try {
+      runKernel(F, C.Launch, Args, Mem);
+    } catch (const SimFatal &E) {
+      Img.Fatal = E.Msg;
+      return Img;
+    }
+  }
+  Img.IntBits.reserve(C.IntElems);
+  for (unsigned I = 0; I < C.IntElems; ++I)
+    Img.IntBits.push_back(
+        static_cast<uint32_t>(Mem.load(Args[0] + uint64_t{I} * 4, 4)));
+  Img.FloatBits.reserve(C.FloatElems);
+  for (unsigned I = 0; I < C.FloatElems; ++I)
+    Img.FloatBits.push_back(
+        static_cast<uint32_t>(Mem.load(Args[1] + uint64_t{I} * 4, 4)));
+  return Img;
+}
+
+/// "<buf>[i]: ref=0x... got=0x..." for the first differing element.
+std::string diffDetail(const MemImage &Ref, const MemImage &Got) {
+  char Buf[96];
+  if (Got.Fatal != Ref.Fatal)
+    return "simulator abort: " +
+           (Got.Fatal.empty() ? "(reference aborted: " + Ref.Fatal + ")"
+                              : Got.Fatal);
+  for (size_t I = 0; I < Ref.IntBits.size(); ++I)
+    if (Ref.IntBits[I] != Got.IntBits[I]) {
+      std::snprintf(Buf, sizeof(Buf), "i32[%zu]: ref=0x%08x got=0x%08x", I,
+                    Ref.IntBits[I], Got.IntBits[I]);
+      return Buf;
+    }
+  for (size_t I = 0; I < Ref.FloatBits.size(); ++I)
+    if (Ref.FloatBits[I] != Got.FloatBits[I]) {
+      std::snprintf(Buf, sizeof(Buf), "f32[%zu]: ref=0x%08x got=0x%08x", I,
+                    Ref.FloatBits[I], Got.FloatBits[I]);
+      return Buf;
+    }
+  return "images equal";
+}
+
+/// Evaluates one axis on an already-built kernel \p F (left unmutated for
+/// the round-trip axis; cloned-by-rebuild for transform axes by the
+/// caller). Returns true + fills Detail if the axis mismatches.
+bool roundTripFails(Function &F, const FuzzCase &C, const MemImage &Ref,
+                    std::string &Detail) {
+  std::string Text = printFunction(F);
+  Context PCtx;
+  std::string Err;
+  auto PM = parseModule(PCtx, Text, &Err);
+  if (!PM) {
+    Detail = "parse error: " + Err;
+    return true;
+  }
+  Function *PF = PM->functions().front().get();
+  if (!verifyFunction(*PF, &Err)) {
+    Detail = "parsed kernel fails verifier: " + Err;
+    return true;
+  }
+  if (printFunction(*PF) != Text) {
+    Detail = "print->parse->print not stable";
+    return true;
+  }
+  MemImage Img = runCase(*PF, C);
+  if (!(Img == Ref)) {
+    Detail = "parsed kernel diverges: " + diffDetail(Ref, Img);
+    return true;
+  }
+  return false;
+}
+
+bool transformFails(const OracleConfig &Cfg, const FuzzCase &C,
+                    const std::vector<Edit> &Edits, const MemImage &Ref,
+                    std::string &Detail) {
+  Context Ctx;
+  Module M(Ctx, "axis");
+  Function *F = buildEdited(M, C, Edits);
+  if (!F) {
+    Detail = "edit script failed to replay";
+    return false; // can't evaluate; treat as not-failing
+  }
+  Cfg.Transform(*F);
+  std::string Err;
+  if (!verifyFunction(*F, &Err)) {
+    Detail = "verifier: " + Err;
+    return true;
+  }
+  MemImage Img = runCase(*F, C);
+  if (!(Img == Ref)) {
+    Detail = diffDetail(Ref, Img);
+    return true;
+  }
+  return false;
+}
+
+/// Full axis evaluation used by both the oracle sweep and the minimizer
+/// predicate: rebuild (with edits), re-run reference, test the axis.
+bool axisFailsOnEdits(const OracleConfig *Cfg, bool IsRoundTrip,
+                      const FuzzCase &C, const std::vector<Edit> &Edits,
+                      std::string &Detail) {
+  Context RCtx;
+  Module RM(RCtx, "ref");
+  Function *RF = buildEdited(RM, C, Edits);
+  if (!RF)
+    return false;
+  std::string Err;
+  if (!verifyFunction(*RF, &Err))
+    return false; // edited reference must stay valid
+  MemImage Ref = runCase(*RF, C);
+  if (!Ref.Fatal.empty())
+    return false; // an edit that aborts the reference is not a reduction
+  if (IsRoundTrip)
+    return roundTripFails(*RF, C, Ref, Detail);
+  return transformFails(*Cfg, C, Edits, Ref, Detail);
+}
+
+} // namespace
+
+std::vector<OracleConfig> darm::fuzz::defaultConfigs() {
+  std::vector<OracleConfig> Cfgs;
+  Cfgs.push_back({"darm", [](Function &F) { runDARM(F); }});
+  Cfgs.push_back({"darm-aggressive", [](Function &F) {
+                    DARMConfig Cfg;
+                    Cfg.ProfitThreshold = 0.05;
+                    Cfg.MinAbsoluteSaving = 0.0;
+                    runDARM(F, Cfg);
+                  }});
+  Cfgs.push_back({"darm-nounpred", [](Function &F) {
+                    DARMConfig Cfg;
+                    Cfg.EnableUnpredication = false;
+                    runDARM(F, Cfg);
+                  }});
+  Cfgs.push_back(
+      {"branch-fusion", [](Function &F) { runBranchFusion(F); }});
+  return Cfgs;
+}
+
+OracleResult darm::fuzz::runOracle(const FuzzCase &C,
+                                   const OracleOptions &O) {
+  OracleResult R;
+  const std::vector<OracleConfig> Cfgs =
+      O.Configs.empty() ? defaultConfigs() : O.Configs;
+
+  // Reference build. A generator that emits invalid IR is itself a bug.
+  Context RCtx;
+  Module RM(RCtx, "ref");
+  Function *RF = buildFuzzKernel(RM, C);
+  std::string Err;
+  if (!verifyFunction(*RF, &Err)) {
+    R.Mismatch = true;
+    R.Config = "generator";
+    R.Detail = "generated kernel fails verifier: " + Err;
+    R.ReproIR = printFunction(*RF);
+    return R;
+  }
+  MemImage Ref = runCase(*RF, C);
+  if (!Ref.Fatal.empty()) {
+    R.Mismatch = true;
+    R.Config = "generator";
+    R.Detail = "reference kernel aborted the simulator: " + Ref.Fatal;
+    R.ReproIR = printFunction(*RF);
+    return R;
+  }
+
+  const OracleConfig *FailCfg = nullptr;
+  bool FailRoundTrip = false;
+  for (const OracleConfig &Cfg : Cfgs) {
+    std::string Detail;
+    if (transformFails(Cfg, C, {}, Ref, Detail)) {
+      FailCfg = &Cfg;
+      R.Config = Cfg.Name;
+      R.Detail = Detail;
+      break;
+    }
+  }
+  if (!FailCfg && O.RoundTrip) {
+    std::string Detail;
+    if (roundTripFails(*RF, C, Ref, Detail)) {
+      FailRoundTrip = true;
+      R.Config = "roundtrip";
+      R.Detail = Detail;
+    }
+  }
+  if (!FailCfg && !FailRoundTrip)
+    return R;
+
+  R.Mismatch = true;
+  std::vector<Edit> Edits;
+  if (O.Minimize) {
+    std::string ProbeDetail;
+    Edits = minimizeCase(C, [&](const std::vector<Edit> &Trial) {
+      return axisFailsOnEdits(FailCfg, FailRoundTrip, C, Trial, ProbeDetail);
+    });
+    // Refresh the diagnostic against the minimized kernel.
+    std::string MinDetail;
+    if (axisFailsOnEdits(FailCfg, FailRoundTrip, C, Edits, MinDetail))
+      R.Detail = MinDetail;
+  }
+  Context MCtx;
+  Module MM(MCtx, "repro");
+  if (Function *MF = buildEdited(MM, C, Edits))
+    R.ReproIR = printFunction(*MF);
+  return R;
+}
+
+std::string darm::fuzz::formatRepro(const FuzzCase &C,
+                                    const OracleResult &R) {
+  std::ostringstream OS;
+  OS << "; darm-fuzz repro\n";
+  OS << "; seed: " << C.Seed << "\n";
+  OS << "; config: " << R.Config << "\n";
+  OS << "; detail: " << R.Detail << "\n";
+  OS << "; grid: " << C.Launch.GridDimX << "\n";
+  OS << "; block: " << C.Launch.BlockDimX << "\n";
+  OS << "; ibuf: " << C.IntElems << "\n";
+  OS << "; ibuf-input: " << C.IntInputElems << "\n";
+  OS << "; fbuf: " << C.FloatElems << "\n";
+  OS << "; fbuf-input: " << C.FloatInputElems << "\n";
+  OS << "; shared: " << C.SharedElems << "\n";
+  OS << "; run: darm_fuzz --repro <this-file>\n";
+  OS << R.ReproIR;
+  return OS.str();
+}
+
+bool darm::fuzz::parseReproHeader(const std::string &Text, FuzzCase &C,
+                                  std::string &Config) {
+  std::istringstream In(Text);
+  std::string Line;
+  bool SawSeed = false;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] != ';')
+      break;
+    auto Field = [&](const char *Key) -> const char * {
+      std::string Prefix = std::string("; ") + Key + ": ";
+      if (Line.rfind(Prefix, 0) == 0)
+        return Line.c_str() + Prefix.size();
+      return nullptr;
+    };
+    if (const char *V = Field("seed")) {
+      C.Seed = std::strtoull(V, nullptr, 10);
+      SawSeed = true;
+    } else if (const char *V2 = Field("config")) {
+      Config = V2;
+    } else if (const char *V3 = Field("grid")) {
+      C.Launch.GridDimX = static_cast<unsigned>(std::strtoul(V3, nullptr, 10));
+    } else if (const char *V4 = Field("block")) {
+      C.Launch.BlockDimX =
+          static_cast<unsigned>(std::strtoul(V4, nullptr, 10));
+    } else if (const char *V5 = Field("ibuf")) {
+      C.IntElems = static_cast<unsigned>(std::strtoul(V5, nullptr, 10));
+    } else if (const char *V6 = Field("ibuf-input")) {
+      C.IntInputElems = static_cast<unsigned>(std::strtoul(V6, nullptr, 10));
+    } else if (const char *V7 = Field("fbuf")) {
+      C.FloatElems = static_cast<unsigned>(std::strtoul(V7, nullptr, 10));
+    } else if (const char *V8 = Field("fbuf-input")) {
+      C.FloatInputElems = static_cast<unsigned>(std::strtoul(V8, nullptr, 10));
+    } else if (const char *V9 = Field("shared")) {
+      C.SharedElems = static_cast<unsigned>(std::strtoul(V9, nullptr, 10));
+    }
+  }
+  return SawSeed && !Config.empty();
+}
+
+OracleResult darm::fuzz::checkRepro(Function &Kernel, const FuzzCase &C,
+                                    const std::string &Config) {
+  OracleResult R;
+  std::string Err;
+  if (!verifyFunction(Kernel, &Err)) {
+    R.Mismatch = true;
+    R.Config = Config;
+    R.Detail = "repro kernel fails verifier: " + Err;
+    return R;
+  }
+  MemImage Ref = runCase(Kernel, C);
+  if (!Ref.Fatal.empty()) {
+    R.Mismatch = true;
+    R.Config = Config;
+    R.Detail = "repro reference aborted the simulator: " + Ref.Fatal;
+    return R;
+  }
+  // A "generator" repro recorded a kernel that was itself invalid or
+  // aborted the reference run; the verify + reference run above IS the
+  // re-check, so reaching here means it no longer fails.
+  if (Config == "generator")
+    return R;
+
+  std::string Detail;
+  if (Config == "roundtrip") {
+    if (roundTripFails(Kernel, C, Ref, Detail)) {
+      R.Mismatch = true;
+      R.Config = Config;
+      R.Detail = Detail;
+    }
+    return R;
+  }
+  for (const OracleConfig &Cfg : defaultConfigs()) {
+    if (Cfg.Name != Config)
+      continue;
+    // Clone by re-parsing the printed kernel: the repro flow only reaches
+    // here once the text round-trips, and the transform must not mutate
+    // the caller's reference copy.
+    std::string Text = printFunction(Kernel);
+    Context Ctx;
+    auto M = parseModule(Ctx, Text, &Err);
+    if (!M) {
+      R.Mismatch = true;
+      R.Config = Config;
+      R.Detail = "repro kernel does not re-parse: " + Err;
+      return R;
+    }
+    Function *F = M->functions().front().get();
+    Cfg.Transform(*F);
+    if (!verifyFunction(*F, &Err)) {
+      R.Mismatch = true;
+      R.Config = Config;
+      R.Detail = "verifier: " + Err;
+      return R;
+    }
+    MemImage Img = runCase(*F, C);
+    if (!(Img == Ref)) {
+      R.Mismatch = true;
+      R.Config = Config;
+      R.Detail = diffDetail(Ref, Img);
+    }
+    return R;
+  }
+  R.Mismatch = true;
+  R.Config = Config;
+  R.Detail = "unknown config in repro header";
+  return R;
+}

@@ -1,0 +1,558 @@
+//===- KernelGenerator.cpp - Random divergent-kernel generator ---------------===//
+//
+// Deterministic, seeded construction of structured divergent kernels.
+//
+// Memory discipline (the part that makes differential comparison sound):
+// SIMT semantics leave the relative order of *different lanes'* stores to
+// the same address unspecified, and melding legitimately changes that
+// interleaving. Every generated store therefore targets a lane-private
+// slot (global: InInts + slot*TotalThreads + gid; shared:
+// slot*BlockDim + tid). Cross-lane data flows only through (a) the
+// read-only input region of the global buffers and (b) a top-level
+// shared-memory exchange bracketed by barriers on both sides. Under that
+// discipline, any memory-image difference between configurations is a
+// genuine miscompile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/fuzz/KernelGenerator.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/Module.h"
+#include "darm/support/RNG.h"
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+using namespace darm;
+using namespace darm::fuzz;
+
+FuzzCase::FuzzCase(uint64_t S, const GenOptions &O) : Seed(S), Opts(O) {
+  // Geometry is drawn from a stream decoupled from the body stream so
+  // shape tweaks don't reshuffle every kernel.
+  RNG R(S ^ 0x9e3779b97f4a7c15ULL);
+  static const unsigned Blocks[] = {16, 32, 64};
+  Launch.BlockDimX = Blocks[R.nextBelow(3)];
+  Launch.GridDimX = 1 + static_cast<unsigned>(R.nextBelow(3));
+  const unsigned Total = Launch.GridDimX * Launch.BlockDimX;
+  IntInputElems = 32 + static_cast<unsigned>(R.nextBelow(3)) * 32;
+  FloatInputElems = 32 + static_cast<unsigned>(R.nextBelow(3)) * 32;
+  const unsigned IntSlots = 1 + static_cast<unsigned>(R.nextBelow(3));
+  const unsigned FloatSlots = 1 + static_cast<unsigned>(R.nextBelow(2));
+  const unsigned SharedSlots = 1 + static_cast<unsigned>(R.nextBelow(2));
+  IntElems = IntInputElems + IntSlots * Total;
+  FloatElems = FloatInputElems + FloatSlots * Total;
+  SharedElems = SharedSlots * Launch.BlockDimX;
+}
+
+namespace {
+
+/// Values in scope at the current insertion point, i.e. guaranteed to
+/// dominate it. Copied at control-flow splits (a copy is a scope
+/// snapshot); values defined inside an arm merge back only through join
+/// phis.
+struct Pools {
+  std::vector<Value *> I32, F32, I1;
+};
+
+class Gen {
+public:
+  Gen(Module &M, const FuzzCase &C)
+      : C(C), Rng(C.Seed), Ctx(M.getContext()), B(Ctx) {
+    Total = C.Launch.GridDimX * C.Launch.BlockDimX;
+    IntSlotBase = C.IntInputElems;
+    FloatSlotBase = C.FloatInputElems;
+    F = M.createFunction(
+        C.name(), Ctx.getVoidTy(),
+        {{Ctx.getPointerTy(Ctx.getInt32Ty(), AddressSpace::Global), "ibuf"},
+         {Ctx.getPointerTy(Ctx.getFloatTy(), AddressSpace::Global), "fbuf"},
+         {Ctx.getInt32Ty(), "n"}});
+    Sh = F->createSharedArray(Ctx.getInt32Ty(), C.SharedElems, "sh");
+  }
+
+  Function *run();
+
+private:
+  unsigned intSlots() const { return (C.IntElems - C.IntInputElems) / Total; }
+  unsigned floatSlots() const {
+    return (C.FloatElems - C.FloatInputElems) / Total;
+  }
+
+  Value *pick(const std::vector<Value *> &P) {
+    return P[Rng.nextBelow(P.size())];
+  }
+
+  Value *smallInt() {
+    static const int32_t Consts[] = {0,  1,  2,   3,   -1,  5,
+                                     7,  11, -13, 31,  64,  100};
+    return B.getInt32(Consts[Rng.nextBelow(std::size(Consts))]);
+  }
+
+  Value *floatConst() {
+    if (C.Opts.AllowNonFinite && Rng.chance(1, 8)) {
+      switch (Rng.nextBelow(4)) {
+      case 0:
+        return B.getFloat(std::numeric_limits<float>::infinity());
+      case 1:
+        return B.getFloat(-std::numeric_limits<float>::infinity());
+      case 2:
+        return B.getFloat(std::bit_cast<float>(0x7fc00000u));
+      default:
+        return B.getFloat(-0.0f);
+      }
+    }
+    static const float Consts[] = {0.0f, 1.0f,  0.5f,   -2.25f,
+                                   3.0f, -7.5f, 0.125f, 1e6f};
+    return B.getFloat(Consts[Rng.nextBelow(std::size(Consts))]);
+  }
+
+  /// In-bounds index into the read-only input region of a buffer:
+  /// urem of an arbitrary i32 by the region size (urem is unsigned, so
+  /// the result is always in [0, Region)).
+  Value *clampedInputIndex(Pools &P, unsigned Region) {
+    return B.createURem(pick(P.I32), B.getInt32(static_cast<int32_t>(Region)),
+                        "cidx");
+  }
+
+  /// This thread's private cell for global slot \p Slot.
+  Value *ownGlobalIndex(bool IsInt, unsigned Slot) {
+    unsigned Base = (IsInt ? IntSlotBase : FloatSlotBase) + Slot * Total;
+    return B.createAdd(Gid, B.getInt32(static_cast<int32_t>(Base)), "oidx");
+  }
+
+  /// This thread's private LDS cell for shared slot \p Slot.
+  Value *ownSharedIndex(unsigned Slot) {
+    return B.createAdd(
+        Tid, B.getInt32(static_cast<int32_t>(Slot * C.Launch.BlockDimX)),
+        "sidx");
+  }
+
+  Value *divergentCond(Pools &P);
+  void emitStmt(Pools &P);
+  void emitStmts(Pools &P, unsigned Lo, unsigned Hi);
+  void emitBody(Pools &P, unsigned Depth);
+  void emitDiamond(Pools &P, unsigned Depth);
+  void emitTriangle(Pools &P, unsigned Depth);
+  void emitLoop(Pools &P, unsigned Depth);
+  void emitExchange(Pools &P);
+
+  const FuzzCase &C;
+  RNG Rng;
+  Context &Ctx;
+  IRBuilder B;
+  Function *F = nullptr;
+  SharedArray *Sh = nullptr;
+  unsigned Total = 0;
+  unsigned IntSlotBase = 0, FloatSlotBase = 0;
+  Value *Tid = nullptr, *Lane = nullptr, *Gid = nullptr;
+  unsigned BlockNo = 0; ///< fresh-name counter for CFG blocks
+};
+
+Value *Gen::divergentCond(Pools &P) {
+  // Occasionally a uniform (block-derived) condition, to check melding
+  // leaves non-divergent branches semantically intact too.
+  if (Rng.chance(1, 8)) {
+    Value *U = B.createAnd(B.createBlockIdX(), B.getInt32(1));
+    return B.createICmp(ICmpPred::EQ, U, B.getInt32(0), "ucond");
+  }
+  switch (Rng.nextBelow(4)) {
+  case 0: { // masked lane/tid compare — the classic divergence shape
+    Value *Src = Rng.chance(1, 2) ? Lane : Tid;
+    Value *Masked = B.createAnd(
+        B.createXor(Src, smallInt()),
+        B.getInt32(static_cast<int32_t>(1 + Rng.nextBelow(7))));
+    return B.createICmp(static_cast<ICmpPred>(Rng.nextBelow(10)), Masked,
+                        B.getInt32(static_cast<int32_t>(Rng.nextBelow(4))),
+                        "dcond");
+  }
+  case 1: // data-dependent compare
+    return B.createICmp(static_cast<ICmpPred>(Rng.nextBelow(10)), pick(P.I32),
+                        smallInt(), "dcond");
+  case 2: // float compare
+    return B.createFCmp(static_cast<FCmpPred>(Rng.nextBelow(6)), pick(P.F32),
+                        floatConst(), "fcond");
+  default: // recombine existing predicates
+    if (P.I1.size() >= 2)
+      return B.createBinary(Rng.chance(1, 2) ? Opcode::And : Opcode::Xor,
+                            pick(P.I1), pick(P.I1), "ccond");
+    return B.createICmp(ICmpPred::SLT, B.createAnd(Lane, B.getInt32(5)),
+                        B.getInt32(3), "dcond");
+  }
+}
+
+void Gen::emitStmt(Pools &P) {
+  switch (Rng.nextBelow(16)) {
+  case 0:
+  case 1:
+  case 2: { // integer arithmetic/logic
+    static const Opcode Ops[] = {Opcode::Add,  Opcode::Sub,  Opcode::Mul,
+                                 Opcode::SDiv, Opcode::SRem, Opcode::UDiv,
+                                 Opcode::URem, Opcode::And,  Opcode::Or,
+                                 Opcode::Xor,  Opcode::Shl,  Opcode::LShr,
+                                 Opcode::AShr};
+    Value *L = pick(P.I32);
+    Value *R = Rng.chance(1, 3) ? smallInt() : pick(P.I32);
+    P.I32.push_back(B.createBinary(Ops[Rng.nextBelow(std::size(Ops))], L, R));
+    break;
+  }
+  case 3:
+  case 4: { // float arithmetic
+    static const Opcode Ops[] = {Opcode::FAdd, Opcode::FSub, Opcode::FMul,
+                                 Opcode::FDiv};
+    Value *L = pick(P.F32);
+    Value *R = Rng.chance(1, 3) ? floatConst() : pick(P.F32);
+    P.F32.push_back(B.createBinary(Ops[Rng.nextBelow(std::size(Ops))], L, R));
+    break;
+  }
+  case 5: // integer compare
+    P.I1.push_back(B.createICmp(static_cast<ICmpPred>(Rng.nextBelow(10)),
+                                pick(P.I32), pick(P.I32)));
+    break;
+  case 6: // float compare
+    P.I1.push_back(B.createFCmp(static_cast<FCmpPred>(Rng.nextBelow(6)),
+                                pick(P.F32), pick(P.F32)));
+    break;
+  case 7: // select
+    if (Rng.chance(1, 2))
+      P.I32.push_back(
+          B.createSelect(pick(P.I1), pick(P.I32), pick(P.I32)));
+    else
+      P.F32.push_back(
+          B.createSelect(pick(P.I1), pick(P.F32), pick(P.F32)));
+    break;
+  case 8: // casts (fptosi is total: NaN -> 0, out-of-range saturates)
+    if (Rng.chance(1, 3))
+      P.I32.push_back(B.createZExt(pick(P.I1), Ctx.getInt32Ty()));
+    else if (Rng.chance(1, 2))
+      P.F32.push_back(
+          B.createCast(Opcode::SIToFP, pick(P.I32), Ctx.getFloatTy()));
+    else
+      P.I32.push_back(
+          B.createCast(Opcode::FPToSI, pick(P.F32), Ctx.getInt32Ty()));
+    break;
+  case 9: // load from the read-only int input region
+    P.I32.push_back(B.createLoadAt(
+        F->getArg(0), clampedInputIndex(P, IntSlotBase), "gi"));
+    break;
+  case 10: // load from the read-only float input region
+    P.F32.push_back(B.createLoadAt(
+        F->getArg(1), clampedInputIndex(P, FloatSlotBase), "gf"));
+    break;
+  case 11: // read back this lane's own shared cell
+    P.I32.push_back(B.createLoadAt(
+        Sh, ownSharedIndex(Rng.nextBelow(C.SharedElems / C.Launch.BlockDimX)),
+        "sl"));
+    break;
+  case 12: // store to this lane's own global int cell
+    B.createStoreAt(pick(P.I32), F->getArg(0),
+                    ownGlobalIndex(true, Rng.nextBelow(intSlots())));
+    break;
+  case 13: // store to this lane's own global float cell
+    B.createStoreAt(pick(P.F32), F->getArg(1),
+                    ownGlobalIndex(false, Rng.nextBelow(floatSlots())));
+    break;
+  case 14: // store to this lane's own shared cell
+    B.createStoreAt(
+        pick(P.I32), Sh,
+        ownSharedIndex(Rng.nextBelow(C.SharedElems / C.Launch.BlockDimX)));
+    break;
+  default: // read back this lane's own global int cell
+    P.I32.push_back(B.createLoadAt(
+        F->getArg(0), ownGlobalIndex(true, Rng.nextBelow(intSlots())), "gr"));
+    break;
+  }
+}
+
+void Gen::emitStmts(Pools &P, unsigned Lo, unsigned Hi) {
+  unsigned N = Lo + static_cast<unsigned>(Rng.nextBelow(Hi - Lo + 1));
+  for (unsigned I = 0; I < N; ++I)
+    emitStmt(P);
+}
+
+/// A region body: statements, optionally wrapping one nested construct.
+void Gen::emitBody(Pools &P, unsigned Depth) {
+  emitStmts(P, 1, 4);
+  if (Depth > 0 && Rng.chance(1, 2)) {
+    switch (Rng.nextBelow(3)) {
+    case 0:
+      emitDiamond(P, Depth - 1);
+      break;
+    case 1:
+      emitTriangle(P, Depth - 1);
+      break;
+    default:
+      emitLoop(P, Depth - 1);
+      break;
+    }
+    emitStmts(P, 0, 2);
+  }
+}
+
+void Gen::emitDiamond(Pools &P, unsigned Depth) {
+  Value *Cond = divergentCond(P);
+  std::string N = std::to_string(BlockNo++);
+  BasicBlock *T = F->createBlock("d" + N + ".t");
+  BasicBlock *E = F->createBlock("d" + N + ".e");
+  BasicBlock *J = F->createBlock("d" + N + ".j");
+  B.createCondBr(Cond, T, E);
+
+  B.setInsertPoint(T);
+  Pools PT = P;
+  emitBody(PT, Depth);
+  BasicBlock *TEnd = B.getInsertBlock();
+  B.createBr(J);
+
+  B.setInsertPoint(E);
+  Pools PE = P;
+  emitBody(PE, Depth);
+  BasicBlock *EEnd = B.getInsertBlock();
+  B.createBr(J);
+
+  B.setInsertPoint(J);
+  // Join phis merge arm-local values back into scope — this is what
+  // exercises SSA repair and phi melding.
+  if (Rng.chance(2, 3)) {
+    PhiInst *Phi = B.createPhi(Ctx.getInt32Ty(), "jp");
+    Phi->addIncoming(pick(PT.I32), TEnd);
+    Phi->addIncoming(pick(PE.I32), EEnd);
+    P.I32.push_back(Phi);
+  }
+  if (Rng.chance(1, 3)) {
+    PhiInst *Phi = B.createPhi(Ctx.getFloatTy(), "jfp");
+    Phi->addIncoming(pick(PT.F32), TEnd);
+    Phi->addIncoming(pick(PE.F32), EEnd);
+    P.F32.push_back(Phi);
+  }
+}
+
+void Gen::emitTriangle(Pools &P, unsigned Depth) {
+  Value *Cond = divergentCond(P);
+  BasicBlock *From = B.getInsertBlock();
+  std::string N = std::to_string(BlockNo++);
+  BasicBlock *T = F->createBlock("t" + N + ".t");
+  BasicBlock *J = F->createBlock("t" + N + ".j");
+  B.createCondBr(Cond, T, J);
+
+  B.setInsertPoint(T);
+  Pools PT = P;
+  emitBody(PT, Depth);
+  BasicBlock *TEnd = B.getInsertBlock();
+  B.createBr(J);
+
+  B.setInsertPoint(J);
+  if (Rng.chance(1, 2)) {
+    PhiInst *Phi = B.createPhi(Ctx.getInt32Ty(), "tp");
+    Phi->addIncoming(pick(PT.I32), TEnd);
+    Phi->addIncoming(pick(P.I32), From);
+    P.I32.push_back(Phi);
+  }
+}
+
+void Gen::emitLoop(Pools &P, unsigned Depth) {
+  BasicBlock *Pre = B.getInsertBlock();
+  std::string N = std::to_string(BlockNo++);
+  BasicBlock *Header = F->createBlock("l" + N + ".h");
+  BasicBlock *Body = F->createBlock("l" + N + ".b");
+  BasicBlock *Exit = F->createBlock("l" + N + ".x");
+
+  // Trip count: a small constant, or lane-derived so lanes exit the loop
+  // at different iterations (divergent loop exit).
+  Value *Bound;
+  if (Rng.chance(1, 2)) {
+    Bound = B.getInt32(
+        static_cast<int32_t>(1 + Rng.nextBelow(C.Opts.MaxLoopTrip)));
+  } else {
+    Bound = B.createAdd(
+        B.createAnd(Rng.chance(1, 2) ? Lane : Tid,
+                    B.getInt32(static_cast<int32_t>(C.Opts.MaxLoopTrip - 1))),
+        B.getInt32(1), "trip");
+  }
+  Value *Acc0 = pick(P.I32);
+  Value *FAcc0 = pick(P.F32);
+  B.createBr(Header);
+
+  B.setInsertPoint(Header);
+  PhiInst *IV = B.createPhi(Ctx.getInt32Ty(), "iv");
+  PhiInst *Acc = B.createPhi(Ctx.getInt32Ty(), "acc");
+  PhiInst *FAcc = B.createPhi(Ctx.getFloatTy(), "facc");
+  IV->addIncoming(B.getInt32(0), Pre);
+  Acc->addIncoming(Acc0, Pre);
+  FAcc->addIncoming(FAcc0, Pre);
+  Value *Cond = B.createICmp(ICmpPred::SLT, IV, Bound, "lc");
+  B.createCondBr(Cond, Body, Exit);
+
+  B.setInsertPoint(Body);
+  Pools PB = P;
+  PB.I32.push_back(IV);
+  PB.I32.push_back(Acc);
+  PB.F32.push_back(FAcc);
+  emitBody(PB, Depth);
+  BasicBlock *Latch = B.getInsertBlock();
+  IV->addIncoming(B.createAdd(IV, B.getInt32(1), "ivn"), Latch);
+  Acc->addIncoming(pick(PB.I32), Latch);
+  FAcc->addIncoming(pick(PB.F32), Latch);
+  B.createBr(Header);
+
+  B.setInsertPoint(Exit);
+  // Header phis dominate the exit; they are the only values that escape.
+  P.I32.push_back(IV);
+  P.I32.push_back(Acc);
+  P.F32.push_back(FAcc);
+}
+
+/// Cross-lane communication, made deterministic by bracketing barriers:
+/// every lane publishes to its own LDS cell, the block synchronizes, every
+/// lane reads a rotated neighbour's cell, and a closing barrier keeps
+/// later (divergent) stores from racing with these reads.
+void Gen::emitExchange(Pools &P) {
+  unsigned Slot = static_cast<unsigned>(
+      Rng.nextBelow(C.SharedElems / C.Launch.BlockDimX));
+  B.createStoreAt(pick(P.I32), Sh, ownSharedIndex(Slot));
+  B.createBarrier();
+  Value *Delta = B.getInt32(static_cast<int32_t>(
+      1 + Rng.nextBelow(C.Launch.BlockDimX - 1)));
+  Value *Neighbor = B.createURem(
+      B.createAdd(Tid, Delta),
+      B.getInt32(static_cast<int32_t>(C.Launch.BlockDimX)), "nbr");
+  Value *Idx = B.createAdd(
+      Neighbor, B.getInt32(static_cast<int32_t>(Slot * C.Launch.BlockDimX)));
+  P.I32.push_back(B.createLoadAt(Sh, Idx, "xch"));
+  B.createBarrier();
+}
+
+Function *Gen::run() {
+  BasicBlock *Entry = F->createBlock("entry");
+  B.setInsertPoint(Entry);
+
+  Tid = B.createThreadIdX();
+  Lane = B.createCall(Intrinsic::LaneId, {}, "lane");
+  Gid = B.createAdd(B.createMul(B.createBlockIdX(), B.createBlockDimX()), Tid,
+                    "gid");
+
+  Pools P;
+  P.I32 = {Tid, Lane, Gid, F->getArg(2), B.getInt32(1), B.getInt32(-3),
+           B.getInt32(17)};
+  P.F32 = {B.getFloat(1.0f), B.getFloat(-0.5f)};
+
+  // Seed the pools from the input buffers.
+  P.I32.push_back(B.createLoadAt(
+      F->getArg(0),
+      B.createURem(Gid, B.getInt32(static_cast<int32_t>(IntSlotBase))),
+      "in0"));
+  P.I32.push_back(B.createLoadAt(
+      F->getArg(0),
+      B.createURem(B.createAdd(B.createMul(Gid, B.getInt32(7)),
+                               B.getInt32(3)),
+                   B.getInt32(static_cast<int32_t>(IntSlotBase))),
+      "in1"));
+  P.F32.push_back(B.createLoadAt(
+      F->getArg(1),
+      B.createURem(Gid, B.getInt32(static_cast<int32_t>(FloatSlotBase))),
+      "fin0"));
+  P.I1.push_back(B.createICmp(ICmpPred::SLT, Tid, B.getInt32(16)));
+
+  // Publish something to LDS before the first region so shared read-backs
+  // have defined content, then synchronize.
+  B.createStoreAt(pick(P.I32), Sh, ownSharedIndex(0));
+  B.createBarrier();
+
+  unsigned Constructs =
+      1 + static_cast<unsigned>(Rng.nextBelow(C.Opts.MaxTopConstructs));
+  for (unsigned I = 0; I < Constructs; ++I) {
+    switch (Rng.nextBelow(6)) {
+    case 0:
+      emitStmts(P, 2, 6);
+      break;
+    case 1:
+    case 2:
+      emitDiamond(P, C.Opts.MaxDepth);
+      break;
+    case 3:
+      emitTriangle(P, C.Opts.MaxDepth);
+      break;
+    case 4:
+      emitLoop(P, C.Opts.MaxDepth);
+      break;
+    default:
+      emitExchange(P);
+      break;
+    }
+  }
+
+  // Epilogue: fold the live pools into the lane-private output cells so
+  // every generated value can influence the final memory image.
+  Value *CkI = pick(P.I32);
+  for (unsigned I = 0; I < 3; ++I)
+    CkI = B.createAdd(B.createMul(CkI, B.getInt32(31)), pick(P.I32), "ck");
+  CkI = B.createAdd(CkI, B.createZExt(pick(P.I1), Ctx.getInt32Ty()), "ck");
+  B.createStoreAt(CkI, F->getArg(0), ownGlobalIndex(true, 0));
+
+  Value *CkF = pick(P.F32);
+  for (unsigned I = 0; I < 2; ++I)
+    CkF = B.createFAdd(B.createFMul(CkF, B.getFloat(0.75f)), pick(P.F32),
+                       "fck");
+  B.createStoreAt(CkF, F->getArg(1), ownGlobalIndex(false, 0));
+
+  // Drain this lane's shared cells into global memory so LDS state is
+  // observable in the final image too.
+  for (unsigned S = 0; S < C.SharedElems / C.Launch.BlockDimX &&
+                       S + 1 < intSlots();
+       ++S) {
+    Value *V = B.createLoadAt(Sh, ownSharedIndex(S), "drain");
+    B.createStoreAt(V, F->getArg(0), ownGlobalIndex(true, S + 1));
+  }
+
+  B.createRet();
+  return F;
+}
+
+} // namespace
+
+Function *darm::fuzz::buildFuzzKernel(Module &M, const FuzzCase &C) {
+  return Gen(M, C).run();
+}
+
+std::vector<uint64_t> darm::fuzz::setupFuzzMemory(const FuzzCase &C,
+                                                  GlobalMemory &Mem) {
+  RNG R(C.Seed * 0x2545f4914f6cdd1dULL + 1);
+  uint64_t IBuf = Mem.allocate(static_cast<uint64_t>(C.IntElems) * 4, "ibuf");
+  uint64_t FBuf =
+      Mem.allocate(static_cast<uint64_t>(C.FloatElems) * 4, "fbuf");
+
+  std::vector<int32_t> Ints(C.IntElems);
+  for (auto &V : Ints) {
+    if (R.chance(1, 16))
+      V = R.chance(1, 2) ? std::numeric_limits<int32_t>::max()
+                         : std::numeric_limits<int32_t>::min();
+    else
+      V = static_cast<int32_t>(R.nextInRange(-1000, 1000));
+  }
+  Mem.fillI32(IBuf, Ints);
+
+  for (unsigned I = 0; I < C.FloatElems; ++I) {
+    float V;
+    if (C.Opts.AllowNonFinite && R.chance(1, 16)) {
+      switch (R.nextBelow(4)) {
+      case 0:
+        V = std::numeric_limits<float>::infinity();
+        break;
+      case 1:
+        V = -std::numeric_limits<float>::infinity();
+        break;
+      case 2:
+        V = std::bit_cast<float>(0x7fc00000u);
+        break;
+      default:
+        V = -0.0f;
+        break;
+      }
+    } else {
+      V = (R.nextFloat() - 0.5f) * 64.0f;
+    }
+    Mem.writeF32(FBuf + uint64_t{I} * 4, V);
+  }
+
+  return {IBuf, FBuf, C.IntElems};
+}

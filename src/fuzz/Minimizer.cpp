@@ -1,0 +1,127 @@
+//===- Minimizer.cpp - Greedy repro minimization ------------------------------===//
+
+#include "darm/fuzz/Minimizer.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Instruction.h"
+#include "darm/ir/Module.h"
+#include "darm/transform/CFGUtils.h"
+
+using namespace darm;
+using namespace darm::fuzz;
+
+namespace {
+
+/// Barrier calls are sync points: deleting one can turn a well-ordered
+/// cross-lane exchange into a genuine (specification-level) race, and the
+/// minimizer would then converge on a repro whose failure is the race,
+/// not the original miscompile. Leave them in place.
+bool isBarrier(const Instruction *I) {
+  const auto *CI = dyn_cast<CallInst>(I);
+  return CI && CI->getIntrinsic() == Intrinsic::Barrier;
+}
+
+} // namespace
+
+bool darm::fuzz::applyEdit(Function &F, const Edit &E) {
+  BasicBlock *BB = F.getBlockByName(E.Block);
+  if (!BB)
+    return false;
+  switch (E.K) {
+  case Edit::DeleteInst: {
+    unsigned Idx = 0;
+    for (Instruction *I : *BB) {
+      if (I->isTerminator())
+        break;
+      if (Idx++ != E.Ordinal)
+        continue;
+      if (isBarrier(I))
+        return false;
+      if (!I->getType()->isVoid() && I->hasUses())
+        I->replaceAllUsesWith(F.getContext().getUndef(I->getType()));
+      I->eraseFromParent();
+      return true;
+    }
+    return false;
+  }
+  case Edit::CollapseBranch: {
+    auto *Br = dyn_cast_or_null<CondBrInst>(BB->getTerminator());
+    if (!Br || E.Arm > 1)
+      return false;
+    BasicBlock *Keep = E.Arm == 0 ? Br->getTrueSuccessor()
+                                  : Br->getFalseSuccessor();
+    BasicBlock *Drop = E.Arm == 0 ? Br->getFalseSuccessor()
+                                  : Br->getTrueSuccessor();
+    if (Drop != Keep)
+      Drop->removePhiEntriesFor(BB);
+    BB->erase(Br);
+    BB->push_back(new BrInst(Keep, F.getContext().getVoidTy()));
+    removeUnreachableBlocks(F);
+    return true;
+  }
+  }
+  return false;
+}
+
+Function *darm::fuzz::buildEdited(Module &M, const FuzzCase &C,
+                                  const std::vector<Edit> &Edits) {
+  Function *F = buildFuzzKernel(M, C);
+  for (const Edit &E : Edits)
+    if (!applyEdit(*F, E))
+      return nullptr;
+  return F;
+}
+
+std::vector<Edit> darm::fuzz::minimizeCase(
+    const FuzzCase &C,
+    const std::function<bool(const std::vector<Edit> &)> &StillFails,
+    unsigned MaxProbes) {
+  std::vector<Edit> Edits;
+  unsigned Probes = 0;
+
+  bool Progress = true;
+  while (Progress && Probes < MaxProbes) {
+    Progress = false;
+
+    // Enumerate candidates against the current edited shape.
+    Context Ctx;
+    Module M(Ctx, "min");
+    Function *F = buildEdited(M, C, Edits);
+    if (!F)
+      break; // should not happen: accepted edits always replay
+
+    std::vector<Edit> Cands;
+    // Branch collapses first: one edit can drop a whole subgraph.
+    for (const BasicBlock *BB : *F)
+      if (isa<CondBrInst>(BB->getTerminator()))
+        for (unsigned Arm = 0; Arm < 2; ++Arm)
+          Cands.push_back({Edit::CollapseBranch, BB->getName(), 0, Arm});
+    // Then single instructions, last block first — late values (epilogue
+    // checksums, drains) usually pin the most of the kernel alive.
+    std::vector<const BasicBlock *> Blocks(F->begin(), F->end());
+    for (auto It = Blocks.rbegin(); It != Blocks.rend(); ++It) {
+      unsigned NumNonTerm = 0;
+      for (const Instruction *I : **It)
+        if (!I->isTerminator())
+          ++NumNonTerm;
+      for (unsigned Idx = NumNonTerm; Idx-- > 0;)
+        Cands.push_back({Edit::DeleteInst, (*It)->getName(), Idx, 0});
+    }
+
+    for (const Edit &Cand : Cands) {
+      if (++Probes >= MaxProbes)
+        break;
+      std::vector<Edit> Trial = Edits;
+      Trial.push_back(Cand);
+      // StillFails rebuilds with the trial script itself and returns
+      // false for edits that no longer apply, so no pre-check is needed.
+      if (StillFails(Trial)) {
+        Edits = std::move(Trial);
+        Progress = true;
+        break; // shape changed; re-enumerate
+      }
+    }
+  }
+  return Edits;
+}

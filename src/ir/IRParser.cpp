@@ -13,7 +13,12 @@
 #include "darm/ir/IRBuilder.h"
 #include "darm/ir/Module.h"
 
+#include <bit>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -23,6 +28,7 @@ namespace {
 
 enum class Tok {
   Eof,
+  Error,      // lexical error; Text holds the message
   Ident,      // bare identifier / keyword
   LocalName,  // %name
   GlobalName, // @name
@@ -109,6 +115,20 @@ public:
         T.K = Tok::Arrow;
         return T;
       }
+      // Negative non-finite float keywords: the number path below only
+      // consumes digits, so "-inf"/"-nan" must be recognized here.
+      if (Text.compare(Pos, 4, "-inf") == 0) {
+        Pos += 4;
+        T.K = Tok::FloatLit;
+        T.FloatVal = -std::numeric_limits<float>::infinity();
+        return T;
+      }
+      if (Text.compare(Pos, 4, "-nan") == 0) {
+        Pos += 4;
+        T.K = Tok::FloatLit;
+        T.FloatVal = std::bit_cast<float>(0xffc00000u);
+        return T;
+      }
       return lexNumber();
     case '%':
     case '@': {
@@ -189,10 +209,24 @@ private:
     std::string S = Text.substr(Start, Pos - Start);
     if (IsFloat) {
       T.K = Tok::FloatLit;
+      errno = 0;
       T.FloatVal = std::strtof(S.c_str(), nullptr);
+      // Overflow saturates to +-HUGE_VALF with ERANGE; reject instead of
+      // silently accepting an infinity the author never wrote. Underflow
+      // also reports ERANGE but returns the nearest (sub)normal, which is
+      // exactly what a printed denormal round-trips to — keep it.
+      if (errno == ERANGE && std::abs(T.FloatVal) == HUGE_VALF) {
+        T.K = Tok::Error;
+        T.Text = "float literal '" + S + "' out of range";
+      }
     } else {
       T.K = Tok::IntLit;
+      errno = 0;
       T.IntVal = std::strtoll(S.c_str(), nullptr, 10);
+      if (errno == ERANGE) {
+        T.K = Tok::Error;
+        T.Text = "integer literal '" + S + "' out of range";
+      }
     }
     return T;
   }
@@ -224,9 +258,14 @@ private:
     if (HasPeek) {
       Cur = Peeked;
       HasPeek = false;
-      return;
+    } else {
+      Cur = Lex.next();
     }
-    Cur = Lex.next();
+    // A lexical error (e.g. out-of-range literal) poisons the parse with
+    // its own message; Tok::Error matches no expectation, so the current
+    // production fails and ErrorMsg keeps this first diagnostic.
+    if (Cur.K == Tok::Error)
+      error(Cur.Text);
   }
 
   /// One-token lookahead (used to distinguish "label:" from an opcode).
@@ -428,6 +467,34 @@ Value *Parser::parseOperand(Type *Ty) {
     if (Cur.Text == "undef") {
       advance();
       return Ctx.getUndef(Ty);
+    }
+    if (Cur.Text == "inf" || Cur.Text == "nan") {
+      if (!Ty->isFloat()) {
+        error("non-finite float literal for non-float type");
+        return nullptr;
+      }
+      bool IsNan = Cur.Text == "nan";
+      advance();
+      if (!IsNan)
+        return Ctx.getConstantFloat(std::numeric_limits<float>::infinity());
+      // "nan" optionally carries an exact bit pattern: nan(<u32 bits>).
+      if (Cur.K != Tok::LParen)
+        return Ctx.getConstantFloat(std::bit_cast<float>(0x7fc00000u));
+      advance();
+      if (Cur.K != Tok::IntLit || Cur.IntVal < 0 ||
+          Cur.IntVal > static_cast<int64_t>(UINT32_MAX)) {
+        error("expected 32-bit NaN payload");
+        return nullptr;
+      }
+      float F = std::bit_cast<float>(static_cast<uint32_t>(Cur.IntVal));
+      if (!std::isnan(F)) {
+        error("NaN payload does not encode a NaN");
+        return nullptr;
+      }
+      advance();
+      if (!expect(Tok::RParen, "')'"))
+        return nullptr;
+      return Ctx.getConstantFloat(F);
     }
     [[fallthrough]];
   default:

@@ -7,6 +7,8 @@
 #include "darm/ir/Module.h"
 #include "darm/support/ErrorHandling.h"
 
+#include <bit>
+#include <cmath>
 #include <sstream>
 
 using namespace darm;
@@ -18,13 +20,25 @@ std::string darm::printOperand(const Value *V) {
     return std::to_string(CI->getValue());
   }
   if (const auto *CF = dyn_cast<ConstantFloat>(V)) {
+    const float F = CF->getValue();
+    if (std::isinf(F))
+      return std::signbit(F) ? "-inf" : "inf";
+    if (std::isnan(F)) {
+      // The canonical quiet NaNs print as keywords; any other payload is
+      // emitted bit-exactly so the parser reconstructs the same constant.
+      const uint32_t Bits = std::bit_cast<uint32_t>(F);
+      if (Bits == 0x7fc00000u)
+        return "nan";
+      if (Bits == 0xffc00000u)
+        return "-nan";
+      return "nan(" + std::to_string(Bits) + ")";
+    }
     std::ostringstream OS2;
     OS2.precision(9); // 9 significant digits round-trip any float exactly
-    OS2 << CF->getValue();
+    OS2 << F;
     std::string S = OS2.str();
     // Ensure the token contains '.' or 'e' so the lexer sees a float.
-    if (S.find('.') == std::string::npos && S.find('e') == std::string::npos &&
-        S.find("inf") == std::string::npos && S.find("nan") == std::string::npos)
+    if (S.find('.') == std::string::npos && S.find('e') == std::string::npos)
       S += ".0";
     return S;
   }

@@ -23,6 +23,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 using namespace darm;
@@ -505,11 +506,28 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
     break;
   }
   case Opcode::FPToSI: {
+    // Like division by zero, fptosi is total in this IR (Instruction.h):
+    // NaN yields 0 and out-of-range values saturate to the destination's
+    // limits. A plain C++ cast would be undefined for those inputs, and
+    // predication may feed fptosi any bit pattern.
     const OpRow Src = row(W, DI.A);
+    const bool To32 = DI.Norm == NormKind::I32;
+    const float Lo = To32 ? -2147483648.0f : -9223372036854775808.0f;
+    const float Hi = To32 ? 2147483648.0f : 9223372036854775808.0f;
+    const int64_t Min = To32 ? INT32_MIN : INT64_MIN;
+    const int64_t Max = To32 ? INT32_MAX : INT64_MAX;
     forLanes(Mask, [&](unsigned L) {
-      Dest[L] = applyNorm(DI.Norm,
-                          static_cast<uint64_t>(static_cast<int64_t>(
-                              asFloat(Src.get(L)))));
+      const float F = asFloat(Src.get(L));
+      int64_t R;
+      if (std::isnan(F))
+        R = 0;
+      else if (F < Lo)
+        R = Min;
+      else if (F >= Hi)
+        R = Max;
+      else
+        R = static_cast<int64_t>(F);
+      Dest[L] = applyNorm(DI.Norm, static_cast<uint64_t>(R));
     });
     break;
   }

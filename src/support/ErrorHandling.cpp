@@ -13,7 +13,19 @@ void darm::reportUnreachable(const char *Msg, const char *File,
   std::abort();
 }
 
+namespace {
+darm::FatalErrorHandler Handler = nullptr;
+} // namespace
+
+darm::FatalErrorHandler darm::setFatalErrorHandler(FatalErrorHandler H) {
+  FatalErrorHandler Old = Handler;
+  Handler = H;
+  return Old;
+}
+
 void darm::reportFatalError(const char *Msg) {
+  if (Handler)
+    Handler(Msg); // expected to throw; fall through to exit if it returns
   std::fprintf(stderr, "fatal error: %s\n", Msg);
   std::exit(1);
 }

@@ -9,6 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 using namespace darm;
 
 namespace {
@@ -40,6 +45,145 @@ TEST(Constants, InterningAndNormalization) {
   EXPECT_EQ(Ctx.getConstantFloat(1.5f), Ctx.getConstantFloat(1.5f));
   EXPECT_EQ(Ctx.getUndef(Ctx.getInt32Ty()), Ctx.getUndef(Ctx.getInt32Ty()));
   EXPECT_NE(Ctx.getUndef(Ctx.getInt32Ty()), Ctx.getUndef(Ctx.getInt64Ty()));
+}
+
+TEST(Constants, FloatInterningIsBitExact) {
+  Context Ctx;
+  // +0.0f and -0.0f compare equal as floats but are distinct constants;
+  // a value-keyed intern table would conflate them.
+  ConstantFloat *PZ = Ctx.getConstantFloat(0.0f);
+  ConstantFloat *NZ = Ctx.getConstantFloat(-0.0f);
+  EXPECT_NE(PZ, NZ);
+  EXPECT_FALSE(std::signbit(PZ->getValue()));
+  EXPECT_TRUE(std::signbit(NZ->getValue()));
+  EXPECT_EQ(NZ, Ctx.getConstantFloat(-0.0f));
+
+  // NaN never compares equal to itself; bit-pattern keying still interns
+  // it, and distinct payloads stay distinct.
+  float QNan = std::bit_cast<float>(0x7fc00000u);
+  float PayloadNan = std::bit_cast<float>(0x7fc12345u);
+  ConstantFloat *N1 = Ctx.getConstantFloat(QNan);
+  EXPECT_EQ(N1, Ctx.getConstantFloat(QNan));
+  EXPECT_NE(N1, Ctx.getConstantFloat(PayloadNan));
+  EXPECT_EQ(std::bit_cast<uint32_t>(
+                Ctx.getConstantFloat(PayloadNan)->getValue()),
+            0x7fc12345u);
+
+  ConstantFloat *Inf =
+      Ctx.getConstantFloat(std::numeric_limits<float>::infinity());
+  EXPECT_EQ(Inf, Ctx.getConstantFloat(std::numeric_limits<float>::infinity()));
+  EXPECT_NE(Inf,
+            Ctx.getConstantFloat(-std::numeric_limits<float>::infinity()));
+}
+
+// Round-trips one f32 constant through print -> parse and returns the
+// reconstructed bit pattern.
+uint32_t roundTripFloatBits(float F) {
+  Context Ctx;
+  Module M(Ctx, "m");
+  Type *FPtr = Ctx.getPointerTy(Ctx.getFloatTy(), AddressSpace::Global);
+  Function *Fn = M.createFunction("k", Ctx.getVoidTy(), {{FPtr, "out"}});
+  BasicBlock *BB = Fn->createBlock("entry");
+  IRBuilder B(Ctx, BB);
+  B.createStore(Ctx.getConstantFloat(F), Fn->getArg(0));
+  B.createRet();
+  std::string Text = printFunction(*Fn);
+
+  Context Ctx2;
+  std::string Err;
+  auto M2 = parseModule(Ctx2, Text, &Err);
+  EXPECT_NE(M2, nullptr) << Err << "\n" << Text;
+  if (!M2)
+    return 0;
+  // Printing must be stable across the round-trip too.
+  EXPECT_EQ(printFunction(*M2->functions().front()), Text);
+  const auto *St =
+      cast<StoreInst>(M2->functions().front()->getEntryBlock().front());
+  return std::bit_cast<uint32_t>(
+      cast<ConstantFloat>(St->getValueOperand())->getValue());
+}
+
+TEST(Printer, NonFiniteFloatsRoundTrip) {
+  EXPECT_EQ(roundTripFloatBits(std::numeric_limits<float>::infinity()),
+            std::bit_cast<uint32_t>(std::numeric_limits<float>::infinity()));
+  EXPECT_EQ(roundTripFloatBits(-std::numeric_limits<float>::infinity()),
+            std::bit_cast<uint32_t>(-std::numeric_limits<float>::infinity()));
+  EXPECT_EQ(roundTripFloatBits(std::bit_cast<float>(0x7fc00000u)),
+            0x7fc00000u); // canonical quiet NaN
+  EXPECT_EQ(roundTripFloatBits(std::bit_cast<float>(0xffc00000u)),
+            0xffc00000u); // negative quiet NaN
+  EXPECT_EQ(roundTripFloatBits(std::bit_cast<float>(0x7fc12345u)),
+            0x7fc12345u); // NaN with a payload
+  EXPECT_EQ(roundTripFloatBits(std::bit_cast<float>(0xff812345u)),
+            0xff812345u); // negative NaN with a payload
+  EXPECT_EQ(roundTripFloatBits(-0.0f), 0x80000000u);
+  EXPECT_EQ(roundTripFloatBits(0.0f), 0u);
+  EXPECT_EQ(roundTripFloatBits(std::bit_cast<float>(1u)),
+            1u); // smallest denormal
+  EXPECT_EQ(roundTripFloatBits(std::numeric_limits<float>::max()),
+            std::bit_cast<uint32_t>(std::numeric_limits<float>::max()));
+}
+
+TEST(Parser, NonFiniteFloatKeywords) {
+  Context Ctx;
+  std::string Err;
+  auto M = parseModule(Ctx,
+                       "func @k(f32 addrspace(1)* %o) -> void {\n"
+                       "entry:\n"
+                       "  %a = fadd f32 inf, -inf\n"
+                       "  %b = fadd f32 nan, -nan\n"
+                       "  %c = fadd f32 nan(2143302420), -0.0\n"
+                       "  store f32 %c, f32 addrspace(1)* %o\n"
+                       "  ret\n"
+                       "}\n",
+                       &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  // Keywords are rejected where a float makes no sense.
+  EXPECT_EQ(parseModule(Ctx,
+                        "func @k() -> void {\nentry:\n"
+                        "  %a = add i32 inf, 1\n  ret\n}\n",
+                        &Err),
+            nullptr);
+  EXPECT_NE(Err.find("non-float"), std::string::npos) << Err;
+  // A nan(...) payload must actually encode a NaN.
+  EXPECT_EQ(parseModule(Ctx,
+                        "func @k() -> void {\nentry:\n"
+                        "  %a = fadd f32 nan(0), 1.0\n  ret\n}\n",
+                        &Err),
+            nullptr);
+}
+
+TEST(Parser, RejectsOutOfRangeLiterals) {
+  Context Ctx;
+  std::string Err;
+  // 2^63 does not fit int64; the seed lexer silently saturated it.
+  EXPECT_EQ(parseModule(Ctx,
+                        "func @k() -> void {\nentry:\n"
+                        "  %a = add i64 9223372036854775808, 1\n  ret\n}\n",
+                        &Err),
+            nullptr);
+  EXPECT_NE(Err.find("out of range"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("line 3"), std::string::npos) << Err;
+
+  Err.clear();
+  // 1e40 overflows f32 to inf; the seed lexer accepted it silently.
+  EXPECT_EQ(parseModule(Ctx,
+                        "func @k() -> void {\nentry:\n"
+                        "  %a = fadd f32 1e40, 1.0\n  ret\n}\n",
+                        &Err),
+            nullptr);
+  EXPECT_NE(Err.find("out of range"), std::string::npos) << Err;
+
+  Err.clear();
+  // In-range extremes still parse.
+  auto M = parseModule(Ctx,
+                       "func @k() -> void {\nentry:\n"
+                       "  %a = add i64 9223372036854775807, "
+                       "-9223372036854775808\n"
+                       "  %b = fadd f32 3.40282347e+38, 1.17549435e-38\n"
+                       "  ret\n}\n",
+                       &Err);
+  EXPECT_NE(M, nullptr) << Err;
 }
 
 TEST(DefUse, SetOperandMaintainsBothSides) {

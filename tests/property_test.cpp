@@ -10,6 +10,7 @@
 
 #include "darm/analysis/Verifier.h"
 #include "darm/core/DARMPass.h"
+#include "darm/core/SequenceAlign.h"
 #include "darm/core/TailMerge.h"
 #include "darm/ir/Context.h"
 #include "darm/ir/IRBuilder.h"
@@ -240,5 +241,126 @@ TEST_P(RoundTrip, PrintParsePrintIsStable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RoundTrip,
                          ::testing::Range<uint64_t>(0, 16));
+
+// smithWaterman guarantees full coverage: the returned alignment visits
+// every index of both sequences exactly once, in order, whatever the
+// score matrix looks like. These invariants hold for *any* scores, so we
+// check them under randomized (including adversarially negative) ones.
+class SmithWatermanProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SmithWatermanProperty, FullCoverageInvariants) {
+  uint64_t Seed = GetParam();
+  RNG Rng(Seed * 131 + 17);
+  const unsigned LenA = static_cast<unsigned>(Rng.nextBelow(12));
+  const unsigned LenB = static_cast<unsigned>(Rng.nextBelow(12));
+
+  // Random dense score matrix in [-5, 5], with occasional large
+  // negative "incompatible" entries like the melder's scorers emit.
+  std::vector<double> Scores(std::max(1u, LenA * LenB));
+  for (double &S : Scores) {
+    S = static_cast<double>(Rng.nextInRange(-50, 50)) / 10.0;
+    if (Rng.chance(1, 8))
+      S = -1e6;
+  }
+  auto Score = [&](unsigned I, unsigned J) { return Scores[I * LenB + J]; };
+  const double Gap = -static_cast<double>(Rng.nextBelow(20)) / 10.0;
+
+  std::vector<AlignEntry> Align = smithWaterman(LenA, LenB, Score, Gap);
+
+  // Every index of each sequence appears exactly once, in increasing
+  // order.
+  std::vector<int> SeenA, SeenB;
+  for (const AlignEntry &E : Align) {
+    EXPECT_TRUE(E.A >= 0 || E.B >= 0) << "double gap entry";
+    if (E.A >= 0)
+      SeenA.push_back(E.A);
+    if (E.B >= 0)
+      SeenB.push_back(E.B);
+  }
+  ASSERT_EQ(SeenA.size(), LenA) << "seed " << Seed;
+  ASSERT_EQ(SeenB.size(), LenB) << "seed " << Seed;
+  for (unsigned I = 0; I < LenA; ++I)
+    EXPECT_EQ(SeenA[I], static_cast<int>(I));
+  for (unsigned J = 0; J < LenB; ++J)
+    EXPECT_EQ(SeenB[J], static_cast<int>(J));
+
+  // Matches are monotone in both sequences (no crossing alignment), and
+  // the window score reported by smithWatermanScore is non-negative.
+  int LastA = -1, LastB = -1;
+  for (const AlignEntry &E : Align)
+    if (E.isMatch()) {
+      EXPECT_GT(E.A, LastA);
+      EXPECT_GT(E.B, LastB);
+      LastA = E.A;
+      LastB = E.B;
+    }
+  EXPECT_GE(smithWatermanScore(LenA, LenB, Score, Gap), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmithWatermanProperty,
+                         ::testing::Range<uint64_t>(0, 64));
+
+// TailMerge's contract on store ordering, pinned differentially under
+// the simulator: when two lanes on *opposite arms* of a diamond store
+// different values to the same shared address, the unmerged kernel
+// serializes then-arm stores before else-arm stores (IPDOM stack order),
+// and tail merging — which collapses the two identical-shape arms into
+// one block executed under the full mask — must preserve the final
+// memory image exactly. Arm-local operands make the two stores
+// structurally identical, which is precisely TailMerge's trigger.
+TEST(TailMergeSemantics, OppositeArmStoresToSameAddress) {
+  const char *Text =
+      "func @clash(i32 addrspace(1)* %out) -> void {\n"
+      "  shared @sh = i32[32]\n"
+      "entry:\n"
+      "  %tid = call i32 @darm.tid.x()\n"
+      "  %zero = and i32 %tid, 0\n"
+      "  %p = gep i32 addrspace(3)* @sh, i32 %zero\n"
+      "  %c = icmp eq i32 %tid, 0\n"
+      "  condbr i1 %c, label %t, label %e\n"
+      "t:\n"
+      "  %vt = add i32 %tid, 100\n"
+      "  store i32 %vt, i32 addrspace(3)* %p\n"
+      "  br label %j\n"
+      "e:\n"
+      "  %ve = add i32 %tid, 100\n"
+      "  store i32 %ve, i32 addrspace(3)* %p\n"
+      "  br label %j\n"
+      "j:\n"
+      "  call void @darm.barrier()\n"
+      "  %r = load i32 addrspace(3)* %p\n"
+      "  %o = gep i32 addrspace(1)* %out, i32 %tid\n"
+      "  store i32 %r, i32 addrspace(1)* %o\n"
+      "  ret\n"
+      "}\n";
+
+  auto Run = [&](bool Merge) {
+    Context Ctx;
+    std::string Err;
+    auto M = parseModule(Ctx, Text, &Err);
+    EXPECT_NE(M, nullptr) << Err;
+    Function *F = M->functions().front().get();
+    if (Merge) {
+      EXPECT_TRUE(runTailMerge(*F)) << "tail merge did not fire:\n"
+                                    << printFunction(*F);
+      EXPECT_TRUE(verifyFunction(*F, &Err)) << Err;
+    }
+    GlobalMemory Mem;
+    uint64_t Out = Mem.allocate(32 * 4);
+    runKernel(*F, {1, 32}, {Out}, Mem);
+    return Mem.dumpI32(Out, 32);
+  };
+
+  std::vector<int32_t> Ref = Run(false);
+  std::vector<int32_t> Merged = Run(true);
+  EXPECT_EQ(Ref, Merged);
+
+  // In the unmerged kernel the then-arm lane (tid 0, value 100) executes
+  // first and the else-arm lanes (last: tid 31, value 131) overwrite it;
+  // the merged block keeps the same full-mask lane order. Both must see
+  // sh[0] == 131 everywhere.
+  for (unsigned L = 0; L < 32; ++L)
+    EXPECT_EQ(Ref[L], 131) << "lane " << L;
+}
 
 } // namespace

@@ -1,0 +1,237 @@
+//===- darm_fuzz.cpp - Differential fuzzing driver ------------------------------===//
+//
+// Front-end over src/fuzz (docs/fuzzing.md): sweeps seeds through the
+// differential oracle, writes minimized .darm repros for mismatches, and
+// re-runs previously written repros.
+//
+//   darm_fuzz --seed-range 0:1000            sweep seeds [0, 1000)
+//   darm_fuzz --seed 42                      one seed
+//   darm_fuzz --repro fuzz42.darm            re-check a written repro
+//   darm_fuzz --dump 42                      print the generated kernel
+//     --out DIR        where to write repros (default ".")
+//     --configs a,b    run only the named transform axes
+//     --no-roundtrip   skip the print->parse axis
+//     --no-minimize    report un-minimized repros
+//     --max-failures N stop after N mismatches (default 8)
+//     --quiet          no per-seed progress
+//
+// Exit status: 0 all clean, 1 mismatches found, 2 usage/setup error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/fuzz/DiffOracle.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace darm;
+using namespace darm::fuzz;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--seed-range A:B | --seed S | --repro FILE | "
+               "--dump S) [--out DIR] [--configs a,b] [--no-roundtrip] "
+               "[--no-minimize] [--max-failures N] [--quiet]\n",
+               Argv0);
+  return 2;
+}
+
+std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::istringstream In(S);
+  std::string Item;
+  while (std::getline(In, Item, ','))
+    if (!Item.empty())
+      Out.push_back(Item);
+  return Out;
+}
+
+int runRepro(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", Path.c_str());
+    return 2;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  FuzzCase C;
+  std::string Config;
+  if (!parseReproHeader(Text, C, Config)) {
+    std::fprintf(stderr, "%s: malformed darm-fuzz repro header\n",
+                 Path.c_str());
+    return 2;
+  }
+  Context Ctx;
+  std::string Err;
+  auto M = parseModule(Ctx, Text, &Err);
+  if (!M || M->functions().empty()) {
+    std::fprintf(stderr, "%s: parse error: %s\n", Path.c_str(), Err.c_str());
+    return 2;
+  }
+  OracleResult R =
+      checkRepro(*M->functions().front(), C, Config);
+  if (R.Mismatch) {
+    std::printf("REPRODUCED seed %llu config %s: %s\n",
+                static_cast<unsigned long long>(C.Seed), R.Config.c_str(),
+                R.Detail.c_str());
+    return 1;
+  }
+  std::printf("repro no longer fails (seed %llu, config %s)\n",
+              static_cast<unsigned long long>(C.Seed), Config.c_str());
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t Lo = 0, Hi = 0;
+  bool HaveRange = false;
+  int64_t DumpSeed = -1;
+  std::string ReproPath, OutDir = ".";
+  std::vector<std::string> ConfigNames;
+  OracleOptions Opts;
+  unsigned MaxFailures = 8;
+  bool Quiet = false;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto NextVal = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (Arg == "--seed-range") {
+      const char *V = NextVal("--seed-range");
+      if (!V)
+        return 2;
+      const char *Colon = std::strchr(V, ':');
+      if (!Colon)
+        return usage(argv[0]);
+      Lo = std::strtoull(V, nullptr, 10);
+      Hi = std::strtoull(Colon + 1, nullptr, 10);
+      HaveRange = true;
+    } else if (Arg == "--seed") {
+      const char *V = NextVal("--seed");
+      if (!V)
+        return 2;
+      Lo = std::strtoull(V, nullptr, 10);
+      Hi = Lo + 1;
+      HaveRange = true;
+    } else if (Arg == "--dump") {
+      const char *V = NextVal("--dump");
+      if (!V)
+        return 2;
+      DumpSeed = static_cast<int64_t>(std::strtoull(V, nullptr, 10));
+    } else if (Arg == "--repro") {
+      const char *V = NextVal("--repro");
+      if (!V)
+        return 2;
+      ReproPath = V;
+    } else if (Arg == "--out") {
+      const char *V = NextVal("--out");
+      if (!V)
+        return 2;
+      OutDir = V;
+    } else if (Arg == "--configs") {
+      const char *V = NextVal("--configs");
+      if (!V)
+        return 2;
+      ConfigNames = splitList(V);
+    } else if (Arg == "--no-roundtrip") {
+      Opts.RoundTrip = false;
+    } else if (Arg == "--no-minimize") {
+      Opts.Minimize = false;
+    } else if (Arg == "--max-failures") {
+      const char *V = NextVal("--max-failures");
+      if (!V)
+        return 2;
+      MaxFailures = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "-help" || Arg == "--help") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  if (!ReproPath.empty())
+    return runRepro(ReproPath);
+
+  if (DumpSeed >= 0) {
+    Context Ctx;
+    Module M(Ctx, "dump");
+    FuzzCase C(static_cast<uint64_t>(DumpSeed));
+    std::printf("%s", printFunction(*buildFuzzKernel(M, C)).c_str());
+    return 0;
+  }
+
+  if (!HaveRange || Hi <= Lo)
+    return usage(argv[0]);
+
+  if (!ConfigNames.empty()) {
+    for (const OracleConfig &Cfg : defaultConfigs())
+      for (const std::string &N : ConfigNames)
+        if (Cfg.Name == N)
+          Opts.Configs.push_back(Cfg);
+    if (Opts.Configs.size() != ConfigNames.size()) {
+      std::fprintf(stderr, "unknown config in --configs (known:");
+      for (const OracleConfig &Cfg : defaultConfigs())
+        std::fprintf(stderr, " %s", Cfg.Name.c_str());
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+  }
+
+  unsigned Failures = 0;
+  for (uint64_t Seed = Lo; Seed < Hi && Failures < MaxFailures; ++Seed) {
+    FuzzCase C(Seed);
+    OracleResult R = runOracle(C, Opts);
+    if (!R.Mismatch) {
+      if (!Quiet && (Seed - Lo) % 100 == 99)
+        std::fprintf(stderr, "... %llu seeds clean\n",
+                     static_cast<unsigned long long>(Seed - Lo + 1));
+      continue;
+    }
+    ++Failures;
+    std::string Path =
+        OutDir + "/" + C.name() + "." + R.Config + ".darm";
+    std::ofstream Out(Path);
+    if (Out) {
+      Out << formatRepro(C, R);
+      Out.close();
+    }
+    std::fprintf(stderr, "MISMATCH seed %llu config %s: %s\n  repro: %s\n",
+                 static_cast<unsigned long long>(Seed), R.Config.c_str(),
+                 R.Detail.c_str(), Out ? Path.c_str() : "(write failed)");
+  }
+
+  if (Failures) {
+    std::fprintf(stderr, "%u mismatching seed(s) in [%llu, %llu)\n", Failures,
+                 static_cast<unsigned long long>(Lo),
+                 static_cast<unsigned long long>(Hi));
+    return 1;
+  }
+  std::printf("all %llu seed(s) clean across %zu transform config(s)%s\n",
+              static_cast<unsigned long long>(Hi - Lo),
+              (Opts.Configs.empty() ? defaultConfigs() : Opts.Configs).size(),
+              Opts.RoundTrip ? " + roundtrip" : "");
+  return 0;
+}

@@ -1,0 +1,168 @@
+//===- Claims.h - SimStats plausibility invariants -----------------*- C++ -*-===//
+///
+/// \file
+/// Counter-level conformance with the paper's performance claims
+/// (docs/claims.md). Correctness testing (tests/, the differential fuzz
+/// oracle) proves a melded kernel computes the right answers; the checks
+/// here assert it also moves the §VI-B/C/D metrics in the claimed
+/// direction: melding must not *increase* dynamic divergent branches,
+/// must not reduce ALU lane utilization beyond a tolerance, must not grow
+/// the memory-instruction count, and must leave the final memory image
+/// bit-identical.
+///
+/// The invariants compare one transformed configuration against the
+/// unmelded reference of the same kernel; they are deliberately one-sided
+/// (regressions fail, improvements always pass), so they hold across
+/// arbitrary corpora — every src/kernels benchmark and every generated
+/// fuzz kernel — not just the tuned paper workloads.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CHECK_CLAIMS_H
+#define DARM_CHECK_CLAIMS_H
+
+#include "darm/sim/GpuConfig.h"
+
+#include <string>
+#include <vector>
+
+namespace darm {
+namespace check {
+
+/// Tolerances for the plausibility invariants. Defaults are the nightly
+/// gate; tests tighten or loosen them per scenario.
+struct ClaimsOptions {
+  /// Skip the counter invariants entirely. Set by optionsForConfig for
+  /// the deliberately unprofitable correctness-coverage configurations
+  /// (darm-aggressive, darm-nounpred): the paper claims nothing at
+  /// threshold 0.05 or with unpredication disabled, and both legitimately
+  /// add guard branches past any principled bound. darm-aggressive's
+  /// exact counters are still pinned by the goldens; darm-nounpred is
+  /// exercised by the fuzz oracle's memory-diff axis only.
+  bool Skip = false;
+  /// Allowed absolute drop in aluUtilization() vs the reference. Melding
+  /// occasionally restructures a kernel so a *different* mix of VALU ops
+  /// issues (e.g. select-lowering); a small epsilon keeps the gate on
+  /// real regressions.
+  double AluUtilDropTol = 0.02;
+  /// Extra dynamic divergent branches tolerated vs the reference. The
+  /// melder inserts real guard branches for side-dependent gap stores
+  /// (docs/fuzzing.md bug #1), so a transformed kernel may legitimately
+  /// execute a handful more; the default absorbs none.
+  uint64_t DivergentBranchSlack = 0;
+  /// Additional *relative* divergent-branch growth allowed, as a fraction
+  /// of the reference count. Zero for the paper-claim configs; nonzero
+  /// only for deliberately unprofitable configurations (darm-aggressive
+  /// melds below the profitability threshold, so unpredication's guard
+  /// branches may exceed what melding removed — the config exists for
+  /// correctness coverage, and the paper claims nothing at threshold
+  /// 0.05). A cap still catches pathological blowups.
+  double DivergentBranchRelTol = 0.0;
+  /// Allowed fractional growth of VectorMemInsts + SharedMemInsts.
+  double MemInstIncreaseTol = 0.0;
+  /// Absolute extra memory instructions tolerated on top of the
+  /// fractional allowance.
+  uint64_t MemInstSlack = 0;
+  /// Require the final memory image fingerprint to match the reference.
+  bool RequireMemoryIdentity = true;
+
+  /// The profile for *generated* (fuzz) kernels, where the strict
+  /// defaults are unsound on single adversarial shapes:
+  ///
+  ///   * a statically-divergent but dynamically one-sided branch lets
+  ///     full predication speculate the untaken side's memory ops (more
+  ///     issues, all masked);
+  ///   * side-dependent gap stores get real guard branches
+  ///     (docs/fuzzing.md bug #1), so a melded tiny diamond can execute
+  ///     more divergent branches than the one it replaced;
+  ///   * utilization is a ratio: melding often deletes high-utilization
+  ///     full-mask work (a branch-condition chain made dead by removing
+  ///     the branch), lowering the *average* while strictly improving
+  ///     the kernel — so the per-seed axis does not gate on it at all.
+  ///
+  /// Those are correct, profitable transforms — not claim regressions.
+  /// This profile keeps the per-seed axis as a pathology alarm (bounded
+  /// relative growth) while darm_check's *aggregate* gate over the whole
+  /// seed population enforces the strict direction the paper claims,
+  /// utilization included.
+  static ClaimsOptions forGeneratedKernels() {
+    ClaimsOptions O;
+    O.AluUtilDropTol = 1.0; // ratio cannot drop by more: check disabled
+    O.DivergentBranchSlack = 4;
+    O.DivergentBranchRelTol = 1.0;
+    O.MemInstSlack = 4;
+    O.MemInstIncreaseTol = 1.0;
+    return O;
+  }
+
+  /// The gate for a *population* of generated kernels (darm_check's
+  /// fuzz aggregate): divergent branches and utilization must move in
+  /// the paper's direction at the strict defaults, while the
+  /// memory-instruction count gets a small relative allowance. Full
+  /// predication speculates predicated memory ops on dynamically
+  /// one-sided branches — a real cost melding pays that the random
+  /// corpus (unlike the paper's genuinely divergent benchmarks, which
+  /// stay strict) does not amortize. Measured overhead on seeds
+  /// [0, 2000) is +0.9%; the 3% bound flags anything systematically
+  /// worse.
+  static ClaimsOptions forGeneratedAggregate() {
+    ClaimsOptions O;
+    O.MemInstIncreaseTol = 0.03;
+    return O;
+  }
+};
+
+/// One configuration's measurement of one kernel.
+struct ConfigMetrics {
+  std::string Config; ///< "unmelded", "darm", "darm-aggressive", ...
+  SimStats Stats;
+  uint64_t MemHash = 0;
+  bool Valid = true; ///< host-reference validation (benchmarks only)
+};
+
+/// All configurations of one kernel. Configs[0] is the unmelded
+/// reference every invariant compares against.
+struct KernelClaims {
+  std::string Kernel;     ///< "BIT", "SB2R", "fuzz17", ...
+  unsigned BlockSize = 0; ///< 0 when not applicable (fuzz kernels)
+  std::vector<ConfigMetrics> Configs;
+
+  /// "BIT/bs32", or just the kernel name when BlockSize is 0.
+  std::string cellName() const;
+};
+
+/// One violated invariant, attributed to a counter for diffable output.
+struct Violation {
+  std::string Kernel;  ///< KernelClaims::cellName()
+  std::string Config;  ///< offending configuration
+  std::string Counter; ///< "divergent_branches", "alu_util", ...
+  std::string Detail;  ///< "ref=16 got=20 (+4)"
+
+  std::string str() const; ///< "kernel config: counter detail"
+};
+
+/// Checks one transformed configuration against the reference. Returns
+/// true when plausible; otherwise fills \p Counter / \p Detail with the
+/// first violated invariant.
+bool statsPlausible(const SimStats &Ref, const SimStats &Got,
+                    const ClaimsOptions &O, std::string *Counter = nullptr,
+                    std::string *Detail = nullptr);
+
+/// Central tolerance policy: returns \p Base adjusted for \p Config. The
+/// paper-claim configs ("darm", "branch-fusion") keep \p Base; the
+/// deliberately unprofitable correctness-coverage configs
+/// ("darm-aggressive", "darm-nounpred") skip the counter invariants
+/// (ClaimsOptions::Skip) — their counters stay golden-pinned. Every
+/// claims consumer — checkClaims, the fuzz oracle's claims axis —
+/// resolves tolerances through here so the policy lives in one place.
+ClaimsOptions optionsForConfig(const std::string &Config,
+                               const ClaimsOptions &Base);
+
+/// Runs every invariant over every non-reference configuration of \p K,
+/// including memory-image identity and host validation.
+std::vector<Violation> checkClaims(const KernelClaims &K,
+                                   const ClaimsOptions &O = ClaimsOptions());
+
+} // namespace check
+} // namespace darm
+
+#endif // DARM_CHECK_CLAIMS_H

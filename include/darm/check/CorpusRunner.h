@@ -1,0 +1,83 @@
+//===- CorpusRunner.h - Claims measurement over the kernel corpus --*- C++ -*-===//
+///
+/// \file
+/// Drives the claims oracle (Claims.h) over the whole kernel corpus: every
+/// src/kernels benchmark at its smallest and largest paper block size,
+/// plus seeded fuzz kernels. Each kernel is measured unmelded (the
+/// reference) and under the darm / darm-aggressive / branch-fusion
+/// configurations; tools/darm_check reports plausibility violations and
+/// golden diffs (GoldenStore.h), and `--shards N:i` (support/Shards.h)
+/// partitions the work deterministically across processes for the
+/// nightly budget.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CHECK_CORPUSRUNNER_H
+#define DARM_CHECK_CORPUSRUNNER_H
+
+#include "darm/check/Claims.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class Function;
+
+namespace fuzz {
+struct FuzzCase;
+}
+
+namespace check {
+
+/// One (benchmark, block size) corpus cell.
+struct BenchCell {
+  std::string Name;
+  unsigned BlockSize = 0;
+};
+
+/// Every benchmark (real + synthetic) at its smallest and largest paper
+/// block size — the same cells the sim goldens pin.
+std::vector<BenchCell> benchmarkCorpus();
+
+/// One measured transform configuration. The callback mutates a freshly
+/// built kernel; "unmelded" is implicit as Configs[0] of every
+/// measurement.
+struct ClaimConfig {
+  std::string Name;
+  std::function<void(Function &)> Transform;
+};
+
+/// The configurations the claims corpus measures: full DARM at the
+/// paper's threshold, DARM at an aggressive threshold, and the
+/// DiamondOnly Branch Fusion baseline.
+std::vector<ClaimConfig> claimConfigs();
+
+/// Measures one benchmark cell under every configuration: build, apply
+/// the transform, simplify-cfg + DCE (the same pipeline the sim goldens
+/// run), simulate every launch, host-validate, fingerprint memory.
+/// \p Configs defaults to claimConfigs(); tests inject sabotaged
+/// transforms to prove the golden gate catches regressions.
+KernelClaims measureBenchmark(const BenchCell &Cell);
+KernelClaims measureBenchmark(const BenchCell &Cell,
+                              const std::vector<ClaimConfig> &Configs);
+
+/// Measures one generated fuzz kernel under every configuration over its
+/// deterministic memory image (simulator aborts surface as Valid=false,
+/// never process exit).
+KernelClaims measureFuzz(const fuzz::FuzzCase &C);
+
+/// Sums per-config stats across measurements (configs matched by name):
+/// the population-level view of a fuzz sweep. Per-seed plausibility can
+/// only be a loose pathology alarm (ClaimsOptions::forGeneratedKernels),
+/// but over a whole seed population melding must move every claimed
+/// metric in the paper's direction, so the aggregate is checked at
+/// strict tolerances. MemHash is zeroed (meaningless across kernels) and
+/// Valid is the conjunction.
+KernelClaims aggregateClaims(const std::vector<KernelClaims> &Ks,
+                             const std::string &Name);
+
+} // namespace check
+} // namespace darm
+
+#endif // DARM_CHECK_CORPUSRUNNER_H

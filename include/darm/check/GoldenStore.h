@@ -1,0 +1,63 @@
+//===- GoldenStore.h - darm-claims-v1 golden metrics store ---------*- C++ -*-===//
+///
+/// \file
+/// Serialization and diffing of claims measurements (docs/claims.md).
+/// Goldens live in tests/goldens/claims/*.json, one file per benchmark
+/// (schema `darm-claims-v1`): every (kernel, block size, config) cell
+/// records all SimStats counters plus the memory-image fingerprint. A
+/// pass change that silently degrades a paper metric — more divergent
+/// branches, fewer active ALU lanes — shows up as an exact per-counter
+/// diff against the recorded golden, failing CTest.
+///
+/// Regeneration (only for *intentional* metric changes):
+///   DARM_REGEN_GOLDENS=1 ctest -R Claims   # or darm_check --goldens DIR
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CHECK_GOLDENSTORE_H
+#define DARM_CHECK_GOLDENSTORE_H
+
+#include "darm/check/Claims.h"
+
+#include <string>
+#include <vector>
+
+namespace darm {
+namespace check {
+
+/// Schema tag written to and required from every golden file.
+inline constexpr const char *kClaimsSchema = "darm-claims-v1";
+
+/// One golden file: a set of measured kernels (typically every block
+/// size of one benchmark, or a pinned set of fuzz seeds).
+struct GoldenFile {
+  std::vector<KernelClaims> Kernels;
+};
+
+/// Serializes \p G as pretty-printed darm-claims-v1 JSON (stable field
+/// order, one config per line block, trailing newline).
+std::string toJson(const GoldenFile &G);
+
+/// Parses darm-claims-v1 JSON previously written by toJson (a strict
+/// subset of JSON: objects, arrays, strings, integers, bools). Returns
+/// false and fills \p Err on malformed input or a schema mismatch.
+bool fromJson(const std::string &Text, GoldenFile &Out,
+              std::string *Err = nullptr);
+
+/// Exact comparison of measured kernels against a recorded golden.
+/// Returns one human-readable line per difference:
+///   "BIT/bs32 darm: divergent_branches golden=120 got=200 (+80)"
+/// Missing/extra kernels and configs are reported too. Empty = match.
+std::vector<std::string> diffClaims(const GoldenFile &Golden,
+                                    const std::vector<KernelClaims> &Measured);
+
+/// Reads/writes a golden file on disk. load returns false on I/O or
+/// parse failure (\p Err); save returns false on I/O failure.
+bool loadGoldenFile(const std::string &Path, GoldenFile &Out,
+                    std::string *Err = nullptr);
+bool saveGoldenFile(const std::string &Path, const GoldenFile &G,
+                    std::string *Err = nullptr);
+
+} // namespace check
+} // namespace darm
+
+#endif // DARM_CHECK_GOLDENSTORE_H

@@ -4,16 +4,21 @@
 /// The differential oracle behind tools/darm_fuzz (docs/fuzzing.md): one
 /// generated kernel is run unmelded (the reference) and through several
 /// transform configurations; every configuration must leave the final
-/// memory image bit-identical and the verifier clean. A further axis
-/// round-trips the kernel through IRPrinter -> IRParser and re-diffs, so
-/// printer/parser defects surface as oracle failures too. On mismatch the
-/// failing case is greedily minimized (Minimizer.h) and packaged as a
-/// standalone repro.
+/// memory image bit-identical, the verifier clean, and the SimStats
+/// counters plausible (docs/claims.md: melding must not increase dynamic
+/// divergent branches, reduce ALU utilization beyond tolerance, or grow
+/// the memory-instruction count). A further axis round-trips the kernel
+/// through IRPrinter -> IRParser and re-diffs — including counter
+/// identity, since printing must not change execution at all — so
+/// printer/parser defects surface as oracle failures too. On mismatch
+/// the failing case is greedily minimized (Minimizer.h) and packaged as
+/// a standalone repro.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef DARM_FUZZ_DIFFORACLE_H
 #define DARM_FUZZ_DIFFORACLE_H
 
+#include "darm/check/Claims.h"
 #include "darm/fuzz/KernelGenerator.h"
 
 #include <functional>
@@ -43,6 +48,15 @@ std::vector<OracleConfig> defaultConfigs();
 struct OracleOptions {
   bool RoundTrip = true; ///< include the IRPrinter -> IRParser axis
   bool Minimize = true;  ///< shrink failing cases before reporting
+  /// Check SimStats plausibility on every transform axis (docs/claims.md)
+  /// in addition to memory-image identity; violations are first-class,
+  /// minimizable findings. Baselines come from the kernel run through
+  /// simplifycfg+dce (the non-melding half of the pipeline), and the
+  /// tolerances default to the generated-kernel profile — see
+  /// check::ClaimsOptions::forGeneratedKernels() for why strict
+  /// per-kernel bounds are unsound on adversarial shapes.
+  bool Claims = true;
+  check::ClaimsOptions ClaimsOpts = check::ClaimsOptions::forGeneratedKernels();
   /// Axes to run; empty means defaultConfigs(). Tests inject a broken
   /// transform here to exercise the mismatch path end-to-end.
   std::vector<OracleConfig> Configs;
@@ -75,8 +89,12 @@ bool parseReproHeader(const std::string &Text, FuzzCase &C,
 
 /// Re-checks a parsed repro kernel: runs \p Kernel unmelded as reference,
 /// then the named axis (or round-trip), and returns the mismatch result.
+/// Only \p O's Claims/ClaimsOpts fields are consulted (the axis set is
+/// fixed by the repro header), so `--repro --no-claims` isolates a
+/// memory mismatch without the claims/cleanup gates firing first.
 OracleResult checkRepro(Function &Kernel, const FuzzCase &C,
-                        const std::string &Config);
+                        const std::string &Config,
+                        const OracleOptions &O = OracleOptions());
 
 } // namespace fuzz
 } // namespace darm

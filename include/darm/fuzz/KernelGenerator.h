@@ -7,17 +7,22 @@
 /// initial memory image are all derived deterministically, so a failing
 /// seed is a complete reproducer on its own.
 ///
-/// Shape grammar (top level is uniform control flow, so barriers are
-/// legal there):
+/// Shape grammar (top level is uniform control flow, so barriers and the
+/// convergent shfl.sync are legal there):
 ///
 ///   kernel   := prologue construct* epilogue
-///   construct:= stmts | diamond | triangle | loop | barrier
+///   construct:= stmts | diamond | triangle | loop | barrier | shfl
 ///   diamond  := 'if (divergent cond)' body 'else' body [join phis]
 ///   triangle := 'if (divergent cond)' body [join phis]
 ///   body     := stmts [construct]            (depth-bounded nesting)
 ///   loop     := 'for (i = 0; i < trip; ++i)' body   (trip const or lane-derived)
+///   shfl     := 'v = shfl.sync(value, rotated lane)'   (warp exchange)
 ///   stmts    := arithmetic, comparisons, selects, casts, and
 ///               bounds-clamped loads/stores of global + shared buffers
+///
+/// A case may also be multi-launch (FuzzCase::NumLaunches > 1): the same
+/// kernel replays over the accumulated memory image, exercising the
+/// decode-once/run-many engine path differentially.
 ///
 /// Divergent conditions derive from tid / laneid; stores are always
 /// index-clamped (urem by the buffer size) because out-of-bounds stores
@@ -63,6 +68,10 @@ struct FuzzCase {
   unsigned SharedElems = 32;     ///< i32 LDS scratch, elements
   unsigned IntInputElems = 32;   ///< read-only prefix of the i32 buffer
   unsigned FloatInputElems = 32; ///< read-only prefix of the f32 buffer
+  /// Launches of the same kernel over the same (accumulating) memory.
+  /// Most seeds launch once; some draw 2-3 to exercise the engine's
+  /// decode-once/run-many path differentially.
+  unsigned NumLaunches = 1;
 
   FuzzCase() = default;
   /// Derives the per-case geometry (launch dims, buffer sizes) from the
@@ -79,6 +88,17 @@ Function *buildFuzzKernel(Module &M, const FuzzCase &C);
 /// Allocates and deterministically fills the two global buffers of \p C;
 /// returns the launch argument list (ibuf, fbuf, n).
 std::vector<uint64_t> setupFuzzMemory(const FuzzCase &C, GlobalMemory &Mem);
+
+/// Simulates \p F over \p C's geometry: decodes once, then runs
+/// C.NumLaunches launches over the accumulating \p Mem (which the caller
+/// set up via setupFuzzMemory). A simulator abort is captured in
+/// \p Fatal (empty on success) instead of terminating the process; the
+/// returned stats aggregate the completed launches. Shared by the
+/// differential oracle and the claims corpus runner so both measure
+/// exactly the same execution.
+SimStats simulateFuzzCase(Function &F, const FuzzCase &C,
+                          const std::vector<uint64_t> &Args, GlobalMemory &Mem,
+                          std::string *Fatal = nullptr);
 
 } // namespace fuzz
 } // namespace darm

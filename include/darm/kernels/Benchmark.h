@@ -69,11 +69,32 @@ std::vector<unsigned> paperBlockSizes(const std::string &Name);
 std::unique_ptr<Benchmark> createBenchmark(const std::string &Name,
                                            unsigned BlockSize);
 
+/// Everything one simulated benchmark run observes: aggregate counters,
+/// per-launch stats snapshots (multi-launch benchmarks accumulate state
+/// across launches, so the per-launch counters differ launch to launch;
+/// they always sum to Total — pinned by claims_test), the final
+/// memory-image fingerprint, and the host-reference verdict.
+struct BenchRun {
+  SimStats Total;
+  std::vector<SimStats> PerLaunch;
+  uint64_t MemHash = 0;
+  bool Valid = false;
+  std::string Why; ///< first validation failure, when !Valid
+};
+
 /// Runs every launch of \p B against \p Kern (which the caller may have
-/// transformed) and validates. Aggregated stats out; returns validation
-/// success.
+/// transformed), validates against the host reference, and fingerprints
+/// the final memory image.
+BenchRun runBenchmark(const Benchmark &B, Function &Kern);
+
+/// Compatibility wrapper over runBenchmark: aggregated stats out; returns
+/// validation success.
 bool runAndValidate(const Benchmark &B, Function &Kern, SimStats &Stats,
                     std::string *Why = nullptr);
+
+/// FNV-1a 64 hash over a whole final global-memory image; the cheap
+/// bit-identity fingerprint used by golden rows and the claims oracle.
+uint64_t hashMemoryImage(const GlobalMemory &Mem);
 
 } // namespace darm
 

@@ -65,6 +65,15 @@ struct SimStats {
                      static_cast<double>(AluLanesTotal);
   }
 
+  /// Named-counter view: a stable (index -> name, value) table over every
+  /// field above, so golden serialization, per-counter diffs and claims
+  /// checks (docs/claims.md) register a new counter in exactly one place.
+  /// Indices are append-only — recorded goldens depend on them.
+  static constexpr unsigned NumCounters = 10;
+  static const char *counterName(unsigned I);
+  uint64_t counter(unsigned I) const;
+  uint64_t &counter(unsigned I);
+
   SimStats &operator+=(const SimStats &O) {
     Cycles += O.Cycles;
     TotalWarpCycles += O.TotalWarpCycles;

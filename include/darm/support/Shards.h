@@ -1,0 +1,94 @@
+//===- Shards.h - Sweep-driver parsing and sharding helpers --------*- C++ -*-===//
+///
+/// \file
+/// Small helpers shared by the darm_fuzz and darm_check drivers: shard
+/// specs (`--shards N:i` partitions a corpus disjointly across N
+/// processes by `index % N == i`), seed ranges (`LO:HI`), and
+/// comma-separated lists. Lives in support so the fuzz driver does not
+/// need the check layer (and its benchmark corpus) for a string parser
+/// — and so the two drivers cannot drift in how they validate the same
+/// flags.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SUPPORT_SHARDS_H
+#define DARM_SUPPORT_SHARDS_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+/// Shard selection: item \p Index belongs to shard \p ShardIdx of
+/// \p Shards iff Index % Shards == ShardIdx.
+inline bool inShard(uint64_t Index, unsigned Shards, unsigned ShardIdx) {
+  return Shards <= 1 || Index % Shards == ShardIdx;
+}
+
+namespace shards_detail {
+/// strtoul-family helpers accept "-1" (wrapping) and "+1"; both
+/// components of every spec here are plain unsigned digits, so anything
+/// else — including a sign — is malformed.
+inline bool startsWithDigit(const char *S) { return *S >= '0' && *S <= '9'; }
+} // namespace shards_detail
+
+/// Parses a "N:i" shard spec (N >= 1, 0 <= i < N). Returns false on
+/// malformed input.
+inline bool parseShardSpec(const char *Spec, unsigned &Shards,
+                           unsigned &ShardIdx) {
+  const char *Colon = std::strchr(Spec, ':');
+  if (!Colon || Colon == Spec || *(Colon + 1) == '\0')
+    return false;
+  if (!shards_detail::startsWithDigit(Spec) ||
+      !shards_detail::startsWithDigit(Colon + 1))
+    return false;
+  char *End = nullptr;
+  unsigned long N = std::strtoul(Spec, &End, 10);
+  if (End != Colon || N == 0)
+    return false;
+  unsigned long I = std::strtoul(Colon + 1, &End, 10);
+  if (*End != '\0' || I >= N)
+    return false;
+  Shards = static_cast<unsigned>(N);
+  ShardIdx = static_cast<unsigned>(I);
+  return true;
+}
+
+/// Parses a half-open "LO:HI" seed range with HI > LO. Returns false on
+/// malformed input or an empty/inverted range — a typo must not turn a
+/// sweep into a vacuous pass, and "0:-1" must not wrap into a 2^64-seed
+/// sweep.
+inline bool parseSeedRange(const char *Spec, uint64_t &Lo, uint64_t &Hi) {
+  const char *Colon = std::strchr(Spec, ':');
+  if (!Colon || Colon == Spec || *(Colon + 1) == '\0')
+    return false;
+  if (!shards_detail::startsWithDigit(Spec) ||
+      !shards_detail::startsWithDigit(Colon + 1))
+    return false;
+  char *End = nullptr;
+  Lo = std::strtoull(Spec, &End, 10);
+  if (End != Colon)
+    return false;
+  Hi = std::strtoull(Colon + 1, &End, 10);
+  if (*End != '\0')
+    return false;
+  return Hi > Lo;
+}
+
+/// Splits a comma-separated list, dropping empty items.
+inline std::vector<std::string> splitList(const std::string &S) {
+  std::vector<std::string> Out;
+  std::istringstream In(S);
+  std::string Item;
+  while (std::getline(In, Item, ','))
+    if (!Item.empty())
+      Out.push_back(Item);
+  return Out;
+}
+
+} // namespace darm
+
+#endif // DARM_SUPPORT_SHARDS_H

@@ -1,0 +1,125 @@
+//===- Claims.cpp - SimStats plausibility invariants --------------------------===//
+
+#include "darm/check/Claims.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace darm;
+using namespace darm::check;
+
+std::string KernelClaims::cellName() const {
+  if (BlockSize == 0)
+    return Kernel;
+  return Kernel + "/bs" + std::to_string(BlockSize);
+}
+
+std::string Violation::str() const {
+  return Kernel + " " + Config + ": " + Counter + " " + Detail;
+}
+
+namespace {
+
+std::string deltaDetail(uint64_t Ref, uint64_t Got) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "ref=%llu got=%llu (%+lld)",
+                static_cast<unsigned long long>(Ref),
+                static_cast<unsigned long long>(Got),
+                static_cast<long long>(Got - Ref));
+  return Buf;
+}
+
+} // namespace
+
+bool darm::check::statsPlausible(const SimStats &Ref, const SimStats &Got,
+                                 const ClaimsOptions &O, std::string *Counter,
+                                 std::string *Detail) {
+  auto Fail = [&](const char *C, const std::string &D) {
+    if (Counter)
+      *Counter = C;
+    if (Detail)
+      *Detail = D;
+    return false;
+  };
+  if (O.Skip)
+    return true;
+
+  // Paper §VI-D / Fig. 11: melding removes divergent branches; a
+  // transform that adds dynamic mask splits is regressing the claim.
+  const uint64_t DBCap =
+      Ref.DivergentBranches + O.DivergentBranchSlack +
+      static_cast<uint64_t>(std::ceil(
+          static_cast<double>(Ref.DivergentBranches) * O.DivergentBranchRelTol));
+  if (Got.DivergentBranches > DBCap)
+    return Fail("divergent_branches",
+                deltaDetail(Ref.DivergentBranches, Got.DivergentBranches));
+
+  // Paper §VI-C / Fig. 10: melding raises VALU lane utilization. Allow a
+  // small absolute dip for instruction-mix shifts. Only meaningful when
+  // both sides issued VALU work: a kernel whose VALU work vanished
+  // entirely (everything dead after melding + DCE) does strictly less
+  // work, and 0/0 utilization is undefined, not a regression.
+  const double RefUtil = Ref.aluUtilization();
+  const double GotUtil = Got.aluUtilization();
+  if (Ref.AluLanesTotal != 0 && Got.AluLanesTotal != 0 &&
+      GotUtil + O.AluUtilDropTol < RefUtil) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "ref=%.4f got=%.4f (tol %.4f)", RefUtil,
+                  GotUtil, O.AluUtilDropTol);
+    return Fail("alu_util", Buf);
+  }
+
+  // Paper §VI-D / Fig. 11: melding merges aligned memory operations, so
+  // the dynamic memory-instruction count must not grow.
+  const uint64_t RefMem = Ref.VectorMemInsts + Ref.SharedMemInsts;
+  const uint64_t GotMem = Got.VectorMemInsts + Got.SharedMemInsts;
+  const uint64_t MemCap =
+      RefMem + O.MemInstSlack +
+      static_cast<uint64_t>(
+          std::ceil(static_cast<double>(RefMem) * O.MemInstIncreaseTol));
+  if (GotMem > MemCap)
+    return Fail("mem_insts", deltaDetail(RefMem, GotMem));
+
+  return true;
+}
+
+ClaimsOptions darm::check::optionsForConfig(const std::string &Config,
+                                            const ClaimsOptions &Base) {
+  ClaimsOptions O = Base;
+  if (Config == "darm-aggressive" || Config == "darm-nounpred")
+    O.Skip = true; // coverage configs; see ClaimsOptions::Skip
+  return O;
+}
+
+std::vector<Violation> darm::check::checkClaims(const KernelClaims &K,
+                                                const ClaimsOptions &O) {
+  std::vector<Violation> Out;
+  if (K.Configs.empty())
+    return Out;
+  const ConfigMetrics &Ref = K.Configs.front();
+  auto Add = [&](const std::string &Cfg, const char *Counter,
+                 const std::string &Detail) {
+    Out.push_back({K.cellName(), Cfg, Counter, Detail});
+  };
+  if (!Ref.Valid)
+    Add(Ref.Config, "validation", "reference failed host validation");
+
+  for (size_t I = 1; I < K.Configs.size(); ++I) {
+    const ConfigMetrics &C = K.Configs[I];
+    if (!C.Valid)
+      Add(C.Config, "validation", "failed host validation");
+    if (O.RequireMemoryIdentity && C.MemHash != Ref.MemHash) {
+      char Buf[80];
+      std::snprintf(Buf, sizeof(Buf), "ref=%016llx got=%016llx",
+                    static_cast<unsigned long long>(Ref.MemHash),
+                    static_cast<unsigned long long>(C.MemHash));
+      Add(C.Config, "memory_image", Buf);
+    }
+    std::string Counter, Detail;
+    if (!statsPlausible(Ref.Stats, C.Stats, optionsForConfig(C.Config, O),
+                        &Counter, &Detail))
+      Add(C.Config, Counter.c_str(), Detail);
+  }
+  return Out;
+}

@@ -1,0 +1,138 @@
+//===- CorpusRunner.cpp - Claims measurement over the kernel corpus -----------===//
+
+#include "darm/check/CorpusRunner.h"
+
+#include "darm/fuzz/DiffOracle.h"
+#include "darm/fuzz/KernelGenerator.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/SimplifyCFG.h"
+
+#include <algorithm>
+
+using namespace darm;
+using namespace darm::check;
+
+std::vector<BenchCell> darm::check::benchmarkCorpus() {
+  std::vector<BenchCell> Cells;
+  auto Add = [&](const std::vector<std::string> &Names) {
+    for (const std::string &N : Names) {
+      std::vector<unsigned> Sizes = paperBlockSizes(N);
+      Cells.push_back({N, Sizes.front()});
+      if (Sizes.back() != Sizes.front())
+        Cells.push_back({N, Sizes.back()});
+    }
+  };
+  Add(realBenchmarkNames());
+  Add(syntheticBenchmarkNames());
+  return Cells;
+}
+
+std::vector<ClaimConfig> darm::check::claimConfigs() {
+  // One source of truth for transform tuning: the fuzz oracle's config
+  // table. Goldens and the name-keyed tolerance policy only describe a
+  // configuration faithfully if both subsystems run the same transform
+  // under the same name. darm-nounpred stays fuzz-only (docs/claims.md).
+  std::vector<ClaimConfig> Cfgs;
+  for (fuzz::OracleConfig &Cfg : fuzz::defaultConfigs())
+    if (Cfg.Name != "darm-nounpred")
+      Cfgs.push_back({std::move(Cfg.Name), std::move(Cfg.Transform)});
+  return Cfgs;
+}
+
+KernelClaims darm::check::measureBenchmark(const BenchCell &Cell) {
+  return measureBenchmark(Cell, claimConfigs());
+}
+
+KernelClaims darm::check::measureBenchmark(
+    const BenchCell &Cell, const std::vector<ClaimConfig> &Configs) {
+  KernelClaims K;
+  K.Kernel = Cell.Name;
+  K.BlockSize = Cell.BlockSize;
+
+  auto Measure = [&](const std::string &CfgName,
+                     const std::function<void(Function &)> &Transform) {
+    auto B = createBenchmark(Cell.Name, Cell.BlockSize);
+    if (!B) {
+      K.Configs.push_back({CfgName, SimStats(), 0, false});
+      return;
+    }
+    Context Ctx;
+    Module M(Ctx, Cell.Name);
+    Function *F = B->build(M);
+    if (Transform)
+      Transform(*F);
+    // Same cleanup pipeline as the sim goldens, so the unmelded reference
+    // here matches the recorded baseline rows exactly.
+    simplifyCFG(*F);
+    eliminateDeadCode(*F);
+    BenchRun R = runBenchmark(*B, *F);
+    K.Configs.push_back({CfgName, R.Total, R.MemHash, R.Valid});
+  };
+
+  Measure("unmelded", nullptr);
+  for (const ClaimConfig &Cfg : Configs)
+    Measure(Cfg.Name, Cfg.Transform);
+  return K;
+}
+
+KernelClaims darm::check::measureFuzz(const fuzz::FuzzCase &C) {
+  KernelClaims K;
+  K.Kernel = C.name();
+  K.BlockSize = 0;
+
+  auto Measure = [&](const std::string &CfgName,
+                     const std::function<void(Function &)> &Transform) {
+    Context Ctx;
+    Module M(Ctx, CfgName);
+    Function *F = fuzz::buildFuzzKernel(M, C);
+    if (Transform)
+      Transform(*F);
+    else {
+      // The cleaned-baseline policy (docs/claims.md): the melding
+      // configs run simplifycfg+dce internally, so the reference must
+      // too — comparing against the raw generated kernel would credit
+      // plain DCE to melding.
+      simplifyCFG(*F);
+      eliminateDeadCode(*F);
+    }
+    GlobalMemory Mem;
+    std::vector<uint64_t> Args = fuzz::setupFuzzMemory(C, Mem);
+    std::string Fatal;
+    SimStats S = fuzz::simulateFuzzCase(*F, C, Args, Mem, &Fatal);
+    ConfigMetrics CM{CfgName, S, 0, Fatal.empty()};
+    if (Fatal.empty())
+      CM.MemHash = hashMemoryImage(Mem);
+    K.Configs.push_back(std::move(CM));
+  };
+
+  Measure("unmelded", nullptr);
+  for (const ClaimConfig &Cfg : claimConfigs())
+    Measure(Cfg.Name, Cfg.Transform);
+  return K;
+}
+
+KernelClaims darm::check::aggregateClaims(const std::vector<KernelClaims> &Ks,
+                                          const std::string &Name) {
+  KernelClaims Agg;
+  Agg.Kernel = Name;
+  Agg.BlockSize = 0;
+  for (const KernelClaims &K : Ks) {
+    for (const ConfigMetrics &C : K.Configs) {
+      ConfigMetrics *Slot = nullptr;
+      for (ConfigMetrics &A : Agg.Configs)
+        if (A.Config == C.Config)
+          Slot = &A;
+      if (!Slot) {
+        Agg.Configs.push_back({C.Config, SimStats(), 0, true});
+        Slot = &Agg.Configs.back();
+      }
+      Slot->Stats += C.Stats;
+      Slot->Valid = Slot->Valid && C.Valid;
+    }
+  }
+  return Agg;
+}
+

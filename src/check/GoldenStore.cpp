@@ -1,0 +1,422 @@
+//===- GoldenStore.cpp - darm-claims-v1 golden metrics store ------------------===//
+//
+// The JSON dialect here is deliberately tiny: toJson emits objects,
+// arrays, strings, unsigned integers and bools only, and the reader
+// accepts exactly that subset (no floats, no escapes beyond \" and \\,
+// no unicode). Goldens are machine-written and diffed as text in review,
+// so a strict round-trip beats a general-purpose parser dependency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/check/GoldenStore.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+using namespace darm;
+using namespace darm::check;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::string darm::check::toJson(const GoldenFile &G) {
+  std::ostringstream OS;
+  OS << "{\n  \"schema\": \"" << kClaimsSchema << "\",\n  \"kernels\": [";
+  for (size_t KI = 0; KI < G.Kernels.size(); ++KI) {
+    const KernelClaims &K = G.Kernels[KI];
+    OS << (KI ? ",\n" : "\n");
+    OS << "    {\n      \"kernel\": \"" << K.Kernel << "\",\n"
+       << "      \"block_size\": " << K.BlockSize << ",\n"
+       << "      \"configs\": [";
+    for (size_t CI = 0; CI < K.Configs.size(); ++CI) {
+      const ConfigMetrics &C = K.Configs[CI];
+      OS << (CI ? ",\n" : "\n");
+      char Hash[32];
+      std::snprintf(Hash, sizeof(Hash), "%016" PRIx64, C.MemHash);
+      OS << "        {\"config\": \"" << C.Config << "\", \"valid\": "
+         << (C.Valid ? "true" : "false") << ", \"mem_hash\": \"" << Hash
+         << "\",\n         \"stats\": {";
+      for (unsigned I = 0; I < SimStats::NumCounters; ++I)
+        OS << (I ? ", " : "") << "\"" << SimStats::counterName(I)
+           << "\": " << C.Stats.counter(I);
+      OS << "}}";
+    }
+    OS << "\n      ]\n    }";
+  }
+  OS << "\n  ]\n}\n";
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Reader — recursive descent over the subset toJson emits.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct JValue {
+  enum Kind { Object, Array, String, UInt, Bool } K = Object;
+  // Field order preserved; duplicate keys are rejected by the parser.
+  std::vector<std::pair<std::string, JValue>> Fields; // Object
+  std::vector<JValue> Items;                          // Array
+  std::string Str;                                    // String
+  uint64_t U = 0;                                     // UInt
+  bool B = false;                                     // Bool
+
+  const JValue *field(const std::string &Name) const {
+    for (const auto &F : Fields)
+      if (F.first == Name)
+        return &F.second;
+    return nullptr;
+  }
+};
+
+class JParser {
+public:
+  JParser(const std::string &Text) : S(Text) {}
+
+  bool parse(JValue &Out, std::string *Err) {
+    bool OK = value(Out);
+    skipWS();
+    if (OK && Pos != S.size())
+      OK = fail("trailing characters after document");
+    if (!OK && Err)
+      *Err = ErrMsg;
+    return OK;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    if (ErrMsg.empty()) {
+      ErrMsg = "offset " + std::to_string(Pos) + ": " + Msg;
+    }
+    return false;
+  }
+
+  void skipWS() {
+    while (Pos < S.size() && std::isspace(static_cast<unsigned char>(S[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipWS();
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return fail(std::string("expected '") + C + "'");
+  }
+
+  bool string(std::string &Out) {
+    skipWS();
+    if (Pos >= S.size() || S[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < S.size() && S[Pos] != '"') {
+      char C = S[Pos++];
+      if (C == '\\') {
+        if (Pos >= S.size() || (S[Pos] != '"' && S[Pos] != '\\'))
+          return fail("unsupported escape in string");
+        C = S[Pos++];
+      }
+      Out.push_back(C);
+    }
+    if (Pos >= S.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool value(JValue &Out) {
+    skipWS();
+    if (Pos >= S.size())
+      return fail("unexpected end of input");
+    const char C = S[Pos];
+    if (C == '{')
+      return object(Out);
+    if (C == '[')
+      return array(Out);
+    if (C == '"') {
+      Out.K = JValue::String;
+      return string(Out.Str);
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      Out.K = JValue::UInt;
+      size_t Start = Pos;
+      while (Pos < S.size() &&
+             std::isdigit(static_cast<unsigned char>(S[Pos])))
+        ++Pos;
+      // Out-of-range values must be diagnostics, not ULLONG_MAX — the
+      // same silent-saturation class the IR lexer rejects.
+      errno = 0;
+      Out.U = std::strtoull(S.substr(Start, Pos - Start).c_str(), nullptr, 10);
+      if (errno == ERANGE)
+        return fail("integer out of range");
+      return true;
+    }
+    if (S.compare(Pos, 4, "true") == 0) {
+      Out.K = JValue::Bool;
+      Out.B = true;
+      Pos += 4;
+      return true;
+    }
+    if (S.compare(Pos, 5, "false") == 0) {
+      Out.K = JValue::Bool;
+      Out.B = false;
+      Pos += 5;
+      return true;
+    }
+    return fail("unexpected token");
+  }
+
+  bool object(JValue &Out) {
+    Out.K = JValue::Object;
+    if (!consume('{'))
+      return false;
+    skipWS();
+    if (Pos < S.size() && S[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      std::string Key;
+      if (!string(Key) || !consume(':'))
+        return false;
+      // Duplicate keys would make one value win silently; a strict
+      // reader of machine-written goldens has no reason to allow that.
+      if (Out.field(Key))
+        return fail("duplicate key '" + Key + "'");
+      JValue V;
+      if (!value(V))
+        return false;
+      Out.Fields.emplace_back(std::move(Key), std::move(V));
+      skipWS();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume('}');
+    }
+  }
+
+  bool array(JValue &Out) {
+    Out.K = JValue::Array;
+    if (!consume('['))
+      return false;
+    skipWS();
+    if (Pos < S.size() && S[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      JValue V;
+      if (!value(V))
+        return false;
+      Out.Items.push_back(std::move(V));
+      skipWS();
+      if (Pos < S.size() && S[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return consume(']');
+    }
+  }
+
+  const std::string &S;
+  size_t Pos = 0;
+  std::string ErrMsg;
+};
+
+bool mapConfig(const JValue &JC, ConfigMetrics &C, std::string &Err) {
+  const JValue *Name = JC.field("config");
+  const JValue *Valid = JC.field("valid");
+  const JValue *Hash = JC.field("mem_hash");
+  const JValue *Stats = JC.field("stats");
+  if (!Name || Name->K != JValue::String || !Valid ||
+      Valid->K != JValue::Bool || !Hash || Hash->K != JValue::String ||
+      !Stats || Stats->K != JValue::Object) {
+    Err = "config entry missing config/valid/mem_hash/stats";
+    return false;
+  }
+  C.Config = Name->Str;
+  C.Valid = Valid->B;
+  // toJson writes exactly 16 hex digits; anything else is corruption.
+  char *HashEnd = nullptr;
+  errno = 0;
+  C.MemHash = std::strtoull(Hash->Str.c_str(), &HashEnd, 16);
+  if (Hash->Str.size() != 16 || *HashEnd != '\0' || errno == ERANGE) {
+    Err = "malformed mem_hash '" + Hash->Str + "' in config '" + C.Config + "'";
+    return false;
+  }
+  for (unsigned I = 0; I < SimStats::NumCounters; ++I) {
+    const JValue *V = Stats->field(SimStats::counterName(I));
+    if (!V || V->K != JValue::UInt) {
+      Err = std::string("stats missing counter '") + SimStats::counterName(I) +
+            "' in config '" + C.Config + "'";
+      return false;
+    }
+    C.Stats.counter(I) = V->U;
+  }
+  return true;
+}
+
+} // namespace
+
+bool darm::check::fromJson(const std::string &Text, GoldenFile &Out,
+                           std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Msg;
+    return false;
+  };
+  JValue Root;
+  std::string PErr;
+  if (!JParser(Text).parse(Root, &PErr))
+    return Fail("JSON parse error: " + PErr);
+  if (Root.K != JValue::Object)
+    return Fail("top level is not an object");
+  const JValue *Schema = Root.field("schema");
+  if (!Schema || Schema->K != JValue::String || Schema->Str != kClaimsSchema)
+    return Fail(std::string("schema is not '") + kClaimsSchema + "'");
+  const JValue *Kernels = Root.field("kernels");
+  if (!Kernels || Kernels->K != JValue::Array)
+    return Fail("'kernels' array missing");
+
+  Out.Kernels.clear();
+  for (const JValue &JK : Kernels->Items) {
+    const JValue *Name = JK.field("kernel");
+    const JValue *BS = JK.field("block_size");
+    const JValue *Configs = JK.field("configs");
+    if (JK.K != JValue::Object || !Name || Name->K != JValue::String || !BS ||
+        BS->K != JValue::UInt || !Configs || Configs->K != JValue::Array)
+      return Fail("kernel entry missing kernel/block_size/configs");
+    KernelClaims K;
+    K.Kernel = Name->Str;
+    K.BlockSize = static_cast<unsigned>(BS->U);
+    for (const JValue &JC : Configs->Items) {
+      ConfigMetrics C;
+      std::string MErr;
+      if (JC.K != JValue::Object || !mapConfig(JC, C, MErr))
+        return Fail(MErr.empty() ? "malformed config entry" : MErr);
+      K.Configs.push_back(std::move(C));
+    }
+    Out.Kernels.push_back(std::move(K));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Diff
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string>
+darm::check::diffClaims(const GoldenFile &Golden,
+                        const std::vector<KernelClaims> &Measured) {
+  std::vector<std::string> Out;
+
+  std::map<std::string, const KernelClaims *> Want;
+  for (const KernelClaims &K : Golden.Kernels)
+    Want[K.cellName()] = &K;
+
+  std::map<std::string, const KernelClaims *> Got;
+  for (const KernelClaims &K : Measured)
+    Got[K.cellName()] = &K;
+
+  for (const auto &[Cell, GoldK] : Want) {
+    auto It = Got.find(Cell);
+    if (It == Got.end()) {
+      Out.push_back(Cell + ": recorded in golden but not measured");
+      continue;
+    }
+    const KernelClaims &MeasK = *It->second;
+    for (const ConfigMetrics &GC : GoldK->Configs) {
+      const ConfigMetrics *MC = nullptr;
+      for (const ConfigMetrics &C : MeasK.Configs)
+        if (C.Config == GC.Config)
+          MC = &C;
+      if (!MC) {
+        Out.push_back(Cell + " " + GC.Config + ": config not measured");
+        continue;
+      }
+      for (unsigned I = 0; I < SimStats::NumCounters; ++I) {
+        const uint64_t W = GC.Stats.counter(I), M = MC->Stats.counter(I);
+        if (W == M)
+          continue;
+        char Buf[128];
+        std::snprintf(Buf, sizeof(Buf), "%s %s: %s golden=%llu got=%llu (%+lld)",
+                      Cell.c_str(), GC.Config.c_str(), SimStats::counterName(I),
+                      static_cast<unsigned long long>(W),
+                      static_cast<unsigned long long>(M),
+                      static_cast<long long>(M - W));
+        Out.push_back(Buf);
+      }
+      if (GC.MemHash != MC->MemHash) {
+        char Buf[128];
+        std::snprintf(Buf, sizeof(Buf),
+                      "%s %s: mem_hash golden=%016llx got=%016llx",
+                      Cell.c_str(), GC.Config.c_str(),
+                      static_cast<unsigned long long>(GC.MemHash),
+                      static_cast<unsigned long long>(MC->MemHash));
+        Out.push_back(Buf);
+      }
+      if (GC.Valid != MC->Valid)
+        Out.push_back(Cell + " " + GC.Config + ": valid golden=" +
+                      (GC.Valid ? "true" : "false") + " got=" +
+                      (MC->Valid ? "true" : "false"));
+    }
+    // Configs measured but never recorded would otherwise pass ungated
+    // (e.g. a config added to claimConfigs() without regenerating).
+    for (const ConfigMetrics &MC : MeasK.Configs) {
+      bool Known = false;
+      for (const ConfigMetrics &GC : GoldK->Configs)
+        Known = Known || GC.Config == MC.Config;
+      if (!Known)
+        Out.push_back(Cell + " " + MC.Config +
+                      ": measured but not recorded in golden");
+    }
+  }
+  for (const auto &[Cell, MeasK] : Got) {
+    (void)MeasK;
+    if (!Want.count(Cell))
+      Out.push_back(Cell + ": measured but not recorded in golden");
+  }
+  return Out;
+}
+
+bool darm::check::loadGoldenFile(const std::string &Path, GoldenFile &Out,
+                                 std::string *Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    if (Err)
+      *Err = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return fromJson(Buf.str(), Out, Err);
+}
+
+bool darm::check::saveGoldenFile(const std::string &Path, const GoldenFile &G,
+                                 std::string *Err) {
+  std::ofstream OutS(Path);
+  if (!OutS) {
+    if (Err)
+      *Err = "cannot write '" + Path + "'";
+    return false;
+  }
+  OutS << toJson(G);
+  OutS.close();
+  if (!OutS) {
+    if (Err)
+      *Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}

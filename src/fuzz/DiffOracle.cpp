@@ -9,8 +9,8 @@
 #include "darm/ir/IRParser.h"
 #include "darm/ir/IRPrinter.h"
 #include "darm/ir/Module.h"
-#include "darm/sim/Simulator.h"
-#include "darm/support/ErrorHandling.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/SimplifyCFG.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,10 +21,16 @@ using namespace darm::fuzz;
 
 namespace {
 
-/// Final device-memory image of one simulated launch, captured bitwise
-/// (floats as their 32-bit patterns, so NaN compares like any value).
+/// Final device-memory image of one simulated case (all launches),
+/// captured bitwise (floats as their 32-bit patterns, so NaN compares
+/// like any value), plus the aggregated counters for the claims axis.
 struct MemImage {
   std::vector<uint32_t> IntBits, FloatBits;
+  /// Counters over all launches; compared for identity on the round-trip
+  /// axis and for plausibility (docs/claims.md) on transform axes. Not
+  /// part of operator== — image identity and counter checks report
+  /// distinct diagnostics.
+  SimStats Stats;
   /// Set when the simulator aborted (OOB store, runaway loop) — a
   /// first-class finding: the reference never aborts, so a transformed
   /// kernel that does was miscompiled.
@@ -36,36 +42,13 @@ struct MemImage {
   }
 };
 
-struct SimFatal {
-  std::string Msg;
-};
-
-[[noreturn]] void throwFatal(const char *Msg) { throw SimFatal{Msg}; }
-
-/// Installs throwFatal for the duration of one simulation so simulator
-/// aborts unwind back to the oracle.
-class ScopedFatalCatcher {
-public:
-  ScopedFatalCatcher() : Prev(setFatalErrorHandler(throwFatal)) {}
-  ~ScopedFatalCatcher() { setFatalErrorHandler(Prev); }
-
-private:
-  FatalErrorHandler Prev;
-};
-
 MemImage runCase(Function &F, const FuzzCase &C) {
   GlobalMemory Mem;
   std::vector<uint64_t> Args = setupFuzzMemory(C, Mem);
   MemImage Img;
-  {
-    ScopedFatalCatcher Catcher;
-    try {
-      runKernel(F, C.Launch, Args, Mem);
-    } catch (const SimFatal &E) {
-      Img.Fatal = E.Msg;
-      return Img;
-    }
-  }
+  Img.Stats = simulateFuzzCase(F, C, Args, Mem, &Img.Fatal);
+  if (!Img.Fatal.empty())
+    return Img;
   Img.IntBits.reserve(C.IntElems);
   for (unsigned I = 0; I < C.IntElems; ++I)
     Img.IntBits.push_back(
@@ -101,7 +84,9 @@ std::string diffDetail(const MemImage &Ref, const MemImage &Got) {
 
 /// Evaluates one axis on an already-built kernel \p F (left unmutated for
 /// the round-trip axis; cloned-by-rebuild for transform axes by the
-/// caller). Returns true + fills Detail if the axis mismatches.
+/// caller). Returns true + fills Detail if the axis mismatches. Printing
+/// must not change execution at all, so the round-trip axis requires
+/// every counter to be *identical*, not merely plausible.
 bool roundTripFails(Function &F, const FuzzCase &C, const MemImage &Ref,
                     std::string &Detail) {
   std::string Text = printFunction(F);
@@ -126,11 +111,72 @@ bool roundTripFails(Function &F, const FuzzCase &C, const MemImage &Ref,
     Detail = "parsed kernel diverges: " + diffDetail(Ref, Img);
     return true;
   }
+  for (unsigned I = 0; I < SimStats::NumCounters; ++I)
+    if (Img.Stats.counter(I) != Ref.Stats.counter(I)) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf), "ref=%llu got=%llu",
+                    static_cast<unsigned long long>(Ref.Stats.counter(I)),
+                    static_cast<unsigned long long>(Img.Stats.counter(I)));
+      Detail = std::string("parsed kernel changes counters: ") +
+               SimStats::counterName(I) + " " + Buf;
+      return true;
+    }
   return false;
 }
 
+/// Shared tail of the cleaned-baseline check: runs the *non-melding*
+/// half of the DARM pipeline (simplifycfg + DCE) on a throwaway copy
+/// \p F, verifies, re-simulates, and compares against the reference
+/// image. Used by both the sweep (rebuild-from-edits copy) and the
+/// repro re-check (print->parse copy) so the two can never drift.
+bool cleanAndCompare(Function &F, const FuzzCase &C, const MemImage &Ref,
+                     SimStats &Baseline, std::string &Detail) {
+  simplifyCFG(F);
+  eliminateDeadCode(F);
+  std::string Err;
+  if (!verifyFunction(F, &Err)) {
+    Detail = "verifier after simplifycfg+dce: " + Err;
+    return false;
+  }
+  MemImage Img = runCase(F, C);
+  if (!(Img == Ref)) {
+    Detail = "simplifycfg+dce changed behaviour: " + diffDetail(Ref, Img);
+    return false;
+  }
+  Baseline = Img.Stats;
+  return true;
+}
+
+/// The claims baseline for \p C (+ edits): the same kernel through
+/// simplifycfg + DCE. The raw generated kernel is full of dead code
+/// that the melding configs' own DCE stage removes, so comparing their
+/// counters against the raw reference would be apples-to-oranges —
+/// utilization shifts from deleting dead full-mask code would read as
+/// claim regressions. The cleaned counterpart must still produce the
+/// reference memory image; a difference is a first-class finding
+/// against the cleanup passes (config "cleanup"). Returns false +
+/// fills Detail on such a finding.
+bool claimsBaseline(const FuzzCase &C, const std::vector<Edit> &Edits,
+                    const MemImage &Ref, SimStats &Baseline,
+                    std::string &Detail) {
+  Context Ctx;
+  Module M(Ctx, "cleanup");
+  Function *F = buildEdited(M, C, Edits);
+  if (!F) {
+    Detail = "edit script failed to replay";
+    return false;
+  }
+  return cleanAndCompare(*F, C, Ref, Baseline, Detail);
+}
+
+/// \p ClaimsRef is the cleaned-baseline stats when the caller already
+/// computed them (the sweep amortizes one baseline over all axes); null
+/// lets this function compute the baseline lazily — and only once the
+/// memory images match, so minimizer probes that fail on the image diff
+/// never pay for a baseline simulation.
 bool transformFails(const OracleConfig &Cfg, const FuzzCase &C,
                     const std::vector<Edit> &Edits, const MemImage &Ref,
+                    const SimStats *ClaimsRef, const OracleOptions &O,
                     std::string &Detail) {
   Context Ctx;
   Module M(Ctx, "axis");
@@ -150,14 +196,36 @@ bool transformFails(const OracleConfig &Cfg, const FuzzCase &C,
     Detail = diffDetail(Ref, Img);
     return true;
   }
+  // Image-identical: the kernel computes the right answers. The claims
+  // axis now checks it also moved the counters in the claimed direction,
+  // against the cleaned (simplifycfg+dce) baseline.
+  if (O.Claims) {
+    SimStats Baseline;
+    if (!ClaimsRef) {
+      std::string BDetail;
+      if (!claimsBaseline(C, Edits, Ref, Baseline, BDetail))
+        return false; // baseline broken under this edit; not this axis
+      ClaimsRef = &Baseline;
+    }
+    std::string Counter, CDetail;
+    if (!check::statsPlausible(*ClaimsRef, Img.Stats,
+                               check::optionsForConfig(Cfg.Name, O.ClaimsOpts),
+                               &Counter, &CDetail)) {
+      Detail = "claims: " + Counter + " " + CDetail;
+      return true;
+    }
+  }
   return false;
 }
 
+/// Which kind of axis a failure belongs to, for minimization replay.
+enum class AxisKind { Transform, RoundTrip, Cleanup };
+
 /// Full axis evaluation used by both the oracle sweep and the minimizer
 /// predicate: rebuild (with edits), re-run reference, test the axis.
-bool axisFailsOnEdits(const OracleConfig *Cfg, bool IsRoundTrip,
+bool axisFailsOnEdits(const OracleConfig *Cfg, AxisKind Kind,
                       const FuzzCase &C, const std::vector<Edit> &Edits,
-                      std::string &Detail) {
+                      const OracleOptions &O, std::string &Detail) {
   Context RCtx;
   Module RM(RCtx, "ref");
   Function *RF = buildEdited(RM, C, Edits);
@@ -169,9 +237,18 @@ bool axisFailsOnEdits(const OracleConfig *Cfg, bool IsRoundTrip,
   MemImage Ref = runCase(*RF, C);
   if (!Ref.Fatal.empty())
     return false; // an edit that aborts the reference is not a reduction
-  if (IsRoundTrip)
+  if (Kind == AxisKind::RoundTrip)
     return roundTripFails(*RF, C, Ref, Detail);
-  return transformFails(*Cfg, C, Edits, Ref, Detail);
+  if (Kind == AxisKind::Cleanup) {
+    SimStats Baseline;
+    std::string BDetail;
+    const bool BaselineOK = claimsBaseline(C, Edits, Ref, Baseline, BDetail);
+    Detail = BDetail;
+    return !BaselineOK;
+  }
+  // Transform axis: the claims baseline (when needed at all) is computed
+  // lazily inside transformFails, after the image-identity check.
+  return transformFails(*Cfg, C, Edits, Ref, /*ClaimsRef=*/nullptr, O, Detail);
 }
 
 } // namespace
@@ -222,26 +299,42 @@ OracleResult darm::fuzz::runOracle(const FuzzCase &C,
     return R;
   }
 
+  // Claims baseline: the kernel through simplifycfg+dce (the non-melding
+  // half of the pipeline). Must preserve behaviour; a change is its own
+  // finding against the cleanup passes.
+  SimStats ClaimsRef = Ref.Stats;
   const OracleConfig *FailCfg = nullptr;
-  bool FailRoundTrip = false;
-  for (const OracleConfig &Cfg : Cfgs) {
+  AxisKind FailKind = AxisKind::Transform;
+  if (O.Claims) {
     std::string Detail;
-    if (transformFails(Cfg, C, {}, Ref, Detail)) {
-      FailCfg = &Cfg;
-      R.Config = Cfg.Name;
+    if (!claimsBaseline(C, {}, Ref, ClaimsRef, Detail)) {
+      FailKind = AxisKind::Cleanup;
+      R.Config = "cleanup";
       R.Detail = Detail;
-      break;
     }
   }
-  if (!FailCfg && O.RoundTrip) {
+  if (R.Config.empty()) {
+    for (const OracleConfig &Cfg : Cfgs) {
+      std::string Detail;
+      if (transformFails(Cfg, C, {}, Ref, O.Claims ? &ClaimsRef : nullptr, O,
+                         Detail)) {
+        FailCfg = &Cfg;
+        FailKind = AxisKind::Transform;
+        R.Config = Cfg.Name;
+        R.Detail = Detail;
+        break;
+      }
+    }
+  }
+  if (R.Config.empty() && O.RoundTrip) {
     std::string Detail;
     if (roundTripFails(*RF, C, Ref, Detail)) {
-      FailRoundTrip = true;
+      FailKind = AxisKind::RoundTrip;
       R.Config = "roundtrip";
       R.Detail = Detail;
     }
   }
-  if (!FailCfg && !FailRoundTrip)
+  if (R.Config.empty())
     return R;
 
   R.Mismatch = true;
@@ -249,11 +342,11 @@ OracleResult darm::fuzz::runOracle(const FuzzCase &C,
   if (O.Minimize) {
     std::string ProbeDetail;
     Edits = minimizeCase(C, [&](const std::vector<Edit> &Trial) {
-      return axisFailsOnEdits(FailCfg, FailRoundTrip, C, Trial, ProbeDetail);
+      return axisFailsOnEdits(FailCfg, FailKind, C, Trial, O, ProbeDetail);
     });
     // Refresh the diagnostic against the minimized kernel.
     std::string MinDetail;
-    if (axisFailsOnEdits(FailCfg, FailRoundTrip, C, Edits, MinDetail))
+    if (axisFailsOnEdits(FailCfg, FailKind, C, Edits, O, MinDetail))
       R.Detail = MinDetail;
   }
   Context MCtx;
@@ -272,6 +365,7 @@ std::string darm::fuzz::formatRepro(const FuzzCase &C,
   OS << "; detail: " << R.Detail << "\n";
   OS << "; grid: " << C.Launch.GridDimX << "\n";
   OS << "; block: " << C.Launch.BlockDimX << "\n";
+  OS << "; launches: " << C.NumLaunches << "\n";
   OS << "; ibuf: " << C.IntElems << "\n";
   OS << "; ibuf-input: " << C.IntInputElems << "\n";
   OS << "; fbuf: " << C.FloatElems << "\n";
@@ -306,6 +400,9 @@ bool darm::fuzz::parseReproHeader(const std::string &Text, FuzzCase &C,
     } else if (const char *V4 = Field("block")) {
       C.Launch.BlockDimX =
           static_cast<unsigned>(std::strtoul(V4, nullptr, 10));
+    } else if (const char *VL = Field("launches")) {
+      // Absent in pre-multi-launch repros; FuzzCase defaults to 1.
+      C.NumLaunches = static_cast<unsigned>(std::strtoul(VL, nullptr, 10));
     } else if (const char *V5 = Field("ibuf")) {
       C.IntElems = static_cast<unsigned>(std::strtoul(V5, nullptr, 10));
     } else if (const char *V6 = Field("ibuf-input")) {
@@ -322,7 +419,8 @@ bool darm::fuzz::parseReproHeader(const std::string &Text, FuzzCase &C,
 }
 
 OracleResult darm::fuzz::checkRepro(Function &Kernel, const FuzzCase &C,
-                                    const std::string &Config) {
+                                    const std::string &Config,
+                                    const OracleOptions &O) {
   OracleResult R;
   std::string Err;
   if (!verifyFunction(Kernel, &Err)) {
@@ -353,12 +451,45 @@ OracleResult darm::fuzz::checkRepro(Function &Kernel, const FuzzCase &C,
     }
     return R;
   }
+
+  // Clone the repro kernel through simplifycfg+dce: the re-check of a
+  // "cleanup" repro, and the claims baseline for transform configs. The
+  // clone goes by print->parse — the repro flow only reaches here once
+  // the text round-trips, and no pass may mutate the caller's copy.
+  auto CloneAndClean = [&](SimStats &Out, std::string &CErr) -> bool {
+    std::string Text = printFunction(Kernel);
+    Context CCtx;
+    auto CM = parseModule(CCtx, Text, &CErr);
+    if (!CM) {
+      CErr = "repro kernel does not re-parse: " + CErr;
+      return false;
+    }
+    return cleanAndCompare(*CM->functions().front(), C, Ref, Out, CErr);
+  };
+
+  SimStats ClaimsRef = Ref.Stats;
+  if (Config == "cleanup" || O.Claims) {
+    std::string CleanErr;
+    const bool CleanOK = CloneAndClean(ClaimsRef, CleanErr);
+    if (Config == "cleanup") {
+      if (!CleanOK) {
+        R.Mismatch = true;
+        R.Config = Config;
+        R.Detail = CleanErr;
+      }
+      return R;
+    }
+    if (!CleanOK) {
+      R.Mismatch = true;
+      R.Config = "cleanup";
+      R.Detail = CleanErr;
+      return R;
+    }
+  }
+
   for (const OracleConfig &Cfg : defaultConfigs()) {
     if (Cfg.Name != Config)
       continue;
-    // Clone by re-parsing the printed kernel: the repro flow only reaches
-    // here once the text round-trips, and the transform must not mutate
-    // the caller's reference copy.
     std::string Text = printFunction(Kernel);
     Context Ctx;
     auto M = parseModule(Ctx, Text, &Err);
@@ -381,6 +512,20 @@ OracleResult darm::fuzz::checkRepro(Function &Kernel, const FuzzCase &C,
       R.Mismatch = true;
       R.Config = Config;
       R.Detail = diffDetail(Ref, Img);
+      return R;
+    }
+    // Mirror the sweep's claims axis so plausibility repros re-check
+    // end-to-end too.
+    if (O.Claims) {
+      std::string Counter, CDetail;
+      if (!check::statsPlausible(
+              ClaimsRef, Img.Stats,
+              check::optionsForConfig(Config, O.ClaimsOpts), &Counter,
+              &CDetail)) {
+        R.Mismatch = true;
+        R.Config = Config;
+        R.Detail = "claims: " + Counter + " " + CDetail;
+      }
     }
     return R;
   }

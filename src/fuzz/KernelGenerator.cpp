@@ -20,8 +20,11 @@
 #include "darm/ir/Context.h"
 #include "darm/ir/IRBuilder.h"
 #include "darm/ir/Module.h"
+#include "darm/sim/Simulator.h"
+#include "darm/support/ErrorHandling.h"
 #include "darm/support/RNG.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <limits>
@@ -45,6 +48,10 @@ FuzzCase::FuzzCase(uint64_t S, const GenOptions &O) : Seed(S), Opts(O) {
   IntElems = IntInputElems + IntSlots * Total;
   FloatElems = FloatInputElems + FloatSlots * Total;
   SharedElems = SharedSlots * Launch.BlockDimX;
+  // Occasional multi-launch cases (decode-once/run-many differential
+  // coverage). Drawn last so the fields above keep their per-seed values
+  // from before this knob existed.
+  NumLaunches = R.chance(1, 4) ? 2 + static_cast<unsigned>(R.nextBelow(2)) : 1;
 }
 
 namespace {
@@ -137,6 +144,7 @@ private:
   void emitTriangle(Pools &P, unsigned Depth);
   void emitLoop(Pools &P, unsigned Depth);
   void emitExchange(Pools &P);
+  void emitShuffle(Pools &P);
 
   const FuzzCase &C;
   RNG Rng;
@@ -422,6 +430,25 @@ void Gen::emitExchange(Pools &P) {
   B.createBarrier();
 }
 
+/// Warp-level exchange through the convergent shfl.sync intrinsic: every
+/// lane reads another lane's register. Like barriers, only emitted in
+/// uniform control flow (top level): under a partial mask the inactive
+/// source lanes' registers would be transform-dependent, which would
+/// break the differential discipline. The melder never melds convergent
+/// ops, so every config executes the shuffle identically. The source
+/// lane is either a rotated neighbour or a uniform broadcast lane; the
+/// simulator wraps it modulo the warp size.
+void Gen::emitShuffle(Pools &P) {
+  Value *V = pick(P.I32);
+  Value *SrcLane;
+  if (Rng.chance(1, 2))
+    SrcLane = B.createAdd(
+        Lane, B.getInt32(static_cast<int32_t>(1 + Rng.nextBelow(7))), "slane");
+  else
+    SrcLane = B.getInt32(static_cast<int32_t>(Rng.nextBelow(8)));
+  P.I32.push_back(B.createCall(Intrinsic::ShflSync, {V, SrcLane}, "shfl"));
+}
+
 Function *Gen::run() {
   BasicBlock *Entry = F->createBlock("entry");
   B.setInsertPoint(Entry);
@@ -461,7 +488,7 @@ Function *Gen::run() {
   unsigned Constructs =
       1 + static_cast<unsigned>(Rng.nextBelow(C.Opts.MaxTopConstructs));
   for (unsigned I = 0; I < Constructs; ++I) {
-    switch (Rng.nextBelow(6)) {
+    switch (Rng.nextBelow(7)) {
     case 0:
       emitStmts(P, 2, 6);
       break;
@@ -474,6 +501,9 @@ Function *Gen::run() {
       break;
     case 4:
       emitLoop(P, C.Opts.MaxDepth);
+      break;
+    case 5:
+      emitShuffle(P);
       break;
     default:
       emitExchange(P);
@@ -555,4 +585,38 @@ std::vector<uint64_t> darm::fuzz::setupFuzzMemory(const FuzzCase &C,
   }
 
   return {IBuf, FBuf, C.IntElems};
+}
+
+SimStats darm::fuzz::simulateFuzzCase(Function &F, const FuzzCase &C,
+                                      const std::vector<uint64_t> &Args,
+                                      GlobalMemory &Mem, std::string *Fatal) {
+  struct SimAbort {
+    std::string Msg;
+  };
+  struct Catcher {
+    [[noreturn]] static void raise(const char *Msg) { throw SimAbort{Msg}; }
+  };
+  // RAII so the process-global handler is restored even if something
+  // other than SimAbort unwinds through here (e.g. bad_alloc in decode).
+  struct ScopedHandler {
+    FatalErrorHandler Prev;
+    ScopedHandler() : Prev(setFatalErrorHandler(Catcher::raise)) {}
+    ~ScopedHandler() { setFatalErrorHandler(Prev); }
+  };
+  if (Fatal)
+    Fatal->clear();
+  ScopedHandler Guard;
+  SimStats Total;
+  try {
+    // Decode once; replay NumLaunches launches over the accumulating
+    // memory (the kernel reads back its own output cells, so launches
+    // are genuinely stateful).
+    SimEngine Engine(F);
+    for (unsigned L = 0, E = std::max(1u, C.NumLaunches); L != E; ++L)
+      Total += Engine.run(C.Launch, Args, Mem);
+  } catch (const SimAbort &E) {
+    if (Fatal)
+      *Fatal = E.Msg;
+  }
+  return Total;
 }

@@ -147,8 +147,11 @@ public:
       T.Text = lexIdentText();
       return T;
     }
-    T.K = Tok::Eof;
-    T.Text = std::string(1, C);
+    // A character no token starts with is a lexical error with its own
+    // diagnostic (like out-of-range literals), not a silent end-of-input.
+    ++Pos;
+    T.K = Tok::Error;
+    T.Text = std::string("unexpected character '") + C + "'";
     return T;
   }
 

@@ -61,15 +61,39 @@ std::unique_ptr<Benchmark> darm::createBenchmark(const std::string &Name,
   return createSynthetic(Name, BlockSize);
 }
 
-bool darm::runAndValidate(const Benchmark &B, Function &Kern, SimStats &Stats,
-                          std::string *Why) {
+BenchRun darm::runBenchmark(const Benchmark &B, Function &Kern) {
+  BenchRun R;
   GlobalMemory Mem;
   std::vector<uint64_t> Base = B.setup(Mem);
   // One decode serves every launch of a multi-launch benchmark.
   SimEngine Engine(Kern);
   for (unsigned L = 0, E = B.numLaunches(); L != E; ++L) {
     std::vector<uint64_t> Args = B.argsForLaunch(L, Base);
-    Stats += Engine.run(B.launch(), Args, Mem);
+    SimStats S = Engine.run(B.launch(), Args, Mem);
+    R.PerLaunch.push_back(S);
+    R.Total += S;
   }
-  return B.validate(Mem, Base, Why);
+  R.Valid = B.validate(Mem, Base, &R.Why);
+  if (R.Valid)
+    R.Why.clear();
+  R.MemHash = hashMemoryImage(Mem);
+  return R;
+}
+
+bool darm::runAndValidate(const Benchmark &B, Function &Kern, SimStats &Stats,
+                          std::string *Why) {
+  BenchRun R = runBenchmark(B, Kern);
+  Stats += R.Total;
+  if (Why)
+    *Why = R.Why;
+  return R.Valid;
+}
+
+uint64_t darm::hashMemoryImage(const GlobalMemory &Mem) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a 64
+  for (uint64_t A = 0; A < Mem.size(); ++A) {
+    H ^= Mem.load(A, 1);
+    H *= 1099511628211ull;
+  }
+  return H;
 }

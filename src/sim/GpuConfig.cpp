@@ -23,3 +23,29 @@ void GpuConfig::validate() const {
   if (MaxDynamicInstrPerWarp == 0)
     reportFatalError("GpuConfig: MaxDynamicInstrPerWarp must be nonzero");
 }
+
+const char *SimStats::counterName(unsigned I) {
+  static const char *const Names[NumCounters] = {
+      "cycles",           "total_warp_cycles", "instructions_issued",
+      "alu_insts",        "vector_mem_insts",  "shared_mem_insts",
+      "branches_executed", "divergent_branches", "alu_lanes_active",
+      "alu_lanes_total"};
+  if (I >= NumCounters)
+    reportFatalError("SimStats::counterName: index out of range");
+  return Names[I];
+}
+
+uint64_t &SimStats::counter(unsigned I) {
+  uint64_t *const Fields[NumCounters] = {
+      &Cycles,           &TotalWarpCycles,   &InstructionsIssued,
+      &AluInsts,         &VectorMemInsts,    &SharedMemInsts,
+      &BranchesExecuted, &DivergentBranches, &AluLanesActive,
+      &AluLanesTotal};
+  if (I >= NumCounters)
+    reportFatalError("SimStats::counter: index out of range");
+  return *Fields[I];
+}
+
+uint64_t SimStats::counter(unsigned I) const {
+  return const_cast<SimStats *>(this)->counter(I);
+}

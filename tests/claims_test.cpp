@@ -1,0 +1,381 @@
+//===- claims_test.cpp - Paper-claims conformance: invariants + goldens -----------===//
+//
+// The check subsystem's test suite (docs/claims.md):
+//
+//   * unit coverage of the plausibility invariants (statsPlausible) and
+//     the darm-claims-v1 golden store (JSON round-trip, diffing);
+//   * the golden regression gate: every benchmark corpus cell, measured
+//     under unmelded/darm/darm-aggressive/branch-fusion, must match the
+//     recorded goldens in tests/goldens/claims/ counter-for-counter;
+//   * a pinned-fuzz-seed golden (fuzz.json) doing the same for generated
+//     kernels;
+//   * an injected regression — a "melder" that keeps every divergent
+//     branch — proving the goldens catch a silently lost improvement
+//     with a per-counter diff.
+//
+// Regenerating goldens after an *intentional* metric change:
+//   DARM_REGEN_GOLDENS=1 ./build/tests/claims_test
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/check/CorpusRunner.h"
+#include "darm/check/GoldenStore.h"
+#include "darm/fuzz/KernelGenerator.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace darm;
+using namespace darm::check;
+
+namespace {
+
+bool regenMode() { return std::getenv("DARM_REGEN_GOLDENS") != nullptr; }
+
+std::string goldenPath(const std::string &Key) {
+  return std::string(DARM_CLAIMS_GOLDEN_DIR) + "/" + Key + ".json";
+}
+
+//===----------------------------------------------------------------------===//
+// statsPlausible invariants
+//===----------------------------------------------------------------------===//
+
+SimStats mkStats(uint64_t DivBranches, uint64_t LanesActive,
+                 uint64_t LanesTotal, uint64_t VecMem, uint64_t SharedMem) {
+  SimStats S;
+  S.DivergentBranches = DivBranches;
+  S.AluLanesActive = LanesActive;
+  S.AluLanesTotal = LanesTotal;
+  S.VectorMemInsts = VecMem;
+  S.SharedMemInsts = SharedMem;
+  return S;
+}
+
+TEST(Plausibility, DivergentBranchIncreaseFails) {
+  SimStats Ref = mkStats(10, 100, 100, 5, 5);
+  std::string Counter, Detail;
+  EXPECT_TRUE(statsPlausible(Ref, mkStats(10, 100, 100, 5, 5),
+                             ClaimsOptions(), &Counter, &Detail));
+  EXPECT_TRUE(statsPlausible(Ref, mkStats(0, 100, 100, 5, 5),
+                             ClaimsOptions(), &Counter, &Detail));
+  EXPECT_FALSE(statsPlausible(Ref, mkStats(11, 100, 100, 5, 5),
+                              ClaimsOptions(), &Counter, &Detail));
+  EXPECT_EQ(Counter, "divergent_branches");
+  EXPECT_NE(Detail.find("ref=10 got=11 (+1)"), std::string::npos) << Detail;
+}
+
+TEST(Plausibility, DivergentBranchSlackAndRelTol) {
+  SimStats Ref = mkStats(10, 100, 100, 5, 5);
+  ClaimsOptions O;
+  O.DivergentBranchSlack = 2;
+  EXPECT_TRUE(statsPlausible(Ref, mkStats(12, 100, 100, 5, 5), O));
+  EXPECT_FALSE(statsPlausible(Ref, mkStats(13, 100, 100, 5, 5), O));
+  O.DivergentBranchRelTol = 0.5; // cap = 10 + 2 + 5
+  EXPECT_TRUE(statsPlausible(Ref, mkStats(17, 100, 100, 5, 5), O));
+  EXPECT_FALSE(statsPlausible(Ref, mkStats(18, 100, 100, 5, 5), O));
+}
+
+TEST(Plausibility, AluUtilizationDropBeyondToleranceFails) {
+  SimStats Ref = mkStats(0, 90, 100, 5, 5); // util 0.90
+  ClaimsOptions O;                          // tol 0.02
+  std::string Counter, Detail;
+  EXPECT_TRUE(statsPlausible(Ref, mkStats(0, 89, 100, 5, 5), O));
+  EXPECT_FALSE(
+      statsPlausible(Ref, mkStats(0, 80, 100, 5, 5), O, &Counter, &Detail));
+  EXPECT_EQ(Counter, "alu_util");
+}
+
+TEST(Plausibility, VanishedAluWorkIsNotARegression) {
+  // All VALU work dead after melding + DCE: 0/0 utilization is
+  // undefined, not a drop.
+  SimStats Ref = mkStats(0, 100, 100, 5, 5);
+  EXPECT_TRUE(statsPlausible(Ref, mkStats(0, 0, 0, 5, 5), ClaimsOptions()));
+}
+
+TEST(Plausibility, MemoryInstructionGrowthFails) {
+  SimStats Ref = mkStats(0, 100, 100, 6, 4); // 10 mem issues
+  std::string Counter, Detail;
+  EXPECT_TRUE(statsPlausible(Ref, mkStats(0, 100, 100, 5, 5), ClaimsOptions()));
+  EXPECT_FALSE(statsPlausible(Ref, mkStats(0, 100, 100, 7, 4), ClaimsOptions(),
+                              &Counter, &Detail));
+  EXPECT_EQ(Counter, "mem_insts");
+  ClaimsOptions Loose;
+  Loose.MemInstSlack = 1;
+  EXPECT_TRUE(statsPlausible(Ref, mkStats(0, 100, 100, 7, 4), Loose));
+  Loose.MemInstIncreaseTol = 0.5;
+  EXPECT_TRUE(statsPlausible(Ref, mkStats(0, 100, 100, 12, 4), Loose));
+  EXPECT_FALSE(statsPlausible(Ref, mkStats(0, 100, 100, 13, 4), Loose));
+}
+
+TEST(Plausibility, PolicyExemptsOnlyCoverageConfigs) {
+  ClaimsOptions Base;
+  EXPECT_FALSE(optionsForConfig("darm", Base).Skip);
+  EXPECT_FALSE(optionsForConfig("branch-fusion", Base).Skip);
+  EXPECT_TRUE(optionsForConfig("darm-aggressive", Base).Skip);
+  EXPECT_TRUE(optionsForConfig("darm-nounpred", Base).Skip);
+  // Skip really does disable every counter invariant.
+  ClaimsOptions Off;
+  Off.Skip = true;
+  EXPECT_TRUE(statsPlausible(mkStats(0, 100, 100, 5, 5),
+                             mkStats(99, 1, 100, 50, 50), Off));
+}
+
+TEST(Plausibility, CheckClaimsFlagsMemoryAndValidation) {
+  KernelClaims K;
+  K.Kernel = "unit";
+  K.Configs.push_back({"unmelded", mkStats(5, 10, 10, 2, 0), 0x1234, true});
+  K.Configs.push_back({"darm", mkStats(5, 10, 10, 2, 0), 0x9999, false});
+  std::vector<Violation> Vs = checkClaims(K);
+  ASSERT_EQ(Vs.size(), 2u);
+  EXPECT_EQ(Vs[0].Counter, "validation");
+  EXPECT_EQ(Vs[1].Counter, "memory_image");
+  EXPECT_EQ(Vs[1].Kernel, "unit");
+  EXPECT_EQ(Vs[1].Config, "darm");
+}
+
+//===----------------------------------------------------------------------===//
+// Golden store
+//===----------------------------------------------------------------------===//
+
+GoldenFile sampleGolden() {
+  GoldenFile G;
+  KernelClaims K;
+  K.Kernel = "BIT";
+  K.BlockSize = 32;
+  ConfigMetrics Ref{"unmelded", SimStats(), 0xdeadbeefcafef00dull, true};
+  for (unsigned I = 0; I < SimStats::NumCounters; ++I)
+    Ref.Stats.counter(I) = 1000 + I;
+  K.Configs.push_back(Ref);
+  ConfigMetrics Darm = Ref;
+  Darm.Config = "darm";
+  Darm.Stats.DivergentBranches = 3;
+  K.Configs.push_back(Darm);
+  G.Kernels.push_back(K);
+  return G;
+}
+
+TEST(GoldenStore, JsonRoundTripsBitExact) {
+  GoldenFile G = sampleGolden();
+  std::string Text = toJson(G);
+  GoldenFile Back;
+  std::string Err;
+  ASSERT_TRUE(fromJson(Text, Back, &Err)) << Err;
+  ASSERT_EQ(Back.Kernels.size(), 1u);
+  EXPECT_TRUE(diffClaims(G, Back.Kernels).empty());
+  EXPECT_TRUE(diffClaims(Back, G.Kernels).empty());
+  // And the re-serialization is byte-stable (goldens diff cleanly in
+  // review).
+  EXPECT_EQ(toJson(Back), Text);
+}
+
+TEST(GoldenStore, RejectsMalformedAndWrongSchema) {
+  GoldenFile Out;
+  std::string Err;
+  EXPECT_FALSE(fromJson("{", Out, &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(fromJson("{\"schema\": \"darm-claims-v0\", \"kernels\": []}",
+                        Out, &Err));
+  EXPECT_NE(Err.find("darm-claims-v1"), std::string::npos) << Err;
+  EXPECT_FALSE(fromJson("[1, 2]", Out, &Err));
+  // Missing a counter key is a schema violation, not a silent zero.
+  std::string Text = toJson(sampleGolden());
+  size_t P = Text.find("\"cycles\"");
+  ASSERT_NE(P, std::string::npos);
+  std::string Renamed = Text;
+  Renamed.replace(P, 8, "\"cicles\"");
+  EXPECT_FALSE(fromJson(Renamed, Out, &Err));
+  EXPECT_NE(Err.find("cycles"), std::string::npos) << Err;
+  // A duplicate key would make one value win silently; rejected instead.
+  std::string Dup = Text;
+  Dup.replace(P, 8, "\"cycles\": 1, \"cycles\"");
+  EXPECT_FALSE(fromJson(Dup, Out, &Err));
+  EXPECT_NE(Err.find("duplicate key"), std::string::npos) << Err;
+}
+
+TEST(GoldenStore, DiffReportsPerCounterDelta) {
+  GoldenFile G = sampleGolden();
+  std::vector<KernelClaims> Measured = G.Kernels;
+  Measured[0].Configs[1].Stats.DivergentBranches = 7; // golden records 3
+  std::vector<std::string> Diffs = diffClaims(G, Measured);
+  ASSERT_EQ(Diffs.size(), 1u);
+  EXPECT_NE(Diffs[0].find("BIT/bs32 darm: divergent_branches golden=3 got=7 "
+                          "(+4)"),
+            std::string::npos)
+      << Diffs[0];
+
+  // Missing kernels and configs are reported, in both directions.
+  EXPECT_FALSE(diffClaims(G, {}).empty());
+  GoldenFile Empty;
+  EXPECT_FALSE(diffClaims(Empty, Measured).empty());
+
+  // A config measured but absent from the golden must be reported too
+  // (a config added to claimConfigs() without regenerating would
+  // otherwise run ungated).
+  std::vector<KernelClaims> Extra = G.Kernels;
+  Extra[0].Configs.push_back({"new-config", SimStats(), 0, true});
+  bool SawExtra = false;
+  for (const std::string &Line : diffClaims(G, Extra))
+    if (Line.find("new-config: measured but not recorded") !=
+        std::string::npos)
+      SawExtra = true;
+  EXPECT_TRUE(SawExtra);
+}
+
+//===----------------------------------------------------------------------===//
+// Per-launch stats snapshots
+//===----------------------------------------------------------------------===//
+
+// Multi-launch benchmarks expose one SimStats snapshot per launch
+// (merge sort runs log(n) dependent passes); the snapshots must sum to
+// the aggregate and genuinely differ launch to launch (state
+// accumulates), so launch-resolved analyses can trust them.
+TEST(BenchRun, PerLaunchSnapshotsSumToTotal) {
+  auto B = createBenchmark("MS", 32);
+  ASSERT_NE(B, nullptr);
+  Context Ctx;
+  Module M(Ctx, "MS");
+  Function *F = B->build(M);
+  BenchRun R = runBenchmark(*B, *F);
+  ASSERT_TRUE(R.Valid) << R.Why;
+  ASSERT_EQ(R.PerLaunch.size(), B->numLaunches());
+  ASSERT_GT(R.PerLaunch.size(), 1u);
+  SimStats Sum;
+  for (const SimStats &S : R.PerLaunch)
+    Sum += S;
+  for (unsigned I = 0; I < SimStats::NumCounters; ++I)
+    EXPECT_EQ(Sum.counter(I), R.Total.counter(I)) << SimStats::counterName(I);
+  EXPECT_NE(R.PerLaunch.front().Cycles, R.PerLaunch.back().Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Golden regression gate over the corpus
+//===----------------------------------------------------------------------===//
+
+class ClaimsGolden : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ClaimsGolden, BenchmarkMatchesRecordedGolden) {
+  const std::string Name = GetParam();
+  std::vector<KernelClaims> Measured;
+  for (const BenchCell &Cell : benchmarkCorpus())
+    if (Cell.Name == Name)
+      Measured.push_back(measureBenchmark(Cell));
+  ASSERT_FALSE(Measured.empty());
+
+  // The measurements must satisfy the plausibility invariants too.
+  for (const KernelClaims &K : Measured)
+    for (const Violation &V : checkClaims(K))
+      ADD_FAILURE() << V.str();
+
+  const std::string Path = goldenPath(Name);
+  if (regenMode()) {
+    GoldenFile G;
+    G.Kernels = Measured;
+    std::string Err;
+    ASSERT_TRUE(saveGoldenFile(Path, G, &Err)) << Err;
+    return;
+  }
+  GoldenFile G;
+  std::string Err;
+  ASSERT_TRUE(loadGoldenFile(Path, G, &Err))
+      << Err << "\n(record goldens with DARM_REGEN_GOLDENS=1)";
+  for (const std::string &Line : diffClaims(G, Measured))
+    ADD_FAILURE() << "golden diff: " << Line;
+}
+
+std::vector<std::string> allBenchmarks() {
+  std::vector<std::string> Names = realBenchmarkNames();
+  for (const std::string &N : syntheticBenchmarkNames())
+    Names.push_back(N);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, ClaimsGolden,
+                         ::testing::ValuesIn(allBenchmarks()),
+                         [](const auto &Info) { return Info.param; });
+
+// Pinned fuzz seeds get the same golden treatment: the generator, the
+// transforms and the simulator are all deterministic, so these counters
+// only move when a pass or the generator intentionally changes.
+TEST(ClaimsGoldenFuzz, PinnedSeedsMatchRecordedGolden) {
+  std::vector<KernelClaims> Measured;
+  for (uint64_t Seed = 0; Seed < 8; ++Seed)
+    Measured.push_back(measureFuzz(fuzz::FuzzCase(Seed)));
+  Measured.push_back(aggregateClaims(Measured, "fuzz-pinned-aggregate"));
+
+  // Per-seed plausibility at the generated-kernel profile; the pinned
+  // aggregate must hold at the population profile.
+  const ClaimsOptions FuzzOpts = ClaimsOptions::forGeneratedKernels();
+  for (const KernelClaims &K : Measured) {
+    const bool IsAgg = K.Kernel == "fuzz-pinned-aggregate";
+    for (const Violation &V : checkClaims(
+             K, IsAgg ? ClaimsOptions::forGeneratedAggregate() : FuzzOpts))
+      ADD_FAILURE() << V.str();
+  }
+
+  const std::string Path = goldenPath("fuzz");
+  if (regenMode()) {
+    GoldenFile G;
+    G.Kernels = Measured;
+    std::string Err;
+    ASSERT_TRUE(saveGoldenFile(Path, G, &Err)) << Err;
+    return;
+  }
+  GoldenFile G;
+  std::string Err;
+  ASSERT_TRUE(loadGoldenFile(Path, G, &Err))
+      << Err << "\n(record goldens with DARM_REGEN_GOLDENS=1)";
+  for (const std::string &Line : diffClaims(G, Measured))
+    ADD_FAILURE() << "golden diff: " << Line;
+}
+
+//===----------------------------------------------------------------------===//
+// Injected regression: the goldens must catch a melder that silently
+// stops removing divergent branches, with a per-counter diff.
+//===----------------------------------------------------------------------===//
+
+TEST(ClaimsGolden, InjectedRegressionIsCaughtPerCounter) {
+  if (regenMode())
+    GTEST_SKIP() << "golden files being regenerated";
+
+  // Sabotage: "darm" becomes the identity transform, so every divergent
+  // branch the melder used to remove survives.
+  std::vector<ClaimConfig> Sabotaged = claimConfigs();
+  for (ClaimConfig &C : Sabotaged)
+    if (C.Name == "darm")
+      C.Transform = [](Function &) {};
+  KernelClaims Tampered = measureBenchmark({"BIT", 32}, Sabotaged);
+
+  GoldenFile G;
+  std::string Err;
+  ASSERT_TRUE(loadGoldenFile(goldenPath("BIT"), G, &Err)) << Err;
+  GoldenFile Cell; // restrict to the tampered cell
+  for (const KernelClaims &K : G.Kernels)
+    if (K.BlockSize == 32)
+      Cell.Kernels.push_back(K);
+  ASSERT_EQ(Cell.Kernels.size(), 1u);
+
+  std::vector<std::string> Diffs = diffClaims(Cell, {Tampered});
+  ASSERT_FALSE(Diffs.empty());
+  bool SawDivergentBranches = false;
+  for (const std::string &Line : Diffs)
+    if (Line.find("darm: divergent_branches") != std::string::npos &&
+        Line.find("golden=") != std::string::npos)
+      SawDivergentBranches = true;
+  EXPECT_TRUE(SawDivergentBranches)
+      << "expected a per-counter divergent_branches diff; got:\n"
+      << ::testing::PrintToString(Diffs);
+
+  // And the unmelded reference cells still agree — the diff isolates the
+  // sabotaged config rather than flagging everything.
+  for (const std::string &Line : Diffs)
+    EXPECT_EQ(Line.find("unmelded:"), std::string::npos) << Line;
+}
+
+} // namespace

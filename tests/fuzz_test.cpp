@@ -13,11 +13,15 @@
 #include "darm/fuzz/DiffOracle.h"
 #include "darm/fuzz/Minimizer.h"
 #include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
 #include "darm/ir/IRParser.h"
 #include "darm/ir/IRPrinter.h"
 #include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
 #include "darm/sim/Simulator.h"
 #include "darm/support/ErrorHandling.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/SimplifyCFG.h"
 
 #include <gtest/gtest.h>
 
@@ -64,6 +68,70 @@ TEST(Generator, GeometryIsSelfConsistent) {
     EXPECT_EQ(C.SharedElems % C.Launch.BlockDimX, 0u);
     EXPECT_GE(C.IntElems - C.IntInputElems, Total);
   }
+}
+
+// The generator must actually exercise the shfl.sync construct, and the
+// cases that do must be deterministic and oracle-clean like any other.
+TEST(Generator, ShflSyncSeedsAreGeneratedAndDeterministic) {
+  int64_t ShflSeed = -1;
+  for (uint64_t Seed = 0; Seed < 200 && ShflSeed < 0; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "scan");
+    FuzzCase C(Seed);
+    if (printFunction(*buildFuzzKernel(M, C)).find("shfl.sync") !=
+        std::string::npos)
+      ShflSeed = static_cast<int64_t>(Seed);
+  }
+  ASSERT_GE(ShflSeed, 0) << "no seed in [0, 200) generated a shfl.sync";
+
+  FuzzCase C(static_cast<uint64_t>(ShflSeed));
+  Context C1, C2;
+  Module M1(C1, "a"), M2(C2, "b");
+  EXPECT_EQ(printFunction(*buildFuzzKernel(M1, C)),
+            printFunction(*buildFuzzKernel(M2, C)));
+  OracleResult R = runOracle(C);
+  EXPECT_FALSE(R.Mismatch) << R.Config << ": " << R.Detail;
+}
+
+// Multi-launch seeds replay the same kernel over accumulating memory
+// (decode-once/run-many). The replay must be deterministic, and the
+// second launch must actually observe the first one's stores.
+TEST(Generator, MultiLaunchSeedsAreGeneratedAndDeterministic) {
+  int64_t MLSeed = -1;
+  for (uint64_t Seed = 0; Seed < 100 && MLSeed < 0; ++Seed)
+    if (FuzzCase(Seed).NumLaunches > 1)
+      MLSeed = static_cast<int64_t>(Seed);
+  ASSERT_GE(MLSeed, 0) << "no seed in [0, 100) is multi-launch";
+
+  FuzzCase C(static_cast<uint64_t>(MLSeed));
+  Context Ctx;
+  Module M(Ctx, "ml");
+  Function *F = buildFuzzKernel(M, C);
+
+  auto Run = [&](const FuzzCase &Case) {
+    GlobalMemory Mem;
+    std::vector<uint64_t> Args = setupFuzzMemory(Case, Mem);
+    std::string Fatal;
+    SimStats S = simulateFuzzCase(*F, Case, Args, Mem, &Fatal);
+    EXPECT_TRUE(Fatal.empty()) << Fatal;
+    return std::pair<uint64_t, uint64_t>(S.InstructionsIssued,
+                                         hashMemoryImage(Mem));
+  };
+
+  auto First = Run(C);
+  auto Second = Run(C);
+  EXPECT_EQ(First, Second) << "multi-launch replay is not deterministic";
+
+  // One launch of the same kernel issues strictly less and (for any
+  // kernel that reads back its own cells) ends in a different image.
+  FuzzCase OneShot = C;
+  OneShot.NumLaunches = 1;
+  auto Single = Run(OneShot);
+  EXPECT_LT(Single.first, First.first);
+
+  // And the full oracle is clean across every config for this seed.
+  OracleResult R = runOracle(C);
+  EXPECT_FALSE(R.Mismatch) << R.Config << ": " << R.Detail;
 }
 
 TEST(Oracle, CleanSweep) {
@@ -116,6 +184,65 @@ TEST(Oracle, CatchesInjectedBugAndMinimizes) {
       << "minimizer barely reduced: " << MinSize << " vs " << OrigSize;
 }
 
+/// A "melder" that adds a useless divergent diamond before the return:
+/// memory is untouched (both arms are empty), so the memory-diff axes
+/// stay clean — only the claims axis can catch the extra dynamic
+/// divergent branch. Runs the real cleanup first so the counters match
+/// the oracle's claims baseline except for the injected branch.
+void injectDivergentBranch(Function &F) {
+  simplifyCFG(F);
+  eliminateDeadCode(F);
+  BasicBlock *RetBB = nullptr;
+  for (BasicBlock *BB : F)
+    if (isa<RetInst>(BB->getTerminator()))
+      RetBB = BB;
+  ASSERT_NE(RetBB, nullptr);
+  RetBB->getTerminator()->eraseFromParent();
+
+  IRBuilder B(F.getContext());
+  BasicBlock *T = F.createBlock("inj.t");
+  BasicBlock *E = F.createBlock("inj.e");
+  BasicBlock *J = F.createBlock("inj.j");
+  B.setInsertPoint(RetBB);
+  Value *Lane = B.createCall(Intrinsic::LaneId, {}, "inj.lane");
+  Value *Cond = B.createICmp(ICmpPred::EQ, B.createAnd(Lane, B.getInt32(1)),
+                             B.getInt32(0), "inj.c");
+  B.createCondBr(Cond, T, E);
+  B.setInsertPoint(T);
+  B.createBr(J);
+  B.setInsertPoint(E);
+  B.createBr(J);
+  B.setInsertPoint(J);
+  B.createRet();
+}
+
+TEST(Oracle, CatchesClaimsRegressionAndMinimizes) {
+  FuzzCase C(0);
+  OracleOptions Opts;
+  Opts.Configs.push_back({"inject-divergence", injectDivergentBranch});
+  Opts.RoundTrip = false;
+  Opts.ClaimsOpts = check::ClaimsOptions(); // strict: any extra branch trips
+  OracleResult R = runOracle(C, Opts);
+  ASSERT_TRUE(R.Mismatch);
+  EXPECT_EQ(R.Config, "inject-divergence");
+  EXPECT_NE(R.Detail.find("claims: divergent_branches"), std::string::npos)
+      << R.Detail;
+  // The finding minimized like any memory mismatch would.
+  ASSERT_FALSE(R.ReproIR.empty());
+  Context Ctx;
+  std::string Err;
+  auto M = parseModule(Ctx, R.ReproIR, &Err);
+  ASSERT_NE(M, nullptr) << Err;
+  Context OCtx;
+  Module OM(OCtx, "orig");
+  EXPECT_LT(M->functions().front()->getInstructionCount(),
+            buildFuzzKernel(OM, C)->getInstructionCount() / 2);
+  // With the claims axis off, the injected config is indistinguishable
+  // from a correct transform.
+  Opts.Claims = false;
+  EXPECT_FALSE(runOracle(C, Opts).Mismatch);
+}
+
 TEST(Oracle, ReproHeaderRoundTrips) {
   FuzzCase C(77);
   OracleResult R;
@@ -141,6 +268,7 @@ TEST(Oracle, ReproHeaderRoundTrips) {
   EXPECT_EQ(Config, "darm-nounpred");
   EXPECT_EQ(C2.Launch.GridDimX, C.Launch.GridDimX);
   EXPECT_EQ(C2.Launch.BlockDimX, C.Launch.BlockDimX);
+  EXPECT_EQ(C2.NumLaunches, C.NumLaunches);
   EXPECT_EQ(C2.IntElems, C.IntElems);
   EXPECT_EQ(C2.IntInputElems, C.IntInputElems);
   EXPECT_EQ(C2.FloatElems, C.FloatElems);

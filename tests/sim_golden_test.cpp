@@ -226,15 +226,6 @@ const GoldenRow kGoldens[] = {
      0x17698a958c768b15ull},
 };
 
-uint64_t hashMemory(const GlobalMemory &Mem) {
-  uint64_t H = 1469598103934665603ull; // FNV-1a 64
-  for (uint64_t A = 0; A < Mem.size(); ++A) {
-    H ^= Mem.load(A, 1);
-    H *= 1099511628211ull;
-  }
-  return H;
-}
-
 struct RunOutcome {
   SimStats Stats;
   uint64_t MemHash = 0;
@@ -254,18 +245,10 @@ RunOutcome simulate(const std::string &Name, unsigned BlockSize, bool Meld) {
   simplifyCFG(*F);
   eliminateDeadCode(*F);
 
-  GlobalMemory Mem;
-  std::vector<uint64_t> Base = B->setup(Mem);
-  RunOutcome O;
-  SimEngine Engine(*F);
-  for (unsigned L = 0, E = B->numLaunches(); L != E; ++L)
-    O.Stats += Engine.run(B->launch(), B->argsForLaunch(L, Base), Mem);
-  std::string Why;
-  O.Valid = B->validate(Mem, Base, &Why);
-  EXPECT_TRUE(O.Valid) << Name << " bs=" << BlockSize << " meld=" << Meld
-                       << ": " << Why;
-  O.MemHash = hashMemory(Mem);
-  return O;
+  BenchRun R = runBenchmark(*B, *F);
+  EXPECT_TRUE(R.Valid) << Name << " bs=" << BlockSize << " meld=" << Meld
+                       << ": " << R.Why;
+  return {R.Total, R.MemHash, R.Valid};
 }
 
 TEST(SimGolden, StatsAndMemoryBitIdentical) {
@@ -329,11 +312,11 @@ TEST(SimGolden, EngineReplayIsDeterministic) {
     EXPECT_TRUE(B->validate(Mem, Base, &Why)) << Why;
     if (Round == 0) {
       First = S;
-      FirstHash = hashMemory(Mem);
+      FirstHash = hashMemoryImage(Mem);
     } else {
       EXPECT_EQ(S.Cycles, First.Cycles);
       EXPECT_EQ(S.InstructionsIssued, First.InstructionsIssued);
-      EXPECT_EQ(hashMemory(Mem), FirstHash);
+      EXPECT_EQ(hashMemoryImage(Mem), FirstHash);
     }
   }
 }

@@ -1,0 +1,182 @@
+//===- sim_stats_test.cpp - SimStats counter semantics ----------------------------===//
+//
+// Pins the *meaning* of every SimStats counter with hand-built kernels
+// whose dynamic counts are derivable on paper, across warp sizes 1, 8,
+// 32 and 64 (the full supported mask range). The sim goldens
+// (sim_golden_test.cpp) pin counter values for the benchmark corpus but
+// say nothing about what each counter measures; the claims subsystem
+// (docs/claims.md) builds invariants on these semantics, so they get
+// their own suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/Module.h"
+#include "darm/sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+/// One divergent diamond: lanes 0-3 take the true arm. With warp size
+/// <= 4 the branch is dynamically uniform; wider warps split the mask.
+///
+/// Per-warp issue sequence (phi edge copies are free — they decode into
+/// parallel copies, not issued instructions):
+///   laneid, icmp            2 VALU at full mask
+///   condbr                  1 branch (divergent iff WS > 4)
+///   add (true arm)          1 VALU at min(4, WS) lanes
+///   mul (false arm, only when divergent)   1 VALU at WS-4 lanes
+///   br per executed arm     1 or 2 branches
+///   gep                     1 VALU at full mask
+///   store                   1 vector-memory issue
+///   ret                     1 branch
+const char *kDiamond = R"(func @diamond(i32 addrspace(1)* %out) -> void {
+entry:
+  %lane = call i32 @darm.laneid()
+  %c = icmp slt i32 %lane, 4
+  condbr i1 %c, label %t, label %e
+t:
+  %a = add i32 %lane, 1
+  br label %j
+e:
+  %b = mul i32 %lane, 2
+  br label %j
+j:
+  %v = phi i32 [ %a, %t ], [ %b, %e ]
+  %p = gep i32 addrspace(1)* %out, i32 %lane
+  store i32 %v, i32 addrspace(1)* %p
+  ret
+}
+)";
+
+/// LDS traffic: one shared store + one shared load per lane-private
+/// cell, one global store, one barrier.
+const char *kShared = R"(func @sh(i32 addrspace(1)* %out) -> void {
+  shared @sh = i32[64]
+entry:
+  %tid = call i32 @darm.tid.x()
+  %p = gep i32 addrspace(3)* @sh, i32 %tid
+  store i32 %tid, i32 addrspace(3)* %p
+  call void @darm.barrier()
+  %v = load i32 addrspace(3)* %p
+  %q = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %v, i32 addrspace(1)* %q
+  ret
+}
+)";
+
+SimStats runStats(const char *Text, unsigned WarpSize, unsigned BlockDim) {
+  Context Ctx;
+  std::string Err;
+  auto M = parseModule(Ctx, Text, &Err);
+  EXPECT_NE(M, nullptr) << Err;
+  GpuConfig Cfg;
+  Cfg.WarpSize = WarpSize;
+  GlobalMemory Mem;
+  uint64_t Out = Mem.allocate(256 * 4, "out");
+  return runKernel(*M->functions().front(), {1, BlockDim}, {Out}, Mem, Cfg);
+}
+
+TEST(SimStats, UniformWarpOfOne) {
+  // WS=1: every branch is dynamically uniform; only the true arm runs.
+  SimStats S = runStats(kDiamond, 1, 1);
+  EXPECT_EQ(S.DivergentBranches, 0u);
+  EXPECT_EQ(S.BranchesExecuted, 3u); // condbr, br(t), ret
+  EXPECT_EQ(S.AluInsts, 4u);         // laneid, icmp, add, gep
+  EXPECT_EQ(S.AluLanesActive, 4u);
+  EXPECT_EQ(S.AluLanesTotal, 4u);
+  EXPECT_EQ(S.VectorMemInsts, 1u);
+  EXPECT_EQ(S.SharedMemInsts, 0u);
+  EXPECT_EQ(S.InstructionsIssued, 8u);
+  EXPECT_DOUBLE_EQ(S.aluUtilization(), 1.0);
+}
+
+struct DivergentCase {
+  unsigned WarpSize;
+  uint64_t LanesActive; // 2*WS (entry) + 4 + (WS-4) + WS (gep)
+  uint64_t LanesTotal;  // 5 VALU issues * WS
+};
+
+class SimStatsDivergent : public ::testing::TestWithParam<DivergentCase> {};
+
+TEST_P(SimStatsDivergent, OneWarpCountersAreExact) {
+  const DivergentCase &C = GetParam();
+  SimStats S = runStats(kDiamond, C.WarpSize, C.WarpSize);
+  EXPECT_EQ(S.DivergentBranches, 1u);
+  EXPECT_EQ(S.BranchesExecuted, 4u); // condbr, br(t), br(e), ret
+  EXPECT_EQ(S.AluInsts, 5u);         // laneid, icmp, add, mul, gep
+  EXPECT_EQ(S.AluLanesActive, C.LanesActive);
+  EXPECT_EQ(S.AluLanesTotal, C.LanesTotal);
+  EXPECT_EQ(S.VectorMemInsts, 1u);
+  EXPECT_EQ(S.InstructionsIssued, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WarpSizes, SimStatsDivergent,
+                         ::testing::Values(DivergentCase{8, 32u, 40u},
+                                           DivergentCase{32, 128u, 160u},
+                                           DivergentCase{64, 256u, 320u}),
+                         [](const auto &Info) {
+                           return "ws" +
+                                  std::to_string(Info.param.WarpSize);
+                         });
+
+TEST(SimStats, MultiWarpBlockScalesCounters) {
+  // Two warps of 8: each splits the mask once and issues independently.
+  SimStats S = runStats(kDiamond, 8, 16);
+  EXPECT_EQ(S.DivergentBranches, 2u);
+  EXPECT_EQ(S.BranchesExecuted, 8u);
+  EXPECT_EQ(S.AluInsts, 10u);
+  EXPECT_EQ(S.AluLanesActive, 64u);
+  EXPECT_EQ(S.AluLanesTotal, 80u);
+  EXPECT_EQ(S.VectorMemInsts, 2u);
+}
+
+TEST(SimStats, SharedMemCountsLdsNotGlobal) {
+  for (unsigned WS : {1u, 8u, 32u, 64u}) {
+    SimStats S = runStats(kShared, WS, WS);
+    EXPECT_EQ(S.SharedMemInsts, 2u) << "ws=" << WS;  // LDS store + load
+    EXPECT_EQ(S.VectorMemInsts, 1u) << "ws=" << WS;  // global store only
+    EXPECT_EQ(S.DivergentBranches, 0u) << "ws=" << WS;
+    // tid, gep, gep are the VALU work; barrier issues but is not VALU.
+    EXPECT_EQ(S.AluInsts, 3u) << "ws=" << WS;
+    EXPECT_EQ(S.InstructionsIssued, 8u) << "ws=" << WS;
+  }
+}
+
+TEST(SimStats, AggregationSumsEveryCounter) {
+  SimStats A, B;
+  for (unsigned I = 0; I < SimStats::NumCounters; ++I) {
+    A.counter(I) = I + 1;
+    B.counter(I) = 100 + I;
+  }
+  A += B;
+  for (unsigned I = 0; I < SimStats::NumCounters; ++I)
+    EXPECT_EQ(A.counter(I), (I + 1) + (100 + I)) << SimStats::counterName(I);
+}
+
+TEST(SimStats, CounterTableMatchesNamedFields) {
+  SimStats S;
+  S.Cycles = 1;
+  S.TotalWarpCycles = 2;
+  S.InstructionsIssued = 3;
+  S.AluInsts = 4;
+  S.VectorMemInsts = 5;
+  S.SharedMemInsts = 6;
+  S.BranchesExecuted = 7;
+  S.DivergentBranches = 8;
+  S.AluLanesActive = 9;
+  S.AluLanesTotal = 10;
+  for (unsigned I = 0; I < SimStats::NumCounters; ++I)
+    EXPECT_EQ(S.counter(I), I + 1) << SimStats::counterName(I);
+  // Names are non-null and unique (serialization keys).
+  for (unsigned I = 0; I < SimStats::NumCounters; ++I)
+    for (unsigned J = I + 1; J < SimStats::NumCounters; ++J)
+      EXPECT_STRNE(SimStats::counterName(I), SimStats::counterName(J));
+}
+
+} // namespace

@@ -8,10 +8,13 @@
 //   darm_fuzz --seed 42                      one seed
 //   darm_fuzz --repro fuzz42.darm            re-check a written repro
 //   darm_fuzz --dump 42                      print the generated kernel
+//     --shards N:i     sweep only seeds with seed % N == i (process-level
+//                      parallelism for the nightly budget)
 //     --out DIR        where to write repros (default ".")
 //     --configs a,b    run only the named transform axes
 //     --no-roundtrip   skip the print->parse axis
 //     --no-minimize    report un-minimized repros
+//     --no-claims      skip the SimStats plausibility axis (docs/claims.md)
 //     --max-failures N stop after N mismatches (default 8)
 //     --quiet          no per-seed progress
 //
@@ -24,6 +27,7 @@
 #include "darm/ir/IRParser.h"
 #include "darm/ir/IRPrinter.h"
 #include "darm/ir/Module.h"
+#include "darm/support/Shards.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,23 +45,14 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s (--seed-range A:B | --seed S | --repro FILE | "
-               "--dump S) [--out DIR] [--configs a,b] [--no-roundtrip] "
-               "[--no-minimize] [--max-failures N] [--quiet]\n",
+               "--dump S) [--shards N:i] [--out DIR] [--configs a,b] "
+               "[--no-roundtrip] [--no-minimize] [--no-claims] "
+               "[--max-failures N] [--quiet]\n",
                Argv0);
   return 2;
 }
 
-std::vector<std::string> splitList(const std::string &S) {
-  std::vector<std::string> Out;
-  std::istringstream In(S);
-  std::string Item;
-  while (std::getline(In, Item, ','))
-    if (!Item.empty())
-      Out.push_back(Item);
-  return Out;
-}
-
-int runRepro(const std::string &Path) {
+int runRepro(const std::string &Path, const OracleOptions &Opts) {
   std::ifstream In(Path);
   if (!In) {
     std::fprintf(stderr, "cannot open '%s'\n", Path.c_str());
@@ -82,7 +77,7 @@ int runRepro(const std::string &Path) {
     return 2;
   }
   OracleResult R =
-      checkRepro(*M->functions().front(), C, Config);
+      checkRepro(*M->functions().front(), C, Config, Opts);
   if (R.Mismatch) {
     std::printf("REPRODUCED seed %llu config %s: %s\n",
                 static_cast<unsigned long long>(C.Seed), R.Config.c_str(),
@@ -104,6 +99,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> ConfigNames;
   OracleOptions Opts;
   unsigned MaxFailures = 8;
+  unsigned Shards = 1, ShardIdx = 0;
   bool Quiet = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -119,11 +115,10 @@ int main(int argc, char **argv) {
       const char *V = NextVal("--seed-range");
       if (!V)
         return 2;
-      const char *Colon = std::strchr(V, ':');
-      if (!Colon)
-        return usage(argv[0]);
-      Lo = std::strtoull(V, nullptr, 10);
-      Hi = std::strtoull(Colon + 1, nullptr, 10);
+      if (!darm::parseSeedRange(V, Lo, Hi)) {
+        std::fprintf(stderr, "--seed-range expects LO:HI with HI > LO\n");
+        return 2;
+      }
       HaveRange = true;
     } else if (Arg == "--seed") {
       const char *V = NextVal("--seed");
@@ -152,10 +147,20 @@ int main(int argc, char **argv) {
       if (!V)
         return 2;
       ConfigNames = splitList(V);
+    } else if (Arg == "--shards") {
+      const char *V = NextVal("--shards");
+      if (!V)
+        return 2;
+      if (!darm::parseShardSpec(V, Shards, ShardIdx)) {
+        std::fprintf(stderr, "--shards expects N:i with 0 <= i < N\n");
+        return 2;
+      }
     } else if (Arg == "--no-roundtrip") {
       Opts.RoundTrip = false;
     } else if (Arg == "--no-minimize") {
       Opts.Minimize = false;
+    } else if (Arg == "--no-claims") {
+      Opts.Claims = false;
     } else if (Arg == "--max-failures") {
       const char *V = NextVal("--max-failures");
       if (!V)
@@ -173,7 +178,7 @@ int main(int argc, char **argv) {
   }
 
   if (!ReproPath.empty())
-    return runRepro(ReproPath);
+    return runRepro(ReproPath, Opts);
 
   if (DumpSeed >= 0) {
     Context Ctx;
@@ -201,13 +206,17 @@ int main(int argc, char **argv) {
   }
 
   unsigned Failures = 0;
+  uint64_t Swept = 0;
   for (uint64_t Seed = Lo; Seed < Hi && Failures < MaxFailures; ++Seed) {
+    if (!darm::inShard(Seed, Shards, ShardIdx))
+      continue;
+    ++Swept;
     FuzzCase C(Seed);
     OracleResult R = runOracle(C, Opts);
     if (!R.Mismatch) {
-      if (!Quiet && (Seed - Lo) % 100 == 99)
+      if (!Quiet && Swept % 100 == 0)
         std::fprintf(stderr, "... %llu seeds clean\n",
-                     static_cast<unsigned long long>(Seed - Lo + 1));
+                     static_cast<unsigned long long>(Swept));
       continue;
     }
     ++Failures;
@@ -229,9 +238,20 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(Hi));
     return 1;
   }
-  std::printf("all %llu seed(s) clean across %zu transform config(s)%s\n",
-              static_cast<unsigned long long>(Hi - Lo),
+  if (Swept == 0) {
+    // e.g. --seed 5 --shards 4:2: the shard filter emptied the range; a
+    // run that tested nothing must not report a clean sweep.
+    std::fprintf(stderr,
+                 "no seeds in [%llu, %llu) fall in shard %u of %u — "
+                 "nothing was tested\n",
+                 static_cast<unsigned long long>(Lo),
+                 static_cast<unsigned long long>(Hi), ShardIdx, Shards);
+    return 2;
+  }
+  std::printf("all %llu seed(s) clean across %zu transform config(s)%s%s\n",
+              static_cast<unsigned long long>(Swept),
               (Opts.Configs.empty() ? defaultConfigs() : Opts.Configs).size(),
-              Opts.RoundTrip ? " + roundtrip" : "");
+              Opts.RoundTrip ? " + roundtrip" : "",
+              Opts.Claims ? " + claims" : "");
   return 0;
 }

@@ -10,11 +10,15 @@
 // Emits machine-readable JSON (stdout or --out FILE) so CI can track the
 // number per commit:
 //
-//   sim_throughput [--repeat N] [--pipeline baseline|darm|both] [--out FILE]
+//   sim_throughput [--repeat N] [--pipeline baseline|darm|both]
+//                  [--jobs N] [--out FILE]
 //
 // Each cell decodes its kernel once (SimEngine) and replays it N times;
 // results are host-validated on the first repeat so a fast-but-wrong
-// simulator can never report a score.
+// simulator can never report a score. --jobs fans the cells over the
+// in-process pool (support/Parallel.h); each cell still times its own
+// wall seconds, but contention inflates them, so the default stays 1
+// (the tracked trajectory is single-thread) and parallelism is opt-in.
 //
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +31,8 @@
 #include "darm/kernels/Benchmark.h"
 #include "darm/sim/Simulator.h"
 #include "darm/support/ErrorHandling.h"
+#include "darm/support/Parallel.h"
+#include "darm/support/Shards.h"
 #include "darm/transform/DCE.h"
 #include "darm/transform/SimplifyCFG.h"
 
@@ -99,6 +105,10 @@ Cell runThroughputCell(const std::string &Name, unsigned BS, bool Meld,
 
 int main(int argc, char **argv) {
   unsigned Repeat = 3;
+  // Unlike the sweep drivers, this is a *timing* bench: the tracked
+  // instrs/sec number is only commit-comparable single-threaded, so
+  // parallel cell execution is opt-in rather than the default.
+  unsigned Jobs = 1;
   bool RunBaseline = true, RunDarm = true;
   const char *OutPath = nullptr;
   bool Usage = false;
@@ -109,6 +119,9 @@ int main(int argc, char **argv) {
         Usage = true;
       else
         Repeat = static_cast<unsigned>(N);
+    } else if (!std::strcmp(argv[I], "--jobs") && I + 1 < argc) {
+      if (!parseJobs(argv[++I], Jobs))
+        Usage = true;
     } else if (!std::strcmp(argv[I], "--pipeline") && I + 1 < argc) {
       ++I;
       if (!std::strcmp(argv[I], "baseline")) {
@@ -127,19 +140,31 @@ int main(int argc, char **argv) {
   if (Usage) {
     std::fprintf(stderr,
                  "usage: %s [--repeat N>=1] [--pipeline baseline|darm|both] "
-                 "[--out FILE]\n",
+                 "[--jobs N>=1] [--out FILE]\n",
                  argv[0]);
     return 2;
   }
 
-  std::vector<Cell> Cells;
+  struct CellSpec {
+    std::string Name;
+    unsigned BS;
+    bool Meld;
+  };
+  std::vector<CellSpec> Specs;
   for (const std::string &Name : syntheticBenchmarkNames())
     for (unsigned BS : paperBlockSizes(Name)) {
       if (RunBaseline)
-        Cells.push_back(runThroughputCell(Name, BS, /*Meld=*/false, Repeat));
+        Specs.push_back({Name, BS, false});
       if (RunDarm)
-        Cells.push_back(runThroughputCell(Name, BS, /*Meld=*/true, Repeat));
+        Specs.push_back({Name, BS, true});
     }
+  // Cells are independent (each builds into its own Context); the pool
+  // fans them out and the result order is fixed by the spec list.
+  ThreadPool Pool(Jobs);
+  std::vector<Cell> Cells = parallelMap<Cell>(Pool, Specs.size(), [&](size_t I) {
+    return runThroughputCell(Specs[I].Name, Specs[I].BS, Specs[I].Meld,
+                             Repeat);
+  });
 
   uint64_t TotalInstrs = 0;
   double TotalSec = 0;
@@ -159,6 +184,7 @@ int main(int argc, char **argv) {
   std::fprintf(Out, "  \"schema\": \"darm-sim-throughput-v1\",\n");
   std::fprintf(Out, "  \"suite\": \"fig8_synthetic\",\n");
   std::fprintf(Out, "  \"repeat\": %u,\n", Repeat);
+  std::fprintf(Out, "  \"jobs\": %u,\n", Jobs);
   std::fprintf(Out, "  \"cells\": [\n");
   for (size_t I = 0; I < Cells.size(); ++I) {
     const Cell &C = Cells[I];

@@ -1,0 +1,182 @@
+//===- sweep_throughput.cpp - Sweep-engine throughput harness ---------------------===//
+//
+// Measures the throughput of the two nightly sweep drivers — the
+// differential fuzz oracle (seeds/sec) and the claims corpus runner
+// (cells/sec) — single-threaded and fanned over the in-process worker
+// pool (support/Parallel.h, docs/performance.md), so the parallel sweep
+// engine's scaling is tracked per commit the same way sim_throughput
+// tracks the simulator.
+//
+// Emits machine-readable JSON (schema darm-sweep-throughput-v1):
+//
+//   sweep_throughput [--seeds N] [--jobs N] [--out FILE]
+//
+// Every jobs>1 run re-verifies its results against the jobs=1 run
+// (findings list and claims aggregate must be byte-identical), so a
+// fast-but-nondeterministic sweep engine can never report a score.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/check/CorpusRunner.h"
+#include "darm/check/GoldenStore.h"
+#include "darm/fuzz/DiffOracle.h"
+#include "darm/support/ErrorHandling.h"
+#include "darm/support/Parallel.h"
+#include "darm/support/Shards.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <vector>
+
+using namespace darm;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct SweepCell {
+  const char *Sweep; ///< "fuzz" or "corpus"
+  unsigned Jobs = 1;
+  uint64_t Items = 0;
+  double Seconds = 0;
+  double ItemsPerSec() const { return Seconds > 0 ? Items / Seconds : 0; }
+};
+
+/// One fuzz sweep over [0, NumSeeds); returns the finding fingerprint so
+/// parallel runs can be checked against the sequential one.
+SweepCell runFuzzSweep(unsigned Jobs, uint64_t NumSeeds,
+                       std::string &Findings) {
+  std::vector<uint64_t> Seeds(NumSeeds);
+  std::iota(Seeds.begin(), Seeds.end(), uint64_t{0});
+  fuzz::OracleOptions Opts;
+  Opts.Minimize = false; // measure the sweep, not the (rare) shrink
+  ThreadPool Pool(Jobs);
+  Findings.clear();
+  SweepCell C{"fuzz", Jobs, NumSeeds, 0};
+  const double T0 = now();
+  fuzz::sweepSeeds(Pool, Seeds, Opts,
+                   [&](uint64_t Seed, const fuzz::OracleResult &R) {
+                     if (R.Mismatch)
+                       Findings += std::to_string(Seed) + ":" + R.Config +
+                                   ":" + R.Detail + "\n";
+                     return true;
+                   });
+  C.Seconds = now() - T0;
+  return C;
+}
+
+/// One corpus measurement over every benchmark cell; returns the
+/// serialized claims so parallel runs can be checked.
+SweepCell runCorpusSweep(unsigned Jobs, std::string &Json) {
+  const std::vector<check::BenchCell> Cells = check::benchmarkCorpus();
+  ThreadPool Pool(Jobs);
+  SweepCell C{"corpus", Jobs, Cells.size(), 0};
+  const double T0 = now();
+  check::GoldenFile G;
+  G.Kernels = check::measureCorpus(Pool, Cells, {});
+  C.Seconds = now() - T0;
+  Json = check::toJson(G);
+  return C;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  uint64_t NumSeeds = 200;
+  unsigned Jobs = hardwareParallelism();
+  const char *OutPath = nullptr;
+  bool Usage = false;
+  for (int I = 1; I < argc && !Usage; ++I) {
+    if (!std::strcmp(argv[I], "--seeds") && I + 1 < argc) {
+      // Same strictness as parseJobs: digits only, no silent garbage,
+      // and a sane cap (also rejecting strtoull's overflow saturation).
+      const char *V = argv[++I];
+      char *End = nullptr;
+      NumSeeds = std::strtoull(V, &End, 10);
+      if (*V < '0' || *V > '9' || *End != '\0' || NumSeeds == 0 ||
+          NumSeeds > 100'000'000)
+        Usage = true;
+    } else if (!std::strcmp(argv[I], "--jobs") && I + 1 < argc) {
+      if (!parseJobs(argv[++I], Jobs))
+        Usage = true;
+    } else if (!std::strcmp(argv[I], "--out") && I + 1 < argc) {
+      OutPath = argv[++I];
+    } else {
+      Usage = true;
+    }
+  }
+  if (Usage) {
+    std::fprintf(stderr, "usage: %s [--seeds N>=1] [--jobs N>=1] [--out FILE]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::vector<SweepCell> Cells;
+  std::string Findings1, FindingsN, Json1, JsonN;
+  Cells.push_back(runFuzzSweep(1, NumSeeds, Findings1));
+  Cells.push_back(runCorpusSweep(1, Json1));
+  if (Jobs > 1) {
+    Cells.push_back(runFuzzSweep(Jobs, NumSeeds, FindingsN));
+    Cells.push_back(runCorpusSweep(Jobs, JsonN));
+    // A parallel sweep that reports different results than the
+    // sequential one must never publish a throughput number.
+    if (FindingsN != Findings1)
+      reportFatalError("parallel fuzz sweep diverged from --jobs 1");
+    if (JsonN != Json1)
+      reportFatalError("parallel corpus sweep diverged from --jobs 1");
+  }
+
+  const double FuzzSpeedup =
+      Jobs > 1 && Cells[2].Seconds > 0 ? Cells[0].Seconds / Cells[2].Seconds
+                                       : 1.0;
+  const double CorpusSpeedup =
+      Jobs > 1 && Cells[3].Seconds > 0 ? Cells[1].Seconds / Cells[3].Seconds
+                                       : 1.0;
+
+  FILE *Out = stdout;
+  if (OutPath) {
+    Out = std::fopen(OutPath, "w");
+    if (!Out)
+      reportFatalError("cannot open --out file for writing");
+  }
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"schema\": \"darm-sweep-throughput-v1\",\n");
+  std::fprintf(Out, "  \"jobs\": %u,\n", Jobs);
+  std::fprintf(Out, "  \"fuzz_seeds\": %llu,\n",
+               static_cast<unsigned long long>(NumSeeds));
+  std::fprintf(Out, "  \"cells\": [\n");
+  for (size_t I = 0; I < Cells.size(); ++I) {
+    const SweepCell &C = Cells[I];
+    std::fprintf(Out,
+                 "    {\"sweep\": \"%s\", \"jobs\": %u, \"items\": %llu, "
+                 "\"seconds\": %.6f, \"items_per_sec\": %.3f}%s\n",
+                 C.Sweep, C.Jobs, static_cast<unsigned long long>(C.Items),
+                 C.Seconds, C.ItemsPerSec(),
+                 I + 1 < Cells.size() ? "," : "");
+  }
+  std::fprintf(Out, "  ],\n");
+  std::fprintf(Out, "  \"fuzz_seeds_per_sec_jobs1\": %.3f,\n",
+               Cells[0].ItemsPerSec());
+  std::fprintf(Out, "  \"corpus_cells_per_sec_jobs1\": %.3f,\n",
+               Cells[1].ItemsPerSec());
+  std::fprintf(Out, "  \"fuzz_speedup\": %.3f,\n", FuzzSpeedup);
+  std::fprintf(Out, "  \"corpus_speedup\": %.3f\n", CorpusSpeedup);
+  std::fprintf(Out, "}\n");
+  if (OutPath)
+    std::fclose(Out);
+
+  std::fprintf(stderr,
+               "sweep_throughput: fuzz %.1f seeds/sec, corpus %.1f cells/sec "
+               "at jobs=1; speedup x%.2f / x%.2f at jobs=%u\n",
+               Cells[0].ItemsPerSec(), Cells[1].ItemsPerSec(), FuzzSpeedup,
+               CorpusSpeedup, Jobs);
+  return 0;
+}

@@ -24,11 +24,31 @@ class Instruction;
 class DominatorTree;
 class DominanceFrontier;
 
+/// Which values seed the divergent set.
+enum class DivergenceSeeds {
+  /// The thread-identity intrinsics (tid.x, laneid) only — the static
+  /// notion the melder's region analysis and profitability model use:
+  /// "may different lanes hold different values, as a function of which
+  /// lane they are".
+  ThreadIdentity,
+  /// ThreadIdentity plus every load and shfl.sync. Loads and shuffles
+  /// can vary with *when* a lane executes them, not just which lane it
+  /// is: under divergent control, lanes reach a (uniform-addressed) load
+  /// in separate serialized passes between which memory or inactive-lane
+  /// registers may have changed. A value uniform under this policy is a
+  /// time-invariant function of launch-constant inputs, so every lane
+  /// that ever executes its definition computes the same bits — the
+  /// guarantee the simulator's uniform-warp fast path needs before it
+  /// reads a branch condition from a single lane (docs/performance.md).
+  ExecutionTime,
+};
+
 /// Computes and caches per-value divergence for one function.
 class DivergenceAnalysis {
 public:
   DivergenceAnalysis(Function &F, const DominatorTree &DT,
-                     const DominanceFrontier &DF);
+                     const DominanceFrontier &DF,
+                     DivergenceSeeds Seeds = DivergenceSeeds::ThreadIdentity);
 
   /// True if lanes of a warp may disagree on \p V.
   bool isDivergent(const Value *V) const {

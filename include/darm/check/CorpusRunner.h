@@ -15,7 +15,9 @@
 #define DARM_CHECK_CORPUSRUNNER_H
 
 #include "darm/check/Claims.h"
+#include "darm/support/Parallel.h"
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -66,6 +68,21 @@ KernelClaims measureBenchmark(const BenchCell &Cell,
 /// deterministic memory image (simulator aborts surface as Valid=false,
 /// never process exit).
 KernelClaims measureFuzz(const fuzz::FuzzCase &C);
+
+/// Parallel corpus measurement (tools/darm_check, docs/performance.md):
+/// fans every (cell-or-seed, config) pair out over \p Pool's workers —
+/// each pair builds its kernel into its own Context — while a cell's
+/// Benchmark object and host-input recipe are created once and shared
+/// read-only across its config jobs, never once per config. Results come
+/// back in corpus order (\p Cells then \p Seeds), each kernel's configs
+/// in the sequential order, so aggregates, goldens and JSON artifacts
+/// are byte-identical at any --jobs value. \p OnKernel (optional) is
+/// invoked from the calling thread, in corpus order, as each kernel's
+/// measurement completes.
+std::vector<KernelClaims>
+measureCorpus(ThreadPool &Pool, const std::vector<BenchCell> &Cells,
+              const std::vector<uint64_t> &Seeds,
+              const std::function<void(const KernelClaims &)> &OnKernel = {});
 
 /// Sums per-config stats across measurements (configs matched by name):
 /// the population-level view of a fuzz sweep. Per-seed plausibility can

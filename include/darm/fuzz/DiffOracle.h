@@ -20,7 +20,9 @@
 
 #include "darm/check/Claims.h"
 #include "darm/fuzz/KernelGenerator.h"
+#include "darm/support/Parallel.h"
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -74,6 +76,20 @@ struct OracleResult {
 /// Runs every axis for \p C. Stops at the first mismatching axis.
 OracleResult runOracle(const FuzzCase &C,
                        const OracleOptions &O = OracleOptions());
+
+/// Parallel seed sweep (tools/darm_fuzz, docs/performance.md): runs
+/// runOracle(FuzzCase(Seed), O) for every seed of \p Seeds across
+/// \p Pool's workers, invoking \p OnResult strictly in \p Seeds order
+/// from the calling thread. Each seed's oracle run owns its Contexts and
+/// installs its fatal-error handler per thread, so workers never share
+/// IR state (Parallel.h). Results are byte-identical to a sequential
+/// sweep at any pool size; OnResult returning false stops the sweep
+/// exactly where a sequential loop would stop reporting (seeds already
+/// in flight are discarded unreported).
+void sweepSeeds(ThreadPool &Pool, const std::vector<uint64_t> &Seeds,
+                const OracleOptions &O,
+                const std::function<bool(uint64_t Seed, const OracleResult &R)>
+                    &OnResult);
 
 /// Serializes \p R as a standalone .darm repro: commented header
 /// (seed, failing config, geometry, repro command) + kernel text. The

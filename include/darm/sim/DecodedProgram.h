@@ -104,6 +104,28 @@ struct DecodedBlock {
   /// Immediate post-dominator (IPDOM) as a block index: where a divergent
   /// branch out of this block reconverges. kNoBlock = function exit.
   uint32_t Reconverge = kNoBlock;
+  /// Decode-time convergence guarantee (docs/performance.md): the block's
+  /// terminator can never split a full warp mask — it is a ret, an
+  /// unconditional branch, or a conditional branch whose condition is
+  /// uniform under the ExecutionTime divergence policy (every lane that
+  /// executes the condition's definition computes the same bits, at any
+  /// point in time). When a warp enters such a block with its full mask,
+  /// the execute phase may take the straight-line uniform fast path:
+  /// dense lane loops, no per-branch mask scan, no reconvergence-stack
+  /// growth — with bit-identical SimStats and memory effects, pinned by
+  /// the sim goldens.
+  uint8_t UniformSafe = 0;
+  /// The block contains a barrier call; the fast path falls back to
+  /// per-instruction accounting because a barrier suspends mid-block.
+  uint8_t HasBarrier = 0;
+  /// VALU-class (non-memory, non-terminator, non-barrier) instructions in
+  /// the block, and the summed static latency of everything except
+  /// memory ops (whose latency is dynamic: contention model). Lets the
+  /// uniform fast path issue a barrier-free block's bookkeeping — issued
+  /// counts, ALU lane tallies, cycle charges — as one batched update that
+  /// sums to exactly what the per-instruction slow path accumulates.
+  uint32_t NumAluInsts = 0;
+  uint32_t StaticLatency = 0;
 };
 
 /// A kernel flattened for execution. Produced by decodeProgram().
@@ -126,6 +148,14 @@ struct DecodedProgram {
   std::vector<uint32_t> ArgRegisters;
   /// (register id, LDS byte offset) per shared array, broadcast likewise.
   std::vector<std::pair<uint32_t, uint64_t>> SharedArrayInit;
+  /// Registers whose rows are read *cross-lane* (shfl.sync value
+  /// operands): the only rows a lane can observe without its own lane
+  /// having executed the defining instruction first (SSA dominance plus
+  /// masked execution cover every other read). The executor zero-fills
+  /// exactly these rows when recycling a pooled register file instead of
+  /// clearing the whole NumRegisters x WarpSize block — a lane shuffling
+  /// from a slot its source lane never wrote must still read 0.
+  std::vector<uint32_t> CrossLaneRegisters;
 };
 
 /// Flattens \p F into execution form. Runs the post-dominator analysis and

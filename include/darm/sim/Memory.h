@@ -13,6 +13,7 @@
 #define DARM_SIM_MEMORY_H
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -27,9 +28,47 @@ public:
 
   uint64_t size() const { return Bytes.size(); }
 
-  /// Raw access with the OOB policy described above.
-  uint64_t load(uint64_t Addr, unsigned Size) const;
-  void store(uint64_t Addr, unsigned Size, uint64_t Value);
+  /// Raw access with the OOB policy described above. Inline with the
+  /// common element sizes special-cased: the simulator calls these once
+  /// per active lane per memory instruction, the hottest leaf of the
+  /// whole execute phase, and a variable-length memcpy there costs a
+  /// libc call per lane.
+  uint64_t load(uint64_t Addr, unsigned Size) const {
+    // Overflow-proof bounds check: `Addr + Size` wraps for addresses
+    // near 2^64 (a gep with a negative index produces them), which
+    // would slip past a naive `>` and read before the buffer.
+    if (Addr > Bytes.size() || Size > Bytes.size() - Addr)
+      return 0; // speculated OOB load; see file header
+    const uint8_t *P = Bytes.data() + Addr;
+    if (Size == 4) {
+      uint32_t V;
+      std::memcpy(&V, P, 4);
+      return V;
+    }
+    if (Size == 8) {
+      uint64_t V;
+      std::memcpy(&V, P, 8);
+      return V;
+    }
+    uint64_t V = 0;
+    std::memcpy(&V, P, Size);
+    return V;
+  }
+  void store(uint64_t Addr, unsigned Size, uint64_t Value) {
+    if (Addr > Bytes.size() || Size > Bytes.size() - Addr)
+      reportStoreOutOfBounds();
+    uint8_t *P = Bytes.data() + Addr;
+    if (Size == 4) {
+      const uint32_t V = static_cast<uint32_t>(Value);
+      std::memcpy(P, &V, 4);
+      return;
+    }
+    if (Size == 8) {
+      std::memcpy(P, &Value, 8);
+      return;
+    }
+    std::memcpy(P, &Value, Size);
+  }
 
   // Typed helpers for hosts/tests.
   int32_t readI32(uint64_t Addr) const {
@@ -48,6 +87,9 @@ public:
   std::vector<float> dumpF32(uint64_t Base, size_t Count) const;
 
 private:
+  /// Cold path of store(), out of line (aborts via reportFatalError).
+  [[noreturn]] void reportStoreOutOfBounds() const;
+
   std::vector<uint8_t> Bytes = std::vector<uint8_t>(64, 0); // guard page
 };
 

@@ -24,8 +24,32 @@ namespace darm {
 /// default exit behaviour). The differential fuzzing harness uses this to
 /// turn simulator aborts (out-of-bounds store, runaway loop) into oracle
 /// findings instead of process death.
+///
+/// Handler storage is **per thread**: installation and dispatch touch
+/// only the calling thread's slot, so concurrent simulations in the
+/// sweep pool (support/Parallel.h) can each trap their own aborts
+/// without racing or cross-talking — a fatal error on worker A can never
+/// be swallowed by (or leak into) worker B's oracle run. A thread that
+/// never installed a handler gets the default print-and-exit behaviour.
 using FatalErrorHandler = void (*)(const char *Msg);
 FatalErrorHandler setFatalErrorHandler(FatalErrorHandler H);
+
+/// RAII installation of a fatal-error handler on the current thread for
+/// one scope — the shape every in-process consumer should use, so the
+/// handler is restored even when the protected region unwinds through an
+/// unrelated exception.
+class ScopedFatalErrorHandler {
+public:
+  explicit ScopedFatalErrorHandler(FatalErrorHandler H)
+      : Prev(setFatalErrorHandler(H)) {}
+  ~ScopedFatalErrorHandler() { setFatalErrorHandler(Prev); }
+
+  ScopedFatalErrorHandler(const ScopedFatalErrorHandler &) = delete;
+  ScopedFatalErrorHandler &operator=(const ScopedFatalErrorHandler &) = delete;
+
+private:
+  FatalErrorHandler Prev;
+};
 
 } // namespace darm
 

@@ -1,0 +1,89 @@
+//===- Parallel.h - Work-scheduling thread pool --------------------*- C++ -*-===//
+///
+/// \file
+/// The work-scheduling subsystem behind every sweep driver (darm_fuzz,
+/// darm_check, the throughput benches — docs/performance.md): a fixed
+/// pool of worker threads plus a deterministic, ordered `parallelMap`.
+///
+/// Design rules the whole repo relies on:
+///
+///   * **Ordered results.** parallelMap(Pool, N, F) returns exactly
+///     `{F(0), F(1), ..., F(N-1)}`; scheduling order never leaks into the
+///     result. Sweep output (fuzz findings, claims aggregates, golden
+///     diffs) is byte-identical at any --jobs value.
+///   * **Per-worker Context ownership.** Work items that build IR must
+///     construct their *own* Context (and Module) inside the callback,
+///     exactly like the sequential code paths already do. A Context
+///     interns types and constants behind non-atomic maps; two items
+///     sharing one would race. Nothing in this pool shares IR state
+///     between items, and no callback may capture a Context another item
+///     writes to.
+///   * **Jobs = 1 runs inline.** A pool constructed with one job spawns
+///     no threads at all; forIndices degenerates to a plain loop on the
+///     calling thread, reproducing single-threaded behaviour exactly
+///     (same order, same thread, same exception flow).
+///   * **Deterministic exception propagation.** If callbacks throw, the
+///     batch stops claiming new items, drains in-flight ones, and
+///     rethrows the exception of the *lowest-indexed* throwing item on
+///     the calling thread — the same exception a sequential loop would
+///     have surfaced first.
+///
+/// The calling thread participates in every batch, so ThreadPool(N) uses
+/// N CPUs with N-1 worker threads.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SUPPORT_PARALLEL_H
+#define DARM_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace darm {
+
+/// Default --jobs value: the hardware thread count, at least 1.
+unsigned hardwareParallelism();
+
+/// Fixed-size thread pool. Construct once, run any number of batches;
+/// workers persist across batches (no spawn cost per sweep chunk).
+/// Batches must not be nested: forIndices must not be called from inside
+/// a work item.
+class ThreadPool {
+public:
+  /// \p Jobs is the total parallelism, including the calling thread;
+  /// Jobs == 1 spawns no workers and runs everything inline.
+  explicit ThreadPool(unsigned Jobs = hardwareParallelism());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Configured parallelism (>= 1).
+  unsigned jobs() const { return NumJobs; }
+
+  /// Runs Fn(I) for every I in [0, N), distributed over the workers and
+  /// the calling thread. Returns once every claimed item has finished.
+  /// Rethrows the lowest-indexed item's exception, if any (items after a
+  /// failure may be skipped).
+  void forIndices(size_t N, const std::function<void(size_t)> &Fn);
+
+private:
+  struct Impl;
+  unsigned NumJobs;
+  std::unique_ptr<Impl> I; ///< null when NumJobs == 1
+};
+
+/// Ordered parallel map: Out[I] = F(I) for I in [0, N). \p R must be
+/// default-constructible and move-assignable. Deterministic: the result
+/// never depends on the pool size or scheduling.
+template <typename R, typename Fn>
+std::vector<R> parallelMap(ThreadPool &Pool, size_t N, Fn &&F) {
+  std::vector<R> Out(N);
+  Pool.forIndices(N, [&](size_t I) { Out[I] = F(I); });
+  return Out;
+}
+
+} // namespace darm
+
+#endif // DARM_SUPPORT_PARALLEL_H

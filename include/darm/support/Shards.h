@@ -78,6 +78,22 @@ inline bool parseSeedRange(const char *Spec, uint64_t &Lo, uint64_t &Hi) {
   return Hi > Lo;
 }
 
+/// Parses a `--jobs N` value: a positive integer with no sign and no
+/// trailing garbage, capped at a sane thread count (also rejecting
+/// strtoul's silent ULONG_MAX saturation on overflow). Shared by every
+/// sweep driver and bench so "--jobs 8x" cannot silently mean 8 in one
+/// tool and error in another.
+inline bool parseJobs(const char *Spec, unsigned &Jobs) {
+  if (!shards_detail::startsWithDigit(Spec))
+    return false;
+  char *End = nullptr;
+  unsigned long N = std::strtoul(Spec, &End, 10);
+  if (*End != '\0' || N == 0 || N > 65536)
+    return false;
+  Jobs = static_cast<unsigned>(N);
+  return true;
+}
+
 /// Splits a comma-separated list, dropping empty items.
 inline std::vector<std::string> splitList(const std::string &S) {
   std::vector<std::string> Out;

@@ -11,18 +11,28 @@
 using namespace darm;
 
 DivergenceAnalysis::DivergenceAnalysis(Function &F, const DominatorTree &DT,
-                                       const DominanceFrontier &DF)
+                                       const DominanceFrontier &DF,
+                                       DivergenceSeeds Seeds)
     : F(F), DT(DT), DF(DF) {
   std::set<Value *> Worklist;
 
-  // Seeds: per-lane identity queries.
+  // Seeds: per-lane identity queries, plus — under the ExecutionTime
+  // policy (see DivergenceAnalysis.h) — every value that can change with
+  // when a lane executes it rather than which lane it is.
+  const bool TimeVarying = Seeds == DivergenceSeeds::ExecutionTime;
   for (BasicBlock *BB : F)
-    for (Instruction *I : *BB)
+    for (Instruction *I : *BB) {
+      if (TimeVarying && I->getOpcode() == Opcode::Load) {
+        markDivergent(I, Worklist);
+        continue;
+      }
       if (auto *C = dyn_cast<CallInst>(I)) {
         Intrinsic IID = C->getIntrinsic();
-        if (IID == Intrinsic::TidX || IID == Intrinsic::LaneId)
+        if (IID == Intrinsic::TidX || IID == Intrinsic::LaneId ||
+            (TimeVarying && IID == Intrinsic::ShflSync))
           markDivergent(I, Worklist);
       }
+    }
 
   while (!Worklist.empty()) {
     Value *V = *Worklist.begin();

@@ -42,6 +42,58 @@ std::vector<ClaimConfig> darm::check::claimConfigs() {
   return Cfgs;
 }
 
+namespace {
+
+/// One (benchmark, config) measurement. \p B is shared read-only across
+/// a cell's config jobs — the kernel is built fresh (transforms mutate
+/// in place, so every config needs its own build), but the benchmark
+/// descriptor and its host-input recipe are constructed once per cell,
+/// not once per config (decode/build reuse, docs/performance.md).
+ConfigMetrics measureBenchmarkConfig(
+    const Benchmark &B, const std::string &CfgName,
+    const std::function<void(Function &)> &Transform) {
+  Context Ctx;
+  Module M(Ctx, B.name());
+  Function *F = B.build(M);
+  if (Transform)
+    Transform(*F);
+  // Same cleanup pipeline as the sim goldens, so the unmelded reference
+  // here matches the recorded baseline rows exactly.
+  simplifyCFG(*F);
+  eliminateDeadCode(*F);
+  BenchRun R = runBenchmark(B, *F);
+  return {CfgName, R.Total, R.MemHash, R.Valid};
+}
+
+/// One (fuzz seed, config) measurement; self-contained per job.
+ConfigMetrics measureFuzzConfig(
+    const fuzz::FuzzCase &C, const std::string &CfgName,
+    const std::function<void(Function &)> &Transform) {
+  Context Ctx;
+  Module M(Ctx, CfgName);
+  Function *F = fuzz::buildFuzzKernel(M, C);
+  if (Transform)
+    Transform(*F);
+  else {
+    // The cleaned-baseline policy (docs/claims.md): the melding
+    // configs run simplifycfg+dce internally, so the reference must
+    // too — comparing against the raw generated kernel would credit
+    // plain DCE to melding.
+    simplifyCFG(*F);
+    eliminateDeadCode(*F);
+  }
+  GlobalMemory Mem;
+  std::vector<uint64_t> Args = fuzz::setupFuzzMemory(C, Mem);
+  std::string Fatal;
+  SimStats S = fuzz::simulateFuzzCase(*F, C, Args, Mem, &Fatal);
+  ConfigMetrics CM{CfgName, S, 0, Fatal.empty()};
+  if (Fatal.empty())
+    CM.MemHash = hashMemoryImage(Mem);
+  return CM;
+}
+
+} // namespace
+
 KernelClaims darm::check::measureBenchmark(const BenchCell &Cell) {
   return measureBenchmark(Cell, claimConfigs());
 }
@@ -52,29 +104,18 @@ KernelClaims darm::check::measureBenchmark(
   K.Kernel = Cell.Name;
   K.BlockSize = Cell.BlockSize;
 
-  auto Measure = [&](const std::string &CfgName,
-                     const std::function<void(Function &)> &Transform) {
-    auto B = createBenchmark(Cell.Name, Cell.BlockSize);
-    if (!B) {
-      K.Configs.push_back({CfgName, SimStats(), 0, false});
-      return;
-    }
-    Context Ctx;
-    Module M(Ctx, Cell.Name);
-    Function *F = B->build(M);
-    if (Transform)
-      Transform(*F);
-    // Same cleanup pipeline as the sim goldens, so the unmelded reference
-    // here matches the recorded baseline rows exactly.
-    simplifyCFG(*F);
-    eliminateDeadCode(*F);
-    BenchRun R = runBenchmark(*B, *F);
-    K.Configs.push_back({CfgName, R.Total, R.MemHash, R.Valid});
-  };
-
-  Measure("unmelded", nullptr);
+  // The benchmark object (and with it the workload recipe) is built once
+  // per cell and reused across the whole config loop.
+  auto B = createBenchmark(Cell.Name, Cell.BlockSize);
+  if (!B) {
+    K.Configs.push_back({"unmelded", SimStats(), 0, false});
+    for (const ClaimConfig &Cfg : Configs)
+      K.Configs.push_back({Cfg.Name, SimStats(), 0, false});
+    return K;
+  }
+  K.Configs.push_back(measureBenchmarkConfig(*B, "unmelded", nullptr));
   for (const ClaimConfig &Cfg : Configs)
-    Measure(Cfg.Name, Cfg.Transform);
+    K.Configs.push_back(measureBenchmarkConfig(*B, Cfg.Name, Cfg.Transform));
   return K;
 }
 
@@ -82,36 +123,80 @@ KernelClaims darm::check::measureFuzz(const fuzz::FuzzCase &C) {
   KernelClaims K;
   K.Kernel = C.name();
   K.BlockSize = 0;
-
-  auto Measure = [&](const std::string &CfgName,
-                     const std::function<void(Function &)> &Transform) {
-    Context Ctx;
-    Module M(Ctx, CfgName);
-    Function *F = fuzz::buildFuzzKernel(M, C);
-    if (Transform)
-      Transform(*F);
-    else {
-      // The cleaned-baseline policy (docs/claims.md): the melding
-      // configs run simplifycfg+dce internally, so the reference must
-      // too — comparing against the raw generated kernel would credit
-      // plain DCE to melding.
-      simplifyCFG(*F);
-      eliminateDeadCode(*F);
-    }
-    GlobalMemory Mem;
-    std::vector<uint64_t> Args = fuzz::setupFuzzMemory(C, Mem);
-    std::string Fatal;
-    SimStats S = fuzz::simulateFuzzCase(*F, C, Args, Mem, &Fatal);
-    ConfigMetrics CM{CfgName, S, 0, Fatal.empty()};
-    if (Fatal.empty())
-      CM.MemHash = hashMemoryImage(Mem);
-    K.Configs.push_back(std::move(CM));
-  };
-
-  Measure("unmelded", nullptr);
+  K.Configs.push_back(measureFuzzConfig(C, "unmelded", nullptr));
   for (const ClaimConfig &Cfg : claimConfigs())
-    Measure(Cfg.Name, Cfg.Transform);
+    K.Configs.push_back(measureFuzzConfig(C, Cfg.Name, Cfg.Transform));
   return K;
+}
+
+std::vector<KernelClaims> darm::check::measureCorpus(
+    ThreadPool &Pool, const std::vector<BenchCell> &Cells,
+    const std::vector<uint64_t> &Seeds,
+    const std::function<void(const KernelClaims &)> &OnKernel) {
+  const std::vector<ClaimConfig> Cfgs = claimConfigs();
+  const size_t CfgsPerKernel = 1 + Cfgs.size(); // unmelded first
+  const size_t NumKernels = Cells.size() + Seeds.size();
+
+  // Work unit = one (kernel, config slot) measurement; a chunk of whole
+  // kernels fans out at a time so progress reports stay timely and held
+  // results stay bounded on very large seed sweeps.
+  const size_t KernelChunk =
+      std::max<size_t>(size_t{8}, size_t{2} * Pool.jobs());
+
+  std::vector<KernelClaims> Out;
+  Out.reserve(NumKernels);
+  for (size_t ChunkBegin = 0; ChunkBegin < NumKernels;
+       ChunkBegin += KernelChunk) {
+    const size_t ChunkN = std::min(KernelChunk, NumKernels - ChunkBegin);
+
+    // Benchmark descriptors are created once per cell, on this thread,
+    // and shared read-only by the cell's config jobs.
+    std::vector<std::unique_ptr<Benchmark>> Benchs(ChunkN);
+    for (size_t K = 0; K < ChunkN; ++K) {
+      const size_t Kernel = ChunkBegin + K;
+      if (Kernel < Cells.size())
+        Benchs[K] =
+            createBenchmark(Cells[Kernel].Name, Cells[Kernel].BlockSize);
+    }
+
+    std::vector<ConfigMetrics> Metrics = parallelMap<ConfigMetrics>(
+        Pool, ChunkN * CfgsPerKernel, [&](size_t I) -> ConfigMetrics {
+          const size_t K = I / CfgsPerKernel;
+          const size_t Slot = I % CfgsPerKernel;
+          const size_t Kernel = ChunkBegin + K;
+          const std::string &CfgName =
+              Slot == 0 ? std::string("unmelded") : Cfgs[Slot - 1].Name;
+          const std::function<void(Function &)> NoTransform;
+          const auto &Transform =
+              Slot == 0 ? NoTransform : Cfgs[Slot - 1].Transform;
+          if (Kernel < Cells.size()) {
+            if (!Benchs[K])
+              return {CfgName, SimStats(), 0, false};
+            return measureBenchmarkConfig(*Benchs[K], CfgName, Transform);
+          }
+          return measureFuzzConfig(
+              fuzz::FuzzCase(Seeds[Kernel - Cells.size()]), CfgName,
+              Transform);
+        });
+
+    for (size_t K = 0; K < ChunkN; ++K) {
+      const size_t Kernel = ChunkBegin + K;
+      KernelClaims KC;
+      if (Kernel < Cells.size()) {
+        KC.Kernel = Cells[Kernel].Name;
+        KC.BlockSize = Cells[Kernel].BlockSize;
+      } else {
+        KC.Kernel = fuzz::FuzzCase(Seeds[Kernel - Cells.size()]).name();
+        KC.BlockSize = 0;
+      }
+      for (size_t Slot = 0; Slot < CfgsPerKernel; ++Slot)
+        KC.Configs.push_back(std::move(Metrics[K * CfgsPerKernel + Slot]));
+      Out.push_back(std::move(KC));
+      if (OnKernel)
+        OnKernel(Out.back());
+    }
+  }
+  return Out;
 }
 
 KernelClaims darm::check::aggregateClaims(const std::vector<KernelClaims> &Ks,

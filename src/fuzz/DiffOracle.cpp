@@ -82,14 +82,14 @@ std::string diffDetail(const MemImage &Ref, const MemImage &Got) {
   return "images equal";
 }
 
-/// Evaluates one axis on an already-built kernel \p F (left unmutated for
-/// the round-trip axis; cloned-by-rebuild for transform axes by the
-/// caller). Returns true + fills Detail if the axis mismatches. Printing
-/// must not change execution at all, so the round-trip axis requires
-/// every counter to be *identical*, not merely plausible.
-bool roundTripFails(Function &F, const FuzzCase &C, const MemImage &Ref,
-                    std::string &Detail) {
-  std::string Text = printFunction(F);
+/// Evaluates the round-trip axis from \p Text, the reference kernel's
+/// printed form (captured before any pass touches it, so the sweep can
+/// reuse the built reference for the cleanup baseline afterwards).
+/// Returns true + fills Detail if the axis mismatches. Printing must not
+/// change execution at all, so the round-trip axis requires every
+/// counter to be *identical*, not merely plausible.
+bool roundTripFails(const std::string &Text, const FuzzCase &C,
+                    const MemImage &Ref, std::string &Detail) {
   Context PCtx;
   std::string Err;
   auto PM = parseModule(PCtx, Text, &Err);
@@ -238,7 +238,7 @@ bool axisFailsOnEdits(const OracleConfig *Cfg, AxisKind Kind,
   if (!Ref.Fatal.empty())
     return false; // an edit that aborts the reference is not a reduction
   if (Kind == AxisKind::RoundTrip)
-    return roundTripFails(*RF, C, Ref, Detail);
+    return roundTripFails(printFunction(*RF), C, Ref, Detail);
   if (Kind == AxisKind::Cleanup) {
     SimStats Baseline;
     std::string BDetail;
@@ -299,15 +299,25 @@ OracleResult darm::fuzz::runOracle(const FuzzCase &C,
     return R;
   }
 
+  // The round-trip axis only needs the reference's printed form; capture
+  // it now so the built reference kernel itself can be reused (mutated)
+  // for the cleanup baseline below instead of rebuilding from the seed.
+  std::string RefText;
+  if (O.RoundTrip)
+    RefText = printFunction(*RF);
+
   // Claims baseline: the kernel through simplifycfg+dce (the non-melding
   // half of the pipeline). Must preserve behaviour; a change is its own
-  // finding against the cleanup passes.
+  // finding against the cleanup passes. Cleaning RF in place is safe —
+  // no later axis reads the built reference (decode/build reuse,
+  // docs/performance.md) — and identical to cleaning a fresh rebuild,
+  // since the generator is a pure function of the seed.
   SimStats ClaimsRef = Ref.Stats;
   const OracleConfig *FailCfg = nullptr;
   AxisKind FailKind = AxisKind::Transform;
   if (O.Claims) {
     std::string Detail;
-    if (!claimsBaseline(C, {}, Ref, ClaimsRef, Detail)) {
+    if (!cleanAndCompare(*RF, C, Ref, ClaimsRef, Detail)) {
       FailKind = AxisKind::Cleanup;
       R.Config = "cleanup";
       R.Detail = Detail;
@@ -328,7 +338,7 @@ OracleResult darm::fuzz::runOracle(const FuzzCase &C,
   }
   if (R.Config.empty() && O.RoundTrip) {
     std::string Detail;
-    if (roundTripFails(*RF, C, Ref, Detail)) {
+    if (roundTripFails(RefText, C, Ref, Detail)) {
       FailKind = AxisKind::RoundTrip;
       R.Config = "roundtrip";
       R.Detail = Detail;
@@ -354,6 +364,34 @@ OracleResult darm::fuzz::runOracle(const FuzzCase &C,
   if (Function *MF = buildEdited(MM, C, Edits))
     R.ReproIR = printFunction(*MF);
   return R;
+}
+
+void darm::fuzz::sweepSeeds(
+    ThreadPool &Pool, const std::vector<uint64_t> &Seeds,
+    const OracleOptions &O,
+    const std::function<bool(uint64_t, const OracleResult &)> &OnResult) {
+  // Chunked pipeline: a chunk of seeds fans out over the pool, then the
+  // chunk's results replay in seed order on this thread. Chunking bounds
+  // held results while keeping every worker busy; since each seed's
+  // verdict is an independent, deterministic function of the seed, the
+  // reported stream is identical to a sequential sweep at any chunk or
+  // pool size. An early stop may waste the tail of the current chunk —
+  // computed but unreported — never report anything different. At one
+  // job there is nothing to keep busy, so stream seed-by-seed and pay
+  // exactly what the sequential sweep paid (an early stop then wastes
+  // nothing, minimization included).
+  const size_t Chunk =
+      Pool.jobs() == 1 ? size_t{1}
+                       : std::max<size_t>(size_t{32}, size_t{8} * Pool.jobs());
+  for (size_t Begin = 0; Begin < Seeds.size(); Begin += Chunk) {
+    const size_t N = std::min(Chunk, Seeds.size() - Begin);
+    std::vector<OracleResult> Results = parallelMap<OracleResult>(
+        Pool, N,
+        [&](size_t I) { return runOracle(FuzzCase(Seeds[Begin + I]), O); });
+    for (size_t I = 0; I < N; ++I)
+      if (!OnResult(Seeds[Begin + I], Results[I]))
+        return;
+  }
 }
 
 std::string darm::fuzz::formatRepro(const FuzzCase &C,
@@ -444,7 +482,7 @@ OracleResult darm::fuzz::checkRepro(Function &Kernel, const FuzzCase &C,
 
   std::string Detail;
   if (Config == "roundtrip") {
-    if (roundTripFails(Kernel, C, Ref, Detail)) {
+    if (roundTripFails(printFunction(Kernel), C, Ref, Detail)) {
       R.Mismatch = true;
       R.Config = Config;
       R.Detail = Detail;

@@ -596,16 +596,12 @@ SimStats darm::fuzz::simulateFuzzCase(Function &F, const FuzzCase &C,
   struct Catcher {
     [[noreturn]] static void raise(const char *Msg) { throw SimAbort{Msg}; }
   };
-  // RAII so the process-global handler is restored even if something
-  // other than SimAbort unwinds through here (e.g. bad_alloc in decode).
-  struct ScopedHandler {
-    FatalErrorHandler Prev;
-    ScopedHandler() : Prev(setFatalErrorHandler(Catcher::raise)) {}
-    ~ScopedHandler() { setFatalErrorHandler(Prev); }
-  };
   if (Fatal)
     Fatal->clear();
-  ScopedHandler Guard;
+  // Installed on this thread only (ErrorHandling.h): sweep workers each
+  // trap their own simulation's aborts, restored even if something other
+  // than SimAbort unwinds through here (e.g. bad_alloc in decode).
+  ScopedFatalErrorHandler Guard(Catcher::raise);
   SimStats Total;
   try {
     // Decode once; replay NumLaunches launches over the accumulating

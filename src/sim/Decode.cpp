@@ -10,11 +10,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "darm/analysis/CostModel.h"
+#include "darm/analysis/DivergenceAnalysis.h"
+#include "darm/analysis/DominanceFrontier.h"
 #include "darm/analysis/DominatorTree.h"
 #include "darm/ir/Function.h"
 #include "darm/sim/DecodedProgram.h"
 #include "darm/support/ErrorHandling.h"
 
+#include <algorithm>
 #include <bit>
 #include <unordered_map>
 
@@ -202,6 +205,10 @@ DecodedInst Decoder::decodeInst(const Instruction *I) {
     if (C->getIntrinsic() == Intrinsic::ShflSync) {
       D.A = slotOf(C->getOperand(0));
       D.B = slotOf(C->getOperand(1));
+      // The value row is read cross-lane: slots of lanes that never
+      // executed the definition must read as 0 (see CrossLaneRegisters).
+      if (!(D.A & kImmediateBit))
+        P.CrossLaneRegisters.push_back(D.A);
     }
     break;
   }
@@ -249,6 +256,15 @@ DecodedProgram Decoder::decode() {
   // (the old interpreter rebuilt it for every grid block).
   PostDominatorTree PDT(F);
 
+  // The uniform-warp fast path's licence (DecodedBlock::UniformSafe):
+  // divergence analysis under the ExecutionTime seed policy, which
+  // additionally treats loads and shfl.sync as divergent because their
+  // values can change with *when* a masked subset executes them. Runs
+  // once per kernel, here in decode, never in the execute loop.
+  DominatorTree DT(F);
+  DominanceFrontier DFr(F, DT);
+  DivergenceAnalysis DA(F, DT, DFr, DivergenceSeeds::ExecutionTime);
+
   P.Blocks.resize(Blocks.size());
   for (uint32_t BI = 0; BI < Blocks.size(); ++BI) {
     BasicBlock *BB = Blocks[BI];
@@ -262,12 +278,33 @@ DecodedProgram Decoder::decode() {
     DB.NumInsts = static_cast<uint32_t>(P.Insts.size()) - DB.FirstInst;
     assert(DB.NumInsts > 0 && "block without a terminator");
 
+    // Batched-accounting summary for the uniform fast path: VALU issue
+    // count and the static (non-memory) latency sum, terminator included.
+    for (uint32_t II = DB.FirstInst; II != DB.FirstInst + DB.NumInsts; ++II) {
+      const DecodedInst &DI = P.Insts[II];
+      const bool IsTerm = II + 1 == DB.FirstInst + DB.NumInsts;
+      const bool IsMem = DI.Op == Opcode::Load || DI.Op == Opcode::Store;
+      if (DI.Op == Opcode::Call &&
+          DI.SubOp == static_cast<uint8_t>(Intrinsic::Barrier))
+        DB.HasBarrier = 1;
+      if (!IsMem)
+        DB.StaticLatency += DI.Latency;
+      if (!IsTerm && !IsMem &&
+          !(DI.Op == Opcode::Call &&
+            DI.SubOp == static_cast<uint8_t>(Intrinsic::Barrier)))
+        ++DB.NumAluInsts;
+    }
+
     if (PDT.isReachable(BB))
       if (BasicBlock *R = PDT.getIDom(BB))
         DB.Reconverge = BlockIds.at(R);
 
     const Instruction *Term = BB->getTerminator();
     assert(Term && "unterminated block reached the simulator");
+    if (const auto *CB2 = dyn_cast<CondBrInst>(Term))
+      DB.UniformSafe = !DA.isDivergent(CB2->getCondition());
+    else
+      DB.UniformSafe = 1; // ret / unconditional br cannot split the mask
     if (const auto *Br = dyn_cast<BrInst>(Term)) {
       DB.Succ[0] = BlockIds.at(Br->getTarget());
       DB.Edge[0] = decodeEdgePhis(BB, Br->getTarget());
@@ -278,6 +315,11 @@ DecodedProgram Decoder::decode() {
       DB.Edge[1] = decodeEdgePhis(BB, CB->getFalseSuccessor());
     }
   }
+
+  std::sort(P.CrossLaneRegisters.begin(), P.CrossLaneRegisters.end());
+  P.CrossLaneRegisters.erase(
+      std::unique(P.CrossLaneRegisters.begin(), P.CrossLaneRegisters.end()),
+      P.CrossLaneRegisters.end());
   return P;
 }
 

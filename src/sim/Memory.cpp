@@ -17,18 +17,8 @@ uint64_t GlobalMemory::allocate(uint64_t Size, const std::string &Name) {
   return Base;
 }
 
-uint64_t GlobalMemory::load(uint64_t Addr, unsigned Size) const {
-  if (Addr + Size > Bytes.size())
-    return 0; // speculated OOB load; see file header
-  uint64_t V = 0;
-  std::memcpy(&V, Bytes.data() + Addr, Size);
-  return V;
-}
-
-void GlobalMemory::store(uint64_t Addr, unsigned Size, uint64_t Value) {
-  if (Addr + Size > Bytes.size())
-    reportFatalError("simulated kernel stored out of bounds");
-  std::memcpy(Bytes.data() + Addr, &Value, Size);
+void GlobalMemory::reportStoreOutOfBounds() const {
+  reportFatalError("simulated kernel stored out of bounds");
 }
 
 float GlobalMemory::readF32(uint64_t Addr) const {

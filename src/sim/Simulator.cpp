@@ -66,6 +66,26 @@ uint64_t fullMask(unsigned Lanes) {
   return Lanes >= 64 ? ~0ull : ((1ull << Lanes) - 1);
 }
 
+/// Lane-iteration policies for the executor templates. Sparse walks the
+/// set bits of the active mask (the divergent slow path). Dense iterates
+/// lanes [0, N) contiguously — legal only when the active mask is
+/// exactly the warp's full mask, where it visits the same lanes in the
+/// same order but gives the compiler a trivially countable loop to
+/// unroll and vectorize (the uniform fast path, docs/performance.md).
+struct SparseLanes {
+  uint64_t Mask;
+  template <typename Fn> void each(Fn &&F) const {
+    forLanes(Mask, static_cast<Fn &&>(F));
+  }
+};
+struct DenseLanes {
+  unsigned N;
+  template <typename Fn> void each(Fn &&F) const {
+    for (unsigned L = 0; L < N; ++L)
+      F(L);
+  }
+};
+
 enum class WarpStatus { Finished, AtBarrier };
 
 } // namespace
@@ -86,6 +106,8 @@ struct SimEngine::Scratch {
     uint64_t Cycles = 0;
     uint64_t DynInstrs = 0;
     bool Done = false;
+    unsigned NumLanes = 0;  ///< live lanes (== WarpSize except the tail warp)
+    uint64_t FullMask = 0;  ///< fullMask(NumLanes): the converged mask
     std::vector<uint64_t> Regs; ///< SoA register file, NumRegisters x WarpSize
   };
 
@@ -106,12 +128,37 @@ struct SimEngine::Scratch {
   SimStats LaunchStats;
   unsigned BlockIdx = 0;
 
+  // Shift/mask forms of the contention-model address math (set from Cfg
+  // in the SimEngine constructor). The geometry divisors are powers of
+  // two on every real configuration, and a 64-bit divide per lane per
+  // memory instruction is the single most expensive ALU op in the
+  // execute loop.
+  bool SegPow2 = false, BankPow2 = false, WarpPow2 = false;
+  unsigned SegShift = 0, BankShift = 0;
+  uint64_t BankIdxMask = 0, LaneIdxMask = 0;
+
+  uint64_t segmentOf(uint64_t A) const {
+    return SegPow2 ? A >> SegShift : A / Cfg->CoalesceSegmentBytes;
+  }
+  uint64_t bankOf(uint64_t A) const {
+    return BankPow2 ? (A >> BankShift) & BankIdxMask
+                    : (A / Cfg->LdsBankWidthBytes) % Cfg->NumLdsBanks;
+  }
+  unsigned laneModWarp(uint64_t L) const {
+    // The shfl lane operand truncates to 32 bits before the modulo
+    // (the pre-existing semantics: i32 registers store sign-extended,
+    // so a 64-bit modulo would pick a different lane for negative
+    // operands on non-power-of-two warp sizes).
+    const unsigned U = static_cast<unsigned>(L);
+    return WarpPow2 ? (U & static_cast<unsigned>(LaneIdxMask))
+                    : U % Cfg->WarpSize;
+  }
+
   // Pooled state.
   std::vector<Warp> Warps;
   std::vector<std::vector<uint64_t>> RegisterPool;
   std::vector<uint8_t> Lds;
   std::vector<uint64_t> Staging; ///< MaxEdgePhis x WarpSize phi staging
-  std::vector<uint64_t> Addrs;   ///< active-lane addresses (contention model)
   std::vector<std::pair<uint64_t, uint64_t>> BankPairs; ///< (bank, addr)
   std::vector<uint64_t> Segments;
 
@@ -127,20 +174,39 @@ struct SimEngine::Scratch {
   }
 
   void acquireRegisters(Warp &W) {
-    if (!RegisterPool.empty()) {
-      W.Regs = std::move(RegisterPool.back());
-      RegisterPool.pop_back();
+    const size_t Size = static_cast<size_t>(Prog->NumRegisters) * Cfg->WarpSize;
+    if (RegisterPool.empty()) {
+      W.Regs.assign(Size, 0);
+      return;
     }
-    // assign() zero-fills while reusing the pooled allocation.
-    W.Regs.assign(static_cast<size_t>(Prog->NumRegisters) * Cfg->WarpSize, 0);
+    W.Regs = std::move(RegisterPool.back());
+    RegisterPool.pop_back();
+    W.Regs.resize(Size);
+    // A recycled file keeps the previous block's bits: every in-lane read
+    // is dominated by an in-lane write (SSA), so only the rows the
+    // kernel reads cross-lane — shfl.sync value operands — must present
+    // zeros for lanes whose slot was never written (DecodedProgram::
+    // CrossLaneRegisters). Skipping the full-file clear is the win: the
+    // register file is the largest per-warp state.
+    for (uint32_t R : Prog->CrossLaneRegisters)
+      std::fill_n(W.Regs.data() + static_cast<size_t>(R) * Cfg->WarpSize,
+                  Cfg->WarpSize, 0);
   }
   void releaseRegisters(Warp &W) { RegisterPool.push_back(std::move(W.Regs)); }
 
   uint64_t runBlock(unsigned Block);
   WarpStatus runWarp(Warp &W);
-  void runEdgeCopies(Warp &W, PhiCopyRange R, uint64_t Mask);
-  void execute(Warp &W, const DecodedInst &DI, uint64_t Mask);
-  void executeMemory(Warp &W, const DecodedInst &DI, uint64_t Mask);
+  bool runUniform(Warp &W, WarpStatus &St);
+  template <typename Lanes>
+  bool runBlockBody(Warp &W, const DecodedBlock &DB, uint64_t Mask, Lanes Ln);
+  template <typename Lanes>
+  void runEdgeCopies(Warp &W, PhiCopyRange R, Lanes Ln);
+  template <typename Lanes>
+  void execute(Warp &W, const DecodedInst &DI, uint64_t Mask, Lanes Ln);
+  template <typename Lanes>
+  void computeOp(Warp &W, const DecodedInst &DI, Lanes Ln);
+  template <typename Lanes>
+  void executeMemory(Warp &W, const DecodedInst &DI, uint64_t Mask, Lanes Ln);
   uint64_t memLoad(bool Shared, uint64_t Addr, unsigned Size) const;
   void memStore(bool Shared, uint64_t Addr, unsigned Size, uint64_t V);
 };
@@ -158,7 +224,9 @@ uint64_t SimEngine::Scratch::runBlock(unsigned Block) {
     W.Index = WI;
     W.Stack.clear();
     const unsigned Lanes = std::min(WS, NumThreads - WI * WS);
-    W.Stack.push_back({Prog->EntryBlock, kNoBlock, fullMask(Lanes)});
+    W.NumLanes = Lanes;
+    W.FullMask = fullMask(Lanes);
+    W.Stack.push_back({Prog->EntryBlock, kNoBlock, W.FullMask});
     W.ResumeIdx = 0;
     W.Cycles = 0;
     W.DynInstrs = 0;
@@ -200,8 +268,8 @@ uint64_t SimEngine::Scratch::runBlock(unsigned Block) {
   return BlockCycles;
 }
 
-void SimEngine::Scratch::runEdgeCopies(Warp &W, PhiCopyRange R,
-                                       uint64_t Mask) {
+template <typename Lanes>
+void SimEngine::Scratch::runEdgeCopies(Warp &W, PhiCopyRange R, Lanes Ln) {
   if (R.empty())
     return;
   // Parallel-copy semantics: read all sources before any write.
@@ -210,15 +278,95 @@ void SimEngine::Scratch::runEdgeCopies(Warp &W, PhiCopyRange R,
   uint64_t *Stage = Staging.data();
   for (uint32_t C = R.Begin; C != R.End; ++C, Stage += WS) {
     const OpRow Src = row(W, Copies[C].Src);
-    forLanes(Mask, [&](unsigned L) { Stage[L] = Src.get(L); });
+    Ln.each([&](unsigned L) { Stage[L] = Src.get(L); });
   }
   Stage = Staging.data();
   for (uint32_t C = R.Begin; C != R.End; ++C, Stage += WS) {
     uint64_t *Dest =
         W.Regs.data() + static_cast<size_t>(Copies[C].Dest) * WS;
     const NormKind Norm = Copies[C].Norm;
-    forLanes(Mask, [&](unsigned L) { Dest[L] = applyNorm(Norm, Stage[L]); });
+    Ln.each([&](unsigned L) { Dest[L] = applyNorm(Norm, Stage[L]); });
   }
+}
+
+/// Executes one block's body (everything before the terminator) plus the
+/// whole block's accounting — issue counts, ALU lane tallies, cycle
+/// charges including the terminator's latency, BranchesExecuted, and the
+/// runaway-instruction budget. One definition serves the divergent slow
+/// path (SparseLanes) and the uniform fast path (DenseLanes), so the
+/// counter invariants the sim goldens pin live in exactly one place.
+///
+/// Barrier-free blocks entered at their top take the batched form: the
+/// active mask is constant within a block, so the per-instruction
+/// bookkeeping sums to one update precomputed at decode
+/// (DecodedBlock::NumAluInsts / StaticLatency); memory ops still account
+/// individually — their latency is dynamic (bank conflicts, coalescing).
+/// Blocks with barriers (or resumed mid-block) account per instruction,
+/// because a barrier suspends the warp between two of its instructions.
+/// The batching latitude: the budget abort fires at the *top* of the
+/// block whose execution would cross the limit, not at the precise
+/// instruction — the same launches abort, but if that same block also
+/// contains an out-of-bounds access, the reported reason can be the
+/// budget message where per-instruction order would have hit the memory
+/// abort first. Both orders are deterministic, an aborted launch's
+/// stats and memory are discarded, and the differential oracle compares
+/// reference and transformed kernels through this same engine, so the
+/// latitude is invisible to every gate.
+///
+/// Returns true when a barrier suspended the warp (ResumeIdx points past
+/// it); false when the block body completed and the caller should decide
+/// the terminator.
+template <typename Lanes>
+bool SimEngine::Scratch::runBlockBody(Warp &W, const DecodedBlock &DB,
+                                      uint64_t Mask, Lanes Ln) {
+  const DecodedInst *Insts = Prog->Insts.data();
+  const uint32_t Last = DB.NumInsts - 1; // terminator
+  if (!DB.HasBarrier && W.ResumeIdx == 0) {
+    if (W.DynInstrs + DB.NumInsts > Cfg->MaxDynamicInstrPerWarp) {
+      W.DynInstrs += DB.NumInsts;
+      reportFatalError("simulated warp exceeded the dynamic "
+                       "instruction budget (runaway loop?)");
+    }
+    W.DynInstrs += DB.NumInsts;
+    LaunchStats.InstructionsIssued += DB.NumInsts;
+    LaunchStats.AluInsts += DB.NumAluInsts;
+    LaunchStats.AluLanesActive +=
+        static_cast<uint64_t>(DB.NumAluInsts) * std::popcount(Mask);
+    LaunchStats.AluLanesTotal +=
+        static_cast<uint64_t>(DB.NumAluInsts) * Cfg->WarpSize;
+    W.Cycles += DB.StaticLatency; // terminator latency included
+    for (uint32_t Idx = 0; Idx < Last; ++Idx) {
+      const DecodedInst &DI = Insts[DB.FirstInst + Idx];
+      if (DI.Op == Opcode::Load || DI.Op == Opcode::Store)
+        executeMemory(W, DI, Mask, Ln);
+      else
+        computeOp(W, DI, Ln);
+    }
+  } else {
+    for (uint32_t Idx = W.ResumeIdx; Idx < Last; ++Idx) {
+      const DecodedInst &DI = Insts[DB.FirstInst + Idx];
+      if (++W.DynInstrs > Cfg->MaxDynamicInstrPerWarp)
+        reportFatalError("simulated warp exceeded the dynamic "
+                         "instruction budget (runaway loop?)");
+      if (DI.Op == Opcode::Call &&
+          DI.SubOp == static_cast<uint8_t>(Intrinsic::Barrier)) {
+        W.Cycles += DI.Latency;
+        ++LaunchStats.InstructionsIssued;
+        W.ResumeIdx = Idx + 1;
+        return true;
+      }
+      execute(W, DI, Mask, Ln);
+    }
+    // Terminator accounting (the caller decides where it goes).
+    if (++W.DynInstrs > Cfg->MaxDynamicInstrPerWarp)
+      reportFatalError("simulated warp exceeded the dynamic "
+                       "instruction budget (runaway loop?)");
+    ++LaunchStats.InstructionsIssued;
+    W.Cycles += Insts[DB.FirstInst + Last].Latency;
+  }
+  ++LaunchStats.BranchesExecuted;
+  W.ResumeIdx = 0;
+  return false;
 }
 
 WarpStatus SimEngine::Scratch::runWarp(Warp &W) {
@@ -234,73 +382,121 @@ WarpStatus SimEngine::Scratch::runWarp(Warp &W) {
       continue;
     }
 
+    // Uniform fast path: a fully converged warp in a block whose
+    // terminator provably cannot split the mask runs block-to-block in
+    // runUniform until control reaches a possibly-divergent branch.
+    if (Top.Mask == W.FullMask && Prog->Blocks[Top.PC].UniformSafe) {
+      WarpStatus St;
+      if (runUniform(W, St))
+        return St;
+      continue; // left the uniform region with state intact
+    }
+
     const DecodedBlock &DB = Prog->Blocks[Top.PC];
     const uint64_t Mask = Top.Mask;
-    const uint32_t Last = DB.NumInsts - 1; // terminator
-    for (uint32_t Idx = W.ResumeIdx; Idx < DB.NumInsts; ++Idx) {
-      const DecodedInst &DI = Insts[DB.FirstInst + Idx];
-      if (++W.DynInstrs > Cfg->MaxDynamicInstrPerWarp)
-        reportFatalError("simulated warp exceeded the dynamic "
-                         "instruction budget (runaway loop?)");
+    const SparseLanes Ln{Mask};
+    if (runBlockBody(W, DB, Mask, Ln))
+      return WarpStatus::AtBarrier;
 
-      if (DI.Op == Opcode::Call &&
-          DI.SubOp == static_cast<uint8_t>(Intrinsic::Barrier)) {
-        W.Cycles += DI.Latency;
-        ++LaunchStats.InstructionsIssued;
-        W.ResumeIdx = Idx + 1;
-        return WarpStatus::AtBarrier;
+    // Terminator.
+    const DecodedInst &Term = Insts[DB.FirstInst + DB.NumInsts - 1];
+    if (Term.Op == Opcode::Ret) {
+      W.Stack.pop_back();
+    } else if (Term.Op == Opcode::Br) {
+      runEdgeCopies(W, DB.Edge[0], Ln);
+      Top.PC = DB.Succ[0];
+    } else {
+      const OpRow Cond = row(W, Term.A);
+      uint64_t MT = 0;
+      forLanes(Mask, [&](unsigned L) {
+        if (Cond.get(L) & 1)
+          MT |= 1ull << L;
+      });
+      const uint64_t MF = Mask & ~MT;
+      if (MF == 0) {
+        runEdgeCopies(W, DB.Edge[0], Ln);
+        Top.PC = DB.Succ[0];
+      } else if (MT == 0) {
+        runEdgeCopies(W, DB.Edge[1], Ln);
+        Top.PC = DB.Succ[1];
+      } else {
+        // Divergence: reconverge at the IPDOM, serialize both paths.
+        ++LaunchStats.DivergentBranches;
+        const uint32_t SuccT = DB.Succ[0], SuccF = DB.Succ[1];
+        const uint32_t R = DB.Reconverge;
+        Top.PC = R; // this entry becomes the reconvergence entry
+        runEdgeCopies(W, DB.Edge[1], SparseLanes{MF});
+        W.Stack.push_back({SuccF, R, MF}); // invalidates Top
+        runEdgeCopies(W, DB.Edge[0], SparseLanes{MT});
+        W.Stack.push_back({SuccT, R, MT});
       }
-
-      if (Idx == Last) {
-        ++LaunchStats.InstructionsIssued;
-        ++LaunchStats.BranchesExecuted;
-        W.Cycles += DI.Latency;
-        W.ResumeIdx = 0;
-        if (DI.Op == Opcode::Ret) {
-          W.Stack.pop_back();
-        } else if (DI.Op == Opcode::Br) {
-          runEdgeCopies(W, DB.Edge[0], Mask);
-          Top.PC = DB.Succ[0];
-        } else {
-          const OpRow Cond = row(W, DI.A);
-          uint64_t MT = 0;
-          forLanes(Mask, [&](unsigned L) {
-            if (Cond.get(L) & 1)
-              MT |= 1ull << L;
-          });
-          const uint64_t MF = Mask & ~MT;
-          if (MF == 0) {
-            runEdgeCopies(W, DB.Edge[0], Mask);
-            Top.PC = DB.Succ[0];
-          } else if (MT == 0) {
-            runEdgeCopies(W, DB.Edge[1], Mask);
-            Top.PC = DB.Succ[1];
-          } else {
-            // Divergence: reconverge at the IPDOM, serialize both paths.
-            ++LaunchStats.DivergentBranches;
-            const uint32_t SuccT = DB.Succ[0], SuccF = DB.Succ[1];
-            const uint32_t R = DB.Reconverge;
-            Top.PC = R; // this entry becomes the reconvergence entry
-            runEdgeCopies(W, DB.Edge[1], MF);
-            W.Stack.push_back({SuccF, R, MF}); // invalidates Top
-            runEdgeCopies(W, DB.Edge[0], MT);
-            W.Stack.push_back({SuccT, R, MT});
-          }
-        }
-        break;
-      }
-
-      execute(W, DI, Mask);
     }
   }
 }
 
+/// The uniform fast path (docs/performance.md): executes consecutive
+/// UniformSafe blocks while the warp's full mask is active. Lane loops
+/// are dense ([0, NumLanes), exactly the set bits of the full mask in
+/// the same order), the conditional-branch mask scan collapses to one
+/// lane read (UniformSafe guarantees every lane agrees), the
+/// reconvergence stack is never pushed — a full mask implies the stack's
+/// bottom entry, whose RPC is the function exit, so the top-of-loop
+/// PC==RPC check in runWarp can never fire here — and for barrier-free
+/// blocks the per-instruction bookkeeping (issue counts, ALU lane
+/// tallies, static cycle charges, the runaway budget) collapses into one
+/// batched update precomputed at decode time. Counters, cycles and
+/// memory effects are bit-identical to the slow path (sim goldens); the
+/// only latitude is the runaway-budget abort position within a block
+/// (see runBlockBody).
+///
+/// Returns true when the warp finished or reached a barrier (\p St set);
+/// false when control reached a block the fast path cannot handle — the
+/// warp state is left exactly where runWarp's slow path picks up.
+bool SimEngine::Scratch::runUniform(Warp &W, WarpStatus &St) {
+  const DecodedInst *Insts = Prog->Insts.data();
+  StackEntry &Top = W.Stack.back();
+  const uint64_t Mask = Top.Mask;
+  const DenseLanes Ln{W.NumLanes};
+  while (true) {
+    const DecodedBlock &DB = Prog->Blocks[Top.PC];
+    if (!DB.UniformSafe)
+      return false;
+    if (runBlockBody(W, DB, Mask, Ln)) {
+      St = WarpStatus::AtBarrier;
+      return true;
+    }
+
+    // Terminator: decided from one lane, no mask scan, no stack growth.
+    const DecodedInst &Term = Insts[DB.FirstInst + DB.NumInsts - 1];
+    if (Term.Op == Opcode::Ret) {
+      W.Stack.pop_back();
+      if (W.Stack.empty()) {
+        St = WarpStatus::Finished;
+        return true;
+      }
+      return false; // defensive: only reachable if a pushed entry
+                    // carried a full mask, which push sites exclude
+    }
+    unsigned S = 0;
+    if (Term.Op != Opcode::Br) {
+      // Uniform condition: every active lane computed the same bit
+      // (DecodedBlock::UniformSafe), and with a full mask lane 0 is
+      // always active — read it instead of scanning the mask.
+      const OpRow Cond = row(W, Term.A);
+      S = (Cond.get(0) & 1) ? 0 : 1;
+    }
+    runEdgeCopies(W, DB.Edge[S], Ln);
+    Top.PC = DB.Succ[S];
+  }
+}
+
+template <typename Lanes>
 void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
-                                 uint64_t Mask) {
+                                 uint64_t Mask, Lanes Ln) {
   ++LaunchStats.InstructionsIssued;
 
   if (DI.Op == Opcode::Load || DI.Op == Opcode::Store) {
-    executeMemory(W, DI, Mask);
+    executeMemory(W, DI, Mask, Ln);
     return;
   }
 
@@ -310,6 +506,13 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
   LaunchStats.AluLanesTotal += Cfg->WarpSize;
   W.Cycles += DI.Latency;
 
+  computeOp(W, DI, Ln);
+}
+
+/// The data-path switch alone — no issue counters, no cycle charges. The
+/// uniform fast path batches those per block and calls this directly.
+template <typename Lanes>
+void SimEngine::Scratch::computeOp(Warp &W, const DecodedInst &DI, Lanes Ln) {
   uint64_t *Dest = destRow(W, DI);
   const bool Is32 = DI.Flags & DecodedInst::kIs32;
   const unsigned ShiftMask = Is32 ? 31 : 63;
@@ -318,7 +521,7 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
 #define DARM_BINOP(OPC, EXPR)                                                  \
   case Opcode::OPC: {                                                          \
     const OpRow A = row(W, DI.A), B = row(W, DI.B);                            \
-    forLanes(Mask, [&](unsigned L) {                                           \
+    Ln.each([&](unsigned L) {                                           \
       const uint64_t RA = A.get(L), RB = B.get(L);                             \
       (void)RA;                                                                \
       (void)RB;                                                                \
@@ -378,7 +581,7 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
   case Opcode::ICmp: {
     const OpRow A = row(W, DI.A), B = row(W, DI.B);
     const auto Pred = static_cast<ICmpPred>(DI.SubOp);
-    forLanes(Mask, [&](unsigned L) {
+    Ln.each([&](unsigned L) {
       const uint64_t RA = A.get(L), RB = B.get(L);
       const int64_t SA = static_cast<int64_t>(RA);
       const int64_t SB = static_cast<int64_t>(RB);
@@ -424,7 +627,7 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
   case Opcode::FCmp: {
     const OpRow A = row(W, DI.A), B = row(W, DI.B);
     const auto Pred = static_cast<FCmpPred>(DI.SubOp);
-    forLanes(Mask, [&](unsigned L) {
+    Ln.each([&](unsigned L) {
       const float FA = asFloat(A.get(L)), FB = asFloat(B.get(L));
       uint64_t R = 0;
       switch (Pred) {
@@ -453,7 +656,7 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
   }
   case Opcode::Select: {
     const OpRow C = row(W, DI.A), T = row(W, DI.B), F = row(W, DI.C);
-    forLanes(Mask, [&](unsigned L) {
+    Ln.each([&](unsigned L) {
       Dest[L] = applyNorm(DI.Norm, (C.get(L) & 1) ? T.get(L) : F.get(L));
     });
     break;
@@ -461,7 +664,7 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
   case Opcode::Gep: {
     const OpRow Base = row(W, DI.A), Index = row(W, DI.B);
     const int64_t Elem = DI.ElemSize;
-    forLanes(Mask, [&](unsigned L) {
+    Ln.each([&](unsigned L) {
       const int64_t Idx = static_cast<int64_t>(Index.get(L));
       Dest[L] = Base.get(L) + static_cast<uint64_t>(Idx * Elem);
     });
@@ -470,7 +673,7 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
   case Opcode::ZExt: {
     const OpRow Src = row(W, DI.A);
     const uint8_t F = DI.Flags;
-    forLanes(Mask, [&](unsigned L) {
+    Ln.each([&](unsigned L) {
       const uint64_t V = Src.get(L);
       const uint64_t R = (F & DecodedInst::kSrcIsI1)    ? (V & 1)
                          : (F & DecodedInst::kSrcIsI32) ? static_cast<uint32_t>(V)
@@ -482,7 +685,7 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
   case Opcode::SExt: {
     const OpRow Src = row(W, DI.A);
     const bool FromI1 = DI.Flags & DecodedInst::kSrcIsI1;
-    forLanes(Mask, [&](unsigned L) {
+    Ln.each([&](unsigned L) {
       const uint64_t V = Src.get(L);
       // i32 registers are stored sign-extended already.
       const uint64_t R = FromI1 ? ((V & 1) ? ~0ull : 0) : V;
@@ -492,14 +695,14 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
   }
   case Opcode::Trunc: {
     const OpRow Src = row(W, DI.A);
-    forLanes(Mask, [&](unsigned L) {
+    Ln.each([&](unsigned L) {
       Dest[L] = applyNorm(DI.Norm, Src.get(L)); // norm truncates on write
     });
     break;
   }
   case Opcode::SIToFP: {
     const OpRow Src = row(W, DI.A);
-    forLanes(Mask, [&](unsigned L) {
+    Ln.each([&](unsigned L) {
       Dest[L] = applyNorm(DI.Norm, fromFloat(static_cast<float>(
                                        static_cast<int64_t>(Src.get(L)))));
     });
@@ -516,7 +719,7 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
     const float Hi = To32 ? 2147483648.0f : 9223372036854775808.0f;
     const int64_t Min = To32 ? INT32_MIN : INT64_MIN;
     const int64_t Max = To32 ? INT32_MAX : INT64_MAX;
-    forLanes(Mask, [&](unsigned L) {
+    Ln.each([&](unsigned L) {
       const float F = asFloat(Src.get(L));
       int64_t R;
       if (std::isnan(F))
@@ -535,32 +738,32 @@ void SimEngine::Scratch::execute(Warp &W, const DecodedInst &DI,
     const unsigned WS = Cfg->WarpSize;
     switch (static_cast<Intrinsic>(DI.SubOp)) {
     case Intrinsic::TidX:
-      forLanes(Mask, [&](unsigned L) {
+      Ln.each([&](unsigned L) {
         Dest[L] = applyNorm(DI.Norm, W.Index * WS + L);
       });
       break;
     case Intrinsic::NTidX:
-      forLanes(Mask, [&](unsigned L) {
+      Ln.each([&](unsigned L) {
         Dest[L] = applyNorm(DI.Norm, LP->BlockDimX);
       });
       break;
     case Intrinsic::CTAidX:
-      forLanes(Mask, [&](unsigned L) {
+      Ln.each([&](unsigned L) {
         Dest[L] = applyNorm(DI.Norm, BlockIdx);
       });
       break;
     case Intrinsic::NCTAidX:
-      forLanes(Mask, [&](unsigned L) {
+      Ln.each([&](unsigned L) {
         Dest[L] = applyNorm(DI.Norm, LP->GridDimX);
       });
       break;
     case Intrinsic::LaneId:
-      forLanes(Mask, [&](unsigned L) { Dest[L] = applyNorm(DI.Norm, L); });
+      Ln.each([&](unsigned L) { Dest[L] = applyNorm(DI.Norm, L); });
       break;
     case Intrinsic::ShflSync: {
       const OpRow Val = row(W, DI.A), Lane = row(W, DI.B);
-      forLanes(Mask, [&](unsigned L) {
-        const unsigned Src = static_cast<unsigned>(Lane.get(L)) % WS;
+      Ln.each([&](unsigned L) {
+        const unsigned Src = laneModWarp(Lane.get(L));
         Dest[L] = applyNorm(DI.Norm, Val.get(Src));
       });
       break;
@@ -580,7 +783,7 @@ uint64_t SimEngine::Scratch::memLoad(bool Shared, uint64_t Addr,
                                      unsigned Size) const {
   if (!Shared)
     return Mem->load(Addr, Size);
-  if (Addr + Size > Lds.size())
+  if (Addr > Lds.size() || Size > Lds.size() - Addr) // overflow-proof
     return 0; // speculated OOB load (see Memory.h)
   uint64_t V = 0;
   std::memcpy(&V, Lds.data() + Addr, Size);
@@ -593,40 +796,60 @@ void SimEngine::Scratch::memStore(bool Shared, uint64_t Addr, unsigned Size,
     Mem->store(Addr, Size, V);
     return;
   }
-  if (Addr + Size > Lds.size())
+  if (Addr > Lds.size() || Size > Lds.size() - Addr) // overflow-proof
     reportFatalError("simulated kernel stored out of LDS bounds");
   std::memcpy(Lds.data() + Addr, &V, Size);
 }
 
+template <typename Lanes>
 void SimEngine::Scratch::executeMemory(Warp &W, const DecodedInst &DI,
-                                       uint64_t Mask) {
+                                       uint64_t Mask, Lanes Ln) {
+  (void)Mask;
   const bool IsLoad = DI.Op == Opcode::Load;
   const bool Shared = DI.Flags & DecodedInst::kShared;
   const unsigned Size = DI.ElemSize;
   const OpRow Ptr = row(W, IsLoad ? DI.A : DI.B);
 
-  // Gather active addresses for the contention model.
-  Addrs.clear();
-  forLanes(Mask, [&](unsigned L) { Addrs.push_back(Ptr.get(L)); });
+  // Gather active addresses for the contention model. A warp is at most
+  // 64 lanes, so a stack buffer beats a heap vector in the hot loop.
+  uint64_t AddrBuf[64];
+  unsigned NA = 0;
+  Ln.each([&](unsigned L) { AddrBuf[NA++] = Ptr.get(L); });
 
   if (Shared) {
     ++LaunchStats.SharedMemInsts;
     // Bank conflicts: lanes hitting distinct addresses in one bank
     // serialize; same-address lanes broadcast. Degree = max distinct
-    // addresses within a bank, via one sort of (bank, addr) pairs.
-    BankPairs.clear();
-    for (uint64_t A : Addrs)
-      BankPairs.push_back(
-          {(A / Cfg->LdsBankWidthBytes) % Cfg->NumLdsBanks, A});
-    std::sort(BankPairs.begin(), BankPairs.end());
+    // addresses within a bank. The common case — every lane in its own
+    // bank — is detected with one pass over a bank bitmask; only actual
+    // bank reuse (conflict or broadcast) pays for the sort.
     unsigned Degree = 1;
-    unsigned Run = 0;
-    for (size_t I = 0; I < BankPairs.size(); ++I) {
-      if (I > 0 && BankPairs[I].first != BankPairs[I - 1].first)
-        Run = 0;
-      if (I == 0 || BankPairs[I] != BankPairs[I - 1])
-        ++Run;
-      Degree = std::max(Degree, Run);
+    bool BankReused = Cfg->NumLdsBanks > 64;
+    if (!BankReused) {
+      uint64_t Seen = 0;
+      for (unsigned I = 0; I < NA; ++I) {
+        const uint64_t Bit = 1ull << bankOf(AddrBuf[I]);
+        if (Seen & Bit) {
+          BankReused = true;
+          break;
+        }
+        Seen |= Bit;
+      }
+    }
+    if (BankReused) {
+      // Exact degree via one sort of (bank, addr) pairs.
+      BankPairs.clear();
+      for (unsigned I = 0; I < NA; ++I)
+        BankPairs.push_back({bankOf(AddrBuf[I]), AddrBuf[I]});
+      std::sort(BankPairs.begin(), BankPairs.end());
+      unsigned Run = 0;
+      for (size_t I = 0; I < BankPairs.size(); ++I) {
+        if (I > 0 && BankPairs[I].first != BankPairs[I - 1].first)
+          Run = 0;
+        if (I == 0 || BankPairs[I] != BankPairs[I - 1])
+          ++Run;
+        Degree = std::max(Degree, Run);
+      }
     }
     const uint64_t Penalty =
         static_cast<uint64_t>(Degree - 1) * CostModel::BankConflictPenalty;
@@ -634,27 +857,57 @@ void SimEngine::Scratch::executeMemory(Warp &W, const DecodedInst &DI,
   } else {
     ++LaunchStats.VectorMemInsts;
     // Coalescing: each additional 128-byte segment costs a transaction.
-    Segments.clear();
-    for (uint64_t A : Addrs)
-      Segments.push_back(A / Cfg->CoalesceSegmentBytes);
-    std::sort(Segments.begin(), Segments.end());
-    const unsigned NumSeg = std::max<size_t>(
-        1, std::unique(Segments.begin(), Segments.end()) - Segments.begin());
+    // Lane-monotonic addresses (the overwhelmingly common access shape)
+    // keep equal segments adjacent, so distinct segments are just the
+    // transitions of one linear scan; only unsorted gathers pay for the
+    // sort + unique.
+    unsigned NumSeg = 1;
+    bool Sorted = true;
+    for (unsigned I = 1; I < NA; ++I) {
+      if (AddrBuf[I] < AddrBuf[I - 1]) {
+        Sorted = false;
+        break;
+      }
+      NumSeg += segmentOf(AddrBuf[I]) != segmentOf(AddrBuf[I - 1]);
+    }
+    if (!Sorted) {
+      Segments.clear();
+      for (unsigned I = 0; I < NA; ++I)
+        Segments.push_back(segmentOf(AddrBuf[I]));
+      std::sort(Segments.begin(), Segments.end());
+      NumSeg = static_cast<unsigned>(std::max<size_t>(
+          1, std::unique(Segments.begin(), Segments.end()) -
+                 Segments.begin()));
+    }
     const uint64_t Penalty =
         static_cast<uint64_t>(NumSeg - 1) * CostModel::GlobalSegmentPenalty;
     W.Cycles += CostModel::GlobalMemLatency + Penalty;
   }
 
+  // Data movement: reuse the gathered addresses (AddrBuf is in lane
+  // order for both policies) and hoist the space dispatch out of the
+  // per-lane loops.
   if (IsLoad) {
     uint64_t *Dest = destRow(W, DI);
-    forLanes(Mask, [&](unsigned L) {
-      Dest[L] = applyNorm(DI.Norm, memLoad(Shared, Ptr.get(L), Size));
-    });
+    const NormKind Norm = DI.Norm;
+    unsigned I = 0;
+    if (Shared)
+      Ln.each([&](unsigned L) {
+        Dest[L] = applyNorm(Norm, memLoad(true, AddrBuf[I++], Size));
+      });
+    else
+      Ln.each([&](unsigned L) {
+        Dest[L] = applyNorm(Norm, Mem->load(AddrBuf[I++], Size));
+      });
   } else {
     const OpRow Val = row(W, DI.A);
-    forLanes(Mask, [&](unsigned L) {
-      memStore(Shared, Ptr.get(L), Size, Val.get(L));
-    });
+    unsigned I = 0;
+    if (Shared)
+      Ln.each(
+          [&](unsigned L) { memStore(true, AddrBuf[I++], Size, Val.get(L)); });
+    else
+      Ln.each(
+          [&](unsigned L) { Mem->store(AddrBuf[I++], Size, Val.get(L)); });
   }
 }
 
@@ -665,9 +918,23 @@ void SimEngine::Scratch::executeMemory(Warp &W, const DecodedInst &DI,
 SimEngine::SimEngine(Function &Kernel, const GpuConfig &Config)
     : Cfg(Config), S(std::make_unique<Scratch>()) {
   Cfg.validate();
+  // Shift/mask forms of the contention-model divisors (see Scratch).
+  if (std::has_single_bit(uint64_t{Cfg.CoalesceSegmentBytes})) {
+    S->SegPow2 = true;
+    S->SegShift = std::countr_zero(uint64_t{Cfg.CoalesceSegmentBytes});
+  }
+  if (std::has_single_bit(uint64_t{Cfg.LdsBankWidthBytes}) &&
+      std::has_single_bit(uint64_t{Cfg.NumLdsBanks})) {
+    S->BankPow2 = true;
+    S->BankShift = std::countr_zero(uint64_t{Cfg.LdsBankWidthBytes});
+    S->BankIdxMask = Cfg.NumLdsBanks - 1;
+  }
+  if (std::has_single_bit(uint64_t{Cfg.WarpSize})) {
+    S->WarpPow2 = true;
+    S->LaneIdxMask = Cfg.WarpSize - 1;
+  }
   Prog = decodeProgram(Kernel);
   S->Staging.resize(static_cast<size_t>(Prog.MaxEdgePhis) * Cfg.WarpSize);
-  S->Addrs.reserve(Cfg.WarpSize);
   S->BankPairs.reserve(Cfg.WarpSize);
   S->Segments.reserve(Cfg.WarpSize);
 }

@@ -14,7 +14,10 @@ void darm::reportUnreachable(const char *Msg, const char *File,
 }
 
 namespace {
-darm::FatalErrorHandler Handler = nullptr;
+// Per-thread slot (see ErrorHandling.h): a worker's scoped handler must
+// neither race with another worker's installation nor catch an abort
+// raised by a simulation it does not own.
+thread_local darm::FatalErrorHandler Handler = nullptr;
 } // namespace
 
 darm::FatalErrorHandler darm::setFatalErrorHandler(FatalErrorHandler H) {

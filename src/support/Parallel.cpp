@@ -1,0 +1,165 @@
+//===- Parallel.cpp - Work-scheduling thread pool ---------------------------===//
+//
+// A deliberately small pool: one condition variable hands batches to the
+// workers, an atomic cursor hands items to whoever is free (workers and
+// the calling thread alike), and a per-batch active count lets the caller
+// wait for in-flight items without joining threads. Waking a worker and
+// registering it with the current batch happen under one mutex, so a
+// batch can never complete while a late-waking worker is about to enter
+// it, and a worker can never observe a batch whose results buffer has
+// already been torn down.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/support/Parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+using namespace darm;
+
+unsigned darm::hardwareParallelism() {
+  const unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+namespace {
+
+/// One forIndices invocation. Owned by ThreadPool::Impl for the duration
+/// of the batch; the caller never returns while Active > 0, so the
+/// callback reference stays valid for every claimed item.
+struct Batch {
+  const std::function<void(size_t)> *Fn = nullptr;
+  size_t N = 0;
+  std::atomic<size_t> Next{0};
+
+  // Lowest-indexed failure (see Parallel.h): claims are monotonically
+  // increasing, so when an item throws, every lower index has already
+  // been claimed and will record its own (lower) failure if it throws
+  // too — the minimum is deterministic regardless of scheduling.
+  std::mutex ExcM;
+  size_t ExcIdx = ~size_t{0};
+  std::exception_ptr Exc;
+
+  void runItems() {
+    while (true) {
+      const size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      try {
+        (*Fn)(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(ExcM);
+        if (!Exc || I < ExcIdx) {
+          ExcIdx = I;
+          Exc = std::current_exception();
+        }
+        // Fail fast: stop claiming further items. In-flight ones drain.
+        Next.store(N, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+} // namespace
+
+struct ThreadPool::Impl {
+  std::mutex M;
+  std::condition_variable WorkCV; ///< signals a new batch (or shutdown)
+  std::condition_variable DoneCV; ///< signals the batch drained
+  Batch *Current = nullptr;       ///< valid while Generation unchanged
+  uint64_t Generation = 0;
+  unsigned Active = 0; ///< workers currently inside Current
+  bool Shutdown = false;
+  std::vector<std::thread> Workers;
+
+  void workerLoop() {
+    uint64_t SeenGen = 0;
+    while (true) {
+      Batch *B;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        WorkCV.wait(Lock,
+                    [&] { return Shutdown || Generation != SeenGen; });
+        if (Shutdown)
+          return;
+        SeenGen = Generation;
+        B = Current;
+        // The caller may have drained the whole batch itself and cleared
+        // Current (under this mutex) before we woke; nothing to join.
+        if (!B)
+          continue;
+        ++Active; // registered before the lock drops: the caller's done
+                  // wait below cannot miss this worker
+      }
+      B->runItems();
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        --Active;
+      }
+      DoneCV.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned Jobs) : NumJobs(Jobs == 0 ? 1 : Jobs) {
+  if (NumJobs == 1)
+    return; // inline mode: no Impl, no threads
+  I = std::make_unique<Impl>();
+  I->Workers.reserve(NumJobs - 1);
+  for (unsigned W = 0; W + 1 < NumJobs; ++W)
+    I->Workers.emplace_back([this] { I->workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (!I)
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(I->M);
+    I->Shutdown = true;
+  }
+  I->WorkCV.notify_all();
+  for (std::thread &T : I->Workers)
+    T.join();
+}
+
+void ThreadPool::forIndices(size_t N, const std::function<void(size_t)> &Fn) {
+  if (N == 0)
+    return;
+  if (!I) {
+    // Jobs == 1: a plain loop on the calling thread, bit-for-bit the
+    // sequential behaviour (order, thread identity, exception flow).
+    for (size_t Idx = 0; Idx < N; ++Idx)
+      Fn(Idx);
+    return;
+  }
+
+  Batch B;
+  B.Fn = &Fn;
+  B.N = N;
+  {
+    std::lock_guard<std::mutex> Lock(I->M);
+    I->Current = &B;
+    ++I->Generation;
+  }
+  I->WorkCV.notify_all();
+
+  // The caller is a full participant: it claims items like any worker.
+  B.runItems();
+
+  // Wait for workers still inside this batch. A worker that has not yet
+  // woken for this generation will find the cursor exhausted and leave
+  // immediately; wake-and-register is atomic under M, so Active == 0
+  // under the lock means no worker can still touch B.
+  {
+    std::unique_lock<std::mutex> Lock(I->M);
+    I->DoneCV.wait(Lock, [&] { return I->Active == 0; });
+    I->Current = nullptr;
+  }
+
+  if (B.Exc)
+    std::rethrow_exception(B.Exc);
+}

@@ -300,6 +300,58 @@ INSTANTIATE_TEST_SUITE_P(Corpus, ClaimsGolden,
                          ::testing::ValuesIn(allBenchmarks()),
                          [](const auto &Info) { return Info.param; });
 
+//===----------------------------------------------------------------------===//
+// Parallel corpus measurement (measureCorpus, docs/performance.md): the
+// fan-out over (cell|seed) x config work units must be indistinguishable
+// from the sequential loops — byte-identical claims JSON and aggregates
+// at any pool size.
+//===----------------------------------------------------------------------===//
+
+TEST(CorpusRunner, MeasureCorpusMatchesSequentialByteForByte) {
+  const std::vector<BenchCell> Cells = {{"BIT", 32}, {"SB1", 32}};
+  const std::vector<uint64_t> Seeds = {0, 1, 2};
+
+  std::vector<KernelClaims> Seq;
+  for (const BenchCell &Cell : Cells)
+    Seq.push_back(measureBenchmark(Cell));
+  for (uint64_t Seed : Seeds)
+    Seq.push_back(measureFuzz(fuzz::FuzzCase(Seed)));
+
+  ThreadPool Pool1(1);
+  GoldenFile G1;
+  G1.Kernels = measureCorpus(Pool1, Cells, Seeds);
+  GoldenFile GSeq;
+  GSeq.Kernels = Seq;
+  EXPECT_EQ(toJson(G1), toJson(GSeq));
+}
+
+TEST(CorpusRunner, MeasureCorpusJobsInvariant) {
+  const std::vector<BenchCell> Cells = {{"SB2", 32}, {"SB3R", 64}};
+  const std::vector<uint64_t> Seeds = {3, 4, 5, 6};
+
+  ThreadPool Pool1(1), Pool4(4);
+  std::vector<std::string> Progress1, Progress4;
+  GoldenFile G1, G4;
+  G1.Kernels = measureCorpus(Pool1, Cells, Seeds, [&](const KernelClaims &K) {
+    Progress1.push_back(K.cellName());
+  });
+  G4.Kernels = measureCorpus(Pool4, Cells, Seeds, [&](const KernelClaims &K) {
+    Progress4.push_back(K.cellName());
+  });
+
+  // Identical JSON bytes, identical aggregate, identical (ordered)
+  // progress stream.
+  EXPECT_EQ(toJson(G4), toJson(G1));
+  GoldenFile A1, A4;
+  A1.Kernels = {aggregateClaims(G1.Kernels, "agg")};
+  A4.Kernels = {aggregateClaims(G4.Kernels, "agg")};
+  EXPECT_EQ(toJson(A4), toJson(A1));
+  EXPECT_EQ(Progress4, Progress1);
+  ASSERT_EQ(Progress1.size(), Cells.size() + Seeds.size());
+  EXPECT_EQ(Progress1.front(), "SB2/bs32");
+  EXPECT_EQ(Progress1.back(), "fuzz6");
+}
+
 // Pinned fuzz seeds get the same golden treatment: the generator, the
 // transforms and the simulator are all deterministic, so these counters
 // only move when a pass or the generator intentionally changes.

@@ -28,6 +28,7 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 
 using namespace darm;
 using namespace darm::fuzz;
@@ -143,6 +144,64 @@ TEST(Oracle, CleanSweep) {
                              << ": " << R.Detail << "\n"
                              << R.ReproIR;
   }
+}
+
+/// One sweep result in comparable form.
+using SweepRow =
+    std::tuple<uint64_t, bool, std::string, std::string, std::string>;
+
+std::vector<SweepRow> collectSweep(unsigned Jobs,
+                                   const std::vector<uint64_t> &Seeds,
+                                   const OracleOptions &Opts,
+                                   unsigned StopAfterFindings = ~0u) {
+  ThreadPool Pool(Jobs);
+  std::vector<SweepRow> Out;
+  unsigned Findings = 0;
+  sweepSeeds(Pool, Seeds, Opts,
+             [&](uint64_t Seed, const OracleResult &R) {
+               Out.emplace_back(Seed, R.Mismatch, R.Config, R.Detail,
+                                R.ReproIR);
+               if (R.Mismatch)
+                 ++Findings;
+               return Findings < StopAfterFindings;
+             });
+  return Out;
+}
+
+TEST(Oracle, SweepJobsInvariance) {
+  // The acceptance bar for the parallel sweep engine: any --jobs value
+  // reports the same seeds, verdicts, diagnostics and repro IR in the
+  // same order as the sequential sweep (docs/performance.md).
+  std::vector<uint64_t> Seeds;
+  for (uint64_t S = 0; S < 30; ++S)
+    Seeds.push_back(S);
+  OracleOptions Opts;
+  const std::vector<SweepRow> Seq = collectSweep(1, Seeds, Opts);
+  ASSERT_EQ(Seq.size(), Seeds.size());
+  EXPECT_EQ(collectSweep(4, Seeds, Opts), Seq);
+}
+
+/// Forward declaration (defined below for the injected-bug tests).
+void deleteAllStores(Function &F);
+
+TEST(Oracle, SweepJobsInvarianceWithFindingsAndEarlyStop) {
+  // With a broken transform most seeds produce findings; the parallel
+  // sweep must report the identical (ordered) finding list and stop at
+  // the same seed the sequential max-failures cutoff stops at.
+  std::vector<uint64_t> Seeds;
+  for (uint64_t S = 0; S < 12; ++S)
+    Seeds.push_back(S);
+  OracleOptions Opts;
+  Opts.Configs.push_back({"broken", deleteAllStores});
+  Opts.RoundTrip = false;
+  Opts.Minimize = false; // verdict identity is the point, not shrinking
+  const std::vector<SweepRow> Seq = collectSweep(1, Seeds, Opts, 3);
+  unsigned Findings = 0;
+  for (const SweepRow &Row : Seq)
+    Findings += std::get<1>(Row);
+  EXPECT_EQ(Findings, 3u);
+  EXPECT_EQ(collectSweep(4, Seeds, Opts, 3), Seq);
+  EXPECT_EQ(collectSweep(8, Seeds, Opts, 3), Seq);
 }
 
 /// A deliberately broken "transform": deletes every store, which any

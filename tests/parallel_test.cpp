@@ -1,0 +1,244 @@
+//===- parallel_test.cpp - Work-scheduling subsystem tests ------------------------===//
+//
+// Covers the sweep thread pool (support/Parallel.h): ordered parallelMap
+// results, deterministic lowest-index exception propagation, pool reuse
+// across batches (including after a failure), the jobs=1 inline
+// guarantee, and the per-thread fatal-error handler the pool's workers
+// rely on (support/ErrorHandling.h) — installation in one thread must
+// neither leak into nor race with another thread's dispatch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/fuzz/KernelGenerator.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/support/ErrorHandling.h"
+#include "darm/support/Parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace darm;
+
+namespace {
+
+TEST(ThreadPool, HardwareParallelismIsPositive) {
+  EXPECT_GE(hardwareParallelism(), 1u);
+  ThreadPool Default;
+  EXPECT_EQ(Default.jobs(), hardwareParallelism());
+  ThreadPool Zero(0); // clamped, not a hang
+  EXPECT_EQ(Zero.jobs(), 1u);
+}
+
+TEST(ParallelMap, OrderedResultsAtAnyPoolSize) {
+  for (unsigned Jobs : {1u, 2u, 4u, 8u}) {
+    ThreadPool Pool(Jobs);
+    std::vector<int> Out = parallelMap<int>(Pool, 100, [](size_t I) {
+      if (I % 7 == 0) // perturb scheduling
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      return static_cast<int>(I * I);
+    });
+    ASSERT_EQ(Out.size(), 100u);
+    for (size_t I = 0; I < Out.size(); ++I)
+      EXPECT_EQ(Out[I], static_cast<int>(I * I)) << "jobs " << Jobs;
+  }
+}
+
+TEST(ParallelMap, EveryIndexRunsExactlyOnce) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Counts(500);
+  Pool.forIndices(500, [&](size_t I) { ++Counts[I]; });
+  for (size_t I = 0; I < Counts.size(); ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+}
+
+TEST(ParallelMap, LowestIndexExceptionWins) {
+  // Every item throws its own index; claims are monotonic, so index 0 is
+  // always claimed and its exception must be the one rethrown — on every
+  // run, at any pool size.
+  for (int Round = 0; Round < 20; ++Round) {
+    ThreadPool Pool(4);
+    try {
+      Pool.forIndices(64, [](size_t I) {
+        throw std::runtime_error(std::to_string(I));
+      });
+      FAIL() << "forIndices swallowed the exception";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "0");
+    }
+  }
+}
+
+TEST(ParallelMap, SingleThrowerPropagates) {
+  ThreadPool Pool(4);
+  std::vector<std::atomic<int>> Ran(32);
+  try {
+    Pool.forIndices(32, [&](size_t I) {
+      ++Ran[I];
+      if (I == 7)
+        throw std::runtime_error("seven");
+    });
+    FAIL() << "forIndices swallowed the exception";
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "seven");
+  }
+  // Indices below the thrower were claimed before it threw (monotonic
+  // cursor), so they all ran; later ones may have been skipped.
+  for (size_t I = 0; I < 7; ++I)
+    EXPECT_EQ(Ran[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ReusedAcrossBatchesIncludingAfterFailure) {
+  ThreadPool Pool(4);
+  for (int Batch = 0; Batch < 5; ++Batch) {
+    std::atomic<int> Sum{0};
+    Pool.forIndices(50, [&](size_t I) { Sum += static_cast<int>(I); });
+    EXPECT_EQ(Sum.load(), 49 * 50 / 2) << "batch " << Batch;
+    // A failing batch must not poison the pool for the next one.
+    EXPECT_THROW(
+        Pool.forIndices(8, [](size_t) { throw std::runtime_error("x"); }),
+        std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, Jobs1RunsInlineOnTheCallingThread) {
+  ThreadPool Pool(1);
+  const std::thread::id Caller = std::this_thread::get_id();
+  std::vector<std::thread::id> Ids(16);
+  std::vector<size_t> Seen;
+  Pool.forIndices(16, [&](size_t I) {
+    Ids[I] = std::this_thread::get_id();
+    Seen.push_back(I);
+  });
+  for (const std::thread::id &Id : Ids)
+    EXPECT_EQ(Id, Caller);
+  // Inline mode is the sequential loop: strictly ascending order.
+  for (size_t I = 0; I < Seen.size(); ++I)
+    EXPECT_EQ(Seen[I], I);
+}
+
+TEST(ThreadPool, UsesAtMostJobsThreads) {
+  ThreadPool Pool(3);
+  std::mutex M;
+  std::set<std::thread::id> Ids;
+  Pool.forIndices(64, [&](size_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+    std::lock_guard<std::mutex> Lock(M);
+    Ids.insert(std::this_thread::get_id());
+  });
+  EXPECT_LE(Ids.size(), 3u);
+}
+
+TEST(ParallelMap, PerWorkerContextIRConstruction) {
+  // The real sweep shape: every item builds a kernel into its own
+  // Context. Printed text must match the sequential build bit-for-bit.
+  ThreadPool Pool(4);
+  std::vector<std::string> Parallel =
+      parallelMap<std::string>(Pool, 24, [](size_t I) {
+        Context Ctx;
+        Module M(Ctx, "par");
+        fuzz::FuzzCase C(static_cast<uint64_t>(I));
+        return printFunction(*fuzz::buildFuzzKernel(M, C));
+      });
+  for (size_t I = 0; I < Parallel.size(); ++I) {
+    Context Ctx;
+    Module M(Ctx, "seq");
+    fuzz::FuzzCase C(static_cast<uint64_t>(I));
+    EXPECT_EQ(Parallel[I], printFunction(*fuzz::buildFuzzKernel(M, C)))
+        << "seed " << I;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Per-thread fatal-error handler (the regression tests for making
+// support/ErrorHandling thread-safe).
+//===----------------------------------------------------------------------===//
+
+struct AbortA {
+  std::string Msg;
+};
+struct AbortB {
+  std::string Msg;
+};
+[[noreturn]] void raiseA(const char *Msg) { throw AbortA{Msg}; }
+[[noreturn]] void raiseB(const char *Msg) { throw AbortB{Msg}; }
+
+TEST(FatalHandler, InstallationIsThreadLocal) {
+  // Installing a handler on one thread must not become visible on
+  // another: a worker's scoped handler may never swallow (or redirect)
+  // a different worker's abort.
+  ScopedFatalErrorHandler Guard(raiseA);
+  std::thread Other([] {
+    // This thread never installed anything, so its slot is the default.
+    FatalErrorHandler Prev = setFatalErrorHandler(nullptr);
+    EXPECT_EQ(Prev, nullptr);
+  });
+  Other.join();
+}
+
+TEST(FatalHandler, ConcurrentDispatchNoCrossTalk) {
+  // Four threads concurrently install different handlers and trigger
+  // fatal errors; each must catch exactly its own exception type. Under
+  // the old process-global slot this races (and cross-talks) reliably.
+  std::vector<std::thread> Threads;
+  std::atomic<int> Failures{0};
+  for (int T = 0; T < 4; ++T)
+    Threads.emplace_back([T, &Failures] {
+      for (int Round = 0; Round < 200; ++Round) {
+        if (T % 2 == 0) {
+          ScopedFatalErrorHandler Guard(raiseA);
+          try {
+            reportFatalError("boom-a");
+          } catch (const AbortA &E) {
+            if (E.Msg != "boom-a")
+              ++Failures;
+          } catch (...) {
+            ++Failures; // wrong handler fired: cross-talk
+          }
+        } else {
+          ScopedFatalErrorHandler Guard(raiseB);
+          try {
+            reportFatalError("boom-b");
+          } catch (const AbortB &E) {
+            if (E.Msg != "boom-b")
+              ++Failures;
+          } catch (...) {
+            ++Failures;
+          }
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+}
+
+TEST(FatalHandler, ScopedHandlerRestoresPrevious) {
+  FatalErrorHandler Before = setFatalErrorHandler(raiseA);
+  {
+    ScopedFatalErrorHandler Guard(raiseB);
+    try {
+      reportFatalError("inner");
+      FAIL() << "handler did not fire";
+    } catch (const AbortB &) {
+    }
+  }
+  // Guard restored raiseA.
+  try {
+    reportFatalError("outer");
+    FAIL() << "handler did not fire";
+  } catch (const AbortA &) {
+  }
+  setFatalErrorHandler(Before);
+}
+
+} // namespace

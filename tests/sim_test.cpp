@@ -399,6 +399,56 @@ j:
   EXPECT_EQ(P.Blocks[P.EntryBlock].Reconverge, 2u);
 }
 
+TEST(Sim, UniformSafeBitsAreConservative) {
+  // The uniform fast path's licence (DecodedBlock::UniformSafe,
+  // docs/performance.md): ret / plain br / uniform-condition branches
+  // are safe; anything derived from thread identity, loads or shfl.sync
+  // is not — loads and shuffles can vary with *when* a masked subset
+  // executes them, so they are execution-time divergent even at a
+  // uniform address.
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @uniform(i32 addrspace(1)* %buf, i32 %n) -> void {
+entry:
+  %c.arg = icmp sgt i32 %n, 4
+  condbr i1 %c.arg, label %tid.blk, label %load.blk
+tid.blk:
+  %tid = call i32 @darm.tid.x()
+  %c.tid = icmp slt i32 %tid, 7
+  condbr i1 %c.tid, label %load.blk, label %load.blk
+load.blk:
+  %p = gep i32 addrspace(1)* %buf, i32 0
+  %v = load i32 addrspace(1)* %p
+  %c.load = icmp eq i32 %v, 0
+  condbr i1 %c.load, label %shfl.blk, label %shfl.blk
+shfl.blk:
+  %s = call i32 @darm.shfl.sync(i32 %n, i32 0)
+  %c.shfl = icmp eq i32 %s, 1
+  condbr i1 %c.shfl, label %exit, label %exit
+exit:
+  ret
+}
+)");
+  SimEngine Engine(*F);
+  const DecodedProgram &P = Engine.program();
+  ASSERT_EQ(P.Blocks.size(), 5u);
+  // entry: branch on an argument comparison — uniform, safe.
+  EXPECT_TRUE(P.Blocks[0].UniformSafe);
+  // tid.blk: thread-identity condition — divergent.
+  EXPECT_FALSE(P.Blocks[1].UniformSafe);
+  // load.blk: condition fed by a load (even at a uniform address) —
+  // execution-time divergent.
+  EXPECT_FALSE(P.Blocks[2].UniformSafe);
+  // shfl.blk: condition fed by shfl.sync — execution-time divergent.
+  EXPECT_FALSE(P.Blocks[3].UniformSafe);
+  // exit: ret cannot split the mask.
+  EXPECT_TRUE(P.Blocks[4].UniformSafe);
+  // The shuffled value's register row is the one cross-lane-readable
+  // row, so it is the only one the executor must zero on recycle.
+  EXPECT_EQ(P.CrossLaneRegisters.size(), 1u);
+}
+
 TEST(Sim, NonDefaultWarpSizes) {
   const char *Src = R"(
 func @wsz(i32 addrspace(1)* %out) -> void {

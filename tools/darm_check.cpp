@@ -20,7 +20,14 @@
 //   darm_check --fuzz-seeds 0:2000              + fuzz kernels
 //   darm_check --shards 4:1                     every 4th item, offset 1
 //   darm_check --goldens tests/goldens/claims   golden regression gate
+//   darm_check --compare old.json new.json      diff two darm-claims-v1
+//                                               aggregates; exit 1 on any
+//                                               paper-direction regression
+//     --jobs N         in-process worker threads (default: hardware
+//                      concurrency; results byte-identical at any N)
 //     --json FILE      write darm-claims-v1 JSON of all measurements
+//     --compare-tol X  allowed drift of the per-kernel melding ratios in
+//                      --compare mode (default 0.02)
 //     --alu-tol X      allowed absolute aluUtilization drop (default 0.02)
 //     --db-slack N     allowed extra dynamic divergent branches (default 0)
 //     --mem-tol X      allowed fractional mem-instruction growth (default 0)
@@ -37,12 +44,14 @@
 #include "darm/check/CorpusRunner.h"
 #include "darm/check/GoldenStore.h"
 #include "darm/fuzz/KernelGenerator.h"
+#include "darm/support/Parallel.h"
 #include "darm/support/Shards.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -57,14 +66,159 @@ int usage(const char *Argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--benchmarks A,B] [--fuzz-seeds LO:HI] [--shards N:i]\n"
-      "          [--goldens DIR] [--json FILE] [--alu-tol X] [--db-slack N]\n"
-      "          [--mem-tol X] [--no-claims] [--quiet]\n"
+      "          [--jobs N] [--goldens DIR] [--json FILE] [--alu-tol X]\n"
+      "          [--db-slack N] [--mem-tol X] [--no-claims] [--quiet]\n"
+      "       %s --compare OLD.json NEW.json [--compare-tol X] [--quiet]\n"
       "tolerance flags apply to benchmark cells; fuzz kernels use the fixed\n"
       "generated-kernel and aggregate profiles (docs/claims.md)\n",
-      Argv0);
+      Argv0, Argv0);
   return 2;
 }
 
+/// --compare mode (docs/claims.md): diffs two darm-claims-v1 artifacts —
+/// typically consecutive nightly aggregates — on the *melding-efficacy
+/// ratios* each file records against its own unmelded reference, never
+/// on absolute counters (nightly seed windows advance daily, so
+/// absolutes are not comparable across runs). For every kernel present
+/// in both files and every paper-claim config (the claims-exempt
+/// coverage configs are skipped, same policy as the plausibility gate),
+/// a regression is:
+///
+///   * divergent-branch ratio (config / unmelded) grew by more than Tol,
+///   * ALU-utilization delta (config - unmelded) shrank by more than Tol,
+///   * memory-instruction ratio grew by more than Tol, or
+///   * a config valid in OLD measures invalid in NEW.
+///
+/// Fuzz-aggregate rows are matched by their "fuzz-aggregate" prefix so
+/// windows [N, N+100k) and [N+100k, N+200k) still pair up.
+int compareArtifacts(const std::string &OldPath, const std::string &NewPath,
+                     double Tol, bool Quiet) {
+  auto Load = [](const std::string &Path, GoldenFile &G) -> bool {
+    std::string Err;
+    if (loadGoldenFile(Path, G, &Err))
+      return true;
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Err.c_str());
+    return false;
+  };
+  GoldenFile Old, New;
+  if (!Load(OldPath, Old) || !Load(NewPath, New))
+    return 2;
+
+  auto Key = [](const KernelClaims &K) -> std::string {
+    const std::string Prefix = "fuzz-aggregate";
+    if (K.Kernel.rfind(Prefix, 0) == 0)
+      return Prefix;
+    return K.cellName();
+  };
+  std::map<std::string, const KernelClaims *> OldByKey;
+  for (const KernelClaims &K : Old.Kernels)
+    OldByKey[Key(K)] = &K;
+
+  auto FindConfig = [](const KernelClaims &K,
+                       const std::string &Name) -> const ConfigMetrics * {
+    for (const ConfigMetrics &C : K.Configs)
+      if (C.Config == Name)
+        return &C;
+    return nullptr;
+  };
+  auto MemInsts = [](const SimStats &S) {
+    return S.VectorMemInsts + S.SharedMemInsts;
+  };
+  // Ratio vs the same file's unmelded row; a zero reference counts as
+  // ratio 1 when the config is also zero (nothing to meld) and infinity
+  // otherwise.
+  auto Ratio = [](uint64_t Got, uint64_t Ref) {
+    if (Ref == 0)
+      return Got == 0 ? 1.0 : std::numeric_limits<double>::infinity();
+    return static_cast<double>(Got) / static_cast<double>(Ref);
+  };
+
+  unsigned Regressions = 0, Compared = 0;
+  for (const KernelClaims &NK : New.Kernels) {
+    auto It = OldByKey.find(Key(NK));
+    if (It == OldByKey.end())
+      continue; // window-dependent kernel; nothing to compare against
+    const KernelClaims &OK = *It->second;
+    const ConfigMetrics *NewRef = FindConfig(NK, "unmelded");
+    const ConfigMetrics *OldRef = FindConfig(OK, "unmelded");
+    if (!NewRef || !OldRef)
+      continue;
+    // A gated config that OLD measured but NEW dropped is itself a
+    // regression: silent coverage loss must not read as a clean pass.
+    for (const ConfigMetrics &OC2 : OK.Configs) {
+      if (OC2.Config == "unmelded" ||
+          optionsForConfig(OC2.Config, ClaimsOptions()).Skip)
+        continue;
+      if (!FindConfig(NK, OC2.Config)) {
+        std::fprintf(stderr,
+                     "COMPARE REGRESSION %s %s: config present in old "
+                     "artifact, missing in new\n",
+                     Key(NK).c_str(), OC2.Config.c_str());
+        ++Regressions;
+      }
+    }
+    for (const ConfigMetrics &NC : NK.Configs) {
+      if (NC.Config == "unmelded" ||
+          optionsForConfig(NC.Config, ClaimsOptions()).Skip)
+        continue;
+      const ConfigMetrics *OC = FindConfig(OK, NC.Config);
+      if (!OC)
+        continue;
+      ++Compared;
+      auto Flag = [&](const char *Metric, double OldV, double NewV) {
+        std::fprintf(stderr,
+                     "COMPARE REGRESSION %s %s: %s old=%.4f new=%.4f\n",
+                     Key(NK).c_str(), NC.Config.c_str(), Metric, OldV, NewV);
+        ++Regressions;
+      };
+      if (OC->Valid && !NC.Valid) {
+        Flag("valid", 1, 0);
+        continue;
+      }
+      // Ratios are only meaningful between two valid measurements of
+      // both the config and its reference: an invalid row carries
+      // zeroed/partial stats (e.g. a simulator abort), and invalid→valid
+      // is an improvement, not a regression.
+      if (!OC->Valid || !NC.Valid || !OldRef->Valid || !NewRef->Valid)
+        continue;
+      const double OldDb = Ratio(OC->Stats.DivergentBranches,
+                                 OldRef->Stats.DivergentBranches);
+      const double NewDb = Ratio(NC.Stats.DivergentBranches,
+                                 NewRef->Stats.DivergentBranches);
+      if (NewDb > OldDb + Tol)
+        Flag("divergent_branch_ratio", OldDb, NewDb);
+      const double OldUtil =
+          OC->Stats.aluUtilization() - OldRef->Stats.aluUtilization();
+      const double NewUtil =
+          NC.Stats.aluUtilization() - NewRef->Stats.aluUtilization();
+      if (NewUtil < OldUtil - Tol)
+        Flag("alu_util_delta", OldUtil, NewUtil);
+      const double OldMem =
+          Ratio(MemInsts(OC->Stats), MemInsts(OldRef->Stats));
+      const double NewMem =
+          Ratio(MemInsts(NC.Stats), MemInsts(NewRef->Stats));
+      if (NewMem > OldMem + Tol)
+        Flag("mem_inst_ratio", OldMem, NewMem);
+    }
+  }
+
+  if (Compared == 0) {
+    std::fprintf(stderr,
+                 "--compare found no common (kernel, config) cells between "
+                 "'%s' and '%s' — nothing was compared\n",
+                 OldPath.c_str(), NewPath.c_str());
+    return 2;
+  }
+  if (Regressions) {
+    std::fprintf(stderr, "%u paper-direction regression(s) over %u cell(s)\n",
+                 Regressions, Compared);
+    return 1;
+  }
+  if (!Quiet)
+    std::printf("no paper-direction regressions over %u compared cell(s)\n",
+                Compared);
+  return 0;
+}
 
 } // namespace
 
@@ -72,7 +226,10 @@ int main(int argc, char **argv) {
   std::vector<std::string> BenchNames;
   uint64_t FuzzLo = 0, FuzzHi = 0;
   unsigned Shards = 1, ShardIdx = 0;
+  unsigned Jobs = hardwareParallelism();
   std::string GoldenDir, JsonPath;
+  std::string CompareOld, CompareNew;
+  double CompareTol = 0.02;
   ClaimsOptions Opts;
   bool RunClaims = true;
   bool Quiet = false;
@@ -107,6 +264,32 @@ int main(int argc, char **argv) {
         return 2;
       if (!parseShardSpec(V, Shards, ShardIdx)) {
         std::fprintf(stderr, "--shards expects N:i with 0 <= i < N\n");
+        return 2;
+      }
+    } else if (Arg == "--jobs") {
+      const char *V = NextVal("--jobs");
+      if (!V)
+        return 2;
+      if (!parseJobs(V, Jobs)) {
+        std::fprintf(stderr, "--jobs expects a positive integer\n");
+        return 2;
+      }
+    } else if (Arg == "--compare") {
+      if (I + 2 >= argc) {
+        std::fprintf(stderr, "--compare needs two darm-claims-v1 files\n");
+        return 2;
+      }
+      CompareOld = argv[++I];
+      CompareNew = argv[++I];
+    } else if (Arg == "--compare-tol") {
+      const char *V = NextVal("--compare-tol");
+      if (!V)
+        return 2;
+      char *End = nullptr;
+      CompareTol = std::strtod(V, &End);
+      if (*End != '\0' || CompareTol < 0.0) {
+        std::fprintf(stderr,
+                     "--compare-tol expects a non-negative fraction\n");
         return 2;
       }
     } else if (Arg == "--goldens") {
@@ -167,6 +350,9 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (!CompareOld.empty())
+    return compareArtifacts(CompareOld, CompareNew, CompareTol, Quiet);
+
   const bool Regen = std::getenv("DARM_REGEN_GOLDENS") != nullptr;
   if (Regen && !GoldenDir.empty() && Shards > 1) {
     std::fprintf(stderr,
@@ -190,22 +376,34 @@ int main(int argc, char **argv) {
     }
     Cells = Filtered;
   }
-  for (size_t I = 0; I < Cells.size(); ++I) {
-    if (!inShard(I, Shards, ShardIdx))
-      continue;
-    if (!Quiet)
-      std::fprintf(stderr, "measuring %s/bs%u...\n", Cells[I].Name.c_str(),
-                   Cells[I].BlockSize);
-    Measured.push_back(measureBenchmark(Cells[I]));
-  }
-  for (uint64_t Seed = FuzzLo; Seed < FuzzHi; ++Seed) {
-    if (!inShard(Seed, Shards, ShardIdx))
-      continue;
-    if (!Quiet && (Seed - FuzzLo) % 250 == 0)
-      std::fprintf(stderr, "measuring fuzz seeds %llu...\n",
-                   static_cast<unsigned long long>(Seed));
-    Measured.push_back(measureFuzz(fuzz::FuzzCase(Seed)));
-  }
+  std::vector<BenchCell> SelCells;
+  for (size_t I = 0; I < Cells.size(); ++I)
+    if (inShard(I, Shards, ShardIdx))
+      SelCells.push_back(Cells[I]);
+  std::vector<uint64_t> SelSeeds;
+  for (uint64_t Seed = FuzzLo; Seed < FuzzHi; ++Seed)
+    if (inShard(Seed, Shards, ShardIdx))
+      SelSeeds.push_back(Seed);
+
+  // The corpus fans out over the in-process pool ((cell|seed) x config
+  // work units); results and progress come back in corpus order, so the
+  // gates below and the JSON artifact are byte-identical at any --jobs.
+  ThreadPool Pool(Jobs);
+  uint64_t FuzzDone = 0;
+  Measured = measureCorpus(Pool, SelCells, SelSeeds,
+                           [&](const KernelClaims &K) {
+                             if (Quiet)
+                               return;
+                             if (K.BlockSize != 0) {
+                               std::fprintf(stderr, "measured %s/bs%u\n",
+                                            K.Kernel.c_str(), K.BlockSize);
+                             } else if (++FuzzDone % 250 == 1) {
+                               std::fprintf(stderr,
+                                            "measured %llu fuzz seeds...\n",
+                                            static_cast<unsigned long long>(
+                                                FuzzDone));
+                             }
+                           });
   if (Measured.empty()) {
     // Same guard as darm_fuzz: filters that leave nothing measured must
     // not report a clean conformance pass.

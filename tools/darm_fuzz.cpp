@@ -8,6 +8,9 @@
 //   darm_fuzz --seed 42                      one seed
 //   darm_fuzz --repro fuzz42.darm            re-check a written repro
 //   darm_fuzz --dump 42                      print the generated kernel
+//     --jobs N         in-process worker threads (default: hardware
+//                      concurrency; --jobs 1 is exactly the sequential
+//                      sweep, and any N reports byte-identical findings)
 //     --shards N:i     sweep only seeds with seed % N == i (process-level
 //                      parallelism for the nightly budget)
 //     --out DIR        where to write repros (default ".")
@@ -27,6 +30,7 @@
 #include "darm/ir/IRParser.h"
 #include "darm/ir/IRPrinter.h"
 #include "darm/ir/Module.h"
+#include "darm/support/Parallel.h"
 #include "darm/support/Shards.h"
 
 #include <cstdio>
@@ -45,9 +49,9 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s (--seed-range A:B | --seed S | --repro FILE | "
-               "--dump S) [--shards N:i] [--out DIR] [--configs a,b] "
-               "[--no-roundtrip] [--no-minimize] [--no-claims] "
-               "[--max-failures N] [--quiet]\n",
+               "--dump S) [--jobs N] [--shards N:i] [--out DIR] "
+               "[--configs a,b] [--no-roundtrip] [--no-minimize] "
+               "[--no-claims] [--max-failures N] [--quiet]\n",
                Argv0);
   return 2;
 }
@@ -100,6 +104,7 @@ int main(int argc, char **argv) {
   OracleOptions Opts;
   unsigned MaxFailures = 8;
   unsigned Shards = 1, ShardIdx = 0;
+  unsigned Jobs = hardwareParallelism();
   bool Quiet = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -155,6 +160,14 @@ int main(int argc, char **argv) {
         std::fprintf(stderr, "--shards expects N:i with 0 <= i < N\n");
         return 2;
       }
+    } else if (Arg == "--jobs") {
+      const char *V = NextVal("--jobs");
+      if (!V)
+        return 2;
+      if (!darm::parseJobs(V, Jobs)) {
+        std::fprintf(stderr, "--jobs expects a positive integer\n");
+        return 2;
+      }
     } else if (Arg == "--no-roundtrip") {
       Opts.RoundTrip = false;
     } else if (Arg == "--no-minimize") {
@@ -205,32 +218,43 @@ int main(int argc, char **argv) {
     }
   }
 
+  // The seed list is fixed up front; sweepSeeds fans it over the worker
+  // pool and reports results back here in seed order, so repro files,
+  // progress lines and the early max-failures stop are byte-identical to
+  // the sequential sweep at any --jobs value (docs/performance.md).
+  std::vector<uint64_t> Seeds;
+  if (MaxFailures > 0)
+    for (uint64_t Seed = Lo; Seed < Hi; ++Seed)
+      if (darm::inShard(Seed, Shards, ShardIdx))
+        Seeds.push_back(Seed);
+
+  ThreadPool Pool(Jobs);
   unsigned Failures = 0;
   uint64_t Swept = 0;
-  for (uint64_t Seed = Lo; Seed < Hi && Failures < MaxFailures; ++Seed) {
-    if (!darm::inShard(Seed, Shards, ShardIdx))
-      continue;
-    ++Swept;
-    FuzzCase C(Seed);
-    OracleResult R = runOracle(C, Opts);
-    if (!R.Mismatch) {
-      if (!Quiet && Swept % 100 == 0)
-        std::fprintf(stderr, "... %llu seeds clean\n",
-                     static_cast<unsigned long long>(Swept));
-      continue;
-    }
-    ++Failures;
-    std::string Path =
-        OutDir + "/" + C.name() + "." + R.Config + ".darm";
-    std::ofstream Out(Path);
-    if (Out) {
-      Out << formatRepro(C, R);
-      Out.close();
-    }
-    std::fprintf(stderr, "MISMATCH seed %llu config %s: %s\n  repro: %s\n",
-                 static_cast<unsigned long long>(Seed), R.Config.c_str(),
-                 R.Detail.c_str(), Out ? Path.c_str() : "(write failed)");
-  }
+  sweepSeeds(Pool, Seeds, Opts,
+             [&](uint64_t Seed, const OracleResult &R) -> bool {
+               ++Swept;
+               if (!R.Mismatch) {
+                 if (!Quiet && Swept % 100 == 0)
+                   std::fprintf(stderr, "... %llu seeds clean\n",
+                                static_cast<unsigned long long>(Swept));
+                 return true;
+               }
+               ++Failures;
+               FuzzCase C(Seed);
+               std::string Path =
+                   OutDir + "/" + C.name() + "." + R.Config + ".darm";
+               std::ofstream Out(Path);
+               if (Out) {
+                 Out << formatRepro(C, R);
+                 Out.close();
+               }
+               std::fprintf(
+                   stderr, "MISMATCH seed %llu config %s: %s\n  repro: %s\n",
+                   static_cast<unsigned long long>(Seed), R.Config.c_str(),
+                   R.Detail.c_str(), Out ? Path.c_str() : "(write failed)");
+               return Failures < MaxFailures;
+             });
 
   if (Failures) {
     std::fprintf(stderr, "%u mismatching seed(s) in [%llu, %llu)\n", Failures,

@@ -5,6 +5,8 @@
 // to `opt -darm` the paper's artifact exposes.
 //
 //   darm_opt [passes...] [options] file.ir
+//     -passes=a,b,c    run a comma-separated sequence of registry passes
+//                      (docs/passes.md); -list-passes prints the names
 //     -darm            control-flow melding (the paper's pass)
 //     -branch-fusion   diamond-only melding baseline
 //     -tailmerge       tail merging baseline
@@ -13,6 +15,10 @@
 //     -threshold=<f>   melding profitability threshold (default 0.2)
 //     -dot             print the CFG in DOT instead of IR
 //     -stats           print melding statistics to stderr
+//     -quiet           suppress the IR output (smoke tests, -stats runs)
+//
+// Single-pass flags (-simplifycfg et al.) are sugar for the same names in
+// -passes=; both forms append to one ordered pipeline.
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +31,7 @@
 #include "darm/ir/Module.h"
 #include "darm/transform/DCE.h"
 #include "darm/transform/PassManager.h"
+#include "darm/transform/Passes.h"
 #include "darm/transform/SimplifyCFG.h"
 
 #include <cstdio>
@@ -36,10 +43,34 @@
 
 using namespace darm;
 
+namespace {
+
+void splitPassList(const std::string &List, std::vector<std::string> &Out) {
+  std::stringstream SS(List);
+  std::string Name;
+  while (std::getline(SS, Name, ','))
+    if (!Name.empty())
+      Out.push_back(Name);
+}
+
+int listPasses() {
+  std::printf("registry passes (run in the order given to -passes=):\n");
+  for (const PassInfo &P : transformPassRegistry())
+    std::printf("  %-12s %s\n", P.Name.c_str(), P.Description.c_str());
+  std::printf("pipelines:\n"
+              "  %-12s the full DARM melding pipeline (runDARM)\n"
+              "  %-12s the diamond-only Branch Fusion baseline\n"
+              "  %-12s the tail merging baseline\n",
+              "darm", "branch-fusion", "tailmerge");
+  return 0;
+}
+
+} // namespace
+
 int main(int argc, char **argv) {
   std::vector<std::string> Passes;
   std::string InputFile;
-  bool EmitDot = false, Stats = false;
+  bool EmitDot = false, Stats = false, Quiet = false;
   double Threshold = 0.2;
 
   for (int I = 1; I < argc; ++I) {
@@ -47,12 +78,20 @@ int main(int argc, char **argv) {
     if (Arg == "-darm" || Arg == "-branch-fusion" || Arg == "-tailmerge" ||
         Arg == "-simplifycfg" || Arg == "-dce") {
       Passes.push_back(Arg.substr(1));
+    } else if (Arg.rfind("-passes=", 0) == 0) {
+      splitPassList(Arg.substr(std::strlen("-passes=")), Passes);
+    } else if (Arg.rfind("--passes=", 0) == 0) {
+      splitPassList(Arg.substr(std::strlen("--passes=")), Passes);
+    } else if (Arg == "-list-passes" || Arg == "--list-passes") {
+      return listPasses();
     } else if (Arg.rfind("-threshold=", 0) == 0) {
       Threshold = std::atof(Arg.c_str() + 11);
     } else if (Arg == "-dot") {
       EmitDot = true;
     } else if (Arg == "-stats") {
       Stats = true;
+    } else if (Arg == "-quiet" || Arg == "--quiet") {
+      Quiet = true;
     } else if (Arg == "-help" || Arg == "--help") {
       std::printf("usage: %s [passes...] [options] file.ir\n", argv[0]);
       return 0;
@@ -103,10 +142,12 @@ int main(int argc, char **argv) {
                  [&DS](Function &F) { return runBranchFusion(F, &DS); });
     } else if (P == "tailmerge") {
       PM.addPass("tailmerge", [](Function &F) { return runTailMerge(F); });
-    } else if (P == "simplifycfg") {
-      PM.addPass("simplifycfg", [](Function &F) { return simplifyCFG(F); });
-    } else if (P == "dce") {
-      PM.addPass("dce", [](Function &F) { return eliminateDeadCode(F); });
+    } else if (const PassInfo *Reg = findTransformPass(P)) {
+      PM.addPass(Reg->Name, Reg->Run);
+    } else {
+      std::fprintf(stderr, "unknown pass '%s'; -list-passes shows the names\n",
+                   P.c_str());
+      return 1;
     }
   }
   for (const auto &F : M->functions())
@@ -133,7 +174,7 @@ int main(int argc, char **argv) {
   if (EmitDot) {
     for (const auto &F : M->functions())
       std::printf("%s", printDot(*F).c_str());
-  } else {
+  } else if (!Quiet) {
     std::printf("%s", printModule(*M).c_str());
   }
   return 0;

@@ -39,6 +39,12 @@ public:
   }
   /// Blocks inside the loop that branch back to the header.
   std::vector<BasicBlock *> getLatches() const;
+  /// The loop preheader: the unique out-of-loop predecessor of the
+  /// header, provided the header is its only successor (so code inserted
+  /// there runs exactly once before the loop, on every entry). Null when
+  /// the loop has several entry predecessors or the entry edge is
+  /// critical. LICM and the unroller require one.
+  BasicBlock *getPreheader() const;
 
 private:
   friend class LoopInfo;

@@ -55,6 +55,13 @@ struct ClaimConfig {
 /// DiamondOnly Branch Fusion baseline.
 std::vector<ClaimConfig> claimConfigs();
 
+/// The per-pass attribution configurations (docs/passes.md): plain darm,
+/// darm with exactly one canonicalization pass enabled (darm-constprop,
+/// darm-algebraic, darm-gvn, darm-licm, darm-unroll), and darm-canon with
+/// all five. Measured by `darm_check --attribution` and the fuzz-canon
+/// golden; kept out of claimConfigs() so existing goldens are untouched.
+std::vector<ClaimConfig> attributionConfigs();
+
 /// Measures one benchmark cell under every configuration: build, apply
 /// the transform, simplify-cfg + DCE (the same pipeline the sim goldens
 /// run), simulate every launch, host-validate, fingerprint memory.
@@ -66,8 +73,11 @@ KernelClaims measureBenchmark(const BenchCell &Cell,
 
 /// Measures one generated fuzz kernel under every configuration over its
 /// deterministic memory image (simulator aborts surface as Valid=false,
-/// never process exit).
+/// never process exit). \p Configs defaults to claimConfigs();
+/// attributionConfigs() is the other in-tree caller.
 KernelClaims measureFuzz(const fuzz::FuzzCase &C);
+KernelClaims measureFuzz(const fuzz::FuzzCase &C,
+                         const std::vector<ClaimConfig> &Configs);
 
 /// Parallel corpus measurement (tools/darm_check, docs/performance.md):
 /// fans every (cell-or-seed, config) pair out over \p Pool's workers —
@@ -82,6 +92,13 @@ KernelClaims measureFuzz(const fuzz::FuzzCase &C);
 std::vector<KernelClaims>
 measureCorpus(ThreadPool &Pool, const std::vector<BenchCell> &Cells,
               const std::vector<uint64_t> &Seeds,
+              const std::function<void(const KernelClaims &)> &OnKernel = {});
+/// Same, measuring under an explicit config set (e.g. attributionConfigs()
+/// for `darm_check --attribution`) instead of claimConfigs().
+std::vector<KernelClaims>
+measureCorpus(ThreadPool &Pool, const std::vector<BenchCell> &Cells,
+              const std::vector<uint64_t> &Seeds,
+              const std::vector<ClaimConfig> &Cfgs,
               const std::function<void(const KernelClaims &)> &OnKernel = {});
 
 /// Sums per-config stats across measurements (configs matched by name):

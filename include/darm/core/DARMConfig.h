@@ -53,6 +53,55 @@ struct DARMConfig {
 
   /// Verify the function after every melding iteration (debug aid).
   bool VerifyEachStep = true;
+
+  //===--------------------------------------------------------------------===//
+  // Mid-end canonicalization (docs/passes.md). Each toggle schedules one
+  // classical pass ahead of darm-meld so more regions arrive in a shape
+  // the melder recognizes; a cleanup round (algebraic + gvn + dce +
+  // simplifycfg) runs after the meld fixed point when any are enabled.
+  // All default off: the base pipeline stays byte-for-byte what it was.
+  //===--------------------------------------------------------------------===//
+
+  /// Sparse conditional constant propagation: folds constants through
+  /// phis, deletes provably-dead branch arms before region detection.
+  bool EnableConstProp = false;
+
+  /// Algebraic simplification: identities, strength reduction and local
+  /// constant folding, so both diamond arms compute in the same shape.
+  bool EnableAlgebraic = false;
+
+  /// Dominator-scoped global value numbering: deduplicates repeated pure
+  /// expressions, shrinking the instruction alignment problem.
+  bool EnableGVN = false;
+
+  /// Loop-invariant code motion into preheaders: divergent loop bodies
+  /// lose their invariant prefix, leaving tighter meld candidates.
+  bool EnableLICM = false;
+
+  /// Divergent-loop unrolling: bounded loops whose trip count varies per
+  /// lane become branch-divergent straight-line ladders darm-meld can
+  /// fuse — the headline widening of this pipeline.
+  bool EnableLoopUnroll = false;
+
+  /// Convenience: returns a copy of \p Base with every canonicalization
+  /// pass switched on (the "darm-canon" fuzz/claims configuration).
+  static DARMConfig withCanonicalization(DARMConfig Base) {
+    Base.EnableConstProp = true;
+    Base.EnableAlgebraic = true;
+    Base.EnableGVN = true;
+    Base.EnableLICM = true;
+    Base.EnableLoopUnroll = true;
+    return Base;
+  }
+  static DARMConfig withCanonicalization() {
+    return withCanonicalization(DARMConfig());
+  }
+
+  /// True if any canonicalization pass is enabled.
+  bool anyCanonicalization() const {
+    return EnableConstProp || EnableAlgebraic || EnableGVN || EnableLICM ||
+           EnableLoopUnroll;
+  }
 };
 
 /// Counters reported by runDARM().

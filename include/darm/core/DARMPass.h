@@ -24,13 +24,17 @@ namespace darm {
 class Function;
 class PassManager;
 
-/// Registers the DARM pipeline on \p PM as five named stages, in order:
+/// Registers the DARM pipeline on \p PM as named stages, in order:
 ///
-///   simplifycfg → darm-meld → ssa-repair → dce → verify
+///   [constprop → algebraic → gvn → licm → loop-unroll]
+///     → simplifycfg → darm-meld → ssa-repair → dce → verify
 ///
-/// Each stage is a separate PassManager pass, so callers can time stages
-/// individually (PassManager::timings / cumulativeTimings) and later PRs
-/// can insert or reorder stages. The verify stage is only registered when
+/// The bracketed canonicalization stages are scheduled only when their
+/// DARMConfig toggle is set (all default off) — see docs/passes.md for
+/// each stage's contract and the ordering rationale. Each stage is a
+/// separate PassManager pass, so callers can time stages individually
+/// (PassManager::timings / cumulativeTimings) and later PRs can insert or
+/// reorder stages. The verify stage is only registered when
 /// \p Cfg.VerifyEachStep is set; it aborts on invalid IR and otherwise
 /// reports "no change".
 ///

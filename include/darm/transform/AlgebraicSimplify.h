@@ -1,0 +1,31 @@
+//===- AlgebraicSimplify.h - Algebraic identities and strength reduction --*- C++ -*-===//
+///
+/// \file
+/// Peephole canonicalization: constant folding (via the shared folder in
+/// ConstantFolding.h), integer algebraic identities (x+0, x*1, x^x,
+/// icmp x,x, ...), and strength reduction of multiply/divide/remainder by
+/// powers of two into shifts and masks. Float expressions are folded only
+/// when *all* operands are constant — no float identities are applied,
+/// because x+0.0, x*1.0 etc. are not bit-identities under IEEE semantics
+/// (-0.0, NaN), and the fuzz oracle compares memory images bitwise.
+///
+/// Purely local: never touches the CFG, phis or memory operations, so all
+/// analyses stay valid across a run. Part of the canonicalization pipeline
+/// that runs before darm-meld (docs/passes.md): folding syntactic
+/// differences between divergent arms raises the melder's alignment score.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_ALGEBRAICSIMPLIFY_H
+#define DARM_TRANSFORM_ALGEBRAICSIMPLIFY_H
+
+namespace darm {
+
+class Function;
+
+/// Runs folding + identities + strength reduction to a fixed point.
+/// Returns true if the IR changed.
+bool simplifyAlgebraic(Function &F);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_ALGEBRAICSIMPLIFY_H

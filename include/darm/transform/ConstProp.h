@@ -1,0 +1,31 @@
+//===- ConstProp.h - Sparse conditional constant propagation ------*- C++ -*-===//
+///
+/// \file
+/// Classic SCCP (Wegman-Zadeck): an optimistic three-level lattice
+/// (unknown / constant / overdefined) solved sparsely over the SSA graph
+/// together with CFG edge feasibility, so constants are propagated through
+/// phis *and* branches on constants prune the paths they rule out. After
+/// the solve, constant-valued pure instructions are replaced, conditional
+/// branches on constants are rewritten to unconditional branches, and
+/// unreachable blocks are deleted.
+///
+/// Folding delegates to ConstantFolding.h, so SCCP agrees bit-for-bit with
+/// the simulator and with the algebraic simplifier. `undef` operands are
+/// treated as overdefined (no optimistic undef reasoning) — the fuzz
+/// oracle compares memory images bitwise and the simulator materializes
+/// undef as zero, so guessing would be unsound.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_CONSTPROP_H
+#define DARM_TRANSFORM_CONSTPROP_H
+
+namespace darm {
+
+class Function;
+
+/// Runs SCCP over \p F. Returns true if the IR changed.
+bool propagateConstants(Function &F);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_CONSTPROP_H

@@ -1,0 +1,39 @@
+//===- ConstantFolding.h - Fold operations over constant operands --*- C++ -*-===//
+///
+/// \file
+/// Compile-time evaluation of pure operations whose operands are all
+/// constants. The folder mirrors the simulator's *total* semantics
+/// bit-for-bit (src/sim/Simulator.cpp): division and remainder by zero
+/// yield 0, sdiv INT_MIN/-1 negates, fptosi maps NaN to 0 and saturates
+/// out-of-range values, and every integer result is renormalized to the
+/// canonical register form (i1 as 0/1, i32 sign-extended). Shared by the
+/// algebraic simplifier and sparse conditional constant propagation so
+/// both agree with each other and with execution.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_CONSTANTFOLDING_H
+#define DARM_TRANSFORM_CONSTANTFOLDING_H
+
+#include <vector>
+
+namespace darm {
+
+class Context;
+class Instruction;
+class Value;
+
+/// Folds one pure operation over explicit operand values \p Ops (which
+/// substitute for the instruction's operands position-for-position, as in
+/// SCCP where operands are lattice constants rather than the IR operands).
+/// Returns the folded constant, or nullptr when the operation is not
+/// foldable (unsupported opcode, or an operand that is not a ConstantInt /
+/// ConstantFloat). Handles binary ops, icmp/fcmp, casts and select.
+Value *foldOperation(Context &Ctx, const Instruction &I,
+                     const std::vector<Value *> &Ops);
+
+/// Convenience wrapper: folds \p I over its own operands.
+Value *foldInstruction(Instruction &I);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_CONSTANTFOLDING_H

@@ -1,0 +1,34 @@
+//===- GVN.h - Dominator-scoped global value numbering -------------*- C++ -*-===//
+///
+/// \file
+/// Redundancy elimination over pure expressions: instructions are keyed by
+/// (opcode, predicate/intrinsic, type, operands) and an instruction whose
+/// key was already computed by a *dominating* instruction is replaced by
+/// it. The walk visits blocks in reverse post-order, so within a block
+/// this is local CSE and across blocks it is dominator-scoped GVN.
+///
+/// Only speculation-safe, non-phi, value-producing instructions
+/// participate: loads (memory state), convergent calls (shfl, barrier)
+/// and side-effecting ops are never merged. Commutative integer ops
+/// (add/mul/and/or/xor) and icmp eq/ne match under operand swap; float
+/// ops match only syntactically, since IEEE NaN propagation makes
+/// a+b / b+a distinguishable bitwise.
+///
+/// Never touches the CFG. Part of the canonicalization pipeline before
+/// darm-meld (docs/passes.md): melding two arms that recompute the same
+/// subexpression is cheaper after the recomputation is gone.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_GVN_H
+#define DARM_TRANSFORM_GVN_H
+
+namespace darm {
+
+class Function;
+
+/// Runs dominator-scoped value numbering. Returns true if the IR changed.
+bool runGVN(Function &F);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_GVN_H

@@ -1,0 +1,29 @@
+//===- LICM.h - Loop-invariant code motion -------------------------*- C++ -*-===//
+///
+/// \file
+/// Hoists speculation-safe instructions whose operands are defined outside
+/// the loop into the loop preheader. Because every instruction in this IR
+/// is total (Instruction.h), safe-to-speculate instructions can be hoisted
+/// unconditionally — even out of conditionally-executed blocks and even if
+/// the loop body never runs. Loads, stores and convergent operations are
+/// never moved.
+///
+/// Loops without a preheader (LoopInfo::Loop::getPreheader) are skipped.
+/// The pass never changes the CFG.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_LICM_H
+#define DARM_TRANSFORM_LICM_H
+
+namespace darm {
+
+class Function;
+
+/// Hoists invariant instructions out of every loop, to a fixed point (so
+/// invariants escape nested loops one level per round). Returns true if
+/// anything moved.
+bool hoistLoopInvariants(Function &F);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_LICM_H

@@ -1,0 +1,52 @@
+//===- LoopUnroll.h - Divergent-loop unrolling ---------------------*- C++ -*-===//
+///
+/// \file
+/// The headline canonicalization for DARM (docs/passes.md): full unrolling
+/// of bounded loops whose *trip count varies per lane*. A divergent loop
+/// serializes the warp once per iteration spread — lanes that finished
+/// idle while the longest-running lane loops — and darm-meld cannot touch
+/// it, because the divergence lives in the backedge, not in a branch pair.
+/// Unrolling converts that loop-trip divergence into a ladder of forward
+/// guard branches over straight-line bodies:
+///
+///     for (i = 0; i < n_lane; ++i) body(i)
+///   ==>
+///     if (0 < n_lane) { body(0); if (1 < n_lane) { body(1); ... } }
+///
+/// which is exactly the branch-divergent shape the melder and its
+/// unpredication stage consume (and constprop/algebraic then fold each
+/// ladder guard's induction arithmetic to a constant-vs-bound compare).
+///
+/// A loop unrolls only when all of the following hold:
+///   - innermost, single latch, and its only exit edge is
+///     `header: condbr (icmp {slt|sle|ult|ule} iv, bound), body, exit`
+///     with the exit block having no other predecessors;
+///   - `iv` is a header phi: constant non-negative init from the
+///     preheader, constant positive step via an `add` from the latch;
+///   - `bound` is loop-invariant and a small static upper bound for it is
+///     provable from its expression (constants, `and` with a constant
+///     mask, `urem`/`add`/`select`/`zext` thereof) — this covers the
+///     `add (and tid, K), 1` per-lane trip counts the fuzz generator
+///     emits;
+///   - the header branch is divergent (DivergenceAnalysis) — uniform
+///     loops don't serialize the warp, so unrolling them only costs code
+///     size;
+///   - the unroll is within budget (trip bound and total cloned
+///     instructions).
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_LOOPUNROLL_H
+#define DARM_TRANSFORM_LOOPUNROLL_H
+
+namespace darm {
+
+class Function;
+
+/// Fully unrolls every divergent bounded loop that satisfies the contract
+/// above, innermost first, to a fixed point. Returns true if the IR
+/// changed.
+bool unrollDivergentLoops(Function &F);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_LOOPUNROLL_H

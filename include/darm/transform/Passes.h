@@ -1,0 +1,41 @@
+//===- Passes.h - Named transform pass registry -------------------*- C++ -*-===//
+///
+/// \file
+/// Central registry mapping pass names to their entry points. The registry
+/// is the single source of truth for what `darm_opt -passes=` accepts, for
+/// the per-pass fuzz configs, and for the canonicalization stages the DARM
+/// pipeline schedules — adding a pass here makes it reachable from every
+/// driver at once. See docs/passes.md for the contract each entry obeys.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_TRANSFORM_PASSES_H
+#define DARM_TRANSFORM_PASSES_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class Function;
+
+/// One registered transform pass.
+struct PassInfo {
+  /// Name accepted by `darm_opt -passes=` and `darm_fuzz --configs`.
+  std::string Name;
+  /// One-line summary printed by `darm_opt -list-passes`.
+  std::string Description;
+  /// Entry point; returns true when the function was modified.
+  std::function<bool(Function &)> Run;
+};
+
+/// All registered transform passes, in a stable order (canonicalization
+/// passes first, in their recommended pipeline order, then cleanups).
+const std::vector<PassInfo> &transformPassRegistry();
+
+/// Looks up a pass by name; null when unknown.
+const PassInfo *findTransformPass(const std::string &Name);
+
+} // namespace darm
+
+#endif // DARM_TRANSFORM_PASSES_H

@@ -18,6 +18,20 @@ std::vector<BasicBlock *> Loop::getLatches() const {
   return Latches;
 }
 
+BasicBlock *Loop::getPreheader() const {
+  BasicBlock *Pre = nullptr;
+  for (BasicBlock *Pred : Header->predecessors()) {
+    if (contains(Pred))
+      continue;
+    if (Pre && Pre != Pred)
+      return nullptr; // several entry predecessors
+    Pre = Pred;
+  }
+  if (!Pre || Pre->getSingleSuccessor() != Header)
+    return nullptr; // entry edge is critical
+  return Pre;
+}
+
 LoopInfo::LoopInfo(Function &F, const DominatorTree &DT) {
   // Collect the body of each natural loop: for a back edge Latch->Header,
   // the body is Header plus everything that reaches Latch without passing

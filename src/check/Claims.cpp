@@ -87,8 +87,24 @@ bool darm::check::statsPlausible(const SimStats &Ref, const SimStats &Got,
 ClaimsOptions darm::check::optionsForConfig(const std::string &Config,
                                             const ClaimsOptions &Base) {
   ClaimsOptions O = Base;
-  if (Config == "darm-aggressive" || Config == "darm-nounpred")
-    O.Skip = true; // coverage configs; see ClaimsOptions::Skip
+  static const char *const Exempt[] = {
+      // Coverage configs; see ClaimsOptions::Skip.
+      "darm-aggressive", "darm-nounpred",
+      // Lone canonicalization passes (docs/passes.md): behavior-preserving
+      // but direction-free — constprop alone can legitimately raise or
+      // lower any counter, so the paper-direction invariants don't apply.
+      "constprop", "algebraic", "gvn", "licm", "loop-unroll",
+      // Attribution configs: per-seed, an enabled pass may trade one
+      // counter against another (the unroller adds dynamic branches it
+      // later melds away). Their paper-direction claim is gated at
+      // population scale in claims_test instead.
+      "darm-constprop", "darm-algebraic", "darm-gvn", "darm-licm",
+      "darm-unroll", "darm-canon"};
+  for (const char *E : Exempt)
+    if (Config == E) {
+      O.Skip = true;
+      break;
+    }
   return O;
 }
 

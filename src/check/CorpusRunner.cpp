@@ -30,16 +30,39 @@ std::vector<BenchCell> darm::check::benchmarkCorpus() {
   return Cells;
 }
 
-std::vector<ClaimConfig> darm::check::claimConfigs() {
-  // One source of truth for transform tuning: the fuzz oracle's config
-  // table. Goldens and the name-keyed tolerance policy only describe a
-  // configuration faithfully if both subsystems run the same transform
-  // under the same name. darm-nounpred stays fuzz-only (docs/claims.md).
+namespace {
+
+/// Pulls the named subset of the fuzz oracle's config table, in the order
+/// given. One source of truth for transform tuning: goldens and the
+/// name-keyed tolerance policy only describe a configuration faithfully
+/// if both subsystems run the same transform under the same name.
+std::vector<ClaimConfig>
+configsNamed(std::initializer_list<const char *> Names) {
+  std::vector<fuzz::OracleConfig> All = fuzz::defaultConfigs();
   std::vector<ClaimConfig> Cfgs;
-  for (fuzz::OracleConfig &Cfg : fuzz::defaultConfigs())
-    if (Cfg.Name != "darm-nounpred")
-      Cfgs.push_back({std::move(Cfg.Name), std::move(Cfg.Transform)});
+  for (const char *Name : Names)
+    for (fuzz::OracleConfig &Cfg : All)
+      if (Cfg.Name == Name)
+        Cfgs.push_back({std::move(Cfg.Name), std::move(Cfg.Transform)});
   return Cfgs;
+}
+
+} // namespace
+
+std::vector<ClaimConfig> darm::check::claimConfigs() {
+  // The golden-bearing corpus configs. An allowlist, not "everything the
+  // fuzzer runs": the oracle's table also carries fuzz-only coverage axes
+  // (darm-nounpred, the lone canonicalization passes) and the attribution
+  // configs below, none of which belong in every golden file.
+  return configsNamed({"darm", "darm-aggressive", "branch-fusion"});
+}
+
+std::vector<ClaimConfig> darm::check::attributionConfigs() {
+  // Per-pass melding-efficacy attribution (docs/passes.md): plain darm
+  // next to darm with exactly one canonicalization pass enabled, plus all
+  // five. darm_check --compare prints these side by side.
+  return configsNamed({"darm", "darm-constprop", "darm-algebraic",
+                       "darm-gvn", "darm-licm", "darm-unroll", "darm-canon"});
 }
 
 namespace {
@@ -120,11 +143,16 @@ KernelClaims darm::check::measureBenchmark(
 }
 
 KernelClaims darm::check::measureFuzz(const fuzz::FuzzCase &C) {
+  return measureFuzz(C, claimConfigs());
+}
+
+KernelClaims darm::check::measureFuzz(const fuzz::FuzzCase &C,
+                                      const std::vector<ClaimConfig> &Configs) {
   KernelClaims K;
   K.Kernel = C.name();
   K.BlockSize = 0;
   K.Configs.push_back(measureFuzzConfig(C, "unmelded", nullptr));
-  for (const ClaimConfig &Cfg : claimConfigs())
+  for (const ClaimConfig &Cfg : Configs)
     K.Configs.push_back(measureFuzzConfig(C, Cfg.Name, Cfg.Transform));
   return K;
 }
@@ -133,7 +161,13 @@ std::vector<KernelClaims> darm::check::measureCorpus(
     ThreadPool &Pool, const std::vector<BenchCell> &Cells,
     const std::vector<uint64_t> &Seeds,
     const std::function<void(const KernelClaims &)> &OnKernel) {
-  const std::vector<ClaimConfig> Cfgs = claimConfigs();
+  return measureCorpus(Pool, Cells, Seeds, claimConfigs(), OnKernel);
+}
+
+std::vector<KernelClaims> darm::check::measureCorpus(
+    ThreadPool &Pool, const std::vector<BenchCell> &Cells,
+    const std::vector<uint64_t> &Seeds, const std::vector<ClaimConfig> &Cfgs,
+    const std::function<void(const KernelClaims &)> &OnKernel) {
   const size_t CfgsPerKernel = 1 + Cfgs.size(); // unmelded first
   const size_t NumKernels = Cells.size() + Seeds.size();
 

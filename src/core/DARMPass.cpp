@@ -12,7 +12,12 @@
 #include "darm/ir/Function.h"
 #include "darm/ir/IRPrinter.h"
 #include "darm/support/ErrorHandling.h"
+#include "darm/transform/AlgebraicSimplify.h"
+#include "darm/transform/ConstProp.h"
 #include "darm/transform/DCE.h"
+#include "darm/transform/GVN.h"
+#include "darm/transform/LICM.h"
+#include "darm/transform/LoopUnroll.h"
 #include "darm/transform/PassManager.h"
 #include "darm/transform/SSAUpdater.h"
 #include "darm/transform/SimplifyCFG.h"
@@ -86,6 +91,24 @@ void darm::buildDARMPipeline(PassManager &PM, const DARMConfig &Cfg,
                              DARMStats *Stats, bool *MeldedLastRun) {
   // The pipeline verifies through its own named stage below; a PassManager
   // constructed with VerifyEach=true would just verify twice per stage.
+  //
+  // Canonicalization first (docs/passes.md ordering rationale): constprop
+  // prunes dead arms so later passes see only live code; algebraic
+  // normalizes both arms into one shape before gvn deduplicates; licm
+  // shrinks loop bodies before the unroller pays its clone budget; the
+  // unroller runs last so the straight-line ladders it emits flow directly
+  // into region detection.
+  if (Cfg.EnableConstProp)
+    PM.addPass("constprop", [](Function &F) { return propagateConstants(F); });
+  if (Cfg.EnableAlgebraic)
+    PM.addPass("algebraic", [](Function &F) { return simplifyAlgebraic(F); });
+  if (Cfg.EnableGVN)
+    PM.addPass("gvn", [](Function &F) { return runGVN(F); });
+  if (Cfg.EnableLICM)
+    PM.addPass("licm", [](Function &F) { return hoistLoopInvariants(F); });
+  if (Cfg.EnableLoopUnroll)
+    PM.addPass("loop-unroll",
+               [](Function &F) { return unrollDivergentLoops(F); });
   PM.addPass("simplifycfg", [](Function &F) { return simplifyCFG(F); });
   PM.addPass("darm-meld", [Cfg, Stats, MeldedLastRun](Function &F) {
     bool Melded = meldOneRegion(F, Cfg, Stats);
@@ -128,22 +151,44 @@ bool darm::runDARM(Function &F, const DARMConfig &Cfg, DARMStats *Stats) {
     if (Cfg.VerifyEachStep)
       verifyOrAbort(F);
   }
-  if (Stats) {
-    // Accumulate (by stage name) rather than overwrite, so stats objects
-    // reused across functions report whole-run totals.
-    if (Stats->StageSeconds.empty()) {
-      Stats->StageSeconds = PM.cumulativeTimings();
-    } else {
-      for (const auto &[Name, Secs] : PM.cumulativeTimings()) {
-        auto It = std::find_if(Stats->StageSeconds.begin(),
-                               Stats->StageSeconds.end(),
-                               [&](const auto &E) { return E.first == Name; });
-        if (It != Stats->StageSeconds.end())
-          It->second += Secs;
-        else
-          Stats->StageSeconds.push_back({Name, Secs});
-      }
+
+  // Accumulate (by stage name) rather than overwrite, so stats objects
+  // reused across functions report whole-run totals.
+  auto AccumulateTimings = [Stats](const PassManager &From) {
+    if (!Stats)
+      return;
+    for (const auto &[Name, Secs] : From.cumulativeTimings()) {
+      auto It = std::find_if(Stats->StageSeconds.begin(),
+                             Stats->StageSeconds.end(),
+                             [&](const auto &E) { return E.first == Name; });
+      if (It != Stats->StageSeconds.end())
+        It->second += Secs;
+      else
+        Stats->StageSeconds.push_back({Name, Secs});
     }
+  };
+  AccumulateTimings(PM);
+
+  // A melded ladder or unrolled loop often leaves re-foldable arithmetic
+  // behind (selects over equal values, re-hoistable duplicates). One
+  // cleanup round keeps the output canonical; its timings land in the same
+  // per-stage buckets as the main pipeline's.
+  if (Cfg.anyCanonicalization()) {
+    PassManager Cleanup(/*VerifyEach=*/false);
+    if (Cfg.EnableAlgebraic)
+      Cleanup.addPass("algebraic",
+                      [](Function &F) { return simplifyAlgebraic(F); });
+    if (Cfg.EnableGVN)
+      Cleanup.addPass("gvn", [](Function &F) { return runGVN(F); });
+    Cleanup.addPass("dce", [](Function &F) { return eliminateDeadCode(F); });
+    Cleanup.addPass("simplifycfg", [](Function &F) { return simplifyCFG(F); });
+    if (Cfg.VerifyEachStep)
+      Cleanup.addPass("verify", [](Function &F) {
+        verifyOrAbort(F);
+        return false;
+      });
+    Changed |= Cleanup.run(F);
+    AccumulateTimings(Cleanup);
   }
   return Changed;
 }

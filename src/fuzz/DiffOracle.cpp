@@ -10,6 +10,7 @@
 #include "darm/ir/IRPrinter.h"
 #include "darm/ir/Module.h"
 #include "darm/transform/DCE.h"
+#include "darm/transform/Passes.h"
 #include "darm/transform/SimplifyCFG.h"
 
 #include <cstdio>
@@ -269,6 +270,40 @@ std::vector<OracleConfig> darm::fuzz::defaultConfigs() {
                   }});
   Cfgs.push_back(
       {"branch-fusion", [](Function &F) { runBranchFusion(F); }});
+  // Per-pass axes (docs/passes.md): each canonicalization pass runs ALONE,
+  // so a miscompile is attributed to one pass, not the pipeline.
+  for (const PassInfo &P :
+       {*findTransformPass("constprop"), *findTransformPass("algebraic"),
+        *findTransformPass("gvn"), *findTransformPass("licm"),
+        *findTransformPass("loop-unroll")})
+    Cfgs.push_back({P.Name, [Run = P.Run](Function &F) { Run(F); }});
+  // Attribution axes: the full pipeline with exactly one canonicalization
+  // pass enabled, and with all five ("darm-canon"). darm_check --compare
+  // reads these side by side against plain "darm" to show which pass buys
+  // which share of the melding win.
+  auto WithToggle = [](void (*Set)(DARMConfig &)) {
+    return [Set](Function &F) {
+      DARMConfig Cfg;
+      Set(Cfg);
+      runDARM(F, Cfg);
+    };
+  };
+  Cfgs.push_back({"darm-constprop", WithToggle([](DARMConfig &C) {
+                    C.EnableConstProp = true;
+                  })});
+  Cfgs.push_back({"darm-algebraic", WithToggle([](DARMConfig &C) {
+                    C.EnableAlgebraic = true;
+                  })});
+  Cfgs.push_back(
+      {"darm-gvn", WithToggle([](DARMConfig &C) { C.EnableGVN = true; })});
+  Cfgs.push_back(
+      {"darm-licm", WithToggle([](DARMConfig &C) { C.EnableLICM = true; })});
+  Cfgs.push_back({"darm-unroll", WithToggle([](DARMConfig &C) {
+                    C.EnableLoopUnroll = true;
+                  })});
+  Cfgs.push_back({"darm-canon", [](Function &F) {
+                    runDARM(F, DARMConfig::withCanonicalization());
+                  }});
   return Cfgs;
 }
 

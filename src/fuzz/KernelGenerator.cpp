@@ -67,7 +67,13 @@ struct Pools {
 class Gen {
 public:
   Gen(Module &M, const FuzzCase &C)
-      : C(C), Rng(C.Seed), Ctx(M.getContext()), B(Ctx) {
+      : C(C), Rng(C.Seed),
+        // The meldable-loop-pair shape draws from its own stream so that
+        // adding it (or tuning it) leaves every non-firing seed's kernel
+        // byte-identical — the pinned claims golden (seeds 0..7) and the
+        // distilled regression seeds in fuzz_test must not reshuffle.
+        ShapeRng(C.Seed * 0x9e3779b97f4a7c15ULL ^ 0xd1b54a32d192f703ULL),
+        Ctx(M.getContext()), B(Ctx) {
     Total = C.Launch.GridDimX * C.Launch.BlockDimX;
     IntSlotBase = C.IntInputElems;
     FloatSlotBase = C.FloatInputElems;
@@ -89,6 +95,11 @@ private:
 
   Value *pick(const std::vector<Value *> &P) {
     return P[Rng.nextBelow(P.size())];
+  }
+
+  /// pick() for the loop-pair shape: same pools, decoupled stream.
+  Value *shapePick(const std::vector<Value *> &P) {
+    return P[ShapeRng.nextBelow(P.size())];
   }
 
   Value *smallInt() {
@@ -145,9 +156,11 @@ private:
   void emitLoop(Pools &P, unsigned Depth);
   void emitExchange(Pools &P);
   void emitShuffle(Pools &P);
+  void emitLoopPairDiamond(Pools &P);
 
   const FuzzCase &C;
   RNG Rng;
+  RNG ShapeRng; ///< drives only emitLoopPairDiamond (see ctor)
   Context &Ctx;
   IRBuilder B;
   Function *F = nullptr;
@@ -155,6 +168,7 @@ private:
   unsigned Total = 0;
   unsigned IntSlotBase = 0, FloatSlotBase = 0;
   Value *Tid = nullptr, *Lane = nullptr, *Gid = nullptr;
+  Value *ShapeAcc = nullptr; ///< loop-pair join value, folded in epilogue
   unsigned BlockNo = 0; ///< fresh-name counter for CFG blocks
 };
 
@@ -449,6 +463,98 @@ void Gen::emitShuffle(Pools &P) {
   P.I32.push_back(B.createCall(Intrinsic::ShflSync, {V, SrcLane}, "shfl"));
 }
 
+/// The shape the divergent-loop unroller exists for (docs/passes.md): a
+/// divergent diamond whose arms each run a bounded loop with a per-lane
+/// trip count of the exact `add (and lane|tid, MaxLoopTrip-1), 1` form
+/// the unroller's static range analysis accepts. Without loop-unroll the
+/// two loops are opaque to darm-meld; after unrolling both arms become
+/// branch-divergent ladders the melder can fuse. Half the firing seeds
+/// also nest a triangle inside each loop body (diamond -> loop ->
+/// triangle), the deeper-region coverage ROADMAP asked for.
+///
+/// Everything here draws from ShapeRng, never Rng, and the join value is
+/// kept out of the pools: firing seeds grow this suffix, but no existing
+/// Rng draw shifts, so all other seeds stay byte-identical.
+void Gen::emitLoopPairDiamond(Pools &P) {
+  Value *Cond = B.createICmp(
+      ICmpPred::SLT,
+      B.createAnd(Lane,
+                  B.getInt32(static_cast<int32_t>(1 + ShapeRng.nextBelow(7)))),
+      B.getInt32(static_cast<int32_t>(1 + ShapeRng.nextBelow(4))), "mpc");
+  std::string N = std::to_string(BlockNo++);
+  BasicBlock *T = F->createBlock("mp" + N + ".t");
+  BasicBlock *E = F->createBlock("mp" + N + ".e");
+  BasicBlock *J = F->createBlock("mp" + N + ".j");
+  B.createCondBr(Cond, T, E);
+
+  // One nesting decision for both arms keeps them structurally similar
+  // (that similarity is what makes the unrolled ladders meldable).
+  const bool Nest = ShapeRng.chance(1, 2);
+
+  auto EmitArm = [&](BasicBlock *Entry) -> std::pair<Value *, BasicBlock *> {
+    B.setInsertPoint(Entry);
+    std::string LN = std::to_string(BlockNo++);
+    BasicBlock *H = F->createBlock("mp" + LN + ".h");
+    BasicBlock *Body = F->createBlock("mp" + LN + ".b");
+    BasicBlock *X = F->createBlock("mp" + LN + ".x");
+    Value *Trip = B.createAdd(
+        B.createAnd(ShapeRng.chance(1, 2) ? Lane : Tid,
+                    B.getInt32(static_cast<int32_t>(C.Opts.MaxLoopTrip - 1))),
+        B.getInt32(1), "mtrip");
+    Value *Acc0 = shapePick(P.I32);
+    B.createBr(H);
+
+    B.setInsertPoint(H);
+    PhiInst *IV = B.createPhi(Ctx.getInt32Ty(), "miv");
+    PhiInst *Acc = B.createPhi(Ctx.getInt32Ty(), "macc");
+    IV->addIncoming(B.getInt32(0), Entry);
+    Acc->addIncoming(Acc0, Entry);
+    Value *LC = B.createICmp(ICmpPred::SLT, IV, Trip, "mlc");
+    B.createCondBr(LC, Body, X);
+
+    B.setInsertPoint(Body);
+    Value *Mixed = B.createAdd(
+        B.createMul(Acc, B.getInt32(static_cast<int32_t>(
+                             3 + ShapeRng.nextBelow(5)))),
+        B.createXor(IV, shapePick(P.I32)), "mmix");
+    if (Nest) {
+      std::string TN = std::to_string(BlockNo++);
+      BasicBlock *NT = F->createBlock("mp" + TN + ".nt");
+      BasicBlock *NJ = F->createBlock("mp" + TN + ".nj");
+      Value *NC = B.createICmp(ICmpPred::EQ, B.createAnd(IV, B.getInt32(1)),
+                               B.getInt32(0), "mnc");
+      BasicBlock *From = B.getInsertBlock();
+      B.createCondBr(NC, NT, NJ);
+      B.setInsertPoint(NT);
+      Value *Alt = B.createAdd(Mixed, shapePick(P.I32), "malt");
+      B.createBr(NJ);
+      B.setInsertPoint(NJ);
+      PhiInst *MP = B.createPhi(Ctx.getInt32Ty(), "mnp");
+      MP->addIncoming(Alt, NT);
+      MP->addIncoming(Mixed, From);
+      Mixed = MP;
+    }
+    BasicBlock *Latch = B.getInsertBlock();
+    IV->addIncoming(B.createAdd(IV, B.getInt32(1), "mivn"), Latch);
+    Acc->addIncoming(Mixed, Latch);
+    B.createBr(H);
+
+    // Only the header phi escapes; it dominates the single-pred exit.
+    B.setInsertPoint(X);
+    B.createBr(J);
+    return {Acc, X};
+  };
+
+  auto [TA, TX] = EmitArm(T);
+  auto [EA, EX] = EmitArm(E);
+
+  B.setInsertPoint(J);
+  PhiInst *Phi = B.createPhi(Ctx.getInt32Ty(), "mpj");
+  Phi->addIncoming(TA, TX);
+  Phi->addIncoming(EA, EX);
+  ShapeAcc = Phi;
+}
+
 Function *Gen::run() {
   BasicBlock *Entry = F->createBlock("entry");
   B.setInsertPoint(Entry);
@@ -511,12 +617,20 @@ Function *Gen::run() {
     }
   }
 
+  // Roughly a third of seeds append the meldable divergent-loop pair.
+  // Gated (and built) off ShapeRng only: the draw sequence of every
+  // construct above and of the epilogue below is unchanged either way.
+  if (ShapeRng.chance(1, 3))
+    emitLoopPairDiamond(P);
+
   // Epilogue: fold the live pools into the lane-private output cells so
   // every generated value can influence the final memory image.
   Value *CkI = pick(P.I32);
   for (unsigned I = 0; I < 3; ++I)
     CkI = B.createAdd(B.createMul(CkI, B.getInt32(31)), pick(P.I32), "ck");
   CkI = B.createAdd(CkI, B.createZExt(pick(P.I1), Ctx.getInt32Ty()), "ck");
+  if (ShapeAcc)
+    CkI = B.createAdd(B.createMul(CkI, B.getInt32(31)), ShapeAcc, "ck");
   B.createStoreAt(CkI, F->getArg(0), ownGlobalIndex(true, 0));
 
   Value *CkF = pick(P.F32);

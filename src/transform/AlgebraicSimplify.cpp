@@ -1,0 +1,252 @@
+//===- AlgebraicSimplify.cpp - Algebraic identities and strength reduction -----===//
+
+#include "darm/transform/AlgebraicSimplify.h"
+
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Instruction.h"
+#include "darm/transform/ConstantFolding.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace darm;
+
+namespace {
+
+const ConstantInt *asConstInt(const Value *V) {
+  return dyn_cast<ConstantInt>(V);
+}
+
+bool isZero(const Value *V) {
+  const ConstantInt *C = asConstInt(V);
+  return C && C->isZero();
+}
+
+bool isOne(const Value *V) {
+  const ConstantInt *C = asConstInt(V);
+  return C && C->isOne();
+}
+
+/// All-ones in the value's width: 1 for i1, -1 for i32/i64 (constants are
+/// stored sign-extended).
+bool isAllOnes(const Value *V) {
+  const ConstantInt *C = asConstInt(V);
+  if (!C)
+    return false;
+  return C->getValue() == (V->getType()->isInt1() ? 1 : -1);
+}
+
+/// Reflexive icmp verdict: x pred x for any integer x.
+bool icmpOnEqual(ICmpPred P) {
+  switch (P) {
+  case ICmpPred::EQ:
+  case ICmpPred::SLE:
+  case ICmpPred::SGE:
+  case ICmpPred::ULE:
+  case ICmpPred::UGE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// If \p V is a constant power of two that is positive *as stored* (which
+/// excludes i32 0x80000000, stored negative), returns its log2; else -1.
+int log2Const(const Value *V) {
+  const ConstantInt *C = asConstInt(V);
+  if (!C)
+    return -1;
+  int64_t X = C->getValue();
+  if (X <= 0 || (X & (X - 1)) != 0)
+    return -1;
+  int K = 0;
+  while ((int64_t{1} << K) != X)
+    ++K;
+  return K;
+}
+
+/// Identity simplifications that rewrite \p I to an existing value (an
+/// operand or a constant). Returns null when none applies. Integer only;
+/// see the header for why floats are left alone.
+Value *simplifyToExisting(Context &Ctx, Instruction &I) {
+  Type *Ty = I.getType();
+  if (I.isBinaryOp()) {
+    Value *X = I.getOperand(0), *Y = I.getOperand(1);
+    if (Ty->isFloat())
+      return nullptr;
+    ConstantInt *Zero = Ctx.getConstantInt(Ty, 0);
+    switch (I.getOpcode()) {
+    case Opcode::Add:
+      if (isZero(Y))
+        return X;
+      if (isZero(X))
+        return Y;
+      return nullptr;
+    case Opcode::Sub:
+      if (isZero(Y))
+        return X;
+      if (X == Y)
+        return Zero;
+      return nullptr;
+    case Opcode::Mul:
+      if (isZero(X) || isZero(Y))
+        return Zero;
+      if (isOne(Y))
+        return X;
+      if (isOne(X))
+        return Y;
+      return nullptr;
+    case Opcode::SDiv:
+    case Opcode::UDiv:
+      // x/x is NOT 1 under total semantics (0/0 == 0 here), so only the
+      // unit divisor folds.
+      if (isOne(Y))
+        return X;
+      if (isZero(Y))
+        return Zero; // division by zero is defined as 0
+      return nullptr;
+    case Opcode::SRem:
+      // x % x == 0 for every x including 0 and -1 (both defined as 0).
+      if (X == Y || isOne(Y) || isZero(Y) || isAllOnes(Y))
+        return Zero;
+      return nullptr;
+    case Opcode::URem:
+      if (X == Y || isOne(Y) || isZero(Y))
+        return Zero;
+      return nullptr;
+    case Opcode::And:
+      if (X == Y)
+        return X;
+      if (isZero(X) || isZero(Y))
+        return Zero;
+      if (isAllOnes(Y))
+        return X;
+      if (isAllOnes(X))
+        return Y;
+      return nullptr;
+    case Opcode::Or:
+      if (X == Y)
+        return X;
+      if (isZero(Y))
+        return X;
+      if (isZero(X))
+        return Y;
+      if (isAllOnes(X) || isAllOnes(Y))
+        return Ctx.getConstantInt(Ty, Ty->isInt1() ? 1 : -1);
+      return nullptr;
+    case Opcode::Xor:
+      if (X == Y)
+        return Zero;
+      if (isZero(Y))
+        return X;
+      if (isZero(X))
+        return Y;
+      return nullptr;
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+      if (isZero(Y))
+        return X;
+      if (isZero(X))
+        return Zero;
+      return nullptr;
+    default:
+      return nullptr;
+    }
+  }
+  if (auto *Cmp = dyn_cast<ICmpInst>(&I)) {
+    if (Cmp->getLHS() == Cmp->getRHS())
+      return Ctx.getBool(icmpOnEqual(Cmp->getPredicate()));
+    return nullptr;
+  }
+  if (auto *Sel = dyn_cast<SelectInst>(&I)) {
+    if (Sel->getTrueValue() == Sel->getFalseValue())
+      return Sel->getTrueValue();
+    if (const ConstantInt *C = asConstInt(Sel->getCondition()))
+      return C->isZero() ? Sel->getFalseValue() : Sel->getTrueValue();
+    return nullptr;
+  }
+  return nullptr;
+}
+
+/// Strength reduction: builds a cheaper replacement instruction for \p I,
+/// or returns null. The caller inserts it before \p I.
+Instruction *strengthReduce(Context &Ctx, Instruction &I) {
+  if (!I.isBinaryOp() || I.getType()->isFloat())
+    return nullptr;
+  Value *X = I.getOperand(0), *Y = I.getOperand(1);
+  Type *Ty = I.getType();
+  switch (I.getOpcode()) {
+  case Opcode::Mul: {
+    int K = log2Const(Y);
+    Value *Other = X;
+    if (K < 1) {
+      K = log2Const(X);
+      Other = Y;
+    }
+    if (K < 1)
+      return nullptr;
+    return new BinaryInst(Opcode::Shl, Other, Ctx.getConstantInt(Ty, K));
+  }
+  case Opcode::UDiv: {
+    int K = log2Const(Y);
+    if (K < 1)
+      return nullptr;
+    return new BinaryInst(Opcode::LShr, X, Ctx.getConstantInt(Ty, K));
+  }
+  case Opcode::URem: {
+    int K = log2Const(Y);
+    if (K < 1)
+      return nullptr;
+    return new BinaryInst(Opcode::And, X,
+                          Ctx.getConstantInt(Ty, (int64_t{1} << K) - 1));
+  }
+  default:
+    return nullptr;
+  }
+}
+
+} // namespace
+
+bool darm::simplifyAlgebraic(Function &F) {
+  Context &Ctx = F.getContext();
+  bool Changed = false;
+  bool LocalChanged = true;
+  while (LocalChanged) {
+    LocalChanged = false;
+    for (BasicBlock *BB : F) {
+      std::vector<Instruction *> Insts(BB->begin(), BB->end());
+      for (Instruction *I : Insts) {
+        if (I->isTerminator() || I->isPhi() || I->getType()->isVoid())
+          continue;
+        if (!I->isSafeToSpeculate())
+          continue;
+        if (Value *C = foldInstruction(*I)) {
+          I->replaceAllUsesWith(C);
+          BB->erase(I);
+          LocalChanged = true;
+          continue;
+        }
+        if (Value *V = simplifyToExisting(Ctx, *I)) {
+          I->replaceAllUsesWith(V);
+          BB->erase(I);
+          LocalChanged = true;
+          continue;
+        }
+        if (Instruction *NewI = strengthReduce(Ctx, *I)) {
+          BB->insert(I->getIterator(), NewI);
+          NewI->setName(
+              F.uniqueName(I->hasName() ? I->getName() : std::string("sr")));
+          I->replaceAllUsesWith(NewI);
+          BB->erase(I);
+          LocalChanged = true;
+        }
+      }
+    }
+    Changed |= LocalChanged;
+  }
+  return Changed;
+}

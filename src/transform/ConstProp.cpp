@@ -1,0 +1,258 @@
+//===- ConstProp.cpp - Sparse conditional constant propagation -----------------===//
+
+#include "darm/transform/ConstProp.h"
+
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Instruction.h"
+#include "darm/transform/CFGUtils.h"
+#include "darm/transform/ConstantFolding.h"
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+using namespace darm;
+
+namespace {
+
+/// The SCCP lattice: optimistic Unknown at the top, a single constant in
+/// the middle, Overdefined at the bottom.
+struct LatticeVal {
+  enum Level : uint8_t { Unknown, Const, Over } Lv = Unknown;
+  Value *C = nullptr; // ConstantInt/ConstantFloat when Lv == Const
+
+  bool isUnknown() const { return Lv == Unknown; }
+  bool isConst() const { return Lv == Const; }
+  bool isOver() const { return Lv == Over; }
+};
+
+class SCCPSolver {
+public:
+  explicit SCCPSolver(Function &F) : F(F), Ctx(F.getContext()) {}
+
+  void solve() {
+    markBlockExecutable(&F.getEntryBlock());
+    while (!BlockWorklist.empty() || !InstWorklist.empty()) {
+      while (!BlockWorklist.empty()) {
+        BasicBlock *BB = BlockWorklist.back();
+        BlockWorklist.pop_back();
+        for (Instruction *I : *BB)
+          visit(I);
+      }
+      while (!InstWorklist.empty()) {
+        Instruction *I = InstWorklist.back();
+        InstWorklist.pop_back();
+        if (Executable.count(I->getParent()))
+          visit(I);
+      }
+    }
+  }
+
+  bool rewrite() {
+    bool Changed = false;
+    for (BasicBlock *BB : F.getBlockVector()) {
+      if (!Executable.count(BB))
+        continue; // deleted below as unreachable
+      std::vector<Instruction *> Insts(BB->begin(), BB->end());
+      for (Instruction *I : Insts) {
+        if (auto *CB = dyn_cast<CondBrInst>(I)) {
+          LatticeVal CV = lattice(CB->getCondition());
+          if (!CV.isConst())
+            continue;
+          BasicBlock *TrueBB = CB->getTrueSuccessor();
+          BasicBlock *FalseBB = CB->getFalseSuccessor();
+          bool Taken = cast<ConstantInt>(CV.C)->getValue() & 1;
+          BasicBlock *Kept = Taken ? TrueBB : FalseBB;
+          BasicBlock *Dead = Taken ? FalseBB : TrueBB;
+          BB->erase(CB);
+          if (Dead != Kept)
+            Dead->removePhiEntriesFor(BB);
+          BB->push_back(new BrInst(Kept, Ctx.getVoidTy()));
+          Changed = true;
+          continue;
+        }
+        if (I->isTerminator() || I->getType()->isVoid())
+          continue;
+        LatticeVal LV = lattice(I);
+        if (!LV.isConst())
+          continue;
+        if (I->hasSideEffects() || I->isConvergent() || I->mayReadMemory())
+          continue; // lattice never marks these Const; belt and braces
+        I->replaceAllUsesWith(LV.C);
+        BB->erase(I);
+        Changed = true;
+      }
+    }
+    Changed |= removeUnreachableBlocks(F);
+    return Changed;
+  }
+
+private:
+  LatticeVal lattice(Value *V) {
+    if (isa<ConstantInt>(V) || isa<ConstantFloat>(V))
+      return {LatticeVal::Const, V};
+    if (auto *I = dyn_cast<Instruction>(V)) {
+      auto It = Values.find(I);
+      return It == Values.end() ? LatticeVal{} : It->second;
+    }
+    // Arguments, shared arrays, undef: runtime values (undef deliberately
+    // pessimistic — see the header).
+    return {LatticeVal::Over, nullptr};
+  }
+
+  void markOverdefined(Instruction *I) {
+    LatticeVal &LV = Values[I];
+    if (LV.isOver())
+      return;
+    LV = {LatticeVal::Over, nullptr};
+    pushUsers(I);
+  }
+
+  void markConstant(Instruction *I, Value *C) {
+    LatticeVal &LV = Values[I];
+    if (LV.isOver() || (LV.isConst() && LV.C == C))
+      return;
+    if (LV.isConst() && LV.C != C) { // lowering past Const: go to Over
+      LV = {LatticeVal::Over, nullptr};
+    } else {
+      LV = {LatticeVal::Const, C};
+    }
+    pushUsers(I);
+  }
+
+  void pushUsers(Instruction *I) {
+    for (const Use &U : I->uses())
+      if (auto *UI = dyn_cast<Instruction>(U.TheUser))
+        InstWorklist.push_back(UI);
+  }
+
+  void markBlockExecutable(BasicBlock *BB) {
+    if (Executable.insert(BB).second)
+      BlockWorklist.push_back(BB);
+  }
+
+  void markEdgeFeasible(BasicBlock *From, BasicBlock *To) {
+    if (!Feasible.insert({From, To}).second)
+      return;
+    if (Executable.count(To)) {
+      // Block already processed; only its phis see new information.
+      for (PhiInst *P : To->phis())
+        InstWorklist.push_back(P);
+    } else {
+      markBlockExecutable(To);
+    }
+  }
+
+  void visit(Instruction *I) {
+    if (auto *P = dyn_cast<PhiInst>(I)) {
+      visitPhi(P);
+      return;
+    }
+    if (auto *CB = dyn_cast<CondBrInst>(I)) {
+      LatticeVal CV = lattice(CB->getCondition());
+      if (CV.isConst()) {
+        bool Taken = cast<ConstantInt>(CV.C)->getValue() & 1;
+        markEdgeFeasible(I->getParent(), Taken ? CB->getTrueSuccessor()
+                                               : CB->getFalseSuccessor());
+      } else if (CV.isOver()) {
+        markEdgeFeasible(I->getParent(), CB->getTrueSuccessor());
+        markEdgeFeasible(I->getParent(), CB->getFalseSuccessor());
+      }
+      return;
+    }
+    if (auto *Br = dyn_cast<BrInst>(I)) {
+      markEdgeFeasible(I->getParent(), Br->getTarget());
+      return;
+    }
+    if (I->isTerminator() || I->getType()->isVoid())
+      return;
+    if (auto *Sel = dyn_cast<SelectInst>(I)) {
+      visitSelect(Sel);
+      return;
+    }
+    if (!I->isBinaryOp() && !I->isCast() && I->getOpcode() != Opcode::ICmp &&
+        I->getOpcode() != Opcode::FCmp) {
+      // Loads, pure intrinsic calls, geps: runtime values.
+      markOverdefined(I);
+      return;
+    }
+    std::vector<Value *> Ops;
+    Ops.reserve(I->getNumOperands());
+    for (Value *Op : I->operands()) {
+      LatticeVal LV = lattice(Op);
+      if (LV.isUnknown())
+        return; // optimistic: wait for the operand to resolve
+      if (LV.isOver()) {
+        markOverdefined(I);
+        return;
+      }
+      Ops.push_back(LV.C);
+    }
+    if (Value *C = foldOperation(Ctx, *I, Ops))
+      markConstant(I, C);
+    else
+      markOverdefined(I);
+  }
+
+  void visitPhi(PhiInst *P) {
+    Value *Merged = nullptr;
+    for (unsigned K = 0, E = P->getNumIncoming(); K != E; ++K) {
+      if (!Feasible.count({P->getIncomingBlock(K), P->getParent()}))
+        continue;
+      LatticeVal LV = lattice(P->getIncomingValue(K));
+      if (LV.isUnknown())
+        continue;
+      if (LV.isOver() || (Merged && Merged != LV.C)) {
+        markOverdefined(P);
+        return;
+      }
+      Merged = LV.C;
+    }
+    if (Merged)
+      markConstant(P, Merged);
+  }
+
+  void visitSelect(SelectInst *Sel) {
+    LatticeVal CV = lattice(Sel->getCondition());
+    if (CV.isUnknown())
+      return;
+    if (CV.isConst()) {
+      bool Taken = cast<ConstantInt>(CV.C)->getValue() & 1;
+      LatticeVal Arm =
+          lattice(Taken ? Sel->getTrueValue() : Sel->getFalseValue());
+      if (Arm.isConst())
+        markConstant(Sel, Arm.C);
+      else if (Arm.isOver())
+        markOverdefined(Sel);
+      return;
+    }
+    // Overdefined condition: both arms must agree on one constant.
+    LatticeVal T = lattice(Sel->getTrueValue());
+    LatticeVal FV = lattice(Sel->getFalseValue());
+    if (T.isUnknown() || FV.isUnknown())
+      return;
+    if (T.isConst() && FV.isConst() && T.C == FV.C)
+      markConstant(Sel, T.C);
+    else
+      markOverdefined(Sel);
+  }
+
+  Function &F;
+  Context &Ctx;
+  std::unordered_map<Instruction *, LatticeVal> Values;
+  std::set<BasicBlock *> Executable;
+  std::set<std::pair<BasicBlock *, BasicBlock *>> Feasible;
+  std::vector<BasicBlock *> BlockWorklist;
+  std::vector<Instruction *> InstWorklist;
+};
+
+} // namespace
+
+bool darm::propagateConstants(Function &F) {
+  SCCPSolver Solver(F);
+  Solver.solve();
+  return Solver.rewrite();
+}

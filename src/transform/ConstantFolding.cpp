@@ -1,0 +1,326 @@
+//===- ConstantFolding.cpp - Fold operations over constant operands ------------===//
+
+#include "darm/transform/ConstantFolding.h"
+
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Instruction.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+using namespace darm;
+
+namespace {
+
+/// Canonical register form of a raw 64-bit result for \p Ty — exactly the
+/// simulator's applyNorm: i1 keeps the low bit, i32 is stored
+/// sign-extended, i64 is raw.
+int64_t normInt(const Type *Ty, uint64_t Raw) {
+  if (Ty->isInt1())
+    return static_cast<int64_t>(Raw & 1);
+  if (Ty->isInt32())
+    return static_cast<int64_t>(static_cast<int32_t>(Raw));
+  return static_cast<int64_t>(Raw);
+}
+
+Value *foldIntBinary(Context &Ctx, Opcode Op, Type *Ty, uint64_t RA,
+                     uint64_t RB) {
+  const bool Is32 = Ty->isInt32();
+  const unsigned ShiftMask = Is32 ? 31 : 63;
+  const int64_t SA = static_cast<int64_t>(RA);
+  const int64_t SB = static_cast<int64_t>(RB);
+  const uint64_t UA = Is32 ? static_cast<uint32_t>(RA) : RA;
+  const uint64_t UB = Is32 ? static_cast<uint32_t>(RB) : RB;
+  uint64_t R;
+  switch (Op) {
+  case Opcode::Add:
+    R = RA + RB;
+    break;
+  case Opcode::Sub:
+    R = RA - RB;
+    break;
+  case Opcode::Mul:
+    R = RA * RB;
+    break;
+  case Opcode::SDiv:
+    // Division by zero is defined to yield 0 in this IR (Instruction.h);
+    // INT_MIN / -1 is defined as negation, as the simulator executes it.
+    if (SB == 0)
+      R = 0;
+    else if (SB == -1)
+      R = uint64_t{0} - RA;
+    else
+      R = static_cast<uint64_t>(SA / SB);
+    break;
+  case Opcode::SRem:
+    R = (SB == 0 || SB == -1) ? 0 : static_cast<uint64_t>(SA % SB);
+    break;
+  case Opcode::UDiv:
+    R = UB == 0 ? 0 : UA / UB;
+    break;
+  case Opcode::URem:
+    R = UB == 0 ? 0 : UA % UB;
+    break;
+  case Opcode::And:
+    R = RA & RB;
+    break;
+  case Opcode::Or:
+    R = RA | RB;
+    break;
+  case Opcode::Xor:
+    R = RA ^ RB;
+    break;
+  case Opcode::Shl:
+    R = RA << (RB & ShiftMask);
+    break;
+  case Opcode::LShr:
+    R = UA >> (RB & ShiftMask);
+    break;
+  case Opcode::AShr:
+    R = static_cast<uint64_t>(
+        (Is32 ? static_cast<int64_t>(static_cast<int32_t>(RA)) : SA) >>
+        (RB & ShiftMask));
+    break;
+  default:
+    return nullptr;
+  }
+  return Ctx.getConstantInt(Ty, normInt(Ty, R));
+}
+
+Value *foldFloatBinary(Context &Ctx, Opcode Op, float A, float B) {
+  // The same C++ expression the simulator evaluates per lane; IEEE float
+  // arithmetic on the build host, so the folded bits match execution.
+  switch (Op) {
+  case Opcode::FAdd:
+    return Ctx.getConstantFloat(A + B);
+  case Opcode::FSub:
+    return Ctx.getConstantFloat(A - B);
+  case Opcode::FMul:
+    return Ctx.getConstantFloat(A * B);
+  case Opcode::FDiv:
+    return Ctx.getConstantFloat(A / B);
+  default:
+    return nullptr;
+  }
+}
+
+Value *foldICmp(Context &Ctx, ICmpPred Pred, Type *OpTy, uint64_t RA,
+                uint64_t RB) {
+  const bool Is32 = OpTy->isInt32();
+  const int64_t SA = static_cast<int64_t>(RA);
+  const int64_t SB = static_cast<int64_t>(RB);
+  const uint64_t UA = Is32 ? static_cast<uint32_t>(RA) : RA;
+  const uint64_t UB = Is32 ? static_cast<uint32_t>(RB) : RB;
+  bool R = false;
+  switch (Pred) {
+  case ICmpPred::EQ:
+    R = RA == RB;
+    break;
+  case ICmpPred::NE:
+    R = RA != RB;
+    break;
+  case ICmpPred::SLT:
+    R = SA < SB;
+    break;
+  case ICmpPred::SLE:
+    R = SA <= SB;
+    break;
+  case ICmpPred::SGT:
+    R = SA > SB;
+    break;
+  case ICmpPred::SGE:
+    R = SA >= SB;
+    break;
+  case ICmpPred::ULT:
+    R = UA < UB;
+    break;
+  case ICmpPred::ULE:
+    R = UA <= UB;
+    break;
+  case ICmpPred::UGT:
+    R = UA > UB;
+    break;
+  case ICmpPred::UGE:
+    R = UA >= UB;
+    break;
+  }
+  return Ctx.getBool(R);
+}
+
+Value *foldFCmp(Context &Ctx, FCmpPred Pred, float A, float B) {
+  bool R = false;
+  switch (Pred) {
+  case FCmpPred::OEQ:
+    R = A == B;
+    break;
+  case FCmpPred::ONE:
+    R = A != B;
+    break;
+  case FCmpPred::OLT:
+    R = A < B;
+    break;
+  case FCmpPred::OLE:
+    R = A <= B;
+    break;
+  case FCmpPred::OGT:
+    R = A > B;
+    break;
+  case FCmpPred::OGE:
+    R = A >= B;
+    break;
+  }
+  return Ctx.getBool(R);
+}
+
+Value *foldCast(Context &Ctx, Opcode Op, Type *DestTy, Type *SrcTy,
+                const Value *Src) {
+  if (Op == Opcode::SIToFP) {
+    const auto *CI = dyn_cast<ConstantInt>(Src);
+    if (!CI)
+      return nullptr;
+    return Ctx.getConstantFloat(static_cast<float>(CI->getValue()));
+  }
+  if (Op == Opcode::FPToSI) {
+    const auto *CF = dyn_cast<ConstantFloat>(Src);
+    if (!CF)
+      return nullptr;
+    // fptosi is total (Instruction.h): NaN yields 0 and out-of-range
+    // values saturate to the destination's limits — same bounds as the
+    // simulator.
+    const bool To32 = DestTy->isInt32();
+    const float Lo = To32 ? -2147483648.0f : -9223372036854775808.0f;
+    const float Hi = To32 ? 2147483648.0f : 9223372036854775808.0f;
+    const int64_t Min = To32 ? std::numeric_limits<int32_t>::min()
+                             : std::numeric_limits<int64_t>::min();
+    const int64_t Max = To32 ? std::numeric_limits<int32_t>::max()
+                             : std::numeric_limits<int64_t>::max();
+    const float F = CF->getValue();
+    int64_t R;
+    if (std::isnan(F))
+      R = 0;
+    else if (F < Lo)
+      R = Min;
+    else if (F >= Hi)
+      R = Max;
+    else
+      R = static_cast<int64_t>(F);
+    return Ctx.getConstantInt(DestTy,
+                              normInt(DestTy, static_cast<uint64_t>(R)));
+  }
+
+  const auto *CI = dyn_cast<ConstantInt>(Src);
+  if (!CI)
+    return nullptr;
+  const uint64_t V = static_cast<uint64_t>(CI->getValue());
+  uint64_t R;
+  switch (Op) {
+  case Opcode::ZExt:
+    R = SrcTy->isInt1() ? (V & 1)
+        : SrcTy->isInt32()
+            ? static_cast<uint64_t>(static_cast<uint32_t>(V))
+            : V;
+    break;
+  case Opcode::SExt:
+    // Stored constants are already sign-extended; i1 extends its bit.
+    R = SrcTy->isInt1() ? ((V & 1) ? ~uint64_t{0} : 0) : V;
+    break;
+  case Opcode::Trunc:
+    R = V; // renormalization below truncates to the destination width
+    break;
+  default:
+    return nullptr;
+  }
+  return Ctx.getConstantInt(DestTy, normInt(DestTy, R));
+}
+
+} // namespace
+
+Value *darm::foldOperation(Context &Ctx, const Instruction &I,
+                           const std::vector<Value *> &Ops) {
+  if (I.isBinaryOp()) {
+    if (Ops.size() != 2)
+      return nullptr;
+    Type *Ty = I.getType();
+    if (Ty->isFloat()) {
+      const auto *A = dyn_cast<ConstantFloat>(Ops[0]);
+      const auto *B = dyn_cast<ConstantFloat>(Ops[1]);
+      if (!A || !B)
+        return nullptr;
+      return foldFloatBinary(Ctx, I.getOpcode(), A->getValue(),
+                             B->getValue());
+    }
+    const auto *A = dyn_cast<ConstantInt>(Ops[0]);
+    const auto *B = dyn_cast<ConstantInt>(Ops[1]);
+    if (!A || !B)
+      return nullptr;
+    return foldIntBinary(Ctx, I.getOpcode(), Ty,
+                         static_cast<uint64_t>(A->getValue()),
+                         static_cast<uint64_t>(B->getValue()));
+  }
+
+  switch (I.getOpcode()) {
+  case Opcode::ICmp: {
+    if (Ops.size() != 2)
+      return nullptr;
+    const auto *A = dyn_cast<ConstantInt>(Ops[0]);
+    const auto *B = dyn_cast<ConstantInt>(Ops[1]);
+    if (!A || !B)
+      return nullptr;
+    return foldICmp(Ctx, cast<ICmpInst>(&I)->getPredicate(),
+                    Ops[0]->getType(), static_cast<uint64_t>(A->getValue()),
+                    static_cast<uint64_t>(B->getValue()));
+  }
+  case Opcode::FCmp: {
+    if (Ops.size() != 2)
+      return nullptr;
+    const auto *A = dyn_cast<ConstantFloat>(Ops[0]);
+    const auto *B = dyn_cast<ConstantFloat>(Ops[1]);
+    if (!A || !B)
+      return nullptr;
+    return foldFCmp(Ctx, cast<FCmpInst>(&I)->getPredicate(), A->getValue(),
+                    B->getValue());
+  }
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::Trunc:
+  case Opcode::SIToFP:
+  case Opcode::FPToSI:
+    if (Ops.size() != 1)
+      return nullptr;
+    return foldCast(Ctx, I.getOpcode(), I.getType(), Ops[0]->getType(),
+                    Ops[0]);
+  case Opcode::Select: {
+    if (Ops.size() != 3)
+      return nullptr;
+    const auto *C = dyn_cast<ConstantInt>(Ops[0]);
+    if (!C)
+      return nullptr;
+    Value *Chosen = (C->getValue() & 1) ? Ops[1] : Ops[2];
+    // Only a constant result counts as folded; a select on a constant
+    // condition with non-constant arms is a simplification, handled by
+    // the algebraic pass (and SCCP's lattice) instead.
+    if (isa<ConstantInt>(Chosen) || isa<ConstantFloat>(Chosen))
+      return Chosen;
+    return nullptr;
+  }
+  default:
+    return nullptr;
+  }
+}
+
+Value *darm::foldInstruction(Instruction &I) {
+  BasicBlock *BB = I.getParent();
+  if (!BB)
+    return nullptr;
+  Function *F = BB->getParent();
+  if (!F)
+    return nullptr;
+  std::vector<Value *> Ops;
+  Ops.reserve(I.getNumOperands());
+  for (unsigned Idx = 0; Idx < I.getNumOperands(); ++Idx)
+    Ops.push_back(I.getOperand(Idx));
+  return foldOperation(F->getContext(), I, Ops);
+}

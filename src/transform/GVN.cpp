@@ -1,0 +1,106 @@
+//===- GVN.cpp - Dominator-scoped global value numbering -----------------------===//
+
+#include "darm/transform/GVN.h"
+
+#include "darm/analysis/DominatorTree.h"
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Instruction.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+#include <vector>
+
+using namespace darm;
+
+namespace {
+
+/// Structural identity key. Pointer ordering inside the commutative sort
+/// is run-dependent but only decides whether two keys collide, and
+/// commutative matching is symmetric — so the set of merges (and thus the
+/// output IR) is deterministic.
+struct ExprKey {
+  uint8_t Op;
+  uint32_t Sub; // icmp/fcmp predicate or call intrinsic, else 0
+  Type *Ty;
+  std::vector<Value *> Ops;
+
+  bool operator<(const ExprKey &O) const {
+    return std::tie(Op, Sub, Ty, Ops) < std::tie(O.Op, O.Sub, O.Ty, O.Ops);
+  }
+};
+
+bool isCommutative(const Instruction &I) {
+  switch (I.getOpcode()) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+    return true;
+  case Opcode::ICmp: {
+    ICmpPred P = cast<ICmpInst>(&I)->getPredicate();
+    return P == ICmpPred::EQ || P == ICmpPred::NE;
+  }
+  default:
+    // Float add/mul are NOT treated as commutative: when both operands
+    // are NaN, IEEE hardware (and the host float ops the simulator uses)
+    // propagates one operand's payload, so a+b and b+a can differ
+    // bitwise — and the fuzz oracle diffs memory images bitwise.
+    return false;
+  }
+}
+
+ExprKey makeKey(Instruction &I) {
+  ExprKey K;
+  K.Op = static_cast<uint8_t>(I.getOpcode());
+  K.Sub = 0;
+  if (auto *C = dyn_cast<ICmpInst>(&I))
+    K.Sub = 1 + static_cast<uint32_t>(C->getPredicate());
+  else if (auto *C2 = dyn_cast<FCmpInst>(&I))
+    K.Sub = 100 + static_cast<uint32_t>(C2->getPredicate());
+  else if (auto *Call = dyn_cast<CallInst>(&I))
+    K.Sub = 200 + static_cast<uint32_t>(Call->getIntrinsic());
+  K.Ty = I.getType();
+  K.Ops = I.operands();
+  if (K.Ops.size() == 2 && isCommutative(I) && K.Ops[1] < K.Ops[0])
+    std::swap(K.Ops[0], K.Ops[1]);
+  return K;
+}
+
+bool eligible(const Instruction &I) {
+  return I.isSafeToSpeculate() && !I.isPhi() && !I.isTerminator() &&
+         !I.getType()->isVoid();
+}
+
+} // namespace
+
+bool darm::runGVN(Function &F) {
+  DominatorTree DT(F);
+  std::map<ExprKey, std::vector<Instruction *>> Table;
+  bool Changed = false;
+  for (BasicBlock *BB : DT.getBlocksRPO()) {
+    std::vector<Instruction *> Insts(BB->begin(), BB->end());
+    for (Instruction *I : Insts) {
+      if (!eligible(*I))
+        continue;
+      ExprKey Key = makeKey(*I);
+      std::vector<Instruction *> &Defs = Table[Key];
+      Instruction *Leader = nullptr;
+      for (Instruction *Def : Defs)
+        if (DT.dominates(Def, I)) {
+          Leader = Def;
+          break;
+        }
+      if (Leader) {
+        I->replaceAllUsesWith(Leader);
+        BB->erase(I);
+        Changed = true;
+      } else {
+        Defs.push_back(I);
+      }
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,65 @@
+//===- LICM.cpp - Loop-invariant code motion ------------------------------------===//
+
+#include "darm/transform/LICM.h"
+
+#include "darm/analysis/DominatorTree.h"
+#include "darm/analysis/LoopInfo.h"
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Instruction.h"
+
+#include <vector>
+
+using namespace darm;
+
+bool darm::hoistLoopInvariants(Function &F) {
+  DominatorTree DT(F);
+  LoopInfo LI(F, DT);
+  bool Changed = false;
+  bool Moved = true;
+  // Rounds until quiescent: hoisting out of an inner loop lands in its
+  // preheader, which may sit inside an outer loop — the next round lifts
+  // the instruction one more level. Nothing here changes the CFG, so DT
+  // and LI stay valid throughout.
+  while (Moved) {
+    Moved = false;
+    for (const auto &LPtr : LI.loops()) {
+      Loop *L = LPtr.get();
+      BasicBlock *Ph = L->getPreheader();
+      if (!Ph)
+        continue;
+      Instruction *InsertPt = Ph->getTerminator();
+      // Walk the loop's blocks in function layout order (Loop::blocks()
+      // is pointer-ordered, which would make the hoist order — and the
+      // printed IR — nondeterministic).
+      for (BasicBlock *BB : F) {
+        if (!L->contains(BB))
+          continue;
+        std::vector<Instruction *> Insts(BB->begin(), BB->end());
+        for (Instruction *I : Insts) {
+          if (I->isPhi() || I->isTerminator() || I->getType()->isVoid())
+            continue;
+          if (!I->isSafeToSpeculate())
+            continue;
+          bool Invariant = true;
+          for (Value *Op : I->operands()) {
+            auto *OpI = dyn_cast<Instruction>(Op);
+            if (!OpI)
+              continue; // constants and arguments are invariant
+            if (L->contains(OpI->getParent()) ||
+                !DT.dominates(OpI, InsertPt)) {
+              Invariant = false;
+              break;
+            }
+          }
+          if (!Invariant)
+            continue;
+          I->moveBefore(InsertPt);
+          Moved = true;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}

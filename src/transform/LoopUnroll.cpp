@@ -1,0 +1,392 @@
+//===- LoopUnroll.cpp - Divergent-loop unrolling --------------------------------===//
+
+#include "darm/transform/LoopUnroll.h"
+
+#include "darm/analysis/DivergenceAnalysis.h"
+#include "darm/analysis/DominanceFrontier.h"
+#include "darm/analysis/DominatorTree.h"
+#include "darm/analysis/LoopInfo.h"
+#include "darm/ir/BasicBlock.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/Function.h"
+#include "darm/ir/Instruction.h"
+#include "darm/transform/CFGUtils.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+using namespace darm;
+
+namespace {
+
+/// Caps keeping the clone fan-out and the bound arithmetic tame.
+constexpr uint64_t MaxTrips = 8;
+constexpr uint64_t MaxClonedInsts = 256;
+constexpr int64_t MaxBoundMagnitude = int64_t{1} << 20;
+
+/// Static bounds [Min, Max] provable for \p V's value from its expression
+/// alone. Conservative; nullopt when no bound is provable. Recognizes the
+/// generator's per-lane trip shapes: `add (and lane, K), 1` and friends.
+struct Range {
+  int64_t Min, Max;
+};
+
+std::optional<Range> staticRange(Value *V, unsigned Depth) {
+  if (auto *C = dyn_cast<ConstantInt>(V)) {
+    if (C->getValue() < -MaxBoundMagnitude || C->getValue() > MaxBoundMagnitude)
+      return std::nullopt;
+    return Range{C->getValue(), C->getValue()};
+  }
+  if (Depth == 0)
+    return std::nullopt;
+  auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return std::nullopt;
+  switch (I->getOpcode()) {
+  case Opcode::And: {
+    // and(x, mask) with a non-negative constant mask lands in [0, mask]
+    // for ANY x: the sign bit of the stored (sign-extended) mask is 0,
+    // so the result's sign bit is 0 too.
+    for (unsigned K = 0; K < 2; ++K)
+      if (auto *C = dyn_cast<ConstantInt>(I->getOperand(K)))
+        if (C->getValue() >= 0 && C->getValue() <= MaxBoundMagnitude)
+          return Range{0, C->getValue()};
+    return std::nullopt;
+  }
+  case Opcode::Add: {
+    auto A = staticRange(I->getOperand(0), Depth - 1);
+    auto B = staticRange(I->getOperand(1), Depth - 1);
+    if (!A || !B)
+      return std::nullopt;
+    int64_t Lo = A->Min + B->Min, Hi = A->Max + B->Max;
+    if (Lo < -MaxBoundMagnitude || Hi > MaxBoundMagnitude)
+      return std::nullopt;
+    // The add itself wraps at the type width; with |values| <= 2^21 on a
+    // 32-bit (or wider) type, no wrap can occur, so the interval is exact.
+    return Range{Lo, Hi};
+  }
+  case Opcode::URem: {
+    if (auto *C = dyn_cast<ConstantInt>(I->getOperand(1)))
+      if (C->getValue() > 0 && C->getValue() <= MaxBoundMagnitude)
+        return Range{0, C->getValue() - 1}; // x urem 0 is 0 anyway
+    return std::nullopt;
+  }
+  case Opcode::ZExt:
+    if (cast<CastInst>(I)->getSource()->getType()->isInt1())
+      return Range{0, 1};
+    return std::nullopt;
+  case Opcode::Select: {
+    auto A = staticRange(I->getOperand(1), Depth - 1);
+    auto B = staticRange(I->getOperand(2), Depth - 1);
+    if (!A || !B)
+      return std::nullopt;
+    return Range{std::min(A->Min, B->Min), std::max(A->Max, B->Max)};
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+struct UnrollPlan {
+  Loop *L = nullptr;
+  BasicBlock *Preheader = nullptr;
+  BasicBlock *Header = nullptr;
+  BasicBlock *Latch = nullptr;
+  BasicBlock *Exit = nullptr;
+  BasicBlock *BodyEntry = nullptr;
+  ICmpInst *Cmp = nullptr;
+  uint64_t Trips = 0;
+};
+
+/// Checks the contract from LoopUnroll.h for \p L. Divergence is gated by
+/// the caller (it owns the analysis).
+std::optional<UnrollPlan> planLoop(Loop *L) {
+  if (!L->subLoops().empty())
+    return std::nullopt;
+  UnrollPlan P;
+  P.L = L;
+  P.Header = L->getHeader();
+  P.Preheader = L->getPreheader();
+  if (!P.Preheader)
+    return std::nullopt;
+  std::vector<BasicBlock *> Latches = L->getLatches();
+  if (Latches.size() != 1 || Latches[0] == P.Header)
+    return std::nullopt;
+  P.Latch = Latches[0];
+
+  auto *CB = dyn_cast_or_null<CondBrInst>(P.Header->getTerminator());
+  if (!CB)
+    return std::nullopt;
+  P.BodyEntry = CB->getTrueSuccessor();
+  P.Exit = CB->getFalseSuccessor();
+  if (!L->contains(P.BodyEntry) || P.BodyEntry == P.Header ||
+      L->contains(P.Exit))
+    return std::nullopt;
+  if (P.Exit->getNumPredecessors() != 1)
+    return std::nullopt;
+  // The header's exit edge must be the loop's only way out.
+  for (BasicBlock *BB : L->blocks())
+    for (BasicBlock *Succ : BB->successors())
+      if (!L->contains(Succ) && !(BB == P.Header && Succ == P.Exit))
+        return std::nullopt;
+
+  P.Cmp = dyn_cast<ICmpInst>(CB->getCondition());
+  if (!P.Cmp || P.Cmp->getParent() != P.Header)
+    return std::nullopt;
+  ICmpPred Pred = P.Cmp->getPredicate();
+  bool Inclusive;
+  bool Unsigned;
+  switch (Pred) {
+  case ICmpPred::SLT:
+    Inclusive = false;
+    Unsigned = false;
+    break;
+  case ICmpPred::SLE:
+    Inclusive = true;
+    Unsigned = false;
+    break;
+  case ICmpPred::ULT:
+    Inclusive = false;
+    Unsigned = true;
+    break;
+  case ICmpPred::ULE:
+    Inclusive = true;
+    Unsigned = true;
+    break;
+  default:
+    return std::nullopt;
+  }
+  auto *IV = dyn_cast<PhiInst>(P.Cmp->getLHS());
+  if (!IV || IV->getParent() != P.Header || IV->getNumIncoming() != 2)
+    return std::nullopt;
+  Value *Bound = P.Cmp->getRHS();
+  if (auto *BI = dyn_cast<Instruction>(Bound))
+    if (L->contains(BI->getParent()))
+      return std::nullopt; // bound must be loop-invariant
+
+  int PhIdx = IV->getBlockIndex(P.Preheader);
+  int LaIdx = IV->getBlockIndex(P.Latch);
+  if (PhIdx < 0 || LaIdx < 0)
+    return std::nullopt;
+  auto *Init = dyn_cast<ConstantInt>(IV->getIncomingValue(PhIdx));
+  if (!Init || Init->getValue() < 0 || Init->getValue() > MaxBoundMagnitude)
+    return std::nullopt;
+  auto *Next = dyn_cast<Instruction>(IV->getIncomingValue(LaIdx));
+  if (!Next || Next->getOpcode() != Opcode::Add ||
+      !P.L->contains(Next->getParent()))
+    return std::nullopt;
+  int64_t Step = 0;
+  if (Next->getOperand(0) == IV) {
+    if (auto *C = dyn_cast<ConstantInt>(Next->getOperand(1)))
+      Step = C->getValue();
+  } else if (Next->getOperand(1) == IV) {
+    if (auto *C = dyn_cast<ConstantInt>(Next->getOperand(0)))
+      Step = C->getValue();
+  }
+  if (Step <= 0 || Step > MaxBoundMagnitude)
+    return std::nullopt;
+
+  auto BR = staticRange(Bound, /*Depth=*/4);
+  if (!BR)
+    return std::nullopt;
+  if (Unsigned && BR->Min < 0)
+    return std::nullopt; // a negative bound is huge as unsigned
+  int64_t Span = BR->Max - Init->getValue() + (Inclusive ? 1 : 0);
+  uint64_t Trips = Span <= 0 ? 0 : (uint64_t(Span) + Step - 1) / Step;
+  if (Trips > MaxTrips)
+    return std::nullopt;
+  uint64_t LoopInsts = 0;
+  for (BasicBlock *BB : L->blocks())
+    LoopInsts += BB->size();
+  if ((Trips + 1) * LoopInsts > MaxClonedInsts)
+    return std::nullopt;
+  P.Trips = Trips;
+  return P;
+}
+
+/// Performs the unroll described in LoopUnroll.h: N = Trips guarded body
+/// copies chained by forward branches, a final unconditional exit, exit
+/// phis re-pointed at every guard block, and the original loop deleted.
+void unrollLoop(Function &F, const UnrollPlan &P) {
+  Context &Ctx = F.getContext();
+  const unsigned N = static_cast<unsigned>(P.Trips);
+  BasicBlock *H = P.Header;
+  BasicBlock *X = P.Exit;
+
+  // Loop blocks in layout order, header first.
+  std::vector<BasicBlock *> BodyBlocks;
+  for (BasicBlock *BB : F)
+    if (BB != H && P.L->contains(BB))
+      BodyBlocks.push_back(BB);
+
+  std::vector<PhiInst *> HPhis = H->phis();
+
+  // All clone blocks up front, inserted before the exit so the printed
+  // layout reads top-to-bottom: check 0, its body, check 1, ...
+  std::vector<BasicBlock *> Checks(N + 1);
+  std::vector<std::unordered_map<BasicBlock *, BasicBlock *>> BlockMap(N + 1);
+  for (unsigned It = 0; It <= N; ++It) {
+    Checks[It] =
+        F.createBlock(H->getName() + ".u" + std::to_string(It), X);
+    BlockMap[It][H] = Checks[It];
+    if (It == N)
+      break;
+    for (BasicBlock *BB : BodyBlocks)
+      BlockMap[It][BB] =
+          F.createBlock(BB->getName() + ".u" + std::to_string(It), X);
+  }
+
+  // Per-iteration value substitution: original loop value -> this
+  // iteration's value (header phis resolve to carried values, everything
+  // else to its clone).
+  std::vector<std::unordered_map<Value *, Value *>> Map(N + 1);
+  auto Resolve = [&](unsigned It, Value *V) -> Value * {
+    auto Found = Map[It].find(V);
+    return Found != Map[It].end() ? Found->second : V;
+  };
+
+  for (unsigned It = 0; It <= N; ++It) {
+    // Carried header-phi values for this iteration.
+    for (PhiInst *Phi : HPhis)
+      Map[It][Phi] =
+          It == 0 ? Phi->getIncomingValueForBlock(P.Preheader)
+                  : Resolve(It - 1, Phi->getIncomingValueForBlock(P.Latch));
+
+    // Pass A: clone instructions with their original operands. The final
+    // check block only needs the header's straight-line code (its values
+    // may feed the exit); intermediate iterations clone the whole body.
+    std::vector<BasicBlock *> Sources{H};
+    if (It < N)
+      Sources.insert(Sources.end(), BodyBlocks.begin(), BodyBlocks.end());
+    std::vector<Instruction *> Clones;
+    for (BasicBlock *BB : Sources) {
+      BasicBlock *Dest = BlockMap[It][BB];
+      for (Instruction *I : *BB) {
+        if (BB == H && (I->isPhi() || I->isTerminator()))
+          continue;
+        Instruction *C = I->clone();
+        Dest->push_back(C);
+        if (!C->getType()->isVoid())
+          C->setName(F.uniqueName((I->hasName() ? I->getName()
+                                                : std::string("v")) +
+                                  ".u" + std::to_string(It)));
+        Map[It][I] = C;
+        Clones.push_back(C);
+      }
+    }
+
+    // Pass B: remap operands, phi incoming blocks, and branch targets
+    // into this iteration (the backedge target becomes the next check).
+    for (Instruction *C : Clones) {
+      for (unsigned K = 0, E = C->getNumOperands(); K != E; ++K)
+        C->setOperand(K, Resolve(It, C->getOperand(K)));
+      if (auto *Phi = dyn_cast<PhiInst>(C)) {
+        for (unsigned K = 0, E = Phi->getNumIncoming(); K != E; ++K) {
+          auto Found = BlockMap[It].find(Phi->getIncomingBlock(K));
+          if (Found != BlockMap[It].end())
+            Phi->setIncomingBlock(K, Found->second);
+        }
+      }
+      if (C->isTerminator()) {
+        for (unsigned K = 0, E = C->getNumSuccessors(); K != E; ++K) {
+          BasicBlock *Succ = C->getSuccessor(K);
+          if (Succ == H)
+            C->setSuccessor(K, Checks[It + 1]);
+          else if (BlockMap[It].count(Succ))
+            C->setSuccessor(K, BlockMap[It][Succ]);
+        }
+      }
+    }
+
+    // This iteration's guard. The final check is past the provable trip
+    // bound, so its branch is unconditional.
+    if (It == N) {
+      Checks[It]->push_back(new BrInst(X, Ctx.getVoidTy()));
+    } else {
+      Checks[It]->push_back(new CondBrInst(Resolve(It, P.Cmp),
+                                           BlockMap[It][P.BodyEntry], X,
+                                           Ctx.getVoidTy()));
+    }
+  }
+
+  // Exit phis: the single entry from the header becomes one entry per
+  // check block, carrying that iteration's value.
+  for (PhiInst *Phi : X->phis()) {
+    int Idx = Phi->getBlockIndex(H);
+    if (Idx < 0)
+      continue;
+    Value *V = Phi->getIncomingValue(Idx);
+    Phi->removeIncoming(static_cast<unsigned>(Idx));
+    for (unsigned It = 0; It <= N; ++It)
+      Phi->addIncoming(Resolve(It, V), Checks[It]);
+  }
+
+  // Header-defined values used beyond the loop (only header definitions
+  // can dominate code past the exit) get a merge phi in the exit block.
+  std::vector<Instruction *> HeaderDefs;
+  for (Instruction *I : *H)
+    if (!I->isTerminator() && !I->getType()->isVoid())
+      HeaderDefs.push_back(I);
+  for (Instruction *D : HeaderDefs) {
+    std::vector<Use> Outside;
+    for (const Use &U : D->uses()) {
+      auto *UI = dyn_cast<Instruction>(U.TheUser);
+      if (UI && !P.L->contains(UI->getParent()))
+        Outside.push_back(U);
+    }
+    if (Outside.empty())
+      continue;
+    auto *Merge = new PhiInst(D->getType());
+    for (unsigned It = 0; It <= N; ++It)
+      Merge->addIncoming(Resolve(It, D), Checks[It]);
+    X->insert(X->begin(), Merge);
+    Merge->setName(F.uniqueName(
+        (D->hasName() ? D->getName() : std::string("v")) + ".lcssa"));
+    for (const Use &U : Outside)
+      U.TheUser->setOperand(U.OpIdx, Merge);
+  }
+
+  // Enter the ladder instead of the loop; the original loop body is now
+  // unreachable and goes away (phi bookkeeping included).
+  P.Preheader->getTerminator()->replaceSuccessor(H, Checks[0]);
+  removeUnreachableBlocks(F);
+}
+
+/// One analyze-and-unroll round. Analyses are rebuilt from scratch, the
+/// first (layout-order) qualifying divergent loop is unrolled.
+bool unrollOnce(Function &F) {
+  DominatorTree DT(F);
+  DominanceFrontier DF(F, DT);
+  DivergenceAnalysis DA(F, DT, DF);
+  LoopInfo LI(F, DT);
+  for (BasicBlock *BB : F) {
+    Loop *L = LI.getLoopFor(BB);
+    if (!L || L->getHeader() != BB)
+      continue;
+    if (!DA.hasDivergentBranch(BB))
+      continue; // uniform trip count: the warp does not serialize
+    if (auto P = planLoop(L)) {
+      unrollLoop(F, *P);
+      return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+bool darm::unrollDivergentLoops(Function &F) {
+  bool Changed = false;
+  // Innermost loops first (planLoop rejects loops with subloops); each
+  // round may expose the next level. The bound is a safety net — the
+  // instruction budget shrinks the candidate set every round.
+  for (unsigned Round = 0; Round < 16; ++Round) {
+    if (!unrollOnce(F))
+      break;
+    Changed = true;
+  }
+  return Changed;
+}

@@ -1,0 +1,51 @@
+//===- Passes.cpp - Named transform pass registry -------------------------------===//
+
+#include "darm/transform/Passes.h"
+
+#include "darm/transform/AlgebraicSimplify.h"
+#include "darm/transform/ConstProp.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/GVN.h"
+#include "darm/transform/LICM.h"
+#include "darm/transform/LoopUnroll.h"
+#include "darm/transform/SSAUpdater.h"
+#include "darm/transform/SimplifyCFG.h"
+
+using namespace darm;
+
+const std::vector<PassInfo> &darm::transformPassRegistry() {
+  static const std::vector<PassInfo> Registry = {
+      {"constprop",
+       "sparse conditional constant propagation (folds constants, prunes "
+       "provably-dead branches)",
+       propagateConstants},
+      {"algebraic",
+       "algebraic simplification: identities, strength reduction, local "
+       "constant folding",
+       simplifyAlgebraic},
+      {"gvn",
+       "dominator-scoped global value numbering / common subexpression "
+       "elimination",
+       runGVN},
+      {"licm", "loop-invariant code motion into loop preheaders",
+       hoistLoopInvariants},
+      {"loop-unroll",
+       "full unrolling of bounded divergent loops into meldable "
+       "branch-divergent straight-line code",
+       unrollDivergentLoops},
+      {"simplifycfg",
+       "CFG cleanup: constant branches, block merging, triangle speculation",
+       simplifyCFG},
+      {"dce", "dead code elimination", eliminateDeadCode},
+      {"ssa-repair", "re-establish SSA dominance via repair phis",
+       repairFunctionSSA},
+  };
+  return Registry;
+}
+
+const PassInfo *darm::findTransformPass(const std::string &Name) {
+  for (const PassInfo &P : transformPassRegistry())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}

@@ -1,0 +1,170 @@
+//===- algebraic_test.cpp - Algebraic simplification tests --------------------===//
+//
+// Per-pass gates (docs/passes.md): identities and strength reductions the
+// pass must apply, the float and total-division hazards it must refuse,
+// verifier cleanliness and idempotence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/transform/AlgebraicSimplify.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+Function *parse(Context &Ctx, std::unique_ptr<Module> &Keep,
+                const std::string &Text) {
+  std::string Err;
+  Keep = parseModule(Ctx, Text, &Err);
+  EXPECT_NE(Keep, nullptr) << Err;
+  return Keep ? Keep->functions().front().get() : nullptr;
+}
+
+void expectCleanAndIdempotent(Function &F) {
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(F, &Err)) << Err << printFunction(F);
+  const std::string Once = printFunction(F);
+  EXPECT_FALSE(simplifyAlgebraic(F))
+      << "second run still changed:\n" << printFunction(F);
+  EXPECT_EQ(printFunction(F), Once);
+}
+
+TEST(AlgebraicTest, RemovesIntegerIdentities) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %a) -> void {
+entry:
+  %x = add i32 %a, 0
+  %y = mul i32 %x, 1
+  %z = xor i32 %y, %y
+  %w = or i32 %y, %z
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %w, i32 addrspace(1)* %p
+  ret
+}
+)");
+  EXPECT_TRUE(simplifyAlgebraic(*F));
+  const std::string Out = printFunction(*F);
+  // add 0 / mul 1 collapse to %a, xor x,x to 0, or x,0 to x: the store
+  // writes the argument directly.
+  EXPECT_NE(Out.find("store i32 %a"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("add i32"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("xor"), std::string::npos) << Out;
+  expectCleanAndIdempotent(*F);
+}
+
+TEST(AlgebraicTest, StrengthReducesPowersOfTwo) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %a) -> void {
+entry:
+  %m = mul i32 %a, 8
+  %d = udiv i32 %m, 4
+  %r = urem i32 %d, 16
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %r, i32 addrspace(1)* %p
+  ret
+}
+)");
+  EXPECT_TRUE(simplifyAlgebraic(*F));
+  const std::string Out = printFunction(*F);
+  EXPECT_NE(Out.find("shl i32 %a, 3"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("lshr"), std::string::npos) << Out;
+  EXPECT_NE(Out.find(", 15"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("mul"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("udiv"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("urem"), std::string::npos) << Out;
+  expectCleanAndIdempotent(*F);
+}
+
+TEST(AlgebraicTest, FoldsConstantOperands) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out) -> void {
+entry:
+  %a = add i32 4, 6
+  %b = shl i32 %a, 1
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %b, i32 addrspace(1)* %p
+  ret
+}
+)");
+  EXPECT_TRUE(simplifyAlgebraic(*F));
+  EXPECT_NE(printFunction(*F).find("store i32 20"), std::string::npos)
+      << printFunction(*F);
+  expectCleanAndIdempotent(*F);
+}
+
+// Total-semantics cases: srem x,x and srem x,-1 are defined as 0 and may
+// fold; sdiv x,x is NOT 1 (0/0 == 0 here) and must survive.
+TEST(AlgebraicTest, RespectsTotalDivisionSemantics) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %a) -> void {
+entry:
+  %r = srem i32 %a, -1
+  %q = sdiv i32 %a, %a
+  %s = add i32 %r, %q
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %s, i32 addrspace(1)* %p
+  ret
+}
+)");
+  EXPECT_TRUE(simplifyAlgebraic(*F));
+  const std::string Out = printFunction(*F);
+  EXPECT_EQ(Out.find("srem"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("sdiv i32 %a, %a"), std::string::npos) << Out;
+  expectCleanAndIdempotent(*F);
+}
+
+// Negative: no float identities. x+0.0 changes -0.0, x*1.0 can change
+// NaN payloads, and the oracle compares memory images bitwise.
+TEST(AlgebraicTest, DoesNotTouchFloatIdentities) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(f32 addrspace(1)* %out, f32 %a) -> void {
+entry:
+  %x = fadd f32 %a, 0.0
+  %y = fmul f32 %x, 1.0
+  %p = gep f32 addrspace(1)* %out, i32 0
+  store f32 %y, f32 addrspace(1)* %p
+  ret
+}
+)");
+  const std::string Before = printFunction(*F);
+  EXPECT_FALSE(simplifyAlgebraic(*F));
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+// Negative: nothing fires on irreducible runtime expressions.
+TEST(AlgebraicTest, DoesNotFireWithoutIdentity) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %a, i32 %b) -> void {
+entry:
+  %x = add i32 %a, %b
+  %y = mul i32 %x, 3
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %y, i32 addrspace(1)* %p
+  ret
+}
+)");
+  const std::string Before = printFunction(*F);
+  EXPECT_FALSE(simplifyAlgebraic(*F));
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+} // namespace

@@ -116,10 +116,19 @@ TEST(Plausibility, MemoryInstructionGrowthFails) {
 
 TEST(Plausibility, PolicyExemptsOnlyCoverageConfigs) {
   ClaimsOptions Base;
+  // The golden-bearing configs carry the paper-direction invariants.
   EXPECT_FALSE(optionsForConfig("darm", Base).Skip);
   EXPECT_FALSE(optionsForConfig("branch-fusion", Base).Skip);
-  EXPECT_TRUE(optionsForConfig("darm-aggressive", Base).Skip);
-  EXPECT_TRUE(optionsForConfig("darm-nounpred", Base).Skip);
+  // Coverage, lone-canonicalization-pass and per-pass attribution
+  // configs are exempt per seed (docs/passes.md): their paper-direction
+  // claim is gated at population scale instead. This list is exact — a
+  // new config is gating by default until added here AND in Claims.cpp.
+  for (const char *Cfg :
+       {"darm-aggressive", "darm-nounpred", "constprop", "algebraic", "gvn",
+        "licm", "loop-unroll", "darm-constprop", "darm-algebraic", "darm-gvn",
+        "darm-licm", "darm-unroll", "darm-canon"})
+    EXPECT_TRUE(optionsForConfig(Cfg, Base).Skip) << Cfg;
+  EXPECT_FALSE(optionsForConfig("darm-unknown", Base).Skip);
   // Skip really does disable every counter invariant.
   ClaimsOptions Off;
   Off.Skip = true;
@@ -385,6 +394,85 @@ TEST(ClaimsGoldenFuzz, PinnedSeedsMatchRecordedGolden) {
       << Err << "\n(record goldens with DARM_REGEN_GOLDENS=1)";
   for (const std::string &Line : diffClaims(G, Measured))
     ADD_FAILURE() << "golden diff: " << Line;
+}
+
+// The per-pass attribution configs (docs/passes.md) get their own pinned
+// golden, as an ADDITIONAL file — the existing fuzz.json stays untouched
+// so this PR's goldens remain unregenerated.
+TEST(ClaimsGoldenFuzz, AttributionPinnedSeedsMatchRecordedGolden) {
+  std::vector<KernelClaims> Measured;
+  for (uint64_t Seed = 0; Seed < 8; ++Seed)
+    Measured.push_back(measureFuzz(fuzz::FuzzCase(Seed), attributionConfigs()));
+  Measured.push_back(aggregateClaims(Measured, "fuzz-canon-aggregate"));
+
+  // Attribution configs are per-seed exempt from the direction
+  // invariants (optionsForConfig), but memory identity and validation
+  // still gate every one of them.
+  const ClaimsOptions FuzzOpts = ClaimsOptions::forGeneratedKernels();
+  for (const KernelClaims &K : Measured) {
+    const bool IsAgg = K.Kernel == "fuzz-canon-aggregate";
+    if (IsAgg)
+      continue; // population direction is CanonPopulationAggregate's job
+    for (const Violation &V : checkClaims(K, FuzzOpts))
+      ADD_FAILURE() << V.str();
+  }
+
+  const std::string Path = goldenPath("fuzz-canon");
+  if (regenMode()) {
+    GoldenFile G;
+    G.Kernels = Measured;
+    std::string Err;
+    ASSERT_TRUE(saveGoldenFile(Path, G, &Err)) << Err;
+    return;
+  }
+  GoldenFile G;
+  std::string Err;
+  ASSERT_TRUE(loadGoldenFile(Path, G, &Err))
+      << Err << "\n(record goldens with DARM_REGEN_GOLDENS=1)";
+  for (const std::string &Line : diffClaims(G, Measured))
+    ADD_FAILURE() << "golden diff: " << Line;
+}
+
+// The PR's headline claim, gated at population scale: over seeds
+// [0, 2000) the canonicalized pipeline (darm-canon = constprop +
+// algebraic + gvn + licm + loop-unroll + darm) melds strictly more than
+// plain darm — fewer dynamic divergent branches, higher ALU lane
+// utilization. Measured at this commit: darm removes ~12% of the
+// population's divergent branches, darm-canon ~60% (db_ratio 0.88 vs
+// 0.40, alu_delta +0.040 vs +0.129), so the margins below are wide.
+TEST(ClaimsPopulation, CanonicalizationStrictlyImprovesMeldingEfficacy) {
+  std::vector<uint64_t> Seeds;
+  for (uint64_t S = 0; S < 2000; ++S)
+    Seeds.push_back(S);
+  ThreadPool Pool(4);
+  KernelClaims Agg = aggregateClaims(
+      measureCorpus(Pool, {}, Seeds, attributionConfigs()), "fuzz-aggregate");
+
+  const ConfigMetrics *Unmelded = nullptr, *Darm = nullptr, *Canon = nullptr;
+  for (const ConfigMetrics &C : Agg.Configs) {
+    if (C.Config == "unmelded")
+      Unmelded = &C;
+    else if (C.Config == "darm")
+      Darm = &C;
+    else if (C.Config == "darm-canon")
+      Canon = &C;
+  }
+  ASSERT_NE(Unmelded, nullptr);
+  ASSERT_NE(Darm, nullptr);
+  ASSERT_NE(Canon, nullptr);
+  EXPECT_TRUE(Canon->Valid);
+
+  // Strictly better than the current pipeline, with margin: at least 10%
+  // more of the baseline's divergent branches gone, and at least +0.03
+  // more ALU utilization.
+  EXPECT_LT(Canon->Stats.DivergentBranches, Darm->Stats.DivergentBranches);
+  EXPECT_LE(Canon->Stats.DivergentBranches,
+            Darm->Stats.DivergentBranches -
+                Unmelded->Stats.DivergentBranches / 10);
+  EXPECT_GT(Canon->Stats.aluUtilization(), Darm->Stats.aluUtilization() + 0.03);
+  // And both still beat the unmelded baseline outright.
+  EXPECT_LT(Darm->Stats.DivergentBranches, Unmelded->Stats.DivergentBranches);
+  EXPECT_GT(Canon->Stats.aluUtilization(), Unmelded->Stats.aluUtilization());
 }
 
 //===----------------------------------------------------------------------===//

@@ -20,7 +20,9 @@
 #include "darm/kernels/Benchmark.h"
 #include "darm/sim/Simulator.h"
 #include "darm/support/ErrorHandling.h"
+#include "darm/transform/AlgebraicSimplify.h"
 #include "darm/transform/DCE.h"
+#include "darm/transform/LoopUnroll.h"
 #include "darm/transform/SimplifyCFG.h"
 
 #include <gtest/gtest.h>
@@ -135,6 +137,50 @@ TEST(Generator, MultiLaunchSeedsAreGeneratedAndDeterministic) {
   EXPECT_FALSE(R.Mismatch) << R.Config << ": " << R.Detail;
 }
 
+// The meldable divergent-loop-pair shape (emitLoopPairDiamond): a
+// divergent diamond whose arms each run a bounded per-lane-trip loop —
+// the exact input the divergent-loop unroller converts into meldable
+// branch divergence. The shape rides its own RNG stream, so it must not
+// appear in the golden-pinned seeds, must appear nearby, and must stay
+// deterministic and oracle-clean where it does.
+TEST(Generator, LoopPairShapeSeedsAreGeneratedAndDeterministic) {
+  // The claims golden pins seeds 0..7; the shape's gate salt was chosen
+  // so none of them fire. This pin fails loudly if that drifts.
+  for (uint64_t Seed = 0; Seed < 8; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "pin");
+    EXPECT_EQ(printFunction(*buildFuzzKernel(M, FuzzCase(Seed))).find("mtrip"),
+              std::string::npos)
+        << "seed " << Seed << " grew the loop-pair shape";
+  }
+  int64_t ShapeSeed = -1;
+  for (uint64_t Seed = 8; Seed < 100 && ShapeSeed < 0; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "scan");
+    if (printFunction(*buildFuzzKernel(M, FuzzCase(Seed))).find("mtrip") !=
+        std::string::npos)
+      ShapeSeed = static_cast<int64_t>(Seed);
+  }
+  ASSERT_GE(ShapeSeed, 0) << "no seed in [8, 100) generated a loop pair";
+
+  FuzzCase C(static_cast<uint64_t>(ShapeSeed));
+  Context C1, C2;
+  Module M1(C1, "a"), M2(C2, "b");
+  Function *F = buildFuzzKernel(M1, C);
+  EXPECT_EQ(printFunction(*F), printFunction(*buildFuzzKernel(M2, C)));
+
+  // The unroller must accept the generated loops — that is the point of
+  // the shape — and leave verifier-clean IR behind.
+  EXPECT_TRUE(unrollDivergentLoops(*F)) << printFunction(*F);
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(*F, &Err)) << Err << printFunction(*F);
+
+  // And the seed is clean across the whole config table (including the
+  // lone-pass and attribution configs).
+  OracleResult R = runOracle(C);
+  EXPECT_FALSE(R.Mismatch) << R.Config << ": " << R.Detail;
+}
+
 TEST(Oracle, CleanSweep) {
   // The CI fuzz-smoke job sweeps hundreds of seeds through the darm_fuzz
   // tool; this in-suite slice keeps the oracle itself pinned by ctest.
@@ -241,6 +287,62 @@ TEST(Oracle, CatchesInjectedBugAndMinimizes) {
   size_t MinSize = M->functions().front()->getInstructionCount();
   EXPECT_LT(MinSize, OrigSize / 2)
       << "minimizer barely reduced: " << MinSize << " vs " << OrigSize;
+}
+
+/// A sabotaged canonicalization pass: the algebraic strength reduction
+/// with a classic off-by-one — urem x, 2^k becomes `and x, 2^k` instead
+/// of `and x, 2^k - 1`. Every generated kernel clamps its input-region
+/// loads with urem-by-power-of-two, so the bad mask redirects loads and
+/// corrupts the checksum chain.
+void brokenStrengthReduce(Function &F) {
+  std::vector<Instruction *> Doomed;
+  for (BasicBlock *BB : F)
+    for (Instruction *I : *BB)
+      if (I->getOpcode() == Opcode::URem)
+        if (auto *C = dyn_cast<ConstantInt>(I->getOperand(1)))
+          if (C->getValue() > 1 && (C->getValue() & (C->getValue() - 1)) == 0)
+            Doomed.push_back(I);
+  for (Instruction *I : Doomed) {
+    auto *Bad =
+        new BinaryInst(Opcode::And, I->getOperand(0), I->getOperand(1));
+    I->getParent()->insert(I->getIterator(), Bad);
+    Bad->setName(F.uniqueName("bad"));
+    I->replaceAllUsesWith(Bad);
+    I->getParent()->erase(I);
+  }
+}
+
+// ISSUE satellite: a miscompile injected into ONE canonicalization pass
+// must be caught by that pass's differential axis and travel end-to-end
+// through the minimizer, exactly like a melder bug.
+TEST(Oracle, CatchesMiscompileInCanonicalizationPass) {
+  FuzzCase C(0);
+  OracleOptions Opts;
+  Opts.Configs.push_back({"broken-algebraic", brokenStrengthReduce});
+  Opts.RoundTrip = false;
+  OracleResult R = runOracle(C, Opts);
+  ASSERT_TRUE(R.Mismatch);
+  EXPECT_EQ(R.Config, "broken-algebraic");
+  ASSERT_FALSE(R.ReproIR.empty());
+
+  // The minimized repro parses, verifies, and shrank substantially.
+  Context Ctx;
+  std::string Err;
+  auto M = parseModule(Ctx, R.ReproIR, &Err);
+  ASSERT_NE(M, nullptr) << Err << "\n" << R.ReproIR;
+  EXPECT_TRUE(verifyFunction(*M->functions().front(), &Err)) << Err;
+  Context OCtx;
+  Module OM(OCtx, "orig");
+  EXPECT_LT(M->functions().front()->getInstructionCount(),
+            buildFuzzKernel(OM, C)->getInstructionCount() / 2);
+
+  // The genuine pass on the same seed is clean — the finding is the
+  // injected bug, not the axis.
+  OracleOptions Good;
+  Good.Configs.push_back(
+      {"algebraic-good", [](Function &F) { simplifyAlgebraic(F); }});
+  Good.RoundTrip = false;
+  EXPECT_FALSE(runOracle(C, Good).Mismatch);
 }
 
 /// A "melder" that adds a useless divergent diamond before the return:

@@ -1,0 +1,198 @@
+//===- gvn_test.cpp - Dominator-scoped value numbering tests ------------------===//
+//
+// Per-pass gates (docs/passes.md): redundancies GVN must merge, hazards
+// it must refuse (floats, loads, non-dominating defs), verifier
+// cleanliness and idempotence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/transform/GVN.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+Function *parse(Context &Ctx, std::unique_ptr<Module> &Keep,
+                const std::string &Text) {
+  std::string Err;
+  Keep = parseModule(Ctx, Text, &Err);
+  EXPECT_NE(Keep, nullptr) << Err;
+  return Keep ? Keep->functions().front().get() : nullptr;
+}
+
+void expectCleanAndIdempotent(Function &F) {
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(F, &Err)) << Err << printFunction(F);
+  const std::string Once = printFunction(F);
+  EXPECT_FALSE(runGVN(F)) << "second run still changed:\n" << printFunction(F);
+  EXPECT_EQ(printFunction(F), Once);
+}
+
+TEST(GVNTest, MergesLocalDuplicates) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %a, i32 %b) -> void {
+entry:
+  %x = add i32 %a, %b
+  %y = add i32 %a, %b
+  %s = sub i32 %x, %y
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %s, i32 addrspace(1)* %p
+  ret
+}
+)");
+  EXPECT_TRUE(runGVN(*F));
+  const std::string Out = printFunction(*F);
+  // %y merged into %x; the sub now sees the same value twice.
+  EXPECT_EQ(Out.find("%y"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("sub i32 %x, %x"), std::string::npos) << Out;
+  expectCleanAndIdempotent(*F);
+}
+
+TEST(GVNTest, MergesCommutedIntegerPair) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %a, i32 %b) -> void {
+entry:
+  %x = mul i32 %a, %b
+  %y = mul i32 %b, %a
+  %s = add i32 %x, %y
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %s, i32 addrspace(1)* %p
+  ret
+}
+)");
+  EXPECT_TRUE(runGVN(*F));
+  EXPECT_EQ(printFunction(*F).find("%y"), std::string::npos)
+      << printFunction(*F);
+  expectCleanAndIdempotent(*F);
+}
+
+TEST(GVNTest, MergesAcrossDominatingBlocks) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %a, i1 %c) -> void {
+entry:
+  %x = add i32 %a, 3
+  condbr i1 %c, label %t, label %j
+t:
+  %y = add i32 %a, 3
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %y, i32 addrspace(1)* %p
+  br label %j
+j:
+  ret
+}
+)");
+  EXPECT_TRUE(runGVN(*F));
+  const std::string Out = printFunction(*F);
+  EXPECT_EQ(Out.find("%y"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("store i32 %x"), std::string::npos) << Out;
+  expectCleanAndIdempotent(*F);
+}
+
+// Negative: sibling arms do not dominate each other, so the duplicate
+// expressions in %t and %e must both survive.
+TEST(GVNTest, DoesNotMergeSiblingArms) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %a, i1 %c) -> void {
+entry:
+  condbr i1 %c, label %t, label %e
+t:
+  %x = add i32 %a, 3
+  br label %j
+e:
+  %y = add i32 %a, 3
+  br label %j
+j:
+  %v = phi i32 [ %x, %t ], [ %y, %e ]
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %v, i32 addrspace(1)* %p
+  ret
+}
+)");
+  const std::string Before = printFunction(*F);
+  EXPECT_FALSE(runGVN(*F));
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+// Negative: float add is NOT commutative here — when both operands are
+// NaN the hardware propagates one operand's payload, so a+b and b+a can
+// differ bitwise, and the fuzz oracle compares memory images bitwise.
+TEST(GVNTest, DoesNotCommuteFloatAdd) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(f32 addrspace(1)* %out, f32 %a, f32 %b) -> void {
+entry:
+  %x = fadd f32 %a, %b
+  %y = fadd f32 %b, %a
+  %s = fmul f32 %x, %y
+  %p = gep f32 addrspace(1)* %out, i32 0
+  store f32 %s, f32 addrspace(1)* %p
+  ret
+}
+)");
+  const std::string Before = printFunction(*F);
+  EXPECT_FALSE(runGVN(*F));
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+// Identical float expressions in the SAME operand order are structurally
+// equal and safe to merge — only the commuted form is a hazard.
+TEST(GVNTest, MergesIdenticalFloatExpr) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(f32 addrspace(1)* %out, f32 %a, f32 %b) -> void {
+entry:
+  %x = fadd f32 %a, %b
+  %y = fadd f32 %a, %b
+  %s = fmul f32 %x, %y
+  %p = gep f32 addrspace(1)* %out, i32 0
+  store f32 %s, f32 addrspace(1)* %p
+  ret
+}
+)");
+  EXPECT_TRUE(runGVN(*F));
+  EXPECT_EQ(printFunction(*F).find("%y"), std::string::npos)
+      << printFunction(*F);
+  expectCleanAndIdempotent(*F);
+}
+
+// Negative: loads observe memory, which stores may have changed between
+// them — there is no alias analysis, so identical loads never merge.
+TEST(GVNTest, DoesNotMergeLoads) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %buf) -> void {
+entry:
+  %p = gep i32 addrspace(1)* %buf, i32 0
+  %x = load i32 addrspace(1)* %p
+  %q = gep i32 addrspace(1)* %buf, i32 1
+  store i32 %x, i32 addrspace(1)* %q
+  %y = load i32 addrspace(1)* %p
+  %z = add i32 %x, %y
+  store i32 %z, i32 addrspace(1)* %q
+  ret
+}
+)");
+  EXPECT_FALSE(runGVN(*F));
+  EXPECT_NE(printFunction(*F).find("%y"), std::string::npos)
+      << printFunction(*F);
+}
+
+} // namespace

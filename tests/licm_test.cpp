@@ -1,0 +1,186 @@
+//===- licm_test.cpp - Loop-invariant code motion tests -----------------------===//
+//
+// Per-pass gates (docs/passes.md): invariant computations LICM must hoist
+// into the preheader, hazards it must refuse (variant operands, memory,
+// loops with no preheader), verifier cleanliness and idempotence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/transform/LICM.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+Function *parse(Context &Ctx, std::unique_ptr<Module> &Keep,
+                const std::string &Text) {
+  std::string Err;
+  Keep = parseModule(Ctx, Text, &Err);
+  EXPECT_NE(Keep, nullptr) << Err;
+  return Keep ? Keep->functions().front().get() : nullptr;
+}
+
+void expectCleanAndIdempotent(Function &F) {
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(F, &Err)) << Err << printFunction(F);
+  const std::string Once = printFunction(F);
+  EXPECT_FALSE(hoistLoopInvariants(F))
+      << "second run still changed:\n" << printFunction(F);
+  EXPECT_EQ(printFunction(F), Once);
+}
+
+/// The block a given instruction's printed line appears under.
+std::string blockOf(const std::string &Printed, const std::string &InstName) {
+  std::string Block;
+  size_t Pos = 0;
+  while (Pos < Printed.size()) {
+    size_t End = Printed.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Printed.size();
+    std::string Line = Printed.substr(Pos, End - Pos);
+    if (!Line.empty() && Line.back() == ':' && Line[0] != ' ')
+      Block = Line.substr(0, Line.size() - 1);
+    if (Line.find("%" + InstName + " =") != std::string::npos)
+      return Block;
+    Pos = End + 1;
+  }
+  return "";
+}
+
+const char *SumLoop = R"(
+func @f(i32 addrspace(1)* %out, i32 %n, i32 %t) -> void {
+entry:
+  br label %h
+h:
+  %iv = phi i32 [ 0, %entry ], [ %ivn, %b ]
+  %acc = phi i32 [ 0, %entry ], [ %accn, %b ]
+  %c = icmp slt i32 %iv, %t
+  condbr i1 %c, label %b, label %x
+b:
+  %inv = mul i32 %n, 3
+  %accn = add i32 %acc, %inv
+  %ivn = add i32 %iv, 1
+  br label %h
+x:
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %acc, i32 addrspace(1)* %p
+  ret
+}
+)";
+
+TEST(LICMTest, HoistsInvariantToPreheader) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, SumLoop);
+  EXPECT_TRUE(hoistLoopInvariants(*F));
+  const std::string Out = printFunction(*F);
+  EXPECT_EQ(blockOf(Out, "inv"), "entry") << Out;
+  // The accumulator chain is loop-variant and must stay in the body.
+  EXPECT_EQ(blockOf(Out, "accn"), "b") << Out;
+  EXPECT_EQ(blockOf(Out, "ivn"), "b") << Out;
+  expectCleanAndIdempotent(*F);
+}
+
+TEST(LICMTest, HoistsOutOfNestedLoopsInRounds) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  // %inv depends only on %n: it must climb from the inner body through
+  // the outer loop into the true (outermost) preheader.
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %n, i32 %t) -> void {
+entry:
+  br label %oh
+oh:
+  %oi = phi i32 [ 0, %entry ], [ %oin, %ox ]
+  %oc = icmp slt i32 %oi, %t
+  condbr i1 %oc, label %opre, label %done
+opre:
+  br label %ih
+ih:
+  %ii = phi i32 [ 0, %opre ], [ %iin, %ib ]
+  %ic = icmp slt i32 %ii, %t
+  condbr i1 %ic, label %ib, label %ox
+ib:
+  %inv = mul i32 %n, 5
+  %v = add i32 %inv, %ii
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %v, i32 addrspace(1)* %p
+  %iin = add i32 %ii, 1
+  br label %ih
+ox:
+  %oin = add i32 %oi, 1
+  br label %oh
+done:
+  ret
+}
+)");
+  EXPECT_TRUE(hoistLoopInvariants(*F));
+  EXPECT_EQ(blockOf(printFunction(*F), "inv"), "entry") << printFunction(*F);
+  expectCleanAndIdempotent(*F);
+}
+
+// Negative: an expression using the induction variable is loop-variant.
+TEST(LICMTest, DoesNotHoistVariantExpression) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %n, i32 %t) -> void {
+entry:
+  br label %h
+h:
+  %iv = phi i32 [ 0, %entry ], [ %ivn, %b ]
+  %c = icmp slt i32 %iv, %t
+  condbr i1 %c, label %b, label %x
+b:
+  %var = mul i32 %iv, %n
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %var, i32 addrspace(1)* %p
+  %ivn = add i32 %iv, 1
+  br label %h
+x:
+  ret
+}
+)");
+  EXPECT_TRUE(hoistLoopInvariants(*F)); // the gep (of two invariants) hoists
+  const std::string Out = printFunction(*F);
+  EXPECT_EQ(blockOf(Out, "var"), "b") << Out;
+  EXPECT_EQ(blockOf(Out, "p"), "entry") << Out;
+  expectCleanAndIdempotent(*F);
+}
+
+// Negative: loads and stores never move — there is no alias analysis, and
+// a hoisted load could observe a different memory state.
+TEST(LICMTest, DoesNotHoistMemoryOps) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %t) -> void {
+entry:
+  %p = gep i32 addrspace(1)* %out, i32 0
+  br label %h
+h:
+  %iv = phi i32 [ 0, %entry ], [ %ivn, %b ]
+  %c = icmp slt i32 %iv, %t
+  condbr i1 %c, label %b, label %x
+b:
+  %ld = load i32 addrspace(1)* %p
+  %s = add i32 %ld, 1
+  store i32 %s, i32 addrspace(1)* %p
+  %ivn = add i32 %iv, 1
+  br label %h
+x:
+  ret
+}
+)");
+  EXPECT_FALSE(hoistLoopInvariants(*F));
+  EXPECT_EQ(blockOf(printFunction(*F), "ld"), "b") << printFunction(*F);
+}
+
+} // namespace

@@ -1,0 +1,249 @@
+//===- loop_unroll_test.cpp - Divergent-loop unrolling tests ------------------===//
+//
+// Per-pass gates (docs/passes.md) for the canonicalization headliner:
+// a bounded per-lane-trip loop becomes a straight-line ladder of early
+// exits (branch divergence darm-meld can fuse), while uniform loops,
+// unbounded loops, over-budget loops and multi-exit loops must survive
+// untouched. Semantics across the rewrite are covered differentially by
+// the fuzz oracle's loop-unroll config; these tests pin the structure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/transform/LoopUnroll.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+Function *parse(Context &Ctx, std::unique_ptr<Module> &Keep,
+                const std::string &Text) {
+  std::string Err;
+  Keep = parseModule(Ctx, Text, &Err);
+  EXPECT_NE(Keep, nullptr) << Err;
+  return Keep ? Keep->functions().front().get() : nullptr;
+}
+
+void expectCleanAndIdempotent(Function &F) {
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(F, &Err)) << Err << printFunction(F);
+  const std::string Once = printFunction(F);
+  EXPECT_FALSE(unrollDivergentLoops(F))
+      << "second run still changed:\n" << printFunction(F);
+  EXPECT_EQ(printFunction(F), Once);
+}
+
+/// A loop whose trip count is (lane & 3) + 1: divergent, bounded by 4.
+const char *LaneTripLoop = R"(
+func @f(i32 addrspace(1)* %out) -> void {
+entry:
+  %lane = call i32 @darm.laneid()
+  %m = and i32 %lane, 3
+  %trip = add i32 %m, 1
+  br label %h
+h:
+  %iv = phi i32 [ 0, %entry ], [ %ivn, %b ]
+  %acc = phi i32 [ 0, %entry ], [ %accn, %b ]
+  %c = icmp slt i32 %iv, %trip
+  condbr i1 %c, label %b, label %x
+b:
+  %accn = add i32 %acc, %iv
+  %ivn = add i32 %iv, 1
+  br label %h
+x:
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %acc, i32 addrspace(1)* %p
+  ret
+}
+)";
+
+TEST(LoopUnrollTest, UnrollsDivergentBoundedLoop) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, LaneTripLoop);
+  EXPECT_TRUE(unrollDivergentLoops(*F));
+  const std::string Out = printFunction(*F);
+  // Max trip 4 -> a ladder of guards h.u0..h.u4, and the rotating loop
+  // (header with a backedge) is gone.
+  EXPECT_NE(Out.find("h.u0:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("h.u4:"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("h.u5"), std::string::npos) << Out;
+  EXPECT_EQ(Out.find("\nh:"), std::string::npos) << Out;
+  // The exit's value is now a multi-way merge over the ladder rungs.
+  EXPECT_NE(Out.find("phi i32 [ 0, %h.u0 ]"), std::string::npos) << Out;
+  expectCleanAndIdempotent(*F);
+}
+
+// Negative: a uniform loop (constant trip count) is not divergent — the
+// unroller exists to trade loop divergence for meldable branch
+// divergence, and must leave convergent loops to run as loops.
+TEST(LoopUnrollTest, DoesNotUnrollUniformLoop) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out) -> void {
+entry:
+  br label %h
+h:
+  %iv = phi i32 [ 0, %entry ], [ %ivn, %b ]
+  %c = icmp slt i32 %iv, 3
+  condbr i1 %c, label %b, label %x
+b:
+  %ivn = add i32 %iv, 1
+  br label %h
+x:
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %iv, i32 addrspace(1)* %p
+  ret
+}
+)");
+  const std::string Before = printFunction(*F);
+  EXPECT_FALSE(unrollDivergentLoops(*F));
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+// Negative: a divergent trip count with no provable static bound (raw
+// lane id, no mask) cannot be unrolled.
+TEST(LoopUnrollTest, DoesNotUnrollUnboundedTrip) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out) -> void {
+entry:
+  %lane = call i32 @darm.laneid()
+  %trip = add i32 %lane, 1
+  br label %h
+h:
+  %iv = phi i32 [ 0, %entry ], [ %ivn, %b ]
+  %c = icmp slt i32 %iv, %trip
+  condbr i1 %c, label %b, label %x
+b:
+  %ivn = add i32 %iv, 1
+  br label %h
+x:
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %iv, i32 addrspace(1)* %p
+  ret
+}
+)");
+  const std::string Before = printFunction(*F);
+  EXPECT_FALSE(unrollDivergentLoops(*F));
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+// Negative: a bound above the trip-count budget (and (lane, 127)) + 1 has
+// max trips 128 > the pass's cap — unrolling would bloat the kernel.
+TEST(LoopUnrollTest, RespectsTripBudget) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out) -> void {
+entry:
+  %lane = call i32 @darm.laneid()
+  %m = and i32 %lane, 127
+  %trip = add i32 %m, 1
+  br label %h
+h:
+  %iv = phi i32 [ 0, %entry ], [ %ivn, %b ]
+  %c = icmp slt i32 %iv, %trip
+  condbr i1 %c, label %b, label %x
+b:
+  %ivn = add i32 %iv, 1
+  br label %h
+x:
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %iv, i32 addrspace(1)* %p
+  ret
+}
+)");
+  const std::string Before = printFunction(*F);
+  EXPECT_FALSE(unrollDivergentLoops(*F));
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+// Negative: a second (side) exit out of the body breaks the single-exit
+// contract the ladder construction relies on.
+TEST(LoopUnrollTest, DoesNotUnrollMultiExitLoop) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out) -> void {
+entry:
+  %lane = call i32 @darm.laneid()
+  %m = and i32 %lane, 3
+  %trip = add i32 %m, 1
+  br label %h
+h:
+  %iv = phi i32 [ 0, %entry ], [ %ivn, %b2 ]
+  %c = icmp slt i32 %iv, %trip
+  condbr i1 %c, label %b, label %x
+b:
+  %brk = icmp eq i32 %iv, 2
+  condbr i1 %brk, label %out2, label %b2
+b2:
+  %ivn = add i32 %iv, 1
+  br label %h
+out2:
+  ret
+x:
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %iv, i32 addrspace(1)* %p
+  ret
+}
+)");
+  const std::string Before = printFunction(*F);
+  EXPECT_FALSE(unrollDivergentLoops(*F));
+  EXPECT_EQ(printFunction(*F), Before);
+}
+
+// Nested divergent loops: only the innermost is a candidate per round,
+// and the driver re-runs until quiescent — an inner bounded loop unrolls
+// even under an outer loop, which then still runs as a loop.
+TEST(LoopUnrollTest, UnrollsInnerLoopOfNest) {
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @f(i32 addrspace(1)* %out, i32 %t) -> void {
+entry:
+  %lane = call i32 @darm.laneid()
+  %m = and i32 %lane, 1
+  %trip = add i32 %m, 1
+  br label %oh
+oh:
+  %oi = phi i32 [ 0, %entry ], [ %oin, %ox ]
+  %oc = icmp slt i32 %oi, %t
+  condbr i1 %oc, label %opre, label %done
+opre:
+  br label %ih
+ih:
+  %ii = phi i32 [ 0, %opre ], [ %iin, %ib ]
+  %ic = icmp slt i32 %ii, %trip
+  condbr i1 %ic, label %ib, label %ox
+ib:
+  %iin = add i32 %ii, 1
+  br label %ih
+ox:
+  %oin = add i32 %oi, 1
+  br label %oh
+done:
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %oi, i32 addrspace(1)* %p
+  ret
+}
+)");
+  EXPECT_TRUE(unrollDivergentLoops(*F));
+  const std::string Out = printFunction(*F);
+  // The inner ladder exists; the outer loop's backedge block survives.
+  EXPECT_NE(Out.find("ih.u0:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("ox:"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\noh:"), std::string::npos) << Out;
+  expectCleanAndIdempotent(*F);
+}
+
+} // namespace

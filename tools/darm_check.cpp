@@ -35,6 +35,11 @@
 //                      gate; fuzz kernels always use the fixed generated-
 //                      kernel/aggregate profiles — docs/claims.md)
 //     --no-claims      skip the plausibility gate (goldens/JSON only)
+//     --attribution    measure fuzz kernels under the per-pass attribution
+//                      configs (darm, darm-constprop, ..., darm-canon) and
+//                      print ATTRIBUTION summary lines for the aggregate;
+//                      memory identity still gates, counter direction does
+//                      not (docs/passes.md)
 //     --quiet          no per-kernel progress
 //
 // Exit status: 0 clean, 1 violations or golden diffs, 2 usage/setup error.
@@ -67,7 +72,8 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s [--benchmarks A,B] [--fuzz-seeds LO:HI] [--shards N:i]\n"
       "          [--jobs N] [--goldens DIR] [--json FILE] [--alu-tol X]\n"
-      "          [--db-slack N] [--mem-tol X] [--no-claims] [--quiet]\n"
+      "          [--db-slack N] [--mem-tol X] [--no-claims] [--attribution]\n"
+      "          [--quiet]\n"
       "       %s --compare OLD.json NEW.json [--compare-tol X] [--quiet]\n"
       "tolerance flags apply to benchmark cells; fuzz kernels use the fixed\n"
       "generated-kernel and aggregate profiles (docs/claims.md)\n",
@@ -158,10 +164,37 @@ int compareArtifacts(const std::string &OldPath, const std::string &NewPath,
       }
     }
     for (const ConfigMetrics &NC : NK.Configs) {
-      if (NC.Config == "unmelded" ||
-          optionsForConfig(NC.Config, ClaimsOptions()).Skip)
+      if (NC.Config == "unmelded")
         continue;
       const ConfigMetrics *OC = FindConfig(OK, NC.Config);
+      if (optionsForConfig(NC.Config, ClaimsOptions()).Skip) {
+        // Claims-exempt rows never gate, but the attribution configs
+        // (darm-constprop .. darm-canon) are recorded precisely so two
+        // artifacts can be read side by side: print the same ratios as
+        // informational ATTRIBUTION lines. "new" alone still prints —
+        // that is how a freshly added pass first shows its effect.
+        if (!Quiet && NC.Valid && NewRef->Valid) {
+          const double NewDb = Ratio(NC.Stats.DivergentBranches,
+                                     NewRef->Stats.DivergentBranches);
+          const double NewUtil =
+              NC.Stats.aluUtilization() - NewRef->Stats.aluUtilization();
+          if (OC && OC->Valid && OldRef->Valid) {
+            const double OldDb = Ratio(OC->Stats.DivergentBranches,
+                                       OldRef->Stats.DivergentBranches);
+            const double OldUtil =
+                OC->Stats.aluUtilization() - OldRef->Stats.aluUtilization();
+            std::printf("ATTRIBUTION %s %s: db_ratio old=%.4f new=%.4f "
+                        "alu_delta old=%+.4f new=%+.4f\n",
+                        Key(NK).c_str(), NC.Config.c_str(), OldDb, NewDb,
+                        OldUtil, NewUtil);
+          } else {
+            std::printf("ATTRIBUTION %s %s: db_ratio new=%.4f alu_delta "
+                        "new=%+.4f (no old row)\n",
+                        Key(NK).c_str(), NC.Config.c_str(), NewDb, NewUtil);
+          }
+        }
+        continue;
+      }
       if (!OC)
         continue;
       ++Compared;
@@ -232,6 +265,7 @@ int main(int argc, char **argv) {
   double CompareTol = 0.02;
   ClaimsOptions Opts;
   bool RunClaims = true;
+  bool Attribution = false;
   bool Quiet = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -339,6 +373,8 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--no-claims") {
       RunClaims = false;
+    } else if (Arg == "--attribution") {
+      Attribution = true;
     } else if (Arg == "--quiet") {
       Quiet = true;
     } else if (Arg == "-help" || Arg == "--help") {
@@ -352,6 +388,13 @@ int main(int argc, char **argv) {
 
   if (!CompareOld.empty())
     return compareArtifacts(CompareOld, CompareNew, CompareTol, Quiet);
+
+  if (Attribution && !GoldenDir.empty()) {
+    // The benchmark goldens record the claimConfigs() rows; measuring a
+    // different config set under --goldens would diff apples to oranges.
+    std::fprintf(stderr, "--attribution cannot be combined with --goldens\n");
+    return 2;
+  }
 
   const bool Regen = std::getenv("DARM_REGEN_GOLDENS") != nullptr;
   if (Regen && !GoldenDir.empty() && Shards > 1) {
@@ -391,6 +434,7 @@ int main(int argc, char **argv) {
   ThreadPool Pool(Jobs);
   uint64_t FuzzDone = 0;
   Measured = measureCorpus(Pool, SelCells, SelSeeds,
+                           Attribution ? attributionConfigs() : claimConfigs(),
                            [&](const KernelClaims &K) {
                              if (Quiet)
                                return;
@@ -463,6 +507,31 @@ int main(int argc, char **argv) {
              checkClaims(Agg, ClaimsOptions::forGeneratedAggregate())) {
           std::fprintf(stderr, "CLAIM VIOLATION %s\n", V.str().c_str());
           ++Failures;
+        }
+      }
+      // The per-pass attribution summary (docs/passes.md): how each
+      // canonicalization toggle moved the aggregate melding-efficacy
+      // metrics relative to this run's own unmelded reference. Printed,
+      // never gated — the strict population gate lives in claims_test.
+      if (Attribution) {
+        const ConfigMetrics *Ref = nullptr;
+        for (const ConfigMetrics &C : Agg.Configs)
+          if (C.Config == "unmelded")
+            Ref = &C;
+        if (Ref && Ref->Stats.DivergentBranches != 0) {
+          for (const ConfigMetrics &C : Agg.Configs) {
+            if (C.Config == "unmelded")
+              continue;
+            std::printf(
+                "ATTRIBUTION %s %s: db_ratio=%.4f alu_delta=%+.4f "
+                "mem_insts=%llu\n",
+                Name, C.Config.c_str(),
+                static_cast<double>(C.Stats.DivergentBranches) /
+                    static_cast<double>(Ref->Stats.DivergentBranches),
+                C.Stats.aluUtilization() - Ref->Stats.aluUtilization(),
+                static_cast<unsigned long long>(C.Stats.VectorMemInsts +
+                                                C.Stats.SharedMemInsts));
+          }
         }
       }
       Measured.push_back(std::move(Agg)); // keep it in the JSON artifact

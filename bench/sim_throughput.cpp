@@ -11,7 +11,8 @@
 // number per commit:
 //
 //   sim_throughput [--repeat N] [--pipeline baseline|darm|both]
-//                  [--jobs N] [--out FILE]
+//                  [--dispatch default|switch|threaded] [--jobs N]
+//                  [--out FILE] [--compare BASELINE.json]
 //
 // Each cell decodes its kernel once (SimEngine) and replays it N times;
 // results are host-validated on the first repeat so a fast-but-wrong
@@ -19,6 +20,14 @@
 // in-process pool (support/Parallel.h); each cell still times its own
 // wall seconds, but contention inflates them, so the default stays 1
 // (the tracked trajectory is single-thread) and parallelism is opt-in.
+//
+// Schema v2 adds the superblock-trace telemetry (traces formed at
+// decode, average blocks fused per trace, the fraction of dynamic
+// instructions retired through the trace path) and the resolved
+// dispatch mode, so CI can see trace-path coverage move, not just the
+// headline number. --compare reads a previously recorded JSON (v1 or
+// v2) and exits nonzero when throughput regressed by more than 10% —
+// the CI gate.
 //
 //===----------------------------------------------------------------------===//
 
@@ -54,10 +63,18 @@ struct Cell {
   uint64_t Instructions = 0;
   uint64_t SimCycles = 0;
   double Seconds = 0;
+  // Trace telemetry (schema v2): static shape from the decoder, dynamic
+  // coverage from EngineStats summed over the repeats.
+  uint64_t TracesFormed = 0;    ///< traces the decoder fused (static)
+  uint64_t TraceBlocks = 0;     ///< blocks covered by those traces
+  uint64_t TraceRuns = 0;       ///< dynamic trace dispatches
+  uint64_t TraceInstrs = 0;     ///< dynamic instrs retired via traces
+  uint64_t BatchedTraceInstrs = 0; ///< subset retired op-major
+  const char *Dispatch = "";    ///< resolved executor ("threaded"/"switch")
 };
 
 Cell runThroughputCell(const std::string &Name, unsigned BS, bool Meld,
-                       unsigned Repeat) {
+                       unsigned Repeat, SimDispatch Dispatch) {
   auto B = createBenchmark(Name, BS);
   if (!B)
     reportFatalError("unknown benchmark name");
@@ -77,14 +94,25 @@ Cell runThroughputCell(const std::string &Name, unsigned BS, bool Meld,
   C.BlockSize = BS;
   C.Pipeline = Meld ? "darm" : "baseline";
 
-  SimEngine Engine(*F); // decode once, replay Repeat times
+  GpuConfig GC;
+  GC.Dispatch = Dispatch;
+  SimEngine Engine(*F, GC); // decode once, replay Repeat times
+  C.Dispatch = Engine.dispatchMode();
+  C.TracesFormed = Engine.program().Traces.size();
+  for (const DecodedTrace &T : Engine.program().Traces)
+    C.TraceBlocks += T.NumBlocks;
   for (unsigned R = 0; R < Repeat; ++R) {
     GlobalMemory Mem;
     std::vector<uint64_t> Base = B->setup(Mem);
     SimStats S;
     auto T0 = std::chrono::steady_clock::now();
-    for (unsigned L = 0, E = B->numLaunches(); L != E; ++L)
+    for (unsigned L = 0, E = B->numLaunches(); L != E; ++L) {
       S += Engine.run(B->launch(), B->argsForLaunch(L, Base), Mem);
+      const EngineStats &ES = Engine.engineStats();
+      C.TraceRuns += ES.TraceRuns;
+      C.TraceInstrs += ES.TraceInstrs;
+      C.BatchedTraceInstrs += ES.BatchedTraceInstrs;
+    }
     auto T1 = std::chrono::steady_clock::now();
     C.Seconds += std::chrono::duration<double>(T1 - T0).count();
     C.Instructions += S.InstructionsIssued;
@@ -101,6 +129,28 @@ Cell runThroughputCell(const std::string &Name, unsigned BS, bool Meld,
   return C;
 }
 
+/// Pulls the headline number out of a previously recorded JSON (v1 or
+/// v2). Deliberately a string scan, not a parser: the file is produced
+/// by this binary, and the only field consumed is the one it always
+/// writes last.
+bool readRecordedThroughput(const char *Path, double &Value) {
+  FILE *F = std::fopen(Path, "r");
+  if (!F)
+    return false;
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  const char *Key = "\"simulated_instructions_per_sec\":";
+  const size_t At = Text.find(Key);
+  if (At == std::string::npos)
+    return false;
+  Value = std::atof(Text.c_str() + At + std::strlen(Key));
+  return Value > 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -111,6 +161,8 @@ int main(int argc, char **argv) {
   unsigned Jobs = 1;
   bool RunBaseline = true, RunDarm = true;
   const char *OutPath = nullptr;
+  const char *ComparePath = nullptr;
+  SimDispatch Dispatch = SimDispatch::Default;
   bool Usage = false;
   for (int I = 1; I < argc && !Usage; ++I) {
     if (!std::strcmp(argv[I], "--repeat") && I + 1 < argc) {
@@ -131,8 +183,19 @@ int main(int argc, char **argv) {
       } else if (std::strcmp(argv[I], "both") != 0) {
         Usage = true;
       }
+    } else if (!std::strcmp(argv[I], "--dispatch") && I + 1 < argc) {
+      ++I;
+      if (!std::strcmp(argv[I], "switch")) {
+        Dispatch = SimDispatch::Switch;
+      } else if (!std::strcmp(argv[I], "threaded")) {
+        Dispatch = SimDispatch::Threaded;
+      } else if (std::strcmp(argv[I], "default") != 0) {
+        Usage = true;
+      }
     } else if (!std::strcmp(argv[I], "--out") && I + 1 < argc) {
       OutPath = argv[++I];
+    } else if (!std::strcmp(argv[I], "--compare") && I + 1 < argc) {
+      ComparePath = argv[++I];
     } else {
       Usage = true;
     }
@@ -140,7 +203,8 @@ int main(int argc, char **argv) {
   if (Usage) {
     std::fprintf(stderr,
                  "usage: %s [--repeat N>=1] [--pipeline baseline|darm|both] "
-                 "[--jobs N>=1] [--out FILE]\n",
+                 "[--dispatch default|switch|threaded] [--jobs N>=1] "
+                 "[--out FILE] [--compare BASELINE.json]\n",
                  argv[0]);
     return 2;
   }
@@ -163,16 +227,27 @@ int main(int argc, char **argv) {
   ThreadPool Pool(Jobs);
   std::vector<Cell> Cells = parallelMap<Cell>(Pool, Specs.size(), [&](size_t I) {
     return runThroughputCell(Specs[I].Name, Specs[I].BS, Specs[I].Meld,
-                             Repeat);
+                             Repeat, Dispatch);
   });
 
   uint64_t TotalInstrs = 0;
   double TotalSec = 0;
+  uint64_t TracesFormed = 0, TraceBlocks = 0, TraceRuns = 0;
+  uint64_t TraceInstrs = 0, BatchedTraceInstrs = 0;
   for (const Cell &C : Cells) {
     TotalInstrs += C.Instructions;
     TotalSec += C.Seconds;
+    TracesFormed += C.TracesFormed;
+    TraceBlocks += C.TraceBlocks;
+    TraceRuns += C.TraceRuns;
+    TraceInstrs += C.TraceInstrs;
+    BatchedTraceInstrs += C.BatchedTraceInstrs;
   }
   const double Throughput = TotalSec > 0 ? TotalInstrs / TotalSec : 0;
+  const double AvgBlocksPerTrace =
+      TracesFormed > 0 ? static_cast<double>(TraceBlocks) / TracesFormed : 0;
+  const double TraceInstrFraction =
+      TotalInstrs > 0 ? static_cast<double>(TraceInstrs) / TotalInstrs : 0;
 
   FILE *Out = stdout;
   if (OutPath) {
@@ -181,10 +256,12 @@ int main(int argc, char **argv) {
       reportFatalError("cannot open --out file for writing");
   }
   std::fprintf(Out, "{\n");
-  std::fprintf(Out, "  \"schema\": \"darm-sim-throughput-v1\",\n");
+  std::fprintf(Out, "  \"schema\": \"darm-sim-throughput-v2\",\n");
   std::fprintf(Out, "  \"suite\": \"fig8_synthetic\",\n");
   std::fprintf(Out, "  \"repeat\": %u,\n", Repeat);
   std::fprintf(Out, "  \"jobs\": %u,\n", Jobs);
+  std::fprintf(Out, "  \"dispatch\": \"%s\",\n",
+               Cells.empty() ? "" : Cells.front().Dispatch);
   std::fprintf(Out, "  \"cells\": [\n");
   for (size_t I = 0; I < Cells.size(); ++I) {
     const Cell &C = Cells[I];
@@ -192,26 +269,68 @@ int main(int argc, char **argv) {
                  "    {\"benchmark\": \"%s\", \"block_size\": %u, "
                  "\"pipeline\": \"%s\", \"instructions\": %llu, "
                  "\"sim_cycles\": %llu, \"seconds\": %.6f, "
-                 "\"instrs_per_sec\": %.1f}%s\n",
+                 "\"instrs_per_sec\": %.1f, "
+                 "\"traces_formed\": %llu, \"trace_blocks\": %llu, "
+                 "\"trace_runs\": %llu, \"trace_instructions\": %llu, "
+                 "\"batched_trace_instructions\": %llu}%s\n",
                  C.Benchmark.c_str(), C.BlockSize, C.Pipeline,
                  static_cast<unsigned long long>(C.Instructions),
                  static_cast<unsigned long long>(C.SimCycles), C.Seconds,
                  C.Seconds > 0 ? C.Instructions / C.Seconds : 0,
+                 static_cast<unsigned long long>(C.TracesFormed),
+                 static_cast<unsigned long long>(C.TraceBlocks),
+                 static_cast<unsigned long long>(C.TraceRuns),
+                 static_cast<unsigned long long>(C.TraceInstrs),
+                 static_cast<unsigned long long>(C.BatchedTraceInstrs),
                  I + 1 < Cells.size() ? "," : "");
   }
   std::fprintf(Out, "  ],\n");
   std::fprintf(Out, "  \"total_instructions\": %llu,\n",
                static_cast<unsigned long long>(TotalInstrs));
   std::fprintf(Out, "  \"total_seconds\": %.6f,\n", TotalSec);
+  std::fprintf(Out, "  \"traces_formed\": %llu,\n",
+               static_cast<unsigned long long>(TracesFormed));
+  std::fprintf(Out, "  \"avg_blocks_per_trace\": %.3f,\n", AvgBlocksPerTrace);
+  std::fprintf(Out, "  \"trace_runs\": %llu,\n",
+               static_cast<unsigned long long>(TraceRuns));
+  std::fprintf(Out, "  \"trace_instruction_fraction\": %.4f,\n",
+               TraceInstrFraction);
+  std::fprintf(Out, "  \"batched_trace_instructions\": %llu,\n",
+               static_cast<unsigned long long>(BatchedTraceInstrs));
   std::fprintf(Out, "  \"simulated_instructions_per_sec\": %.1f\n",
                Throughput);
   std::fprintf(Out, "}\n");
   if (OutPath)
     std::fclose(Out);
 
-  std::fprintf(stderr, "sim_throughput: %.4g simulated instrs/sec "
-                       "(%llu instrs in %.3fs, repeat=%u)\n",
+  std::fprintf(stderr,
+               "sim_throughput: %.4g simulated instrs/sec "
+               "(%llu instrs in %.3fs, repeat=%u, dispatch=%s, "
+               "trace coverage %.1f%%)\n",
                Throughput, static_cast<unsigned long long>(TotalInstrs),
-               TotalSec, Repeat);
+               TotalSec, Repeat, Cells.empty() ? "" : Cells.front().Dispatch,
+               100.0 * TraceInstrFraction);
+
+  if (ComparePath) {
+    double Recorded = 0;
+    if (!readRecordedThroughput(ComparePath, Recorded)) {
+      std::fprintf(stderr, "sim_throughput: cannot read recorded throughput "
+                           "from %s\n",
+                   ComparePath);
+      return 2;
+    }
+    const double Ratio = Throughput / Recorded;
+    std::fprintf(stderr,
+                 "sim_throughput: %.4g vs recorded %.4g (%.2fx)\n",
+                 Throughput, Recorded, Ratio);
+    // Gate: fail on a >10% drop. Generous against run-to-run noise on a
+    // shared runner, tight enough to catch a real dispatch/SIMD
+    // regression (those show up as 2x, not 10%).
+    if (Ratio < 0.90) {
+      std::fprintf(stderr, "sim_throughput: REGRESSION beyond 10%% "
+                           "tolerance\n");
+      return 1;
+    }
+  }
   return 0;
 }

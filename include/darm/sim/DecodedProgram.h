@@ -43,6 +43,13 @@ inline constexpr OperandSlot kImmediateBit = 1u << 31;
 inline constexpr uint32_t kNoRegister = ~0u;
 /// Sentinel block index ("function exit" for reconvergence targets).
 inline constexpr uint32_t kNoBlock = ~0u;
+/// Sentinel trace index ("block heads no trace").
+inline constexpr uint32_t kNoTrace = ~0u;
+/// Trace formation stops after this many fused blocks: traces duplicate
+/// block bodies (every eligible block heads its own trace), so the cap
+/// bounds the decoded size of pathological straight-line chains at
+/// O(cap x body) while leaving every real kernel's chains unsplit.
+inline constexpr uint32_t kMaxTraceBlocks = 64;
 
 /// How a destination write canonicalizes its 64-bit payload (the register
 /// image of normalize() in the executor, resolved from the result type at
@@ -126,6 +133,119 @@ struct DecodedBlock {
   /// sums to exactly what the per-instruction slow path accumulates.
   uint32_t NumAluInsts = 0;
   uint32_t StaticLatency = 0;
+  /// Trace headed by this block (kNoTrace when the block is not
+  /// trace-eligible, i.e. not UniformSafe or contains a barrier). Every
+  /// eligible block heads its own trace, so a converged warp entering it
+  /// at instruction 0 executes the whole fused chain with one dispatch.
+  uint32_t TraceId = kNoTrace;
+};
+
+/// Dispatch token of one trace op, precomputed at decode so the trace
+/// executors (portable switch or token-threaded computed-goto) dispatch
+/// without re-inspecting opcode/flags/norm. The list is the single
+/// source of truth: it expands to the TraceTok enum here and, in
+/// Simulator.cpp, to the switch cases, the computed-goto label table and
+/// the per-token handlers — all in the same order by construction.
+/// Generic covers the long tail (divides, casts, intrinsics) by falling
+/// back to the executor's full scalar switch; the named tokens are the
+/// hot ALU/memory ops with SIMD lane loops (support/Simd.h).
+#define DARM_SIM_TRACE_TOKEN_LIST(X)                                           \
+  X(Generic)                                                                   \
+  X(Move)                                                                      \
+  X(Load)                                                                      \
+  X(Store)                                                                     \
+  X(Add32)                                                                     \
+  X(Add64)                                                                     \
+  X(Sub32)                                                                     \
+  X(Sub64)                                                                     \
+  X(Mul32)                                                                     \
+  X(Mul64)                                                                     \
+  X(And32)                                                                     \
+  X(And64)                                                                     \
+  X(Or32)                                                                      \
+  X(Or64)                                                                      \
+  X(Xor32)                                                                     \
+  X(Xor64)                                                                     \
+  X(Shl32)                                                                     \
+  X(Shl64)                                                                     \
+  X(LShr32)                                                                    \
+  X(LShr64)                                                                    \
+  X(AShr32)                                                                    \
+  X(AShr64)                                                                    \
+  X(SDiv)                                                                      \
+  X(SRem)                                                                      \
+  X(UDiv)                                                                      \
+  X(URem)                                                                      \
+  X(FAdd)                                                                      \
+  X(FSub)                                                                      \
+  X(FMul)                                                                      \
+  X(FDiv)                                                                      \
+  X(ICmpEq)                                                                    \
+  X(ICmpNe)                                                                    \
+  X(ICmpSlt)                                                                   \
+  X(ICmpSle)                                                                   \
+  X(ICmpSgt)                                                                   \
+  X(ICmpSge)                                                                   \
+  X(ICmpUlt)                                                                   \
+  X(ICmpUle)                                                                   \
+  X(ICmpUgt)                                                                   \
+  X(ICmpUge)                                                                   \
+  X(FCmpOeq)                                                                   \
+  X(FCmpOne)                                                                   \
+  X(FCmpOlt)                                                                   \
+  X(FCmpOle)                                                                   \
+  X(FCmpOgt)                                                                   \
+  X(FCmpOge)                                                                   \
+  X(Select)                                                                    \
+  X(Gep)
+
+enum class TraceTok : uint8_t {
+#define DARM_SIM_TOK_ENUM(NAME) NAME,
+  DARM_SIM_TRACE_TOKEN_LIST(DARM_SIM_TOK_ENUM)
+#undef DARM_SIM_TOK_ENUM
+};
+
+inline constexpr unsigned kNumTraceToks = [] {
+  unsigned N = 0;
+#define DARM_SIM_TOK_COUNT(NAME) ++N;
+  DARM_SIM_TRACE_TOKEN_LIST(DARM_SIM_TOK_COUNT)
+#undef DARM_SIM_TOK_COUNT
+  return N;
+}();
+
+/// A superblock trace: a chain of UniformSafe, barrier-free blocks
+/// connected by unconditional branches, fused at decode time into one
+/// flat op stream a converged warp executes with a single dispatch. The
+/// phi parallel-copies of every interior edge are sequentialized into
+/// the stream as Move ops (cycles broken through one scratch register),
+/// so only the *final* block's terminator — a ret, an unconditional br
+/// into an ineligible block, or a uniform conditional branch — remains
+/// for the executor to decide, via Blocks[LastBlock]. Accounting is
+/// batched trace-wide, summing exactly the per-block batched updates
+/// (DecodedBlock::NumAluInsts / StaticLatency), with the budget check
+/// hoisted to the trace top (docs/performance.md latitude).
+struct DecodedTrace {
+  /// Fused ops: TraceOps/TraceTokens[FirstOp .. FirstOp+NumOps). Body
+  /// instructions of every chained block plus interior phi Moves;
+  /// terminators are not materialized.
+  uint32_t FirstOp = 0;
+  uint32_t NumOps = 0;
+  /// Leading ops free of memory instructions: this prefix has no
+  /// observable effect outside the warp's private registers, so the
+  /// executor may run it op-major across multiple resident warps
+  /// (multi-warp batching) without perturbing the phase-sequential
+  /// memory order the goldens pin.
+  uint32_t PrefixOps = 0;
+  /// Final chained block: its terminator, successors and edge phi
+  /// copies take over when the trace's ops are done.
+  uint32_t LastBlock = 0;
+  /// Blocks fused (BranchesExecuted += NumBlocks, matching the slow
+  /// path's one increment per block).
+  uint32_t NumBlocks = 0;
+  /// Sums over the chained blocks of the per-block batched accounting.
+  uint32_t DynInsts = 0;      ///< Σ NumInsts (issue + budget charge)
+  uint32_t NumAluInsts = 0;   ///< Σ NumAluInsts
+  uint32_t StaticLatency = 0; ///< Σ StaticLatency
 };
 
 /// A kernel flattened for execution. Produced by decodeProgram().
@@ -139,7 +259,20 @@ struct DecodedProgram {
   uint32_t SharedMemoryBytes = 0;
 
   std::vector<DecodedInst> Insts;
+  /// TraceTok per Insts entry: the same dispatch tokens the trace
+  /// streams use, precomputed for *every* decoded instruction so block
+  /// bodies outside traces (divergent or not provably UniformSafe) run
+  /// through the token-dispatched SIMD handlers too. Terminator entries
+  /// are Generic and never dispatched.
+  std::vector<uint8_t> InstTokens;
   std::vector<DecodedBlock> Blocks;
+  /// Superblock traces over UniformSafe chains, one per eligible block
+  /// (DecodedBlock::TraceId), with their fused op/token streams. Phi
+  /// Moves in TraceOps reuse Opcode::Phi (never otherwise decoded):
+  /// Dest <- norm(A).
+  std::vector<DecodedTrace> Traces;
+  std::vector<DecodedInst> TraceOps;
+  std::vector<uint8_t> TraceTokens; ///< TraceTok per TraceOps entry
   std::vector<PhiCopy> PhiCopies;
   /// Normalized constant / undef payloads, indexed by slot & ~kImmediateBit.
   std::vector<uint64_t> Immediates;

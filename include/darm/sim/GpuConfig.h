@@ -16,6 +16,17 @@
 
 namespace darm {
 
+/// How the trace executor dispatches fused ops (docs/performance.md).
+/// A *host*-execution knob, not a device parameter: both modes produce
+/// bit-identical SimStats and memory effects (pinned by a fuzz
+/// equivalence test), so selecting one never changes a simulation
+/// result — only how fast the host computes it.
+enum class SimDispatch : uint8_t {
+  Default,  ///< threaded when compiled in (DARM_SIM_THREADED), else switch
+  Switch,   ///< force the portable switch executor
+  Threaded, ///< force computed-goto; falls back to switch if unavailable
+};
+
 /// Device parameters.
 struct GpuConfig {
   /// Lanes per warp. Execution masks are 64 bits wide, so the simulator
@@ -27,6 +38,8 @@ struct GpuConfig {
   /// Abort threshold: a warp issuing more dynamic instructions than this
   /// is assumed to be stuck in a miscompiled loop.
   uint64_t MaxDynamicInstrPerWarp = 1ull << 28;
+  /// Trace-executor dispatch selection (see SimDispatch).
+  SimDispatch Dispatch = SimDispatch::Default;
 
   /// Aborts with a clear diagnostic when the parameters cannot be
   /// simulated (WarpSize outside (0, 64], or a zero-sized bank/segment

@@ -41,6 +41,17 @@ namespace darm {
 
 class Function;
 
+/// Host-side execution statistics of the trace engine, reset by every
+/// run(). Deliberately NOT part of SimStats: the SimStats counter table
+/// is append-only and serialized into recorded goldens, while these
+/// describe how the *host* executed the launch (trace-path coverage for
+/// bench/sim_throughput), not what the simulated device did.
+struct EngineStats {
+  uint64_t TraceRuns = 0;    ///< trace dispatches (one per fused chain run)
+  uint64_t TraceInstrs = 0;  ///< dynamic instructions retired via traces
+  uint64_t BatchedTraceInstrs = 0; ///< subset retired op-major multi-warp
+};
+
 /// The execute phase: owns one DecodedProgram plus the reusable execution
 /// scratch (warp register files, LDS image, phi staging buffer). Decode
 /// happens once in the constructor; run() may be called any number of
@@ -68,6 +79,13 @@ public:
 
   const DecodedProgram &program() const { return Prog; }
   const GpuConfig &config() const { return Cfg; }
+
+  /// Host-side trace-engine statistics of the most recent run().
+  const EngineStats &engineStats() const;
+  /// The dispatch mode the trace executor actually resolved to —
+  /// "threaded" or "switch" (GpuConfig::Dispatch requests, availability
+  /// decides; see DARM_SIM_THREADED).
+  const char *dispatchMode() const;
 
 private:
   struct Scratch; // execution state pools, defined in Simulator.cpp

@@ -23,13 +23,20 @@
 ///     calling thread, reproducing single-threaded behaviour exactly
 ///     (same order, same thread, same exception flow).
 ///   * **Deterministic exception propagation.** If callbacks throw, the
-///     batch stops claiming new items, drains in-flight ones, and
-///     rethrows the exception of the *lowest-indexed* throwing item on
-///     the calling thread — the same exception a sequential loop would
-///     have surfaced first.
+///     batch skips items above the lowest failing index recorded so far,
+///     keeps running every item below it (any of which may lower the
+///     record), and rethrows the exception of the *lowest-indexed*
+///     throwing item on the calling thread — the same exception a
+///     sequential loop would have surfaced first, independent of
+///     scheduling.
 ///
 /// The calling thread participates in every batch, so ThreadPool(N) uses
-/// N CPUs with N-1 worker threads.
+/// N CPUs with N-1 worker threads. Items are claimed in guided chunks —
+/// half the remaining range split across participants, shrinking to
+/// single items at the tail — held in per-participant range slots; an
+/// idle participant steals the upper half of another's slot, so one
+/// expensive item cannot strand the rest of its chunk behind it
+/// (Parallel.cpp has the scheduling details).
 ///
 //===----------------------------------------------------------------------===//
 #ifndef DARM_SUPPORT_PARALLEL_H

@@ -1,0 +1,417 @@
+//===- Simd.h - Lane-vector helpers for dense warp loops -----------*- C++ -*-===//
+///
+/// \file
+/// Explicit SIMD over the simulator's register rows (docs/performance.md,
+/// "SIMD lane loops"). A register row is WarpSize consecutive uint64
+/// lanes; every helper here processes N lanes of one operation — main
+/// loop in kWidth-lane vector chunks, remainder in a scalar tail — and is
+/// REQUIRED to produce bit-identical results to the scalar expression it
+/// replaces (the sim goldens pin this through the executor):
+///
+///   * integer ops are performed on the full 64-bit lane payload in
+///     unsigned arithmetic (two's-complement wrap, no UB), with the i32
+///     write normalization (sign-extend low 32) applied exactly where the
+///     scalar executor applies it;
+///   * float ops reinterpret the low 32 bits as IEEE f32, apply exactly
+///     one arithmetic operation (no contraction/FMA is possible in a
+///     single-op helper), and zero-extend the result bits — identical to
+///     the scalar `asFloat`/`fromFloat` round trip on every input
+///     including NaN payloads;
+///   * comparisons yield canonical i1 lanes (0/1), with the same
+///     raw-64-bit signed / masked-unsigned operand conventions as the
+///     executor's scalar switch.
+///
+/// On GCC/Clang the vector body uses the portable vector-extension types
+/// (`__attribute__((vector_size))`); the chunk width is 4 u64 lanes
+/// (8 when compiled for AVX-512). Elsewhere — or with DARM_SIMD_SCALAR
+/// defined, which the scalar-fallback unit test forces — every helper is
+/// a plain branch-free lane loop the autovectorizer can handle. Both
+/// variants share the scalar per-lane expressions, so the fallback is not
+/// a second implementation of the semantics.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SUPPORT_SIMD_H
+#define DARM_SUPPORT_SIMD_H
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace darm {
+namespace simd {
+
+/// One executor operand: a register row (lane-indexed) or a broadcast
+/// immediate when Ptr is null.
+struct In {
+  const uint64_t *Ptr;
+  uint64_t Imm;
+  uint64_t at(unsigned L) const { return Ptr ? Ptr[L] : Imm; }
+};
+
+/// Destination-write canonicalization, mirroring the executor's NormKind
+/// (same member order; the simulator casts between the two).
+enum class Norm : uint8_t { None, I1, I32, F32 };
+
+// Scalar building blocks (shared by the vector tail and the fallback).
+inline uint64_t sext32(uint64_t V) {
+  return static_cast<uint64_t>(static_cast<int64_t>(static_cast<int32_t>(V)));
+}
+inline float asFloatS(uint64_t Bits) {
+  return std::bit_cast<float>(static_cast<uint32_t>(Bits));
+}
+inline uint64_t fromFloatS(float F) {
+  return static_cast<uint64_t>(std::bit_cast<uint32_t>(F));
+}
+inline uint64_t snorm(Norm K, uint64_t Raw) {
+  switch (K) {
+  case Norm::I1:
+    return Raw & 1;
+  case Norm::I32:
+    return sext32(Raw);
+  case Norm::F32:
+    return Raw & 0xffffffffull;
+  case Norm::None:
+    break;
+  }
+  return Raw;
+}
+
+#if (defined(__GNUC__) || defined(__clang__)) && !defined(DARM_SIMD_SCALAR)
+#define DARM_SIMD_VECTOR 1
+
+// Without -mavx GCC notes that passing a 256-bit vector by value would
+// change the ABI (-Wpsabi). Every helper here is inline, so no ABI
+// boundary is ever crossed; the note also fires at the point of
+// *inlining* in including TUs — after any pragma pop — so it must stay
+// disabled for the whole TU, not just this header region. -Wpsabi
+// carries no other diagnostics of interest.
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+#if defined(__AVX512F__)
+inline constexpr unsigned kWidth = 8;
+#else
+inline constexpr unsigned kWidth = 4;
+#endif
+
+typedef uint64_t VU64 __attribute__((vector_size(kWidth * 8)));
+typedef int64_t VI64 __attribute__((vector_size(kWidth * 8)));
+typedef uint32_t VU32 __attribute__((vector_size(kWidth * 4)));
+typedef int32_t VI32 __attribute__((vector_size(kWidth * 4)));
+typedef float VF32 __attribute__((vector_size(kWidth * 4)));
+
+inline VU64 vload(const uint64_t *P) {
+  VU64 V;
+  std::memcpy(&V, P, sizeof(V));
+  return V;
+}
+inline void vstore(uint64_t *P, VU64 V) { std::memcpy(P, &V, sizeof(V)); }
+inline VU64 vsplat(uint64_t X) {
+  VU64 V;
+  for (unsigned I = 0; I < kWidth; ++I)
+    V[I] = X;
+  return V;
+}
+inline VU64 vin(In S, unsigned L) {
+  return S.Ptr ? vload(S.Ptr + L) : vsplat(S.Imm);
+}
+inline VI64 vsigned(VU64 V) { return reinterpret_cast<VI64>(V); }
+inline VU64 vbits(VI64 V) { return reinterpret_cast<VU64>(V); }
+/// Sign-extend the low 32 bits of every lane (the i32 write norm).
+inline VU64 vsext32(VU64 V) { return vbits(vsigned(V << 32) >> 32); }
+inline VU64 vnorm(Norm K, VU64 V) {
+  switch (K) {
+  case Norm::I1:
+    return V & 1;
+  case Norm::I32:
+    return vsext32(V);
+  case Norm::F32:
+    return V & 0xffffffffull;
+  case Norm::None:
+    break;
+  }
+  return V;
+}
+/// Low 32 bits of every lane as IEEE f32, and back (zero-extended).
+inline VF32 vasF32(VU64 V) {
+  return std::bit_cast<VF32>(__builtin_convertvector(V, VU32));
+}
+inline VU64 vfromF32(VF32 F) {
+  return __builtin_convertvector(std::bit_cast<VU32>(F), VU64);
+}
+
+// Binary row op: VEXPR over VU64 chunks VA/VB, SEXPR over scalar lanes
+// RA/RB (also the tail). Expressions must be comma-free.
+#define DARM_SIMD_BINOP(NAME, VEXPR, SEXPR)                                    \
+  inline void NAME(uint64_t *D, In A, In B, unsigned N) {                      \
+    unsigned L = 0;                                                            \
+    for (; L + kWidth <= N; L += kWidth) {                                     \
+      const VU64 VA = vin(A, L);                                               \
+      const VU64 VB = vin(B, L);                                               \
+      vstore(D + L, (VEXPR));                                                  \
+    }                                                                          \
+    for (; L < N; ++L) {                                                       \
+      const uint64_t RA = A.at(L);                                             \
+      const uint64_t RB = B.at(L);                                             \
+      D[L] = (SEXPR);                                                          \
+    }                                                                          \
+  }
+
+#define DARM_SIMD_CMP(NAME, VEXPR, SEXPR)                                      \
+  inline void NAME(uint64_t *D, In A, In B, unsigned N) {                      \
+    unsigned L = 0;                                                            \
+    for (; L + kWidth <= N; L += kWidth) {                                     \
+      const VU64 VA = vin(A, L);                                               \
+      const VU64 VB = vin(B, L);                                               \
+      vstore(D + L, vbits(VEXPR) & 1);                                         \
+    }                                                                          \
+    for (; L < N; ++L) {                                                       \
+      const uint64_t RA = A.at(L);                                             \
+      const uint64_t RB = B.at(L);                                             \
+      D[L] = (SEXPR) ? 1 : 0;                                                  \
+    }                                                                          \
+  }
+
+#define DARM_SIMD_UCMP(NAME, OP)                                               \
+  inline void NAME(uint64_t *D, In A, In B, unsigned N, bool Is32) {           \
+    const uint64_t M = Is32 ? 0xffffffffull : ~0ull;                           \
+    unsigned L = 0;                                                            \
+    for (; L + kWidth <= N; L += kWidth) {                                     \
+      const VU64 VA = vin(A, L) & M;                                           \
+      const VU64 VB = vin(B, L) & M;                                           \
+      vstore(D + L, vbits(VA OP VB) & 1);                                      \
+    }                                                                          \
+    for (; L < N; ++L)                                                         \
+      D[L] = ((A.at(L) & M) OP (B.at(L) & M)) ? 1 : 0;                         \
+  }
+
+#define DARM_SIMD_FCMP(NAME, OP)                                               \
+  inline void NAME(uint64_t *D, In A, In B, unsigned N) {                      \
+    unsigned L = 0;                                                            \
+    for (; L + kWidth <= N; L += kWidth) {                                     \
+      const VF32 FA = vasF32(vin(A, L));                                       \
+      const VF32 FB = vasF32(vin(B, L));                                       \
+      vstore(D + L, __builtin_convertvector(FA OP FB, VU64) & 1);              \
+    }                                                                          \
+    for (; L < N; ++L)                                                         \
+      D[L] = (asFloatS(A.at(L)) OP asFloatS(B.at(L))) ? 1 : 0;                 \
+  }
+
+#else // scalar fallback
+
+inline constexpr unsigned kWidth = 1;
+
+#define DARM_SIMD_BINOP(NAME, VEXPR, SEXPR)                                    \
+  inline void NAME(uint64_t *D, In A, In B, unsigned N) {                      \
+    for (unsigned L = 0; L < N; ++L) {                                         \
+      const uint64_t RA = A.at(L);                                             \
+      const uint64_t RB = B.at(L);                                             \
+      D[L] = (SEXPR);                                                          \
+    }                                                                          \
+  }
+
+#define DARM_SIMD_CMP(NAME, VEXPR, SEXPR)                                      \
+  inline void NAME(uint64_t *D, In A, In B, unsigned N) {                      \
+    for (unsigned L = 0; L < N; ++L) {                                         \
+      const uint64_t RA = A.at(L);                                             \
+      const uint64_t RB = B.at(L);                                             \
+      D[L] = (SEXPR) ? 1 : 0;                                                  \
+    }                                                                          \
+  }
+
+#define DARM_SIMD_UCMP(NAME, OP)                                               \
+  inline void NAME(uint64_t *D, In A, In B, unsigned N, bool Is32) {           \
+    const uint64_t M = Is32 ? 0xffffffffull : ~0ull;                           \
+    for (unsigned L = 0; L < N; ++L)                                           \
+      D[L] = ((A.at(L) & M) OP (B.at(L) & M)) ? 1 : 0;                         \
+  }
+
+#define DARM_SIMD_FCMP(NAME, OP)                                               \
+  inline void NAME(uint64_t *D, In A, In B, unsigned N) {                      \
+    for (unsigned L = 0; L < N; ++L)                                           \
+      D[L] = (asFloatS(A.at(L)) OP asFloatS(B.at(L))) ? 1 : 0;                 \
+  }
+
+#endif
+
+// 64-bit integer ops (write norm None).
+DARM_SIMD_BINOP(addI64, VA + VB, RA + RB)
+DARM_SIMD_BINOP(subI64, VA - VB, RA - RB)
+DARM_SIMD_BINOP(mulI64, VA * VB, RA * RB)
+DARM_SIMD_BINOP(andI64, VA & VB, RA & RB)
+DARM_SIMD_BINOP(orI64, VA | VB, RA | RB)
+DARM_SIMD_BINOP(xorI64, VA ^ VB, RA ^ RB)
+DARM_SIMD_BINOP(shlI64, VA << (VB & 63), RA << (RB & 63))
+DARM_SIMD_BINOP(lshrI64, VA >> (VB & 63), RA >> (RB & 63))
+DARM_SIMD_BINOP(ashrI64, vbits(vsigned(VA) >> vsigned(VB & 63)),
+                static_cast<uint64_t>(static_cast<int64_t>(RA) >> (RB & 63)))
+
+// 32-bit integer ops: the op in 64-bit lanes, then the exact i32 write
+// norm (sign-extend low 32) the scalar executor applies.
+DARM_SIMD_BINOP(addI32, vsext32(VA + VB), sext32(RA + RB))
+DARM_SIMD_BINOP(subI32, vsext32(VA - VB), sext32(RA - RB))
+DARM_SIMD_BINOP(mulI32, vsext32(VA * VB), sext32(RA * RB))
+DARM_SIMD_BINOP(andI32, vsext32(VA & VB), sext32(RA & RB))
+DARM_SIMD_BINOP(orI32, vsext32(VA | VB), sext32(RA | RB))
+DARM_SIMD_BINOP(xorI32, vsext32(VA ^ VB), sext32(RA ^ RB))
+DARM_SIMD_BINOP(shlI32, vsext32(VA << (VB & 31)), sext32(RA << (RB & 31)))
+DARM_SIMD_BINOP(lshrI32, vsext32((VA & 0xffffffffull) >> (VB & 31)),
+                sext32(static_cast<uint32_t>(RA) >> (RB & 31)))
+DARM_SIMD_BINOP(ashrI32, vsext32(vbits(vsigned(vsext32(VA)) >> vsigned(VB & 31))),
+                sext32(static_cast<uint64_t>(
+                    static_cast<int64_t>(static_cast<int32_t>(RA)) >>
+                    (RB & 31))))
+
+// f32 ops: one IEEE operation on the low 32 bits, zero-extended result.
+DARM_SIMD_BINOP(fAdd, vfromF32(vasF32(VA) + vasF32(VB)),
+                fromFloatS(asFloatS(RA) + asFloatS(RB)))
+DARM_SIMD_BINOP(fSub, vfromF32(vasF32(VA) - vasF32(VB)),
+                fromFloatS(asFloatS(RA) - asFloatS(RB)))
+DARM_SIMD_BINOP(fMul, vfromF32(vasF32(VA) * vasF32(VB)),
+                fromFloatS(asFloatS(RA) * asFloatS(RB)))
+DARM_SIMD_BINOP(fDiv, vfromF32(vasF32(VA) / vasF32(VB)),
+                fromFloatS(asFloatS(RA) / asFloatS(RB)))
+
+// Comparisons: canonical 0/1 lanes. Vector comparisons yield -1/0 masks;
+// the &1 canonicalizes. Signed/equality compare the raw 64-bit payloads
+// (i32 registers store sign-extended, matching the scalar executor).
+DARM_SIMD_CMP(cmpEq, VA == VB, RA == RB)
+DARM_SIMD_CMP(cmpNe, VA != VB, RA != RB)
+DARM_SIMD_CMP(cmpSlt, vsigned(VA) < vsigned(VB),
+              static_cast<int64_t>(RA) < static_cast<int64_t>(RB))
+DARM_SIMD_CMP(cmpSle, vsigned(VA) <= vsigned(VB),
+              static_cast<int64_t>(RA) <= static_cast<int64_t>(RB))
+DARM_SIMD_CMP(cmpSgt, vsigned(VA) > vsigned(VB),
+              static_cast<int64_t>(RA) > static_cast<int64_t>(RB))
+DARM_SIMD_CMP(cmpSge, vsigned(VA) >= vsigned(VB),
+              static_cast<int64_t>(RA) >= static_cast<int64_t>(RB))
+
+// Unsigned comparisons take the executor's i32 operand convention as a
+// mask: 32-bit compares zero-extend the low 32 bits first.
+DARM_SIMD_UCMP(cmpUlt, <)
+DARM_SIMD_UCMP(cmpUle, <=)
+DARM_SIMD_UCMP(cmpUgt, >)
+DARM_SIMD_UCMP(cmpUge, >=)
+
+// f32 comparisons (IEEE semantics; NaN compares exactly as the scalar
+// operator does — e.g. cmpFone is the executor's `!=`, true on NaN).
+DARM_SIMD_FCMP(cmpFoeq, ==)
+DARM_SIMD_FCMP(cmpFone, !=)
+DARM_SIMD_FCMP(cmpFolt, <)
+DARM_SIMD_FCMP(cmpFole, <=)
+DARM_SIMD_FCMP(cmpFogt, >)
+DARM_SIMD_FCMP(cmpFoge, >=)
+
+// Integer division family: total per the IR contract (Instruction.h) —
+// division by zero yields 0 and INT_MIN/-1 negates — so the lane loop
+// never traps and masked execution may feed it any bit pattern. Hardware
+// integer division does not vectorize profitably, so these stay scalar
+// lane loops; they take the decoded write norm directly because one
+// token covers both widths.
+inline void sdiv(uint64_t *D, In A, In B, unsigned N, Norm K) {
+  for (unsigned L = 0; L < N; ++L) {
+    const int64_t SA = static_cast<int64_t>(A.at(L));
+    const int64_t SB = static_cast<int64_t>(B.at(L));
+    uint64_t R;
+    if (SB == 0)
+      R = 0;
+    else if (SB == -1)
+      R = uint64_t{0} - static_cast<uint64_t>(SA);
+    else
+      R = static_cast<uint64_t>(SA / SB);
+    D[L] = snorm(K, R);
+  }
+}
+inline void srem(uint64_t *D, In A, In B, unsigned N, Norm K) {
+  for (unsigned L = 0; L < N; ++L) {
+    const int64_t SA = static_cast<int64_t>(A.at(L));
+    const int64_t SB = static_cast<int64_t>(B.at(L));
+    D[L] = snorm(K, (SB == 0 || SB == -1)
+                        ? uint64_t{0}
+                        : static_cast<uint64_t>(SA % SB));
+  }
+}
+inline void udiv(uint64_t *D, In A, In B, unsigned N, bool Is32, Norm K) {
+  const uint64_t M = Is32 ? 0xffffffffull : ~0ull;
+  for (unsigned L = 0; L < N; ++L) {
+    const uint64_t UA = A.at(L) & M, UB = B.at(L) & M;
+    D[L] = snorm(K, UB == 0 ? 0 : UA / UB);
+  }
+}
+inline void urem(uint64_t *D, In A, In B, unsigned N, bool Is32, Norm K) {
+  const uint64_t M = Is32 ? 0xffffffffull : ~0ull;
+  for (unsigned L = 0; L < N; ++L) {
+    const uint64_t UA = A.at(L) & M, UB = B.at(L) & M;
+    D[L] = snorm(K, UB == 0 ? 0 : UA % UB);
+  }
+}
+
+/// D[L] = norm((C[L] & 1) ? T[L] : F[L]) — the executor's select.
+inline void select(uint64_t *D, In C, In T, In F, unsigned N, Norm K) {
+  unsigned L = 0;
+#if defined(DARM_SIMD_VECTOR)
+  for (; L + kWidth <= N; L += kWidth) {
+    // -1/0 mask from the low condition bit, then a blend.
+    const VU64 M = vbits((vin(C, L) & 1) != 0);
+    const VU64 R = (vin(T, L) & M) | (vin(F, L) & ~M);
+    vstore(D + L, vnorm(K, R));
+  }
+#endif
+  for (; L < N; ++L)
+    D[L] = snorm(K, (C.at(L) & 1) ? T.at(L) : F.at(L));
+}
+
+/// D[L] = norm(A[L]) — normalized register move (phi copies in traces).
+inline void move(uint64_t *D, In A, unsigned N, Norm K) {
+  unsigned L = 0;
+#if defined(DARM_SIMD_VECTOR)
+  for (; L + kWidth <= N; L += kWidth)
+    vstore(D + L, vnorm(K, vin(A, L)));
+#endif
+  for (; L < N; ++L)
+    D[L] = snorm(K, A.at(L));
+}
+
+/// D[L] = Base[L] + Index[L] * Elem — pointer arithmetic (gep). Two's
+/// complement: unsigned wrap is bit-identical to the scalar signed mul.
+inline void gep(uint64_t *D, In Base, In Index, uint64_t Elem, unsigned N) {
+  unsigned L = 0;
+#if defined(DARM_SIMD_VECTOR)
+  for (; L + kWidth <= N; L += kWidth)
+    vstore(D + L, vin(Base, L) + vin(Index, L) * Elem);
+#endif
+  for (; L < N; ++L)
+    D[L] = Base.at(L) + Index.at(L) * Elem;
+}
+
+/// Packs the low bit of each lane into a bitmask: bit L of the result is
+/// Row[L] & 1, for L in [0, N). N caps at 64 (one lane mask). The
+/// executor's divergent-branch scan uses it to split the active mask
+/// without a serial per-lane loop: per chunk, shift each lane's low bit
+/// to its lane position and OR-accumulate.
+inline uint64_t boolMask(const uint64_t *Row, unsigned N) {
+  uint64_t M = 0;
+  unsigned L = 0;
+#if defined(DARM_SIMD_VECTOR)
+  VU64 Iota;
+  for (unsigned I = 0; I < kWidth; ++I)
+    Iota[I] = I;
+  VU64 Acc = vsplat(0);
+  for (; L + kWidth <= N; L += kWidth)
+    Acc |= (vload(Row + L) & 1) << (Iota + L);
+  for (unsigned I = 0; I < kWidth; ++I)
+    M |= Acc[I];
+#endif
+  for (; L < N; ++L)
+    M |= (Row[L] & 1) << L;
+  return M;
+}
+
+#undef DARM_SIMD_FCMP
+#undef DARM_SIMD_UCMP
+#undef DARM_SIMD_CMP
+#undef DARM_SIMD_BINOP
+
+} // namespace simd
+} // namespace darm
+
+#endif // DARM_SUPPORT_SIMD_H

@@ -72,6 +72,9 @@ private:
   void numberValues();
   DecodedInst decodeInst(const Instruction *I);
   PhiCopyRange decodeEdgePhis(BasicBlock *From, BasicBlock *To);
+  void formTraces();
+  void pushTraceOp(const DecodedInst &DI);
+  void emitEdgeMoves(PhiCopyRange R);
 
   Function &F;
   DecodedProgram P;
@@ -79,6 +82,111 @@ private:
   std::unordered_map<uint64_t, uint32_t> ImmediateIds;
   std::unordered_map<const BasicBlock *, uint32_t> BlockIds;
 };
+
+/// Dispatch token for one trace op. Named tokens are taken only when the
+/// decoded write norm matches what their SIMD lane loop bakes in (e.g.
+/// Add32 applies exactly the i32 sign-extend norm); any unexpected
+/// combination — and the whole long tail of divides, casts and
+/// intrinsics — falls back to Generic, which replays the executor's full
+/// scalar switch. Correctness therefore never depends on this mapping
+/// being exhaustive, only on the named cases being exact.
+TraceTok tokenOf(const DecodedInst &DI) {
+  const bool Is32 = DI.Flags & DecodedInst::kIs32;
+  const bool N32 = DI.Norm == NormKind::I32;
+  const bool N64 = DI.Norm == NormKind::None;
+  switch (DI.Op) {
+  case Opcode::Phi:
+    return TraceTok::Move;
+  case Opcode::Load:
+    return TraceTok::Load;
+  case Opcode::Store:
+    return TraceTok::Store;
+#define DARM_BINOP_TOK(OPC)                                                    \
+  case Opcode::OPC:                                                            \
+    if (Is32 && N32)                                                           \
+      return TraceTok::OPC##32;                                                \
+    if (!Is32 && N64)                                                          \
+      return TraceTok::OPC##64;                                                \
+    return TraceTok::Generic;
+    DARM_BINOP_TOK(Add)
+    DARM_BINOP_TOK(Sub)
+    DARM_BINOP_TOK(Mul)
+    DARM_BINOP_TOK(And)
+    DARM_BINOP_TOK(Or)
+    DARM_BINOP_TOK(Xor)
+    DARM_BINOP_TOK(Shl)
+    DARM_BINOP_TOK(LShr)
+    DARM_BINOP_TOK(AShr)
+#undef DARM_BINOP_TOK
+  // The division family is total in this IR (Instruction.h): division by
+  // zero yields 0, INT_MIN/-1 negates. No trap means one token per op
+  // regardless of width — the handler applies the decoded write norm.
+  case Opcode::SDiv:
+    return TraceTok::SDiv;
+  case Opcode::SRem:
+    return TraceTok::SRem;
+  case Opcode::UDiv:
+    return TraceTok::UDiv;
+  case Opcode::URem:
+    return TraceTok::URem;
+  case Opcode::FAdd:
+    return DI.Norm == NormKind::F32 ? TraceTok::FAdd : TraceTok::Generic;
+  case Opcode::FSub:
+    return DI.Norm == NormKind::F32 ? TraceTok::FSub : TraceTok::Generic;
+  case Opcode::FMul:
+    return DI.Norm == NormKind::F32 ? TraceTok::FMul : TraceTok::Generic;
+  case Opcode::FDiv:
+    return DI.Norm == NormKind::F32 ? TraceTok::FDiv : TraceTok::Generic;
+  case Opcode::ICmp:
+    // One token per predicate: the handler calls the exact SIMD compare
+    // with no inner dispatch (the hottest ALU op on divergent kernels).
+    switch (static_cast<ICmpPred>(DI.SubOp)) {
+    case ICmpPred::EQ:
+      return TraceTok::ICmpEq;
+    case ICmpPred::NE:
+      return TraceTok::ICmpNe;
+    case ICmpPred::SLT:
+      return TraceTok::ICmpSlt;
+    case ICmpPred::SLE:
+      return TraceTok::ICmpSle;
+    case ICmpPred::SGT:
+      return TraceTok::ICmpSgt;
+    case ICmpPred::SGE:
+      return TraceTok::ICmpSge;
+    case ICmpPred::ULT:
+      return TraceTok::ICmpUlt;
+    case ICmpPred::ULE:
+      return TraceTok::ICmpUle;
+    case ICmpPred::UGT:
+      return TraceTok::ICmpUgt;
+    case ICmpPred::UGE:
+      return TraceTok::ICmpUge;
+    }
+    return TraceTok::Generic;
+  case Opcode::FCmp:
+    switch (static_cast<FCmpPred>(DI.SubOp)) {
+    case FCmpPred::OEQ:
+      return TraceTok::FCmpOeq;
+    case FCmpPred::ONE:
+      return TraceTok::FCmpOne;
+    case FCmpPred::OLT:
+      return TraceTok::FCmpOlt;
+    case FCmpPred::OLE:
+      return TraceTok::FCmpOle;
+    case FCmpPred::OGT:
+      return TraceTok::FCmpOgt;
+    case FCmpPred::OGE:
+      return TraceTok::FCmpOge;
+    }
+    return TraceTok::Generic;
+  case Opcode::Select:
+    return TraceTok::Select;
+  case Opcode::Gep:
+    return N64 ? TraceTok::Gep : TraceTok::Generic;
+  default:
+    return TraceTok::Generic;
+  }
+}
 
 void Decoder::numberValues() {
   auto Number = [&](const Value *V) { RegisterIds[V] = P.NumRegisters++; };
@@ -243,6 +351,136 @@ PhiCopyRange Decoder::decodeEdgePhis(BasicBlock *From, BasicBlock *To) {
   return R;
 }
 
+void Decoder::pushTraceOp(const DecodedInst &DI) {
+  P.TraceTokens.push_back(static_cast<uint8_t>(tokenOf(DI)));
+  P.TraceOps.push_back(DI);
+}
+
+/// Sequentializes one edge's phi parallel copies into the current trace
+/// as Move ops. A copy is emittable once no other pending copy still
+/// reads its destination; pure cycles (swap patterns) are broken by
+/// routing one source through a fresh scratch register. The scratch copy
+/// is raw (NormKind::None) — staged parallel-copy reads are raw too, and
+/// each redirected reader keeps its own norm on the final write, so the
+/// sequence computes exactly what the staged executor computes.
+/// Self-copies are dropped: a phi register is only ever written through
+/// normalized copies, so re-normalizing it is a no-op.
+void Decoder::emitEdgeMoves(PhiCopyRange R) {
+  if (R.empty())
+    return;
+  struct Pending {
+    uint32_t Dest;
+    OperandSlot Src;
+    NormKind Norm;
+  };
+  std::vector<Pending> Work;
+  for (uint32_t I = R.Begin; I != R.End; ++I) {
+    const PhiCopy &C = P.PhiCopies[I];
+    if (C.Src == C.Dest) // immediates never compare equal: tag bit set
+      continue;
+    Work.push_back({C.Dest, C.Src, C.Norm});
+  }
+  auto ReadBy = [&](uint32_t Reg) {
+    for (const Pending &W : Work)
+      if (W.Src == Reg)
+        return true;
+    return false;
+  };
+  auto Emit = [&](uint32_t Dest, OperandSlot Src, NormKind Norm) {
+    DecodedInst M;
+    M.Op = Opcode::Phi; // never otherwise decoded; trace token Move
+    M.Dest = Dest;
+    M.A = Src;
+    M.Norm = Norm;
+    pushTraceOp(M);
+  };
+  while (!Work.empty()) {
+    size_t Ready = Work.size();
+    for (size_t J = 0; J < Work.size(); ++J) {
+      if (!ReadBy(Work[J].Dest)) {
+        Ready = J;
+        break;
+      }
+    }
+    if (Ready != Work.size()) {
+      Emit(Work[Ready].Dest, Work[Ready].Src, Work[Ready].Norm);
+      Work[Ready] = Work.back();
+      Work.pop_back();
+      continue;
+    }
+    // Every remaining destination is still read: the work list is a set
+    // of cycles. Divert one source through a fresh scratch register (a
+    // new register per break — a shared scratch could be clobbered by a
+    // second cycle while readers of the first are still pending).
+    const uint32_t Temp = P.NumRegisters++;
+    const OperandSlot S = Work.front().Src;
+    Emit(Temp, S, NormKind::None);
+    for (Pending &W : Work)
+      if (W.Src == S)
+        W.Src = Temp;
+  }
+}
+
+/// Superblock/trace formation (docs/performance.md): every eligible block
+/// — UniformSafe and barrier-free — heads a trace that greedily chains
+/// through unconditional branches into further eligible blocks, fusing
+/// their bodies (and the interior edges' phi moves) into one flat op
+/// stream with trace-wide batched accounting. The chain stops at a ret,
+/// any conditional branch (even a uniform one: its direction is decided
+/// at run time, possibly straight into another trace), an ineligible
+/// successor, a block already in this trace (loop back-edge), or the
+/// kMaxTraceBlocks duplication cap.
+void Decoder::formTraces() {
+  const uint32_t NumBlocks = static_cast<uint32_t>(P.Blocks.size());
+  std::vector<uint32_t> Stamp(NumBlocks, kNoTrace);
+  auto Eligible = [&](uint32_t BI) {
+    const DecodedBlock &DB = P.Blocks[BI];
+    return DB.UniformSafe && !DB.HasBarrier;
+  };
+  for (uint32_t Head = 0; Head < NumBlocks; ++Head) {
+    if (!Eligible(Head))
+      continue;
+    const uint32_t Id = static_cast<uint32_t>(P.Traces.size());
+    DecodedTrace T;
+    T.FirstOp = static_cast<uint32_t>(P.TraceOps.size());
+    uint32_t Cur = Head;
+    for (;;) {
+      const DecodedBlock &DB = P.Blocks[Cur];
+      Stamp[Cur] = Id;
+      for (uint32_t II = DB.FirstInst; II + 1 < DB.FirstInst + DB.NumInsts;
+           ++II)
+        pushTraceOp(P.Insts[II]);
+      ++T.NumBlocks;
+      T.DynInsts += DB.NumInsts;
+      T.NumAluInsts += DB.NumAluInsts;
+      T.StaticLatency += DB.StaticLatency;
+      T.LastBlock = Cur;
+      const DecodedInst &Term = P.Insts[DB.FirstInst + DB.NumInsts - 1];
+      if (Term.Op != Opcode::Br)
+        break;
+      const uint32_t Next = DB.Succ[0];
+      if (!Eligible(Next) || Stamp[Next] == Id ||
+          T.NumBlocks >= kMaxTraceBlocks)
+        break;
+      emitEdgeMoves(DB.Edge[0]);
+      Cur = Next;
+    }
+    T.NumOps = static_cast<uint32_t>(P.TraceOps.size()) - T.FirstOp;
+    // The memory-free prefix may run op-major across warps (multi-warp
+    // batching): no observable effect outside warp-private registers.
+    T.PrefixOps = T.NumOps;
+    for (uint32_t O = 0; O != T.NumOps; ++O) {
+      const auto Tok = static_cast<TraceTok>(P.TraceTokens[T.FirstOp + O]);
+      if (Tok == TraceTok::Load || Tok == TraceTok::Store) {
+        T.PrefixOps = O;
+        break;
+      }
+    }
+    P.Blocks[Head].TraceId = Id;
+    P.Traces.push_back(T);
+  }
+}
+
 DecodedProgram Decoder::decode() {
   numberValues();
   P.SharedMemoryBytes = F.getSharedMemoryBytes();
@@ -274,6 +512,9 @@ DecodedProgram Decoder::decode() {
       if (I->isPhi())
         continue;
       P.Insts.push_back(decodeInst(I));
+      // Dispatch token alongside every instruction: block bodies outside
+      // traces run through the same token-dispatched SIMD handlers.
+      P.InstTokens.push_back(static_cast<uint8_t>(tokenOf(P.Insts.back())));
     }
     DB.NumInsts = static_cast<uint32_t>(P.Insts.size()) - DB.FirstInst;
     assert(DB.NumInsts > 0 && "block without a terminator");
@@ -315,6 +556,8 @@ DecodedProgram Decoder::decode() {
       DB.Edge[1] = decodeEdgePhis(BB, CB->getFalseSuccessor());
     }
   }
+
+  formTraces();
 
   std::sort(P.CrossLaneRegisters.begin(), P.CrossLaneRegisters.end());
   P.CrossLaneRegisters.erase(

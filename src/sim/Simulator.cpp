@@ -20,13 +20,36 @@
 #include "darm/analysis/CostModel.h"
 #include "darm/ir/Function.h"
 #include "darm/support/ErrorHandling.h"
+#include "darm/support/Simd.h"
 
 #include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstring>
+#include <type_traits>
+
+// Token-threaded (computed-goto) trace dispatch needs the GNU
+// labels-as-values extension; elsewhere the portable switch executor is
+// the only mode. DARM_SIM_THREADED is the configure-time feature macro
+// (CMake option of the same name); GpuConfig::Dispatch selects at run
+// time among whatever this leaves available.
+#if defined(DARM_SIM_THREADED) && (defined(__GNUC__) || defined(__clang__))
+#define DARM_SIM_HAS_THREADED 1
+#else
+#define DARM_SIM_HAS_THREADED 0
+#endif
 
 using namespace darm;
+
+// The SIMD helpers mirror the executor's write normalization as their own
+// enum (support/ cannot include sim/); the trace handlers cast between
+// the two, so the member orders must agree.
+static_assert(
+    static_cast<int>(simd::Norm::None) == static_cast<int>(NormKind::None) &&
+        static_cast<int>(simd::Norm::I1) == static_cast<int>(NormKind::I1) &&
+        static_cast<int>(simd::Norm::I32) == static_cast<int>(NormKind::I32) &&
+        static_cast<int>(simd::Norm::F32) == static_cast<int>(NormKind::F32),
+    "simd::Norm must mirror NormKind");
 
 namespace {
 
@@ -103,8 +126,15 @@ struct SimEngine::Scratch {
     unsigned Index = 0;
     std::vector<StackEntry> Stack;
     uint32_t ResumeIdx = 0; ///< instruction index into the top entry's block
+    /// Trace whose memory-free prefix already ran op-major in
+    /// batchPrefix (accounting included); runWarp finishes the remainder
+    /// warp-major. kNoTrace otherwise.
+    uint32_t PendingTrace = kNoTrace;
     uint64_t Cycles = 0;
     uint64_t DynInstrs = 0;
+    /// W.Cycles at the start of the current phase (set in runBlock
+    /// before batchPrefix, which may already charge trace cycles).
+    uint64_t PhaseBase = 0;
     bool Done = false;
     unsigned NumLanes = 0;  ///< live lanes (== WarpSize except the tail warp)
     uint64_t FullMask = 0;  ///< fullMask(NumLanes): the converged mask
@@ -126,7 +156,11 @@ struct SimEngine::Scratch {
   const std::vector<uint64_t> *Args = nullptr;
   GlobalMemory *Mem = nullptr;
   SimStats LaunchStats;
+  EngineStats EStats; ///< host-side trace-path telemetry, reset per run()
   unsigned BlockIdx = 0;
+  /// Resolved dispatch mode (GpuConfig::Dispatch x DARM_SIM_HAS_THREADED),
+  /// set once in the SimEngine constructor.
+  bool UseThreaded = false;
 
   // Shift/mask forms of the contention-model address math (set from Cfg
   // in the SimEngine constructor). The geometry divisors are powers of
@@ -161,6 +195,10 @@ struct SimEngine::Scratch {
   std::vector<uint64_t> Staging; ///< MaxEdgePhis x WarpSize phi staging
   std::vector<std::pair<uint64_t, uint64_t>> BankPairs; ///< (bank, addr)
   std::vector<uint64_t> Segments;
+  std::vector<Warp *> GroupBuf; ///< batchPrefix cohort, rebuilt per phase
+  /// MaskedTok scratch row: SIMD results for all lanes of one divergent
+  /// op before the active-lane scatter (lane masks cap WarpSize at 64).
+  alignas(64) uint64_t TmpRow[64] = {};
 
   OpRow row(const Warp &W, OperandSlot Slot) const {
     if (Slot & kImmediateBit)
@@ -194,9 +232,204 @@ struct SimEngine::Scratch {
   }
   void releaseRegisters(Warp &W) { RegisterPool.push_back(std::move(W.Regs)); }
 
+  /// One operand as a SIMD input: a register row pointer, or a broadcast
+  /// immediate when Ptr is null (the vector loop splats it once).
+  simd::In in(const Warp &W, OperandSlot Slot) const {
+    if (Slot & kImmediateBit)
+      return {nullptr, Prog->Immediates[Slot & ~kImmediateBit]};
+    return {W.Regs.data() + static_cast<size_t>(Slot) * Cfg->WarpSize, 0};
+  }
+
+  /// Lane policies for the token handlers: how a SIMD result reaches the
+  /// destination row.
+  ///
+  ///   DenseTok  — the active mask IS the warp's full mask: compute lanes
+  ///               [0, N) straight into the destination row. Used by the
+  ///               trace executors, the multi-warp batch loop, and
+  ///               full-mask block bodies.
+  ///   MaskedTok — divergent mask: compute ALL lanes [0, N) into a
+  ///               scratch row, then copy back only the active lanes.
+  ///               Legal because every named token is a total operation
+  ///               (shift counts masked, float ops untrapped, divides and
+  ///               intrinsics stay in Generic): inactive lanes compute
+  ///               garbage that the scatter discards, and their
+  ///               destination bits are preserved bit-exactly. Worth it
+  ///               when the mask is dense enough that one vector sweep
+  ///               beats popcount scalar iterations (runBlockBody).
+  ///
+  /// Generic/Load/Store ignore the out/commit hooks and use lanes():
+  /// exactly the SparseLanes/DenseLanes path the scalar executor takes,
+  /// so masks, memory order and abort behaviour are untouched.
+  struct DenseTok {
+    unsigned N;
+    uint64_t Mask;
+    uint64_t *out(uint64_t *Dest) const { return Dest; }
+    void commit(uint64_t *, const uint64_t *) const {}
+    DenseLanes lanes() const { return DenseLanes{N}; }
+  };
+  struct MaskedTok {
+    unsigned N;
+    uint64_t Mask;
+    uint64_t *Tmp;
+    uint64_t *out(uint64_t *) const { return Tmp; }
+    void commit(uint64_t *Dest, const uint64_t *T) const {
+      forLanes(Mask, [&](unsigned L) { Dest[L] = T[L]; });
+    }
+    SparseLanes lanes() const { return SparseLanes{Mask}; }
+  };
+
+  // Per-token op handlers, one tok_<Name> per entry of
+  // DARM_SIM_TRACE_TOKEN_LIST (DecodedProgram.h), templated over the lane
+  // policy above. The named tokens are SIMD lane loops (support/Simd.h);
+  // Generic replays the executor's full scalar switch, and Load/Store go
+  // through the contention model exactly as the per-block path does. The
+  // trace executors, the multi-warp batch path and tokenized block bodies
+  // all dispatch into these.
+  template <typename Pol>
+  void tok_Generic(Warp &W, const DecodedInst &DI, Pol P) {
+    computeOp(W, DI, P.lanes());
+  }
+  template <typename Pol> void tok_Move(Warp &W, const DecodedInst &DI, Pol P) {
+    uint64_t *Dest = destRow(W, DI), *D = P.out(Dest);
+    simd::move(D, in(W, DI.A), P.N, static_cast<simd::Norm>(DI.Norm));
+    P.commit(Dest, D);
+  }
+  template <typename Pol> void tok_Load(Warp &W, const DecodedInst &DI, Pol P) {
+    executeMemory(W, DI, P.Mask, P.lanes());
+  }
+  template <typename Pol>
+  void tok_Store(Warp &W, const DecodedInst &DI, Pol P) {
+    executeMemory(W, DI, P.Mask, P.lanes());
+  }
+#define DARM_SIM_TOK_BINOP(NAME, FN)                                           \
+  template <typename Pol>                                                      \
+  void tok_##NAME(Warp &W, const DecodedInst &DI, Pol P) {                     \
+    uint64_t *Dest = destRow(W, DI), *D = P.out(Dest);                         \
+    simd::FN(D, in(W, DI.A), in(W, DI.B), P.N);                                \
+    P.commit(Dest, D);                                                         \
+  }
+  DARM_SIM_TOK_BINOP(Add32, addI32)
+  DARM_SIM_TOK_BINOP(Add64, addI64)
+  DARM_SIM_TOK_BINOP(Sub32, subI32)
+  DARM_SIM_TOK_BINOP(Sub64, subI64)
+  DARM_SIM_TOK_BINOP(Mul32, mulI32)
+  DARM_SIM_TOK_BINOP(Mul64, mulI64)
+  DARM_SIM_TOK_BINOP(And32, andI32)
+  DARM_SIM_TOK_BINOP(And64, andI64)
+  DARM_SIM_TOK_BINOP(Or32, orI32)
+  DARM_SIM_TOK_BINOP(Or64, orI64)
+  DARM_SIM_TOK_BINOP(Xor32, xorI32)
+  DARM_SIM_TOK_BINOP(Xor64, xorI64)
+  DARM_SIM_TOK_BINOP(Shl32, shlI32)
+  DARM_SIM_TOK_BINOP(Shl64, shlI64)
+  DARM_SIM_TOK_BINOP(LShr32, lshrI32)
+  DARM_SIM_TOK_BINOP(LShr64, lshrI64)
+  DARM_SIM_TOK_BINOP(AShr32, ashrI32)
+  DARM_SIM_TOK_BINOP(AShr64, ashrI64)
+  DARM_SIM_TOK_BINOP(FAdd, fAdd)
+  DARM_SIM_TOK_BINOP(FSub, fSub)
+  DARM_SIM_TOK_BINOP(FMul, fMul)
+  DARM_SIM_TOK_BINOP(FDiv, fDiv)
+#undef DARM_SIM_TOK_BINOP
+// Per-predicate compare handlers: the predicate is baked into the token
+// at decode (tokenOf), so there is no inner dispatch left — each handler
+// is a single SIMD compare call. The unsigned forms additionally thread
+// the i32 truncation flag through.
+#define DARM_SIM_TOK_CMP(NAME, FN)                                             \
+  template <typename Pol>                                                      \
+  void tok_##NAME(Warp &W, const DecodedInst &DI, Pol P) {                     \
+    uint64_t *Dest = destRow(W, DI), *D = P.out(Dest);                         \
+    simd::FN(D, in(W, DI.A), in(W, DI.B), P.N);                                \
+    P.commit(Dest, D);                                                         \
+  }
+#define DARM_SIM_TOK_UCMP(NAME, FN)                                            \
+  template <typename Pol>                                                      \
+  void tok_##NAME(Warp &W, const DecodedInst &DI, Pol P) {                     \
+    uint64_t *Dest = destRow(W, DI), *D = P.out(Dest);                         \
+    simd::FN(D, in(W, DI.A), in(W, DI.B), P.N,                                 \
+             (DI.Flags & DecodedInst::kIs32) != 0);                            \
+    P.commit(Dest, D);                                                         \
+  }
+  DARM_SIM_TOK_CMP(ICmpEq, cmpEq)
+  DARM_SIM_TOK_CMP(ICmpNe, cmpNe)
+  DARM_SIM_TOK_CMP(ICmpSlt, cmpSlt)
+  DARM_SIM_TOK_CMP(ICmpSle, cmpSle)
+  DARM_SIM_TOK_CMP(ICmpSgt, cmpSgt)
+  DARM_SIM_TOK_CMP(ICmpSge, cmpSge)
+  DARM_SIM_TOK_UCMP(ICmpUlt, cmpUlt)
+  DARM_SIM_TOK_UCMP(ICmpUle, cmpUle)
+  DARM_SIM_TOK_UCMP(ICmpUgt, cmpUgt)
+  DARM_SIM_TOK_UCMP(ICmpUge, cmpUge)
+  DARM_SIM_TOK_CMP(FCmpOeq, cmpFoeq)
+  DARM_SIM_TOK_CMP(FCmpOne, cmpFone)
+  DARM_SIM_TOK_CMP(FCmpOlt, cmpFolt)
+  DARM_SIM_TOK_CMP(FCmpOle, cmpFole)
+  DARM_SIM_TOK_CMP(FCmpOgt, cmpFogt)
+  DARM_SIM_TOK_CMP(FCmpOge, cmpFoge)
+#undef DARM_SIM_TOK_UCMP
+#undef DARM_SIM_TOK_CMP
+// Division family: one token per op (both widths) — the simd helper
+// applies the decoded write norm; the unsigned forms also take the i32
+// operand truncation. Total semantics (Simd.h) keep MaskedTok legal.
+#define DARM_SIM_TOK_SDIV(NAME, FN)                                            \
+  template <typename Pol>                                                      \
+  void tok_##NAME(Warp &W, const DecodedInst &DI, Pol P) {                     \
+    uint64_t *Dest = destRow(W, DI), *D = P.out(Dest);                         \
+    simd::FN(D, in(W, DI.A), in(W, DI.B), P.N,                                 \
+             static_cast<simd::Norm>(DI.Norm));                                \
+    P.commit(Dest, D);                                                         \
+  }
+#define DARM_SIM_TOK_UDIV(NAME, FN)                                            \
+  template <typename Pol>                                                      \
+  void tok_##NAME(Warp &W, const DecodedInst &DI, Pol P) {                     \
+    uint64_t *Dest = destRow(W, DI), *D = P.out(Dest);                         \
+    simd::FN(D, in(W, DI.A), in(W, DI.B), P.N,                                 \
+             (DI.Flags & DecodedInst::kIs32) != 0,                             \
+             static_cast<simd::Norm>(DI.Norm));                                \
+    P.commit(Dest, D);                                                         \
+  }
+  DARM_SIM_TOK_SDIV(SDiv, sdiv)
+  DARM_SIM_TOK_SDIV(SRem, srem)
+  DARM_SIM_TOK_UDIV(UDiv, udiv)
+  DARM_SIM_TOK_UDIV(URem, urem)
+#undef DARM_SIM_TOK_UDIV
+#undef DARM_SIM_TOK_SDIV
+  template <typename Pol>
+  void tok_Select(Warp &W, const DecodedInst &DI, Pol P) {
+    uint64_t *Dest = destRow(W, DI), *D = P.out(Dest);
+    simd::select(D, in(W, DI.A), in(W, DI.B), in(W, DI.C), P.N,
+                 static_cast<simd::Norm>(DI.Norm));
+    P.commit(Dest, D);
+  }
+  template <typename Pol> void tok_Gep(Warp &W, const DecodedInst &DI, Pol P) {
+    uint64_t *Dest = destRow(W, DI), *D = P.out(Dest);
+    simd::gep(D, in(W, DI.A), in(W, DI.B), DI.ElemSize, P.N);
+    P.commit(Dest, D);
+  }
+
+  /// advanceUniformTerminator outcomes: continue the uniform loop at the
+  /// updated PC, the warp finished (stack empty), or leave the fast path
+  /// with state intact for runWarp's slow path.
+  enum class Advance { Continue, Finished, Leave };
+
   uint64_t runBlock(unsigned Block);
   WarpStatus runWarp(Warp &W);
   bool runUniform(Warp &W, WarpStatus &St);
+  Advance advanceUniformTerminator(Warp &W, uint32_t Block);
+  void traceAccounting(Warp &W, const DecodedTrace &T, uint64_t Mask);
+  void runTraceOps(Warp &W, const DecodedTrace &T, uint32_t Begin);
+  template <typename Pol>
+  void runToksSwitch(Warp &W, const DecodedInst *Ops, const uint8_t *Toks,
+                     uint32_t IP, uint32_t End, Pol P);
+  template <typename Pol>
+  void runToksThreaded(Warp &W, const DecodedInst *Ops, const uint8_t *Toks,
+                       uint32_t IP, uint32_t End, Pol P);
+  template <typename Pol>
+  void runToks(Warp &W, const DecodedInst *Ops, const uint8_t *Toks,
+               uint32_t IP, uint32_t End, Pol P);
+  template <typename Pol>
+  void execTok(Warp &W, const DecodedInst &DI, TraceTok Tok, Pol P);
+  void batchPrefix();
   template <typename Lanes>
   bool runBlockBody(Warp &W, const DecodedBlock &DB, uint64_t Mask, Lanes Ln);
   template <typename Lanes>
@@ -207,8 +440,6 @@ struct SimEngine::Scratch {
   void computeOp(Warp &W, const DecodedInst &DI, Lanes Ln);
   template <typename Lanes>
   void executeMemory(Warp &W, const DecodedInst &DI, uint64_t Mask, Lanes Ln);
-  uint64_t memLoad(bool Shared, uint64_t Addr, unsigned Size) const;
-  void memStore(bool Shared, uint64_t Addr, unsigned Size, uint64_t V);
 };
 
 uint64_t SimEngine::Scratch::runBlock(unsigned Block) {
@@ -228,6 +459,7 @@ uint64_t SimEngine::Scratch::runBlock(unsigned Block) {
     W.FullMask = fullMask(Lanes);
     W.Stack.push_back({Prog->EntryBlock, kNoBlock, W.FullMask});
     W.ResumeIdx = 0;
+    W.PendingTrace = kNoTrace;
     W.Cycles = 0;
     W.DynInstrs = 0;
     W.Done = false;
@@ -244,14 +476,20 @@ uint64_t SimEngine::Scratch::runBlock(unsigned Block) {
 
   uint64_t BlockCycles = 0;
   while (true) {
+    // Phase-cycle baselines first: batchPrefix may charge batched trace
+    // accounting to a warp's cycles before its runWarp call, and those
+    // charges belong to this phase's max.
+    for (Warp &W : Warps)
+      if (!W.Done)
+        W.PhaseBase = W.Cycles;
+    batchPrefix();
     uint64_t PhaseMax = 0;
     bool AllDone = true;
     for (Warp &W : Warps) {
       if (W.Done)
         continue;
-      const uint64_t Before = W.Cycles;
       WarpStatus St = runWarp(W);
-      PhaseMax = std::max(PhaseMax, W.Cycles - Before);
+      PhaseMax = std::max(PhaseMax, W.Cycles - W.PhaseBase);
       if (St == WarpStatus::Finished) {
         W.Done = true;
         LaunchStats.TotalWarpCycles += W.Cycles;
@@ -272,20 +510,48 @@ template <typename Lanes>
 void SimEngine::Scratch::runEdgeCopies(Warp &W, PhiCopyRange R, Lanes Ln) {
   if (R.empty())
     return;
-  // Parallel-copy semantics: read all sources before any write.
   const PhiCopy *Copies = Prog->PhiCopies.data();
   const unsigned WS = Cfg->WarpSize;
-  uint64_t *Stage = Staging.data();
-  for (uint32_t C = R.Begin; C != R.End; ++C, Stage += WS) {
-    const OpRow Src = row(W, Copies[C].Src);
-    Ln.each([&](unsigned L) { Stage[L] = Src.get(L); });
+  // A single copy needs no parallel-copy staging: per-lane read-then-
+  // write is correct even when source and destination alias. Most edges
+  // carry zero or one phi, so this skips the staging round trip on the
+  // hot path.
+  if (R.End - R.Begin == 1) {
+    const PhiCopy &C = Copies[R.Begin];
+    uint64_t *Dest = W.Regs.data() + static_cast<size_t>(C.Dest) * WS;
+    if constexpr (std::is_same_v<Lanes, DenseLanes>) {
+      // Chunk-wise read-then-write, so a self-copy stays correct.
+      simd::move(Dest, in(W, C.Src), Ln.N, static_cast<simd::Norm>(C.Norm));
+    } else {
+      const OpRow Src = row(W, C.Src);
+      const NormKind Norm = C.Norm;
+      Ln.each([&](unsigned L) { Dest[L] = applyNorm(Norm, Src.get(L)); });
+    }
+    return;
   }
-  Stage = Staging.data();
-  for (uint32_t C = R.Begin; C != R.End; ++C, Stage += WS) {
-    uint64_t *Dest =
-        W.Regs.data() + static_cast<size_t>(Copies[C].Dest) * WS;
-    const NormKind Norm = Copies[C].Norm;
-    Ln.each([&](unsigned L) { Dest[L] = applyNorm(Norm, Stage[L]); });
+  // Parallel-copy semantics: read all sources before any write.
+  if constexpr (std::is_same_v<Lanes, DenseLanes>) {
+    uint64_t *Stage = Staging.data();
+    for (uint32_t C = R.Begin; C != R.End; ++C, Stage += WS)
+      simd::move(Stage, in(W, Copies[C].Src), Ln.N, simd::Norm::None);
+    Stage = Staging.data();
+    for (uint32_t C = R.Begin; C != R.End; ++C, Stage += WS)
+      simd::move(W.Regs.data() + static_cast<size_t>(Copies[C].Dest) * WS,
+                 simd::In{Stage, 0}, Ln.N,
+                 static_cast<simd::Norm>(Copies[C].Norm));
+  } else {
+    uint64_t *Stage = Staging.data();
+    for (uint32_t C = R.Begin; C != R.End; ++C, Stage += WS) {
+      const OpRow Src = row(W, Copies[C].Src);
+      Ln.each([&](unsigned L) { Stage[L] = Src.get(L); });
+    }
+    Stage = Staging.data();
+    for (uint32_t C = R.Begin; C != R.End; ++C, Stage += WS) {
+      uint64_t *Dest =
+          W.Regs.data() + static_cast<size_t>(Copies[C].Dest) * WS;
+      const NormKind Norm = Copies[C].Norm;
+      Ln.each([&](unsigned L) { Dest[L] = applyNorm(Norm, Stage[L]); });
+    }
   }
 }
 
@@ -335,12 +601,31 @@ bool SimEngine::Scratch::runBlockBody(Warp &W, const DecodedBlock &DB,
     LaunchStats.AluLanesTotal +=
         static_cast<uint64_t>(DB.NumAluInsts) * Cfg->WarpSize;
     W.Cycles += DB.StaticLatency; // terminator latency included
-    for (uint32_t Idx = 0; Idx < Last; ++Idx) {
-      const DecodedInst &DI = Insts[DB.FirstInst + Idx];
-      if (DI.Op == Opcode::Load || DI.Op == Opcode::Store)
-        executeMemory(W, DI, Mask, Ln);
-      else
-        computeOp(W, DI, Ln);
+    // Body execution goes through the token streams (DecodedProgram::
+    // InstTokens) — the same SIMD handlers and threaded dispatch the
+    // traces use. Full masks run dense; divergent masks run masked-dense
+    // when occupancy makes one vector sweep cheaper than popcount scalar
+    // iterations, and fall back to the scalar sparse loop below a
+    // quarter occupancy.
+    const DecodedInst *Body = Insts + DB.FirstInst;
+    const uint8_t *Toks = Prog->InstTokens.data() + DB.FirstInst;
+    if constexpr (std::is_same_v<Lanes, DenseLanes>) {
+      runToks(W, Body, Toks, 0, Last, DenseTok{W.NumLanes, W.FullMask});
+    } else {
+      if (Mask == W.FullMask) {
+        runToks(W, Body, Toks, 0, Last, DenseTok{W.NumLanes, W.FullMask});
+      } else if (static_cast<unsigned>(std::popcount(Mask)) * 4 >=
+                 W.NumLanes) {
+        runToks(W, Body, Toks, 0, Last, MaskedTok{W.NumLanes, Mask, TmpRow});
+      } else {
+        for (uint32_t Idx = 0; Idx < Last; ++Idx) {
+          const DecodedInst &DI = Body[Idx];
+          if (DI.Op == Opcode::Load || DI.Op == Opcode::Store)
+            executeMemory(W, DI, Mask, Ln);
+          else
+            computeOp(W, DI, Ln);
+        }
+      }
     }
   } else {
     for (uint32_t Idx = W.ResumeIdx; Idx < Last; ++Idx) {
@@ -370,6 +655,17 @@ bool SimEngine::Scratch::runBlockBody(Warp &W, const DecodedBlock &DB,
 }
 
 WarpStatus SimEngine::Scratch::runWarp(Warp &W) {
+  // Finish a trace whose memory-free prefix already ran op-major across
+  // the warp cohort (batchPrefix; accounting included): execute the
+  // remainder warp-major — memory ops land in exactly the sequential
+  // per-warp order — then decide the final block's terminator.
+  if (W.PendingTrace != kNoTrace) {
+    const DecodedTrace &T = Prog->Traces[W.PendingTrace];
+    W.PendingTrace = kNoTrace;
+    runTraceOps(W, T, T.PrefixOps);
+    if (advanceUniformTerminator(W, T.LastBlock) == Advance::Finished)
+      return WarpStatus::Finished;
+  }
   const DecodedInst *Insts = Prog->Insts.data();
   while (true) {
     if (W.Stack.empty())
@@ -407,11 +703,11 @@ WarpStatus SimEngine::Scratch::runWarp(Warp &W) {
       Top.PC = DB.Succ[0];
     } else {
       const OpRow Cond = row(W, Term.A);
-      uint64_t MT = 0;
-      forLanes(Mask, [&](unsigned L) {
-        if (Cond.get(L) & 1)
-          MT |= 1ull << L;
-      });
+      // Dense SIMD bit-pack over all lanes, then restrict to the active
+      // mask — cheaper than a sparse per-lane scan at any occupancy.
+      const uint64_t MT =
+          Cond.Row ? simd::boolMask(Cond.Row, W.NumLanes) & Mask
+                   : ((Cond.Imm & 1) ? Mask : 0);
       const uint64_t MF = Mask & ~MT;
       if (MF == 0) {
         runEdgeCopies(W, DB.Edge[0], Ln);
@@ -434,60 +730,264 @@ WarpStatus SimEngine::Scratch::runWarp(Warp &W) {
   }
 }
 
+/// Decides a UniformSafe block's terminator for a converged warp: ret
+/// pops the (bottom) stack entry; branch directions read one lane —
+/// every active lane agrees (DecodedBlock::UniformSafe), and lane 0 is
+/// always active under a full mask — and the taken edge's phi copies run
+/// dense. Shared by the uniform per-block loop and the trace path, which
+/// materializes no terminators (DecodedTrace::LastBlock points here).
+SimEngine::Scratch::Advance
+SimEngine::Scratch::advanceUniformTerminator(Warp &W, uint32_t Block) {
+  const DecodedBlock &DB = Prog->Blocks[Block];
+  const DecodedInst &Term = Prog->Insts[DB.FirstInst + DB.NumInsts - 1];
+  if (Term.Op == Opcode::Ret) {
+    W.Stack.pop_back();
+    // Leave on a non-empty stack is defensive: push sites exclude full
+    // masks, so a full-mask ret can only pop the bottom entry.
+    return W.Stack.empty() ? Advance::Finished : Advance::Leave;
+  }
+  unsigned S = 0;
+  if (Term.Op != Opcode::Br) {
+    const OpRow Cond = row(W, Term.A);
+    S = (Cond.get(0) & 1) ? 0 : 1;
+  }
+  runEdgeCopies(W, DB.Edge[S], DenseLanes{W.NumLanes});
+  W.Stack.back().PC = DB.Succ[S];
+  return Advance::Continue;
+}
+
 /// The uniform fast path (docs/performance.md): executes consecutive
 /// UniformSafe blocks while the warp's full mask is active. Lane loops
 /// are dense ([0, NumLanes), exactly the set bits of the full mask in
 /// the same order), the conditional-branch mask scan collapses to one
-/// lane read (UniformSafe guarantees every lane agrees), the
+/// lane read (UniformSafe guarantees every lane agrees), and the
 /// reconvergence stack is never pushed — a full mask implies the stack's
 /// bottom entry, whose RPC is the function exit, so the top-of-loop
-/// PC==RPC check in runWarp can never fire here — and for barrier-free
-/// blocks the per-instruction bookkeeping (issue counts, ALU lane
-/// tallies, static cycle charges, the runaway budget) collapses into one
-/// batched update precomputed at decode time. Counters, cycles and
-/// memory effects are bit-identical to the slow path (sim goldens); the
-/// only latitude is the runaway-budget abort position within a block
-/// (see runBlockBody).
+/// PC==RPC check in runWarp can never fire here.
+///
+/// Barrier-free blocks run through their superblock trace
+/// (DecodedBlock::TraceId): the whole fused chain — block bodies,
+/// interior phi moves resolved to sequential register Moves, batched
+/// accounting precomputed at decode — in one dispatch (switch or
+/// computed-goto, GpuConfig::Dispatch), with SIMD lane loops for the hot
+/// ops; only the final block's terminator remains to decide. Blocks with
+/// barriers take the per-block, per-instruction path, because a barrier
+/// suspends the warp mid-block. Counters, cycles and memory effects are
+/// bit-identical to the slow path (sim goldens); the only latitude is
+/// the runaway-budget abort position within a block or trace (see
+/// runBlockBody / traceAccounting).
 ///
 /// Returns true when the warp finished or reached a barrier (\p St set);
 /// false when control reached a block the fast path cannot handle — the
 /// warp state is left exactly where runWarp's slow path picks up.
 bool SimEngine::Scratch::runUniform(Warp &W, WarpStatus &St) {
-  const DecodedInst *Insts = Prog->Insts.data();
-  StackEntry &Top = W.Stack.back();
-  const uint64_t Mask = Top.Mask;
+  const uint64_t Mask = W.FullMask;
   const DenseLanes Ln{W.NumLanes};
   while (true) {
-    const DecodedBlock &DB = Prog->Blocks[Top.PC];
+    const DecodedBlock &DB = Prog->Blocks[W.Stack.back().PC];
     if (!DB.UniformSafe)
       return false;
+
+    if (DB.TraceId != kNoTrace) {
+      assert(W.ResumeIdx == 0 && "mid-block resume implies a barrier block");
+      const DecodedTrace &T = Prog->Traces[DB.TraceId];
+      traceAccounting(W, T, Mask);
+      runTraceOps(W, T, 0);
+      switch (advanceUniformTerminator(W, T.LastBlock)) {
+      case Advance::Continue:
+        continue;
+      case Advance::Finished:
+        St = WarpStatus::Finished;
+        return true;
+      case Advance::Leave:
+        return false;
+      }
+    }
+
+    // Barrier block (or mid-block resume after one): per-block path.
     if (runBlockBody(W, DB, Mask, Ln)) {
       St = WarpStatus::AtBarrier;
       return true;
     }
-
-    // Terminator: decided from one lane, no mask scan, no stack growth.
-    const DecodedInst &Term = Insts[DB.FirstInst + DB.NumInsts - 1];
-    if (Term.Op == Opcode::Ret) {
-      W.Stack.pop_back();
-      if (W.Stack.empty()) {
-        St = WarpStatus::Finished;
-        return true;
-      }
-      return false; // defensive: only reachable if a pushed entry
-                    // carried a full mask, which push sites exclude
+    switch (advanceUniformTerminator(W, W.Stack.back().PC)) {
+    case Advance::Continue:
+      continue;
+    case Advance::Finished:
+      St = WarpStatus::Finished;
+      return true;
+    case Advance::Leave:
+      return false;
     }
-    unsigned S = 0;
-    if (Term.Op != Opcode::Br) {
-      // Uniform condition: every active lane computed the same bit
-      // (DecodedBlock::UniformSafe), and with a full mask lane 0 is
-      // always active — read it instead of scanning the mask.
-      const OpRow Cond = row(W, Term.A);
-      S = (Cond.get(0) & 1) ? 0 : 1;
-    }
-    runEdgeCopies(W, DB.Edge[S], Ln);
-    Top.PC = DB.Succ[S];
   }
+}
+
+/// The trace-wide batched accounting: exactly the sum of the chained
+/// blocks' per-block batched updates (runBlockBody), precomputed at
+/// decode (DecodedTrace). The runaway-budget check is hoisted to the
+/// trace top — a trace is straight-line, so a warp entering it retires
+/// all DynInsts; the same launches abort, with the abort-position
+/// latitude runBlockBody documents widened from one block to one trace.
+void SimEngine::Scratch::traceAccounting(Warp &W, const DecodedTrace &T,
+                                         uint64_t Mask) {
+  if (W.DynInstrs + T.DynInsts > Cfg->MaxDynamicInstrPerWarp) {
+    W.DynInstrs += T.DynInsts;
+    reportFatalError("simulated warp exceeded the dynamic "
+                     "instruction budget (runaway loop?)");
+  }
+  W.DynInstrs += T.DynInsts;
+  LaunchStats.InstructionsIssued += T.DynInsts;
+  LaunchStats.AluInsts += T.NumAluInsts;
+  LaunchStats.AluLanesActive +=
+      static_cast<uint64_t>(T.NumAluInsts) * std::popcount(Mask);
+  LaunchStats.AluLanesTotal +=
+      static_cast<uint64_t>(T.NumAluInsts) * Cfg->WarpSize;
+  W.Cycles += T.StaticLatency;
+  LaunchStats.BranchesExecuted += T.NumBlocks;
+  ++EStats.TraceRuns;
+  EStats.TraceInstrs += T.DynInsts;
+}
+
+/// One tokenized op through the portable switch. Also the building block
+/// of the op-major multi-warp batch loop, which switches once per op and
+/// runs it across the whole cohort.
+template <typename Pol>
+void SimEngine::Scratch::execTok(Warp &W, const DecodedInst &DI, TraceTok Tok,
+                                 Pol P) {
+  switch (Tok) {
+#define DARM_SIM_TOK_CASE(NAME)                                                \
+  case TraceTok::NAME:                                                         \
+    tok_##NAME(W, DI, P);                                                      \
+    break;
+    DARM_SIM_TRACE_TOKEN_LIST(DARM_SIM_TOK_CASE)
+#undef DARM_SIM_TOK_CASE
+  }
+}
+
+template <typename Pol>
+void SimEngine::Scratch::runToksSwitch(Warp &W, const DecodedInst *Ops,
+                                       const uint8_t *Toks, uint32_t IP,
+                                       uint32_t End, Pol P) {
+  for (; IP != End; ++IP)
+    execTok(W, Ops[IP], static_cast<TraceTok>(Toks[IP]), P);
+}
+
+/// Token-threaded dispatch: every handler jumps straight to the next
+/// op's label (GNU labels-as-values), so the indirect branch is
+/// per-opcode-site rather than one shared switch branch — measurably
+/// better branch prediction on long streams. Bit-equivalent to
+/// runToksSwitch by construction: the label table and the switch cases
+/// expand from the same DARM_SIM_TRACE_TOKEN_LIST into the same tok_
+/// handlers (pinned on the fuzz population by sim_test).
+template <typename Pol>
+void SimEngine::Scratch::runToksThreaded(Warp &W, const DecodedInst *Ops,
+                                         const uint8_t *Toks, uint32_t IP,
+                                         uint32_t End, Pol P) {
+#if DARM_SIM_HAS_THREADED
+  static const void *const Labels[] = {
+#define DARM_SIM_TOK_LABEL(NAME) &&Lbl_##NAME,
+      DARM_SIM_TRACE_TOKEN_LIST(DARM_SIM_TOK_LABEL)
+#undef DARM_SIM_TOK_LABEL
+  };
+#define DARM_SIM_DISPATCH()                                                    \
+  do {                                                                         \
+    if (IP == End)                                                             \
+      return;                                                                  \
+    goto *Labels[Toks[IP]];                                                    \
+  } while (0)
+  DARM_SIM_DISPATCH();
+#define DARM_SIM_TOK_IMPL(NAME)                                                \
+  Lbl_##NAME : tok_##NAME(W, Ops[IP], P);                                      \
+  ++IP;                                                                        \
+  DARM_SIM_DISPATCH();
+  DARM_SIM_TRACE_TOKEN_LIST(DARM_SIM_TOK_IMPL)
+#undef DARM_SIM_TOK_IMPL
+#undef DARM_SIM_DISPATCH
+#else
+  runToksSwitch(W, Ops, Toks, IP, End, P);
+#endif
+}
+
+/// Runs [IP, End) of a token stream in the resolved dispatch mode.
+template <typename Pol>
+void SimEngine::Scratch::runToks(Warp &W, const DecodedInst *Ops,
+                                 const uint8_t *Toks, uint32_t IP, uint32_t End,
+                                 Pol P) {
+  if (UseThreaded)
+    runToksThreaded(W, Ops, Toks, IP, End, P);
+  else
+    runToksSwitch(W, Ops, Toks, IP, End, P);
+}
+
+void SimEngine::Scratch::runTraceOps(Warp &W, const DecodedTrace &T,
+                                     uint32_t Begin) {
+  runToks(W, Prog->TraceOps.data() + T.FirstOp,
+          Prog->TraceTokens.data() + T.FirstOp, Begin, T.NumOps,
+          DenseTok{W.NumLanes, W.FullMask});
+}
+
+/// Multi-warp batching (docs/performance.md): when every live warp of
+/// the thread block is about to enter the same trace converged, the
+/// trace's memory-free prefix runs op-major across the cohort — one
+/// token dispatch per op instead of one per op per warp, and each op's
+/// code stays hot across the group. Legal because the prefix touches
+/// only warp-private registers (DecodedTrace::PrefixOps): any
+/// interleaving is bit-identical to the sequential warp order the
+/// goldens pin. Accounting runs per warp, in warp order, before any op —
+/// so a budget abort surfaces for the lowest-indexed warp, exactly where
+/// the phase-sequential path's per-trace check would put it. The
+/// remainder of the trace (first memory op onward) runs warp-major via
+/// Warp::PendingTrace, preserving phase-sequential memory order.
+void SimEngine::Scratch::batchPrefix() {
+  if (Warps.size() < 2)
+    return;
+  // Cheap bail first: this runs at every phase boundary, and most phases
+  // are not batchable — decide from the first live warp's block alone
+  // (trace-headed, prefix non-empty) before scanning the whole cohort.
+  const Warp *First = nullptr;
+  for (const Warp &W : Warps)
+    if (!W.Done) {
+      First = &W;
+      break;
+    }
+  if (!First || First->Stack.empty() || First->ResumeIdx != 0)
+    return;
+  const StackEntry &FT = First->Stack.back();
+  if (FT.PC == kNoBlock || FT.PC == FT.RPC || FT.Mask != First->FullMask)
+    return;
+  const uint32_t PC = FT.PC;
+  const DecodedBlock &DB = Prog->Blocks[PC];
+  if (!DB.UniformSafe || DB.TraceId == kNoTrace)
+    return;
+  const DecodedTrace &T = Prog->Traces[DB.TraceId];
+  if (T.PrefixOps == 0)
+    return;
+
+  GroupBuf.clear();
+  for (Warp &W : Warps) {
+    if (W.Done)
+      continue;
+    if (W.Stack.empty() || W.ResumeIdx != 0)
+      return;
+    const StackEntry &Top = W.Stack.back();
+    if (Top.PC != PC || Top.PC == Top.RPC || Top.Mask != W.FullMask)
+      return;
+    GroupBuf.push_back(&W);
+  }
+  if (GroupBuf.size() < 2)
+    return;
+
+  for (Warp *W : GroupBuf)
+    traceAccounting(*W, T, W->FullMask);
+  const DecodedInst *Ops = Prog->TraceOps.data() + T.FirstOp;
+  const uint8_t *Toks = Prog->TraceTokens.data() + T.FirstOp;
+  for (uint32_t IP = 0; IP < T.PrefixOps; ++IP)
+    for (Warp *W : GroupBuf)
+      execTok(*W, Ops[IP], static_cast<TraceTok>(Toks[IP]),
+              DenseTok{W->NumLanes, W->FullMask});
+  for (Warp *W : GroupBuf)
+    W->PendingTrace = DB.TraceId;
+  EStats.BatchedTraceInstrs +=
+      static_cast<uint64_t>(T.PrefixOps) * GroupBuf.size();
 }
 
 template <typename Lanes>
@@ -779,28 +1279,6 @@ void SimEngine::Scratch::computeOp(Warp &W, const DecodedInst &DI, Lanes Ln) {
 #undef DARM_BINOP
 }
 
-uint64_t SimEngine::Scratch::memLoad(bool Shared, uint64_t Addr,
-                                     unsigned Size) const {
-  if (!Shared)
-    return Mem->load(Addr, Size);
-  if (Addr > Lds.size() || Size > Lds.size() - Addr) // overflow-proof
-    return 0; // speculated OOB load (see Memory.h)
-  uint64_t V = 0;
-  std::memcpy(&V, Lds.data() + Addr, Size);
-  return V;
-}
-
-void SimEngine::Scratch::memStore(bool Shared, uint64_t Addr, unsigned Size,
-                                  uint64_t V) {
-  if (!Shared) {
-    Mem->store(Addr, Size, V);
-    return;
-  }
-  if (Addr > Lds.size() || Size > Lds.size() - Addr) // overflow-proof
-    reportFatalError("simulated kernel stored out of LDS bounds");
-  std::memcpy(Lds.data() + Addr, &V, Size);
-}
-
 template <typename Lanes>
 void SimEngine::Scratch::executeMemory(Warp &W, const DecodedInst &DI,
                                        uint64_t Mask, Lanes Ln) {
@@ -886,28 +1364,69 @@ void SimEngine::Scratch::executeMemory(Warp &W, const DecodedInst &DI,
 
   // Data movement: reuse the gathered addresses (AddrBuf is in lane
   // order for both policies) and hoist the space dispatch out of the
-  // per-lane loops.
+  // per-lane loops. The LDS accesses are inlined here — bounds math
+  // against a hoisted size, overflow-proof (Addr > size catches the
+  // wrap) — because one call per lane per memory op was a measurable
+  // slice of the fig8 profile.
   if (IsLoad) {
     uint64_t *Dest = destRow(W, DI);
     const NormKind Norm = DI.Norm;
-    unsigned I = 0;
-    if (Shared)
-      Ln.each([&](unsigned L) {
-        Dest[L] = applyNorm(Norm, memLoad(true, AddrBuf[I++], Size));
-      });
-    else
+    if (Shared) {
+      const uint8_t *L8 = Lds.data();
+      const size_t LSize = Lds.size();
+      // The element size is hoisted out of the lane loop as a compile-
+      // time constant for the common widths, so the per-lane memcpy
+      // folds to a plain move instead of a libc call per lane.
+      auto LoadLds = [&](auto Sz) {
+        const unsigned S = Sz;
+        unsigned I = 0;
+        Ln.each([&](unsigned L) {
+          const uint64_t A = AddrBuf[I++];
+          uint64_t V = 0;
+          if (!(A > LSize || S > LSize - A)) // else speculated OOB -> 0
+            std::memcpy(&V, L8 + A, S);
+          Dest[L] = applyNorm(Norm, V);
+        });
+      };
+      if (Size == 4)
+        LoadLds(std::integral_constant<unsigned, 4>{});
+      else if (Size == 8)
+        LoadLds(std::integral_constant<unsigned, 8>{});
+      else
+        LoadLds(Size);
+    } else {
+      unsigned I = 0;
       Ln.each([&](unsigned L) {
         Dest[L] = applyNorm(Norm, Mem->load(AddrBuf[I++], Size));
       });
+    }
   } else {
     const OpRow Val = row(W, DI.A);
-    unsigned I = 0;
-    if (Shared)
-      Ln.each(
-          [&](unsigned L) { memStore(true, AddrBuf[I++], Size, Val.get(L)); });
-    else
+    if (Shared) {
+      uint8_t *L8 = Lds.data();
+      const size_t LSize = Lds.size();
+      auto StoreLds = [&](auto Sz) {
+        const unsigned S = Sz;
+        unsigned I = 0;
+        Ln.each([&](unsigned L) {
+          const uint64_t A = AddrBuf[I++];
+          if (A > LSize || S > LSize - A)
+            reportFatalError("simulated kernel stored out of LDS bounds");
+          const uint64_t V = Val.get(L);
+          std::memcpy(L8 + A, &V, S);
+        });
+      };
+      if (Size == 4)
+        StoreLds(std::integral_constant<unsigned, 4>{});
+      else if (Size == 8)
+        StoreLds(std::integral_constant<unsigned, 8>{});
+      else
+        StoreLds(Size);
+    } else {
+      unsigned I = 0;
       Ln.each(
           [&](unsigned L) { Mem->store(AddrBuf[I++], Size, Val.get(L)); });
+    }
   }
 }
 
@@ -933,6 +1452,12 @@ SimEngine::SimEngine(Function &Kernel, const GpuConfig &Config)
     S->WarpPow2 = true;
     S->LaneIdxMask = Cfg.WarpSize - 1;
   }
+  // Resolve the trace dispatch mode once: the request (Cfg.Dispatch)
+  // against what this build compiled in. Threaded when available unless
+  // Switch is forced; a Threaded request without the feature macro falls
+  // back to the (always compiled) switch executor.
+  S->UseThreaded =
+      DARM_SIM_HAS_THREADED != 0 && Cfg.Dispatch != SimDispatch::Switch;
   Prog = decodeProgram(Kernel);
   S->Staging.resize(static_cast<size_t>(Prog.MaxEdgePhis) * Cfg.WarpSize);
   S->BankPairs.reserve(Cfg.WarpSize);
@@ -940,6 +1465,12 @@ SimEngine::SimEngine(Function &Kernel, const GpuConfig &Config)
 }
 
 SimEngine::~SimEngine() = default;
+
+const EngineStats &SimEngine::engineStats() const { return S->EStats; }
+
+const char *SimEngine::dispatchMode() const {
+  return S->UseThreaded ? "threaded" : "switch";
+}
 
 SimStats SimEngine::run(const LaunchParams &LP,
                         const std::vector<uint64_t> &Args, GlobalMemory &Mem) {
@@ -949,6 +1480,7 @@ SimStats SimEngine::run(const LaunchParams &LP,
   S->Args = &Args;
   S->Mem = &Mem;
   S->LaunchStats = SimStats();
+  S->EStats = EngineStats();
   for (unsigned B = 0; B < LP.GridDimX; ++B)
     S->LaunchStats.Cycles += S->runBlock(B);
   return S->LaunchStats;

@@ -1,21 +1,35 @@
 //===- Parallel.cpp - Work-scheduling thread pool ---------------------------===//
 //
 // A deliberately small pool: one condition variable hands batches to the
-// workers, an atomic cursor hands items to whoever is free (workers and
-// the calling thread alike), and a per-batch active count lets the caller
-// wait for in-flight items without joining threads. Waking a worker and
+// workers, and a work-stealing chunk scheduler hands items to whoever is
+// free (workers and the calling thread alike). Waking a worker and
 // registering it with the current batch happen under one mutex, so a
 // batch can never complete while a late-waking worker is about to enter
 // it, and a worker can never observe a batch whose results buffer has
 // already been torn down.
 //
+// Item scheduling (docs/performance.md, "Sweep scheduling"): participants
+// carve guided chunks off a global cursor — half the remaining work split
+// evenly across participants, never below one item — into a
+// per-participant (lo, hi) range slot packed in one atomic word. The
+// owner pops items off the front of its slot; a participant that finds
+// the cursor drained steals the upper half of another participant's slot
+// with a single CAS. Early chunks are large (one cursor hit covers many
+// items), tail chunks shrink to singles, and a chunk stuck behind one
+// expensive item is re-split by idle participants instead of stalling
+// the batch.
+//
 //===----------------------------------------------------------------------===//
 
 #include "darm/support/Parallel.h"
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <exception>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -34,33 +48,147 @@ namespace {
 struct Batch {
   const std::function<void(size_t)> *Fn = nullptr;
   size_t N = 0;
+  unsigned Participants = 1;
+
+  /// Undispensed tail of [0, N): refills carve chunks off the front.
   std::atomic<size_t> Next{0};
 
-  // Lowest-indexed failure (see Parallel.h): claims are monotonically
-  // increasing, so when an item throws, every lower index has already
-  // been claimed and will record its own (lower) failure if it throws
-  // too — the minimum is deterministic regardless of scheduling.
+  /// Per-participant claimed-but-unrun range, packed Lo << 32 | Hi
+  /// (empty when Lo >= Hi; ranges fit because the chunked path is gated
+  /// on N fitting in 32 bits). Slots are cache-line separated — the
+  /// owner CASes its slot on every item pop.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> R{0};
+  };
+  std::unique_ptr<Slot[]> Slots;
+
+  /// Hands out distinct slot indices to the caller (0) and each worker
+  /// that registers with this batch.
+  std::atomic<unsigned> NextParticipant{1};
+
+  // Deterministic failure (see Parallel.h): once an item throws, items
+  // at or above the lowest recorded failing index are skipped, but every
+  // item *below* it still runs — any of those that throws lowers the
+  // record. The rethrown exception is therefore the globally
+  // lowest-indexed throwing item, independent of scheduling: exactly the
+  // exception a sequential loop would have surfaced first.
+  std::atomic<size_t> MinFail{std::numeric_limits<size_t>::max()};
   std::mutex ExcM;
-  size_t ExcIdx = ~size_t{0};
+  size_t ExcIdx = std::numeric_limits<size_t>::max();
   std::exception_ptr Exc;
 
-  void runItems() {
+  static constexpr uint64_t pack(uint64_t Lo, uint64_t Hi) {
+    return (Lo << 32) | Hi;
+  }
+  static constexpr uint32_t lo(uint64_t V) {
+    return static_cast<uint32_t>(V >> 32);
+  }
+  static constexpr uint32_t hi(uint64_t V) {
+    return static_cast<uint32_t>(V);
+  }
+
+  void runOne(size_t I) {
+    if (I >= MinFail.load(std::memory_order_relaxed))
+      return; // a lower item already failed; only lower indices matter
+    try {
+      (*Fn)(I);
+    } catch (...) {
+      std::lock_guard<std::mutex> Lock(ExcM);
+      if (!Exc || I < ExcIdx) {
+        ExcIdx = I;
+        Exc = std::current_exception();
+        MinFail.store(I, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Pops the front item of \p S into \p I. Fails only when the slot is
+  /// empty (a concurrent steal can shrink it, never refill it).
+  bool popOwn(std::atomic<uint64_t> &S, size_t &I) {
+    uint64_t V = S.load(std::memory_order_relaxed);
+    while (lo(V) < hi(V)) {
+      if (S.compare_exchange_weak(V, pack(lo(V) + uint64_t{1}, hi(V)),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_relaxed)) {
+        I = lo(V);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Claims a guided chunk off the global cursor into participant \p P's
+  /// slot: half the remaining items split across all participants,
+  /// never below 1.
+  bool refill(unsigned P) {
+    size_t C = Next.load(std::memory_order_relaxed);
+    while (C < N) {
+      const size_t Chunk =
+          std::max<size_t>(1, (N - C) / (2 * size_t{Participants}));
+      if (Next.compare_exchange_weak(C, C + Chunk,
+                                     std::memory_order_relaxed)) {
+        Slots[P].R.store(pack(C, C + Chunk), std::memory_order_release);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Steals the upper half of some other participant's slot into \p P's
+  /// own (empty) slot. Victims keep the lower half, so their in-order
+  /// front pop is undisturbed; slots holding a single item are left to
+  /// their owner.
+  bool stealInto(unsigned P) {
+    for (unsigned D = 1; D < Participants; ++D) {
+      std::atomic<uint64_t> &V = Slots[(P + D) % Participants].R;
+      uint64_t Cur = V.load(std::memory_order_acquire);
+      while (hi(Cur) - lo(Cur) >= 2) {
+        const uint32_t Mid = lo(Cur) + (hi(Cur) - lo(Cur)) / 2;
+        if (V.compare_exchange_weak(Cur, pack(lo(Cur), Mid),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+          Slots[P].R.store(pack(Mid, hi(Cur)), std::memory_order_release);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  void runItemsChunked(unsigned P) {
+    while (true) {
+      size_t I;
+      if (popOwn(Slots[P].R, I)) {
+        runOne(I);
+        continue;
+      }
+      if (refill(P))
+        continue;
+      if (!stealInto(P))
+        return; // cursor drained, nothing worth stealing anywhere
+    }
+  }
+
+  /// Per-item monotonic claiming, for batches too large for the packed
+  /// 32-bit ranges. Claims are monotonically increasing, so when an item
+  /// throws, every lower index has already been claimed and the
+  /// fail-fast cursor jump cannot skip a lower would-be thrower.
+  void runItemsSerial() {
     while (true) {
       const size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= N)
         return;
-      try {
-        (*Fn)(I);
-      } catch (...) {
-        std::lock_guard<std::mutex> Lock(ExcM);
-        if (!Exc || I < ExcIdx) {
-          ExcIdx = I;
-          Exc = std::current_exception();
-        }
-        // Fail fast: stop claiming further items. In-flight ones drain.
-        Next.store(N, std::memory_order_relaxed);
-      }
+      runOne(I);
+      if (MinFail.load(std::memory_order_relaxed) <= I)
+        Next.store(N, std::memory_order_relaxed); // fail fast
     }
+  }
+
+  void runItems(unsigned P) {
+    if (Slots)
+      runItemsChunked(P);
+    else
+      runItemsSerial();
   }
 };
 
@@ -80,6 +208,7 @@ struct ThreadPool::Impl {
     uint64_t SeenGen = 0;
     while (true) {
       Batch *B;
+      unsigned P;
       {
         std::unique_lock<std::mutex> Lock(M);
         WorkCV.wait(Lock,
@@ -92,10 +221,11 @@ struct ThreadPool::Impl {
         // Current (under this mutex) before we woke; nothing to join.
         if (!B)
           continue;
+        P = B->NextParticipant.fetch_add(1, std::memory_order_relaxed);
         ++Active; // registered before the lock drops: the caller's done
                   // wait below cannot miss this worker
       }
-      B->runItems();
+      B->runItems(P);
       {
         std::lock_guard<std::mutex> Lock(M);
         --Active;
@@ -140,6 +270,9 @@ void ThreadPool::forIndices(size_t N, const std::function<void(size_t)> &Fn) {
   Batch B;
   B.Fn = &Fn;
   B.N = N;
+  B.Participants = NumJobs;
+  if (N <= std::numeric_limits<uint32_t>::max())
+    B.Slots = std::make_unique<Batch::Slot[]>(NumJobs);
   {
     std::lock_guard<std::mutex> Lock(I->M);
     I->Current = &B;
@@ -148,7 +281,7 @@ void ThreadPool::forIndices(size_t N, const std::function<void(size_t)> &Fn) {
   I->WorkCV.notify_all();
 
   // The caller is a full participant: it claims items like any worker.
-  B.runItems();
+  B.runItems(0);
 
   // Wait for workers still inside this batch. A worker that has not yet
   // woken for this generation will find the cursor exhausted and leave

@@ -62,9 +62,9 @@ TEST(ParallelMap, EveryIndexRunsExactlyOnce) {
 }
 
 TEST(ParallelMap, LowestIndexExceptionWins) {
-  // Every item throws its own index; claims are monotonic, so index 0 is
-  // always claimed and its exception must be the one rethrown — on every
-  // run, at any pool size.
+  // Every item throws its own index; the scheduler guarantees every item
+  // below the lowest recorded failure still runs, so index 0's exception
+  // must be the one rethrown — on every run, at any pool size.
   for (int Round = 0; Round < 20; ++Round) {
     ThreadPool Pool(4);
     try {
@@ -91,10 +91,59 @@ TEST(ParallelMap, SingleThrowerPropagates) {
   } catch (const std::runtime_error &E) {
     EXPECT_STREQ(E.what(), "seven");
   }
-  // Indices below the thrower were claimed before it threw (monotonic
-  // cursor), so they all ran; later ones may have been skipped.
+  // Indices below the reported thrower are never skipped (that is what
+  // makes the choice deterministic); later ones may have been skipped.
   for (size_t I = 0; I < 7; ++I)
     EXPECT_EQ(Ran[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, SkewedCostsDrainEveryItemExactlyOnce) {
+  // Work-stealing stress: one item in the first chunk is far more
+  // expensive than everything else, so the chunk it was claimed in must
+  // be re-split by idle participants (steals) for the batch to finish
+  // promptly. The pinned property is correctness under that churn —
+  // every index runs exactly once, results stay ordered — at several
+  // pool sizes and skew positions.
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    ThreadPool Pool(Jobs);
+    for (size_t Expensive : {size_t{0}, size_t{1}, size_t{255}}) {
+      constexpr size_t N = 256;
+      std::vector<std::atomic<int>> Counts(N);
+      std::vector<int> Out = parallelMap<int>(Pool, N, [&](size_t I) {
+        ++Counts[I];
+        if (I == Expensive)
+          std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        return static_cast<int>(I) + 1;
+      });
+      for (size_t I = 0; I < N; ++I) {
+        EXPECT_EQ(Counts[I].load(), 1)
+            << "jobs " << Jobs << " expensive " << Expensive << " idx " << I;
+        EXPECT_EQ(Out[I], static_cast<int>(I) + 1);
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, SkewedFailureStaysDeterministic) {
+  // The expensive item also throws, and a cheap lower-indexed item
+  // throws too: no matter which one is observed first, the lower index
+  // must win, because items below the recorded failure keep running.
+  for (int Round = 0; Round < 10; ++Round) {
+    ThreadPool Pool(4);
+    try {
+      Pool.forIndices(128, [](size_t I) {
+        if (I == 100) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          throw std::runtime_error("slow-high");
+        }
+        if (I == 3)
+          throw std::runtime_error("fast-low");
+      });
+      FAIL() << "forIndices swallowed the exception";
+    } catch (const std::runtime_error &E) {
+      EXPECT_STREQ(E.what(), "fast-low");
+    }
+  }
 }
 
 TEST(ThreadPool, ReusedAcrossBatchesIncludingAfterFailure) {

@@ -1,11 +1,13 @@
 //===- sim_test.cpp - SIMT simulator unit tests -------------------------------------===//
 
 #include "darm/analysis/Verifier.h"
+#include "darm/fuzz/KernelGenerator.h"
 #include "darm/ir/Context.h"
 #include "darm/ir/IRBuilder.h"
 #include "darm/ir/IRParser.h"
 #include "darm/ir/Module.h"
 #include "darm/sim/Simulator.h"
+#include "darm/support/ErrorHandling.h"
 
 #include <gtest/gtest.h>
 
@@ -449,6 +451,116 @@ exit:
   EXPECT_EQ(P.CrossLaneRegisters.size(), 1u);
 }
 
+TEST(Sim, TraceFormationFusesUniformChains) {
+  // Decode-time superblock formation (docs/performance.md): a chain of
+  // UniformSafe, barrier-free blocks linked by unconditional branches is
+  // fused into one trace whose batched accounting sums the per-block
+  // numbers exactly.
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @chain(i32 addrspace(1)* %out, i32 %n) -> void {
+entry:
+  %a = add i32 %n, 1
+  br label %mid
+mid:
+  %b = mul i32 %a, 3
+  br label %tail
+tail:
+  %c = xor i32 %b, 5
+  %p = gep i32 addrspace(1)* %out, i32 0
+  store i32 %c, i32 addrspace(1)* %p
+  ret
+}
+)");
+  SimEngine Engine(*F);
+  const DecodedProgram &P = Engine.program();
+  ASSERT_EQ(P.Blocks.size(), 3u);
+  // Every block is eligible; the entry-headed trace spans all three.
+  ASSERT_NE(P.Blocks[0].TraceId, kNoTrace);
+  const DecodedTrace &T = P.Traces[P.Blocks[0].TraceId];
+  EXPECT_EQ(T.NumBlocks, 3u);
+  EXPECT_EQ(T.LastBlock, 2u);
+  EXPECT_EQ(T.DynInsts,
+            P.Blocks[0].NumInsts + P.Blocks[1].NumInsts + P.Blocks[2].NumInsts);
+  EXPECT_EQ(T.NumAluInsts, P.Blocks[0].NumAluInsts + P.Blocks[1].NumAluInsts +
+                               P.Blocks[2].NumAluInsts);
+  EXPECT_EQ(T.StaticLatency, P.Blocks[0].StaticLatency +
+                                 P.Blocks[1].StaticLatency +
+                                 P.Blocks[2].StaticLatency);
+  // Terminators are never materialized as trace ops: one op per body
+  // instruction, minus the three terminators.
+  EXPECT_EQ(T.NumOps, T.DynInsts - 3u);
+  // The store caps the memory-free (multi-warp batchable) prefix.
+  EXPECT_LT(T.PrefixOps, T.NumOps);
+  // Interior chained blocks head their own traces too (a warp can enter
+  // mid-chain after reconvergence), so every eligible block has one.
+  EXPECT_EQ(P.Traces.size(), 3u);
+  EXPECT_NE(P.Blocks[1].TraceId, kNoTrace);
+  EXPECT_NE(P.Blocks[2].TraceId, kNoTrace);
+}
+
+TEST(Sim, TracesNeverCrossBarriersOrDivergentBlocks) {
+  // The trace-eligibility pins: a block with a barrier (suspends
+  // mid-block) or a non-UniformSafe terminator (can split the mask) never
+  // joins a trace — it neither heads one nor gets chained into one.
+  Context Ctx;
+  std::unique_ptr<Module> M;
+  Function *F = parse(Ctx, M, R"(
+func @mix(i32 addrspace(1)* %out, i32 %n) -> void {
+entry:
+  %tid = call i32 @darm.tid.x()
+  %a = add i32 %tid, 1
+  br label %bar
+bar:
+  call void @darm.barrier()
+  %b = mul i32 %a, 2
+  br label %div
+div:
+  %c = icmp slt i32 %tid, 4
+  condbr i1 %c, label %t, label %j
+t:
+  br label %j
+j:
+  %v = phi i32 [ %b, %div ], [ 7, %t ]
+  %p = gep i32 addrspace(1)* %out, i32 %tid
+  store i32 %v, i32 addrspace(1)* %p
+  ret
+}
+)");
+  SimEngine Engine(*F);
+  const DecodedProgram &P = Engine.program();
+  ASSERT_EQ(P.Blocks.size(), 5u);
+  // bar (index 1) holds the barrier; div (index 2) branches on tid.
+  EXPECT_TRUE(P.Blocks[1].HasBarrier);
+  EXPECT_EQ(P.Blocks[1].TraceId, kNoTrace);
+  EXPECT_FALSE(P.Blocks[2].UniformSafe);
+  EXPECT_EQ(P.Blocks[2].TraceId, kNoTrace);
+  // entry is eligible but its chain must stop before the barrier block.
+  ASSERT_NE(P.Blocks[0].TraceId, kNoTrace);
+  EXPECT_EQ(P.Traces[P.Blocks[0].TraceId].NumBlocks, 1u);
+  // The general invariant, re-walked from every trace head: each fused
+  // block is UniformSafe and barrier-free, and interior links are
+  // unconditional branches.
+  for (uint32_t BI = 0; BI < P.Blocks.size(); ++BI) {
+    if (P.Blocks[BI].TraceId == kNoTrace)
+      continue;
+    const DecodedTrace &T = P.Traces[P.Blocks[BI].TraceId];
+    uint32_t Cur = BI;
+    for (uint32_t Step = 0; Step < T.NumBlocks; ++Step) {
+      const DecodedBlock &DB = P.Blocks[Cur];
+      EXPECT_TRUE(DB.UniformSafe) << "trace spans unsafe block " << Cur;
+      EXPECT_FALSE(DB.HasBarrier) << "trace spans barrier block " << Cur;
+      if (Step + 1 < T.NumBlocks) {
+        // Interior edge: an unconditional branch (single successor).
+        EXPECT_EQ(DB.Succ[1], kNoBlock);
+        Cur = DB.Succ[0];
+      }
+    }
+    EXPECT_EQ(Cur, T.LastBlock);
+  }
+}
+
 TEST(Sim, NonDefaultWarpSizes) {
   const char *Src = R"(
 func @wsz(i32 addrspace(1)* %out) -> void {
@@ -528,6 +640,73 @@ j:
   // Most VALU work runs with 8/32 lanes: utilization well below 1.
   EXPECT_LT(S.aluUtilization(), 0.8);
   EXPECT_GT(S.aluUtilization(), 0.1);
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch-mode equivalence: SimDispatch is a host knob, never a device
+// parameter (GpuConfig.h). Both executors must produce bit-identical
+// SimStats and memory images — and identical host trace telemetry, since
+// trace formation happens at decode, before dispatch is even consulted.
+//===----------------------------------------------------------------------===//
+
+struct DispatchRun {
+  SimStats Stats;
+  std::string Fatal;
+  std::vector<uint32_t> Memory; ///< full image, 4-byte granules
+  EngineStats Engine;
+};
+
+/// Builds and runs fuzz case \p C under \p Mode, mirroring
+/// fuzz::simulateFuzzCase (own Context, per-thread abort trap,
+/// decode-once multi-launch) but with an explicit dispatch request.
+DispatchRun runFuzzCaseWithDispatch(const fuzz::FuzzCase &C,
+                                    SimDispatch Mode) {
+  struct SimAbort {
+    std::string Msg;
+  };
+  struct Catcher {
+    [[noreturn]] static void raise(const char *Msg) { throw SimAbort{Msg}; }
+  };
+  DispatchRun R;
+  Context Ctx;
+  Module M(Ctx, "dispatch-eq");
+  Function *F = fuzz::buildFuzzKernel(M, C);
+  GlobalMemory Mem;
+  std::vector<uint64_t> Args = fuzz::setupFuzzMemory(C, Mem);
+  ScopedFatalErrorHandler Guard(Catcher::raise);
+  try {
+    GpuConfig GC;
+    GC.Dispatch = Mode;
+    SimEngine Engine(*F, GC);
+    for (unsigned L = 0, E = std::max(1u, C.NumLaunches); L != E; ++L)
+      R.Stats += Engine.run(C.Launch, Args, Mem);
+    R.Engine = Engine.engineStats();
+  } catch (const SimAbort &E) {
+    R.Fatal = E.Msg;
+  }
+  for (uint64_t A = 0; A < Mem.size(); A += 4)
+    R.Memory.push_back(static_cast<uint32_t>(Mem.load(A, 4)));
+  return R;
+}
+
+TEST(SimDispatchEquivalence, ThreadedMatchesSwitchOnFuzzSeeds) {
+  for (uint64_t Seed = 0; Seed < 500; ++Seed) {
+    const fuzz::FuzzCase C(Seed);
+    const DispatchRun Sw = runFuzzCaseWithDispatch(C, SimDispatch::Switch);
+    const DispatchRun Th = runFuzzCaseWithDispatch(C, SimDispatch::Threaded);
+    ASSERT_EQ(Sw.Fatal, Th.Fatal) << "seed " << Seed;
+    for (unsigned I = 0; I < SimStats::NumCounters; ++I)
+      ASSERT_EQ(Sw.Stats.counter(I), Th.Stats.counter(I))
+          << "seed " << Seed << " counter " << SimStats::counterName(I);
+    ASSERT_EQ(Sw.Memory, Th.Memory) << "seed " << Seed;
+    // Host-side telemetry too: the same launches retire the same
+    // instructions through the same traces in either mode.
+    ASSERT_EQ(Sw.Engine.TraceRuns, Th.Engine.TraceRuns) << "seed " << Seed;
+    ASSERT_EQ(Sw.Engine.TraceInstrs, Th.Engine.TraceInstrs)
+        << "seed " << Seed;
+    ASSERT_EQ(Sw.Engine.BatchedTraceInstrs, Th.Engine.BatchedTraceInstrs)
+        << "seed " << Seed;
+  }
 }
 
 } // namespace

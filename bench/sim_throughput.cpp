@@ -12,11 +12,17 @@
 //
 //   sim_throughput [--repeat N] [--pipeline baseline|darm|both]
 //                  [--dispatch default|switch|threaded] [--jobs N]
-//                  [--out FILE] [--compare BASELINE.json]
+//                  [--cache] [--out FILE] [--compare BASELINE.json]
 //
 // Each cell decodes its kernel once (SimEngine) and replays it N times;
 // results are host-validated on the first repeat so a fast-but-wrong
-// simulator can never report a score. --jobs fans the cells over the
+// simulator can never report a score. --cache compiles every cell
+// through a shared CompileService and adopts the artifact's serialized
+// DecodedProgram image (docs/caching.md) — the production deserialized-
+// engine path — instead of melding + decoding in place; the timed replay
+// loop is identical either way, so scores stay commit-comparable and the
+// counters (instructions, sim_cycles) must not move at all. A CACHE
+// summary line goes to stderr. --jobs fans the cells over the
 // in-process pool (support/Parallel.h); each cell still times its own
 // wall seconds, but contention inflates them, so the default stays 1
 // (the tracked trajectory is single-thread) and parallelism is opt-in.
@@ -33,11 +39,13 @@
 
 #include "BenchCommon.h"
 
+#include "darm/core/CompileService.h"
 #include "darm/core/DARMPass.h"
 #include "darm/ir/Context.h"
 #include "darm/ir/Function.h"
 #include "darm/ir/Module.h"
 #include "darm/kernels/Benchmark.h"
+#include "darm/sim/DecodedProgram.h"
 #include "darm/sim/Simulator.h"
 #include "darm/support/ErrorHandling.h"
 #include "darm/support/Parallel.h"
@@ -48,6 +56,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -74,7 +83,8 @@ struct Cell {
 };
 
 Cell runThroughputCell(const std::string &Name, unsigned BS, bool Meld,
-                       unsigned Repeat, SimDispatch Dispatch) {
+                       unsigned Repeat, SimDispatch Dispatch,
+                       CompileService *Cache) {
   auto B = createBenchmark(Name, BS);
   if (!B)
     reportFatalError("unknown benchmark name");
@@ -82,12 +92,6 @@ Cell runThroughputCell(const std::string &Name, unsigned BS, bool Meld,
   Context Ctx;
   Module M(Ctx, Name);
   Function *F = B->build(M);
-  if (Meld) {
-    DARMConfig Cfg;
-    runDARM(*F, Cfg, nullptr);
-  }
-  simplifyCFG(*F);
-  eliminateDeadCode(*F);
 
   Cell C;
   C.Benchmark = Name;
@@ -96,7 +100,35 @@ Cell runThroughputCell(const std::string &Name, unsigned BS, bool Meld,
 
   GpuConfig GC;
   GC.Dispatch = Dispatch;
-  SimEngine Engine(*F, GC); // decode once, replay Repeat times
+  // Engine construction (compile + decode) stays outside the timed
+  // region either way; --cache only swaps how the DecodedProgram is
+  // obtained, never what the replay loop runs.
+  std::unique_ptr<SimEngine> EnginePtr;
+  if (Cache) {
+    CompileService::Artifact Art = Cache->getOrCompile(
+        *F, std::string("bench-sim-v1;") + C.Pipeline,
+        [Meld](Function &K, DARMStats &) {
+          if (Meld) {
+            DARMConfig Cfg;
+            runDARM(K, Cfg, nullptr);
+          }
+          simplifyCFG(K);
+          eliminateDeadCode(K);
+        });
+    DecodedProgram P;
+    if (Art->failed() || !decodeFromArtifact(*Art, P))
+      reportFatalError("compile cache produced no runnable artifact");
+    EnginePtr.reset(new SimEngine(std::move(P), GC));
+  } else {
+    if (Meld) {
+      DARMConfig Cfg;
+      runDARM(*F, Cfg, nullptr);
+    }
+    simplifyCFG(*F);
+    eliminateDeadCode(*F);
+    EnginePtr.reset(new SimEngine(*F, GC)); // decode once, replay N times
+  }
+  SimEngine &Engine = *EnginePtr;
   C.Dispatch = Engine.dispatchMode();
   C.TracesFormed = Engine.program().Traces.size();
   for (const DecodedTrace &T : Engine.program().Traces)
@@ -163,6 +195,7 @@ int main(int argc, char **argv) {
   const char *OutPath = nullptr;
   const char *ComparePath = nullptr;
   SimDispatch Dispatch = SimDispatch::Default;
+  bool UseCache = false;
   bool Usage = false;
   for (int I = 1; I < argc && !Usage; ++I) {
     if (!std::strcmp(argv[I], "--repeat") && I + 1 < argc) {
@@ -192,6 +225,8 @@ int main(int argc, char **argv) {
       } else if (std::strcmp(argv[I], "default") != 0) {
         Usage = true;
       }
+    } else if (!std::strcmp(argv[I], "--cache")) {
+      UseCache = true;
     } else if (!std::strcmp(argv[I], "--out") && I + 1 < argc) {
       OutPath = argv[++I];
     } else if (!std::strcmp(argv[I], "--compare") && I + 1 < argc) {
@@ -204,7 +239,7 @@ int main(int argc, char **argv) {
     std::fprintf(stderr,
                  "usage: %s [--repeat N>=1] [--pipeline baseline|darm|both] "
                  "[--dispatch default|switch|threaded] [--jobs N>=1] "
-                 "[--out FILE] [--compare BASELINE.json]\n",
+                 "[--cache] [--out FILE] [--compare BASELINE.json]\n",
                  argv[0]);
     return 2;
   }
@@ -223,11 +258,15 @@ int main(int argc, char **argv) {
         Specs.push_back({Name, BS, true});
     }
   // Cells are independent (each builds into its own Context); the pool
-  // fans them out and the result order is fixed by the spec list.
+  // fans them out and the result order is fixed by the spec list. The
+  // compile service is the one component cells share — it is built for
+  // cross-thread use (sharded locks, context-free artifacts).
   ThreadPool Pool(Jobs);
+  CompileService Cache;
+  CompileService *CachePtr = UseCache ? &Cache : nullptr;
   std::vector<Cell> Cells = parallelMap<Cell>(Pool, Specs.size(), [&](size_t I) {
     return runThroughputCell(Specs[I].Name, Specs[I].BS, Specs[I].Meld,
-                             Repeat, Dispatch);
+                             Repeat, Dispatch, CachePtr);
   });
 
   uint64_t TotalInstrs = 0;
@@ -260,6 +299,7 @@ int main(int argc, char **argv) {
   std::fprintf(Out, "  \"suite\": \"fig8_synthetic\",\n");
   std::fprintf(Out, "  \"repeat\": %u,\n", Repeat);
   std::fprintf(Out, "  \"jobs\": %u,\n", Jobs);
+  std::fprintf(Out, "  \"compile_cache\": %s,\n", UseCache ? "true" : "false");
   std::fprintf(Out, "  \"dispatch\": \"%s\",\n",
                Cells.empty() ? "" : Cells.front().Dispatch);
   std::fprintf(Out, "  \"cells\": [\n");
@@ -310,6 +350,19 @@ int main(int argc, char **argv) {
                Throughput, static_cast<unsigned long long>(TotalInstrs),
                TotalSec, Repeat, Cells.empty() ? "" : Cells.front().Dispatch,
                100.0 * TraceInstrFraction);
+  if (UseCache) {
+    const CompileService::CacheStats CS = Cache.stats();
+    std::fprintf(stderr,
+                 "CACHE entries=%llu bytes=%llu hits=%llu misses=%llu "
+                 "evictions=%llu duplicate_compiles=%llu hit_rate=%.4f\n",
+                 static_cast<unsigned long long>(CS.Entries),
+                 static_cast<unsigned long long>(CS.Bytes),
+                 static_cast<unsigned long long>(CS.Hits),
+                 static_cast<unsigned long long>(CS.Misses),
+                 static_cast<unsigned long long>(CS.Evictions),
+                 static_cast<unsigned long long>(CS.DuplicateCompiles),
+                 CS.hitRate());
+  }
 
   if (ComparePath) {
     double Recorded = 0;

@@ -24,6 +24,7 @@
 
 namespace darm {
 
+class CompileService;
 class Function;
 
 namespace fuzz {
@@ -89,17 +90,28 @@ KernelClaims measureFuzz(const fuzz::FuzzCase &C,
 /// are byte-identical at any --jobs value. \p OnKernel (optional) is
 /// invoked from the calling thread, in corpus order, as each kernel's
 /// measurement completes.
+///
+/// With a non-null \p Cache (core/CompileService.h, docs/caching.md)
+/// every (kernel, config) pair compiles through the get-or-compile
+/// cache, keyed by the built kernel's canonical-IR hash and the config
+/// name, and the measurement evaluates the *deserialized artifact* on
+/// hit and miss alike — so a cold pass, a warm pass, and an uncached
+/// pass all produce byte-identical claims. Benchmark cells reuse the
+/// artifact's DecodedProgram image; fuzz cells re-simulate the
+/// deserialized module (decode stays inside the fuzz fatal guard).
 std::vector<KernelClaims>
 measureCorpus(ThreadPool &Pool, const std::vector<BenchCell> &Cells,
               const std::vector<uint64_t> &Seeds,
-              const std::function<void(const KernelClaims &)> &OnKernel = {});
+              const std::function<void(const KernelClaims &)> &OnKernel = {},
+              CompileService *Cache = nullptr);
 /// Same, measuring under an explicit config set (e.g. attributionConfigs()
 /// for `darm_check --attribution`) instead of claimConfigs().
 std::vector<KernelClaims>
 measureCorpus(ThreadPool &Pool, const std::vector<BenchCell> &Cells,
               const std::vector<uint64_t> &Seeds,
               const std::vector<ClaimConfig> &Cfgs,
-              const std::function<void(const KernelClaims &)> &OnKernel = {});
+              const std::function<void(const KernelClaims &)> &OnKernel = {},
+              CompileService *Cache = nullptr);
 
 /// Sums per-config stats across measurements (configs matched by name):
 /// the population-level view of a fuzz sweep. Per-seed plausibility can

@@ -1,0 +1,143 @@
+//===- CompileService.h - In-process compile cache ----------------*- C++ -*-===//
+///
+/// \file
+/// A sharded, content-addressed cache of CompiledModule artifacts: the
+/// get-or-compile front door every repeated-compile consumer goes
+/// through (check::measureCorpus, fuzz::sweepSeeds, bench/sim_throughput,
+/// the darm_opt/darm_check/darm_fuzz --cache flags), and the seed of the
+/// ROADMAP's darmd compilation service.
+///
+/// Concurrency: safe under the support/Parallel.h pool. Keys hash to one
+/// of NumShards independently-locked shards, so workers sweeping
+/// different kernels rarely contend. No lock is held while compiling:
+/// two workers racing on the same cold key may both compile, and the
+/// first insert wins — acceptable because compileToArtifact is
+/// deterministic (both produce byte-identical artifacts), and the loser
+/// counts the duplicate work in DuplicateCompiles rather than blocking a
+/// whole shard behind one multi-second meld.
+///
+/// Memory: each shard owns an LRU list under MaxBytes/NumShards; inserts
+/// evict from the cold tail. Artifacts are handed out as
+/// shared_ptr<const>, so eviction never invalidates a consumer's copy.
+///
+/// Determinism contract (docs/caching.md, pinned by the fuzz serialize
+/// axis + tests/compile_service_test.cpp): a consumer gets byte-identical
+/// results at any --jobs count and any cache state, because hit and miss
+/// return the same deterministic artifact value.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CORE_COMPILESERVICE_H
+#define DARM_CORE_COMPILESERVICE_H
+
+#include "darm/core/CompiledModule.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace darm {
+
+class Function;
+
+/// Sharded LRU cache mapping (IRHash, Fingerprint) to artifacts.
+class CompileService {
+public:
+  using Artifact = std::shared_ptr<const CompiledModule>;
+
+  struct Options {
+    /// Total retained-byte budget across all shards (CompiledModule::
+    /// byteSize). 256 MiB holds every kernel x config this repo compiles
+    /// many times over; sweeps shrink it to exercise eviction.
+    size_t MaxBytes = 256u << 20;
+    /// Lock striping width. More shards = less contention, coarser
+    /// per-shard LRU. Must be >= 1.
+    unsigned NumShards = 16;
+  };
+
+  /// Counter snapshot (stats()); totals since construction or clear().
+  struct CacheStats {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t Evictions = 0;
+    /// Compiles whose insert lost the race to an equal artifact.
+    uint64_t DuplicateCompiles = 0;
+    size_t Bytes = 0;
+    size_t Entries = 0;
+
+    double hitRate() const {
+      uint64_t Total = Hits + Misses;
+      return Total ? static_cast<double>(Hits) / static_cast<double>(Total)
+                   : 0.0;
+    }
+  };
+
+  CompileService();
+  explicit CompileService(Options Opts);
+
+  /// The front door: returns the cached artifact for (hash(F), Cfg) or
+  /// compiles, caches and returns it. With \p IncludeProgram, guarantees
+  /// the returned artifact carries a DecodedProgram image (upgrading a
+  /// cached program-less entry counts as a miss). Never returns null;
+  /// failed compiles come back as artifacts with failed() set.
+  Artifact getOrCompile(const Function &F, const DARMConfig &Cfg,
+                        bool IncludeProgram = true);
+
+  /// Same contract for a caller-supplied compile step (CompileFn), keyed
+  /// by an explicit fingerprint that must uniquely identify it — how the
+  /// fuzz oracle caches its named transform configurations.
+  Artifact getOrCompile(const Function &F, const std::string &Fingerprint,
+                        const CompileFn &Compile, bool IncludeProgram = true);
+
+  /// Probe without compiling; null on miss. Does not touch hit/miss
+  /// counters (diagnostic use).
+  Artifact lookup(uint64_t IRHash, const std::string &Fingerprint) const;
+
+  CacheStats stats() const;
+  /// Empties every shard and zeroes the counters.
+  void clear();
+
+private:
+  struct Key {
+    uint64_t IRHash;
+    std::string Fingerprint;
+    bool operator==(const Key &O) const {
+      return IRHash == O.IRHash && Fingerprint == O.Fingerprint;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+  struct Entry {
+    Key K;
+    Artifact Art;
+    size_t Bytes;
+  };
+  struct Shard {
+    mutable std::mutex M;
+    /// Hot-first LRU order; Map points into this list.
+    std::list<Entry> Lru;
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> Map;
+    size_t Bytes = 0;
+  };
+
+  Shard &shardFor(const Key &K) const;
+  /// Inserts (or refreshes) under the shard lock, evicting the cold tail
+  /// past the per-shard budget. Returns the artifact now cached — the
+  /// existing one when \p Art lost an insert race.
+  Artifact insert(const Key &K, Artifact Art, bool RequireProgram);
+
+  Options Opts;
+  size_t ShardBudget;
+  mutable std::vector<Shard> Shards;
+  std::atomic<uint64_t> Hits{0}, Misses{0}, Evictions{0},
+      DuplicateCompiles{0};
+};
+
+} // namespace darm
+
+#endif // DARM_CORE_COMPILESERVICE_H

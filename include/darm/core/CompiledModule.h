@@ -1,0 +1,133 @@
+//===- CompiledModule.h - Context-free compiled artifact ---------*- C++ -*-===//
+///
+/// \file
+/// The unit of the compile cache (docs/caching.md): one kernel melded
+/// under one DARMConfig, captured as an immutable, Context-free value.
+/// Everything inside is plain bytes and counters — no `Value *`, no
+/// `Type *`, nothing interned — so an artifact built by one worker's
+/// Context can be handed to any other thread and rematerialized into
+/// *its* Context (the per-worker-Context rule of support/Parallel.h; the
+/// serialized forms are the sanctioned way to cross that boundary).
+///
+/// An artifact is keyed by (IRHash, Fingerprint):
+///
+///   IRHash      — artifactIRHash(): FNV-1a/64 of the *input* function's
+///                 canonical binary snapshot (ir/Serialize.h
+///                 serializeFunction — pure in the function's content, so
+///                 equal kernels key equal in any Context or process).
+///                 Falls back to the printed-IR hash for functions the
+///                 serializer refuses.
+///   Fingerprint — a stable string encoding of every DARMConfig field
+///                 (configFingerprint): identifies how. Adding a config
+///                 field automatically lands in the fingerprint only if
+///                 configFingerprint is updated — the unit test counts
+///                 fields to force that.
+///
+/// Payload: the melded module snapshot (ir/Serialize.h bytes), optionally
+/// the simulator's DecodedProgram image (a cache hit then skips decode
+/// too), and the DARMStats the compile produced. A compile whose verifier
+/// failed records CompileError instead; negative results are cached so a
+/// broken transform is not re-run per consumer.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_CORE_COMPILEDMODULE_H
+#define DARM_CORE_COMPILEDMODULE_H
+
+#include "darm/core/DARMConfig.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class Context;
+class Function;
+class Module;
+struct DecodedProgram;
+
+/// One compiled kernel as context-free bytes. Immutable after creation
+/// (the cache shares artifacts across threads via shared_ptr<const>).
+struct CompiledModule {
+  /// Content hash of the input function (artifactIRHash).
+  uint64_t IRHash = 0;
+  /// configFingerprint() of the DARMConfig the compile ran under.
+  std::string Fingerprint;
+
+  /// ir/Serialize.h snapshot of the melded module. Empty when the
+  /// compile failed (see CompileError).
+  std::vector<uint8_t> ModuleBytes;
+  /// serializeDecodedProgram() image of the melded kernel, present when
+  /// the artifact was built with IncludeProgram. Empty otherwise.
+  std::vector<uint8_t> ProgramBytes;
+
+  /// Counters reported by the runDARM() call that produced ModuleBytes.
+  DARMStats Stats;
+
+  /// Non-empty when the compile failed (post-meld verifier rejection):
+  /// the artifact then carries no module bytes and consumers surface the
+  /// message exactly as a direct runDARM() caller would.
+  std::string CompileError;
+
+  bool failed() const { return !CompileError.empty(); }
+
+  /// Approximate retained size, the unit of the cache's byte budget.
+  size_t byteSize() const {
+    return sizeof(CompiledModule) + ModuleBytes.capacity() +
+           ProgramBytes.capacity() + Fingerprint.capacity() +
+           CompileError.capacity();
+  }
+};
+
+/// Stable string encoding of every DARMConfig field, the "how" half of
+/// the cache key. Two configs fingerprint equal iff every tunable that
+/// can change compile output is equal.
+std::string configFingerprint(const DARMConfig &Cfg);
+
+/// A compile step the artifact layer can run: mutates the function in
+/// place (runDARM, runBranchFusion, a lone pass...) and may accumulate
+/// counters into the given DARMStats.
+using CompileFn = std::function<void(Function &, DARMStats &)>;
+
+/// The content half of the artifact key: FNV-1a/64 of \p F's canonical
+/// binary snapshot (serializeFunction), falling back to the canonical
+/// printed form when the snapshot is unavailable. A pure function of the
+/// kernel's content — module names and sibling functions do not affect
+/// it.
+uint64_t artifactIRHash(const Function &F);
+
+/// Compiles \p F under \p Cfg into an artifact. \p F is NOT mutated: the
+/// kernel is rematerialized into a private Context (from its canonical
+/// binary snapshot), melded there, verified, and snapshotted. With
+/// \p IncludeProgram the artifact also carries the DecodedProgram image
+/// of the melded kernel. Deterministic: equal inputs produce
+/// byte-identical artifacts.
+CompiledModule compileToArtifact(const Function &F, const DARMConfig &Cfg,
+                                 bool IncludeProgram = true);
+
+/// Generalized form for compiles that are not plain runDARM(Cfg) — the
+/// fuzz oracle's named transform configurations, for instance. The
+/// caller supplies the "how" half of the key directly: \p Fingerprint
+/// must uniquely identify \p Compile's behaviour (the fuzz config name
+/// registry guarantees this for its configs).
+CompiledModule compileToArtifact(const Function &F,
+                                 const std::string &Fingerprint,
+                                 const CompileFn &Compile,
+                                 bool IncludeProgram = true);
+
+/// Rebuilds the melded module from \p Art inside \p Ctx. Null (with
+/// \p Err set) if the artifact failed() or its bytes are malformed.
+std::unique_ptr<Module> moduleFromArtifact(const CompiledModule &Art,
+                                           Context &Ctx,
+                                           std::string *Err = nullptr);
+
+/// Decodes the artifact's DecodedProgram image into \p P. False when the
+/// artifact carries no program bytes (or they are malformed) — callers
+/// then rebuild via moduleFromArtifact + decodeProgram.
+bool decodeFromArtifact(const CompiledModule &Art, DecodedProgram &P);
+
+} // namespace darm
+
+#endif // DARM_CORE_COMPILEDMODULE_H

@@ -29,6 +29,7 @@
 
 namespace darm {
 
+class CompileService;
 class Function;
 
 namespace fuzz {
@@ -49,7 +50,21 @@ std::vector<OracleConfig> defaultConfigs();
 
 struct OracleOptions {
   bool RoundTrip = true; ///< include the IRPrinter -> IRParser axis
+  /// Include the binary serialization axis (ir/Serialize.h): the
+  /// reference kernel through serializeModule -> deserializeModule into
+  /// a fresh Context must verify, re-serialize to identical bytes, and
+  /// re-simulate to the identical memory image and counters. Binary
+  /// snapshots feed the compile cache (docs/caching.md), so a byte that
+  /// changes execution is a first-class miscompile, minimizable like
+  /// any other axis (config "serialize").
+  bool Serialize = true;
   bool Minimize = true;  ///< shrink failing cases before reporting
+  /// When set, every transform axis compiles through this get-or-compile
+  /// cache (core/CompileService.h) and evaluates the deserialized
+  /// artifact — on hit and miss alike, so verdicts are byte-identical
+  /// at any cache state. Minimizer probes (edited kernels) always take
+  /// the direct path; only whole-seed axis runs are cached.
+  CompileService *Cache = nullptr;
   /// Check SimStats plausibility on every transform axis (docs/claims.md)
   /// in addition to memory-image identity; violations are first-class,
   /// minimizable findings. Baselines come from the kernel run through

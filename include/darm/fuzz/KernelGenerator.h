@@ -43,6 +43,7 @@ namespace darm {
 
 class Function;
 class Module;
+struct DecodedProgram;
 
 namespace fuzz {
 
@@ -97,6 +98,16 @@ std::vector<uint64_t> setupFuzzMemory(const FuzzCase &C, GlobalMemory &Mem);
 /// differential oracle and the claims corpus runner so both measure
 /// exactly the same execution.
 SimStats simulateFuzzCase(Function &F, const FuzzCase &C,
+                          const std::vector<uint64_t> &Args, GlobalMemory &Mem,
+                          std::string *Fatal = nullptr);
+
+/// Same execution from a pre-decoded program (e.g. a compile-cache
+/// artifact's image, core/CompiledModule.h decodeFromArtifact): skips
+/// decode but runs under the identical abort guard. Engine construction
+/// from a program is pinned bit-identical to decoding the kernel fresh,
+/// so both overloads return the same stats and memory image for the
+/// same compiled kernel.
+SimStats simulateFuzzCase(DecodedProgram P, const FuzzCase &C,
                           const std::vector<uint64_t> &Args, GlobalMemory &Mem,
                           std::string *Fatal = nullptr);
 

@@ -1,0 +1,80 @@
+//===- Serialize.h - Binary module snapshots ---------------------*- C++ -*-===//
+///
+/// \file
+/// A compact, versioned binary encoding of a Module that can cross the
+/// per-worker-Context boundary (docs/performance.md): serializeModule
+/// captures an immutable byte snapshot, and deserializeModule rebuilds
+/// an identical module — same names, same block layout, same interned
+/// constants — inside *any* Context. This is the transport format of the
+/// compile cache (core/CompiledModule.h, docs/caching.md).
+///
+/// Faithfulness contract, pinned by tests/serialize_test.cpp and the
+/// fuzz oracle's "serialize" axis: for any verified module M,
+///
+///   printModule(deserializeModule(Ctx, serializeModule(M))) ==
+///       printModule(M)                         (byte-identical text)
+///   serializeModule(deserializeModule(...))  ==
+///       serializeModule(M)                     (byte-identical bytes)
+///
+/// and the deserialized kernel simulates bit-identically (SimStats and
+/// memory image).
+///
+/// Format (version 1, little-endian; support/BinaryStream.h): a 4-byte
+/// magic "DRMB" + u16 version header; the module name; an interned type
+/// table (pointee-before-pointer order); an interned constant table
+/// (integers as zigzag varints, floats as raw IEEE-754 bit patterns, so
+/// NaN payloads survive); then each function's arguments, shared arrays,
+/// block names, and per-block instruction records. Operands are tagged
+/// varint references into the instruction/argument/shared/constant index
+/// spaces; forward references (phis) resolve exactly like the textual
+/// parser's, via placeholder-and-RAUW.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_IR_SERIALIZE_H
+#define DARM_IR_SERIALIZE_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+class Context;
+class Function;
+class Module;
+
+/// Serialization format version; bump on any encoding change
+/// (docs/caching.md version policy: readers reject mismatches, caches
+/// treat them as misses — never a silent misdecode).
+inline constexpr uint16_t kModuleFormatVersion = 1;
+
+/// Encodes \p M into the version-1 binary form. Requires well-formed IR
+/// (every operand an argument / shared array / instruction of the same
+/// function, or a constant); serializing what the verifier would reject
+/// on those grounds returns an empty vector.
+std::vector<uint8_t> serializeModule(const Module &M);
+
+/// Canonical single-function snapshot: \p F encoded exactly as a module
+/// holding only it, with the module name normalized to the empty string.
+/// The bytes are therefore a pure function of the function's content —
+/// independent of the owning module's name and of any sibling functions —
+/// which makes their hash usable as a content-address (artifactIRHash in
+/// core/CompiledModule.h), while the snapshot itself remains readable by
+/// deserializeModule. Same well-formedness requirement (and empty-vector
+/// failure mode) as serializeModule.
+std::vector<uint8_t> serializeFunction(const Function &F);
+
+/// Decodes a snapshot into a fresh Module owned by \p Ctx. Returns null
+/// and sets \p Err on a bad magic/version or malformed bytes; never
+/// reads out of range and never aborts on untrusted input.
+std::unique_ptr<Module> deserializeModule(Context &Ctx, const uint8_t *Data,
+                                          size_t Size,
+                                          std::string *Err = nullptr);
+std::unique_ptr<Module> deserializeModule(Context &Ctx,
+                                          const std::vector<uint8_t> &Bytes,
+                                          std::string *Err = nullptr);
+
+} // namespace darm
+
+#endif // DARM_IR_SERIALIZE_H

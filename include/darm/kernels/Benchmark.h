@@ -23,6 +23,7 @@ namespace darm {
 
 class Function;
 class Module;
+class SimEngine;
 
 /// One benchmark instance (kernel + workload) at a fixed block size.
 class Benchmark {
@@ -86,6 +87,13 @@ struct BenchRun {
 /// transformed), validates against the host reference, and fingerprints
 /// the final memory image.
 BenchRun runBenchmark(const Benchmark &B, Function &Kern);
+
+/// Same run over an already-constructed engine — the compile-cache path
+/// hands in a SimEngine adopting a deserialized DecodedProgram image
+/// (docs/caching.md) instead of decoding \p Kern afresh. The engine must
+/// have been built with the default GpuConfig to match the Function
+/// overload byte for byte.
+BenchRun runBenchmark(const Benchmark &B, SimEngine &Engine);
 
 /// Compatibility wrapper over runBenchmark: aggregated stats out; returns
 /// validation success.

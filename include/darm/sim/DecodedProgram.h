@@ -296,6 +296,26 @@ struct DecodedProgram {
 /// read-only at execute time and shared by all launches of the kernel.
 DecodedProgram decodeProgram(Function &F);
 
+/// Serialization format version of the DecodedProgram image carried by
+/// CompiledModule artifacts (docs/caching.md). Bump on ANY change to the
+/// structs above — including enum/token reordering, which silently
+/// changes the meaning of stored dispatch bytes; readers reject
+/// mismatches and the cache recompiles.
+inline constexpr uint16_t kProgramFormatVersion = 1;
+
+/// Encodes \p P as a portable little-endian byte image
+/// (src/sim/ProgramSerialize.cpp). Field-wise — never a struct memcpy —
+/// so the bytes are platform-independent.
+std::vector<uint8_t> serializeDecodedProgram(const DecodedProgram &P);
+
+/// Decodes an image produced by serializeDecodedProgram into \p P.
+/// Returns false (leaving \p P unspecified) on a version mismatch or
+/// malformed/truncated bytes. The round-trip is exact: a deserialized
+/// program compares field-for-field equal to the freshly decoded one
+/// (pinned by tests/serialize_test.cpp).
+bool deserializeDecodedProgram(const uint8_t *Data, size_t Size,
+                               DecodedProgram &P);
+
 } // namespace darm
 
 #endif // DARM_SIM_DECODEDPROGRAM_H

@@ -64,6 +64,12 @@ public:
   /// Decodes \p Kernel. \p Cfg is validated (GpuConfig::validate) so a
   /// bad warp size fails loudly here instead of corrupting lane masks.
   explicit SimEngine(Function &Kernel, const GpuConfig &Cfg = GpuConfig());
+  /// Adopts an already-decoded program (e.g. deserialized from a
+  /// CompiledModule artifact, docs/caching.md) and skips the decode
+  /// phase entirely. Behaves bit-identically to decoding the kernel the
+  /// program was produced from.
+  explicit SimEngine(DecodedProgram Program,
+                     const GpuConfig &Cfg = GpuConfig());
   ~SimEngine();
 
   SimEngine(const SimEngine &) = delete;
@@ -89,6 +95,9 @@ public:
 
 private:
   struct Scratch; // execution state pools, defined in Simulator.cpp
+
+  void initScratch();
+  void initProgramScratch();
 
   DecodedProgram Prog;
   GpuConfig Cfg;

@@ -1,0 +1,140 @@
+//===- BinaryStream.h - Portable binary encode/decode ------------*- C++ -*-===//
+///
+/// \file
+/// The byte-level writer/reader behind the serialized artifact formats
+/// (ir/Serialize.h module snapshots, the DecodedProgram image inside a
+/// CompiledModule). Everything is explicit little-endian byte
+/// composition — no struct memcpy, no host-endianness leaks — so bytes
+/// written on any platform decode on any other (docs/caching.md version
+/// policy).
+///
+/// Unsigned integers use LEB128 varints (field values here are small:
+/// indices, counts); signed values go through zigzag first so small
+/// negatives stay small. Floats are carried as their raw IEEE-754 bit
+/// patterns, never through text or double conversion, so NaN payloads
+/// and signed zeros round-trip bit-exactly.
+///
+/// ByteReader is total: reads past the end set a sticky failure flag and
+/// return zeros instead of touching out-of-range memory, so decoders can
+/// run a whole parse and check failed() once per structural boundary.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SUPPORT_BINARYSTREAM_H
+#define DARM_SUPPORT_BINARYSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darm {
+
+/// Appends little-endian/varint-encoded fields to a byte buffer.
+class ByteWriter {
+public:
+  void writeU8(uint8_t V) { Bytes.push_back(V); }
+  void writeU16(uint16_t V) {
+    writeU8(static_cast<uint8_t>(V));
+    writeU8(static_cast<uint8_t>(V >> 8));
+  }
+  void writeU32(uint32_t V) {
+    writeU16(static_cast<uint16_t>(V));
+    writeU16(static_cast<uint16_t>(V >> 16));
+  }
+  void writeU64(uint64_t V) {
+    writeU32(static_cast<uint32_t>(V));
+    writeU32(static_cast<uint32_t>(V >> 32));
+  }
+  /// LEB128 varint.
+  void writeVar(uint64_t V) {
+    while (V >= 0x80) {
+      writeU8(static_cast<uint8_t>(V) | 0x80);
+      V >>= 7;
+    }
+    writeU8(static_cast<uint8_t>(V));
+  }
+  /// Zigzag + varint.
+  void writeSVar(int64_t V) {
+    writeVar((static_cast<uint64_t>(V) << 1) ^
+             static_cast<uint64_t>(V >> 63));
+  }
+  /// Varint length + raw bytes.
+  void writeStr(const std::string &S) {
+    writeVar(S.size());
+    Bytes.insert(Bytes.end(), S.begin(), S.end());
+  }
+
+  std::vector<uint8_t> take() { return std::move(Bytes); }
+  size_t size() const { return Bytes.size(); }
+
+private:
+  std::vector<uint8_t> Bytes;
+};
+
+/// Reads the ByteWriter encoding back. Never reads out of range: a short
+/// buffer poisons the reader (failed() becomes true) and every later
+/// read returns zero values.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  uint8_t readU8() {
+    if (Pos >= Size) {
+      Fail = true;
+      return 0;
+    }
+    return Data[Pos++];
+  }
+  uint16_t readU16() {
+    uint16_t Lo = readU8(), Hi = readU8();
+    return static_cast<uint16_t>(Lo | (Hi << 8));
+  }
+  uint32_t readU32() {
+    uint32_t Lo = readU16(), Hi = readU16();
+    return Lo | (Hi << 16);
+  }
+  uint64_t readU64() {
+    uint64_t Lo = readU32(), Hi = readU32();
+    return Lo | (Hi << 32);
+  }
+  uint64_t readVar() {
+    uint64_t V = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      uint8_t B = readU8();
+      V |= static_cast<uint64_t>(B & 0x7f) << Shift;
+      if (!(B & 0x80))
+        return V;
+    }
+    Fail = true; // > 10-byte varint: malformed
+    return 0;
+  }
+  int64_t readSVar() {
+    uint64_t V = readVar();
+    return static_cast<int64_t>((V >> 1) ^ (~(V & 1) + 1));
+  }
+  std::string readStr() {
+    uint64_t N = readVar();
+    if (N > Size - Pos || Fail) { // Pos <= Size always holds
+      Fail = true;
+      return std::string();
+    }
+    std::string S(reinterpret_cast<const char *>(Data + Pos),
+                  static_cast<size_t>(N));
+    Pos += static_cast<size_t>(N);
+    return S;
+  }
+
+  bool failed() const { return Fail; }
+  bool atEnd() const { return Pos == Size && !Fail; }
+  size_t position() const { return Pos; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Fail = false;
+};
+
+} // namespace darm
+
+#endif // DARM_SUPPORT_BINARYSTREAM_H

@@ -1,0 +1,84 @@
+//===- Hashing.h - Stable content hashing ------------------------*- C++ -*-===//
+///
+/// \file
+/// A stable, platform-independent byte hasher for content-addressed
+/// compile caching (docs/caching.md). The algorithm is FNV-1a/64: tiny,
+/// dependency-free, and — unlike std::hash — specified here, so a hash
+/// recorded by one build (or, later, one darmd process) matches any
+/// other. Streaming via StableHasher and one-shot via hashBytes produce
+/// identical results for identical byte sequences.
+///
+/// `hashModule` / `hashFunction` hash the *canonical textual IR* (the
+/// IRPrinter form, whose byte-determinism across Contexts and
+/// value-numbering orders is pinned by tests/serialize_test.cpp), so two
+/// structurally identical kernels built in different Contexts hash
+/// equal. They are declared here with the raw hasher they compose, but
+/// implemented in the darm_ir layer (src/ir/Serialize.cpp) — callers
+/// need darm_ir anyway to have a Module to hash. The compile cache's
+/// key itself hashes the cheaper canonical *binary* snapshot instead
+/// (artifactIRHash in core/CompiledModule.h), keeping these text hashes
+/// as the fallback for IR the serializer refuses.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SUPPORT_HASHING_H
+#define DARM_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace darm {
+
+class Module;
+class Function;
+
+/// Incremental FNV-1a/64. Byte-order independent by construction (it
+/// consumes bytes, never host words).
+class StableHasher {
+public:
+  static constexpr uint64_t kOffsetBasis = 1469598103934665603ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  void update(const void *Data, size_t Size) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Size; ++I) {
+      H ^= P[I];
+      H *= kPrime;
+    }
+  }
+  void update(const std::string &S) { update(S.data(), S.size()); }
+  /// Hashes an integer as its 8-byte little-endian image, so the result
+  /// does not depend on host endianness or integer width promotions.
+  void updateU64(uint64_t V) {
+    unsigned char B[8];
+    for (int I = 0; I < 8; ++I)
+      B[I] = static_cast<unsigned char>(V >> (8 * I));
+    update(B, 8);
+  }
+
+  uint64_t finish() const { return H; }
+
+private:
+  uint64_t H = kOffsetBasis;
+};
+
+/// One-shot FNV-1a/64 over a byte range.
+inline uint64_t hashBytes(const void *Data, size_t Size) {
+  StableHasher Hash;
+  Hash.update(Data, Size);
+  return Hash.finish();
+}
+inline uint64_t hashBytes(const std::string &S) {
+  return hashBytes(S.data(), S.size());
+}
+
+/// Content hash of a module / function: FNV-1a/64 of its canonical
+/// printed form. Stable across Contexts, processes and platforms; the
+/// cache key half that identifies *what* is being compiled
+/// (docs/caching.md). Implemented in src/ir/Serialize.cpp (darm_ir).
+uint64_t hashModule(const Module &M);
+uint64_t hashFunction(const Function &F);
+
+} // namespace darm
+
+#endif // DARM_SUPPORT_HASHING_H

@@ -2,11 +2,14 @@
 
 #include "darm/check/CorpusRunner.h"
 
+#include "darm/core/CompileService.h"
 #include "darm/fuzz/DiffOracle.h"
 #include "darm/fuzz/KernelGenerator.h"
 #include "darm/ir/Context.h"
 #include "darm/ir/Module.h"
 #include "darm/kernels/Benchmark.h"
+#include "darm/sim/DecodedProgram.h"
+#include "darm/sim/Simulator.h"
 #include "darm/transform/DCE.h"
 #include "darm/transform/SimplifyCFG.h"
 
@@ -67,17 +70,47 @@ std::vector<ClaimConfig> darm::check::attributionConfigs() {
 
 namespace {
 
+/// Artifact fingerprint for a claims config. The config name uniquely
+/// identifies the transform *and* the corpus pipeline around it
+/// (simplify-cfg + DCE), so it is the whole fingerprint; the version
+/// tag invalidates every claims artifact if the pipeline itself changes.
+std::string claimsFingerprint(const std::string &CfgName) {
+  return "darm-claims-v1;" + CfgName;
+}
+
 /// One (benchmark, config) measurement. \p B is shared read-only across
 /// a cell's config jobs — the kernel is built fresh (transforms mutate
 /// in place, so every config needs its own build), but the benchmark
 /// descriptor and its host-input recipe are constructed once per cell,
 /// not once per config (decode/build reuse, docs/performance.md).
+///
+/// With \p Cache the compiled pipeline goes through the get-or-compile
+/// cache, and the run consumes the artifact's DecodedProgram image —
+/// identical on hit and miss, so cold, warm and uncached measurements
+/// all agree byte for byte (docs/caching.md).
 ConfigMetrics measureBenchmarkConfig(
     const Benchmark &B, const std::string &CfgName,
-    const std::function<void(Function &)> &Transform) {
+    const std::function<void(Function &)> &Transform,
+    CompileService *Cache) {
   Context Ctx;
   Module M(Ctx, B.name());
   Function *F = B.build(M);
+  if (Cache) {
+    CompileService::Artifact Art = Cache->getOrCompile(
+        *F, claimsFingerprint(CfgName),
+        [&Transform](Function &K, DARMStats &) {
+          if (Transform)
+            Transform(K);
+          simplifyCFG(K);
+          eliminateDeadCode(K);
+        });
+    DecodedProgram P;
+    if (Art->failed() || !decodeFromArtifact(*Art, P))
+      return {CfgName, SimStats(), 0, false};
+    SimEngine Engine(std::move(P));
+    BenchRun R = runBenchmark(B, Engine);
+    return {CfgName, R.Total, R.MemHash, R.Valid};
+  }
   if (Transform)
     Transform(*F);
   // Same cleanup pipeline as the sim goldens, so the unmelded reference
@@ -88,13 +121,41 @@ ConfigMetrics measureBenchmarkConfig(
   return {CfgName, R.Total, R.MemHash, R.Valid};
 }
 
-/// One (fuzz seed, config) measurement; self-contained per job.
+/// One (fuzz seed, config) measurement; self-contained per job. The
+/// cached path runs the artifact's DecodedProgram image through the
+/// program overload of simulateFuzzCase — decode is static and safe at
+/// compile time; only the run itself needs the fatal-abort guard.
 ConfigMetrics measureFuzzConfig(
     const fuzz::FuzzCase &C, const std::string &CfgName,
-    const std::function<void(Function &)> &Transform) {
+    const std::function<void(Function &)> &Transform,
+    CompileService *Cache) {
   Context Ctx;
   Module M(Ctx, CfgName);
   Function *F = fuzz::buildFuzzKernel(M, C);
+  if (Cache) {
+    CompileService::Artifact Art = Cache->getOrCompile(
+        *F, claimsFingerprint(CfgName),
+        [&Transform](Function &K, DARMStats &) {
+          if (Transform)
+            Transform(K);
+          else {
+            // Cleaned-baseline policy, mirrored below.
+            simplifyCFG(K);
+            eliminateDeadCode(K);
+          }
+        });
+    DecodedProgram P;
+    if (Art->failed() || !decodeFromArtifact(*Art, P))
+      return {CfgName, SimStats(), 0, false};
+    GlobalMemory Mem;
+    std::vector<uint64_t> Args = fuzz::setupFuzzMemory(C, Mem);
+    std::string Fatal;
+    SimStats S = fuzz::simulateFuzzCase(std::move(P), C, Args, Mem, &Fatal);
+    ConfigMetrics CM{CfgName, S, 0, Fatal.empty()};
+    if (Fatal.empty())
+      CM.MemHash = hashMemoryImage(Mem);
+    return CM;
+  }
   if (Transform)
     Transform(*F);
   else {
@@ -136,9 +197,10 @@ KernelClaims darm::check::measureBenchmark(
       K.Configs.push_back({Cfg.Name, SimStats(), 0, false});
     return K;
   }
-  K.Configs.push_back(measureBenchmarkConfig(*B, "unmelded", nullptr));
+  K.Configs.push_back(measureBenchmarkConfig(*B, "unmelded", nullptr, nullptr));
   for (const ClaimConfig &Cfg : Configs)
-    K.Configs.push_back(measureBenchmarkConfig(*B, Cfg.Name, Cfg.Transform));
+    K.Configs.push_back(
+        measureBenchmarkConfig(*B, Cfg.Name, Cfg.Transform, nullptr));
   return K;
 }
 
@@ -151,23 +213,25 @@ KernelClaims darm::check::measureFuzz(const fuzz::FuzzCase &C,
   KernelClaims K;
   K.Kernel = C.name();
   K.BlockSize = 0;
-  K.Configs.push_back(measureFuzzConfig(C, "unmelded", nullptr));
+  K.Configs.push_back(measureFuzzConfig(C, "unmelded", nullptr, nullptr));
   for (const ClaimConfig &Cfg : Configs)
-    K.Configs.push_back(measureFuzzConfig(C, Cfg.Name, Cfg.Transform));
+    K.Configs.push_back(measureFuzzConfig(C, Cfg.Name, Cfg.Transform, nullptr));
   return K;
 }
 
 std::vector<KernelClaims> darm::check::measureCorpus(
     ThreadPool &Pool, const std::vector<BenchCell> &Cells,
     const std::vector<uint64_t> &Seeds,
-    const std::function<void(const KernelClaims &)> &OnKernel) {
-  return measureCorpus(Pool, Cells, Seeds, claimConfigs(), OnKernel);
+    const std::function<void(const KernelClaims &)> &OnKernel,
+    CompileService *Cache) {
+  return measureCorpus(Pool, Cells, Seeds, claimConfigs(), OnKernel, Cache);
 }
 
 std::vector<KernelClaims> darm::check::measureCorpus(
     ThreadPool &Pool, const std::vector<BenchCell> &Cells,
     const std::vector<uint64_t> &Seeds, const std::vector<ClaimConfig> &Cfgs,
-    const std::function<void(const KernelClaims &)> &OnKernel) {
+    const std::function<void(const KernelClaims &)> &OnKernel,
+    CompileService *Cache) {
   const size_t CfgsPerKernel = 1 + Cfgs.size(); // unmelded first
   const size_t NumKernels = Cells.size() + Seeds.size();
 
@@ -206,11 +270,12 @@ std::vector<KernelClaims> darm::check::measureCorpus(
           if (Kernel < Cells.size()) {
             if (!Benchs[K])
               return {CfgName, SimStats(), 0, false};
-            return measureBenchmarkConfig(*Benchs[K], CfgName, Transform);
+            return measureBenchmarkConfig(*Benchs[K], CfgName, Transform,
+                                          Cache);
           }
           return measureFuzzConfig(
               fuzz::FuzzCase(Seeds[Kernel - Cells.size()]), CfgName,
-              Transform);
+              Transform, Cache);
         });
 
     for (size_t K = 0; K < ChunkN; ++K) {

@@ -1,0 +1,293 @@
+//===- CompileService.cpp - Artifact compilation + sharded cache --------------===//
+//
+// Implements the context-free artifact layer (core/CompiledModule.h) and
+// the sharded get-or-compile cache in front of it (core/CompileService.h,
+// docs/caching.md). Lives in the darm_service library: producing a
+// DecodedProgram image needs darm_sim, which the core layers must not
+// link (darm_sim already depends on darm_analysis below them).
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/core/CompileService.h"
+
+#include "darm/analysis/Verifier.h"
+#include "darm/core/DARMPass.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/ir/Serialize.h"
+#include "darm/sim/DecodedProgram.h"
+#include "darm/support/Hashing.h"
+
+#include <sstream>
+
+using namespace darm;
+
+//===----------------------------------------------------------------------===//
+// Config fingerprint
+//===----------------------------------------------------------------------===//
+
+std::string darm::configFingerprint(const DARMConfig &Cfg) {
+  // Every field, in declaration order, under a version tag. Doubles are
+  // printed with max_digits10 round-trip precision so distinct values
+  // never collapse to one fingerprint. sizeof(DARMConfig) acts as a
+  // tripwire: growing the struct without extending this list changes the
+  // fingerprint wholesale (a cache flush), never a silent false hit —
+  // and the unit test pins the expected size so the diff points here.
+  std::ostringstream OS;
+  OS.precision(17);
+  OS << "darm-cfg-v1;" << sizeof(DARMConfig) << ';';
+  OS << Cfg.ProfitThreshold << ';' << Cfg.InstrGapPenalty << ';'
+     << Cfg.SubgraphGapPenalty << ';' << Cfg.EnableUnpredication << ';'
+     << Cfg.DiamondOnly << ';' << Cfg.EnableRegionReplication << ';'
+     << Cfg.MinAbsoluteSaving << ';' << Cfg.MaxIterations << ';'
+     << Cfg.VerifyEachStep << ';' << Cfg.EnableConstProp << ';'
+     << Cfg.EnableAlgebraic << ';' << Cfg.EnableGVN << ';' << Cfg.EnableLICM
+     << ';' << Cfg.EnableLoopUnroll;
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Artifact construction / consumption
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Miss-path core shared by compileToArtifact and getOrCompile. \p
+/// Snapshot, when non-null, is F's canonical single-function snapshot
+/// (serializeFunction) and \p IRHash its hash — computed once by the
+/// caller, because at corpus scale serializing + hashing the snapshot is
+/// ~3x cheaper than hashing the printed text, and the same bytes then
+/// rematerialize the kernel. A null snapshot (IR the serializer refuses)
+/// falls back to the printed-form round trip.
+CompiledModule compileArtifactImpl(const Function &F,
+                                   const std::vector<uint8_t> *Snapshot,
+                                   uint64_t IRHash,
+                                   const std::string &Fingerprint,
+                                   const CompileFn &Compile,
+                                   bool IncludeProgram) {
+  CompiledModule Art;
+  Art.IRHash = IRHash;
+  Art.Fingerprint = Fingerprint;
+
+  // Rematerialize the kernel in a private Context (round-trip identity of
+  // both forms is pinned), so the caller's function and Context are never
+  // touched.
+  Context Ctx;
+  std::string Err;
+  std::unique_ptr<Module> M = Snapshot
+                                  ? deserializeModule(Ctx, *Snapshot, &Err)
+                                  : parseModule(Ctx, printFunction(F), &Err);
+  if (!M || M->functions().empty()) {
+    Art.CompileError = "artifact: input rematerialization failed: " + Err;
+    return Art;
+  }
+  Function &Kernel = *M->functions().front();
+
+  Compile(Kernel, Art.Stats);
+
+  if (!verifyFunction(Kernel, &Err)) {
+    // Cache the negative result: consumers report the verifier message
+    // exactly as a direct compile would, without re-running the broken
+    // transform per consumer.
+    Art.CompileError = Err;
+    return Art;
+  }
+
+  Art.ModuleBytes = serializeModule(*M);
+  if (Art.ModuleBytes.empty()) {
+    Art.CompileError = "artifact: melded module is not serializable";
+    return Art;
+  }
+  if (IncludeProgram)
+    Art.ProgramBytes = serializeDecodedProgram(decodeProgram(Kernel));
+  return Art;
+}
+
+} // namespace
+
+uint64_t darm::artifactIRHash(const Function &F) {
+  std::vector<uint8_t> Snap = serializeFunction(F);
+  return Snap.empty() ? hashFunction(F)
+                      : hashBytes(Snap.data(), Snap.size());
+}
+
+CompiledModule darm::compileToArtifact(const Function &F,
+                                       const std::string &Fingerprint,
+                                       const CompileFn &Compile,
+                                       bool IncludeProgram) {
+  std::vector<uint8_t> Snap = serializeFunction(F);
+  if (!Snap.empty())
+    return compileArtifactImpl(F, &Snap, hashBytes(Snap.data(), Snap.size()),
+                               Fingerprint, Compile, IncludeProgram);
+  return compileArtifactImpl(F, nullptr, hashFunction(F), Fingerprint, Compile,
+                             IncludeProgram);
+}
+
+CompiledModule darm::compileToArtifact(const Function &F,
+                                       const DARMConfig &Cfg,
+                                       bool IncludeProgram) {
+  return compileToArtifact(
+      F, configFingerprint(Cfg),
+      [&Cfg](Function &Kernel, DARMStats &Stats) {
+        runDARM(Kernel, Cfg, &Stats);
+      },
+      IncludeProgram);
+}
+
+std::unique_ptr<Module> darm::moduleFromArtifact(const CompiledModule &Art,
+                                                 Context &Ctx,
+                                                 std::string *Err) {
+  if (Art.failed()) {
+    if (Err)
+      *Err = Art.CompileError;
+    return nullptr;
+  }
+  return deserializeModule(Ctx, Art.ModuleBytes, Err);
+}
+
+bool darm::decodeFromArtifact(const CompiledModule &Art, DecodedProgram &P) {
+  return !Art.ProgramBytes.empty() &&
+         deserializeDecodedProgram(Art.ProgramBytes.data(),
+                                   Art.ProgramBytes.size(), P);
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService
+//===----------------------------------------------------------------------===//
+
+size_t CompileService::KeyHash::operator()(const Key &K) const {
+  StableHasher H;
+  H.updateU64(K.IRHash);
+  H.update(K.Fingerprint);
+  return static_cast<size_t>(H.finish());
+}
+
+CompileService::CompileService() : CompileService(Options()) {}
+
+CompileService::CompileService(Options O) : Opts(O) {
+  if (Opts.NumShards == 0)
+    Opts.NumShards = 1;
+  ShardBudget = Opts.MaxBytes / Opts.NumShards;
+  Shards = std::vector<Shard>(Opts.NumShards);
+}
+
+CompileService::Shard &CompileService::shardFor(const Key &K) const {
+  return Shards[KeyHash()(K) % Shards.size()];
+}
+
+CompileService::Artifact CompileService::lookup(
+    uint64_t IRHash, const std::string &Fingerprint) const {
+  Key K{IRHash, Fingerprint};
+  Shard &S = shardFor(K);
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(K);
+  return It == S.Map.end() ? nullptr : It->second->Art;
+}
+
+CompileService::Artifact CompileService::getOrCompile(const Function &F,
+                                                      const std::string &FP,
+                                                      const CompileFn &Compile,
+                                                      bool IncludeProgram) {
+  // One snapshot serves both halves of the miss path: its hash is the
+  // content key (artifactIRHash), and on a miss the same bytes
+  // rematerialize the kernel — nothing is printed, parsed or hashed
+  // twice.
+  std::vector<uint8_t> Snap = serializeFunction(F);
+  Key K{Snap.empty() ? hashFunction(F) : hashBytes(Snap.data(), Snap.size()),
+        FP};
+  Shard &S = shardFor(K);
+  {
+    std::lock_guard<std::mutex> Lock(S.M);
+    auto It = S.Map.find(K);
+    // A hit must satisfy the caller: an entry cached without a program
+    // image does not serve an IncludeProgram request (failed artifacts
+    // have nothing to decode and always count as hits).
+    if (It != S.Map.end() &&
+        (!IncludeProgram || It->second->Art->failed() ||
+         !It->second->Art->ProgramBytes.empty())) {
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      Hits.fetch_add(1, std::memory_order_relaxed);
+      return It->second->Art;
+    }
+  }
+  // Compile with no lock held: a multi-second meld must not serialize
+  // every other key in the shard. Racing compiles of the same key are
+  // deterministic duplicates; insert() keeps the first.
+  Misses.fetch_add(1, std::memory_order_relaxed);
+  auto Art = std::make_shared<const CompiledModule>(
+      compileArtifactImpl(F, Snap.empty() ? nullptr : &Snap, K.IRHash, FP,
+                          Compile, IncludeProgram));
+  return insert(K, std::move(Art), IncludeProgram);
+}
+
+CompileService::Artifact CompileService::getOrCompile(const Function &F,
+                                                      const DARMConfig &Cfg,
+                                                      bool IncludeProgram) {
+  return getOrCompile(
+      F, configFingerprint(Cfg),
+      [&Cfg](Function &Kernel, DARMStats &Stats) {
+        runDARM(Kernel, Cfg, &Stats);
+      },
+      IncludeProgram);
+}
+
+CompileService::Artifact CompileService::insert(const Key &K, Artifact Art,
+                                                bool RequireProgram) {
+  Shard &S = shardFor(K);
+  size_t Bytes = Art->byteSize();
+  std::lock_guard<std::mutex> Lock(S.M);
+  auto It = S.Map.find(K);
+  if (It != S.Map.end()) {
+    // Keep the incumbent unless ours upgrades it with a program image.
+    bool Upgrade = RequireProgram && !It->second->Art->failed() &&
+                   It->second->Art->ProgramBytes.empty();
+    if (!Upgrade) {
+      DuplicateCompiles.fetch_add(1, std::memory_order_relaxed);
+      S.Lru.splice(S.Lru.begin(), S.Lru, It->second);
+      return It->second->Art;
+    }
+    S.Bytes -= It->second->Bytes;
+    S.Lru.erase(It->second);
+    S.Map.erase(It);
+  }
+  S.Lru.push_front(Entry{K, Art, Bytes});
+  S.Map[K] = S.Lru.begin();
+  S.Bytes += Bytes;
+  while (S.Bytes > ShardBudget && S.Lru.size() > 1) {
+    Entry &Cold = S.Lru.back();
+    S.Bytes -= Cold.Bytes;
+    S.Map.erase(Cold.K);
+    S.Lru.pop_back();
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+  return Art;
+}
+
+CompileService::CacheStats CompileService::stats() const {
+  CacheStats St;
+  St.Hits = Hits.load(std::memory_order_relaxed);
+  St.Misses = Misses.load(std::memory_order_relaxed);
+  St.Evictions = Evictions.load(std::memory_order_relaxed);
+  St.DuplicateCompiles = DuplicateCompiles.load(std::memory_order_relaxed);
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    St.Bytes += S.Bytes;
+    St.Entries += S.Map.size();
+  }
+  return St;
+}
+
+void CompileService::clear() {
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.M);
+    S.Lru.clear();
+    S.Map.clear();
+    S.Bytes = 0;
+  }
+  Hits.store(0);
+  Misses.store(0);
+  Evictions.store(0);
+  DuplicateCompiles.store(0);
+}

@@ -3,12 +3,14 @@
 #include "darm/fuzz/DiffOracle.h"
 
 #include "darm/analysis/Verifier.h"
+#include "darm/core/CompileService.h"
 #include "darm/core/DARMPass.h"
 #include "darm/fuzz/Minimizer.h"
 #include "darm/ir/Context.h"
 #include "darm/ir/IRParser.h"
 #include "darm/ir/IRPrinter.h"
 #include "darm/ir/Module.h"
+#include "darm/ir/Serialize.h"
 #include "darm/transform/DCE.h"
 #include "darm/transform/Passes.h"
 #include "darm/transform/SimplifyCFG.h"
@@ -125,6 +127,52 @@ bool roundTripFails(const std::string &Text, const FuzzCase &C,
   return false;
 }
 
+/// Evaluates the binary-serialization axis from \p Bytes, the reference
+/// module's serialized form (captured before any pass touches it, like
+/// the round-trip axis text). The deserialized kernel must verify,
+/// re-serialize to the identical bytes, and re-simulate to the identical
+/// image and counters — snapshots feed the compile cache
+/// (docs/caching.md), where "close" is a miscompile.
+bool serializeFails(const std::vector<uint8_t> &Bytes, const FuzzCase &C,
+                    const MemImage &Ref, std::string &Detail) {
+  if (Bytes.empty()) {
+    Detail = "reference kernel is not serializable";
+    return true;
+  }
+  Context SCtx;
+  std::string Err;
+  auto SM = deserializeModule(SCtx, Bytes, &Err);
+  if (!SM || SM->functions().empty()) {
+    Detail = "deserialize error: " + Err;
+    return true;
+  }
+  Function *SF = SM->functions().front().get();
+  if (!verifyFunction(*SF, &Err)) {
+    Detail = "deserialized kernel fails verifier: " + Err;
+    return true;
+  }
+  if (serializeModule(*SM) != Bytes) {
+    Detail = "serialize->deserialize->serialize not stable";
+    return true;
+  }
+  MemImage Img = runCase(*SF, C);
+  if (!(Img == Ref)) {
+    Detail = "deserialized kernel diverges: " + diffDetail(Ref, Img);
+    return true;
+  }
+  for (unsigned I = 0; I < SimStats::NumCounters; ++I)
+    if (Img.Stats.counter(I) != Ref.Stats.counter(I)) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf), "ref=%llu got=%llu",
+                    static_cast<unsigned long long>(Ref.Stats.counter(I)),
+                    static_cast<unsigned long long>(Img.Stats.counter(I)));
+      Detail = std::string("deserialized kernel changes counters: ") +
+               SimStats::counterName(I) + " " + Buf;
+      return true;
+    }
+  return false;
+}
+
 /// Shared tail of the cleaned-baseline check: runs the *non-melding*
 /// half of the DARM pipeline (simplifycfg + DCE) on a throwaway copy
 /// \p F, verifies, re-simulates, and compares against the reference
@@ -186,11 +234,37 @@ bool transformFails(const OracleConfig &Cfg, const FuzzCase &C,
     Detail = "edit script failed to replay";
     return false; // can't evaluate; treat as not-failing
   }
-  Cfg.Transform(*F);
-  std::string Err;
-  if (!verifyFunction(*F, &Err)) {
-    Detail = "verifier: " + Err;
-    return true;
+  Context ArtCtx; // owns the deserialized artifact module when cached
+  std::unique_ptr<Module> ArtM;
+  if (O.Cache && Edits.empty()) {
+    // Cached axis: compile through the service and evaluate the
+    // deserialized artifact — the exact bytes a warm hit would serve,
+    // so verdicts cannot depend on cache state. The fingerprint is
+    // fuzz-specific: the claims corpus wraps the same transforms in
+    // simplifycfg+dce, this axis does not.
+    CompileService::Artifact Art = O.Cache->getOrCompile(
+        *F, "darm-fuzz-v1;" + Cfg.Name,
+        [&Cfg](Function &K, DARMStats &) { Cfg.Transform(K); },
+        /*IncludeProgram=*/false);
+    if (Art->failed()) {
+      // A verifier failure is cached as a negative artifact carrying the
+      // same message the direct path would report.
+      Detail = "verifier: " + Art->CompileError;
+      return true;
+    }
+    ArtM = moduleFromArtifact(*Art, ArtCtx);
+    if (!ArtM || ArtM->functions().empty()) {
+      Detail = "artifact module does not deserialize";
+      return true;
+    }
+    F = ArtM->functions().front().get();
+  } else {
+    Cfg.Transform(*F);
+    std::string Err;
+    if (!verifyFunction(*F, &Err)) {
+      Detail = "verifier: " + Err;
+      return true;
+    }
   }
   MemImage Img = runCase(*F, C);
   if (!(Img == Ref)) {
@@ -220,7 +294,7 @@ bool transformFails(const OracleConfig &Cfg, const FuzzCase &C,
 }
 
 /// Which kind of axis a failure belongs to, for minimization replay.
-enum class AxisKind { Transform, RoundTrip, Cleanup };
+enum class AxisKind { Transform, RoundTrip, Serialize, Cleanup };
 
 /// Full axis evaluation used by both the oracle sweep and the minimizer
 /// predicate: rebuild (with edits), re-run reference, test the axis.
@@ -240,6 +314,8 @@ bool axisFailsOnEdits(const OracleConfig *Cfg, AxisKind Kind,
     return false; // an edit that aborts the reference is not a reduction
   if (Kind == AxisKind::RoundTrip)
     return roundTripFails(printFunction(*RF), C, Ref, Detail);
+  if (Kind == AxisKind::Serialize)
+    return serializeFails(serializeModule(RM), C, Ref, Detail);
   if (Kind == AxisKind::Cleanup) {
     SimStats Baseline;
     std::string BDetail;
@@ -334,12 +410,16 @@ OracleResult darm::fuzz::runOracle(const FuzzCase &C,
     return R;
   }
 
-  // The round-trip axis only needs the reference's printed form; capture
-  // it now so the built reference kernel itself can be reused (mutated)
-  // for the cleanup baseline below instead of rebuilding from the seed.
+  // The round-trip and serialization axes only need the reference's
+  // printed/serialized form; capture both now so the built reference
+  // kernel itself can be reused (mutated) for the cleanup baseline below
+  // instead of rebuilding from the seed.
   std::string RefText;
   if (O.RoundTrip)
     RefText = printFunction(*RF);
+  std::vector<uint8_t> RefBytes;
+  if (O.Serialize)
+    RefBytes = serializeModule(RM);
 
   // Claims baseline: the kernel through simplifycfg+dce (the non-melding
   // half of the pipeline). Must preserve behaviour; a change is its own
@@ -376,6 +456,14 @@ OracleResult darm::fuzz::runOracle(const FuzzCase &C,
     if (roundTripFails(RefText, C, Ref, Detail)) {
       FailKind = AxisKind::RoundTrip;
       R.Config = "roundtrip";
+      R.Detail = Detail;
+    }
+  }
+  if (R.Config.empty() && O.Serialize) {
+    std::string Detail;
+    if (serializeFails(RefBytes, C, Ref, Detail)) {
+      FailKind = AxisKind::Serialize;
+      R.Config = "serialize";
       R.Detail = Detail;
     }
   }
@@ -518,6 +606,25 @@ OracleResult darm::fuzz::checkRepro(Function &Kernel, const FuzzCase &C,
   std::string Detail;
   if (Config == "roundtrip") {
     if (roundTripFails(printFunction(Kernel), C, Ref, Detail)) {
+      R.Mismatch = true;
+      R.Config = Config;
+      R.Detail = Detail;
+    }
+    return R;
+  }
+  if (Config == "serialize") {
+    // Clone via print->parse (the repro flow only reaches here once the
+    // text round-trips) so serialization sees a module holding exactly
+    // the repro kernel, without touching the caller's copy.
+    Context SCtx;
+    auto SM = parseModule(SCtx, printFunction(Kernel), &Err);
+    if (!SM) {
+      R.Mismatch = true;
+      R.Config = Config;
+      R.Detail = "repro kernel does not re-parse: " + Err;
+      return R;
+    }
+    if (serializeFails(serializeModule(*SM), C, Ref, Detail)) {
       R.Mismatch = true;
       R.Config = Config;
       R.Detail = Detail;

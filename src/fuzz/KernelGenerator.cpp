@@ -701,9 +701,15 @@ std::vector<uint64_t> darm::fuzz::setupFuzzMemory(const FuzzCase &C,
   return {IBuf, FBuf, C.IntElems};
 }
 
-SimStats darm::fuzz::simulateFuzzCase(Function &F, const FuzzCase &C,
-                                      const std::vector<uint64_t> &Args,
-                                      GlobalMemory &Mem, std::string *Fatal) {
+namespace {
+
+/// Shared guarded-run core of both simulateFuzzCase overloads. \p Make
+/// constructs the engine inside the guard (engine construction may
+/// allocate or, for the function overload, decode).
+template <typename MakeEngine>
+SimStats runFuzzGuarded(MakeEngine Make, const FuzzCase &C,
+                        const std::vector<uint64_t> &Args, GlobalMemory &Mem,
+                        std::string *Fatal) {
   struct SimAbort {
     std::string Msg;
   };
@@ -718,10 +724,10 @@ SimStats darm::fuzz::simulateFuzzCase(Function &F, const FuzzCase &C,
   ScopedFatalErrorHandler Guard(Catcher::raise);
   SimStats Total;
   try {
-    // Decode once; replay NumLaunches launches over the accumulating
-    // memory (the kernel reads back its own output cells, so launches
-    // are genuinely stateful).
-    SimEngine Engine(F);
+    // Build the engine once; replay NumLaunches launches over the
+    // accumulating memory (the kernel reads back its own output cells,
+    // so launches are genuinely stateful).
+    SimEngine Engine = Make();
     for (unsigned L = 0, E = std::max(1u, C.NumLaunches); L != E; ++L)
       Total += Engine.run(C.Launch, Args, Mem);
   } catch (const SimAbort &E) {
@@ -729,4 +735,19 @@ SimStats darm::fuzz::simulateFuzzCase(Function &F, const FuzzCase &C,
       *Fatal = E.Msg;
   }
   return Total;
+}
+
+} // namespace
+
+SimStats darm::fuzz::simulateFuzzCase(Function &F, const FuzzCase &C,
+                                      const std::vector<uint64_t> &Args,
+                                      GlobalMemory &Mem, std::string *Fatal) {
+  return runFuzzGuarded([&F] { return SimEngine(F); }, C, Args, Mem, Fatal);
+}
+
+SimStats darm::fuzz::simulateFuzzCase(DecodedProgram P, const FuzzCase &C,
+                                      const std::vector<uint64_t> &Args,
+                                      GlobalMemory &Mem, std::string *Fatal) {
+  return runFuzzGuarded([&P] { return SimEngine(std::move(P)); }, C, Args, Mem,
+                        Fatal);
 }

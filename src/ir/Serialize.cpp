@@ -1,0 +1,881 @@
+//===- Serialize.cpp - Binary module snapshots --------------------------------===//
+//
+// The version-1 module encoding (ir/Serialize.h): interned type and
+// constant tables followed by per-function instruction records with
+// tagged operand references. The deserializer mirrors IRParser's
+// forward-reference handling (detached Argument placeholders, RAUW'd
+// when the defining instruction materializes), validates every index and
+// operand type before constructing an instruction — corrupt bytes
+// produce an error string, never an out-of-range read or a tripped
+// constructor assert — and rebuilds names through Function::uniqueName
+// so the result prints byte-identically to the source module.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/ir/Serialize.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Instruction.h"
+#include "darm/ir/Module.h"
+#include "darm/support/BinaryStream.h"
+#include "darm/support/Hashing.h"
+
+#include <cstring>
+#include <map>
+#include <unordered_map>
+
+using namespace darm;
+
+uint64_t darm::hashModule(const Module &M) { return hashBytes(printModule(M)); }
+uint64_t darm::hashFunction(const Function &F) {
+  return hashBytes(printFunction(F));
+}
+
+namespace {
+
+// "DRMB" — DARM binary module.
+constexpr uint8_t kMagic[4] = {'D', 'R', 'M', 'B'};
+
+// Operand reference tags (low two bits of the varint).
+enum RefTag : uint64_t {
+  RefInst = 0,   // instruction, function-wide flat index in layout order
+  RefArg = 1,    // function argument index
+  RefShared = 2, // shared array index
+  RefConst = 3,  // constant table index
+};
+
+// Type table kinds. Primitives match Type::Kind's order; pointers add
+// their pointee index + address space.
+enum TypeRec : uint8_t {
+  TyVoid = 0,
+  TyInt1 = 1,
+  TyInt32 = 2,
+  TyInt64 = 3,
+  TyFloat = 4,
+  TyPointer = 5,
+};
+
+// Constant table kinds.
+enum ConstRec : uint8_t {
+  ConstInt = 0,   // type index + zigzag value
+  ConstFloat = 1, // raw IEEE-754 bits (always f32)
+  ConstUndef = 2, // type index
+};
+
+uint32_t floatBits(float V) {
+  uint32_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+float bitsToFloat(uint32_t Bits) {
+  float V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+class ModuleWriter {
+public:
+  std::vector<uint8_t> write(const std::string &Name,
+                             const std::vector<const Function *> &Fns) {
+    // Function bodies stream into Body while lazily interning types and
+    // constants; the finalized tables are emitted first, then the body.
+    Body.writeVar(Fns.size());
+    for (const Function *F : Fns)
+      writeFunction(*F);
+    if (Bad)
+      return {};
+
+    ByteWriter Out;
+    for (uint8_t B : kMagic)
+      Out.writeU8(B);
+    Out.writeU16(kModuleFormatVersion);
+    Out.writeU16(0); // reserved
+    Out.writeStr(Name);
+
+    Out.writeVar(TypeRecs.size());
+    for (const auto &R : TypeRecs) {
+      Out.writeU8(R.Kind);
+      if (R.Kind == TyPointer) {
+        Out.writeVar(R.Pointee);
+        Out.writeU8(R.AddrSpace);
+      }
+    }
+    Out.writeVar(ConstRecs.size());
+    for (const auto &R : ConstRecs) {
+      Out.writeU8(R.Kind);
+      switch (R.Kind) {
+      case ConstInt:
+        Out.writeVar(R.Type);
+        Out.writeSVar(R.IntVal);
+        break;
+      case ConstFloat:
+        Out.writeU32(R.FloatBits);
+        break;
+      case ConstUndef:
+        Out.writeVar(R.Type);
+        break;
+      }
+    }
+    std::vector<uint8_t> BodyBytes = Body.take();
+    std::vector<uint8_t> All = Out.take();
+    All.insert(All.end(), BodyBytes.begin(), BodyBytes.end());
+    return All;
+  }
+
+private:
+  struct TypeRecord {
+    uint8_t Kind;
+    uint32_t Pointee = 0;
+    uint8_t AddrSpace = 0;
+  };
+  struct ConstRecord {
+    uint8_t Kind;
+    uint32_t Type = 0;
+    int64_t IntVal = 0;
+    uint32_t FloatBits = 0;
+  };
+
+  uint64_t typeIdx(Type *Ty) {
+    auto It = TypeIdx.find(Ty);
+    if (It != TypeIdx.end())
+      return It->second;
+    TypeRecord R;
+    switch (Ty->getKind()) {
+    case Type::Kind::Void:
+      R.Kind = TyVoid;
+      break;
+    case Type::Kind::Int1:
+      R.Kind = TyInt1;
+      break;
+    case Type::Kind::Int32:
+      R.Kind = TyInt32;
+      break;
+    case Type::Kind::Int64:
+      R.Kind = TyInt64;
+      break;
+    case Type::Kind::Float:
+      R.Kind = TyFloat;
+      break;
+    case Type::Kind::Pointer:
+      R.Kind = TyPointer;
+      // Interns the pointee first, so the table is topologically ordered
+      // and the reader can resolve pointees as it goes.
+      R.Pointee = static_cast<uint32_t>(typeIdx(Ty->getPointee()));
+      R.AddrSpace = static_cast<uint8_t>(Ty->getAddressSpace());
+      break;
+    }
+    uint64_t Idx = TypeRecs.size();
+    TypeRecs.push_back(R);
+    TypeIdx[Ty] = Idx;
+    return Idx;
+  }
+
+  uint64_t constIdx(const Constant *C) {
+    auto It = ConstIdx.find(C);
+    if (It != ConstIdx.end())
+      return It->second;
+    ConstRecord R;
+    if (const auto *CI = dyn_cast<ConstantInt>(C)) {
+      R.Kind = ConstInt;
+      R.Type = static_cast<uint32_t>(typeIdx(CI->getType()));
+      R.IntVal = CI->getValue();
+    } else if (const auto *CF = dyn_cast<ConstantFloat>(C)) {
+      R.Kind = ConstFloat;
+      R.FloatBits = floatBits(CF->getValue());
+    } else {
+      R.Kind = ConstUndef;
+      R.Type = static_cast<uint32_t>(typeIdx(C->getType()));
+    }
+    uint64_t Idx = ConstRecs.size();
+    ConstRecs.push_back(R);
+    ConstIdx[C] = Idx;
+    return Idx;
+  }
+
+  void writeRef(const Value *V) {
+    if (const auto *C = dyn_cast<Constant>(V)) {
+      Body.writeVar((constIdx(C) << 2) | RefConst);
+      return;
+    }
+    auto It = LocalIdx.find(V);
+    if (It == LocalIdx.end()) {
+      // Operand from another function or a detached value: the module is
+      // not well-formed enough to snapshot.
+      Bad = true;
+      Body.writeVar(RefInst);
+      return;
+    }
+    Body.writeVar(It->second);
+  }
+
+  void writeFunction(const Function &F) {
+    LocalIdx.clear();
+    Body.writeStr(F.getName());
+    Body.writeVar(typeIdx(F.getReturnType()));
+
+    Body.writeVar(F.args().size());
+    for (size_t I = 0; I < F.args().size(); ++I) {
+      const Argument *A = F.args()[I].get();
+      Body.writeVar(typeIdx(A->getType()));
+      Body.writeStr(A->getName());
+      LocalIdx[A] = (uint64_t{I} << 2) | RefArg;
+    }
+    Body.writeVar(F.sharedArrays().size());
+    for (size_t I = 0; I < F.sharedArrays().size(); ++I) {
+      const SharedArray *S = F.sharedArrays()[I].get();
+      Body.writeVar(typeIdx(S->getType()->getPointee()));
+      Body.writeVar(S->getNumElements());
+      Body.writeStr(S->getName());
+      LocalIdx[S] = (uint64_t{I} << 2) | RefShared;
+    }
+
+    std::map<const BasicBlock *, uint64_t> BlockIdx;
+    Body.writeVar(F.getNumBlocks());
+    for (const BasicBlock *BB : F) {
+      BlockIdx[BB] = BlockIdx.size();
+      Body.writeStr(BB->getName());
+    }
+    // Flat instruction indices, assigned up front so phis (and any other
+    // forward reference) encode uniformly.
+    uint64_t NextInst = 0;
+    for (const BasicBlock *BB : F)
+      for (const Instruction *I : *BB)
+        LocalIdx[I] = (NextInst++ << 2) | RefInst;
+
+    for (const BasicBlock *BB : F) {
+      Body.writeVar(BB->size());
+      for (const Instruction *I : *BB) {
+        Body.writeU8(static_cast<uint8_t>(I->getOpcode()));
+        uint8_t SubOp = 0;
+        if (const auto *IC = dyn_cast<ICmpInst>(I))
+          SubOp = static_cast<uint8_t>(IC->getPredicate());
+        else if (const auto *FC = dyn_cast<FCmpInst>(I))
+          SubOp = static_cast<uint8_t>(FC->getPredicate());
+        else if (const auto *CA = dyn_cast<CallInst>(I))
+          SubOp = static_cast<uint8_t>(CA->getIntrinsic());
+        Body.writeU8(SubOp);
+        Body.writeVar(typeIdx(I->getType()));
+        Body.writeStr(I->getType()->isVoid() ? std::string() : I->getName());
+
+        switch (I->getOpcode()) {
+        case Opcode::Br:
+          Body.writeVar(BlockIdx[cast<BrInst>(I)->getTarget()]);
+          break;
+        case Opcode::CondBr: {
+          const auto *CB = cast<CondBrInst>(I);
+          writeRef(CB->getCondition());
+          Body.writeVar(BlockIdx[CB->getTrueSuccessor()]);
+          Body.writeVar(BlockIdx[CB->getFalseSuccessor()]);
+          break;
+        }
+        case Opcode::Phi: {
+          const auto *P = cast<PhiInst>(I);
+          Body.writeVar(P->getNumIncoming());
+          for (unsigned K = 0; K < P->getNumIncoming(); ++K) {
+            writeRef(P->getIncomingValue(K));
+            Body.writeVar(BlockIdx[P->getIncomingBlock(K)]);
+          }
+          break;
+        }
+        default:
+          Body.writeVar(I->getNumOperands());
+          for (unsigned K = 0; K < I->getNumOperands(); ++K)
+            writeRef(I->getOperand(K));
+          break;
+        }
+      }
+    }
+  }
+
+  ByteWriter Body;
+  std::vector<TypeRecord> TypeRecs;
+  std::vector<ConstRecord> ConstRecs;
+  std::unordered_map<Type *, uint64_t> TypeIdx;
+  std::unordered_map<const Constant *, uint64_t> ConstIdx;
+  std::unordered_map<const Value *, uint64_t> LocalIdx;
+  bool Bad = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Deserialization
+//===----------------------------------------------------------------------===//
+
+class ModuleReader {
+public:
+  ModuleReader(Context &Ctx, const uint8_t *Data, size_t Size)
+      : Ctx(Ctx), R(Data, Size) {}
+
+  std::unique_ptr<Module> read(std::string *Err) {
+    auto M = readImpl();
+    if (!M && Err)
+      *Err = ErrorMsg.empty() ? "truncated snapshot" : ErrorMsg;
+    return M;
+  }
+
+private:
+  bool error(const std::string &Msg) {
+    if (ErrorMsg.empty())
+      ErrorMsg = Msg;
+    return false;
+  }
+
+  Type *readTypeIdx() {
+    uint64_t Idx = R.readVar();
+    if (Idx >= Types.size()) {
+      error("type index out of range");
+      return nullptr;
+    }
+    return Types[Idx];
+  }
+
+  std::unique_ptr<Module> readImpl() {
+    for (uint8_t Expect : kMagic)
+      if (R.readU8() != Expect) {
+        error("bad magic (not a DARM module snapshot)");
+        return nullptr;
+      }
+    uint16_t Version = R.readU16();
+    if (Version != kModuleFormatVersion) {
+      error("unsupported snapshot version " + std::to_string(Version));
+      return nullptr;
+    }
+    R.readU16(); // reserved
+    std::string ModName = R.readStr();
+    if (R.failed()) {
+      error("truncated header");
+      return nullptr;
+    }
+
+    uint64_t NumTypes = R.readVar();
+    if (NumTypes > (1u << 20)) {
+      error("implausible type table size");
+      return nullptr;
+    }
+    Types.reserve(NumTypes);
+    for (uint64_t I = 0; I < NumTypes; ++I) {
+      uint8_t Kind = R.readU8();
+      switch (Kind) {
+      case TyVoid:
+        Types.push_back(Ctx.getVoidTy());
+        break;
+      case TyInt1:
+        Types.push_back(Ctx.getInt1Ty());
+        break;
+      case TyInt32:
+        Types.push_back(Ctx.getInt32Ty());
+        break;
+      case TyInt64:
+        Types.push_back(Ctx.getInt64Ty());
+        break;
+      case TyFloat:
+        Types.push_back(Ctx.getFloatTy());
+        break;
+      case TyPointer: {
+        uint64_t Pointee = R.readVar();
+        uint8_t AS = R.readU8();
+        if (Pointee >= Types.size()) {
+          error("pointer pointee index out of range");
+          return nullptr;
+        }
+        if (AS != 1 && AS != 3) {
+          error("bad address space");
+          return nullptr;
+        }
+        if (Types[Pointee]->isVoid() || Types[Pointee]->isPointer()) {
+          error("bad pointee type");
+          return nullptr;
+        }
+        Types.push_back(
+            Ctx.getPointerTy(Types[Pointee], static_cast<AddressSpace>(AS)));
+        break;
+      }
+      default:
+        error("unknown type kind");
+        return nullptr;
+      }
+      if (R.failed()) {
+        error("truncated type table");
+        return nullptr;
+      }
+    }
+
+    uint64_t NumConsts = R.readVar();
+    if (NumConsts > (1u << 28)) {
+      error("implausible constant table size");
+      return nullptr;
+    }
+    Consts.reserve(NumConsts);
+    for (uint64_t I = 0; I < NumConsts; ++I) {
+      uint8_t Kind = R.readU8();
+      switch (Kind) {
+      case ConstInt: {
+        Type *Ty = readTypeIdx();
+        int64_t V = R.readSVar();
+        if (!Ty)
+          return nullptr;
+        if (!Ty->isInteger()) {
+          error("integer constant with non-integer type");
+          return nullptr;
+        }
+        Consts.push_back(Ctx.getConstantInt(Ty, V));
+        break;
+      }
+      case ConstFloat:
+        Consts.push_back(Ctx.getConstantFloat(bitsToFloat(R.readU32())));
+        break;
+      case ConstUndef: {
+        Type *Ty = readTypeIdx();
+        if (!Ty)
+          return nullptr;
+        Consts.push_back(Ctx.getUndef(Ty));
+        break;
+      }
+      default:
+        error("unknown constant kind");
+        return nullptr;
+      }
+      if (R.failed()) {
+        error("truncated constant table");
+        return nullptr;
+      }
+    }
+
+    auto M = std::make_unique<Module>(Ctx, ModName);
+    uint64_t NumFuncs = R.readVar();
+    if (NumFuncs > (1u << 16)) {
+      error("implausible function count");
+      return nullptr;
+    }
+    for (uint64_t I = 0; I < NumFuncs; ++I)
+      if (!readFunction(*M))
+        return nullptr;
+    if (!R.atEnd()) {
+      error("trailing bytes after module");
+      return nullptr;
+    }
+    return M;
+  }
+
+  /// One decoded instruction record; operands stay as raw tagged refs
+  /// until the construction pass resolves them.
+  struct InstRec {
+    Opcode Op;
+    uint8_t SubOp;
+    Type *Ty;
+    std::string Name;
+    std::vector<uint64_t> Refs;
+    std::vector<uint64_t> Blocks; // phi incoming / branch successors
+  };
+
+  /// Resolves a tagged reference while constructing instruction \p Cur.
+  /// Instruction references at or past Cur come back as typed
+  /// placeholders that RAUW to the real value once it exists.
+  Value *resolveRef(uint64_t Ref, size_t Cur) {
+    uint64_t Idx = Ref >> 2;
+    switch (Ref & 3) {
+    case RefArg:
+      if (Idx >= F->getNumArgs()) {
+        error("argument reference out of range");
+        return nullptr;
+      }
+      return F->getArg(static_cast<unsigned>(Idx));
+    case RefShared:
+      if (Idx >= F->sharedArrays().size()) {
+        error("shared-array reference out of range");
+        return nullptr;
+      }
+      return F->sharedArrays()[static_cast<size_t>(Idx)].get();
+    case RefConst:
+      if (Idx >= Consts.size()) {
+        error("constant reference out of range");
+        return nullptr;
+      }
+      return Consts[static_cast<size_t>(Idx)];
+    default:
+      break;
+    }
+    if (Idx >= Defined.size()) {
+      error("instruction reference out of range");
+      return nullptr;
+    }
+    if (Idx < Cur && Defined[static_cast<size_t>(Idx)])
+      return Defined[static_cast<size_t>(Idx)];
+    auto It = Placeholders.find(static_cast<uint32_t>(Idx));
+    if (It != Placeholders.end())
+      return It->second.get();
+    Type *Ty = RecTypes[static_cast<size_t>(Idx)];
+    auto Ref2 = std::make_unique<Argument>(Ty, std::string(), nullptr, ~0u);
+    Value *Raw = Ref2.get();
+    Placeholders.emplace(static_cast<uint32_t>(Idx), std::move(Ref2));
+    return Raw;
+  }
+
+  /// Releases unresolved placeholders without tripping the live-use
+  /// assert: anything still referencing one is redirected to undef.
+  void dropPlaceholders() {
+    for (auto &KV : Placeholders)
+      KV.second->replaceAllUsesWith(Ctx.getUndef(KV.second->getType()));
+    Placeholders.clear();
+  }
+
+  bool readFunction(Module &M) {
+    std::string Name = R.readStr();
+    Type *RetTy = readTypeIdx();
+    if (!RetTy || R.failed())
+      return error("truncated function header");
+
+    uint64_t NumArgs = R.readVar();
+    if (NumArgs > (1u << 16))
+      return error("implausible argument count");
+    Function::ParamList Params;
+    for (uint64_t I = 0; I < NumArgs; ++I) {
+      Type *Ty = readTypeIdx();
+      std::string AName = R.readStr();
+      if (!Ty || R.failed())
+        return error("truncated argument list");
+      Params.push_back({Ty, AName});
+    }
+    F = M.createFunction(Name, RetTy, Params);
+
+    uint64_t NumShareds = R.readVar();
+    if (NumShareds > (1u << 16))
+      return error("implausible shared-array count");
+    for (uint64_t I = 0; I < NumShareds; ++I) {
+      Type *ElemTy = readTypeIdx();
+      uint64_t N = R.readVar();
+      std::string SName = R.readStr();
+      if (!ElemTy || R.failed())
+        return error("truncated shared-array list");
+      if (ElemTy->isVoid() || ElemTy->isPointer())
+        return error("bad shared-array element type");
+      if (N > (1u << 28))
+        return error("implausible shared-array size");
+      F->createSharedArray(ElemTy, static_cast<unsigned>(N), SName);
+    }
+
+    uint64_t NumBlocks = R.readVar();
+    if (NumBlocks > (1u << 24))
+      return error("implausible block count");
+    std::vector<BasicBlock *> Blocks;
+    Blocks.reserve(NumBlocks);
+    for (uint64_t I = 0; I < NumBlocks; ++I) {
+      std::string BName = R.readStr();
+      if (R.failed())
+        return error("truncated block name table");
+      Blocks.push_back(F->createBlock(BName));
+    }
+
+    // Pass 1: decode every record, so forward references know the type
+    // of the instruction they point at before it exists.
+    std::vector<std::vector<InstRec>> Body(Blocks.size());
+    RecTypes.clear();
+    for (size_t B = 0; B < Blocks.size(); ++B) {
+      uint64_t NumInsts = R.readVar();
+      if (NumInsts > (1u << 24))
+        return error("implausible instruction count");
+      Body[B].reserve(NumInsts);
+      for (uint64_t I = 0; I < NumInsts; ++I) {
+        InstRec Rec;
+        uint8_t Op = R.readU8();
+        if (Op >= static_cast<uint8_t>(Opcode::NumOpcodes))
+          return error("unknown opcode");
+        Rec.Op = static_cast<Opcode>(Op);
+        Rec.SubOp = R.readU8();
+        Rec.Ty = readTypeIdx();
+        Rec.Name = R.readStr();
+        if (!Rec.Ty || R.failed())
+          return error("truncated instruction record");
+        switch (Rec.Op) {
+        case Opcode::Br:
+          Rec.Blocks.push_back(R.readVar());
+          break;
+        case Opcode::CondBr:
+          Rec.Refs.push_back(R.readVar());
+          Rec.Blocks.push_back(R.readVar());
+          Rec.Blocks.push_back(R.readVar());
+          break;
+        case Opcode::Phi: {
+          uint64_t N = R.readVar();
+          if (N > (1u << 20))
+            return error("implausible phi arity");
+          for (uint64_t K = 0; K < N; ++K) {
+            Rec.Refs.push_back(R.readVar());
+            Rec.Blocks.push_back(R.readVar());
+          }
+          break;
+        }
+        default: {
+          uint64_t N = R.readVar();
+          if (N > (1u << 16))
+            return error("implausible operand count");
+          for (uint64_t K = 0; K < N; ++K)
+            Rec.Refs.push_back(R.readVar());
+          break;
+        }
+        }
+        if (R.failed())
+          return error("truncated instruction record");
+        for (uint64_t BI : Rec.Blocks)
+          if (BI >= Blocks.size())
+            return error("block reference out of range");
+        RecTypes.push_back(Rec.Ty);
+        Body[B].push_back(std::move(Rec));
+      }
+    }
+
+    // Pass 2: construct in order, resolving operands (placeholder-and-
+    // RAUW for forward references, exactly like the textual parser).
+    Defined.assign(RecTypes.size(), nullptr);
+    Placeholders.clear();
+    size_t Cur = 0;
+    for (size_t B = 0; B < Blocks.size(); ++B) {
+      for (InstRec &Rec : Body[B]) {
+        Instruction *I = buildInst(Rec, Blocks, Cur);
+        if (!I) {
+          dropPlaceholders();
+          return false;
+        }
+        if (!I->getType()->isVoid() && !Rec.Name.empty())
+          I->setName(F->uniqueName(Rec.Name));
+        if (I->isTerminator() && Blocks[B]->getTerminator()) {
+          delete I;
+          dropPlaceholders();
+          return error("multiple terminators in block");
+        }
+        Blocks[B]->push_back(I);
+        Defined[Cur] = I;
+        auto It = Placeholders.find(static_cast<uint32_t>(Cur));
+        if (It != Placeholders.end()) {
+          It->second->replaceAllUsesWith(I);
+          Placeholders.erase(It);
+        }
+        ++Cur;
+      }
+    }
+    // Every flat index is defined by construction, so any surviving
+    // placeholder means buildInst dropped a reference on an error path.
+    dropPlaceholders();
+    return true;
+  }
+
+  /// Constructs one instruction from its record, validating operand
+  /// types first: the IR constructors assert these invariants, and an
+  /// assert is the wrong failure mode for untrusted bytes.
+  Instruction *buildInst(const InstRec &Rec,
+                         const std::vector<BasicBlock *> &Blocks, size_t Cur) {
+    auto Operand = [&](size_t K) -> Value * {
+      return K < Rec.Refs.size() ? resolveRef(Rec.Refs[K], Cur) : nullptr;
+    };
+    auto Expect = [&](size_t N) {
+      if (Rec.Refs.size() != N) {
+        error("operand count mismatch");
+        return false;
+      }
+      return true;
+    };
+    Type *VoidTy = Ctx.getVoidTy();
+    switch (Rec.Op) {
+    case Opcode::Br:
+      if (!Expect(0))
+        return nullptr;
+      return new BrInst(Blocks[static_cast<size_t>(Rec.Blocks[0])], VoidTy);
+    case Opcode::CondBr: {
+      if (!Expect(1))
+        return nullptr;
+      Value *C = Operand(0);
+      if (!C)
+        return nullptr;
+      if (!C->getType()->isInt1()) {
+        error("condbr condition is not i1");
+        return nullptr;
+      }
+      return new CondBrInst(C, Blocks[static_cast<size_t>(Rec.Blocks[0])],
+                            Blocks[static_cast<size_t>(Rec.Blocks[1])],
+                            VoidTy);
+    }
+    case Opcode::Ret: {
+      if (Rec.Refs.size() > 1) {
+        error("ret with more than one operand");
+        return nullptr;
+      }
+      Value *V = Rec.Refs.empty() ? nullptr : Operand(0);
+      if (!Rec.Refs.empty() && !V)
+        return nullptr;
+      return new RetInst(VoidTy, V);
+    }
+    case Opcode::ICmp:
+    case Opcode::FCmp: {
+      if (!Expect(2))
+        return nullptr;
+      Value *L = Operand(0), *Rv = Operand(1);
+      if (!L || !Rv)
+        return nullptr;
+      if (L->getType() != Rv->getType() || !Rec.Ty->isInt1()) {
+        error("cmp operand/result type mismatch");
+        return nullptr;
+      }
+      if (Rec.Op == Opcode::ICmp) {
+        if (Rec.SubOp > static_cast<uint8_t>(ICmpPred::UGE)) {
+          error("bad icmp predicate");
+          return nullptr;
+        }
+        return new ICmpInst(static_cast<ICmpPred>(Rec.SubOp), L, Rv,
+                            Ctx.getInt1Ty());
+      }
+      if (Rec.SubOp > static_cast<uint8_t>(FCmpPred::OGE)) {
+        error("bad fcmp predicate");
+        return nullptr;
+      }
+      return new FCmpInst(static_cast<FCmpPred>(Rec.SubOp), L, Rv,
+                          Ctx.getInt1Ty());
+    }
+    case Opcode::ZExt:
+    case Opcode::SExt:
+    case Opcode::Trunc:
+    case Opcode::SIToFP:
+    case Opcode::FPToSI: {
+      if (!Expect(1))
+        return nullptr;
+      Value *V = Operand(0);
+      if (!V)
+        return nullptr;
+      return new CastInst(Rec.Op, V, Rec.Ty);
+    }
+    case Opcode::Load: {
+      if (!Expect(1))
+        return nullptr;
+      Value *P = Operand(0);
+      if (!P)
+        return nullptr;
+      if (!P->getType()->isPointer() || P->getType()->getPointee() != Rec.Ty) {
+        error("load pointer/result type mismatch");
+        return nullptr;
+      }
+      return new LoadInst(P);
+    }
+    case Opcode::Store: {
+      if (!Expect(2))
+        return nullptr;
+      Value *V = Operand(0), *P = Operand(1);
+      if (!V || !P)
+        return nullptr;
+      if (!P->getType()->isPointer() ||
+          P->getType()->getPointee() != V->getType()) {
+        error("store value/pointer type mismatch");
+        return nullptr;
+      }
+      return new StoreInst(V, P, VoidTy);
+    }
+    case Opcode::Gep: {
+      if (!Expect(2))
+        return nullptr;
+      Value *P = Operand(0), *Idx = Operand(1);
+      if (!P || !Idx)
+        return nullptr;
+      if (!P->getType()->isPointer() || P->getType() != Rec.Ty ||
+          !Idx->getType()->isInteger()) {
+        error("gep operand type mismatch");
+        return nullptr;
+      }
+      return new GepInst(P, Idx);
+    }
+    case Opcode::Select: {
+      if (!Expect(3))
+        return nullptr;
+      Value *C = Operand(0), *T = Operand(1), *Fv = Operand(2);
+      if (!C || !T || !Fv)
+        return nullptr;
+      if (!C->getType()->isInt1() || T->getType() != Fv->getType() ||
+          T->getType() != Rec.Ty) {
+        error("select operand type mismatch");
+        return nullptr;
+      }
+      return new SelectInst(C, T, Fv);
+    }
+    case Opcode::Phi: {
+      auto *P = new PhiInst(Rec.Ty);
+      for (size_t K = 0; K < Rec.Refs.size(); ++K) {
+        Value *V = resolveRef(Rec.Refs[K], Cur);
+        if (!V || V->getType() != Rec.Ty) {
+          if (V)
+            error("phi incoming type mismatch");
+          P->dropAllReferences();
+          delete P;
+          return nullptr;
+        }
+        P->addIncoming(V, Blocks[static_cast<size_t>(Rec.Blocks[K])]);
+      }
+      return P;
+    }
+    case Opcode::Call: {
+      if (Rec.SubOp > static_cast<uint8_t>(Intrinsic::ShflSync)) {
+        error("bad intrinsic id");
+        return nullptr;
+      }
+      std::vector<Value *> Args;
+      for (size_t K = 0; K < Rec.Refs.size(); ++K) {
+        Value *V = resolveRef(Rec.Refs[K], Cur);
+        if (!V)
+          return nullptr;
+        Args.push_back(V);
+      }
+      return new CallInst(static_cast<Intrinsic>(Rec.SubOp), Rec.Ty, Args);
+    }
+    default: {
+      // Binary ops (Add..FDiv).
+      if (!Expect(2))
+        return nullptr;
+      Value *L = Operand(0), *Rv = Operand(1);
+      if (!L || !Rv)
+        return nullptr;
+      if (L->getType() != Rv->getType() || L->getType() != Rec.Ty) {
+        error("binary operand type mismatch");
+        return nullptr;
+      }
+      return new BinaryInst(Rec.Op, L, Rv);
+    }
+    }
+  }
+
+  Context &Ctx;
+  ByteReader R;
+  std::string ErrorMsg;
+  std::vector<Type *> Types;
+  std::vector<Constant *> Consts;
+
+  // Per-function construction state.
+  Function *F = nullptr;
+  std::vector<Type *> RecTypes;
+  std::vector<Instruction *> Defined;
+  std::map<uint32_t, std::unique_ptr<Argument>> Placeholders;
+};
+
+} // namespace
+
+std::vector<uint8_t> darm::serializeModule(const Module &M) {
+  std::vector<const Function *> Fns;
+  Fns.reserve(M.functions().size());
+  for (const auto &F : M.functions())
+    Fns.push_back(F.get());
+  return ModuleWriter().write(M.getName(), Fns);
+}
+
+std::vector<uint8_t> darm::serializeFunction(const Function &F) {
+  return ModuleWriter().write(std::string(), {&F});
+}
+
+std::unique_ptr<Module> darm::deserializeModule(Context &Ctx,
+                                                const uint8_t *Data,
+                                                size_t Size, std::string *Err) {
+  return ModuleReader(Ctx, Data, Size).read(Err);
+}
+
+std::unique_ptr<Module> darm::deserializeModule(
+    Context &Ctx, const std::vector<uint8_t> &Bytes, std::string *Err) {
+  return deserializeModule(Ctx, Bytes.data(), Bytes.size(), Err);
+}

@@ -62,11 +62,15 @@ std::unique_ptr<Benchmark> darm::createBenchmark(const std::string &Name,
 }
 
 BenchRun darm::runBenchmark(const Benchmark &B, Function &Kern) {
+  // One decode serves every launch of a multi-launch benchmark.
+  SimEngine Engine(Kern);
+  return runBenchmark(B, Engine);
+}
+
+BenchRun darm::runBenchmark(const Benchmark &B, SimEngine &Engine) {
   BenchRun R;
   GlobalMemory Mem;
   std::vector<uint64_t> Base = B.setup(Mem);
-  // One decode serves every launch of a multi-launch benchmark.
-  SimEngine Engine(Kern);
   for (unsigned L = 0, E = B.numLaunches(); L != E; ++L) {
     std::vector<uint64_t> Args = B.argsForLaunch(L, Base);
     SimStats S = Engine.run(B.launch(), Args, Mem);

@@ -1,0 +1,233 @@
+//===- ProgramSerialize.cpp - DecodedProgram byte image -----------------------===//
+//
+// Field-wise little-endian encoding of a DecodedProgram, the
+// decode-skipping half of a CompiledModule artifact (docs/caching.md).
+// Every field is written through ByteWriter's explicit byte composition;
+// the structs are never memcpy'd, so an image written by any build
+// decodes on any other. A cache hit that goes through these bytes must
+// behave bit-identically to a fresh decodeProgram() — pinned by
+// tests/serialize_test.cpp comparing the two field-for-field.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/sim/DecodedProgram.h"
+#include "darm/support/BinaryStream.h"
+
+using namespace darm;
+
+namespace {
+
+// "DRMP" — DARM program image.
+constexpr uint8_t kMagic[4] = {'D', 'R', 'M', 'P'};
+
+// Element-count sanity bound: a corrupt count must not turn into a
+// multi-gigabyte resize before the sticky-fail reader notices.
+constexpr uint64_t kMaxElems = 1ull << 28;
+
+void writeInst(ByteWriter &W, const DecodedInst &I) {
+  W.writeU8(static_cast<uint8_t>(I.Op));
+  W.writeU8(I.SubOp);
+  W.writeU8(static_cast<uint8_t>(I.Norm));
+  W.writeU8(I.Flags);
+  W.writeU16(I.Latency);
+  W.writeU16(I.ElemSize);
+  W.writeU32(I.Dest);
+  W.writeU32(I.A);
+  W.writeU32(I.B);
+  W.writeU32(I.C);
+}
+
+bool readInst(ByteReader &R, DecodedInst &I) {
+  uint8_t Op = R.readU8();
+  if (Op >= static_cast<uint8_t>(Opcode::NumOpcodes))
+    return false;
+  I.Op = static_cast<Opcode>(Op);
+  I.SubOp = R.readU8();
+  uint8_t Norm = R.readU8();
+  if (Norm > static_cast<uint8_t>(NormKind::F32))
+    return false;
+  I.Norm = static_cast<NormKind>(Norm);
+  I.Flags = R.readU8();
+  I.Latency = R.readU16();
+  I.ElemSize = R.readU16();
+  I.Dest = R.readU32();
+  I.A = R.readU32();
+  I.B = R.readU32();
+  I.C = R.readU32();
+  return !R.failed();
+}
+
+template <typename T, typename Fn>
+void writeVec(ByteWriter &W, const std::vector<T> &V, Fn WriteElem) {
+  W.writeVar(V.size());
+  for (const T &E : V)
+    WriteElem(E);
+}
+
+template <typename T, typename Fn>
+bool readVec(ByteReader &R, std::vector<T> &V, Fn ReadElem) {
+  uint64_t N = R.readVar();
+  if (R.failed() || N > kMaxElems)
+    return false;
+  V.clear();
+  V.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    T E{};
+    if (!ReadElem(E))
+      return false;
+    V.push_back(E);
+  }
+  return !R.failed();
+}
+
+} // namespace
+
+std::vector<uint8_t> darm::serializeDecodedProgram(const DecodedProgram &P) {
+  ByteWriter W;
+  for (uint8_t B : kMagic)
+    W.writeU8(B);
+  W.writeU16(kProgramFormatVersion);
+  W.writeU16(0); // reserved
+
+  W.writeU32(P.NumRegisters);
+  W.writeU32(P.EntryBlock);
+  W.writeU32(P.MaxEdgePhis);
+  W.writeU32(P.SharedMemoryBytes);
+
+  writeVec(W, P.Insts, [&](const DecodedInst &I) { writeInst(W, I); });
+  writeVec(W, P.InstTokens, [&](uint8_t T) { W.writeU8(T); });
+  writeVec(W, P.Blocks, [&](const DecodedBlock &B) {
+    W.writeU32(B.FirstInst);
+    W.writeU32(B.NumInsts);
+    W.writeU32(B.Succ[0]);
+    W.writeU32(B.Succ[1]);
+    for (const PhiCopyRange &E : B.Edge) {
+      W.writeU32(E.Begin);
+      W.writeU32(E.End);
+    }
+    W.writeU32(B.Reconverge);
+    W.writeU8(B.UniformSafe);
+    W.writeU8(B.HasBarrier);
+    W.writeU32(B.NumAluInsts);
+    W.writeU32(B.StaticLatency);
+    W.writeU32(B.TraceId);
+  });
+  writeVec(W, P.Traces, [&](const DecodedTrace &T) {
+    W.writeU32(T.FirstOp);
+    W.writeU32(T.NumOps);
+    W.writeU32(T.PrefixOps);
+    W.writeU32(T.LastBlock);
+    W.writeU32(T.NumBlocks);
+    W.writeU32(T.DynInsts);
+    W.writeU32(T.NumAluInsts);
+    W.writeU32(T.StaticLatency);
+  });
+  writeVec(W, P.TraceOps, [&](const DecodedInst &I) { writeInst(W, I); });
+  writeVec(W, P.TraceTokens, [&](uint8_t T) { W.writeU8(T); });
+  writeVec(W, P.PhiCopies, [&](const PhiCopy &C) {
+    W.writeU32(C.Dest);
+    W.writeU32(C.Src);
+    W.writeU8(static_cast<uint8_t>(C.Norm));
+  });
+  writeVec(W, P.Immediates, [&](uint64_t V) { W.writeU64(V); });
+  writeVec(W, P.ArgRegisters, [&](uint32_t V) { W.writeU32(V); });
+  writeVec(W, P.SharedArrayInit, [&](const std::pair<uint32_t, uint64_t> &S) {
+    W.writeU32(S.first);
+    W.writeU64(S.second);
+  });
+  writeVec(W, P.CrossLaneRegisters, [&](uint32_t V) { W.writeU32(V); });
+  return W.take();
+}
+
+bool darm::deserializeDecodedProgram(const uint8_t *Data, size_t Size,
+                                     DecodedProgram &P) {
+  ByteReader R(Data, Size);
+  for (uint8_t Expect : kMagic)
+    if (R.readU8() != Expect)
+      return false;
+  if (R.readU16() != kProgramFormatVersion)
+    return false;
+  R.readU16(); // reserved
+
+  P = DecodedProgram();
+  P.NumRegisters = R.readU32();
+  P.EntryBlock = R.readU32();
+  P.MaxEdgePhis = R.readU32();
+  P.SharedMemoryBytes = R.readU32();
+
+  bool Ok =
+      readVec(R, P.Insts, [&](DecodedInst &I) { return readInst(R, I); }) &&
+      readVec(R, P.InstTokens,
+              [&](uint8_t &T) {
+                T = R.readU8();
+                return T < kNumTraceToks;
+              }) &&
+      readVec(R, P.Blocks,
+              [&](DecodedBlock &B) {
+                B.FirstInst = R.readU32();
+                B.NumInsts = R.readU32();
+                B.Succ[0] = R.readU32();
+                B.Succ[1] = R.readU32();
+                for (PhiCopyRange &E : B.Edge) {
+                  E.Begin = R.readU32();
+                  E.End = R.readU32();
+                }
+                B.Reconverge = R.readU32();
+                B.UniformSafe = R.readU8();
+                B.HasBarrier = R.readU8();
+                B.NumAluInsts = R.readU32();
+                B.StaticLatency = R.readU32();
+                B.TraceId = R.readU32();
+                return !R.failed();
+              }) &&
+      readVec(R, P.Traces,
+              [&](DecodedTrace &T) {
+                T.FirstOp = R.readU32();
+                T.NumOps = R.readU32();
+                T.PrefixOps = R.readU32();
+                T.LastBlock = R.readU32();
+                T.NumBlocks = R.readU32();
+                T.DynInsts = R.readU32();
+                T.NumAluInsts = R.readU32();
+                T.StaticLatency = R.readU32();
+                return !R.failed();
+              }) &&
+      readVec(R, P.TraceOps,
+              [&](DecodedInst &I) { return readInst(R, I); }) &&
+      readVec(R, P.TraceTokens,
+              [&](uint8_t &T) {
+                T = R.readU8();
+                return T < kNumTraceToks;
+              }) &&
+      readVec(R, P.PhiCopies,
+              [&](PhiCopy &C) {
+                C.Dest = R.readU32();
+                C.Src = R.readU32();
+                uint8_t Norm = R.readU8();
+                if (Norm > static_cast<uint8_t>(NormKind::F32))
+                  return false;
+                C.Norm = static_cast<NormKind>(Norm);
+                return !R.failed();
+              }) &&
+      readVec(R, P.Immediates,
+              [&](uint64_t &V) {
+                V = R.readU64();
+                return true;
+              }) &&
+      readVec(R, P.ArgRegisters,
+              [&](uint32_t &V) {
+                V = R.readU32();
+                return true;
+              }) &&
+      readVec(R, P.SharedArrayInit,
+              [&](std::pair<uint32_t, uint64_t> &S) {
+                S.first = R.readU32();
+                S.second = R.readU64();
+                return true;
+              }) &&
+      readVec(R, P.CrossLaneRegisters, [&](uint32_t &V) {
+        V = R.readU32();
+        return true;
+      });
+  return Ok && !R.failed() && R.atEnd();
+}

@@ -1436,6 +1436,18 @@ void SimEngine::Scratch::executeMemory(Warp &W, const DecodedInst &DI,
 
 SimEngine::SimEngine(Function &Kernel, const GpuConfig &Config)
     : Cfg(Config), S(std::make_unique<Scratch>()) {
+  initScratch();
+  Prog = decodeProgram(Kernel);
+  initProgramScratch();
+}
+
+SimEngine::SimEngine(DecodedProgram Program, const GpuConfig &Config)
+    : Prog(std::move(Program)), Cfg(Config), S(std::make_unique<Scratch>()) {
+  initScratch();
+  initProgramScratch();
+}
+
+void SimEngine::initScratch() {
   Cfg.validate();
   // Shift/mask forms of the contention-model divisors (see Scratch).
   if (std::has_single_bit(uint64_t{Cfg.CoalesceSegmentBytes})) {
@@ -1458,7 +1470,9 @@ SimEngine::SimEngine(Function &Kernel, const GpuConfig &Config)
   // back to the (always compiled) switch executor.
   S->UseThreaded =
       DARM_SIM_HAS_THREADED != 0 && Cfg.Dispatch != SimDispatch::Switch;
-  Prog = decodeProgram(Kernel);
+}
+
+void SimEngine::initProgramScratch() {
   S->Staging.resize(static_cast<size_t>(Prog.MaxEdgePhis) * Cfg.WarpSize);
   S->BankPairs.reserve(Cfg.WarpSize);
   S->Segments.reserve(Cfg.WarpSize);

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "darm/analysis/Verifier.h"
+#include "darm/core/CompileService.h"
 #include "darm/core/DARMPass.h"
 #include "darm/fuzz/DiffOracle.h"
 #include "darm/fuzz/Minimizer.h"
@@ -287,6 +288,45 @@ TEST(Oracle, CatchesInjectedBugAndMinimizes) {
   size_t MinSize = M->functions().front()->getInstructionCount();
   EXPECT_LT(MinSize, OrigSize / 2)
       << "minimizer barely reduced: " << MinSize << " vs " << OrigSize;
+}
+
+TEST(Oracle, CachedSweepMatchesUncachedIncludingFindings) {
+  // The compile-cache path (OracleOptions::Cache, docs/caching.md)
+  // evaluates the deserialized artifact on hit and miss alike, so a
+  // cached sweep — cold or warm — must report the exact finding stream
+  // of an uncached one, broken transforms included.
+  std::vector<uint64_t> Seeds;
+  for (uint64_t S = 0; S < 10; ++S)
+    Seeds.push_back(S);
+  OracleOptions Base;
+  Base.Minimize = false; // verdict identity is the point, not shrinking
+  Base.Configs.push_back({"darm", [](Function &F) { runDARM(F); }});
+  Base.Configs.push_back({"broken", deleteAllStores});
+  const std::vector<SweepRow> Ref = collectSweep(1, Seeds, Base);
+
+  CompileService Cache;
+  OracleOptions Cached = Base;
+  Cached.Cache = &Cache;
+  EXPECT_EQ(collectSweep(4, Seeds, Cached), Ref); // cold: all misses
+  const CompileService::CacheStats Cold = Cache.stats();
+  EXPECT_GT(Cold.Misses, 0u);
+  EXPECT_EQ(Cold.Hits, 0u);
+  EXPECT_EQ(collectSweep(4, Seeds, Cached), Ref); // warm: served from cache
+  const CompileService::CacheStats Warm = Cache.stats();
+  EXPECT_GT(Warm.Hits, 0u);
+  EXPECT_EQ(Warm.Misses, Cold.Misses)
+      << "warm pass should not have compiled anything new";
+}
+
+TEST(Oracle, SerializeAxisReproChecksClean) {
+  // The "serialize" axis travels through checkRepro like any other
+  // config name (darm_fuzz --repro on a serialize finding).
+  FuzzCase C(7);
+  Context Ctx;
+  Module M(Ctx, "k");
+  Function *F = buildFuzzKernel(M, C);
+  OracleResult R = checkRepro(*F, C, "serialize");
+  EXPECT_FALSE(R.Mismatch) << R.Detail;
 }
 
 /// A sabotaged canonicalization pass: the algebraic strength reduction

@@ -1,0 +1,397 @@
+//===- serialize_test.cpp - Binary snapshot faithfulness ----------------------===//
+//
+// Pins the faithfulness contract of ir/Serialize.h and the DecodedProgram
+// image (docs/caching.md): snapshots rebuild byte-identically in fresh
+// Contexts, re-serialize byte-identically, survive melding, reject
+// corrupt bytes without crashing, and a simulator fed through the
+// serialized path behaves bit-identically to one fed the live IR.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/core/DARMPass.h"
+#include "darm/fuzz/KernelGenerator.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRBuilder.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/ir/Serialize.h"
+#include "darm/sim/Simulator.h"
+#include "darm/support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+using namespace darm;
+
+namespace {
+
+// The print-identity + byte-identity round trip for one module.
+void expectRoundTrip(const Module &M) {
+  std::vector<uint8_t> Bytes = serializeModule(M);
+  ASSERT_FALSE(Bytes.empty()) << "module must serialize: " << printModule(M);
+
+  Context Fresh;
+  std::string Err;
+  std::unique_ptr<Module> D = deserializeModule(Fresh, Bytes, &Err);
+  ASSERT_NE(D, nullptr) << Err;
+  EXPECT_EQ(printModule(*D), printModule(M));
+  EXPECT_EQ(D->getName(), M.getName());
+  EXPECT_EQ(serializeModule(*D), Bytes);
+}
+
+TEST(SerializeTest, RoundTripFuzzKernels500Seeds) {
+  for (uint64_t Seed = 0; Seed < 500; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "fuzzmod");
+    fuzz::FuzzCase C(Seed);
+    ASSERT_NE(fuzz::buildFuzzKernel(M, C), nullptr) << "seed " << Seed;
+    expectRoundTrip(M);
+  }
+}
+
+TEST(SerializeTest, RoundTripMeldedKernels) {
+  for (uint64_t Seed = 0; Seed < 64; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "melded");
+    fuzz::FuzzCase C(Seed);
+    Function *F = fuzz::buildFuzzKernel(M, C);
+    ASSERT_NE(F, nullptr);
+    runDARM(*F);
+    expectRoundTrip(M);
+  }
+}
+
+TEST(SerializeTest, MultiFunctionModule) {
+  Context Ctx;
+  Module M(Ctx, "multi");
+  for (uint64_t Seed = 10; Seed < 13; ++Seed) {
+    fuzz::FuzzCase C(Seed);
+    ASSERT_NE(fuzz::buildFuzzKernel(M, C), nullptr);
+  }
+  ASSERT_EQ(M.functions().size(), 3u);
+  expectRoundTrip(M);
+}
+
+TEST(SerializeTest, FunctionSnapshotIsCanonicalAndPure) {
+  // serializeFunction: a single-function module snapshot with the module
+  // name normalized away, so the bytes depend only on the function's
+  // content — the content-address property the compile cache keys on
+  // (core/CompiledModule.h artifactIRHash).
+  for (uint64_t Seed = 0; Seed < 64; ++Seed) {
+    fuzz::FuzzCase C(Seed);
+    Context C1;
+    Module M1(C1, "one-name");
+    Function *F1 = fuzz::buildFuzzKernel(M1, C);
+    Context C2;
+    Module M2(C2, "another-name");
+    Function *F2 = fuzz::buildFuzzKernel(M2, C);
+    fuzz::buildFuzzKernel(M2, fuzz::FuzzCase(Seed + 1000)); // sibling
+
+    std::vector<uint8_t> Snap = serializeFunction(*F1);
+    ASSERT_FALSE(Snap.empty()) << "seed " << Seed;
+    EXPECT_EQ(Snap, serializeFunction(*F2)) << "seed " << Seed;
+
+    // The snapshot is a readable module snapshot: same function text,
+    // empty module name, byte-stable re-serialization.
+    Context Fresh;
+    std::string Err;
+    std::unique_ptr<Module> D = deserializeModule(Fresh, Snap, &Err);
+    ASSERT_NE(D, nullptr) << Err;
+    ASSERT_EQ(D->functions().size(), 1u);
+    EXPECT_EQ(D->getName(), "");
+    EXPECT_EQ(printFunction(*D->functions().front()), printFunction(*F1));
+    EXPECT_EQ(serializeModule(*D), Snap);
+  }
+}
+
+TEST(SerializeTest, FloatBitPatternsSurvive) {
+  // NaN payloads and signed zeros must round-trip bit-exactly: the
+  // constant table stores raw IEEE-754 bits, never a decimal detour.
+  Context Ctx;
+  Module M(Ctx, "floats");
+  Type *FPtr = Ctx.getPointerTy(Ctx.getFloatTy(), AddressSpace::Global);
+  Function *F = M.createFunction("floats", Ctx.getVoidTy(), {{FPtr, "out"}});
+  IRBuilder B(Ctx, F->createBlock("entry"));
+  const uint32_t Patterns[] = {0x7fc12345u, 0xff812345u, 0x80000000u,
+                               0x7f800000u, 0x00000001u};
+  int Idx = 0;
+  for (uint32_t Bits : Patterns) {
+    float V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    Value *P = B.createGep(F->getArg(0), Ctx.getInt32(Idx++));
+    B.createStore(Ctx.getConstantFloat(V), P);
+  }
+  B.createRet();
+  expectRoundTrip(M);
+
+  // And check the reconstructed constants bit-for-bit, not just the text.
+  std::vector<uint8_t> Bytes = serializeModule(M);
+  Context Fresh;
+  std::unique_ptr<Module> D = deserializeModule(Fresh, Bytes);
+  ASSERT_NE(D, nullptr);
+  size_t PatIdx = 0;
+  for (const Instruction *I : D->functions().front()->getEntryBlock())
+    if (const auto *St = dyn_cast<StoreInst>(I)) {
+      uint32_t Got;
+      float V = cast<ConstantFloat>(St->getValueOperand())->getValue();
+      std::memcpy(&Got, &V, sizeof(Got));
+      ASSERT_LT(PatIdx, std::size(Patterns));
+      EXPECT_EQ(Got, Patterns[PatIdx++]);
+    }
+  EXPECT_EQ(PatIdx, std::size(Patterns));
+}
+
+TEST(SerializeTest, RejectsBadMagicAndVersion) {
+  Context Ctx;
+  Module M(Ctx, "small");
+  fuzz::FuzzCase C(1);
+  ASSERT_NE(fuzz::buildFuzzKernel(M, C), nullptr);
+  std::vector<uint8_t> Bytes = serializeModule(M);
+  ASSERT_GE(Bytes.size(), 8u);
+
+  std::string Err;
+  {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[0] = 'X';
+    Context Fresh;
+    EXPECT_EQ(deserializeModule(Fresh, Bad, &Err), nullptr);
+    EXPECT_NE(Err.find("magic"), std::string::npos) << Err;
+  }
+  {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[4] ^= 0xff; // version low byte
+    Context Fresh;
+    EXPECT_EQ(deserializeModule(Fresh, Bad, &Err), nullptr);
+    EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+  }
+}
+
+TEST(SerializeTest, RejectsEveryTruncation) {
+  Context Ctx;
+  Module M(Ctx, "trunc");
+  fuzz::FuzzCase C(2);
+  ASSERT_NE(fuzz::buildFuzzKernel(M, C), nullptr);
+  std::vector<uint8_t> Bytes = serializeModule(M);
+  ASSERT_FALSE(Bytes.empty());
+
+  for (size_t Len = 0; Len < Bytes.size(); ++Len) {
+    Context Fresh;
+    EXPECT_EQ(deserializeModule(Fresh, Bytes.data(), Len, nullptr), nullptr)
+        << "prefix of " << Len << " bytes must not decode";
+  }
+  // Trailing garbage is rejected too — an artifact is exactly one module.
+  std::vector<uint8_t> Long = Bytes;
+  Long.push_back(0);
+  Context Fresh;
+  std::string Err;
+  EXPECT_EQ(deserializeModule(Fresh, Long, &Err), nullptr);
+}
+
+TEST(SerializeTest, ByteFlipsNeverCrash) {
+  Context Ctx;
+  Module M(Ctx, "flip");
+  fuzz::FuzzCase C(3);
+  ASSERT_NE(fuzz::buildFuzzKernel(M, C), nullptr);
+  std::vector<uint8_t> Bytes = serializeModule(M);
+
+  // Every single-byte corruption must either decode cleanly (some flips
+  // only change a name or a constant) or fail with an error — never trip
+  // an assert, read out of range, or leak placeholder values.
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[I] ^= 0x2a;
+    Context Fresh;
+    std::string Err;
+    std::unique_ptr<Module> D = deserializeModule(Fresh, Bad, &Err);
+    if (!D) {
+      EXPECT_FALSE(Err.empty());
+    }
+  }
+}
+
+TEST(SerializeTest, HashStability) {
+  // FNV-1a/64 pinned values: the empty hash is the offset basis, and one
+  // byte applies exactly one xor+multiply round.
+  EXPECT_EQ(hashBytes(std::string()), StableHasher::kOffsetBasis);
+  EXPECT_EQ(hashBytes(std::string("a")),
+            (StableHasher::kOffsetBasis ^ uint64_t{'a'}) *
+                StableHasher::kPrime);
+
+  // hashFunction is a pure function of the canonical text: equal across
+  // Contexts, equal to hashing the print, different for different IR.
+  Context C1, C2;
+  Module M1(C1, "h"), M2(C2, "h");
+  fuzz::FuzzCase A(7), B(8);
+  Function *F1 = fuzz::buildFuzzKernel(M1, A);
+  Function *F2 = fuzz::buildFuzzKernel(M2, A);
+  ASSERT_TRUE(F1 && F2);
+  EXPECT_EQ(hashFunction(*F1), hashFunction(*F2));
+  EXPECT_EQ(hashFunction(*F1), hashBytes(printFunction(*F1)));
+  EXPECT_EQ(hashModule(M1), hashBytes(printModule(M1)));
+
+  Context C3;
+  Module M3(C3, "h");
+  Function *F3 = fuzz::buildFuzzKernel(M3, B);
+  ASSERT_NE(F3, nullptr);
+  EXPECT_NE(hashFunction(*F1), hashFunction(*F3));
+}
+
+//===----------------------------------------------------------------------===//
+// DecodedProgram image
+//===----------------------------------------------------------------------===//
+
+void expectInstEq(const DecodedInst &X, const DecodedInst &Y) {
+  EXPECT_EQ(X.Op, Y.Op);
+  EXPECT_EQ(X.SubOp, Y.SubOp);
+  EXPECT_EQ(X.Norm, Y.Norm);
+  EXPECT_EQ(X.Flags, Y.Flags);
+  EXPECT_EQ(X.Latency, Y.Latency);
+  EXPECT_EQ(X.ElemSize, Y.ElemSize);
+  EXPECT_EQ(X.Dest, Y.Dest);
+  EXPECT_EQ(X.A, Y.A);
+  EXPECT_EQ(X.B, Y.B);
+  EXPECT_EQ(X.C, Y.C);
+}
+
+void expectProgramEq(const DecodedProgram &P, const DecodedProgram &Q) {
+  EXPECT_EQ(P.NumRegisters, Q.NumRegisters);
+  EXPECT_EQ(P.EntryBlock, Q.EntryBlock);
+  EXPECT_EQ(P.MaxEdgePhis, Q.MaxEdgePhis);
+  EXPECT_EQ(P.SharedMemoryBytes, Q.SharedMemoryBytes);
+
+  ASSERT_EQ(P.Insts.size(), Q.Insts.size());
+  for (size_t I = 0; I < P.Insts.size(); ++I)
+    expectInstEq(P.Insts[I], Q.Insts[I]);
+  EXPECT_EQ(P.InstTokens, Q.InstTokens);
+
+  ASSERT_EQ(P.Blocks.size(), Q.Blocks.size());
+  for (size_t I = 0; I < P.Blocks.size(); ++I) {
+    const DecodedBlock &X = P.Blocks[I], &Y = Q.Blocks[I];
+    EXPECT_EQ(X.FirstInst, Y.FirstInst);
+    EXPECT_EQ(X.NumInsts, Y.NumInsts);
+    EXPECT_EQ(X.Succ[0], Y.Succ[0]);
+    EXPECT_EQ(X.Succ[1], Y.Succ[1]);
+    for (int E = 0; E < 2; ++E) {
+      EXPECT_EQ(X.Edge[E].Begin, Y.Edge[E].Begin);
+      EXPECT_EQ(X.Edge[E].End, Y.Edge[E].End);
+    }
+    EXPECT_EQ(X.Reconverge, Y.Reconverge);
+    EXPECT_EQ(X.UniformSafe, Y.UniformSafe);
+    EXPECT_EQ(X.HasBarrier, Y.HasBarrier);
+    EXPECT_EQ(X.NumAluInsts, Y.NumAluInsts);
+    EXPECT_EQ(X.StaticLatency, Y.StaticLatency);
+    EXPECT_EQ(X.TraceId, Y.TraceId);
+  }
+
+  ASSERT_EQ(P.Traces.size(), Q.Traces.size());
+  for (size_t I = 0; I < P.Traces.size(); ++I) {
+    const DecodedTrace &X = P.Traces[I], &Y = Q.Traces[I];
+    EXPECT_EQ(X.FirstOp, Y.FirstOp);
+    EXPECT_EQ(X.NumOps, Y.NumOps);
+    EXPECT_EQ(X.PrefixOps, Y.PrefixOps);
+    EXPECT_EQ(X.LastBlock, Y.LastBlock);
+    EXPECT_EQ(X.NumBlocks, Y.NumBlocks);
+    EXPECT_EQ(X.DynInsts, Y.DynInsts);
+    EXPECT_EQ(X.NumAluInsts, Y.NumAluInsts);
+    EXPECT_EQ(X.StaticLatency, Y.StaticLatency);
+  }
+
+  ASSERT_EQ(P.TraceOps.size(), Q.TraceOps.size());
+  for (size_t I = 0; I < P.TraceOps.size(); ++I)
+    expectInstEq(P.TraceOps[I], Q.TraceOps[I]);
+  EXPECT_EQ(P.TraceTokens, Q.TraceTokens);
+
+  ASSERT_EQ(P.PhiCopies.size(), Q.PhiCopies.size());
+  for (size_t I = 0; I < P.PhiCopies.size(); ++I) {
+    EXPECT_EQ(P.PhiCopies[I].Dest, Q.PhiCopies[I].Dest);
+    EXPECT_EQ(P.PhiCopies[I].Src, Q.PhiCopies[I].Src);
+    EXPECT_EQ(P.PhiCopies[I].Norm, Q.PhiCopies[I].Norm);
+  }
+  EXPECT_EQ(P.Immediates, Q.Immediates);
+  EXPECT_EQ(P.ArgRegisters, Q.ArgRegisters);
+  EXPECT_EQ(P.SharedArrayInit, Q.SharedArrayInit);
+  EXPECT_EQ(P.CrossLaneRegisters, Q.CrossLaneRegisters);
+}
+
+TEST(ProgramSerializeTest, RoundTripFieldForField) {
+  for (uint64_t Seed = 0; Seed < 64; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "prog");
+    fuzz::FuzzCase C(Seed);
+    Function *F = fuzz::buildFuzzKernel(M, C);
+    ASSERT_NE(F, nullptr);
+    if (Seed % 2)
+      runDARM(*F);
+    DecodedProgram P = decodeProgram(*F);
+    std::vector<uint8_t> Bytes = serializeDecodedProgram(P);
+    ASSERT_FALSE(Bytes.empty());
+
+    DecodedProgram Q;
+    ASSERT_TRUE(deserializeDecodedProgram(Bytes.data(), Bytes.size(), Q));
+    expectProgramEq(P, Q);
+    // Re-serialization is byte-identical (the format has one encoding).
+    EXPECT_EQ(serializeDecodedProgram(Q), Bytes);
+  }
+}
+
+TEST(ProgramSerializeTest, RejectsTruncationAndVersionSkew) {
+  Context Ctx;
+  Module M(Ctx, "prog");
+  fuzz::FuzzCase C(5);
+  Function *F = fuzz::buildFuzzKernel(M, C);
+  ASSERT_NE(F, nullptr);
+  std::vector<uint8_t> Bytes = serializeDecodedProgram(decodeProgram(*F));
+
+  DecodedProgram Q;
+  for (size_t Len = 0; Len < Bytes.size(); Len += 3)
+    EXPECT_FALSE(deserializeDecodedProgram(Bytes.data(), Len, Q));
+  std::vector<uint8_t> Bad = Bytes;
+  Bad[4] ^= 0xff;
+  EXPECT_FALSE(deserializeDecodedProgram(Bad.data(), Bad.size(), Q));
+  std::vector<uint8_t> Long = Bytes;
+  Long.push_back(0);
+  EXPECT_FALSE(deserializeDecodedProgram(Long.data(), Long.size(), Q));
+}
+
+TEST(ProgramSerializeTest, EngineFromImageBitIdentical) {
+  // The decode-skipping engine path (SimEngine(DecodedProgram)) must be
+  // indistinguishable from a fresh decode: same SimStats counters, same
+  // final memory image, launch for launch.
+  for (uint64_t Seed = 0; Seed < 32; ++Seed) {
+    Context Ctx;
+    Module M(Ctx, "engine");
+    fuzz::FuzzCase C(Seed);
+    Function *F = fuzz::buildFuzzKernel(M, C);
+    ASSERT_NE(F, nullptr);
+    if (Seed % 2)
+      runDARM(*F);
+
+    GlobalMemory RefMem, ImgMem;
+    std::vector<uint64_t> RefArgs = fuzz::setupFuzzMemory(C, RefMem);
+    std::vector<uint64_t> ImgArgs = fuzz::setupFuzzMemory(C, ImgMem);
+    ASSERT_EQ(RefArgs, ImgArgs);
+
+    std::string Fatal;
+    SimStats Ref = fuzz::simulateFuzzCase(*F, C, RefArgs, RefMem, &Fatal);
+    if (!Fatal.empty())
+      continue; // simulator aborts are the fuzz oracle's business
+
+    std::vector<uint8_t> Bytes = serializeDecodedProgram(decodeProgram(*F));
+    DecodedProgram Img;
+    ASSERT_TRUE(deserializeDecodedProgram(Bytes.data(), Bytes.size(), Img));
+    SimEngine Engine(std::move(Img));
+    SimStats Got;
+    for (unsigned L = 0, E = std::max(1u, C.NumLaunches); L != E; ++L)
+      Got += Engine.run(C.Launch, ImgArgs, ImgMem);
+
+    for (unsigned I = 0; I < SimStats::NumCounters; ++I)
+      EXPECT_EQ(Got.counter(I), Ref.counter(I))
+          << "seed " << Seed << " counter " << SimStats::counterName(I);
+    ASSERT_EQ(RefMem.size(), ImgMem.size());
+    for (uint64_t A = 0; A < RefMem.size(); A += 8)
+      ASSERT_EQ(ImgMem.load(A, 8), RefMem.load(A, 8))
+          << "seed " << Seed << " memory divergence at byte " << A;
+  }
+}
+
+} // namespace

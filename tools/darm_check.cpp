@@ -34,6 +34,17 @@
 //                      (the three tolerance flags tune the benchmark-cell
 //                      gate; fuzz kernels always use the fixed generated-
 //                      kernel/aggregate profiles — docs/claims.md)
+//     --cache          compile every (kernel, config) pair through an
+//                      in-process CompileService (docs/caching.md);
+//                      measurements stay byte-identical to uncached runs
+//     --no-cache       force the direct compile path (wins over --cache
+//                      and --measure-twice's implied cache)
+//     --cache-stats    print a CACHE summary line (hits, misses, hit
+//                      rate, bytes, evictions) after measuring
+//     --measure-twice  measure the whole corpus twice in one process —
+//                      cold cache, then warm — and fail unless the two
+//                      darm-claims-v1 artifacts are byte-identical (the
+//                      CI cache-coherence gate); implies --cache
 //     --no-claims      skip the plausibility gate (goldens/JSON only)
 //     --attribution    measure fuzz kernels under the per-pass attribution
 //                      configs (darm, darm-constprop, ..., darm-canon) and
@@ -48,6 +59,7 @@
 
 #include "darm/check/CorpusRunner.h"
 #include "darm/check/GoldenStore.h"
+#include "darm/core/CompileService.h"
 #include "darm/fuzz/KernelGenerator.h"
 #include "darm/support/Parallel.h"
 #include "darm/support/Shards.h"
@@ -73,6 +85,7 @@ int usage(const char *Argv0) {
       "usage: %s [--benchmarks A,B] [--fuzz-seeds LO:HI] [--shards N:i]\n"
       "          [--jobs N] [--goldens DIR] [--json FILE] [--alu-tol X]\n"
       "          [--db-slack N] [--mem-tol X] [--no-claims] [--attribution]\n"
+      "          [--cache] [--no-cache] [--cache-stats] [--measure-twice]\n"
       "          [--quiet]\n"
       "       %s --compare OLD.json NEW.json [--compare-tol X] [--quiet]\n"
       "tolerance flags apply to benchmark cells; fuzz kernels use the fixed\n"
@@ -267,6 +280,10 @@ int main(int argc, char **argv) {
   bool RunClaims = true;
   bool Attribution = false;
   bool Quiet = false;
+  bool UseCache = false;
+  bool NoCache = false;
+  bool CacheStats = false;
+  bool MeasureTwice = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -371,6 +388,14 @@ int main(int argc, char **argv) {
                      "--mem-tol expects a non-negative fraction (e.g. 0.03)\n");
         return 2;
       }
+    } else if (Arg == "--cache") {
+      UseCache = true;
+    } else if (Arg == "--no-cache") {
+      NoCache = true;
+    } else if (Arg == "--cache-stats") {
+      CacheStats = true;
+    } else if (Arg == "--measure-twice") {
+      MeasureTwice = true;
     } else if (Arg == "--no-claims") {
       RunClaims = false;
     } else if (Arg == "--attribution") {
@@ -432,22 +457,66 @@ int main(int argc, char **argv) {
   // work units); results and progress come back in corpus order, so the
   // gates below and the JSON artifact are byte-identical at any --jobs.
   ThreadPool Pool(Jobs);
-  uint64_t FuzzDone = 0;
-  Measured = measureCorpus(Pool, SelCells, SelSeeds,
-                           Attribution ? attributionConfigs() : claimConfigs(),
-                           [&](const KernelClaims &K) {
-                             if (Quiet)
-                               return;
-                             if (K.BlockSize != 0) {
-                               std::fprintf(stderr, "measured %s/bs%u\n",
-                                            K.Kernel.c_str(), K.BlockSize);
-                             } else if (++FuzzDone % 250 == 1) {
-                               std::fprintf(stderr,
-                                            "measured %llu fuzz seeds...\n",
-                                            static_cast<unsigned long long>(
-                                                FuzzDone));
-                             }
-                           });
+  if (MeasureTwice && !NoCache)
+    UseCache = true; // a second pass over a cold cache proves nothing
+  if (NoCache)
+    UseCache = false;
+  CompileService Cache;
+  CompileService *CachePtr = UseCache ? &Cache : nullptr;
+
+  auto Measure = [&](bool Progress) {
+    uint64_t FuzzDone = 0;
+    return measureCorpus(Pool, SelCells, SelSeeds,
+                         Attribution ? attributionConfigs() : claimConfigs(),
+                         [&](const KernelClaims &K) {
+                           if (Quiet || !Progress)
+                             return;
+                           if (K.BlockSize != 0) {
+                             std::fprintf(stderr, "measured %s/bs%u\n",
+                                          K.Kernel.c_str(), K.BlockSize);
+                           } else if (++FuzzDone % 250 == 1) {
+                             std::fprintf(stderr,
+                                          "measured %llu fuzz seeds...\n",
+                                          static_cast<unsigned long long>(
+                                              FuzzDone));
+                           }
+                         },
+                         CachePtr);
+  };
+  Measured = Measure(/*Progress=*/true);
+  if (MeasureTwice) {
+    // Cache-coherence gate: the same corpus measured again in the same
+    // process — now (with --cache) served from the warm cache — must
+    // reproduce the darm-claims-v1 artifact byte for byte.
+    GoldenFile Cold;
+    Cold.Kernels = Measured;
+    std::vector<KernelClaims> Warm = Measure(/*Progress=*/false);
+    GoldenFile WarmG;
+    WarmG.Kernels = Warm;
+    if (toJson(Cold) != toJson(WarmG)) {
+      std::fprintf(stderr,
+                   "CACHE COHERENCE FAILURE: cold and warm passes disagree\n");
+      return 1;
+    }
+    if (!Quiet)
+      std::fprintf(stderr,
+                   "cache-coherence: cold and warm passes byte-identical "
+                   "(%zu kernels)\n",
+                   Measured.size());
+    Measured = std::move(Warm);
+  }
+  if (CacheStats) {
+    const CompileService::CacheStats CS = Cache.stats();
+    std::printf("CACHE entries=%llu bytes=%llu hits=%llu misses=%llu "
+                "evictions=%llu duplicate_compiles=%llu hit_rate=%.4f\n",
+                static_cast<unsigned long long>(CS.Entries),
+                static_cast<unsigned long long>(CS.Bytes),
+                static_cast<unsigned long long>(CS.Hits),
+                static_cast<unsigned long long>(CS.Misses),
+                static_cast<unsigned long long>(CS.Evictions),
+                static_cast<unsigned long long>(CS.DuplicateCompiles),
+                CS.hitRate());
+  }
   if (Measured.empty()) {
     // Same guard as darm_fuzz: filters that leave nothing measured must
     // not report a clean conformance pass.

@@ -16,8 +16,14 @@
 //     --out DIR        where to write repros (default ".")
 //     --configs a,b    run only the named transform axes
 //     --no-roundtrip   skip the print->parse axis
+//     --no-serialize   skip the binary serialize->deserialize axis
+//                      (docs/caching.md)
 //     --no-minimize    report un-minimized repros
 //     --no-claims      skip the SimStats plausibility axis (docs/claims.md)
+//     --cache          compile transform axes through an in-process
+//                      CompileService; verdicts stay byte-identical at
+//                      any cache state (docs/caching.md)
+//     --cache-stats    print a CACHE summary line after the sweep
 //     --max-failures N stop after N mismatches (default 8)
 //     --quiet          no per-seed progress
 //
@@ -25,6 +31,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "darm/core/CompileService.h"
 #include "darm/fuzz/DiffOracle.h"
 #include "darm/ir/Context.h"
 #include "darm/ir/IRParser.h"
@@ -50,8 +57,9 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s (--seed-range A:B | --seed S | --repro FILE | "
                "--dump S) [--jobs N] [--shards N:i] [--out DIR] "
-               "[--configs a,b] [--no-roundtrip] [--no-minimize] "
-               "[--no-claims] [--max-failures N] [--quiet]\n",
+               "[--configs a,b] [--no-roundtrip] [--no-serialize] "
+               "[--no-minimize] [--no-claims] [--cache] [--cache-stats] "
+               "[--max-failures N] [--quiet]\n",
                Argv0);
   return 2;
 }
@@ -106,6 +114,8 @@ int main(int argc, char **argv) {
   unsigned Shards = 1, ShardIdx = 0;
   unsigned Jobs = hardwareParallelism();
   bool Quiet = false;
+  bool UseCache = false;
+  bool CacheStats = false;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -170,6 +180,12 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--no-roundtrip") {
       Opts.RoundTrip = false;
+    } else if (Arg == "--no-serialize") {
+      Opts.Serialize = false;
+    } else if (Arg == "--cache") {
+      UseCache = true;
+    } else if (Arg == "--cache-stats") {
+      CacheStats = true;
     } else if (Arg == "--no-minimize") {
       Opts.Minimize = false;
     } else if (Arg == "--no-claims") {
@@ -229,6 +245,9 @@ int main(int argc, char **argv) {
         Seeds.push_back(Seed);
 
   ThreadPool Pool(Jobs);
+  CompileService Cache;
+  if (UseCache)
+    Opts.Cache = &Cache;
   unsigned Failures = 0;
   uint64_t Swept = 0;
   sweepSeeds(Pool, Seeds, Opts,
@@ -256,6 +275,18 @@ int main(int argc, char **argv) {
                return Failures < MaxFailures;
              });
 
+  if (CacheStats) {
+    const CompileService::CacheStats CS = Cache.stats();
+    std::printf("CACHE entries=%llu bytes=%llu hits=%llu misses=%llu "
+                "evictions=%llu duplicate_compiles=%llu hit_rate=%.4f\n",
+                static_cast<unsigned long long>(CS.Entries),
+                static_cast<unsigned long long>(CS.Bytes),
+                static_cast<unsigned long long>(CS.Hits),
+                static_cast<unsigned long long>(CS.Misses),
+                static_cast<unsigned long long>(CS.Evictions),
+                static_cast<unsigned long long>(CS.DuplicateCompiles),
+                CS.hitRate());
+  }
   if (Failures) {
     std::fprintf(stderr, "%u mismatching seed(s) in [%llu, %llu)\n", Failures,
                  static_cast<unsigned long long>(Lo),
@@ -272,10 +303,11 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(Hi), ShardIdx, Shards);
     return 2;
   }
-  std::printf("all %llu seed(s) clean across %zu transform config(s)%s%s\n",
+  std::printf("all %llu seed(s) clean across %zu transform config(s)%s%s%s\n",
               static_cast<unsigned long long>(Swept),
               (Opts.Configs.empty() ? defaultConfigs() : Opts.Configs).size(),
               Opts.RoundTrip ? " + roundtrip" : "",
+              Opts.Serialize ? " + serialize" : "",
               Opts.Claims ? " + claims" : "");
   return 0;
 }

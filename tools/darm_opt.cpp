@@ -1,0 +1,300 @@
+//===- darm_opt.cpp - opt-style driver over textual IR -----------------------------===//
+//
+// Reads a kernel in the textual IR syntax, runs the requested pass
+// pipeline, and prints the result (IR or Graphviz DOT). The closest thing
+// to `opt -darm` the paper's artifact exposes.
+//
+//   darm_opt [passes...] [options] file.ir
+//     -passes=a,b,c    run a comma-separated sequence of registry passes
+//                      (docs/passes.md); -list-passes prints the names
+//     -darm            control-flow melding (the paper's pass)
+//     -branch-fusion   diamond-only melding baseline
+//     -tailmerge       tail merging baseline
+//     -simplifycfg     CFG cleanup
+//     -dce             dead code elimination
+//     -threshold=<f>   melding profitability threshold (default 0.2)
+//     -dot             print the CFG in DOT instead of IR
+//     -stats           print melding statistics to stderr
+//     -cache           run the pipeline through the compile-artifact path
+//                      (core/CompileService.h, docs/caching.md): each
+//                      function is compiled into a context-free artifact
+//                      and the *deserialized* snapshot is printed — output
+//                      must be byte-identical to the direct path
+//     -cache-stats     print a CACHE summary line to stderr
+//     -quiet           suppress the IR output (smoke tests, -stats runs)
+//
+// Single-pass flags (-simplifycfg et al.) are sugar for the same names in
+// -passes=; both forms append to one ordered pipeline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/analysis/Verifier.h"
+#include "darm/core/CompileService.h"
+#include "darm/core/DARMPass.h"
+#include "darm/core/TailMerge.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/transform/DCE.h"
+#include "darm/transform/PassManager.h"
+#include "darm/transform/Passes.h"
+#include "darm/transform/SimplifyCFG.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace darm;
+
+namespace {
+
+void splitPassList(const std::string &List, std::vector<std::string> &Out) {
+  std::stringstream SS(List);
+  std::string Name;
+  while (std::getline(SS, Name, ','))
+    if (!Name.empty())
+      Out.push_back(Name);
+}
+
+int listPasses() {
+  std::printf("registry passes (run in the order given to -passes=):\n");
+  for (const PassInfo &P : transformPassRegistry())
+    std::printf("  %-12s %s\n", P.Name.c_str(), P.Description.c_str());
+  std::printf("pipelines:\n"
+              "  %-12s the full DARM melding pipeline (runDARM)\n"
+              "  %-12s the diamond-only Branch Fusion baseline\n"
+              "  %-12s the tail merging baseline\n",
+              "darm", "branch-fusion", "tailmerge");
+  return 0;
+}
+
+/// Merges one compile's counters into the invocation-wide stats the same
+/// way a shared stats object accumulates in the direct path.
+void accumulateStats(DARMStats &DS, const DARMStats &S) {
+  DS.Iterations += S.Iterations;
+  DS.RegionsMelded += S.RegionsMelded;
+  DS.SubgraphPairsMelded += S.SubgraphPairsMelded;
+  DS.BlockRegionMelds += S.BlockRegionMelds;
+  DS.SelectsInserted += S.SelectsInserted;
+  DS.UnpredicationSplits += S.UnpredicationSplits;
+  DS.GuardedStores += S.GuardedStores;
+  for (const auto &[Stage, Secs] : S.StageSeconds) {
+    bool Found = false;
+    for (auto &[Name, Total] : DS.StageSeconds)
+      if (Name == Stage) {
+        Total += Secs;
+        Found = true;
+        break;
+      }
+    if (!Found)
+      DS.StageSeconds.emplace_back(Stage, Secs);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Passes;
+  std::string InputFile;
+  bool EmitDot = false, Stats = false, Quiet = false;
+  bool UseCache = false, CacheStats = false;
+  double Threshold = 0.2;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "-darm" || Arg == "-branch-fusion" || Arg == "-tailmerge" ||
+        Arg == "-simplifycfg" || Arg == "-dce") {
+      Passes.push_back(Arg.substr(1));
+    } else if (Arg.rfind("-passes=", 0) == 0) {
+      splitPassList(Arg.substr(std::strlen("-passes=")), Passes);
+    } else if (Arg.rfind("--passes=", 0) == 0) {
+      splitPassList(Arg.substr(std::strlen("--passes=")), Passes);
+    } else if (Arg == "-list-passes" || Arg == "--list-passes") {
+      return listPasses();
+    } else if (Arg.rfind("-threshold=", 0) == 0) {
+      Threshold = std::atof(Arg.c_str() + 11);
+    } else if (Arg == "-dot") {
+      EmitDot = true;
+    } else if (Arg == "-stats") {
+      Stats = true;
+    } else if (Arg == "-cache" || Arg == "--cache") {
+      UseCache = true;
+    } else if (Arg == "-cache-stats" || Arg == "--cache-stats") {
+      CacheStats = true;
+    } else if (Arg == "-quiet" || Arg == "--quiet") {
+      Quiet = true;
+    } else if (Arg == "-help" || Arg == "--help") {
+      std::printf("usage: %s [passes...] [options] file.ir\n", argv[0]);
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return 1;
+    } else {
+      InputFile = Arg;
+    }
+  }
+  if (InputFile.empty()) {
+    std::fprintf(stderr, "no input file; try -help\n");
+    return 1;
+  }
+
+  std::ifstream In(InputFile);
+  if (!In) {
+    std::fprintf(stderr, "cannot open '%s'\n", InputFile.c_str());
+    return 1;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+
+  Context Ctx;
+  std::string Err;
+  auto M = parseModule(Ctx, Buf.str(), &Err);
+  if (!M) {
+    std::fprintf(stderr, "%s: parse error: %s\n", InputFile.c_str(),
+                 Err.c_str());
+    return 1;
+  }
+  if (!verifyModule(*M, &Err)) {
+    std::fprintf(stderr, "%s: invalid IR: %s\n", InputFile.c_str(),
+                 Err.c_str());
+    return 1;
+  }
+
+  // Pass names validate up front so both execution paths reject an
+  // unknown name before any compilation happens.
+  for (const std::string &P : Passes) {
+    if (P != "darm" && P != "branch-fusion" && P != "tailmerge" &&
+        !findTransformPass(P)) {
+      std::fprintf(stderr, "unknown pass '%s'; -list-passes shows the names\n",
+                   P.c_str());
+      return 1;
+    }
+  }
+
+  // One pipeline definition for both paths: the direct path binds it to
+  // a shared PassManager, the cached path replays it inside each
+  // artifact compile. Identical pass sequence, identical output.
+  auto addPasses = [&Passes, Threshold](PassManager &PM, DARMStats &DS) {
+    for (const std::string &P : Passes) {
+      if (P == "darm") {
+        DARMConfig Cfg;
+        Cfg.ProfitThreshold = Threshold;
+        PM.addPass("darm",
+                   [Cfg, &DS](Function &F) { return runDARM(F, Cfg, &DS); });
+      } else if (P == "branch-fusion") {
+        PM.addPass("branch-fusion",
+                   [&DS](Function &F) { return runBranchFusion(F, &DS); });
+      } else if (P == "tailmerge") {
+        PM.addPass("tailmerge", [](Function &F) { return runTailMerge(F); });
+      } else {
+        const PassInfo *Reg = findTransformPass(P);
+        PM.addPass(Reg->Name, Reg->Run);
+      }
+    }
+  };
+
+  DARMStats DS;
+  PassManager PM(/*VerifyEach=*/true);
+  CompileService Cache;
+  // Cached mode rematerializes each function's artifact into its own
+  // Context; results are printed from these instead of M.
+  std::vector<std::unique_ptr<Context>> ArtContexts;
+  std::vector<std::unique_ptr<Module>> ArtModules;
+  if (UseCache) {
+    // The "how" half of the cache key: the exact pass sequence plus the
+    // one tunable that changes what the sequence does.
+    std::string FP = "darm-opt-v1;threshold=" + std::to_string(Threshold);
+    for (const std::string &P : Passes)
+      FP += ";" + P;
+    for (const auto &F : M->functions()) {
+      CompileService::Artifact Art = Cache.getOrCompile(
+          *F, FP,
+          [&addPasses](Function &K, DARMStats &S) {
+            PassManager KPM(/*VerifyEach=*/true);
+            addPasses(KPM, S);
+            KPM.run(K);
+          },
+          /*IncludeProgram=*/false);
+      if (Art->failed()) {
+        std::fprintf(stderr, "%s: %s: compile failed: %s\n",
+                     InputFile.c_str(), F->getName().c_str(),
+                     Art->CompileError.c_str());
+        return 1;
+      }
+      accumulateStats(DS, Art->Stats);
+      auto ArtCtx = std::make_unique<Context>();
+      std::string DErr;
+      auto AM = moduleFromArtifact(*Art, *ArtCtx, &DErr);
+      if (!AM) {
+        std::fprintf(stderr, "%s: %s: artifact decode failed: %s\n",
+                     InputFile.c_str(), F->getName().c_str(), DErr.c_str());
+        return 1;
+      }
+      ArtContexts.push_back(std::move(ArtCtx));
+      ArtModules.push_back(std::move(AM));
+    }
+  } else {
+    addPasses(PM, DS);
+    for (const auto &F : M->functions())
+      PM.run(*F);
+  }
+
+  if (CacheStats) {
+    const CompileService::CacheStats CS = Cache.stats();
+    std::fprintf(stderr,
+                 "CACHE entries=%llu bytes=%llu hits=%llu misses=%llu "
+                 "evictions=%llu duplicate_compiles=%llu hit_rate=%.4f\n",
+                 static_cast<unsigned long long>(CS.Entries),
+                 static_cast<unsigned long long>(CS.Bytes),
+                 static_cast<unsigned long long>(CS.Hits),
+                 static_cast<unsigned long long>(CS.Misses),
+                 static_cast<unsigned long long>(CS.Evictions),
+                 static_cast<unsigned long long>(CS.DuplicateCompiles),
+                 CS.hitRate());
+  }
+
+  if (Stats) {
+    std::fprintf(stderr,
+                 "melding: %u region(s), %u subgraph pair(s), %u "
+                 "block-region meld(s), %u select(s), %u unpredication "
+                 "split(s), %u guarded store(s)\n",
+                 DS.RegionsMelded, DS.SubgraphPairsMelded,
+                 DS.BlockRegionMelds, DS.SelectsInserted,
+                 DS.UnpredicationSplits, DS.GuardedStores);
+    for (const auto &[Name, Secs] : PM.cumulativeTimings())
+      std::fprintf(stderr, "  %-14s %8.3f ms\n", Name.c_str(), Secs * 1e3);
+    // The darm/branch-fusion passes run a nested fixed-point pipeline;
+    // break their time down by stage. Like the counters above, these sum
+    // over all functions and over both melding passes when both ran.
+    for (const auto &[Stage, Secs] : DS.StageSeconds)
+      std::fprintf(stderr, "    meld.%-10s %8.3f ms\n", Stage.c_str(),
+                   Secs * 1e3);
+  }
+
+  // Cached output prints the deserialized snapshots. printModule is a
+  // plain concatenation of per-function prints, so the bytes match the
+  // direct path exactly — the cache-coherence CI step diffs the two.
+  if (EmitDot) {
+    if (UseCache) {
+      for (const auto &AM : ArtModules)
+        for (const auto &F : AM->functions())
+          std::printf("%s", printDot(*F).c_str());
+    } else {
+      for (const auto &F : M->functions())
+        std::printf("%s", printDot(*F).c_str());
+    }
+  } else if (!Quiet) {
+    if (UseCache) {
+      for (const auto &AM : ArtModules)
+        std::printf("%s", printModule(*AM).c_str());
+    } else {
+      std::printf("%s", printModule(*M).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,387 @@
+//===- serve_throughput.cpp - darmd serving throughput ------------------------===//
+//
+// Serving-path throughput for the darmd compile daemon (docs/caching.md):
+// N concurrent clients drive one shared CompileService through the framed
+// serve protocol with duplicate-heavy traffic (every corpus key requested
+// many times), in three phases over one on-disk artifact store:
+//
+//   cold       fresh service, empty store — every key compiles once
+//   warm       same service — pure in-memory hit traffic
+//   warm_disk  FRESH service over the now-populated store — the daemon
+//              restart story: every key must come off disk, zero
+//              recompiles (self-gating: nonzero is exit 1, no --compare
+//              needed)
+//
+// Every response is byte-compared against a locally computed
+// compileToArtifact of the same (kernel, config) — the daemon's
+// byte-identity contract is part of the measurement, not a separate test.
+//
+// Output: darm-serve-throughput-v1 JSON (per-phase QPS, p50/p99 request
+// latency, origin counts, hit rate) for the CI trend artifact.
+// --compare OLD.json gates warm QPS against the recorded run with
+// generous slack (scheduler noise is real; a broken serving path or
+// cache shows up as orders of magnitude, not percent).
+//
+//   serve_throughput --json serve.json [--compare old.json]
+//                    [--clients N] [--requests M] [--store DIR]
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/core/CompileService.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+#include "darm/serve/ArtifactStore.h"
+#include "darm/serve/Server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace darm;
+using namespace darm::serve;
+
+namespace {
+
+struct CorpusEntry {
+  std::string Label;            ///< "<kernel>/<pipeline>"
+  CompileRequest Req;           ///< the wire request
+  std::vector<uint8_t> Expect;  ///< serialized in-process artifact
+};
+
+/// The duplicate-heavy request corpus: every real benchmark kernel at its
+/// smallest paper block size under three config pipelines, with the
+/// in-process reference artifact each response must byte-match.
+std::vector<CorpusEntry> buildCorpus() {
+  struct Pipe {
+    const char *Name;
+    DARMConfig Cfg;
+  };
+  std::vector<Pipe> Pipes;
+  Pipes.push_back({"darm", DARMConfig()});
+  Pipes.push_back({"darm-canon", DARMConfig::withCanonicalization()});
+  DARMConfig BF;
+  BF.DiamondOnly = true;
+  BF.EnableRegionReplication = false;
+  Pipes.push_back({"branch-fusion", BF});
+
+  std::vector<CorpusEntry> Corpus;
+  for (const std::string &Name : realBenchmarkNames()) {
+    auto B = createBenchmark(Name, paperBlockSizes(Name).front());
+    Context Ctx;
+    Module M(Ctx, Name);
+    Function *F = B->build(M);
+    const std::string Text = printFunction(*F);
+    for (const Pipe &P : Pipes) {
+      CorpusEntry E;
+      E.Label = Name + "/" + P.Name;
+      E.Req.Cfg = P.Cfg;
+      E.Req.IRText = Text;
+      E.Expect = serializeCompiledModule(compileToArtifact(*F, P.Cfg));
+      Corpus.push_back(std::move(E));
+    }
+  }
+  return Corpus;
+}
+
+struct PhaseResult {
+  double Seconds = 0;
+  uint64_t Requests = 0;
+  uint64_t Compiled = 0, MemHits = 0, DiskHits = 0, Upgrades = 0;
+  uint64_t Mismatches = 0;
+  double P50Us = 0, P99Us = 0;
+  double qps() const { return Seconds > 0 ? Requests / Seconds : 0; }
+  /// Served-without-compiling fraction of the phase's traffic.
+  double hitRate() const {
+    return Requests ? double(MemHits + DiskHits + Upgrades) / Requests : 0;
+  }
+};
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0;
+  std::sort(V.begin(), V.end());
+  const size_t Idx = static_cast<size_t>(P * (V.size() - 1) + 0.5);
+  return V[std::min(Idx, V.size() - 1)];
+}
+
+/// One traffic phase: \p Clients socketpair sessions against \p Svc, each
+/// sending \p Requests requests walking the corpus round-robin from a
+/// per-client offset (so every key sees duplicate traffic from several
+/// clients at once). Latencies are per-request round-trip times.
+PhaseResult runPhase(CompileService &Svc, const std::vector<CorpusEntry> &Corpus,
+                     unsigned Clients, unsigned Requests) {
+  PhaseResult Res;
+  std::mutex Mu;
+  std::vector<double> Latencies;
+  std::atomic<uint64_t> Compiled{0}, MemHits{0}, DiskHits{0}, Upgrades{0},
+      Mismatches{0};
+
+  std::vector<std::thread> Servers, Clis;
+  std::vector<int> ClientFds;
+  for (unsigned C = 0; C < Clients; ++C) {
+    int Fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0) {
+      std::perror("socketpair");
+      std::exit(2);
+    }
+    ClientFds.push_back(Fds[0]);
+    const int ServerFd = Fds[1];
+    Servers.emplace_back([ServerFd, &Svc] {
+      serveStream(ServerFd, ServerFd, Svc);
+      ::close(ServerFd);
+    });
+  }
+
+  const auto T0 = std::chrono::steady_clock::now();
+  for (unsigned C = 0; C < Clients; ++C) {
+    const int Fd = ClientFds[C];
+    Clis.emplace_back([&, Fd, C] {
+      std::vector<double> Mine;
+      Mine.reserve(Requests);
+      for (unsigned I = 0; I < Requests; ++I) {
+        const CorpusEntry &E = Corpus[(C * 7 + I) % Corpus.size()];
+        CompileResponse Resp;
+        std::string Err;
+        const auto R0 = std::chrono::steady_clock::now();
+        if (!roundTrip(Fd, E.Req, Resp, &Err)) {
+          std::fprintf(stderr, "round trip failed (%s): %s\n",
+                       E.Label.c_str(), Err.c_str());
+          Mismatches.fetch_add(1);
+          break;
+        }
+        const auto R1 = std::chrono::steady_clock::now();
+        Mine.push_back(
+            std::chrono::duration<double, std::micro>(R1 - R0).count());
+        if (!Resp.Ok || serializeCompiledModule(Resp.Art) != E.Expect) {
+          std::fprintf(stderr, "byte mismatch: %s\n", E.Label.c_str());
+          Mismatches.fetch_add(1);
+          continue;
+        }
+        switch (Resp.Origin) {
+        case ServeOrigin::Compiled:
+          Compiled.fetch_add(1);
+          break;
+        case ServeOrigin::MemoryHit:
+          MemHits.fetch_add(1);
+          break;
+        case ServeOrigin::DiskHit:
+          DiskHits.fetch_add(1);
+          break;
+        case ServeOrigin::Upgraded:
+          Upgrades.fetch_add(1);
+          break;
+        }
+      }
+      ::close(Fd); // EOF ends the paired serveStream loop
+      std::lock_guard<std::mutex> Lock(Mu);
+      Latencies.insert(Latencies.end(), Mine.begin(), Mine.end());
+    });
+  }
+  for (std::thread &T : Clis)
+    T.join();
+  for (std::thread &T : Servers)
+    T.join();
+  const auto T1 = std::chrono::steady_clock::now();
+
+  Res.Seconds = std::chrono::duration<double>(T1 - T0).count();
+  Res.Requests = Latencies.size();
+  Res.Compiled = Compiled.load();
+  Res.MemHits = MemHits.load();
+  Res.DiskHits = DiskHits.load();
+  Res.Upgrades = Upgrades.load();
+  Res.Mismatches = Mismatches.load();
+  Res.P50Us = percentile(Latencies, 0.50);
+  Res.P99Us = percentile(Latencies, 0.99);
+  return Res;
+}
+
+void printPhase(FILE *Out, const char *Name, const PhaseResult &R,
+                const char *Trailing) {
+  std::fprintf(Out,
+               "  \"%s\": {\"requests\": %llu, \"qps\": %.1f, "
+               "\"p50_us\": %.1f, \"p99_us\": %.1f, \"compiled\": %llu, "
+               "\"mem_hits\": %llu, \"disk_hits\": %llu, \"upgrades\": %llu, "
+               "\"hit_rate\": %.4f}%s\n",
+               Name, static_cast<unsigned long long>(R.Requests), R.qps(),
+               R.P50Us, R.P99Us, static_cast<unsigned long long>(R.Compiled),
+               static_cast<unsigned long long>(R.MemHits),
+               static_cast<unsigned long long>(R.DiskHits),
+               static_cast<unsigned long long>(R.Upgrades), R.hitRate(),
+               Trailing);
+}
+
+/// Recorded-artifact scan (same policy as the other bench artifacts:
+/// this binary wrote the file, so a key scan beats a JSON parser).
+bool readRecordedField(const std::string &Text, const char *Key,
+                       double &Value) {
+  const std::string Needle = std::string("\"") + Key + "\":";
+  size_t At = Text.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  Value = std::atof(Text.c_str() + At + Needle.size());
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *JsonPath = nullptr;
+  const char *ComparePath = nullptr;
+  std::string StoreDir;
+  unsigned Clients = 4, Requests = 64;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
+      JsonPath = argv[++I];
+    } else if (!std::strcmp(argv[I], "--compare") && I + 1 < argc) {
+      ComparePath = argv[++I];
+    } else if (!std::strcmp(argv[I], "--store") && I + 1 < argc) {
+      StoreDir = argv[++I];
+    } else if (!std::strcmp(argv[I], "--clients") && I + 1 < argc) {
+      Clients = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (!std::strcmp(argv[I], "--requests") && I + 1 < argc) {
+      Requests = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: serve_throughput [--json FILE] [--compare OLD] "
+                   "[--clients N] [--requests M] [--store DIR]\n");
+      return 2;
+    }
+  }
+  if (!Clients || !Requests) {
+    std::fprintf(stderr, "--clients/--requests must be positive\n");
+    return 2;
+  }
+
+  bool TempStore = false;
+  if (StoreDir.empty()) {
+    char Templ[] = "/tmp/darm-serve-XXXXXX";
+    if (!::mkdtemp(Templ)) {
+      std::perror("mkdtemp");
+      return 2;
+    }
+    StoreDir = Templ;
+    TempStore = true;
+  }
+
+  const std::vector<CorpusEntry> Corpus = buildCorpus();
+
+  // Phase 1+2: one service over the (empty) store — cold, then pure
+  // memory-hit warm traffic.
+  PhaseResult Cold, Warm, WarmDisk;
+  {
+    CompileService Svc;
+    FileArtifactStore Store(StoreDir);
+    Svc.setPersistence(&Store);
+    Cold = runPhase(Svc, Corpus, Clients, Requests);
+    Warm = runPhase(Svc, Corpus, Clients, Requests);
+  }
+  // Phase 3: a fresh service over the now-populated store — the daemon
+  // restart. Everything must come off disk; a single recompile fails the
+  // run.
+  {
+    CompileService Svc;
+    FileArtifactStore Store(StoreDir);
+    Svc.setPersistence(&Store);
+    WarmDisk = runPhase(Svc, Corpus, Clients, Requests);
+  }
+
+  if (TempStore)
+    std::system(("rm -rf " + StoreDir).c_str());
+
+  const uint64_t Mismatches =
+      Cold.Mismatches + Warm.Mismatches + WarmDisk.Mismatches;
+  const uint64_t WarmRecompiles = WarmDisk.Compiled + WarmDisk.Upgrades;
+
+  FILE *Out = stdout;
+  if (JsonPath && std::strcmp(JsonPath, "-") != 0) {
+    Out = std::fopen(JsonPath, "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot open '%s' for writing\n", JsonPath);
+      return 2;
+    }
+  }
+  std::fprintf(Out, "{\n");
+  std::fprintf(Out, "  \"schema\": \"darm-serve-throughput-v1\",\n");
+  std::fprintf(Out, "  \"clients\": %u,\n", Clients);
+  std::fprintf(Out, "  \"requests_per_client\": %u,\n", Requests);
+  std::fprintf(Out, "  \"corpus_keys\": %zu,\n", Corpus.size());
+  printPhase(Out, "cold", Cold, ",");
+  printPhase(Out, "warm", Warm, ",");
+  printPhase(Out, "warm_disk", WarmDisk, ",");
+  std::fprintf(Out, "  \"warm_qps\": %.1f,\n", Warm.qps());
+  std::fprintf(Out, "  \"warm_disk_recompiles\": %llu,\n",
+               static_cast<unsigned long long>(WarmRecompiles));
+  std::fprintf(Out, "  \"byte_mismatches\": %llu\n",
+               static_cast<unsigned long long>(Mismatches));
+  std::fprintf(Out, "}\n");
+  if (Out != stdout)
+    std::fclose(Out);
+
+  std::fprintf(stderr,
+               "serve: cold %.0f qps (p50 %.0fus), warm %.0f qps "
+               "(p50 %.0fus), warm-from-disk %.0f qps (p50 %.0fus), "
+               "restart recompiles %llu, mismatches %llu\n",
+               Cold.qps(), Cold.P50Us, Warm.qps(), Warm.P50Us, WarmDisk.qps(),
+               WarmDisk.P50Us, static_cast<unsigned long long>(WarmRecompiles),
+               static_cast<unsigned long long>(Mismatches));
+
+  // Self-gating invariants: deterministic, no recorded artifact needed.
+  if (Mismatches) {
+    std::fprintf(stderr, "SERVE REGRESSION: %llu responses were not "
+                         "byte-identical to in-process compiles\n",
+                 static_cast<unsigned long long>(Mismatches));
+    return 1;
+  }
+  if (WarmRecompiles) {
+    std::fprintf(stderr, "SERVE REGRESSION: warm-from-disk phase recompiled "
+                         "%llu keys (expected 0)\n",
+                 static_cast<unsigned long long>(WarmRecompiles));
+    return 1;
+  }
+
+  if (ComparePath) {
+    FILE *In = std::fopen(ComparePath, "r");
+    if (!In) {
+      std::fprintf(stderr, "cannot read recorded artifact '%s'\n",
+                   ComparePath);
+      return 2;
+    }
+    std::string Text;
+    char Buf[4096];
+    size_t N;
+    while ((N = std::fread(Buf, 1, sizeof(Buf), In)) > 0)
+      Text.append(Buf, N);
+    std::fclose(In);
+    double OldWarmQps = 0;
+    if (!readRecordedField(Text, "warm_qps", OldWarmQps)) {
+      std::fprintf(stderr, "'%s' is not a darm-serve-throughput-v1 artifact\n",
+                   ComparePath);
+      return 2;
+    }
+    // Generous slack: a broken serving path (serialization per request
+    // gone quadratic, a lock held across compiles) shows up as orders of
+    // magnitude, while CI scheduler noise moves QPS by tens of percent.
+    if (Warm.qps() < OldWarmQps / 3.0) {
+      std::fprintf(stderr,
+                   "SERVE REGRESSION: warm QPS %.1f below a third of "
+                   "recorded %.1f\n",
+                   Warm.qps(), OldWarmQps);
+      return 1;
+    }
+    std::fprintf(stderr, "serve throughput within tolerance of '%s'\n",
+                 ComparePath);
+  }
+  return 0;
+}

@@ -28,12 +28,17 @@ public:
   const std::set<BasicBlock *> &getFrontier(BasicBlock *BB) const;
 
   /// Iterated dominance frontier of a set of definition blocks: the phi
-  /// placement set of classical SSA construction.
-  std::set<BasicBlock *>
+  /// placement set of classical SSA construction. Returned in the
+  /// function's block order — NOT pointer order — so consumers that
+  /// create IR while iterating (SSA repair placing phis) do so
+  /// deterministically; fresh value numbering must not depend on heap
+  /// addresses or the compile cache's byte-identity contract breaks.
+  std::vector<BasicBlock *>
   computeIDF(const std::vector<BasicBlock *> &DefBlocks) const;
 
 private:
   std::unordered_map<BasicBlock *, std::set<BasicBlock *>> Frontiers;
+  std::unordered_map<BasicBlock *, unsigned> Order; // block -> position in F
   std::set<BasicBlock *> Empty;
 };
 

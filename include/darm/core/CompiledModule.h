@@ -81,9 +81,25 @@ struct CompiledModule {
   }
 };
 
+/// Number of DARMConfig fields encoded by configFingerprint (and by the
+/// darmd wire protocol, serve/Protocol.h). This — not sizeof, which
+/// bakes ABI padding into the key and silently invalidates every
+/// persisted artifact across compilers/platforms — is the tripwire for
+/// fields added without extending the encoders: the fingerprint embeds
+/// it, decoders reject a mismatch, and the unit test counts its
+/// per-field mutations against it. Adding a DARMConfig field means
+/// bumping this count and extending configFingerprint,
+/// serve/Protocol.h's config codec, and
+/// ConfigFingerprint.DistinguishesEveryField together.
+inline constexpr unsigned kDARMConfigFieldCount = 14;
+
 /// Stable string encoding of every DARMConfig field, the "how" half of
 /// the cache key. Two configs fingerprint equal iff every tunable that
-/// can change compile output is equal.
+/// can change compile output is equal. Portable: the encoding is pure
+/// text over field values (schema tag + kDARMConfigFieldCount + the
+/// fields), with no sizeof/ABI dependence, so fingerprints — and
+/// therefore on-disk artifact keys — match across compilers and
+/// platforms.
 std::string configFingerprint(const DARMConfig &Cfg);
 
 /// A compile step the artifact layer can run: mutates the function in
@@ -127,6 +143,39 @@ std::unique_ptr<Module> moduleFromArtifact(const CompiledModule &Art,
 /// artifact carries no program bytes (or they are malformed) — callers
 /// then rebuild via moduleFromArtifact + decodeProgram.
 bool decodeFromArtifact(const CompiledModule &Art, DecodedProgram &P);
+
+/// Artifact container format version: the "DRMA" byte encoding of a
+/// whole CompiledModule (key, module/program bytes, counters, error) —
+/// what the on-disk artifact store persists and the darmd protocol
+/// ships. Same version policy as the inner formats (docs/caching.md):
+/// bump on any encoding change; readers reject mismatches; caches treat
+/// rejects as cold misses.
+inline constexpr uint16_t kArtifactFormatVersion = 1;
+
+/// Encodes \p Art as a self-contained "DRMA" byte image, ending in an
+/// FNV-1a/64 checksum of the whole image so any single flipped bit is a
+/// detected reject. Deterministic in the artifact's value:
+/// DARMStats::StageSeconds (host wall-clock timings) are deliberately
+/// NOT encoded, so equal compiles serialize to equal bytes no matter
+/// where or how fast they ran — the byte-identity contract of the
+/// daemon and the on-disk store rests on this.
+std::vector<uint8_t> serializeCompiledModule(const CompiledModule &Art);
+
+/// Decodes a "DRMA" image into \p Art. False (with \p Err set) on bad
+/// magic/version, checksum mismatch, truncation, or trailing garbage;
+/// never reads out of range and never aborts on untrusted bytes. Note
+/// this validates the container only — consumers of the inner
+/// ModuleBytes/ProgramBytes still go through their own versioned
+/// deserializers (the on-disk store does both before serving a warm
+/// start).
+bool deserializeCompiledModule(const uint8_t *Data, size_t Size,
+                               CompiledModule &Art,
+                               std::string *Err = nullptr);
+inline bool deserializeCompiledModule(const std::vector<uint8_t> &Bytes,
+                                      CompiledModule &Art,
+                                      std::string *Err = nullptr) {
+  return deserializeCompiledModule(Bytes.data(), Bytes.size(), Art, Err);
+}
 
 } // namespace darm
 

@@ -1,0 +1,95 @@
+//===- ArtifactStore.h - On-disk artifact persistence ------------*- C++ -*-===//
+///
+/// \file
+/// The on-disk tier of the compile cache (docs/caching.md): a directory
+/// of write-once "DRMA" artifact files keyed by (IRHash, fingerprint),
+/// plugged into a CompileService via setPersistence so warm starts
+/// survive process restarts — the darmd daemon's restart story.
+///
+/// Layout: one file per key, `<irhash:016x>-<fnv64(fingerprint):016x>
+/// .drma`, flat in the store directory. The fingerprint is hashed only
+/// to form a filename; the full fingerprint (and IRHash) are stored
+/// *inside* the artifact and checked on load, so a filename-hash
+/// collision degrades to a miss, never a wrong artifact. Keys are
+/// portable across builds and platforms by construction: IRHash is the
+/// canonical-snapshot FNV-1a/64 and the fingerprint is the ABI-free
+/// configFingerprint encoding.
+///
+/// Atomic-write rule: every store writes to a unique temp file in the
+/// same directory and rename(2)s it over the final name. Readers
+/// therefore see either nothing or a complete file — never a torn write
+/// in progress. A crash can only leave stray `.tmp-*` droppings (swept
+/// opportunistically) or, if the filesystem itself tears a non-synced
+/// rename, a corrupt file — which validation catches.
+///
+/// Validation on load (the crash-safety contract, pinned by
+/// tests/serve_test.cpp): the container must decode as a versioned DRMA
+/// image with the exact requested key inside, the module bytes must
+/// decode through the versioned "DRMB" deserializer, and a program image
+/// must decode through the DecodedProgram reader. Truncated files,
+/// flipped bytes, wrong magic, stale versions and torn writes all fail
+/// one of these gates and degrade to a cold miss (null) — never an
+/// abort, never a wrong answer — after which the service recompiles and
+/// re-persists over the bad file.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SERVE_ARTIFACTSTORE_H
+#define DARM_SERVE_ARTIFACTSTORE_H
+
+#include "darm/core/CompileService.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace darm {
+namespace serve {
+
+/// Directory-backed ArtifactPersistence. Thread-safe: loads are
+/// independent reads, stores are temp-file + atomic rename (concurrent
+/// writers of one key race benignly — compiles are deterministic, so
+/// whichever rename lands last installs the same bytes).
+class FileArtifactStore : public ArtifactPersistence {
+public:
+  /// Opens (creating if needed) \p Dir as the store root and sweeps
+  /// stray temp files from crashed writers. An unusable directory is
+  /// not fatal: the store then simply misses every load and drops every
+  /// store (valid() reports it).
+  explicit FileArtifactStore(std::string Dir);
+
+  /// True when the store directory exists and is usable.
+  bool valid() const { return Usable; }
+  const std::string &directory() const { return Root; }
+
+  std::shared_ptr<const CompiledModule>
+  load(uint64_t IRHash, const std::string &Fingerprint,
+       bool NeedProgram) override;
+
+  /// Write-once: an existing valid file for the key is kept untouched,
+  /// unless \p Art upgrades it with a program image (or the incumbent
+  /// fails validation) — those are replaced via the same atomic rename.
+  void store(const CompiledModule &Art) override;
+
+  /// The file a key persists to (diagnostics and tests).
+  std::string pathFor(uint64_t IRHash, const std::string &Fingerprint) const;
+
+  struct Stats {
+    uint64_t Loads = 0;      ///< load() calls that returned an artifact
+    uint64_t LoadMisses = 0; ///< absent, unreadable, or failed validation
+    uint64_t Stores = 0;     ///< files written (fresh or replacement)
+    uint64_t StoreSkips = 0; ///< write-once: a valid incumbent was kept
+  };
+  Stats stats() const;
+
+private:
+  std::string Root;
+  bool Usable = false;
+  std::atomic<uint64_t> Loads{0}, LoadMisses{0}, Stores{0}, StoreSkips{0};
+  std::atomic<uint64_t> TempCounter{0};
+};
+
+} // namespace serve
+} // namespace darm
+
+#endif // DARM_SERVE_ARTIFACTSTORE_H

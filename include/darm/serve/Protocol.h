@@ -1,0 +1,107 @@
+//===- Protocol.h - darmd wire protocol --------------------------*- C++ -*-===//
+///
+/// \file
+/// The length-prefixed compile protocol darmd speaks (docs/caching.md):
+/// a client frames a textual-IR compile request, the daemon answers with
+/// the serialized CompiledModule artifact — byte-identical to what an
+/// in-process compileToArtifact call would have produced — plus where
+/// the answer came from (compiled / memory hit / disk hit).
+///
+/// Framing: every message is a 4-byte little-endian payload length
+/// followed by that many payload bytes, over any byte stream (a pipe
+/// pair in --stdio mode, a Unix socket otherwise). Lengths above
+/// kMaxFrameBytes are rejected before allocation, so a garbage prefix
+/// cannot OOM either side.
+///
+/// Request payload ("DRMQ" v1): magic, u16 version, u8 flags (bit 0 =
+/// include a DecodedProgram image), the DARMConfig encoded field by
+/// field under an explicit field count (kDARMConfigFieldCount — the same
+/// schema tripwire as configFingerprint; decoders reject a count
+/// mismatch instead of misreading a grown struct), and the kernel as
+/// textual IR. Doubles travel as raw IEEE-754 bits, so a config
+/// round-trips bit-exactly.
+///
+/// Response payload ("DRMR" v1): magic, u16 version, u8 status (0 = ok,
+/// 1 = request-level error with a message), u8 origin, and the "DRMA"
+/// artifact image (core/CompiledModule.h serializeCompiledModule).
+/// Compile *failures* are not protocol errors: a verifier-rejected
+/// compile comes back status-ok with the artifact's CompileError set,
+/// exactly like the in-process path. Version policy as everywhere
+/// (docs/caching.md): bump on any change, readers reject mismatches.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SERVE_PROTOCOL_H
+#define DARM_SERVE_PROTOCOL_H
+
+#include "darm/core/CompiledModule.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace darm {
+namespace serve {
+
+/// Wire protocol version, shared by request and response payloads.
+inline constexpr uint16_t kServeProtocolVersion = 1;
+
+/// Frame payload cap. Large enough for any corpus kernel by orders of
+/// magnitude; small enough that a corrupt length prefix cannot make
+/// either side allocate the claimed bytes.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// One compile request: a kernel as textual IR plus the configuration to
+/// meld it under. The daemon keys its cache exactly like the in-process
+/// service: (artifactIRHash of the parsed kernel, configFingerprint).
+struct CompileRequest {
+  DARMConfig Cfg;
+  bool IncludeProgram = true;
+  std::string IRText;
+};
+
+/// Where the daemon's answer came from (CompileService::CacheSource on
+/// the wire). Clients use this to assert serving properties — the CI
+/// serve-smoke replay requires zero Compiled responses on a warm-from-
+/// disk restart.
+enum class ServeOrigin : uint8_t {
+  Compiled = 0,
+  MemoryHit = 1,
+  DiskHit = 2,
+  Upgraded = 3,
+};
+const char *originName(ServeOrigin O);
+
+/// One response. Ok=false is a request-level failure (unparseable
+/// request or IR) with Error set and no artifact; compile failures are
+/// Ok=true artifacts with Art.failed().
+struct CompileResponse {
+  bool Ok = false;
+  std::string Error;
+  ServeOrigin Origin = ServeOrigin::Compiled;
+  CompiledModule Art;
+};
+
+std::vector<uint8_t> encodeRequest(const CompileRequest &Req);
+/// False (with \p Err set) on bad magic/version, a config field-count
+/// mismatch, or truncated/trailing bytes. Never aborts on garbage.
+bool decodeRequest(const uint8_t *Data, size_t Size, CompileRequest &Req,
+                   std::string *Err = nullptr);
+
+std::vector<uint8_t> encodeResponse(const CompileResponse &Resp);
+bool decodeResponse(const uint8_t *Data, size_t Size, CompileResponse &Resp,
+                    std::string *Err = nullptr);
+
+/// Writes one length-prefixed frame to \p Fd (retrying short writes).
+/// False on I/O error or an over-cap payload.
+bool writeFrame(int Fd, const std::vector<uint8_t> &Payload);
+
+/// Reads one length-prefixed frame from \p Fd. False on EOF, I/O error,
+/// or an over-cap length; \p CleanEof distinguishes "peer closed between
+/// frames" (the normal end of a session) from a torn frame.
+bool readFrame(int Fd, std::vector<uint8_t> &Payload,
+               bool *CleanEof = nullptr);
+
+} // namespace serve
+} // namespace darm
+
+#endif // DARM_SERVE_PROTOCOL_H

@@ -1,0 +1,80 @@
+//===- Server.h - darmd serving loop -----------------------------*- C++ -*-===//
+///
+/// \file
+/// The serving side of the darmd compile daemon (docs/caching.md): a
+/// per-connection loop that reads framed CompileRequests, answers them
+/// from a shared CompileService, and writes framed CompileResponses —
+/// plus the Unix-socket plumbing (listen/accept/connect) and the client
+/// round-trip helper the replay tool and the serve bench drive it with.
+///
+/// Concurrency model: one serveStream loop per connection (the daemon
+/// spawns a thread per accepted socket; the bench pairs each simulated
+/// client with one). All loops share one CompileService, so concurrent
+/// clients get the sharded-LRU + persistence behaviour documented in
+/// core/CompileService.h — racing compiles of one key are deterministic
+/// duplicates, hits are lock-striped, disk artifacts are promoted once.
+///
+/// Error discipline: a request the server cannot even decode poisons the
+/// stream (framing can no longer be trusted) — it answers one Ok=false
+/// response and closes. Unparseable IR inside a well-formed request is a
+/// per-request Ok=false answer; the session continues. Compile failures
+/// are not errors at all: they are Ok=true artifacts with CompileError
+/// set, byte-faithful to the in-process negative-caching path.
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SERVE_SERVER_H
+#define DARM_SERVE_SERVER_H
+
+#include "darm/serve/Protocol.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace darm {
+
+class CompileService;
+
+namespace serve {
+
+/// Aggregate serving counters across every connection of one daemon.
+struct ServeCounters {
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> Compiled{0};
+  std::atomic<uint64_t> MemoryHits{0};
+  std::atomic<uint64_t> DiskHits{0};
+  std::atomic<uint64_t> Upgrades{0};
+  std::atomic<uint64_t> Errors{0}; ///< Ok=false responses sent
+};
+
+/// Serves one connection: reads request frames from \p InFd until EOF
+/// (or a poisoned stream), answers each on \p OutFd. Returns the number
+/// of requests served. The two fds may be the same (sockets) or a pipe
+/// pair (--stdio mode).
+uint64_t serveStream(int InFd, int OutFd, CompileService &Svc,
+                     ServeCounters *Counters = nullptr);
+
+/// Binds and listens on a Unix-domain stream socket at \p Path
+/// (unlinking a stale socket file first). Returns the listening fd, or
+/// -1 with \p Err set.
+int listenUnixSocket(const std::string &Path, std::string *Err = nullptr);
+
+/// Connects to the daemon's socket. Returns the fd, or -1 with \p Err.
+int connectUnixSocket(const std::string &Path, std::string *Err = nullptr);
+
+/// Accept loop: one detached serving thread per accepted connection,
+/// until accept fails (listener closed/interrupted) or \p Stop is set.
+void acceptLoop(int ListenFd, CompileService &Svc,
+                ServeCounters *Counters = nullptr,
+                std::atomic<bool> *Stop = nullptr);
+
+/// Client helper: one framed request, one framed response. False (with
+/// \p Err set) on any transport or decode failure — a response with
+/// Ok=false is still a successful round trip.
+bool roundTrip(int Fd, const CompileRequest &Req, CompileResponse &Resp,
+               std::string *Err = nullptr);
+
+} // namespace serve
+} // namespace darm
+
+#endif // DARM_SERVE_SERVER_H

@@ -6,9 +6,14 @@
 #include "darm/ir/BasicBlock.h"
 #include "darm/ir/Function.h"
 
+#include <algorithm>
+
 using namespace darm;
 
 DominanceFrontier::DominanceFrontier(Function &F, const DominatorTree &DT) {
+  unsigned Pos = 0;
+  for (BasicBlock *BB : F)
+    Order[BB] = Pos++;
   // Cytron et al.: a join block J is in DF(R) for every R on the idom chain
   // from each predecessor of J up to (but excluding) idom(J).
   for (BasicBlock *BB : F) {
@@ -33,16 +38,25 @@ DominanceFrontier::getFrontier(BasicBlock *BB) const {
   return It == Frontiers.end() ? Empty : It->second;
 }
 
-std::set<BasicBlock *> DominanceFrontier::computeIDF(
+std::vector<BasicBlock *> DominanceFrontier::computeIDF(
     const std::vector<BasicBlock *> &DefBlocks) const {
-  std::set<BasicBlock *> Result;
+  std::set<BasicBlock *> Seen;
   std::vector<BasicBlock *> Worklist(DefBlocks.begin(), DefBlocks.end());
+  std::vector<BasicBlock *> Result;
   while (!Worklist.empty()) {
     BasicBlock *BB = Worklist.back();
     Worklist.pop_back();
     for (BasicBlock *J : getFrontier(BB))
-      if (Result.insert(J).second)
+      if (Seen.insert(J).second) {
+        Result.push_back(J);
         Worklist.push_back(J);
+      }
   }
+  // Function block order, not discovery (= pointer-set) order: phi
+  // placement iterates this, and fresh names must come out the same no
+  // matter where the heap put the blocks.
+  std::sort(Result.begin(), Result.end(), [this](BasicBlock *A, BasicBlock *B) {
+    return Order.at(A) < Order.at(B);
+  });
   return Result;
 }

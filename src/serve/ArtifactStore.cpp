@@ -1,0 +1,201 @@
+//===- ArtifactStore.cpp - On-disk artifact persistence -----------------------===//
+//
+// Write-once artifact files under an atomic temp-file + rename
+// discipline, fully validated on load (serve/ArtifactStore.h,
+// docs/caching.md). Every failure mode — absent, truncated, flipped,
+// wrong magic/version, torn, mis-keyed — degrades to a cold miss.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/serve/ArtifactStore.h"
+
+#include "darm/ir/Context.h"
+#include "darm/ir/Module.h"
+#include "darm/ir/Serialize.h"
+#include "darm/sim/DecodedProgram.h"
+#include "darm/support/Hashing.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace darm;
+using namespace darm::serve;
+
+namespace {
+
+/// Reads a whole file; false when absent or unreadable.
+bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Bytes) {
+  const int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0)
+    return false;
+  Bytes.clear();
+  uint8_t Buf[1 << 16];
+  for (;;) {
+    const ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      return false;
+    }
+    if (N == 0)
+      break;
+    Bytes.insert(Bytes.end(), Buf, Buf + N);
+  }
+  ::close(Fd);
+  return true;
+}
+
+/// Full validation gate (header contract): container decode, exact key
+/// match, inner DRMB module decode, inner program decode. Anything short
+/// of all four is a miss.
+bool validateArtifact(const std::vector<uint8_t> &Bytes, uint64_t IRHash,
+                      const std::string &Fingerprint, CompiledModule &Art) {
+  if (!deserializeCompiledModule(Bytes, Art))
+    return false;
+  if (Art.IRHash != IRHash || Art.Fingerprint != Fingerprint)
+    return false; // filename-hash collision or a renamed/copied file
+  if (Art.failed())
+    // Negative results persist too (docs/caching.md negative caching);
+    // they carry no bytes to validate further.
+    return Art.ModuleBytes.empty() && Art.ProgramBytes.empty();
+  Context Scratch;
+  std::string Err;
+  if (!deserializeModule(Scratch, Art.ModuleBytes, &Err))
+    return false;
+  if (!Art.ProgramBytes.empty()) {
+    DecodedProgram P;
+    if (!deserializeDecodedProgram(Art.ProgramBytes.data(),
+                                   Art.ProgramBytes.size(), P))
+      return false;
+  }
+  return true;
+}
+
+char hexDigit(unsigned V) {
+  return static_cast<char>(V < 10 ? '0' + V : 'a' + (V - 10));
+}
+
+void appendHex64(std::string &S, uint64_t V) {
+  for (int Shift = 60; Shift >= 0; Shift -= 4)
+    S.push_back(hexDigit(static_cast<unsigned>((V >> Shift) & 0xf)));
+}
+
+} // namespace
+
+FileArtifactStore::FileArtifactStore(std::string Dir) : Root(std::move(Dir)) {
+  if (::mkdir(Root.c_str(), 0777) != 0 && errno != EEXIST)
+    return;
+  struct stat St;
+  if (::stat(Root.c_str(), &St) != 0 || !S_ISDIR(St.st_mode))
+    return;
+  Usable = true;
+  // Sweep temp droppings from writers that died mid-store. Live writers
+  // are safe: temp names embed pid + a per-store counter, and a writer
+  // whose temp vanishes underneath it only loses its rename.
+  if (DIR *D = ::opendir(Root.c_str())) {
+    while (struct dirent *E = ::readdir(D)) {
+      if (std::strncmp(E->d_name, ".tmp-", 5) == 0)
+        ::unlink((Root + "/" + E->d_name).c_str());
+    }
+    ::closedir(D);
+  }
+}
+
+std::string FileArtifactStore::pathFor(uint64_t IRHash,
+                                       const std::string &Fingerprint) const {
+  std::string Path = Root;
+  Path += '/';
+  appendHex64(Path, IRHash);
+  Path += '-';
+  appendHex64(Path, hashBytes(Fingerprint));
+  Path += ".drma";
+  return Path;
+}
+
+std::shared_ptr<const CompiledModule>
+FileArtifactStore::load(uint64_t IRHash, const std::string &Fingerprint,
+                        bool NeedProgram) {
+  if (!Usable) {
+    LoadMisses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  std::vector<uint8_t> Bytes;
+  auto Art = std::make_shared<CompiledModule>();
+  if (!readFileBytes(pathFor(IRHash, Fingerprint), Bytes) ||
+      !validateArtifact(Bytes, IRHash, Fingerprint, *Art) ||
+      (NeedProgram && !Art->failed() && Art->ProgramBytes.empty())) {
+    LoadMisses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Loads.fetch_add(1, std::memory_order_relaxed);
+  return Art;
+}
+
+void FileArtifactStore::store(const CompiledModule &Art) {
+  if (!Usable)
+    return;
+  const std::string Final = pathFor(Art.IRHash, Art.Fingerprint);
+  // Write-once: keep a valid incumbent unless ours upgrades it with a
+  // program image. An unreadable/corrupt/stale incumbent is replaced —
+  // that is how a torn file heals after the recompile.
+  {
+    std::vector<uint8_t> Existing;
+    CompiledModule Incumbent;
+    if (readFileBytes(Final, Existing) &&
+        validateArtifact(Existing, Art.IRHash, Art.Fingerprint, Incumbent)) {
+      const bool Upgrade = !Incumbent.failed() &&
+                           Incumbent.ProgramBytes.empty() &&
+                           !Art.ProgramBytes.empty();
+      if (!Upgrade) {
+        StoreSkips.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+  std::string Temp = Root + "/.tmp-";
+  appendHex64(Temp, static_cast<uint64_t>(::getpid()));
+  Temp += '-';
+  appendHex64(Temp, TempCounter.fetch_add(1, std::memory_order_relaxed));
+  const std::vector<uint8_t> Bytes = serializeCompiledModule(Art);
+  const int Fd = ::open(Temp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0666);
+  if (Fd < 0)
+    return;
+  size_t Done = 0;
+  bool WriteOk = true;
+  while (Done < Bytes.size()) {
+    const ssize_t N = ::write(Fd, Bytes.data() + Done, Bytes.size() - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      WriteOk = false;
+      break;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  // Flush file contents before the rename publishes the name: a crash
+  // after rename must not expose a name pointing at unwritten data.
+  if (WriteOk && ::fsync(Fd) != 0)
+    WriteOk = false;
+  ::close(Fd);
+  if (!WriteOk || ::rename(Temp.c_str(), Final.c_str()) != 0) {
+    ::unlink(Temp.c_str());
+    return;
+  }
+  Stores.fetch_add(1, std::memory_order_relaxed);
+}
+
+FileArtifactStore::Stats FileArtifactStore::stats() const {
+  Stats S;
+  S.Loads = Loads.load(std::memory_order_relaxed);
+  S.LoadMisses = LoadMisses.load(std::memory_order_relaxed);
+  S.Stores = Stores.load(std::memory_order_relaxed);
+  S.StoreSkips = StoreSkips.load(std::memory_order_relaxed);
+  return S;
+}

@@ -1,0 +1,254 @@
+//===- Protocol.cpp - darmd wire protocol -------------------------------------===//
+//
+// Encoding/decoding of the darmd request/response payloads and the
+// length-prefixed framing (serve/Protocol.h, docs/caching.md). Pure byte
+// composition over support/BinaryStream.h — nothing here depends on host
+// endianness or struct layout, so frames written by any build decode on
+// any other.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/serve/Protocol.h"
+
+#include "darm/support/BinaryStream.h"
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace darm;
+using namespace darm::serve;
+
+namespace {
+
+constexpr char kRequestMagic[4] = {'D', 'R', 'M', 'Q'};
+constexpr char kResponseMagic[4] = {'D', 'R', 'M', 'R'};
+
+void writeMagic(ByteWriter &W, const char (&Magic)[4]) {
+  for (char C : Magic)
+    W.writeU8(static_cast<uint8_t>(C));
+}
+
+bool readMagic(ByteReader &R, const char (&Magic)[4]) {
+  for (char C : Magic)
+    if (R.readU8() != static_cast<uint8_t>(C))
+      return false;
+  return !R.failed();
+}
+
+/// The DARMConfig codec: an explicit field count, then every field in
+/// declaration order. The count is the same schema tripwire as
+/// configFingerprint's — a request built against a grown DARMConfig is
+/// rejected by an older decoder instead of misread.
+void writeConfig(ByteWriter &W, const DARMConfig &Cfg) {
+  W.writeVar(kDARMConfigFieldCount);
+  W.writeU64(std::bit_cast<uint64_t>(Cfg.ProfitThreshold));
+  W.writeU64(std::bit_cast<uint64_t>(Cfg.InstrGapPenalty));
+  W.writeU64(std::bit_cast<uint64_t>(Cfg.SubgraphGapPenalty));
+  W.writeU8(Cfg.EnableUnpredication);
+  W.writeU8(Cfg.DiamondOnly);
+  W.writeU8(Cfg.EnableRegionReplication);
+  W.writeU64(std::bit_cast<uint64_t>(Cfg.MinAbsoluteSaving));
+  W.writeVar(Cfg.MaxIterations);
+  W.writeU8(Cfg.VerifyEachStep);
+  W.writeU8(Cfg.EnableConstProp);
+  W.writeU8(Cfg.EnableAlgebraic);
+  W.writeU8(Cfg.EnableGVN);
+  W.writeU8(Cfg.EnableLICM);
+  W.writeU8(Cfg.EnableLoopUnroll);
+}
+
+bool readConfig(ByteReader &R, DARMConfig &Cfg) {
+  if (R.readVar() != kDARMConfigFieldCount || R.failed())
+    return false;
+  Cfg.ProfitThreshold = std::bit_cast<double>(R.readU64());
+  Cfg.InstrGapPenalty = std::bit_cast<double>(R.readU64());
+  Cfg.SubgraphGapPenalty = std::bit_cast<double>(R.readU64());
+  Cfg.EnableUnpredication = R.readU8() != 0;
+  Cfg.DiamondOnly = R.readU8() != 0;
+  Cfg.EnableRegionReplication = R.readU8() != 0;
+  Cfg.MinAbsoluteSaving = std::bit_cast<double>(R.readU64());
+  Cfg.MaxIterations = static_cast<unsigned>(R.readVar());
+  Cfg.VerifyEachStep = R.readU8() != 0;
+  Cfg.EnableConstProp = R.readU8() != 0;
+  Cfg.EnableAlgebraic = R.readU8() != 0;
+  Cfg.EnableGVN = R.readU8() != 0;
+  Cfg.EnableLICM = R.readU8() != 0;
+  Cfg.EnableLoopUnroll = R.readU8() != 0;
+  return !R.failed();
+}
+
+bool reject(std::string *Err, const char *Why) {
+  if (Err)
+    *Err = Why;
+  return false;
+}
+
+} // namespace
+
+const char *darm::serve::originName(ServeOrigin O) {
+  switch (O) {
+  case ServeOrigin::Compiled:
+    return "compiled";
+  case ServeOrigin::MemoryHit:
+    return "memory-hit";
+  case ServeOrigin::DiskHit:
+    return "disk-hit";
+  case ServeOrigin::Upgraded:
+    return "upgraded";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> darm::serve::encodeRequest(const CompileRequest &Req) {
+  ByteWriter W;
+  writeMagic(W, kRequestMagic);
+  W.writeU16(kServeProtocolVersion);
+  W.writeU8(Req.IncludeProgram ? 1 : 0);
+  writeConfig(W, Req.Cfg);
+  W.writeStr(Req.IRText);
+  return W.take();
+}
+
+bool darm::serve::decodeRequest(const uint8_t *Data, size_t Size,
+                                CompileRequest &Req, std::string *Err) {
+  ByteReader R(Data, Size);
+  if (!readMagic(R, kRequestMagic))
+    return reject(Err, "request: bad magic (not a DRMQ frame)");
+  if (R.readU16() != kServeProtocolVersion || R.failed())
+    return reject(Err, "request: unsupported protocol version");
+  CompileRequest Q;
+  const uint8_t Flags = R.readU8();
+  if (Flags & ~1u)
+    return reject(Err, "request: unknown flag bits");
+  Q.IncludeProgram = (Flags & 1) != 0;
+  if (!readConfig(R, Q.Cfg))
+    return reject(Err, "request: config schema mismatch");
+  Q.IRText = R.readStr();
+  if (R.failed())
+    return reject(Err, "request: truncated payload");
+  if (!R.atEnd())
+    return reject(Err, "request: trailing bytes");
+  Req = std::move(Q);
+  return true;
+}
+
+std::vector<uint8_t> darm::serve::encodeResponse(const CompileResponse &Resp) {
+  ByteWriter W;
+  writeMagic(W, kResponseMagic);
+  W.writeU16(kServeProtocolVersion);
+  W.writeU8(Resp.Ok ? 0 : 1);
+  if (!Resp.Ok) {
+    W.writeStr(Resp.Error);
+    return W.take();
+  }
+  W.writeU8(static_cast<uint8_t>(Resp.Origin));
+  const std::vector<uint8_t> Art = serializeCompiledModule(Resp.Art);
+  W.writeVar(Art.size());
+  std::vector<uint8_t> Out = W.take();
+  Out.insert(Out.end(), Art.begin(), Art.end());
+  return Out;
+}
+
+bool darm::serve::decodeResponse(const uint8_t *Data, size_t Size,
+                                 CompileResponse &Resp, std::string *Err) {
+  ByteReader R(Data, Size);
+  if (!readMagic(R, kResponseMagic))
+    return reject(Err, "response: bad magic (not a DRMR frame)");
+  if (R.readU16() != kServeProtocolVersion || R.failed())
+    return reject(Err, "response: unsupported protocol version");
+  CompileResponse Out;
+  const uint8_t Status = R.readU8();
+  if (R.failed() || Status > 1)
+    return reject(Err, "response: bad status");
+  if (Status == 1) {
+    Out.Ok = false;
+    Out.Error = R.readStr();
+    if (R.failed() || !R.atEnd())
+      return reject(Err, "response: truncated error payload");
+    Resp = std::move(Out);
+    return true;
+  }
+  Out.Ok = true;
+  const uint8_t Origin = R.readU8();
+  if (R.failed() || Origin > static_cast<uint8_t>(ServeOrigin::Upgraded))
+    return reject(Err, "response: bad origin");
+  Out.Origin = static_cast<ServeOrigin>(Origin);
+  const uint64_t ArtSize = R.readVar();
+  if (R.failed() || ArtSize != Size - R.position())
+    return reject(Err, "response: artifact length mismatch");
+  std::string ArtErr;
+  if (!deserializeCompiledModule(Data + R.position(),
+                                 static_cast<size_t>(ArtSize), Out.Art,
+                                 &ArtErr))
+    return reject(Err, ("response: " + ArtErr).c_str());
+  Resp = std::move(Out);
+  return true;
+}
+
+bool darm::serve::writeFrame(int Fd, const std::vector<uint8_t> &Payload) {
+  if (Payload.size() > kMaxFrameBytes)
+    return false;
+  uint8_t Header[4];
+  const uint32_t N = static_cast<uint32_t>(Payload.size());
+  for (int I = 0; I < 4; ++I)
+    Header[I] = static_cast<uint8_t>(N >> (8 * I));
+  auto WriteAll = [Fd](const uint8_t *P, size_t Len) {
+    while (Len > 0) {
+      const ssize_t W = ::write(Fd, P, Len);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        return false;
+      }
+      P += W;
+      Len -= static_cast<size_t>(W);
+    }
+    return true;
+  };
+  return WriteAll(Header, 4) && WriteAll(Payload.data(), Payload.size());
+}
+
+bool darm::serve::readFrame(int Fd, std::vector<uint8_t> &Payload,
+                            bool *CleanEof) {
+  if (CleanEof)
+    *CleanEof = false;
+  uint8_t Header[4];
+  size_t Got = 0;
+  while (Got < 4) {
+    const ssize_t R = ::read(Fd, Header + Got, 4 - Got);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (R == 0) {
+      // EOF exactly on a frame boundary is how sessions end.
+      if (CleanEof && Got == 0)
+        *CleanEof = true;
+      return false;
+    }
+    Got += static_cast<size_t>(R);
+  }
+  uint32_t N = 0;
+  for (int I = 0; I < 4; ++I)
+    N |= static_cast<uint32_t>(Header[I]) << (8 * I);
+  if (N > kMaxFrameBytes)
+    return false;
+  Payload.resize(N);
+  Got = 0;
+  while (Got < N) {
+    const ssize_t R = ::read(Fd, Payload.data() + Got, N - Got);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (R == 0)
+      return false; // torn frame: peer died mid-message
+    Got += static_cast<size_t>(R);
+  }
+  return true;
+}

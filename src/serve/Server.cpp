@@ -1,0 +1,214 @@
+//===- Server.cpp - darmd serving loop ----------------------------------------===//
+//
+// The per-connection request loop and Unix-socket plumbing behind darmd
+// (serve/Server.h, docs/caching.md). Each request is parsed into a
+// private Context, answered through the shared CompileService (so the
+// response artifact is byte-identical to an in-process compileToArtifact
+// call), and framed back with its cache origin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/serve/Server.h"
+
+#include "darm/core/CompileService.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRParser.h"
+#include "darm/ir/Module.h"
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace darm;
+using namespace darm::serve;
+
+namespace {
+
+ServeOrigin toOrigin(CacheSource Src) {
+  switch (Src) {
+  case CacheSource::Compiled:
+    return ServeOrigin::Compiled;
+  case CacheSource::MemoryHit:
+    return ServeOrigin::MemoryHit;
+  case CacheSource::DiskHit:
+    return ServeOrigin::DiskHit;
+  case CacheSource::Upgraded:
+    return ServeOrigin::Upgraded;
+  }
+  return ServeOrigin::Compiled;
+}
+
+/// Answers one well-formed request. Request-level failures (bad IR,
+/// empty module) come back Ok=false; compile failures are Ok=true
+/// artifacts with CompileError set, exactly like the in-process path.
+CompileResponse answer(const CompileRequest &Req, CompileService &Svc) {
+  CompileResponse Resp;
+  Context Ctx;
+  std::string Err;
+  std::unique_ptr<Module> M = parseModule(Ctx, Req.IRText, &Err);
+  if (!M) {
+    Resp.Error = "parse error: " + Err;
+    return Resp;
+  }
+  if (M->functions().empty()) {
+    Resp.Error = "request module has no function";
+    return Resp;
+  }
+  // One kernel per request: the artifact layer's unit is a single
+  // function, so a multi-function module is ambiguous, not truncated.
+  if (M->functions().size() > 1) {
+    Resp.Error = "request module has more than one function";
+    return Resp;
+  }
+  CacheSource Src = CacheSource::Compiled;
+  CompileService::Artifact Art = Svc.getOrCompile(
+      *M->functions().front(), Req.Cfg, Req.IncludeProgram, &Src);
+  Resp.Ok = true;
+  Resp.Origin = toOrigin(Src);
+  Resp.Art = *Art;
+  return Resp;
+}
+
+void countResponse(const CompileResponse &Resp, ServeCounters *C) {
+  if (!C)
+    return;
+  if (!Resp.Ok) {
+    C->Errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  switch (Resp.Origin) {
+  case ServeOrigin::Compiled:
+    C->Compiled.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case ServeOrigin::MemoryHit:
+    C->MemoryHits.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case ServeOrigin::DiskHit:
+    C->DiskHits.fetch_add(1, std::memory_order_relaxed);
+    break;
+  case ServeOrigin::Upgraded:
+    C->Upgrades.fetch_add(1, std::memory_order_relaxed);
+    break;
+  }
+}
+
+} // namespace
+
+uint64_t darm::serve::serveStream(int InFd, int OutFd, CompileService &Svc,
+                                  ServeCounters *Counters) {
+  uint64_t Served = 0;
+  std::vector<uint8_t> Frame;
+  for (;;) {
+    bool CleanEof = false;
+    if (!readFrame(InFd, Frame, &CleanEof))
+      return Served; // session over (clean EOF) or transport gone
+    if (Counters)
+      Counters->Requests.fetch_add(1, std::memory_order_relaxed);
+    CompileRequest Req;
+    std::string Err;
+    if (!decodeRequest(Frame.data(), Frame.size(), Req, &Err)) {
+      // The stream is poisoned: framing after an undecodable request
+      // cannot be trusted. One terminal error response, then hang up.
+      CompileResponse Resp;
+      Resp.Error = Err;
+      countResponse(Resp, Counters);
+      writeFrame(OutFd, encodeResponse(Resp));
+      return Served;
+    }
+    const CompileResponse Resp = answer(Req, Svc);
+    countResponse(Resp, Counters);
+    if (!writeFrame(OutFd, encodeResponse(Resp)))
+      return Served;
+    ++Served;
+  }
+}
+
+int darm::serve::listenUnixSocket(const std::string &Path, std::string *Err) {
+  auto Fail = [&](const char *What) {
+    if (Err)
+      *Err = std::string(What) + ": " + std::strerror(errno);
+    return -1;
+  };
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  const int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Fail("socket");
+  ::unlink(Path.c_str()); // a stale socket file blocks bind
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, 64) != 0) {
+    const int E = errno;
+    ::close(Fd);
+    errno = E;
+    return Fail("bind/listen");
+  }
+  return Fd;
+}
+
+int darm::serve::connectUnixSocket(const std::string &Path, std::string *Err) {
+  sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Err)
+      *Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  const int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0 ||
+      ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (Err)
+      *Err = "connect " + Path + ": " + std::strerror(errno);
+    if (Fd >= 0)
+      ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+void darm::serve::acceptLoop(int ListenFd, CompileService &Svc,
+                             ServeCounters *Counters,
+                             std::atomic<bool> *Stop) {
+  for (;;) {
+    if (Stop && Stop->load(std::memory_order_relaxed))
+      return;
+    const int Conn = ::accept(ListenFd, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // listener closed: daemon shutting down
+    }
+    std::thread([Conn, &Svc, Counters] {
+      serveStream(Conn, Conn, Svc, Counters);
+      ::close(Conn);
+    }).detach();
+  }
+}
+
+bool darm::serve::roundTrip(int Fd, const CompileRequest &Req,
+                            CompileResponse &Resp, std::string *Err) {
+  if (!writeFrame(Fd, encodeRequest(Req))) {
+    if (Err)
+      *Err = "request write failed";
+    return false;
+  }
+  std::vector<uint8_t> Frame;
+  if (!readFrame(Fd, Frame)) {
+    if (Err)
+      *Err = "response read failed (daemon gone?)";
+    return false;
+  }
+  return decodeResponse(Frame.data(), Frame.size(), Resp, Err);
+}

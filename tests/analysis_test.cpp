@@ -89,7 +89,7 @@ TEST(DomFrontier, DiamondJoin) {
   EXPECT_EQ(DF.getFrontier(T), std::set<BasicBlock *>{J});
   EXPECT_TRUE(DF.getFrontier(F->getBlockByName("entry")).empty());
   auto IDF = DF.computeIDF({T});
-  EXPECT_EQ(IDF, std::set<BasicBlock *>{J});
+  EXPECT_EQ(IDF, std::vector<BasicBlock *>{J});
 }
 
 /// Random CFG generator for oracle-based dominance testing.

@@ -109,12 +109,21 @@ TEST(ConfigFingerprint, DistinguishesEveryField) {
     C.EnableLoopUnroll = true;
     Differs(C);
   }
-  // Equal configs fingerprint equal; the fingerprint embeds
-  // sizeof(DARMConfig) as a tripwire for fields added without extending
-  // configFingerprint — if this assertion fires after growing the
-  // struct, update configFingerprint() and this test together.
+  // Equal configs fingerprint equal; the fingerprint embeds the schema
+  // version and the explicit field count as a tripwire for fields added
+  // without extending configFingerprint — NOT sizeof(DARMConfig), which
+  // varies with compiler padding and would silently split on-disk
+  // artifact keys across ABIs (docs/caching.md fingerprint portability).
+  // When growing the struct: bump kDARMConfigFieldCount, extend
+  // configFingerprint() and the serve/Protocol.h config codec, and add a
+  // Differs() block above — this pin counts them.
   EXPECT_EQ(configFingerprint(DARMConfig()), Base);
-  EXPECT_NE(Base.find(std::to_string(sizeof(DARMConfig))), std::string::npos);
+  EXPECT_EQ(kDARMConfigFieldCount, 14u);
+  const std::string Prefix =
+      "darm-cfg-v2;" + std::to_string(kDARMConfigFieldCount) + ";";
+  EXPECT_EQ(Base.rfind(Prefix, 0), 0u) << Base;
+  EXPECT_EQ(Base.find(std::to_string(sizeof(DARMConfig))), std::string::npos)
+      << "fingerprint must not embed ABI-dependent sizeof";
 }
 
 TEST(CompiledModuleTest, ArtifactMatchesDirectCompile) {
@@ -228,25 +237,35 @@ TEST(CompileServiceTest, DistinctConfigsAndKernelsDistinctEntries) {
   EXPECT_EQ(Svc.stats().Misses, 3u);
 }
 
-TEST(CompileServiceTest, ProgramUpgradeCountsAsMiss) {
+TEST(CompileServiceTest, ProgramUpgradeCountsAsUpgrade) {
   CompileService Svc;
   Context Ctx;
   Module M(Ctx, "m");
   Function *F = buildKernel(M, 6);
 
-  CompileService::Artifact NoProg =
-      Svc.getOrCompile(*F, DARMConfig(), /*IncludeProgram=*/false);
+  CacheSource Src = CacheSource::MemoryHit;
+  CompileService::Artifact NoProg = Svc.getOrCompile(
+      *F, DARMConfig(), /*IncludeProgram=*/false, &Src);
   EXPECT_TRUE(NoProg->ProgramBytes.empty());
+  EXPECT_EQ(Src, CacheSource::Compiled);
   CompileService::Artifact WithProg =
-      Svc.getOrCompile(*F, DARMConfig(), /*IncludeProgram=*/true);
+      Svc.getOrCompile(*F, DARMConfig(), /*IncludeProgram=*/true, &Src);
   EXPECT_FALSE(WithProg->ProgramBytes.empty());
   EXPECT_EQ(WithProg->ModuleBytes, NoProg->ModuleBytes);
-  EXPECT_EQ(Svc.stats().Misses, 2u);
+  EXPECT_EQ(Src, CacheSource::Upgraded);
+  // Re-deriving the program image for an already-cached module is an
+  // upgrade, not a cold miss: it must not dilute the hit rate a cache
+  // of full artifacts would report.
+  EXPECT_EQ(Svc.stats().Misses, 1u);
+  EXPECT_EQ(Svc.stats().Upgrades, 1u);
+  EXPECT_DOUBLE_EQ(Svc.stats().hitRate(), 0.0);
   // A program-less request is satisfied by the upgraded entry.
   CompileService::Artifact Again =
-      Svc.getOrCompile(*F, DARMConfig(), /*IncludeProgram=*/false);
+      Svc.getOrCompile(*F, DARMConfig(), /*IncludeProgram=*/false, &Src);
   EXPECT_EQ(Again.get(), WithProg.get());
+  EXPECT_EQ(Src, CacheSource::MemoryHit);
   EXPECT_EQ(Svc.stats().Hits, 1u);
+  EXPECT_DOUBLE_EQ(Svc.stats().hitRate(), 0.5);
 }
 
 TEST(CompileServiceTest, FailedCompileIsCachedNegative) {
@@ -301,6 +320,44 @@ TEST(CompileServiceTest, LruEvictionUnderByteBudget) {
   EXPECT_EQ(Svc.lookup(First->IRHash, First->Fingerprint), nullptr);
   // Evicted artifacts stay alive through consumer references.
   EXPECT_FALSE(First->ModuleBytes.empty());
+}
+
+TEST(CompileServiceTest, OversizedArtifactIsServedButNotCached) {
+  CompileService::Options Opts;
+  Opts.NumShards = 1;
+  Opts.MaxBytes = 256; // far below any real artifact's byteSize()
+  CompileService Svc(Opts);
+
+  Context Ctx;
+  Module M(Ctx, "m");
+  Function *F = buildKernel(M, 5);
+  CacheSource Src = CacheSource::MemoryHit;
+  CompileService::Artifact A =
+      Svc.getOrCompile(*F, DARMConfig(), /*IncludeProgram=*/true, &Src);
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(Src, CacheSource::Compiled);
+  EXPECT_GT(A->byteSize(), Opts.MaxBytes);
+
+  // Reject-from-cache policy (core/CompileService.h): the caller gets
+  // the artifact, but the cache neither admits it (which would pin the
+  // shard over budget forever — the old `size() > 1` eviction guard bug)
+  // nor evicts everything else to make room that still would not
+  // suffice.
+  CompileService::CacheStats St = Svc.stats();
+  EXPECT_EQ(St.Oversized, 1u);
+  EXPECT_EQ(St.Entries, 0u);
+  EXPECT_EQ(St.Bytes, 0u);
+  EXPECT_EQ(Svc.lookup(A->IRHash, A->Fingerprint), nullptr);
+
+  // Re-requesting recompiles (a miss, counted again as oversized) and
+  // still returns the full deterministic artifact.
+  CompileService::Artifact B =
+      Svc.getOrCompile(*F, DARMConfig(), /*IncludeProgram=*/true, &Src);
+  EXPECT_EQ(Src, CacheSource::Compiled);
+  EXPECT_EQ(Svc.stats().Misses, 2u);
+  EXPECT_EQ(Svc.stats().Oversized, 2u);
+  EXPECT_EQ(B->ModuleBytes, A->ModuleBytes);
+  EXPECT_EQ(B->ProgramBytes, A->ProgramBytes);
 }
 
 TEST(CompileServiceTest, ConcurrentGetOrCompileIsDeterministic) {

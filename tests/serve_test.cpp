@@ -1,0 +1,596 @@
+//===- serve_test.cpp - darmd protocol + on-disk store crash safety -----------===//
+//
+// Pins the serving layer (docs/caching.md): the DRMA artifact container
+// and DRMQ/DRMR wire codecs round-trip and reject corruption, the
+// serveStream loop answers byte-identically to in-process
+// compileToArtifact, and the on-disk artifact store survives every
+// crash shape — truncated files, flipped bytes, wrong magic, stale
+// versions, torn writes, concurrent writers racing one key — as a cold
+// miss that recompiles and re-persists, never an abort, never a wrong
+// artifact.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/serve/ArtifactStore.h"
+#include "darm/serve/Server.h"
+
+#include "darm/core/CompileService.h"
+#include "darm/fuzz/KernelGenerator.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/support/Hashing.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace darm;
+using namespace darm::serve;
+
+namespace {
+
+Function *buildKernel(Module &M, uint64_t Seed) {
+  fuzz::FuzzCase C(Seed);
+  Function *F = fuzz::buildFuzzKernel(M, C);
+  EXPECT_NE(F, nullptr);
+  return F;
+}
+
+CompiledModule makeArtifact(uint64_t Seed, bool IncludeProgram = true) {
+  Context Ctx;
+  Module M(Ctx, "serve");
+  Function *F = buildKernel(M, Seed);
+  return compileToArtifact(*F, DARMConfig(), IncludeProgram);
+}
+
+/// A unique fresh directory per test under the build tree.
+std::string freshDir(const char *Tag) {
+  std::string D = std::string("serve_test_") + Tag + ".dir";
+  std::system(("rm -rf " + D).c_str());
+  return D;
+}
+
+void writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+  OS.write(reinterpret_cast<const char *>(Bytes.data()),
+           static_cast<std::streamsize>(Bytes.size()));
+}
+
+//===----------------------------------------------------------------------===//
+// DRMA artifact container
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactCodec, RoundTripsEveryField) {
+  CompiledModule Art = makeArtifact(11);
+  Art.Stats.Iterations = 3;
+  Art.Stats.RegionsMelded = 2;
+  const std::vector<uint8_t> Bytes = serializeCompiledModule(Art);
+
+  CompiledModule Back;
+  std::string Err;
+  ASSERT_TRUE(deserializeCompiledModule(Bytes, Back, &Err)) << Err;
+  EXPECT_EQ(Back.IRHash, Art.IRHash);
+  EXPECT_EQ(Back.Fingerprint, Art.Fingerprint);
+  EXPECT_EQ(Back.ModuleBytes, Art.ModuleBytes);
+  EXPECT_EQ(Back.ProgramBytes, Art.ProgramBytes);
+  EXPECT_EQ(Back.CompileError, Art.CompileError);
+  EXPECT_EQ(Back.Stats.Iterations, Art.Stats.Iterations);
+  EXPECT_EQ(Back.Stats.RegionsMelded, Art.Stats.RegionsMelded);
+  // Decode-reencode is byte-identical: the container is canonical.
+  EXPECT_EQ(serializeCompiledModule(Back), Bytes);
+}
+
+TEST(ArtifactCodec, RejectsEveryTruncation) {
+  const std::vector<uint8_t> Bytes = serializeCompiledModule(makeArtifact(12));
+  CompiledModule Out;
+  for (size_t Len = 0; Len < Bytes.size(); ++Len)
+    EXPECT_FALSE(deserializeCompiledModule(Bytes.data(), Len, Out))
+        << "prefix of " << Len << " bytes must not decode";
+}
+
+TEST(ArtifactCodec, RejectsEveryFlippedByte) {
+  // The trailing whole-image checksum makes this exhaustive guarantee
+  // possible: a flip in a counter varint or deep in the module payload
+  // decodes structurally fine but must still read as corrupt.
+  const std::vector<uint8_t> Bytes = serializeCompiledModule(makeArtifact(13));
+  CompiledModule Out;
+  for (size_t I = 0; I < Bytes.size(); ++I) {
+    std::vector<uint8_t> Bad = Bytes;
+    Bad[I] ^= 0x40;
+    EXPECT_FALSE(deserializeCompiledModule(Bad, Out))
+        << "flipped byte " << I << " must not decode";
+  }
+}
+
+TEST(ArtifactCodec, RejectsTrailingGarbage) {
+  std::vector<uint8_t> Bytes = serializeCompiledModule(makeArtifact(14));
+  Bytes.push_back(0);
+  CompiledModule Out;
+  EXPECT_FALSE(deserializeCompiledModule(Bytes, Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Wire protocol
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, RequestRoundTrip) {
+  Context Ctx;
+  Module M(Ctx, "req");
+  Function *F = buildKernel(M, 21);
+
+  CompileRequest Req;
+  Req.Cfg = DARMConfig::withCanonicalization();
+  Req.Cfg.ProfitThreshold = 0.125;
+  Req.Cfg.MaxIterations = 9;
+  Req.IncludeProgram = false;
+  Req.IRText = printFunction(*F);
+
+  CompileRequest Back;
+  std::string Err;
+  const std::vector<uint8_t> Frame = encodeRequest(Req);
+  ASSERT_TRUE(decodeRequest(Frame.data(), Frame.size(), Back, &Err)) << Err;
+  // The config codec is field-exact: equal fingerprints, not just
+  // equal-ish structs.
+  EXPECT_EQ(configFingerprint(Back.Cfg), configFingerprint(Req.Cfg));
+  EXPECT_EQ(Back.IncludeProgram, Req.IncludeProgram);
+  EXPECT_EQ(Back.IRText, Req.IRText);
+}
+
+TEST(Protocol, RequestRejectsCorruption) {
+  CompileRequest Req;
+  Req.IRText = "kernel @k() { entry: ret }";
+  std::vector<uint8_t> Frame = encodeRequest(Req);
+  CompileRequest Out;
+
+  for (size_t Len = 0; Len < Frame.size(); ++Len)
+    EXPECT_FALSE(decodeRequest(Frame.data(), Len, Out));
+  {
+    std::vector<uint8_t> Bad = Frame;
+    Bad[0] = 'X'; // magic
+    EXPECT_FALSE(decodeRequest(Bad.data(), Bad.size(), Out));
+  }
+  {
+    std::vector<uint8_t> Bad = Frame;
+    Bad[4] ^= 0xff; // version
+    EXPECT_FALSE(decodeRequest(Bad.data(), Bad.size(), Out));
+  }
+  {
+    std::vector<uint8_t> Bad = Frame;
+    Bad.push_back(0); // trailing garbage
+    EXPECT_FALSE(decodeRequest(Bad.data(), Bad.size(), Out));
+  }
+}
+
+TEST(Protocol, ResponseRoundTripOkAndError) {
+  {
+    CompileResponse Resp;
+    Resp.Ok = true;
+    Resp.Origin = ServeOrigin::DiskHit;
+    Resp.Art = makeArtifact(22);
+    const std::vector<uint8_t> Frame = encodeResponse(Resp);
+    CompileResponse Back;
+    std::string Err;
+    ASSERT_TRUE(decodeResponse(Frame.data(), Frame.size(), Back, &Err)) << Err;
+    EXPECT_TRUE(Back.Ok);
+    EXPECT_EQ(Back.Origin, ServeOrigin::DiskHit);
+    EXPECT_EQ(serializeCompiledModule(Back.Art),
+              serializeCompiledModule(Resp.Art));
+  }
+  {
+    CompileResponse Resp;
+    Resp.Error = "parse error: nope";
+    const std::vector<uint8_t> Frame = encodeResponse(Resp);
+    CompileResponse Back;
+    ASSERT_TRUE(decodeResponse(Frame.data(), Frame.size(), Back));
+    EXPECT_FALSE(Back.Ok);
+    EXPECT_EQ(Back.Error, Resp.Error);
+  }
+}
+
+TEST(Protocol, FramesOverSocketpair) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  const std::vector<uint8_t> Payload = {1, 2, 3, 250, 251, 252};
+  ASSERT_TRUE(writeFrame(Fds[0], Payload));
+  std::vector<uint8_t> Back;
+  bool CleanEof = true;
+  ASSERT_TRUE(readFrame(Fds[1], Back, &CleanEof));
+  EXPECT_EQ(Back, Payload);
+  EXPECT_FALSE(CleanEof);
+  ::close(Fds[0]);
+  EXPECT_FALSE(readFrame(Fds[1], Back, &CleanEof));
+  EXPECT_TRUE(CleanEof); // EOF at a frame boundary, not a torn frame
+  ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// serveStream end to end
+//===----------------------------------------------------------------------===//
+
+TEST(ServeStream, ByteIdenticalToInProcessCompile) {
+  Context Ctx;
+  Module M(Ctx, "serve");
+  Function *F = buildKernel(M, 31);
+  const std::vector<uint8_t> Expect =
+      serializeCompiledModule(compileToArtifact(*F, DARMConfig()));
+
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  CompileService Svc;
+  ServeCounters Counters;
+  std::thread Server([&] {
+    serveStream(Fds[1], Fds[1], Svc, &Counters);
+    ::close(Fds[1]);
+  });
+
+  CompileRequest Req;
+  Req.IRText = printFunction(*F);
+  CompileResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(roundTrip(Fds[0], Req, Resp, &Err)) << Err;
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  EXPECT_EQ(Resp.Origin, ServeOrigin::Compiled);
+  EXPECT_EQ(serializeCompiledModule(Resp.Art), Expect);
+
+  // The duplicate is a memory hit with the same bytes.
+  ASSERT_TRUE(roundTrip(Fds[0], Req, Resp, &Err)) << Err;
+  ASSERT_TRUE(Resp.Ok);
+  EXPECT_EQ(Resp.Origin, ServeOrigin::MemoryHit);
+  EXPECT_EQ(serializeCompiledModule(Resp.Art), Expect);
+
+  ::close(Fds[0]);
+  Server.join();
+  EXPECT_EQ(Counters.Requests.load(), 2u);
+  EXPECT_EQ(Counters.Compiled.load(), 1u);
+  EXPECT_EQ(Counters.MemoryHits.load(), 1u);
+}
+
+TEST(ServeStream, BadIRIsPerRequestErrorSessionContinues) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  CompileService Svc;
+  std::thread Server([&] {
+    serveStream(Fds[1], Fds[1], Svc);
+    ::close(Fds[1]);
+  });
+
+  CompileRequest Bad;
+  Bad.IRText = "this is not IR";
+  CompileResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(roundTrip(Fds[0], Bad, Resp, &Err)) << Err;
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_NE(Resp.Error.find("parse error"), std::string::npos);
+
+  // The session survives a bad request: a good one still answers.
+  Context Ctx;
+  Module M(Ctx, "after");
+  Function *F = buildKernel(M, 32);
+  CompileRequest Good;
+  Good.IRText = printFunction(*F);
+  ASSERT_TRUE(roundTrip(Fds[0], Good, Resp, &Err)) << Err;
+  EXPECT_TRUE(Resp.Ok) << Resp.Error;
+
+  ::close(Fds[0]);
+  Server.join();
+}
+
+//===----------------------------------------------------------------------===//
+// FileArtifactStore crash safety
+//===----------------------------------------------------------------------===//
+
+class ArtifactStoreTest : public ::testing::Test {
+protected:
+  /// Each test gets a fresh store dir named after the test.
+  std::string Dir;
+  void SetUp() override {
+    Dir = freshDir(
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
+  }
+  void TearDown() override { std::system(("rm -rf " + Dir).c_str()); }
+};
+
+TEST_F(ArtifactStoreTest, StoreLoadRoundTrip) {
+  FileArtifactStore Store(Dir);
+  ASSERT_TRUE(Store.valid());
+  const CompiledModule Art = makeArtifact(41);
+  Store.store(Art);
+  auto Back = Store.load(Art.IRHash, Art.Fingerprint, /*NeedProgram=*/true);
+  ASSERT_NE(Back, nullptr);
+  EXPECT_EQ(serializeCompiledModule(*Back), serializeCompiledModule(Art));
+  EXPECT_EQ(Store.stats().Stores, 1u);
+  EXPECT_EQ(Store.stats().Loads, 1u);
+
+  // Write-once: storing the same artifact again is a skip, not a write.
+  Store.store(Art);
+  EXPECT_EQ(Store.stats().Stores, 1u);
+  EXPECT_EQ(Store.stats().StoreSkips, 1u);
+}
+
+TEST_F(ArtifactStoreTest, AbsentKeyIsMiss) {
+  FileArtifactStore Store(Dir);
+  EXPECT_EQ(Store.load(0x1234, "nope", true), nullptr);
+  EXPECT_EQ(Store.stats().LoadMisses, 1u);
+}
+
+TEST_F(ArtifactStoreTest, TruncatedFileIsMissAndHeals) {
+  FileArtifactStore Store(Dir);
+  const CompiledModule Art = makeArtifact(42);
+  Store.store(Art);
+  const std::string Path = Store.pathFor(Art.IRHash, Art.Fingerprint);
+  const std::vector<uint8_t> Full = serializeCompiledModule(Art);
+
+  for (size_t Len : {size_t(0), size_t(3), Full.size() / 2, Full.size() - 1}) {
+    writeFile(Path, std::vector<uint8_t>(Full.begin(), Full.begin() + Len));
+    EXPECT_EQ(Store.load(Art.IRHash, Art.Fingerprint, true), nullptr)
+        << "truncation to " << Len << " bytes must miss";
+    // The recompile's store() replaces the corrupt incumbent — the heal
+    // path a real daemon takes right after the miss.
+    Store.store(Art);
+    EXPECT_NE(Store.load(Art.IRHash, Art.Fingerprint, true), nullptr);
+  }
+}
+
+TEST_F(ArtifactStoreTest, FlippedBytesAreMisses) {
+  FileArtifactStore Store(Dir);
+  const CompiledModule Art = makeArtifact(43);
+  Store.store(Art);
+  const std::string Path = Store.pathFor(Art.IRHash, Art.Fingerprint);
+  const std::vector<uint8_t> Full = serializeCompiledModule(Art);
+  // Every 7th offset keeps the sweep fast while still crossing the
+  // magic, header, payload, counter and checksum regions.
+  for (size_t I = 0; I < Full.size(); I += 7) {
+    std::vector<uint8_t> Bad = Full;
+    Bad[I] ^= 0x08;
+    writeFile(Path, Bad);
+    EXPECT_EQ(Store.load(Art.IRHash, Art.Fingerprint, true), nullptr)
+        << "flipped byte " << I << " must miss";
+  }
+}
+
+TEST_F(ArtifactStoreTest, WrongMagicAndStaleVersionAreMisses) {
+  FileArtifactStore Store(Dir);
+  const CompiledModule Art = makeArtifact(44);
+  Store.store(Art);
+  const std::string Path = Store.pathFor(Art.IRHash, Art.Fingerprint);
+  const std::vector<uint8_t> Full = serializeCompiledModule(Art);
+  {
+    std::vector<uint8_t> Bad = Full;
+    Bad[0] = 'X'; // not DRMA — e.g. a stray file with a colliding name
+    writeFile(Path, Bad);
+    EXPECT_EQ(Store.load(Art.IRHash, Art.Fingerprint, true), nullptr);
+  }
+  {
+    std::vector<uint8_t> Bad = Full;
+    Bad[4] = 0xee; // a future/stale format version
+    Bad[5] = 0xee;
+    writeFile(Path, Bad);
+    EXPECT_EQ(Store.load(Art.IRHash, Art.Fingerprint, true), nullptr);
+  }
+}
+
+TEST_F(ArtifactStoreTest, MiskeyedFileIsMiss) {
+  // A valid artifact sitting at the wrong path (filename-hash collision,
+  // a copied/renamed file): the key inside the container must win.
+  FileArtifactStore Store(Dir);
+  const CompiledModule A = makeArtifact(45);
+  const CompiledModule B = makeArtifact(46);
+  ASSERT_NE(A.IRHash, B.IRHash);
+  Store.store(A);
+  writeFile(Store.pathFor(B.IRHash, B.Fingerprint),
+            serializeCompiledModule(A));
+  EXPECT_EQ(Store.load(B.IRHash, B.Fingerprint, true), nullptr);
+  // The real key still loads fine.
+  EXPECT_NE(Store.load(A.IRHash, A.Fingerprint, true), nullptr);
+}
+
+TEST_F(ArtifactStoreTest, TornWriteSweptOnOpen) {
+  // A writer killed mid-store leaves only a temp file (the rename never
+  // happened). A fresh store over the directory sweeps it and the key
+  // reads as absent.
+  {
+    FileArtifactStore Store(Dir);
+    ASSERT_TRUE(Store.valid());
+  }
+  writeFile(Dir + "/.tmp-dead-writer", {0x12, 0x34});
+  const CompiledModule Art = makeArtifact(47);
+  FileArtifactStore Store(Dir);
+  EXPECT_EQ(Store.load(Art.IRHash, Art.Fingerprint, true), nullptr);
+  struct stat St;
+  EXPECT_NE(::stat((Dir + "/.tmp-dead-writer").c_str(), &St), 0)
+      << "temp droppings must be swept on open";
+}
+
+TEST_F(ArtifactStoreTest, ConcurrentWritersOneKey) {
+  // N threads race store() on one key; compiles are deterministic so
+  // every writer carries the same bytes — whichever rename lands, the
+  // file must be complete and valid, and later loads must succeed.
+  FileArtifactStore Store(Dir);
+  const CompiledModule Art = makeArtifact(48);
+  std::vector<std::thread> Writers;
+  for (int I = 0; I < 8; ++I)
+    Writers.emplace_back([&] { Store.store(Art); });
+  for (std::thread &T : Writers)
+    T.join();
+  auto Back = Store.load(Art.IRHash, Art.Fingerprint, true);
+  ASSERT_NE(Back, nullptr);
+  EXPECT_EQ(serializeCompiledModule(*Back), serializeCompiledModule(Art));
+  // No temp droppings survive the races.
+  FileArtifactStore Fresh(Dir);
+  EXPECT_NE(Fresh.load(Art.IRHash, Art.Fingerprint, true), nullptr);
+}
+
+TEST_F(ArtifactStoreTest, UnusableDirectoryDegradesToMisses) {
+  FileArtifactStore Store("/dev/null/not-a-dir");
+  EXPECT_FALSE(Store.valid());
+  const CompiledModule Art = makeArtifact(49);
+  Store.store(Art); // silently dropped
+  EXPECT_EQ(Store.load(Art.IRHash, Art.Fingerprint, true), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// CompileService + persistence integration
+//===----------------------------------------------------------------------===//
+
+TEST_F(ArtifactStoreTest, ServiceWarmStartsFromDisk) {
+  Context Ctx;
+  Module M(Ctx, "persist");
+  Function *F = buildKernel(M, 51);
+
+  CompileService::Artifact ColdArt;
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    CacheSource Src = CacheSource::MemoryHit;
+    ColdArt = Svc.getOrCompile(*F, DARMConfig(), true, &Src);
+    EXPECT_EQ(Src, CacheSource::Compiled);
+    EXPECT_EQ(Store.stats().Stores, 1u);
+  }
+  // The restart: a fresh service over the same directory serves the key
+  // from disk — zero recompiles — and the artifact is byte-identical.
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    CacheSource Src = CacheSource::Compiled;
+    CompileService::Artifact Warm = Svc.getOrCompile(*F, DARMConfig(), true, &Src);
+    EXPECT_EQ(Src, CacheSource::DiskHit);
+    EXPECT_EQ(serializeCompiledModule(*Warm), serializeCompiledModule(*ColdArt));
+    CompileService::CacheStats St = Svc.stats();
+    EXPECT_EQ(St.Misses, 0u);
+    EXPECT_EQ(St.DiskHits, 1u);
+    // The disk hit was promoted into memory: the duplicate is a pure
+    // memory hit, no second disk read.
+    Svc.getOrCompile(*F, DARMConfig(), true, &Src);
+    EXPECT_EQ(Src, CacheSource::MemoryHit);
+    EXPECT_EQ(Store.stats().Loads, 1u);
+  }
+}
+
+TEST_F(ArtifactStoreTest, ServiceRecompilesOverCorruptFile) {
+  Context Ctx;
+  Module M(Ctx, "heal");
+  Function *F = buildKernel(M, 52);
+
+  std::string Path;
+  std::vector<uint8_t> Expect;
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    CompileService::Artifact Art = Svc.getOrCompile(*F, DARMConfig());
+    Expect = serializeCompiledModule(*Art);
+    Path = Store.pathFor(Art->IRHash, Art->Fingerprint);
+  }
+  // Corrupt the persisted file (a torn rename, a bad disk)...
+  std::vector<uint8_t> Bad(Expect.begin(), Expect.begin() + Expect.size() / 3);
+  writeFile(Path, Bad);
+  // ...the restarted service misses, recompiles, answers correctly, and
+  // re-persists over the bad file.
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    CacheSource Src = CacheSource::MemoryHit;
+    CompileService::Artifact Art = Svc.getOrCompile(*F, DARMConfig(), true, &Src);
+    EXPECT_EQ(Src, CacheSource::Compiled);
+    EXPECT_EQ(serializeCompiledModule(*Art), Expect);
+    EXPECT_EQ(Store.stats().Stores, 1u) << "the corrupt file must be healed";
+  }
+  // Third start: clean disk hit again.
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    CacheSource Src = CacheSource::Compiled;
+    Svc.getOrCompile(*F, DARMConfig(), true, &Src);
+    EXPECT_EQ(Src, CacheSource::DiskHit);
+  }
+}
+
+TEST_F(ArtifactStoreTest, ProgramlessDiskEntryUpgradesOnDemand) {
+  Context Ctx;
+  Module M(Ctx, "upgrade");
+  Function *F = buildKernel(M, 53);
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    Svc.getOrCompile(*F, DARMConfig(), /*IncludeProgram=*/false);
+  }
+  // The restart asks for a program image: the program-less disk file
+  // cannot satisfy it (NeedProgram gate), so the service recompiles and
+  // the store() upgrade-replaces the incumbent.
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    CacheSource Src = CacheSource::MemoryHit;
+    CompileService::Artifact Art =
+        Svc.getOrCompile(*F, DARMConfig(), /*IncludeProgram=*/true, &Src);
+    EXPECT_EQ(Src, CacheSource::Compiled);
+    EXPECT_FALSE(Art->ProgramBytes.empty());
+    EXPECT_EQ(Store.stats().Stores, 1u) << "program upgrade must be written";
+  }
+  // Now the full artifact serves from disk.
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    CacheSource Src = CacheSource::Compiled;
+    CompileService::Artifact Art =
+        Svc.getOrCompile(*F, DARMConfig(), /*IncludeProgram=*/true, &Src);
+    EXPECT_EQ(Src, CacheSource::DiskHit);
+    EXPECT_FALSE(Art->ProgramBytes.empty());
+  }
+}
+
+TEST_F(ArtifactStoreTest, NegativeResultsPersist) {
+  // A failed compile is a cacheable negative result in memory
+  // (docs/caching.md) — and on disk: the restart must not retry the
+  // doomed compile.
+  Context Ctx;
+  Module M(Ctx, "neg");
+  Function *F = buildKernel(M, 54);
+  const std::string FP = "serve-test-fail-v1";
+  unsigned Runs = 0;
+  // Verifier-rejected output (a block with no terminator), as in the
+  // in-memory negative-caching test.
+  const CompileFn Fail = [&Runs](Function &K, DARMStats &) {
+    ++Runs;
+    K.createBlock("dangling");
+  };
+  std::string ColdError;
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    CompileService::Artifact Art = Svc.getOrCompile(*F, FP, Fail);
+    ASSERT_TRUE(Art->failed());
+    ColdError = Art->CompileError;
+    EXPECT_EQ(Store.stats().Stores, 1u);
+  }
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    CacheSource Src = CacheSource::Compiled;
+    CompileService::Artifact Art = Svc.getOrCompile(*F, FP, Fail, true, &Src);
+    EXPECT_EQ(Src, CacheSource::DiskHit);
+    EXPECT_TRUE(Art->failed());
+    EXPECT_EQ(Art->CompileError, ColdError);
+    EXPECT_EQ(Runs, 1u) << "the doomed compile must not rerun after restart";
+  }
+}
+
+} // namespace

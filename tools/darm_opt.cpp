@@ -248,11 +248,15 @@ int main(int argc, char **argv) {
     const CompileService::CacheStats CS = Cache.stats();
     std::fprintf(stderr,
                  "CACHE entries=%llu bytes=%llu hits=%llu misses=%llu "
+                 "upgrades=%llu disk_hits=%llu oversized=%llu "
                  "evictions=%llu duplicate_compiles=%llu hit_rate=%.4f\n",
                  static_cast<unsigned long long>(CS.Entries),
                  static_cast<unsigned long long>(CS.Bytes),
                  static_cast<unsigned long long>(CS.Hits),
                  static_cast<unsigned long long>(CS.Misses),
+                 static_cast<unsigned long long>(CS.Upgrades),
+                 static_cast<unsigned long long>(CS.DiskHits),
+                 static_cast<unsigned long long>(CS.Oversized),
                  static_cast<unsigned long long>(CS.Evictions),
                  static_cast<unsigned long long>(CS.DuplicateCompiles),
                  CS.hitRate());

@@ -1,0 +1,274 @@
+//===- darmd.cpp - persistent compile daemon ----------------------------------===//
+//
+// The compilation-as-a-service front end over CompileService
+// (docs/caching.md): a persistent process answering textual-IR compile
+// requests over the length-prefixed serve protocol, from a shared
+// in-memory cache backed by an optional on-disk artifact store — so a
+// restarted daemon serves yesterday's compiles without recompiling.
+//
+// Server modes (pick one transport):
+//   darmd --socket PATH [--store DIR] [--cache-mb N]
+//       accept connections on a Unix-domain socket, one serving thread
+//       per client, until killed
+//   darmd --stdio [--store DIR] [--cache-mb N] [--stats]
+//       serve a single session on stdin/stdout until EOF (the simplest
+//       client is another darmd via socketpair; also handy under a
+//       supervisor that owns the transport). --stats prints a SERVE
+//       summary line to stderr at session end.
+//
+// Client mode (the CI serve-smoke replay, docs/caching.md):
+//   darmd --connect PATH --replay-corpus [--repeat N] [--expect-warm]
+//         [--stats]
+//       builds every real benchmark kernel x config pipeline, sends each
+//       request N times (duplicate-heavy by construction), and verifies
+//       every response artifact is BYTE-IDENTICAL to an in-process
+//       compileToArtifact of the same kernel+config. --expect-warm
+//       additionally fails unless zero responses were freshly compiled —
+//       the "warm restart recompiles nothing" gate. Exit 0 clean, 1 on
+//       any mismatch or expectation failure, 2 on usage/transport error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/core/CompileService.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/kernels/Benchmark.h"
+#include "darm/serve/ArtifactStore.h"
+#include "darm/serve/Server.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace darm;
+using namespace darm::serve;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: darmd --socket PATH [--store DIR] [--cache-mb N]\n"
+      "       darmd --stdio [--store DIR] [--cache-mb N] [--stats]\n"
+      "       darmd --connect PATH --replay-corpus [--repeat N]\n"
+      "             [--expect-warm] [--stats]\n");
+  return 2;
+}
+
+void printServeLine(const ServeCounters &C, const CompileService &Svc) {
+  const CompileService::CacheStats CS = Svc.stats();
+  std::fprintf(stderr,
+               "SERVE requests=%llu compiled=%llu mem_hits=%llu "
+               "disk_hits=%llu upgrades=%llu errors=%llu entries=%llu "
+               "bytes=%llu\n",
+               static_cast<unsigned long long>(C.Requests.load()),
+               static_cast<unsigned long long>(C.Compiled.load()),
+               static_cast<unsigned long long>(C.MemoryHits.load()),
+               static_cast<unsigned long long>(C.DiskHits.load()),
+               static_cast<unsigned long long>(C.Upgrades.load()),
+               static_cast<unsigned long long>(C.Errors.load()),
+               static_cast<unsigned long long>(CS.Entries),
+               static_cast<unsigned long long>(CS.Bytes));
+}
+
+/// The replay corpus: every real benchmark kernel at its smallest paper
+/// block size, under each named config pipeline. The same (kernel,
+/// config) grid the acceptance gate quantifies over.
+struct CorpusConfig {
+  const char *Name;
+  DARMConfig Cfg;
+};
+
+std::vector<CorpusConfig> corpusConfigs() {
+  std::vector<CorpusConfig> Cs;
+  Cs.push_back({"darm", DARMConfig()});
+  Cs.push_back({"darm-canon", DARMConfig::withCanonicalization()});
+  DARMConfig BF;
+  BF.DiamondOnly = true;
+  BF.EnableRegionReplication = false;
+  Cs.push_back({"branch-fusion", BF});
+  return Cs;
+}
+
+int runReplay(const std::string &SocketPath, unsigned Repeat, bool ExpectWarm,
+              bool Stats) {
+  std::string Err;
+  const int Fd = connectUnixSocket(SocketPath, &Err);
+  if (Fd < 0) {
+    std::fprintf(stderr, "darmd: %s\n", Err.c_str());
+    return 2;
+  }
+  uint64_t Sent = 0, Compiled = 0, MemHits = 0, DiskHits = 0, Upgraded = 0;
+  unsigned Mismatches = 0;
+  for (const std::string &Name : realBenchmarkNames()) {
+    const unsigned BS = paperBlockSizes(Name).front();
+    auto B = createBenchmark(Name, BS);
+    for (const CorpusConfig &CC : corpusConfigs()) {
+      // The reference: the exact artifact an in-process caller gets,
+      // serialized the same way the daemon serializes its response.
+      Context Ctx;
+      Module M(Ctx, Name);
+      Function *F = B->build(M);
+      const std::vector<uint8_t> Expect =
+          serializeCompiledModule(compileToArtifact(*F, CC.Cfg));
+      CompileRequest Req;
+      Req.Cfg = CC.Cfg;
+      Req.IRText = printFunction(*F);
+      for (unsigned R = 0; R < Repeat; ++R) {
+        CompileResponse Resp;
+        if (!roundTrip(Fd, Req, Resp, &Err)) {
+          std::fprintf(stderr, "darmd: %s %s: %s\n", Name.c_str(), CC.Name,
+                       Err.c_str());
+          ::close(Fd);
+          return 2;
+        }
+        ++Sent;
+        if (!Resp.Ok) {
+          std::fprintf(stderr, "darmd: %s %s: daemon error: %s\n",
+                       Name.c_str(), CC.Name, Resp.Error.c_str());
+          ++Mismatches;
+          continue;
+        }
+        switch (Resp.Origin) {
+        case ServeOrigin::Compiled:
+          ++Compiled;
+          break;
+        case ServeOrigin::MemoryHit:
+          ++MemHits;
+          break;
+        case ServeOrigin::DiskHit:
+          ++DiskHits;
+          break;
+        case ServeOrigin::Upgraded:
+          ++Upgraded;
+          break;
+        }
+        if (serializeCompiledModule(Resp.Art) != Expect) {
+          std::fprintf(stderr,
+                       "darmd: BYTE MISMATCH: %s %s (%s) differs from "
+                       "in-process compileToArtifact\n",
+                       Name.c_str(), CC.Name, originName(Resp.Origin));
+          ++Mismatches;
+        }
+      }
+    }
+  }
+  ::close(Fd);
+  if (Stats || Mismatches || (ExpectWarm && (Compiled || Upgraded)))
+    std::fprintf(stderr,
+                 "REPLAY sent=%llu compiled=%llu mem_hits=%llu "
+                 "disk_hits=%llu upgrades=%llu mismatches=%u\n",
+                 static_cast<unsigned long long>(Sent),
+                 static_cast<unsigned long long>(Compiled),
+                 static_cast<unsigned long long>(MemHits),
+                 static_cast<unsigned long long>(DiskHits),
+                 static_cast<unsigned long long>(Upgraded),
+                 Mismatches);
+  if (Mismatches) {
+    std::fprintf(stderr, "darmd: replay found %u byte mismatches\n",
+                 Mismatches);
+    return 1;
+  }
+  if (ExpectWarm && (Compiled || Upgraded)) {
+    std::fprintf(stderr,
+                 "darmd: --expect-warm but %llu responses were freshly "
+                 "compiled — the store did not survive the restart\n",
+                 static_cast<unsigned long long>(Compiled + Upgraded));
+    return 1;
+  }
+  std::fprintf(stderr, "darmd: replay clean: %llu responses byte-identical "
+                       "to in-process compiles\n",
+               static_cast<unsigned long long>(Sent));
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string SocketPath, ConnectPath, StoreDir;
+  bool Stdio = false, Replay = false, ExpectWarm = false, Stats = false;
+  unsigned Repeat = 2; // duplicate-heavy by default: each key twice
+  size_t CacheMb = 256;
+  for (int I = 1; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    if (Arg == "--socket" && I + 1 < argc) {
+      SocketPath = argv[++I];
+    } else if (Arg == "--connect" && I + 1 < argc) {
+      ConnectPath = argv[++I];
+    } else if (Arg == "--store" && I + 1 < argc) {
+      StoreDir = argv[++I];
+    } else if (Arg == "--cache-mb" && I + 1 < argc) {
+      CacheMb = static_cast<size_t>(std::atol(argv[++I]));
+    } else if (Arg == "--stdio") {
+      Stdio = true;
+    } else if (Arg == "--replay-corpus") {
+      Replay = true;
+    } else if (Arg == "--repeat" && I + 1 < argc) {
+      const int N = std::atoi(argv[++I]);
+      if (N <= 0) {
+        std::fprintf(stderr, "--repeat expects a positive integer\n");
+        return 2;
+      }
+      Repeat = static_cast<unsigned>(N);
+    } else if (Arg == "--expect-warm") {
+      ExpectWarm = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", Arg.c_str());
+      return usage();
+    }
+  }
+
+  if (!ConnectPath.empty()) {
+    if (!Replay) {
+      std::fprintf(stderr, "--connect requires --replay-corpus\n");
+      return usage();
+    }
+    return runReplay(ConnectPath, Repeat, ExpectWarm, Stats);
+  }
+  if (Stdio != SocketPath.empty()) {
+    // Exactly one transport: --stdio xor --socket.
+    return usage();
+  }
+
+  CompileService::Options Opts;
+  Opts.MaxBytes = CacheMb << 20;
+  CompileService Svc(Opts);
+  std::unique_ptr<FileArtifactStore> Store;
+  if (!StoreDir.empty()) {
+    Store = std::make_unique<FileArtifactStore>(StoreDir);
+    if (!Store->valid()) {
+      std::fprintf(stderr, "darmd: store directory '%s' is unusable\n",
+                   StoreDir.c_str());
+      return 2;
+    }
+    Svc.setPersistence(Store.get());
+  }
+  ServeCounters Counters;
+
+  if (Stdio) {
+    serveStream(STDIN_FILENO, STDOUT_FILENO, Svc, &Counters);
+    if (Stats)
+      printServeLine(Counters, Svc);
+    return 0;
+  }
+
+  std::string Err;
+  const int ListenFd = listenUnixSocket(SocketPath, &Err);
+  if (ListenFd < 0) {
+    std::fprintf(stderr, "darmd: %s\n", Err.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "darmd: serving on %s%s%s\n", SocketPath.c_str(),
+               StoreDir.empty() ? "" : ", store ",
+               StoreDir.empty() ? "" : StoreDir.c_str());
+  acceptLoop(ListenFd, Svc, &Counters);
+  ::close(ListenFd);
+  return 0;
+}

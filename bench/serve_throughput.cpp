@@ -33,6 +33,7 @@
 #include "darm/ir/Module.h"
 #include "darm/kernels/Benchmark.h"
 #include "darm/serve/ArtifactStore.h"
+#include "darm/serve/Client.h"
 #include "darm/serve/Server.h"
 
 #include <algorithm>
@@ -116,38 +117,41 @@ double percentile(std::vector<double> V, double P) {
   return V[std::min(Idx, V.size() - 1)];
 }
 
-/// One traffic phase: \p Clients socketpair sessions against \p Svc, each
-/// sending \p Requests requests walking the corpus round-robin from a
-/// per-client offset (so every key sees duplicate traffic from several
-/// clients at once). Latencies are per-request round-trip times.
+/// One traffic phase: a real SocketServer on \p Endpoint, \p Clients
+/// serve::Client sessions against it, each sending \p Requests requests
+/// walking the corpus round-robin from a per-client offset (so every key
+/// sees duplicate traffic from several clients at once). Latencies are
+/// per-request round-trip times through the full client library — what a
+/// caller actually experiences, retry machinery included.
 PhaseResult runPhase(CompileService &Svc, const std::vector<CorpusEntry> &Corpus,
-                     unsigned Clients, unsigned Requests) {
+                     unsigned Clients, unsigned Requests,
+                     const std::string &Endpoint) {
   PhaseResult Res;
   std::mutex Mu;
   std::vector<double> Latencies;
   std::atomic<uint64_t> Compiled{0}, MemHits{0}, DiskHits{0}, Upgrades{0},
       Mismatches{0};
 
-  std::vector<std::thread> Servers, Clis;
-  std::vector<int> ClientFds;
-  for (unsigned C = 0; C < Clients; ++C) {
-    int Fds[2];
-    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds) != 0) {
-      std::perror("socketpair");
-      std::exit(2);
-    }
-    ClientFds.push_back(Fds[0]);
-    const int ServerFd = Fds[1];
-    Servers.emplace_back([ServerFd, &Svc] {
-      serveStream(ServerFd, ServerFd, Svc);
-      ::close(ServerFd);
-    });
+  ServeCounters Counters;
+  SocketServer::Options SrvOpts;
+  SrvOpts.MaxConnections = Clients + 4;
+  SocketServer Server(Svc, &Counters, SrvOpts);
+  std::string Err;
+  const int ListenFd = listenEndpoint(Endpoint, &Err);
+  if (ListenFd < 0 || !Server.start(ListenFd)) {
+    std::fprintf(stderr, "serve_throughput: %s\n", Err.c_str());
+    std::exit(2);
   }
 
+  std::vector<std::thread> Clis;
   const auto T0 = std::chrono::steady_clock::now();
   for (unsigned C = 0; C < Clients; ++C) {
-    const int Fd = ClientFds[C];
-    Clis.emplace_back([&, Fd, C] {
+    Clis.emplace_back([&, C] {
+      ClientOptions CO;
+      CO.Endpoint = Endpoint;
+      CO.MaxRetries = 2;
+      CO.RequestTimeoutMs = 120000; // cold compiles are slow, not hung
+      Client Cli(CO);
       std::vector<double> Mine;
       Mine.reserve(Requests);
       for (unsigned I = 0; I < Requests; ++I) {
@@ -155,9 +159,9 @@ PhaseResult runPhase(CompileService &Svc, const std::vector<CorpusEntry> &Corpus
         CompileResponse Resp;
         std::string Err;
         const auto R0 = std::chrono::steady_clock::now();
-        if (!roundTrip(Fd, E.Req, Resp, &Err)) {
-          std::fprintf(stderr, "round trip failed (%s): %s\n",
-                       E.Label.c_str(), Err.c_str());
+        if (!Cli.request(E.Req, Resp, &Err)) {
+          std::fprintf(stderr, "request failed (%s): %s\n", E.Label.c_str(),
+                       Err.c_str());
           Mismatches.fetch_add(1);
           break;
         }
@@ -184,15 +188,13 @@ PhaseResult runPhase(CompileService &Svc, const std::vector<CorpusEntry> &Corpus
           break;
         }
       }
-      ::close(Fd); // EOF ends the paired serveStream loop
       std::lock_guard<std::mutex> Lock(Mu);
       Latencies.insert(Latencies.end(), Mine.begin(), Mine.end());
     });
   }
   for (std::thread &T : Clis)
     T.join();
-  for (std::thread &T : Servers)
-    T.join();
+  Server.drain(/*DeadlineMs=*/5000);
   const auto T1 = std::chrono::steady_clock::now();
 
   Res.Seconds = std::chrono::duration<double>(T1 - T0).count();
@@ -239,7 +241,7 @@ bool readRecordedField(const std::string &Text, const char *Key,
 int main(int argc, char **argv) {
   const char *JsonPath = nullptr;
   const char *ComparePath = nullptr;
-  std::string StoreDir;
+  std::string StoreDir, Endpoint;
   unsigned Clients = 4, Requests = 64;
   for (int I = 1; I < argc; ++I) {
     if (!std::strcmp(argv[I], "--json") && I + 1 < argc) {
@@ -248,6 +250,8 @@ int main(int argc, char **argv) {
       ComparePath = argv[++I];
     } else if (!std::strcmp(argv[I], "--store") && I + 1 < argc) {
       StoreDir = argv[++I];
+    } else if (!std::strcmp(argv[I], "--endpoint") && I + 1 < argc) {
+      Endpoint = argv[++I];
     } else if (!std::strcmp(argv[I], "--clients") && I + 1 < argc) {
       Clients = static_cast<unsigned>(std::atoi(argv[++I]));
     } else if (!std::strcmp(argv[I], "--requests") && I + 1 < argc) {
@@ -255,7 +259,10 @@ int main(int argc, char **argv) {
     } else {
       std::fprintf(stderr,
                    "usage: serve_throughput [--json FILE] [--compare OLD] "
-                   "[--clients N] [--requests M] [--store DIR]\n");
+                   "[--clients N] [--requests M] [--store DIR] "
+                   "[--endpoint E]\n"
+                   "  --endpoint: Unix-socket path or host:port (TCP); "
+                   "default a temp Unix socket\n");
       return 2;
     }
   }
@@ -274,6 +281,9 @@ int main(int argc, char **argv) {
     StoreDir = Templ;
     TempStore = true;
   }
+  const bool TempEndpoint = Endpoint.empty();
+  if (TempEndpoint)
+    Endpoint = StoreDir + "/bench.sock";
 
   const std::vector<CorpusEntry> Corpus = buildCorpus();
 
@@ -284,8 +294,8 @@ int main(int argc, char **argv) {
     CompileService Svc;
     FileArtifactStore Store(StoreDir);
     Svc.setPersistence(&Store);
-    Cold = runPhase(Svc, Corpus, Clients, Requests);
-    Warm = runPhase(Svc, Corpus, Clients, Requests);
+    Cold = runPhase(Svc, Corpus, Clients, Requests, Endpoint);
+    Warm = runPhase(Svc, Corpus, Clients, Requests, Endpoint);
   }
   // Phase 3: a fresh service over the now-populated store — the daemon
   // restart. Everything must come off disk; a single recompile fails the
@@ -294,8 +304,10 @@ int main(int argc, char **argv) {
     CompileService Svc;
     FileArtifactStore Store(StoreDir);
     Svc.setPersistence(&Store);
-    WarmDisk = runPhase(Svc, Corpus, Clients, Requests);
+    WarmDisk = runPhase(Svc, Corpus, Clients, Requests, Endpoint);
   }
+  if (TempEndpoint)
+    ::unlink(Endpoint.c_str());
 
   if (TempStore)
     std::system(("rm -rf " + StoreDir).c_str());

@@ -18,9 +18,13 @@
 /// Atomic-write rule: every store writes to a unique temp file in the
 /// same directory and rename(2)s it over the final name. Readers
 /// therefore see either nothing or a complete file — never a torn write
-/// in progress. A crash can only leave stray `.tmp-*` droppings (swept
-/// opportunistically) or, if the filesystem itself tears a non-synced
-/// rename, a corrupt file — which validation catches.
+/// in progress. A crash can only leave stray `.tmp-*` droppings or, if
+/// the filesystem itself tears a non-synced rename, a corrupt file —
+/// which validation catches. Temp sweeping is bounded to STALE temps
+/// (dead writer pid, or older than Options::StaleTempAgeSecs): a second
+/// store opening the same directory must not yank a live writer's temp
+/// out from under its rename (pinned by tests/serve_test.cpp's
+/// two-process sweep test).
 ///
 /// Validation on load (the crash-safety contract, pinned by
 /// tests/serve_test.cpp): the container must decode as a versioned DRMA
@@ -32,6 +36,14 @@
 /// abort, never a wrong answer — after which the service recompiles and
 /// re-persists over the bad file.
 ///
+/// Garbage collection (docs/serving.md): with a byte budget set, the
+/// store evicts least-recently-used artifacts (by file mtime, bumped on
+/// every successful load) oldest-first until the directory fits — on
+/// open and after stores. Eviction is plain unlink, so POSIX semantics
+/// make "never evict mid-load" automatic: a reader that already opened
+/// the file keeps its bytes. A concurrently re-stored key simply
+/// reappears with a fresh mtime; the next pass sees the truth.
+///
 //===----------------------------------------------------------------------===//
 #ifndef DARM_SERVE_ARTIFACTSTORE_H
 #define DARM_SERVE_ARTIFACTSTORE_H
@@ -41,6 +53,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace darm {
@@ -52,11 +65,24 @@ namespace serve {
 /// whichever rename lands last installs the same bytes).
 class FileArtifactStore : public ArtifactPersistence {
 public:
-  /// Opens (creating if needed) \p Dir as the store root and sweeps
-  /// stray temp files from crashed writers. An unusable directory is
-  /// not fatal: the store then simply misses every load and drops every
-  /// store (valid() reports it).
+  struct Options {
+    /// Byte budget for the whole store directory; 0 = unbounded (no GC).
+    /// When set, opening the store and storing past the budget evict
+    /// LRU artifacts (oldest mtime first) until the directory fits.
+    size_t MaxBytes = 0;
+    /// A `.tmp-*` file older than this is presumed abandoned even when
+    /// its writer pid cannot be probed; temps whose embedded pid is
+    /// provably dead are swept regardless of age.
+    long StaleTempAgeSecs = 3600;
+  };
+
+  /// Opens (creating if needed) \p Dir as the store root, sweeps STALE
+  /// temp files from crashed writers, and — with a byte budget — evicts
+  /// down to it. An unusable directory is not fatal: the store then
+  /// simply misses every load and drops every store (valid() reports
+  /// it).
   explicit FileArtifactStore(std::string Dir);
+  FileArtifactStore(std::string Dir, Options Opts);
 
   /// True when the store directory exists and is usable.
   bool valid() const { return Usable; }
@@ -74,19 +100,30 @@ public:
   /// The file a key persists to (diagnostics and tests).
   std::string pathFor(uint64_t IRHash, const std::string &Fingerprint) const;
 
+  /// Runs one GC pass now (no-op without a budget). Returns the bytes
+  /// the directory's artifacts occupy after the pass.
+  size_t collectGarbage();
+
   struct Stats {
     uint64_t Loads = 0;      ///< load() calls that returned an artifact
     uint64_t LoadMisses = 0; ///< absent, unreadable, or failed validation
     uint64_t Stores = 0;     ///< files written (fresh or replacement)
     uint64_t StoreSkips = 0; ///< write-once: a valid incumbent was kept
+    uint64_t Evictions = 0;  ///< artifacts unlinked by GC
   };
   Stats stats() const;
 
 private:
+  void sweepStaleTemps();
+
   std::string Root;
+  Options Opts;
   bool Usable = false;
-  std::atomic<uint64_t> Loads{0}, LoadMisses{0}, Stores{0}, StoreSkips{0};
+  std::atomic<uint64_t> Loads{0}, LoadMisses{0}, Stores{0}, StoreSkips{0},
+      Evictions{0};
   std::atomic<uint64_t> TempCounter{0};
+  /// One GC pass at a time; concurrent would-be collectors skip.
+  std::mutex GcM;
 };
 
 } // namespace serve

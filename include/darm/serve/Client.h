@@ -1,0 +1,129 @@
+//===- Client.h - resilient darmd client --------------------------*- C++ -*-===//
+///
+/// \file
+/// The client side of the darmd compile service (docs/serving.md): a
+/// connection-owning library that turns "compile this kernel" into a
+/// framed round trip with the failure handling every real caller needs
+/// and none of them should hand-roll — per-attempt deadlines, bounded
+/// retries with capped decorrelated-jitter backoff, automatic reconnect,
+/// and an optional verified local-compile fallback.
+///
+/// Retry policy: only TRANSIENT failures are retried — connect errors,
+/// torn/timed-out round trips, and Busy (load-shed) responses. A
+/// request-level error response (Ok=false, Busy=false: unparseable
+/// request or IR) is PERMANENT — the daemon decoded the request and
+/// rejected its content; sending identical bytes again cannot change the
+/// answer. Compile failures are not failures at all here: they are Ok
+/// responses carrying a failed artifact, exactly like the in-process
+/// path.
+///
+/// Backoff: capped decorrelated jitter (sleep = min(cap,
+/// uniform[base, 3*prev])), seeded from support/RNG so a test can pin
+/// the schedule. Jitter matters more than the curve: a daemon restart
+/// must not be greeted by every client retrying on the same tick.
+///
+/// Fallback: with FallbackMode::LocalCompile, a request whose retries
+/// exhaust is compiled in-process through the same serveRequest path the
+/// daemon runs. By the determinism contract (docs/caching.md), the
+/// artifact bytes are identical to what the daemon would have produced —
+/// degraded service, not degraded answers. The caller can tell it
+/// happened only by counters().Fallbacks.
+///
+/// Thread model: one Client is one connection and is NOT thread-safe;
+/// give each thread its own (they can share one fallback CompileService,
+/// which is).
+///
+//===----------------------------------------------------------------------===//
+#ifndef DARM_SERVE_CLIENT_H
+#define DARM_SERVE_CLIENT_H
+
+#include "darm/serve/Protocol.h"
+#include "darm/support/RNG.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace darm {
+
+class CompileService;
+
+namespace serve {
+
+/// What a Client does when retries exhaust.
+enum class FallbackMode : uint8_t {
+  Fail,         ///< request() returns false with the last transport error
+  LocalCompile, ///< compile in-process (byte-identical by determinism)
+};
+
+struct ClientOptions {
+  /// Daemon endpoint: "host:port" (TCP) or a Unix-socket path.
+  std::string Endpoint;
+  /// Bounds one connect() (TCP handshake included).
+  int ConnectTimeoutMs = 2000;
+  /// Bounds one round trip: request write, response wait, response frame.
+  int RequestTimeoutMs = 10000;
+  /// Retries after the first attempt, transient failures only.
+  unsigned MaxRetries = 4;
+  /// Decorrelated-jitter backoff: min(CapMs, uniform[BaseMs, 3*prev]).
+  unsigned BackoffBaseMs = 10;
+  unsigned BackoffCapMs = 2000;
+  /// Seeds the jitter stream (deterministic backoff in tests).
+  uint64_t BackoffSeed = 0x9E3779B97F4A7C15ull;
+  FallbackMode Fallback = FallbackMode::Fail;
+};
+
+/// Per-client observability: what the retry machinery actually did.
+struct ClientCounters {
+  std::atomic<uint64_t> Attempts{0};     ///< round trips started
+  std::atomic<uint64_t> Retries{0};      ///< attempts after the first
+  std::atomic<uint64_t> Reconnects{0};   ///< fresh connects after the first
+  std::atomic<uint64_t> BusyShed{0};     ///< Busy responses absorbed
+  std::atomic<uint64_t> DeadlineHits{0}; ///< attempts cut by a deadline
+  std::atomic<uint64_t> Fallbacks{0};    ///< requests answered locally
+};
+
+class Client {
+public:
+  /// \p FallbackSvc backs FallbackMode::LocalCompile (shared cache across
+  /// clients); when null, a private CompileService is created lazily on
+  /// first fallback.
+  explicit Client(ClientOptions Opts, CompileService *FallbackSvc = nullptr);
+  ~Client();
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// One compile request, retried/fallen-back per the options. True when
+  /// \p Resp holds a definitive answer (success, compile failure, or a
+  /// PERMANENT request-level error — check Resp.Ok); false only when
+  /// every attempt failed transiently and fallback is off/unusable, with
+  /// \p Err describing the last failure.
+  bool request(const CompileRequest &Req, CompileResponse &Resp,
+               std::string *Err = nullptr);
+
+  const ClientCounters &counters() const { return Counters; }
+  bool connected() const { return Fd >= 0; }
+  /// Drops the connection; the next request() reconnects.
+  void disconnect();
+
+private:
+  bool ensureConnected(std::string *Err);
+  /// The decorrelated-jitter schedule; \p PrevMs is the last sleep.
+  unsigned nextBackoffMs(unsigned PrevMs);
+  bool fallbackLocally(const CompileRequest &Req, CompileResponse &Resp,
+                       std::string *Err);
+
+  ClientOptions Opts;
+  CompileService *FallbackSvc;
+  std::unique_ptr<CompileService> OwnedFallback;
+  RNG Jitter;
+  ClientCounters Counters;
+  int Fd = -1;
+};
+
+} // namespace serve
+} // namespace darm
+
+#endif // DARM_SERVE_CLIENT_H

@@ -21,13 +21,22 @@
 /// textual IR. Doubles travel as raw IEEE-754 bits, so a config
 /// round-trips bit-exactly.
 ///
-/// Response payload ("DRMR" v1): magic, u16 version, u8 status (0 = ok,
-/// 1 = request-level error with a message), u8 origin, and the "DRMA"
-/// artifact image (core/CompiledModule.h serializeCompiledModule).
-/// Compile *failures* are not protocol errors: a verifier-rejected
-/// compile comes back status-ok with the artifact's CompileError set,
-/// exactly like the in-process path. Version policy as everywhere
-/// (docs/caching.md): bump on any change, readers reject mismatches.
+/// Response payload ("DRMR" v2): magic, u16 version, u8 status (0 = ok,
+/// 1 = request-level error with a message, 2 = busy/load-shed: the
+/// server is at its connection cap — retryable, carries no artifact),
+/// u8 origin, and the "DRMA" artifact image (core/CompiledModule.h
+/// serializeCompiledModule). Compile *failures* are not protocol errors:
+/// a verifier-rejected compile comes back status-ok with the artifact's
+/// CompileError set, exactly like the in-process path. Version policy as
+/// everywhere (docs/caching.md): bump on any change, readers reject
+/// mismatches (v2 added the busy status).
+///
+/// Deadlines: the framing helpers take optional idle/frame timeouts
+/// (docs/serving.md). The idle timeout bounds the wait for a frame's
+/// FIRST byte; the frame timeout bounds the rest of the frame once it
+/// has started — so a server can let clients hold idle connections
+/// forever while still disconnecting a slow-loris peer that dribbles a
+/// frame byte by byte. Timeouts surface as failure with *TimedOut set.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef DARM_SERVE_PROTOCOL_H
@@ -43,7 +52,8 @@ namespace darm {
 namespace serve {
 
 /// Wire protocol version, shared by request and response payloads.
-inline constexpr uint16_t kServeProtocolVersion = 1;
+/// v2: response status 2 = busy (load shedding).
+inline constexpr uint16_t kServeProtocolVersion = 2;
 
 /// Frame payload cap. Large enough for any corpus kernel by orders of
 /// magnitude; small enough that a corrupt length prefix cannot make
@@ -71,11 +81,15 @@ enum class ServeOrigin : uint8_t {
 };
 const char *originName(ServeOrigin O);
 
-/// One response. Ok=false is a request-level failure (unparseable
-/// request or IR) with Error set and no artifact; compile failures are
-/// Ok=true artifacts with Art.failed().
+/// One response. Ok=false with Busy=false is a request-level failure
+/// (unparseable request or IR) with Error set and no artifact — a
+/// PERMANENT error, clients must not retry it. Ok=false with Busy=true
+/// is load shedding: the server is at its connection cap — TRANSIENT,
+/// clients back off and retry. Compile failures are Ok=true artifacts
+/// with Art.failed().
 struct CompileResponse {
   bool Ok = false;
+  bool Busy = false;
   std::string Error;
   ServeOrigin Origin = ServeOrigin::Compiled;
   CompiledModule Art;
@@ -91,15 +105,24 @@ std::vector<uint8_t> encodeResponse(const CompileResponse &Resp);
 bool decodeResponse(const uint8_t *Data, size_t Size, CompileResponse &Resp,
                     std::string *Err = nullptr);
 
-/// Writes one length-prefixed frame to \p Fd (retrying short writes).
-/// False on I/O error or an over-cap payload.
-bool writeFrame(int Fd, const std::vector<uint8_t> &Payload);
+/// Writes one length-prefixed frame to \p Fd (retrying short writes and
+/// EINTR). False on I/O error, an over-cap payload, or — with a
+/// non-negative \p TimeoutMs — a whole-call deadline expiry (reported
+/// via \p TimedOut). A peer that closed mid-write surfaces as a clean
+/// EPIPE failure, never a process-killing SIGPIPE (MSG_NOSIGNAL).
+bool writeFrame(int Fd, const std::vector<uint8_t> &Payload,
+                int TimeoutMs = -1, bool *TimedOut = nullptr);
 
 /// Reads one length-prefixed frame from \p Fd. False on EOF, I/O error,
-/// or an over-cap length; \p CleanEof distinguishes "peer closed between
-/// frames" (the normal end of a session) from a torn frame.
+/// an over-cap length, or a deadline expiry; \p CleanEof distinguishes
+/// "peer closed between frames" (the normal end of a session) from a
+/// torn frame. \p IdleTimeoutMs bounds the wait for the first byte;
+/// \p FrameTimeoutMs bounds the remainder of the frame once it has
+/// started (the slow-loris guard). Either may be -1 (no bound);
+/// \p TimedOut reports which failures were deadline expiries.
 bool readFrame(int Fd, std::vector<uint8_t> &Payload,
-               bool *CleanEof = nullptr);
+               bool *CleanEof = nullptr, int IdleTimeoutMs = -1,
+               int FrameTimeoutMs = -1, bool *TimedOut = nullptr);
 
 } // namespace serve
 } // namespace darm

@@ -1,18 +1,19 @@
 //===- Server.h - darmd serving loop -----------------------------*- C++ -*-===//
 ///
 /// \file
-/// The serving side of the darmd compile daemon (docs/caching.md): a
+/// The serving side of the darmd compile daemon (docs/serving.md): a
 /// per-connection loop that reads framed CompileRequests, answers them
 /// from a shared CompileService, and writes framed CompileResponses —
-/// plus the Unix-socket plumbing (listen/accept/connect) and the client
-/// round-trip helper the replay tool and the serve bench drive it with.
+/// plus the transport plumbing (Unix-socket and TCP listen/connect) and
+/// the SocketServer accept loop darmd and the serve bench run it under.
 ///
-/// Concurrency model: one serveStream loop per connection (the daemon
-/// spawns a thread per accepted socket; the bench pairs each simulated
-/// client with one). All loops share one CompileService, so concurrent
-/// clients get the sharded-LRU + persistence behaviour documented in
-/// core/CompileService.h — racing compiles of one key are deterministic
-/// duplicates, hits are lock-striped, disk artifacts are promoted once.
+/// Concurrency model: one serveStream loop per connection (SocketServer
+/// spawns a tracked thread per accepted socket; the bench pairs each
+/// simulated client with one). All loops share one CompileService, so
+/// concurrent clients get the sharded-LRU + persistence behaviour
+/// documented in core/CompileService.h — racing compiles of one key are
+/// deterministic duplicates, hits are lock-striped, disk artifacts are
+/// promoted once.
 ///
 /// Error discipline: a request the server cannot even decode poisons the
 /// stream (framing can no longer be trusted) — it answers one Ok=false
@@ -20,6 +21,13 @@
 /// per-request Ok=false answer; the session continues. Compile failures
 /// are not errors at all: they are Ok=true artifacts with CompileError
 /// set, byte-faithful to the in-process negative-caching path.
+///
+/// Resilience (docs/serving.md): per-connection frame deadlines mean a
+/// slow-loris peer that starts a frame and stalls is disconnected
+/// without pinning its thread; a bounded connection count sheds excess
+/// load with a one-frame Busy answer; and a draining server finishes
+/// the requests it has already read before exiting — SIGTERM costs
+/// in-flight work nothing.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef DARM_SERVE_SERVER_H
@@ -29,7 +37,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace darm {
 
@@ -44,15 +56,46 @@ struct ServeCounters {
   std::atomic<uint64_t> MemoryHits{0};
   std::atomic<uint64_t> DiskHits{0};
   std::atomic<uint64_t> Upgrades{0};
-  std::atomic<uint64_t> Errors{0}; ///< Ok=false responses sent
+  std::atomic<uint64_t> Errors{0};   ///< Ok=false responses sent
+  std::atomic<uint64_t> Busy{0};     ///< load-shed answers (over conn cap)
+  std::atomic<uint64_t> Timeouts{0}; ///< connections cut mid-frame (deadline)
+  /// Requests read off the wire but not yet answered — the gauge a
+  /// draining server waits on.
+  std::atomic<uint64_t> InFlight{0};
 };
 
+/// Per-session serving knobs.
+struct ServeOptions {
+  /// Bounds the wait for a request frame's FIRST byte. -1 = a client may
+  /// hold an idle connection forever (the default: sessions are cheap,
+  /// threads are the daemon's to spend).
+  int IdleTimeoutMs = -1;
+  /// Bounds the remainder of a request frame once it has started, and
+  /// each response write. -1 = unbounded. The slow-loris guard: a peer
+  /// that stalls mid-frame is disconnected, not waited on.
+  int FrameTimeoutMs = -1;
+  /// When set and true, the loop exits after answering the request it is
+  /// currently reading/serving instead of waiting for another — the
+  /// graceful-shutdown contract: a request the server already read is
+  /// always answered.
+  std::atomic<bool> *Drain = nullptr;
+};
+
+/// Answers one decoded request against \p Svc — the single compile path
+/// behind both serveStream and Client's verified local fallback
+/// (serve/Client.h): whichever side runs it, the artifact bytes are
+/// identical. Request-level failures (bad IR, empty/multi-function
+/// module) come back Ok=false; compile failures are Ok=true artifacts
+/// with CompileError set, exactly like the in-process path.
+CompileResponse serveRequest(const CompileRequest &Req, CompileService &Svc);
+
 /// Serves one connection: reads request frames from \p InFd until EOF
-/// (or a poisoned stream), answers each on \p OutFd. Returns the number
-/// of requests served. The two fds may be the same (sockets) or a pipe
-/// pair (--stdio mode).
+/// (or a poisoned stream, deadline cut, or drain), answers each on
+/// \p OutFd. Returns the number of requests served. The two fds may be
+/// the same (sockets) or a pipe pair (--stdio mode).
 uint64_t serveStream(int InFd, int OutFd, CompileService &Svc,
-                     ServeCounters *Counters = nullptr);
+                     ServeCounters *Counters = nullptr,
+                     const ServeOptions &Opts = ServeOptions());
 
 /// Binds and listens on a Unix-domain stream socket at \p Path
 /// (unlinking a stale socket file first). Returns the listening fd, or
@@ -62,17 +105,103 @@ int listenUnixSocket(const std::string &Path, std::string *Err = nullptr);
 /// Connects to the daemon's socket. Returns the fd, or -1 with \p Err.
 int connectUnixSocket(const std::string &Path, std::string *Err = nullptr);
 
-/// Accept loop: one detached serving thread per accepted connection,
-/// until accept fails (listener closed/interrupted) or \p Stop is set.
-void acceptLoop(int ListenFd, CompileService &Svc,
-                ServeCounters *Counters = nullptr,
-                std::atomic<bool> *Stop = nullptr);
+/// Binds and listens on TCP \p HostPort ("host:port"; port 0 picks an
+/// ephemeral port, reported via \p BoundPort). Returns the listening fd
+/// with SO_REUSEADDR set, or -1 with \p Err.
+int listenTcp(const std::string &HostPort, std::string *Err = nullptr,
+              uint16_t *BoundPort = nullptr);
+
+/// Connects to TCP \p HostPort with an optional connect deadline.
+/// TCP_NODELAY is set (the protocol is request/response; Nagle+delayed-
+/// ack would add 40ms to every round trip). Returns fd or -1 with \p Err.
+int connectTcp(const std::string &HostPort, std::string *Err = nullptr,
+               int TimeoutMs = -1);
+
+/// Endpoint dispatch, shared by every client and the daemon: a string
+/// with a ':' is "host:port" (TCP), anything else is a Unix-socket path.
+bool endpointIsTcp(const std::string &Endpoint);
+int listenEndpoint(const std::string &Endpoint, std::string *Err = nullptr,
+                   uint16_t *BoundPort = nullptr);
+int connectEndpoint(const std::string &Endpoint, std::string *Err = nullptr,
+                    int TimeoutMs = -1);
+
+/// The daemon's accept loop: one tracked serving thread per accepted
+/// connection, a bounded connection count with one-frame Busy load
+/// shedding above it, and a graceful-drain shutdown path. Owns the
+/// listening fd once start()ed.
+class SocketServer {
+public:
+  struct Options {
+    /// Concurrent-connection cap; an accept beyond it is answered with
+    /// one Busy frame and closed (ServeCounters::Busy).
+    unsigned MaxConnections = 256;
+    /// Per-session deadlines (ServeOptions semantics).
+    int IdleTimeoutMs = -1;
+    int FrameTimeoutMs = -1;
+  };
+
+  explicit SocketServer(CompileService &Svc, ServeCounters *Counters = nullptr);
+  SocketServer(CompileService &Svc, ServeCounters *Counters, Options Opts);
+  /// Stops and joins everything still running (no drain grace: callers
+  /// that care call drain() first).
+  ~SocketServer();
+
+  SocketServer(const SocketServer &) = delete;
+  SocketServer &operator=(const SocketServer &) = delete;
+
+  /// Takes ownership of \p ListenFd and spawns the acceptor thread.
+  /// False if already started or the stop pipe cannot be created.
+  bool start(int ListenFd);
+
+  /// Async-signal-safe stop request: a SIGTERM/SIGINT handler may call
+  /// write(2) on stopNotifyFd() directly; requestStop() does the same
+  /// from normal code. The acceptor wakes, stops accepting, and every
+  /// session finishes the request it already read, then closes.
+  void requestStop();
+  int stopNotifyFd() const { return StopWr; }
+
+  /// Graceful shutdown: stop accepting, wait up to \p DeadlineMs for
+  /// in-flight requests (ServeCounters::InFlight) to drain, then cut the
+  /// remaining connections and join every session thread. Returns true
+  /// when everything in flight was answered within the deadline.
+  bool drain(int DeadlineMs);
+
+  unsigned activeConnections() const {
+    return Active.load(std::memory_order_relaxed);
+  }
+
+private:
+  /// One accepted connection: its serving thread, its fd (for the drain
+  /// cut), and a done flag the acceptor reaps on so a long-running
+  /// daemon does not accumulate finished threads and fds.
+  struct Session {
+    std::thread T;
+    int Fd = -1;
+    std::shared_ptr<std::atomic<bool>> Done;
+  };
+
+  void acceptLoop();
+  void reapFinishedLocked();
+
+  CompileService &Svc;
+  ServeCounters *Counters;
+  Options Opts;
+  std::atomic<bool> Draining{false};
+  std::atomic<unsigned> Active{0};
+  int ListenFd = -1, StopRd = -1, StopWr = -1;
+  std::thread Acceptor;
+  bool Started = false, Stopped = false;
+  std::mutex ConnsM;
+  std::vector<Session> Sessions;
+};
 
 /// Client helper: one framed request, one framed response. False (with
 /// \p Err set) on any transport or decode failure — a response with
-/// Ok=false is still a successful round trip.
+/// Ok=false is still a successful round trip. \p TimeoutMs bounds the
+/// whole round trip per phase (write, response wait, response frame).
 bool roundTrip(int Fd, const CompileRequest &Req, CompileResponse &Resp,
-               std::string *Err = nullptr);
+               std::string *Err = nullptr, int TimeoutMs = -1,
+               bool *TimedOut = nullptr);
 
 } // namespace serve
 } // namespace darm

@@ -1,9 +1,13 @@
 //===- ArtifactStore.cpp - On-disk artifact persistence -----------------------===//
 //
 // Write-once artifact files under an atomic temp-file + rename
-// discipline, fully validated on load (serve/ArtifactStore.h,
-// docs/caching.md). Every failure mode — absent, truncated, flipped,
-// wrong magic/version, torn, mis-keyed — degrades to a cold miss.
+// discipline, fully validated on load, LRU-evicted to a byte budget
+// (serve/ArtifactStore.h, docs/caching.md, docs/serving.md). Every
+// failure mode — absent, truncated, flipped, wrong magic/version, torn,
+// mis-keyed, out-of-space — degrades to a cold miss or a dropped store.
+// All filesystem I/O goes through the fi* primitives so the chaos
+// battery (tests/chaos_test.cpp) can schedule ENOSPC/EIO/fsync faults
+// against the real code paths.
 //
 //===----------------------------------------------------------------------===//
 
@@ -12,15 +16,20 @@
 #include "darm/ir/Context.h"
 #include "darm/ir/Module.h"
 #include "darm/ir/Serialize.h"
+#include "darm/serve/FaultInjection.h"
 #include "darm/sim/DecodedProgram.h"
 #include "darm/support/Hashing.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <vector>
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -31,13 +40,13 @@ namespace {
 
 /// Reads a whole file; false when absent or unreadable.
 bool readFileBytes(const std::string &Path, std::vector<uint8_t> &Bytes) {
-  const int Fd = ::open(Path.c_str(), O_RDONLY);
+  const int Fd = fiOpen(Path.c_str(), O_RDONLY, 0);
   if (Fd < 0)
     return false;
   Bytes.clear();
   uint8_t Buf[1 << 16];
   for (;;) {
-    const ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    const ssize_t N = fiFsRead(Fd, Buf, sizeof(Buf));
     if (N < 0) {
       if (errno == EINTR)
         continue;
@@ -87,25 +96,124 @@ void appendHex64(std::string &S, uint64_t V) {
     S.push_back(hexDigit(static_cast<unsigned>((V >> Shift) & 0xf)));
 }
 
+/// Parses 16 lowercase-hex digits; false on anything else.
+bool parseHex64(const char *S, uint64_t &V) {
+  V = 0;
+  for (int I = 0; I < 16; ++I) {
+    const char C = S[I];
+    unsigned D;
+    if (C >= '0' && C <= '9')
+      D = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      D = static_cast<unsigned>(C - 'a') + 10;
+    else
+      return false;
+    V = (V << 4) | D;
+  }
+  return true;
+}
+
+bool endsWith(const char *Name, const char *Suffix) {
+  const size_t N = std::strlen(Name), S = std::strlen(Suffix);
+  return N >= S && std::strcmp(Name + (N - S), Suffix) == 0;
+}
+
 } // namespace
 
-FileArtifactStore::FileArtifactStore(std::string Dir) : Root(std::move(Dir)) {
+FileArtifactStore::FileArtifactStore(std::string Dir)
+    : FileArtifactStore(std::move(Dir), Options()) {}
+
+FileArtifactStore::FileArtifactStore(std::string Dir, Options Opts)
+    : Root(std::move(Dir)), Opts(Opts) {
   if (::mkdir(Root.c_str(), 0777) != 0 && errno != EEXIST)
     return;
   struct stat St;
   if (::stat(Root.c_str(), &St) != 0 || !S_ISDIR(St.st_mode))
     return;
   Usable = true;
-  // Sweep temp droppings from writers that died mid-store. Live writers
-  // are safe: temp names embed pid + a per-store counter, and a writer
-  // whose temp vanishes underneath it only loses its rename.
-  if (DIR *D = ::opendir(Root.c_str())) {
-    while (struct dirent *E = ::readdir(D)) {
-      if (std::strncmp(E->d_name, ".tmp-", 5) == 0)
-        ::unlink((Root + "/" + E->d_name).c_str());
+  sweepStaleTemps();
+  collectGarbage();
+}
+
+void FileArtifactStore::sweepStaleTemps() {
+  // Sweep temp droppings from writers that died mid-store — but ONLY
+  // stale ones. Temp names embed the writer's pid
+  // (`.tmp-<pid:016x>-<counter:016x>`): a temp whose pid is provably
+  // dead (kill(0) => ESRCH) is garbage now; one whose pid is alive (or
+  // unprobeable) is presumed a concurrent writer mid-store and left
+  // alone until it ages past StaleTempAgeSecs. Unparseable `.tmp-*`
+  // names were not written by this code and are swept unconditionally.
+  DIR *D = ::opendir(Root.c_str());
+  if (!D)
+    return;
+  const time_t Now = ::time(nullptr);
+  while (struct dirent *E = ::readdir(D)) {
+    if (std::strncmp(E->d_name, ".tmp-", 5) != 0)
+      continue;
+    const std::string Path = Root + "/" + E->d_name;
+    uint64_t Pid = 0, Ctr = 0;
+    const char *Tail = E->d_name + 5;
+    const bool Parsed = std::strlen(Tail) == 33 && Tail[16] == '-' &&
+                        parseHex64(Tail, Pid) && parseHex64(Tail + 17, Ctr);
+    bool Stale = true;
+    if (Parsed) {
+      if (Pid == static_cast<uint64_t>(::getpid())) {
+        Stale = false; // our own live writer, same process
+      } else if (::kill(static_cast<pid_t>(Pid), 0) == 0 ||
+                 errno != ESRCH) {
+        // Writer alive (or unprobeable): stale only by age.
+        struct stat TSt;
+        Stale = ::stat(Path.c_str(), &TSt) == 0 &&
+                Now - TSt.st_mtime > Opts.StaleTempAgeSecs;
+      }
     }
-    ::closedir(D);
+    if (Stale)
+      ::unlink(Path.c_str());
   }
+  ::closedir(D);
+}
+
+size_t FileArtifactStore::collectGarbage() {
+  if (!Usable)
+    return 0;
+  std::unique_lock<std::mutex> L(GcM, std::try_to_lock);
+  if (!L.owns_lock())
+    return 0; // another thread is collecting; it sees our files too
+  struct Entry {
+    std::string Name;
+    time_t Mtime;
+    size_t Bytes;
+  };
+  std::vector<Entry> Files;
+  size_t Total = 0;
+  DIR *D = ::opendir(Root.c_str());
+  if (!D)
+    return 0;
+  while (struct dirent *E = ::readdir(D)) {
+    if (!endsWith(E->d_name, ".drma"))
+      continue;
+    struct stat St;
+    if (::stat((Root + "/" + E->d_name).c_str(), &St) != 0)
+      continue; // raced with another collector's unlink
+    Files.push_back({E->d_name, St.st_mtime, static_cast<size_t>(St.st_size)});
+    Total += static_cast<size_t>(St.st_size);
+  }
+  ::closedir(D);
+  if (Opts.MaxBytes == 0 || Total <= Opts.MaxBytes)
+    return Total;
+  // LRU by mtime (bumped on every successful load), oldest first.
+  std::sort(Files.begin(), Files.end(), [](const Entry &A, const Entry &B) {
+    return A.Mtime != B.Mtime ? A.Mtime < B.Mtime : A.Name < B.Name;
+  });
+  for (const Entry &F : Files) {
+    if (Total <= Opts.MaxBytes)
+      break;
+    if (::unlink((Root + "/" + F.Name).c_str()) == 0) {
+      Total -= std::min(Total, F.Bytes);
+      Evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return Total;
 }
 
 std::string FileArtifactStore::pathFor(uint64_t IRHash,
@@ -126,14 +234,19 @@ FileArtifactStore::load(uint64_t IRHash, const std::string &Fingerprint,
     LoadMisses.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
+  const std::string Path = pathFor(IRHash, Fingerprint);
   std::vector<uint8_t> Bytes;
   auto Art = std::make_shared<CompiledModule>();
-  if (!readFileBytes(pathFor(IRHash, Fingerprint), Bytes) ||
+  if (!readFileBytes(Path, Bytes) ||
       !validateArtifact(Bytes, IRHash, Fingerprint, *Art) ||
       (NeedProgram && !Art->failed() && Art->ProgramBytes.empty())) {
     LoadMisses.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
+  // LRU clock: mark the file recently used so GC evicts colder keys
+  // first. mtime, not atime — relatime mounts make atime useless as a
+  // recency signal. Best-effort; a failed bump only ages the entry.
+  ::utimensat(AT_FDCWD, Path.c_str(), nullptr, 0);
   Loads.fetch_add(1, std::memory_order_relaxed);
   return Art;
 }
@@ -164,31 +277,33 @@ void FileArtifactStore::store(const CompiledModule &Art) {
   Temp += '-';
   appendHex64(Temp, TempCounter.fetch_add(1, std::memory_order_relaxed));
   const std::vector<uint8_t> Bytes = serializeCompiledModule(Art);
-  const int Fd = ::open(Temp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0666);
+  const int Fd = fiOpen(Temp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0666);
   if (Fd < 0)
     return;
   size_t Done = 0;
   bool WriteOk = true;
   while (Done < Bytes.size()) {
-    const ssize_t N = ::write(Fd, Bytes.data() + Done, Bytes.size() - Done);
+    const ssize_t N = fiFsWrite(Fd, Bytes.data() + Done, Bytes.size() - Done);
     if (N < 0) {
       if (errno == EINTR)
         continue;
-      WriteOk = false;
+      WriteOk = false; // ENOSPC/EIO: drop the store, never publish
       break;
     }
     Done += static_cast<size_t>(N);
   }
   // Flush file contents before the rename publishes the name: a crash
   // after rename must not expose a name pointing at unwritten data.
-  if (WriteOk && ::fsync(Fd) != 0)
+  if (WriteOk && fiFsync(Fd) != 0)
     WriteOk = false;
   ::close(Fd);
-  if (!WriteOk || ::rename(Temp.c_str(), Final.c_str()) != 0) {
+  if (!WriteOk || fiRename(Temp.c_str(), Final.c_str()) != 0) {
     ::unlink(Temp.c_str());
     return;
   }
   Stores.fetch_add(1, std::memory_order_relaxed);
+  if (Opts.MaxBytes != 0)
+    collectGarbage();
 }
 
 FileArtifactStore::Stats FileArtifactStore::stats() const {
@@ -197,5 +312,6 @@ FileArtifactStore::Stats FileArtifactStore::stats() const {
   S.LoadMisses = LoadMisses.load(std::memory_order_relaxed);
   S.Stores = Stores.load(std::memory_order_relaxed);
   S.StoreSkips = StoreSkips.load(std::memory_order_relaxed);
+  S.Evictions = Evictions.load(std::memory_order_relaxed);
   return S;
 }

@@ -1,0 +1,119 @@
+//===- Client.cpp - resilient darmd client ------------------------------------===//
+//
+// Connection management, the retry/backoff loop, and the verified
+// local-compile fallback behind serve::Client (serve/Client.h,
+// docs/serving.md). The transport pieces are all borrowed: connects go
+// through connectEndpoint, round trips through roundTrip, and the
+// fallback through the daemon's own serveRequest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/serve/Client.h"
+
+#include "darm/core/CompileService.h"
+#include "darm/serve/Server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include <unistd.h>
+
+using namespace darm;
+using namespace darm::serve;
+
+Client::Client(ClientOptions Opts, CompileService *FallbackSvc)
+    : Opts(std::move(Opts)), FallbackSvc(FallbackSvc),
+      Jitter(this->Opts.BackoffSeed) {}
+
+Client::~Client() { disconnect(); }
+
+void Client::disconnect() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}
+
+bool Client::ensureConnected(std::string *Err) {
+  if (Fd >= 0)
+    return true;
+  Fd = connectEndpoint(Opts.Endpoint, Err, Opts.ConnectTimeoutMs);
+  return Fd >= 0;
+}
+
+unsigned Client::nextBackoffMs(unsigned PrevMs) {
+  // Decorrelated jitter: uniform in [base, 3*prev], capped. The wide
+  // random window is the point — synchronized clients desynchronize
+  // within a retry or two instead of hammering a recovering daemon in
+  // lockstep.
+  const uint64_t Lo = Opts.BackoffBaseMs;
+  const uint64_t Hi = std::max<uint64_t>(Lo + 1, 3ull * PrevMs);
+  const uint64_t Pick = Lo + Jitter.nextBelow(Hi - Lo + 1);
+  return static_cast<unsigned>(
+      std::min<uint64_t>(Pick, std::max<uint64_t>(1, Opts.BackoffCapMs)));
+}
+
+bool Client::fallbackLocally(const CompileRequest &Req, CompileResponse &Resp,
+                             std::string *Err) {
+  CompileService *Svc = FallbackSvc;
+  if (!Svc) {
+    if (!OwnedFallback)
+      OwnedFallback = std::make_unique<CompileService>();
+    Svc = OwnedFallback.get();
+  }
+  Counters.Fallbacks.fetch_add(1, std::memory_order_relaxed);
+  Resp = serveRequest(Req, *Svc);
+  if (!Resp.Ok && Err)
+    *Err = "local fallback: " + Resp.Error;
+  return true; // a definitive answer either way, same as the daemon's
+}
+
+bool Client::request(const CompileRequest &Req, CompileResponse &Resp,
+                     std::string *Err) {
+  std::string LastErr = "no attempts made";
+  unsigned PrevSleepMs = Opts.BackoffBaseMs;
+  const unsigned MaxAttempts = Opts.MaxRetries + 1;
+  for (unsigned Attempt = 0; Attempt < MaxAttempts; ++Attempt) {
+    if (Attempt > 0) {
+      Counters.Retries.fetch_add(1, std::memory_order_relaxed);
+      const unsigned SleepMs = nextBackoffMs(PrevSleepMs);
+      PrevSleepMs = SleepMs;
+      std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+    }
+    Counters.Attempts.fetch_add(1, std::memory_order_relaxed);
+    const bool WasConnected = Fd >= 0;
+    if (!ensureConnected(&LastErr))
+      continue; // transient: daemon down or still restarting
+    if (!WasConnected && Attempt > 0)
+      Counters.Reconnects.fetch_add(1, std::memory_order_relaxed);
+    bool TimedOut = false;
+    CompileResponse Attempt_;
+    if (!roundTrip(Fd, Req, Attempt_, &LastErr, Opts.RequestTimeoutMs,
+                   &TimedOut)) {
+      // Torn round trip: the connection's framing state is unknown, so
+      // it cannot be reused — reconnect on the next attempt.
+      if (TimedOut)
+        Counters.DeadlineHits.fetch_add(1, std::memory_order_relaxed);
+      disconnect();
+      continue;
+    }
+    if (Attempt_.Busy) {
+      // Load shed: the daemon is alive but full. The connection was
+      // closed after the one Busy frame; back off and reconnect.
+      Counters.BusyShed.fetch_add(1, std::memory_order_relaxed);
+      LastErr = Attempt_.Error;
+      disconnect();
+      continue;
+    }
+    // Definitive: success, compile failure (Ok with failed artifact), or
+    // a permanent request-level error. None are retryable.
+    Resp = std::move(Attempt_);
+    return true;
+  }
+  if (Opts.Fallback == FallbackMode::LocalCompile)
+    return fallbackLocally(Req, Resp, Err);
+  if (Err)
+    *Err = LastErr;
+  return false;
+}

@@ -10,12 +10,15 @@
 
 #include "darm/serve/Protocol.h"
 
+#include "darm/serve/FaultInjection.h"
 #include "darm/support/BinaryStream.h"
 
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
+#include <poll.h>
 #include <unistd.h>
 
 using namespace darm;
@@ -139,6 +142,12 @@ std::vector<uint8_t> darm::serve::encodeResponse(const CompileResponse &Resp) {
   ByteWriter W;
   writeMagic(W, kResponseMagic);
   W.writeU16(kServeProtocolVersion);
+  if (!Resp.Ok && Resp.Busy) {
+    // Load shedding: status alone, no message, no artifact — the
+    // cheapest possible answer for a server already over capacity.
+    W.writeU8(2);
+    return W.take();
+  }
   W.writeU8(Resp.Ok ? 0 : 1);
   if (!Resp.Ok) {
     W.writeStr(Resp.Error);
@@ -161,8 +170,17 @@ bool darm::serve::decodeResponse(const uint8_t *Data, size_t Size,
     return reject(Err, "response: unsupported protocol version");
   CompileResponse Out;
   const uint8_t Status = R.readU8();
-  if (R.failed() || Status > 1)
+  if (R.failed() || Status > 2)
     return reject(Err, "response: bad status");
+  if (Status == 2) {
+    if (!R.atEnd())
+      return reject(Err, "response: trailing bytes on busy status");
+    Out.Ok = false;
+    Out.Busy = true;
+    Out.Error = "server busy (load shedding)";
+    Resp = std::move(Out);
+    return true;
+  }
   if (Status == 1) {
     Out.Ok = false;
     Out.Error = R.readStr();
@@ -188,16 +206,81 @@ bool darm::serve::decodeResponse(const uint8_t *Data, size_t Size,
   return true;
 }
 
-bool darm::serve::writeFrame(int Fd, const std::vector<uint8_t> &Payload) {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds until \p Deadline, clamped at 0. -1 when unarmed.
+int remainingMs(bool Armed, Clock::time_point Deadline) {
+  if (!Armed)
+    return -1;
+  const auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        Deadline - Clock::now())
+                        .count();
+  return Left < 0 ? 0 : static_cast<int>(Left);
+}
+
+/// Reads exactly \p Len bytes through the fault-aware primitive, looping
+/// on EINTR and short reads, bounded by \p Deadline when \p Armed. A
+/// deadline wait happens BEFORE each read, so a peer that dribbles bytes
+/// cannot extend its budget. Returns 1 done, 0 clean EOF before the
+/// first byte of this span, -1 error/timeout.
+int readFullDeadline(int Fd, uint8_t *P, size_t Len, bool Armed,
+                     Clock::time_point Deadline, bool *TimedOut) {
+  size_t Got = 0;
+  while (Got < Len) {
+    if (Armed) {
+      const int Left = remainingMs(Armed, Deadline);
+      const int W = fiPollWait(Fd, POLLIN, Left);
+      if (W == 0) {
+        if (TimedOut)
+          *TimedOut = true;
+        return -1;
+      }
+      if (W < 0)
+        return -1;
+    }
+    const ssize_t R = fiRead(Fd, P + Got, Len - Got);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return -1;
+    }
+    if (R == 0)
+      return Got == 0 ? 0 : -1;
+    Got += static_cast<size_t>(R);
+  }
+  return 1;
+}
+
+} // namespace
+
+bool darm::serve::writeFrame(int Fd, const std::vector<uint8_t> &Payload,
+                             int TimeoutMs, bool *TimedOut) {
+  if (TimedOut)
+    *TimedOut = false;
   if (Payload.size() > kMaxFrameBytes)
     return false;
+  const bool Armed = TimeoutMs >= 0;
+  const Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(Armed ? TimeoutMs : 0);
   uint8_t Header[4];
   const uint32_t N = static_cast<uint32_t>(Payload.size());
   for (int I = 0; I < 4; ++I)
     Header[I] = static_cast<uint8_t>(N >> (8 * I));
-  auto WriteAll = [Fd](const uint8_t *P, size_t Len) {
+  auto WriteAll = [&](const uint8_t *P, size_t Len) {
     while (Len > 0) {
-      const ssize_t W = ::write(Fd, P, Len);
+      if (Armed) {
+        const int W = fiPollWait(Fd, POLLOUT, remainingMs(Armed, Deadline));
+        if (W == 0) {
+          if (TimedOut)
+            *TimedOut = true;
+          return false;
+        }
+        if (W < 0)
+          return false;
+      }
+      const ssize_t W = fiWrite(Fd, P, Len);
       if (W < 0) {
         if (errno == EINTR)
           continue;
@@ -212,43 +295,46 @@ bool darm::serve::writeFrame(int Fd, const std::vector<uint8_t> &Payload) {
 }
 
 bool darm::serve::readFrame(int Fd, std::vector<uint8_t> &Payload,
-                            bool *CleanEof) {
+                            bool *CleanEof, int IdleTimeoutMs,
+                            int FrameTimeoutMs, bool *TimedOut) {
   if (CleanEof)
     *CleanEof = false;
+  if (TimedOut)
+    *TimedOut = false;
   uint8_t Header[4];
-  size_t Got = 0;
-  while (Got < 4) {
-    const ssize_t R = ::read(Fd, Header + Got, 4 - Got);
-    if (R < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
+  // First byte under the idle budget: a quiet connection between
+  // requests is normal session state, bounded only if the caller says
+  // so.
+  {
+    const bool Armed = IdleTimeoutMs >= 0;
+    const int R = readFullDeadline(
+        Fd, Header, 1, Armed,
+        Clock::now() + std::chrono::milliseconds(Armed ? IdleTimeoutMs : 0),
+        TimedOut);
     if (R == 0) {
       // EOF exactly on a frame boundary is how sessions end.
-      if (CleanEof && Got == 0)
+      if (CleanEof)
         *CleanEof = true;
       return false;
     }
-    Got += static_cast<size_t>(R);
+    if (R < 0)
+      return false;
   }
+  // The frame has started: the rest must complete under the frame
+  // budget, armed once — the slow-loris guard.
+  const bool Armed = FrameTimeoutMs >= 0;
+  const Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(Armed ? FrameTimeoutMs : 0);
+  if (readFullDeadline(Fd, Header + 1, 3, Armed, Deadline, TimedOut) != 1)
+    return false;
   uint32_t N = 0;
   for (int I = 0; I < 4; ++I)
     N |= static_cast<uint32_t>(Header[I]) << (8 * I);
   if (N > kMaxFrameBytes)
     return false;
   Payload.resize(N);
-  Got = 0;
-  while (Got < N) {
-    const ssize_t R = ::read(Fd, Payload.data() + Got, N - Got);
-    if (R < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
-    if (R == 0)
-      return false; // torn frame: peer died mid-message
-    Got += static_cast<size_t>(R);
-  }
+  if (N > 0 &&
+      readFullDeadline(Fd, Payload.data(), N, Armed, Deadline, TimedOut) != 1)
+    return false;
   return true;
 }

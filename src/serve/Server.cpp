@@ -1,7 +1,8 @@
 //===- Server.cpp - darmd serving loop ----------------------------------------===//
 //
-// The per-connection request loop and Unix-socket plumbing behind darmd
-// (serve/Server.h, docs/caching.md). Each request is parsed into a
+// The per-connection request loop, transport plumbing (Unix socket +
+// TCP), and the SocketServer accept/drain machinery behind darmd
+// (serve/Server.h, docs/serving.md). Each request is parsed into a
 // private Context, answered through the shared CompileService (so the
 // response artifact is byte-identical to an in-process compileToArtifact
 // call), and framed back with its cache origin.
@@ -14,11 +15,19 @@
 #include "darm/ir/Context.h"
 #include "darm/ir/IRParser.h"
 #include "darm/ir/Module.h"
+#include "darm/serve/FaultInjection.h"
 
 #include <cerrno>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -42,10 +51,10 @@ ServeOrigin toOrigin(CacheSource Src) {
   return ServeOrigin::Compiled;
 }
 
-/// Answers one well-formed request. Request-level failures (bad IR,
-/// empty module) come back Ok=false; compile failures are Ok=true
-/// artifacts with CompileError set, exactly like the in-process path.
-CompileResponse answer(const CompileRequest &Req, CompileService &Svc) {
+} // namespace
+
+CompileResponse darm::serve::serveRequest(const CompileRequest &Req,
+                                          CompileService &Svc) {
   CompileResponse Resp;
   Context Ctx;
   std::string Err;
@@ -73,11 +82,13 @@ CompileResponse answer(const CompileRequest &Req, CompileService &Svc) {
   return Resp;
 }
 
+namespace {
+
 void countResponse(const CompileResponse &Resp, ServeCounters *C) {
   if (!C)
     return;
   if (!Resp.Ok) {
-    C->Errors.fetch_add(1, std::memory_order_relaxed);
+    (Resp.Busy ? C->Busy : C->Errors).fetch_add(1, std::memory_order_relaxed);
     return;
   }
   switch (Resp.Origin) {
@@ -96,16 +107,62 @@ void countResponse(const CompileResponse &Resp, ServeCounters *C) {
   }
 }
 
+/// RAII guard for the in-flight gauge a draining server waits on.
+class InFlightGuard {
+public:
+  explicit InFlightGuard(ServeCounters *C) : C(C) {
+    if (C)
+      C->InFlight.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~InFlightGuard() {
+    if (C)
+      C->InFlight.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+private:
+  ServeCounters *C;
+};
+
+bool parseHostPort(const std::string &HostPort, std::string &Host,
+                   std::string &Port, std::string *Err) {
+  const size_t Colon = HostPort.rfind(':');
+  if (Colon == std::string::npos || Colon + 1 == HostPort.size()) {
+    if (Err)
+      *Err = "endpoint '" + HostPort + "' is not host:port";
+    return false;
+  }
+  Host = HostPort.substr(0, Colon);
+  Port = HostPort.substr(Colon + 1);
+  if (Host.empty())
+    Host = "127.0.0.1";
+  return true;
+}
+
+void setNoDelay(int Fd) {
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+}
+
 } // namespace
 
 uint64_t darm::serve::serveStream(int InFd, int OutFd, CompileService &Svc,
-                                  ServeCounters *Counters) {
+                                  ServeCounters *Counters,
+                                  const ServeOptions &Opts) {
   uint64_t Served = 0;
   std::vector<uint8_t> Frame;
   for (;;) {
-    bool CleanEof = false;
-    if (!readFrame(InFd, Frame, &CleanEof))
-      return Served; // session over (clean EOF) or transport gone
+    // Drain check sits between requests: once a frame has been read it
+    // is always answered, but no new frame is awaited while draining.
+    if (Opts.Drain && Opts.Drain->load(std::memory_order_acquire))
+      return Served;
+    bool CleanEof = false, TimedOut = false;
+    if (!readFrame(InFd, Frame, &CleanEof, Opts.IdleTimeoutMs,
+                   Opts.FrameTimeoutMs, &TimedOut)) {
+      if (TimedOut && Counters)
+        Counters->Timeouts.fetch_add(1, std::memory_order_relaxed);
+      return Served; // session over (clean EOF), deadline cut, or gone
+    }
+    InFlightGuard InFlight(Counters);
     if (Counters)
       Counters->Requests.fetch_add(1, std::memory_order_relaxed);
     CompileRequest Req;
@@ -116,16 +173,25 @@ uint64_t darm::serve::serveStream(int InFd, int OutFd, CompileService &Svc,
       CompileResponse Resp;
       Resp.Error = Err;
       countResponse(Resp, Counters);
-      writeFrame(OutFd, encodeResponse(Resp));
+      writeFrame(OutFd, encodeResponse(Resp), Opts.FrameTimeoutMs);
       return Served;
     }
-    const CompileResponse Resp = answer(Req, Svc);
+    const CompileResponse Resp = serveRequest(Req, Svc);
     countResponse(Resp, Counters);
-    if (!writeFrame(OutFd, encodeResponse(Resp)))
+    bool WriteTimedOut = false;
+    if (!writeFrame(OutFd, encodeResponse(Resp), Opts.FrameTimeoutMs,
+                    &WriteTimedOut)) {
+      if (WriteTimedOut && Counters)
+        Counters->Timeouts.fetch_add(1, std::memory_order_relaxed);
       return Served;
+    }
     ++Served;
   }
 }
+
+//===----------------------------------------------------------------------===//
+// Transports
+//===----------------------------------------------------------------------===//
 
 int darm::serve::listenUnixSocket(const std::string &Path, std::string *Err) {
   auto Fail = [&](const char *What) {
@@ -178,36 +244,316 @@ int darm::serve::connectUnixSocket(const std::string &Path, std::string *Err) {
   return Fd;
 }
 
-void darm::serve::acceptLoop(int ListenFd, CompileService &Svc,
-                             ServeCounters *Counters,
-                             std::atomic<bool> *Stop) {
-  for (;;) {
-    if (Stop && Stop->load(std::memory_order_relaxed))
-      return;
-    const int Conn = ::accept(ListenFd, nullptr, nullptr);
-    if (Conn < 0) {
-      if (errno == EINTR)
-        continue;
-      return; // listener closed: daemon shutting down
+int darm::serve::listenTcp(const std::string &HostPort, std::string *Err,
+                           uint16_t *BoundPort) {
+  std::string Host, Port;
+  if (!parseHostPort(HostPort, Host, Port, Err))
+    return -1;
+  addrinfo Hints;
+  std::memset(&Hints, 0, sizeof(Hints));
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  addrinfo *Res = nullptr;
+  const int G = ::getaddrinfo(Host.c_str(), Port.c_str(), &Hints, &Res);
+  if (G != 0) {
+    if (Err)
+      *Err = "resolve " + HostPort + ": " + ::gai_strerror(G);
+    return -1;
+  }
+  int Fd = -1;
+  for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+    Fd = ::socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+    if (Fd < 0)
+      continue;
+    int One = 1;
+    ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    if (::bind(Fd, AI->ai_addr, AI->ai_addrlen) == 0 &&
+        ::listen(Fd, 64) == 0)
+      break;
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0) {
+    if (Err)
+      *Err = "bind/listen " + HostPort + ": " + std::strerror(errno);
+    return -1;
+  }
+  if (BoundPort) {
+    sockaddr_storage SS;
+    socklen_t Len = sizeof(SS);
+    *BoundPort = 0;
+    if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&SS), &Len) == 0) {
+      if (SS.ss_family == AF_INET)
+        *BoundPort =
+            ntohs(reinterpret_cast<sockaddr_in *>(&SS)->sin_port);
+      else if (SS.ss_family == AF_INET6)
+        *BoundPort =
+            ntohs(reinterpret_cast<sockaddr_in6 *>(&SS)->sin6_port);
     }
-    std::thread([Conn, &Svc, Counters] {
-      serveStream(Conn, Conn, Svc, Counters);
-      ::close(Conn);
-    }).detach();
+  }
+  return Fd;
+}
+
+int darm::serve::connectTcp(const std::string &HostPort, std::string *Err,
+                            int TimeoutMs) {
+  std::string Host, Port;
+  if (!parseHostPort(HostPort, Host, Port, Err))
+    return -1;
+  addrinfo Hints;
+  std::memset(&Hints, 0, sizeof(Hints));
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  Hints.ai_flags = AI_NUMERICSERV;
+  addrinfo *Res = nullptr;
+  const int G = ::getaddrinfo(Host.c_str(), Port.c_str(), &Hints, &Res);
+  if (G != 0) {
+    if (Err)
+      *Err = "resolve " + HostPort + ": " + ::gai_strerror(G);
+    return -1;
+  }
+  int Fd = -1;
+  std::string LastErr = "no addresses";
+  for (addrinfo *AI = Res; AI; AI = AI->ai_next) {
+    Fd = ::socket(AI->ai_family, AI->ai_socktype, AI->ai_protocol);
+    if (Fd < 0)
+      continue;
+    // Deadline-bounded connect: non-blocking connect + poll, then back
+    // to blocking mode for the framed session.
+    const int Flags = ::fcntl(Fd, F_GETFL, 0);
+    if (TimeoutMs >= 0)
+      ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+    int C = ::connect(Fd, AI->ai_addr, AI->ai_addrlen);
+    if (C != 0 && errno == EINPROGRESS && TimeoutMs >= 0) {
+      if (fiPollWait(Fd, POLLOUT, TimeoutMs) == 1) {
+        int SoErr = 0;
+        socklen_t Len = sizeof(SoErr);
+        if (::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &SoErr, &Len) == 0 &&
+            SoErr == 0)
+          C = 0;
+        else
+          errno = SoErr ? SoErr : ECONNREFUSED;
+      } else {
+        errno = ETIMEDOUT;
+      }
+    }
+    if (C == 0) {
+      if (TimeoutMs >= 0)
+        ::fcntl(Fd, F_SETFL, Flags);
+      setNoDelay(Fd);
+      break;
+    }
+    LastErr = std::strerror(errno);
+    ::close(Fd);
+    Fd = -1;
+  }
+  ::freeaddrinfo(Res);
+  if (Fd < 0 && Err)
+    *Err = "connect " + HostPort + ": " + LastErr;
+  return Fd;
+}
+
+bool darm::serve::endpointIsTcp(const std::string &Endpoint) {
+  return Endpoint.find(':') != std::string::npos;
+}
+
+int darm::serve::listenEndpoint(const std::string &Endpoint, std::string *Err,
+                                uint16_t *BoundPort) {
+  if (endpointIsTcp(Endpoint))
+    return listenTcp(Endpoint, Err, BoundPort);
+  if (BoundPort)
+    *BoundPort = 0;
+  return listenUnixSocket(Endpoint, Err);
+}
+
+int darm::serve::connectEndpoint(const std::string &Endpoint, std::string *Err,
+                                 int TimeoutMs) {
+  if (endpointIsTcp(Endpoint))
+    return connectTcp(Endpoint, Err, TimeoutMs);
+  return connectUnixSocket(Endpoint, Err);
+}
+
+//===----------------------------------------------------------------------===//
+// SocketServer
+//===----------------------------------------------------------------------===//
+
+SocketServer::SocketServer(CompileService &Svc, ServeCounters *Counters)
+    : SocketServer(Svc, Counters, Options()) {}
+
+SocketServer::SocketServer(CompileService &Svc, ServeCounters *Counters,
+                           Options Opts)
+    : Svc(Svc), Counters(Counters), Opts(Opts) {}
+
+SocketServer::~SocketServer() {
+  if (Started && !Stopped)
+    drain(0);
+  if (StopRd >= 0)
+    ::close(StopRd);
+  if (StopWr >= 0)
+    ::close(StopWr);
+}
+
+bool SocketServer::start(int Fd) {
+  if (Started || Fd < 0)
+    return false;
+  int Pipe[2];
+  if (::pipe(Pipe) != 0)
+    return false;
+  StopRd = Pipe[0];
+  StopWr = Pipe[1];
+  ListenFd = Fd;
+  Started = true;
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void SocketServer::requestStop() {
+  if (StopWr >= 0) {
+    const char X = 'x';
+    // Best-effort wake; a full pipe already has a pending wake in it.
+    [[maybe_unused]] ssize_t W = ::write(StopWr, &X, 1);
   }
 }
 
+void SocketServer::acceptLoop() {
+  for (;;) {
+    pollfd P[2];
+    P[0].fd = ListenFd;
+    P[0].events = POLLIN;
+    P[0].revents = 0;
+    P[1].fd = StopRd;
+    P[1].events = POLLIN;
+    P[1].revents = 0;
+    if (::poll(P, 2, -1) < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (P[1].revents)
+      break; // stop requested
+    if (!P[0].revents)
+      continue;
+    const int Conn = ::accept(ListenFd, nullptr, nullptr);
+    if (Conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED)
+        continue;
+      break; // listener gone
+    }
+    setNoDelay(Conn); // no-op on non-TCP sockets
+    if (Active.load(std::memory_order_relaxed) >= Opts.MaxConnections) {
+      // Load shedding: one Busy frame, best-effort under a short write
+      // deadline (a shed client that won't even read cannot pin the
+      // acceptor), then hang up.
+      CompileResponse Busy;
+      Busy.Busy = true;
+      countResponse(Busy, Counters);
+      writeFrame(Conn, encodeResponse(Busy), /*TimeoutMs=*/100);
+      ::close(Conn);
+      continue;
+    }
+    Active.fetch_add(1, std::memory_order_relaxed);
+    ServeOptions SO;
+    SO.IdleTimeoutMs = Opts.IdleTimeoutMs;
+    SO.FrameTimeoutMs = Opts.FrameTimeoutMs;
+    SO.Drain = &Draining;
+    std::lock_guard<std::mutex> L(ConnsM);
+    reapFinishedLocked();
+    Session S;
+    S.Fd = Conn;
+    S.Done = std::make_shared<std::atomic<bool>>(false);
+    std::shared_ptr<std::atomic<bool>> Done = S.Done;
+    S.T = std::thread([this, Conn, SO, Done] {
+      serveStream(Conn, Conn, Svc, Counters, SO);
+      ::shutdown(Conn, SHUT_RDWR);
+      Active.fetch_sub(1, std::memory_order_relaxed);
+      Done->store(true, std::memory_order_release);
+    });
+    Sessions.push_back(std::move(S));
+  }
+}
+
+void SocketServer::reapFinishedLocked() {
+  // Joining a Done session never blocks meaningfully: the flag is the
+  // thread's final store. Closing the fd here (not in the session) keeps
+  // it valid for the drain cut until the thread is provably gone.
+  size_t Kept = 0;
+  for (Session &S : Sessions) {
+    if (S.Done->load(std::memory_order_acquire)) {
+      S.T.join();
+      ::close(S.Fd);
+    } else {
+      // Self-move-assignment of a joinable std::thread terminates the
+      // process, so compact only when the slot actually moves.
+      if (&Sessions[Kept] != &S)
+        Sessions[Kept] = std::move(S);
+      ++Kept;
+    }
+  }
+  Sessions.resize(Kept);
+}
+
+bool SocketServer::drain(int DeadlineMs) {
+  if (!Started || Stopped)
+    return true;
+  Stopped = true;
+  // 1. Stop accepting: wake the acceptor, join it, close the listener —
+  //    new connects are refused from here on.
+  Draining.store(true, std::memory_order_release);
+  requestStop();
+  if (Acceptor.joinable())
+    Acceptor.join();
+  ::close(ListenFd);
+  ListenFd = -1;
+  // 2. Drain: wait for every request already read to be answered.
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(DeadlineMs);
+  bool Drained = true;
+  if (Counters) {
+    while (Counters->InFlight.load(std::memory_order_relaxed) != 0) {
+      if (std::chrono::steady_clock::now() >= Deadline) {
+        Drained = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // 3. Cut the remaining connections (sessions idle-blocked waiting for
+  //    a next frame, plus — past the deadline — any still serving) and
+  //    join every session thread. shutdown() unblocks their reads;
+  //    close() happens after the join so no fd is recycled under a
+  //    session still using it.
+  std::lock_guard<std::mutex> L(ConnsM);
+  for (Session &S : Sessions)
+    ::shutdown(S.Fd, SHUT_RDWR);
+  for (Session &S : Sessions) {
+    if (S.T.joinable())
+      S.T.join();
+    ::close(S.Fd);
+  }
+  Sessions.clear();
+  return Drained;
+}
+
 bool darm::serve::roundTrip(int Fd, const CompileRequest &Req,
-                            CompileResponse &Resp, std::string *Err) {
-  if (!writeFrame(Fd, encodeRequest(Req))) {
+                            CompileResponse &Resp, std::string *Err,
+                            int TimeoutMs, bool *TimedOut) {
+  bool WTimedOut = false, RTimedOut = false;
+  if (TimedOut)
+    *TimedOut = false;
+  if (!writeFrame(Fd, encodeRequest(Req), TimeoutMs, &WTimedOut)) {
     if (Err)
-      *Err = "request write failed";
+      *Err = WTimedOut ? "request write deadline" : "request write failed";
+    if (TimedOut)
+      *TimedOut = WTimedOut;
     return false;
   }
   std::vector<uint8_t> Frame;
-  if (!readFrame(Fd, Frame)) {
+  if (!readFrame(Fd, Frame, nullptr, TimeoutMs, TimeoutMs, &RTimedOut)) {
     if (Err)
-      *Err = "response read failed (daemon gone?)";
+      *Err = RTimedOut ? "response deadline" : "response read failed (daemon gone?)";
+    if (TimedOut)
+      *TimedOut = RTimedOut;
     return false;
   }
   return decodeResponse(Frame.data(), Frame.size(), Resp, Err);

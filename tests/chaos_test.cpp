@@ -1,0 +1,285 @@
+//===- chaos_test.cpp - seeded fault-injection battery for the serve stack ----===//
+//
+// The chaos battery (docs/serving.md): sweeps hundreds of seeded
+// FaultPlan schedules — short reads/writes, EINTR, ECONNRESET,
+// mid-frame disconnects, slow-loris delays, ENOSPC/EIO/fsync/rename
+// failures on the store — against the REAL serving stack (SocketServer
+// + serve::Client + FileArtifactStore) and asserts the only observable
+// outcomes are:
+//
+//   1. a byte-identical artifact (possibly via the verified
+//      local-compile fallback),
+//   2. a typed, clean error (never for our well-formed requests — the
+//      client falls back instead), or
+//   3. nothing at all: zero hangs (the ctest per-test timeout is the
+//      global watchdog), zero aborts, zero torn store files (every
+//      .drma that survives a faulted run must validate).
+//
+// Determinism note: plans are seeded and the per-plan workload is fixed,
+// so a failing (Shard, Seed) pair replays exactly under
+// --gtest_filter=... — the repro is the test id.
+//
+//===----------------------------------------------------------------------===//
+
+#include "darm/serve/ArtifactStore.h"
+#include "darm/serve/Client.h"
+#include "darm/serve/FaultInjection.h"
+#include "darm/serve/Server.h"
+
+#include "darm/core/CompileService.h"
+#include "darm/fuzz/KernelGenerator.h"
+#include "darm/ir/Context.h"
+#include "darm/ir/IRPrinter.h"
+#include "darm/ir/Module.h"
+#include "darm/ir/Serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace darm;
+using namespace darm::serve;
+
+namespace {
+
+struct ChaosKey {
+  CompileRequest Req;
+  std::vector<uint8_t> Expect; ///< serialized in-process artifact
+};
+
+/// The per-plan workload: two small fuzz kernels, each requested twice
+/// (once cold, once as a duplicate), with the byte-exact in-process
+/// reference each answer must match.
+const std::vector<ChaosKey> &chaosKeys() {
+  static const std::vector<ChaosKey> Keys = [] {
+    std::vector<ChaosKey> Ks;
+    for (uint64_t Seed : {uint64_t(101), uint64_t(102)}) {
+      Context Ctx;
+      Module M(Ctx, "chaos");
+      fuzz::FuzzCase C(Seed);
+      Function *F = fuzz::buildFuzzKernel(M, C);
+      ChaosKey K;
+      K.Req.IRText = printFunction(*F);
+      K.Expect = serializeCompiledModule(compileToArtifact(*F, DARMConfig()));
+      Ks.push_back(std::move(K));
+    }
+    return Ks;
+  }();
+  return Keys;
+}
+
+std::string freshDir(const std::string &Tag) {
+  std::string D = "chaos_test_" + Tag + ".dir";
+  std::system(("rm -rf " + D).c_str());
+  return D;
+}
+
+/// Every surviving .drma in \p Dir must be a complete, valid artifact
+/// image — the "zero torn store files" gate. The atomic-write rule means
+/// faults may DROP files, never tear them.
+void expectNoTornStoreFiles(const std::string &Dir) {
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return;
+  while (struct dirent *E = ::readdir(D)) {
+    const std::string Name = E->d_name;
+    if (Name.size() <= 5 || Name.compare(Name.size() - 5, 5, ".drma") != 0)
+      continue;
+    std::ifstream IS(Dir + "/" + Name, std::ios::binary);
+    std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(IS)),
+                               std::istreambuf_iterator<char>());
+    CompiledModule Art;
+    std::string Err;
+    EXPECT_TRUE(deserializeCompiledModule(Bytes, Art, &Err))
+        << Dir << "/" << Name << " is torn: " << Err;
+  }
+  ::closedir(D);
+}
+
+/// One full client/daemon exchange under an installed fault plan: a
+/// SocketServer over a Unix socket with frame deadlines, a resilient
+/// Client with local-compile fallback, the store attached. Returns the
+/// number of requests answered via fallback.
+uint64_t runFaultedExchange(const std::string &SockPath,
+                            const std::string &StoreDir) {
+  CompileService Svc;
+  FileArtifactStore Store(StoreDir);
+  if (Store.valid())
+    Svc.setPersistence(&Store);
+  ServeCounters Counters;
+  SocketServer::Options SrvOpts;
+  SrvOpts.IdleTimeoutMs = 2000;
+  SrvOpts.FrameTimeoutMs = 1000;
+  SocketServer Server(Svc, &Counters, SrvOpts);
+  std::string Err;
+  const int ListenFd = listenUnixSocket(SockPath, &Err);
+  EXPECT_GE(ListenFd, 0) << Err;
+  EXPECT_TRUE(Server.start(ListenFd));
+
+  ClientOptions CO;
+  CO.Endpoint = SockPath;
+  CO.ConnectTimeoutMs = 1000;
+  CO.RequestTimeoutMs = 5000;
+  CO.MaxRetries = 3;
+  CO.BackoffBaseMs = 1;
+  CO.BackoffCapMs = 5;
+  CO.Fallback = FallbackMode::LocalCompile;
+  Client Cli(CO);
+
+  for (int Round = 0; Round < 2; ++Round) {
+    for (const ChaosKey &K : chaosKeys()) {
+      CompileResponse Resp;
+      std::string ReqErr;
+      // With LocalCompile fallback, request() ALWAYS produces a
+      // definitive answer for our well-formed requests.
+      const bool Answered = Cli.request(K.Req, Resp, &ReqErr);
+      EXPECT_TRUE(Answered) << ReqErr;
+      EXPECT_TRUE(!Answered || Resp.Ok) << Resp.Error;
+      if (!Answered || !Resp.Ok)
+        return Cli.counters().Fallbacks.load();
+      // The only acceptable artifact is the byte-identical one —
+      // whichever path (daemon, cache tier, or local fallback) answered.
+      EXPECT_EQ(serializeCompiledModule(Resp.Art), K.Expect);
+    }
+  }
+  Server.drain(/*DeadlineMs=*/3000);
+  return Cli.counters().Fallbacks.load();
+}
+
+//===----------------------------------------------------------------------===//
+// The battery: shards x seeds, mixed fault rates
+//===----------------------------------------------------------------------===//
+
+class ChaosBattery : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ChaosBattery, EveryPlanEndsCleanOrByteIdentical) {
+  const unsigned Shard = GetParam();
+  const std::string Dir = freshDir("battery_" + std::to_string(Shard));
+  ::mkdir(Dir.c_str(), 0777);
+  constexpr unsigned PlansPerShard = 60;
+  for (unsigned I = 0; I < PlansPerShard; ++I) {
+    const uint64_t Seed = uint64_t(Shard) * 1000 + I;
+    FaultPlan::Options PO;
+    PO.Seed = Seed;
+    // Sweep sparse to dense schedules: dense rates hammer the retry and
+    // fallback paths, sparse ones let traffic through so the store and
+    // cache tiers see real writes under occasional faults.
+    PO.Rate = (I % 4 == 0) ? 0.30 : (I % 4 == 1) ? 0.10 : (I % 4 == 2) ? 0.03
+                                                                       : 0.01;
+    PO.MaxDelayMs = 1;
+    FaultPlan Plan(PO);
+    const std::string Sock = Dir + "/chaos.sock";
+    const std::string StoreDir = Dir + "/store";
+    {
+      ScopedFaultPlan Installed(Plan);
+      runFaultedExchange(Sock, StoreDir);
+      if (::testing::Test::HasFailure()) {
+        ADD_FAILURE() << "plan seed=" << Seed << " rate=" << PO.Rate
+                      << " failed (replay with this shard/seed)";
+        break;
+      }
+    }
+    // Post-plan invariants, faults detached: no torn files on disk, and
+    // a clean service over the same store still answers byte-identically
+    // (whatever the faulted run left behind is valid or absent).
+    expectNoTornStoreFiles(StoreDir);
+  }
+  std::system(("rm -rf " + Dir).c_str());
+}
+
+// 4 shards x 60 plans = 240 seeded fault schedules per run (the
+// acceptance floor is 200).
+INSTANTIATE_TEST_SUITE_P(Seeded, ChaosBattery, ::testing::Values(0u, 1u, 2u, 3u));
+
+//===----------------------------------------------------------------------===//
+// Store-directed chaos: ENOSPC convergence and post-fault healing
+//===----------------------------------------------------------------------===//
+
+TEST(ChaosStore, EnospcRunConvergesToCleanWarmStore) {
+  // A store hammered by ENOSPC/EIO/fsync faults drops writes but never
+  // corrupts. After the faults clear, the same service re-persists on
+  // the next compile and a fresh service warm-starts from disk.
+  const std::string Dir = freshDir("enospc");
+  Context Ctx;
+  Module M(Ctx, "enospc");
+  fuzz::FuzzCase C(103);
+  Function *F = fuzz::buildFuzzKernel(M, C);
+  const std::vector<uint8_t> Expect =
+      serializeCompiledModule(compileToArtifact(*F, DARMConfig()));
+
+  {
+    FaultPlan Plan(FaultPlan::Options{/*Seed=*/7, /*Rate=*/0.9,
+                                      /*FaultSockets=*/false,
+                                      /*FaultStore=*/true, /*MaxDelayMs=*/0});
+    ScopedFaultPlan Installed(Plan);
+    for (int I = 0; I < 10; ++I) {
+      CompileService Svc;
+      FileArtifactStore Store(Dir);
+      Svc.setPersistence(&Store);
+      CacheSource Src;
+      auto Art = Svc.getOrCompile(*F, DARMConfig(), true, &Src);
+      // Whatever the store did, the ANSWER is always right.
+      EXPECT_EQ(serializeCompiledModule(*Art), Expect);
+    }
+  }
+  expectNoTornStoreFiles(Dir);
+  // Faults cleared: one clean pass persists, the next warm-starts.
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    auto Art = Svc.getOrCompile(*F, DARMConfig());
+    EXPECT_EQ(serializeCompiledModule(*Art), Expect);
+  }
+  {
+    CompileService Svc;
+    FileArtifactStore Store(Dir);
+    Svc.setPersistence(&Store);
+    CacheSource Src = CacheSource::Compiled;
+    auto Art = Svc.getOrCompile(*F, DARMConfig(), true, &Src);
+    EXPECT_EQ(Src, CacheSource::DiskHit)
+        << "post-fault store must converge to a clean warm start";
+    EXPECT_EQ(serializeCompiledModule(*Art), Expect);
+  }
+  std::system(("rm -rf " + Dir).c_str());
+}
+
+TEST(ChaosStore, FaultedGcStoreStaysValidAndBounded) {
+  // GC under store faults: writes may drop, but the budget holds and
+  // nothing on disk is ever torn.
+  const std::string Dir = freshDir("gc");
+  FaultPlan Plan(FaultPlan::Options{/*Seed=*/11, /*Rate=*/0.25,
+                                    /*FaultSockets=*/false,
+                                    /*FaultStore=*/true, /*MaxDelayMs=*/0});
+  FileArtifactStore::Options SO;
+  SO.MaxBytes = 64 << 10;
+  {
+    ScopedFaultPlan Installed(Plan);
+    FileArtifactStore Store(Dir, SO);
+    ASSERT_TRUE(Store.valid());
+    for (uint64_t Seed = 120; Seed < 136; ++Seed) {
+      Context Ctx;
+      Module M(Ctx, "gc");
+      fuzz::FuzzCase C(Seed);
+      Function *F = fuzz::buildFuzzKernel(M, C);
+      Store.store(compileToArtifact(*F, DARMConfig()));
+    }
+  }
+  expectNoTornStoreFiles(Dir);
+  // Every survivor loads through a clean store; directory fits budget.
+  FileArtifactStore After(Dir, SO);
+  size_t Total = After.collectGarbage();
+  EXPECT_LE(Total, SO.MaxBytes);
+  std::system(("rm -rf " + Dir).c_str());
+}
+
+} // namespace

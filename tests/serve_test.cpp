@@ -12,6 +12,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "darm/serve/ArtifactStore.h"
+#include "darm/serve/Client.h"
 #include "darm/serve/Server.h"
 
 #include "darm/core/CompileService.h"
@@ -23,14 +24,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace darm;
@@ -196,6 +203,18 @@ TEST(Protocol, ResponseRoundTripOkAndError) {
   }
 }
 
+TEST(Protocol, BusyResponseRoundTrip) {
+  CompileResponse Resp;
+  Resp.Busy = true;
+  const std::vector<uint8_t> Frame = encodeResponse(Resp);
+  CompileResponse Back;
+  std::string Err;
+  ASSERT_TRUE(decodeResponse(Frame.data(), Frame.size(), Back, &Err)) << Err;
+  EXPECT_FALSE(Back.Ok);
+  EXPECT_TRUE(Back.Busy);
+  EXPECT_FALSE(Back.Error.empty());
+}
+
 TEST(Protocol, FramesOverSocketpair) {
   int Fds[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
@@ -282,6 +301,380 @@ TEST(ServeStream, BadIRIsPerRequestErrorSessionContinues) {
 
   ::close(Fds[0]);
   Server.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Deadlines, SIGPIPE, drain (docs/serving.md resilience contracts)
+//===----------------------------------------------------------------------===//
+
+TEST(Deadline, SlowLorisPeerIsCutOthersUnaffected) {
+  // Connection 1 starts a frame and stalls (length prefix, no payload);
+  // connection 2 sends a real request. The loris is disconnected by the
+  // frame deadline; the good connection answers normally.
+  int Loris[2], Good[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Loris), 0);
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Good), 0);
+  CompileService Svc;
+  ServeCounters Counters;
+  ServeOptions SO;
+  SO.FrameTimeoutMs = 150;
+  std::thread LorisServer(
+      [&] { serveStream(Loris[1], Loris[1], Svc, &Counters, SO); });
+  std::thread GoodServer(
+      [&] { serveStream(Good[1], Good[1], Svc, &Counters, SO); });
+
+  const uint8_t Prefix[4] = {100, 0, 0, 0}; // "100 bytes follow" — they never do
+  ASSERT_EQ(::write(Loris[0], Prefix, 4), 4);
+
+  Context Ctx;
+  Module M(Ctx, "good");
+  CompileRequest Req;
+  Req.IRText = printFunction(*buildKernel(M, 61));
+  CompileResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(roundTrip(Good[0], Req, Resp, &Err)) << Err;
+  EXPECT_TRUE(Resp.Ok) << Resp.Error;
+
+  LorisServer.join(); // returns within the deadline or the test times out
+  EXPECT_EQ(Counters.Timeouts.load(), 1u);
+  ::close(Good[0]);
+  GoodServer.join();
+  ::close(Loris[0]);
+  ::close(Loris[1]);
+  ::close(Good[1]);
+  EXPECT_EQ(Counters.Requests.load(), 1u) << "the loris never completed one";
+}
+
+TEST(Deadline, IdleTimeoutCutsSilentConnection) {
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  CompileService Svc;
+  ServeCounters Counters;
+  ServeOptions SO;
+  SO.IdleTimeoutMs = 100;
+  std::thread Server([&] { serveStream(Fds[1], Fds[1], Svc, &Counters, SO); });
+  Server.join(); // the silent peer is cut; join or the watchdog fires
+  EXPECT_EQ(Counters.Timeouts.load(), 1u);
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+TEST(Framing, ClosedPeerIsCleanFailureNotSigpipe) {
+  // Without MSG_NOSIGNAL the second write would raise SIGPIPE and kill
+  // the whole test binary; the contract is a clean false.
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  ::close(Fds[1]);
+  const std::vector<uint8_t> Payload(1 << 16, 0xab);
+  EXPECT_FALSE(writeFrame(Fds[0], Payload));
+  EXPECT_FALSE(writeFrame(Fds[0], Payload)); // and again, post-EPIPE
+  ::close(Fds[0]);
+}
+
+TEST(ServeStream, DrainingSessionStillAnswersRequestItReads) {
+  // The graceful-shutdown contract: a request the server has already
+  // read when the drain flag goes up is NOT abandoned — it is answered,
+  // and only then does the session close. The Requests counter ticks
+  // right after the frame is read, so waiting on it (rather than a
+  // sleep) makes the set-drain-mid-service ordering deterministic. The
+  // idle timeout is a safety exit so a scheduling fluke cannot leave
+  // the session blocked forever; the drain check normally fires first.
+  int Fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Fds), 0);
+  CompileService Svc;
+  ServeCounters Counters;
+  std::atomic<bool> Drain{false};
+  ServeOptions SO;
+  SO.Drain = &Drain;
+  SO.IdleTimeoutMs = 2000;
+  std::thread Server(
+      [&] { serveStream(Fds[1], Fds[1], Svc, &Counters, SO); });
+
+  Context Ctx;
+  Module M(Ctx, "drain");
+  CompileRequest Req;
+  Req.IRText = printFunction(*buildKernel(M, 62));
+  ASSERT_TRUE(writeFrame(Fds[0], encodeRequest(Req), 2000));
+  // Wait until the server has READ the frame — from here it must answer.
+  for (int I = 0; I < 2000 && Counters.Requests.load() == 0; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(Counters.Requests.load(), 1u);
+  Drain.store(true, std::memory_order_release);
+
+  std::vector<uint8_t> Frame;
+  bool CleanEof = false;
+  ASSERT_TRUE(readFrame(Fds[0], Frame, &CleanEof, 5000, 5000));
+  CompileResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(decodeResponse(Frame.data(), Frame.size(), Resp, &Err)) << Err;
+  EXPECT_TRUE(Resp.Ok) << Resp.Error;
+
+  // ...and the session then ends instead of waiting for another frame.
+  Server.join();
+  EXPECT_FALSE(readFrame(Fds[0], Frame, &CleanEof, 1000, 1000));
+  ::close(Fds[0]);
+  ::close(Fds[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// SocketServer: TCP transport, load shedding, graceful drain
+//===----------------------------------------------------------------------===//
+
+TEST(SocketServerTest, TcpServeAndGracefulDrain) {
+  CompileService Svc;
+  ServeCounters Counters;
+  std::string Err;
+  uint16_t Port = 0;
+  const int ListenFd = listenTcp("127.0.0.1:0", &Err, &Port);
+  ASSERT_GE(ListenFd, 0) << Err;
+  ASSERT_NE(Port, 0);
+  SocketServer Server(Svc, &Counters);
+  ASSERT_TRUE(Server.start(ListenFd));
+
+  const std::string Endpoint = "127.0.0.1:" + std::to_string(Port);
+  ASSERT_TRUE(endpointIsTcp(Endpoint));
+  const int Fd = connectEndpoint(Endpoint, &Err, /*TimeoutMs=*/2000);
+  ASSERT_GE(Fd, 0) << Err;
+
+  Context Ctx;
+  Module M(Ctx, "tcp");
+  Function *F = buildKernel(M, 63);
+  const std::vector<uint8_t> Expect =
+      serializeCompiledModule(compileToArtifact(*F, DARMConfig()));
+  CompileRequest Req;
+  Req.IRText = printFunction(*F);
+  CompileResponse Resp;
+  ASSERT_TRUE(roundTrip(Fd, Req, Resp, &Err, /*TimeoutMs=*/30000)) << Err;
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  EXPECT_EQ(serializeCompiledModule(Resp.Art), Expect)
+      << "TCP transport must not change a single artifact byte";
+  ::close(Fd);
+
+  EXPECT_TRUE(Server.drain(/*DeadlineMs=*/5000));
+  // Drained server refuses new connections: the listener is gone.
+  EXPECT_LT(connectEndpoint(Endpoint, &Err, /*TimeoutMs=*/500), 0);
+}
+
+TEST(SocketServerTest, OverCapConnectionGetsBusyFrame) {
+  CompileService Svc;
+  ServeCounters Counters;
+  SocketServer::Options Opts;
+  Opts.MaxConnections = 1;
+  SocketServer Server(Svc, &Counters, Opts);
+  const std::string Path = "serve_test_busy.sock";
+  std::string Err;
+  const int ListenFd = listenUnixSocket(Path, &Err);
+  ASSERT_GE(ListenFd, 0) << Err;
+  ASSERT_TRUE(Server.start(ListenFd));
+
+  const int Holder = connectUnixSocket(Path, &Err);
+  ASSERT_GE(Holder, 0) << Err;
+  // Wait until the holder is accepted and occupies the one slot.
+  for (int I = 0; I < 2000 && Server.activeConnections() < 1; ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_EQ(Server.activeConnections(), 1u);
+
+  // The over-cap connection is answered with one unsolicited Busy frame
+  // and closed — load shedding, not a silent drop.
+  const int Shed = connectUnixSocket(Path, &Err);
+  ASSERT_GE(Shed, 0) << Err;
+  std::vector<uint8_t> Frame;
+  bool CleanEof = false;
+  ASSERT_TRUE(readFrame(Shed, Frame, &CleanEof, /*IdleTimeoutMs=*/5000,
+                        /*FrameTimeoutMs=*/5000));
+  CompileResponse Resp;
+  ASSERT_TRUE(decodeResponse(Frame.data(), Frame.size(), Resp, &Err)) << Err;
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_TRUE(Resp.Busy);
+  EXPECT_FALSE(readFrame(Shed, Frame, &CleanEof));
+  EXPECT_TRUE(CleanEof) << "shed connection must be closed cleanly";
+  ::close(Shed);
+  ::close(Holder);
+  Server.drain(2000);
+  EXPECT_GE(Counters.Busy.load(), 1u);
+  ::unlink(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// serve::Client: retry, backoff, reconnect, Busy absorption, fallback
+//===----------------------------------------------------------------------===//
+
+/// A scripted flaky daemon on a Unix socket: tears the first
+/// \p TornConnections connections after reading their request (close
+/// without answering), answers \p BusyConnections more with one Busy
+/// frame, then serves the rest properly until drained.
+class FlakyServer {
+public:
+  FlakyServer(const std::string &Path, unsigned TornConnections,
+              unsigned BusyConnections)
+      : Path(Path), Torn(TornConnections), BusyN(BusyConnections) {
+    std::string Err;
+    ListenFd = listenUnixSocket(Path, &Err);
+    EXPECT_GE(ListenFd, 0) << Err;
+    Acceptor = std::thread([this] { run(); });
+  }
+  ~FlakyServer() {
+    Stop.store(true);
+    ::shutdown(ListenFd, SHUT_RDWR);
+    ::close(ListenFd);
+    Acceptor.join();
+    ::unlink(Path.c_str());
+  }
+
+private:
+  void run() {
+    while (!Stop.load()) {
+      const int Conn = ::accept(ListenFd, nullptr, nullptr);
+      if (Conn < 0)
+        return;
+      if (Torn > 0) {
+        --Torn;
+        std::vector<uint8_t> Frame;
+        readFrame(Conn, Frame, nullptr, 2000, 2000); // swallow the request
+        ::close(Conn); // ...and hang up without answering
+        continue;
+      }
+      if (BusyN > 0) {
+        --BusyN;
+        // Read the request first so the answer is deterministic: an
+        // unsolicited Busy racing the client's write can surface as a
+        // torn connection instead (that shape is pinned by
+        // SocketServerTest.OverCapConnectionGetsBusyFrame).
+        std::vector<uint8_t> Frame;
+        readFrame(Conn, Frame, nullptr, 2000, 2000);
+        CompileResponse Busy;
+        Busy.Busy = true;
+        writeFrame(Conn, encodeResponse(Busy), 2000);
+        ::close(Conn);
+        continue;
+      }
+      serveStream(Conn, Conn, Svc);
+      ::close(Conn);
+    }
+  }
+
+  std::string Path;
+  unsigned Torn, BusyN;
+  int ListenFd = -1;
+  CompileService Svc;
+  std::atomic<bool> Stop{false};
+  std::thread Acceptor;
+};
+
+ClientOptions fastClientOptions(const std::string &Endpoint) {
+  ClientOptions O;
+  O.Endpoint = Endpoint;
+  O.ConnectTimeoutMs = 2000;
+  O.RequestTimeoutMs = 30000;
+  O.BackoffBaseMs = 1;
+  O.BackoffCapMs = 5; // fast schedule: the tests pin behaviour, not timing
+  return O;
+}
+
+TEST(ClientTest, RetriesTornConnectionsAndSucceeds) {
+  const std::string Path = "serve_test_flaky_torn.sock";
+  FlakyServer Flaky(Path, /*TornConnections=*/2, /*BusyConnections=*/0);
+  ClientOptions O = fastClientOptions(Path);
+  O.MaxRetries = 3;
+  Client Cli(O);
+
+  Context Ctx;
+  Module M(Ctx, "cli");
+  Function *F = buildKernel(M, 64);
+  const std::vector<uint8_t> Expect =
+      serializeCompiledModule(compileToArtifact(*F, DARMConfig()));
+  CompileRequest Req;
+  Req.IRText = printFunction(*F);
+  CompileResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(Cli.request(Req, Resp, &Err)) << Err;
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  EXPECT_EQ(serializeCompiledModule(Resp.Art), Expect);
+  EXPECT_EQ(Cli.counters().Attempts.load(), 3u);
+  EXPECT_EQ(Cli.counters().Retries.load(), 2u);
+  EXPECT_EQ(Cli.counters().Reconnects.load(), 2u);
+}
+
+TEST(ClientTest, AbsorbsBusySheddingWithBackoff) {
+  const std::string Path = "serve_test_flaky_busy.sock";
+  FlakyServer Flaky(Path, /*TornConnections=*/0, /*BusyConnections=*/2);
+  ClientOptions O = fastClientOptions(Path);
+  O.MaxRetries = 4;
+  Client Cli(O);
+
+  Context Ctx;
+  Module M(Ctx, "busy");
+  CompileRequest Req;
+  Req.IRText = printFunction(*buildKernel(M, 65));
+  CompileResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(Cli.request(Req, Resp, &Err)) << Err;
+  EXPECT_TRUE(Resp.Ok) << Resp.Error;
+  EXPECT_EQ(Cli.counters().BusyShed.load(), 2u);
+  EXPECT_GE(Cli.counters().Retries.load(), 2u);
+}
+
+TEST(ClientTest, PermanentErrorIsNotRetried) {
+  const std::string Path = "serve_test_flaky_perm.sock";
+  FlakyServer Flaky(Path, 0, 0); // healthy server
+  ClientOptions O = fastClientOptions(Path);
+  O.MaxRetries = 5;
+  Client Cli(O);
+
+  CompileRequest Req;
+  Req.IRText = "this is not IR";
+  CompileResponse Resp;
+  std::string Err;
+  // A definitive answer: request() is true, Resp.Ok false — and exactly
+  // one attempt, because resending identical bytes cannot help.
+  ASSERT_TRUE(Cli.request(Req, Resp, &Err)) << Err;
+  EXPECT_FALSE(Resp.Ok);
+  EXPECT_FALSE(Resp.Busy);
+  EXPECT_EQ(Cli.counters().Attempts.load(), 1u);
+  EXPECT_EQ(Cli.counters().Retries.load(), 0u);
+}
+
+TEST(ClientTest, FallsBackToLocalCompileWhenDaemonIsGone) {
+  // Nobody listens here: every attempt fails to connect, retries
+  // exhaust, and the verified local fallback answers — byte-identical
+  // to what the daemon would have said, by the determinism contract.
+  ClientOptions O = fastClientOptions("serve_test_no_such_daemon.sock");
+  O.MaxRetries = 1;
+  O.ConnectTimeoutMs = 200;
+  O.Fallback = FallbackMode::LocalCompile;
+  CompileService Shared;
+  Client Cli(O, &Shared);
+
+  Context Ctx;
+  Module M(Ctx, "fb");
+  Function *F = buildKernel(M, 66);
+  const std::vector<uint8_t> Expect =
+      serializeCompiledModule(compileToArtifact(*F, DARMConfig()));
+  CompileRequest Req;
+  Req.IRText = printFunction(*F);
+  CompileResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(Cli.request(Req, Resp, &Err)) << Err;
+  ASSERT_TRUE(Resp.Ok) << Resp.Error;
+  EXPECT_EQ(serializeCompiledModule(Resp.Art), Expect)
+      << "local fallback must be byte-identical to the daemon's answer";
+  EXPECT_EQ(Cli.counters().Fallbacks.load(), 1u);
+  EXPECT_EQ(Cli.counters().Attempts.load(), 2u);
+  EXPECT_EQ(Shared.stats().Misses, 1u) << "fallback compiles in the shared service";
+}
+
+TEST(ClientTest, FailsCleanlyWithoutFallback) {
+  ClientOptions O = fastClientOptions("serve_test_no_such_daemon2.sock");
+  O.MaxRetries = 1;
+  O.ConnectTimeoutMs = 200;
+  Client Cli(O);
+  CompileRequest Req;
+  Req.IRText = "kernel irrelevant";
+  CompileResponse Resp;
+  std::string Err;
+  EXPECT_FALSE(Cli.request(Req, Resp, &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(Cli.counters().Attempts.load(), 2u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -435,6 +828,176 @@ TEST_F(ArtifactStoreTest, UnusableDirectoryDegradesToMisses) {
   const CompiledModule Art = makeArtifact(49);
   Store.store(Art); // silently dropped
   EXPECT_EQ(Store.load(Art.IRHash, Art.Fingerprint, true), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Store GC (byte budget, LRU by mtime) + stale-bounded temp sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Backdates a file's mtime by \p Secs (the GC's LRU clock).
+void ageFile(const std::string &Path, long Secs) {
+  struct timespec Times[2];
+  Times[0].tv_sec = ::time(nullptr) - Secs;
+  Times[0].tv_nsec = 0;
+  Times[1] = Times[0];
+  ASSERT_EQ(::utimensat(AT_FDCWD, Path.c_str(), Times, 0), 0);
+}
+
+size_t fileSize(const std::string &Path) {
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 ? static_cast<size_t>(St.st_size) : 0;
+}
+
+/// Total bytes of .drma files in \p Dir.
+size_t storeBytes(const std::string &Dir) {
+  size_t Total = 0;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D)
+    return 0;
+  while (struct dirent *E = ::readdir(D)) {
+    const std::string Name = E->d_name;
+    if (Name.size() > 5 && Name.compare(Name.size() - 5, 5, ".drma") == 0)
+      Total += fileSize(Dir + "/" + Name);
+  }
+  ::closedir(D);
+  return Total;
+}
+} // namespace
+
+TEST_F(ArtifactStoreTest, GcEvictsOldestToBudgetOnOpen) {
+  const CompiledModule Old = makeArtifact(71);
+  const CompiledModule Fresh = makeArtifact(72);
+  size_t OldSize, FreshSize;
+  {
+    FileArtifactStore Store(Dir);
+    Store.store(Old);
+    Store.store(Fresh);
+    OldSize = fileSize(Store.pathFor(Old.IRHash, Old.Fingerprint));
+    FreshSize = fileSize(Store.pathFor(Fresh.IRHash, Fresh.Fingerprint));
+    ageFile(Store.pathFor(Old.IRHash, Old.Fingerprint), 1000);
+  }
+  // Reopen with a budget that fits only one: the older entry is evicted.
+  FileArtifactStore::Options Opts;
+  Opts.MaxBytes = OldSize + FreshSize - 1;
+  FileArtifactStore Store(Dir, Opts);
+  EXPECT_EQ(Store.load(Old.IRHash, Old.Fingerprint, true), nullptr)
+      << "the LRU entry must be the one evicted";
+  EXPECT_NE(Store.load(Fresh.IRHash, Fresh.Fingerprint, true), nullptr);
+  EXPECT_GE(Store.stats().Evictions, 1u);
+  EXPECT_LE(storeBytes(Dir), Opts.MaxBytes);
+}
+
+TEST_F(ArtifactStoreTest, GcKeepsDirectoryUnderBudgetAcrossOverfill) {
+  // The acceptance shape: a workload that writes ~2x the budget must
+  // leave the directory at or under budget after every store.
+  const size_t ProbeSize = [&] {
+    FileArtifactStore Probe(Dir);
+    const CompiledModule A = makeArtifact(80);
+    Probe.store(A);
+    return fileSize(Probe.pathFor(A.IRHash, A.Fingerprint));
+  }();
+  std::system(("rm -rf " + Dir).c_str());
+
+  FileArtifactStore::Options Opts;
+  Opts.MaxBytes = ProbeSize * 3; // a few artifacts fit; eight do not
+  FileArtifactStore Store(Dir, Opts);
+  for (uint64_t Seed = 80; Seed < 88; ++Seed) {
+    Store.store(makeArtifact(Seed));
+    EXPECT_LE(storeBytes(Dir), Opts.MaxBytes)
+        << "budget must hold after every store, not eventually";
+  }
+  EXPECT_GE(Store.stats().Evictions, 1u);
+  // The store still works: the newest key must have survived and load.
+  const CompiledModule Last = makeArtifact(87);
+  EXPECT_NE(Store.load(Last.IRHash, Last.Fingerprint, true), nullptr);
+}
+
+TEST_F(ArtifactStoreTest, LoadBumpsRecencySoHotKeysSurviveGc) {
+  const CompiledModule A = makeArtifact(73); // oldest... but loaded (hot)
+  const CompiledModule B = makeArtifact(74); // cold: the eviction victim
+  const CompiledModule C = makeArtifact(75);
+  size_t Sizes = 0;
+  {
+    FileArtifactStore Store(Dir);
+    Store.store(A);
+    Store.store(B);
+    ageFile(Store.pathFor(A.IRHash, A.Fingerprint), 2000);
+    ageFile(Store.pathFor(B.IRHash, B.Fingerprint), 1000);
+    // The load bumps A's mtime to now: A is younger than B again.
+    ASSERT_NE(Store.load(A.IRHash, A.Fingerprint, true), nullptr);
+    Store.store(C);
+    Sizes = storeBytes(Dir);
+  }
+  FileArtifactStore::Options Opts;
+  Opts.MaxBytes = Sizes - 1; // forces at least one eviction
+  FileArtifactStore Store(Dir, Opts);
+  EXPECT_EQ(Store.load(B.IRHash, B.Fingerprint, true), nullptr)
+      << "the unloaded key is the LRU victim";
+  EXPECT_NE(Store.load(A.IRHash, A.Fingerprint, true), nullptr)
+      << "the loaded key was bumped hot and must survive";
+  EXPECT_NE(Store.load(C.IRHash, C.Fingerprint, true), nullptr);
+}
+
+TEST_F(ArtifactStoreTest, TempSweepSparesLiveWritersTwoProcess) {
+  // Two stores over one directory: the second store's open must sweep
+  // the temp of a DEAD writer process but spare a LIVE one mid-store —
+  // yanking a live temp would break the concurrent writer's rename.
+  {
+    FileArtifactStore Store(Dir);
+    ASSERT_TRUE(Store.valid());
+  }
+  // The dead writer: a real child process that leaves a parseable temp
+  // (its own pid) and exits before the sweep runs.
+  const pid_t Child = ::fork();
+  ASSERT_GE(Child, 0);
+  if (Child == 0) {
+    char Name[512];
+    std::snprintf(Name, sizeof(Name), "%s/.tmp-%016lx-%016lx", Dir.c_str(),
+                  static_cast<unsigned long>(::getpid()), 0ul);
+    const int Fd = ::open(Name, O_WRONLY | O_CREAT, 0666);
+    if (Fd >= 0)
+      ::close(Fd);
+    ::_exit(0);
+  }
+  ASSERT_EQ(::waitpid(Child, nullptr, 0), Child);
+  char DeadTemp[512], LiveTemp[512];
+  std::snprintf(DeadTemp, sizeof(DeadTemp), "%s/.tmp-%016lx-%016lx",
+                Dir.c_str(), static_cast<unsigned long>(Child), 0ul);
+  struct stat St;
+  ASSERT_EQ(::stat(DeadTemp, &St), 0) << "child must have left its temp";
+  // The live writer: this process, temp freshly created.
+  std::snprintf(LiveTemp, sizeof(LiveTemp), "%s/.tmp-%016lx-%016lx",
+                Dir.c_str(), static_cast<unsigned long>(::getpid()), 1ul);
+  writeFile(LiveTemp, {0x11});
+
+  FileArtifactStore Store(Dir);
+  EXPECT_NE(::stat(DeadTemp, &St), 0) << "dead writer's temp must be swept";
+  EXPECT_EQ(::stat(LiveTemp, &St), 0) << "live writer's temp must be spared";
+  ::unlink(LiveTemp);
+}
+
+TEST_F(ArtifactStoreTest, AgedTempOfForeignLiveProcessIsSwept) {
+  // A temp owned by a live pid we cannot prove dead (pid 1) is spared
+  // while fresh but presumed abandoned once it ages past the threshold.
+  {
+    FileArtifactStore Store(Dir);
+    ASSERT_TRUE(Store.valid());
+  }
+  char Temp[512];
+  std::snprintf(Temp, sizeof(Temp), "%s/.tmp-%016lx-%016lx", Dir.c_str(), 1ul,
+                0ul);
+  writeFile(Temp, {0x22});
+  struct stat St;
+  {
+    FileArtifactStore Store(Dir);
+    EXPECT_EQ(::stat(Temp, &St), 0) << "fresh foreign temp must be spared";
+  }
+  ageFile(Temp, 2 * 3600);
+  {
+    FileArtifactStore Store(Dir);
+    EXPECT_NE(::stat(Temp, &St), 0) << "aged foreign temp must be swept";
+  }
 }
 
 //===----------------------------------------------------------------------===//
